@@ -1,0 +1,56 @@
+// Ablation: failure criterion — first SBD (the paper's criterion) vs
+// tolerating k-1 breakdowns (the refs [28][30] successive-breakdown
+// extension). Reports the ppm-lifetime multiplier a breakdown-tolerant
+// design earns, across designs of different scale.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "chip/design.hpp"
+#include "common/table.hpp"
+#include "core/lifetime.hpp"
+#include "core/montecarlo.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+
+int main() {
+  using namespace obd;
+  const std::size_t mc_chips = bench::env_size("OBDREL_MC_CHIPS", 400);
+
+  std::printf("Failure-criterion ablation: k-th-breakdown 10ppm lifetime\n"
+              "relative to first-breakdown (MC chips = %zu).\n\n",
+              mc_chips);
+
+  const core::AnalyticReliabilityModel model;
+  TextTable t({"ckt.", "#Device", "t_k1 [y]", "k=2 gain", "k=3 gain",
+               "k=4 gain"});
+  for (int ci : {1, 3, 5}) {
+    const chip::Design design = chip::make_benchmark(ci);
+    const auto profile = thermal::power_thermal_fixed_point(
+        design, power::PowerParams{}, {.resolution = 32}, 2);
+    const auto problem = core::ReliabilityProblem::build(
+        design, var::VariationBudget{}, model, profile.block_temps_c, 1.2);
+    const core::MonteCarloAnalyzer mc(problem, {.chip_samples = mc_chips});
+    const double t1 = mc.kth_lifetime_at(core::kTenFaultsPerMillion, 1);
+    std::vector<std::string> row{design.name,
+                                 fmt_count(design.total_devices()),
+                                 fmt(t1 / bench::kYear, 2)};
+    for (std::size_t k = 2; k <= 4; ++k) {
+      row.push_back(
+          fmt(mc.kth_lifetime_at(core::kTenFaultsPerMillion, k) / t1, 2) +
+          "x");
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape: a huge multiplier from k=1 to k=2 — at ppm levels\n"
+      "P(N>=2) ~ H^2/2, so the tolerant criterion reaches the target at\n"
+      "H ~ sqrt(2e-5) instead of 1e-5, i.e. t2/t1 ~ (sqrt(2e-5)/1e-5)^(1/beta)\n"
+      "~ 60-70x for beta ~ 1.4 — with diminishing extra gain for each\n"
+      "further k. The multiplier is nearly design-independent (it is set by\n"
+      "the target quantile and the Weibull slope, not the area), drifting\n"
+      "up slightly for hotter designs whose flatter slopes (smaller b(T))\n"
+      "stretch the tail.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Ablation: spatial-correlation structure — exponential grid model
+// (the paper's choice), quad-tree model (the cited alternative, ref [24]),
+// and a model extracted from simulated wafer measurements (ref [20]).
+//
+// All three feed the identical downstream pipeline (BLOD -> st_fast), and
+// each is scored against a Monte Carlo reference run *under its own model*,
+// so the table isolates the analysis error from the model choice. The last
+// column shows how much the predicted lifetime itself moves with the
+// correlation structure.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "chip/design.hpp"
+#include "common/table.hpp"
+#include "core/analytic.hpp"
+#include "core/lifetime.hpp"
+#include "core/montecarlo.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+#include "variation/extraction.hpp"
+#include "variation/quadtree.hpp"
+
+int main() {
+  using namespace obd;
+  const std::size_t mc_chips = bench::env_size("OBDREL_MC_CHIPS", 500);
+
+  const chip::Design design = chip::make_benchmark(2);  // C2
+  const auto profile = thermal::power_thermal_fixed_point(
+      design, power::PowerParams{}, {.resolution = 32}, 2);
+  const core::AnalyticReliabilityModel model;
+  const var::VariationBudget budget;
+
+  std::printf("Correlation-model ablation on %s (MC chips = %zu)\n\n",
+              design.name.c_str(), mc_chips);
+
+  // Extracted model: recover the budget and rho from synthetic wafer data
+  // generated under the true grid model.
+  const var::GridModel mgrid(design.width, design.height, 20);
+  const var::CanonicalForm truth =
+      var::make_canonical_form(mgrid, budget, 0.5, 1.0);
+  stats::Rng rng(55);
+  const auto data = var::simulate_measurements(truth, mgrid, 300, 60, rng);
+  const auto fit = var::extract_correlation(data);
+  std::printf("extracted model: rho_dist %.2f (true 0.50), variance split "
+              "%.0f/%.0f/%.0f%% (true 50/25/25)\n\n",
+              fit.rho_dist, 100.0 * fit.to_budget().global_share,
+              100.0 * fit.to_budget().spatial_share,
+              100.0 * fit.to_budget().independent_share);
+
+  struct Case {
+    const char* label;
+    var::VariationBudget budget;
+    core::ProblemOptions options;
+  };
+  core::ProblemOptions grid_opts;
+  core::ProblemOptions qt_opts;
+  qt_opts.structure = core::CorrelationStructure::kQuadTree;
+  core::ProblemOptions fit_opts;
+  fit_opts.rho_dist = fit.rho_dist;
+  const Case cases[] = {
+      {"grid/exponential (paper)", budget, grid_opts},
+      {"quad-tree [24]", budget, qt_opts},
+      {"extracted [20]", fit.to_budget(), fit_opts},
+  };
+
+  TextTable acc({"model", "st_fast vs own-MC 1/m (%)", "10/m (%)",
+                 "t_10ppm [y]"});
+  for (const Case& c : cases) {
+    const auto problem = core::ReliabilityProblem::build(
+        design, c.budget, model, profile.block_temps_c, 1.2, c.options);
+    const core::AnalyticAnalyzer fast(problem);
+    const core::MonteCarloAnalyzer mc(problem, {.chip_samples = mc_chips});
+    const double t1 = fast.lifetime_at(core::kOneFaultPerMillion);
+    const double t10 = fast.lifetime_at(core::kTenFaultsPerMillion);
+    acc.add_row(
+        {c.label,
+         fmt(bench::pct_error(t1, mc.lifetime_at(core::kOneFaultPerMillion)),
+             2),
+         fmt(bench::pct_error(t10,
+                              mc.lifetime_at(core::kTenFaultsPerMillion)),
+             2),
+         fmt(t10 / bench::kYear, 2)});
+  }
+  acc.print(std::cout);
+
+  // Model-structure comparison: mid-die correlation under both families.
+  const double d_mid = 0.5 * design.width;
+  const double rho_qt = var::quadtree_correlation(
+      0.25 * design.width, 0.25 * design.height,
+      0.25 * design.width + d_mid, 0.25 * design.height, design.width,
+      design.height, budget);
+  const double rho_grid =
+      (budget.global_share +
+       budget.spatial_share * std::exp(-d_mid / (0.5 * design.width))) /
+      (budget.global_share + budget.spatial_share);
+  std::printf("\nmid-die correlation: grid/exponential %.3f, quad-tree %.3f\n",
+              rho_grid, rho_qt);
+  std::printf(
+      "\nExpected shape: st_fast stays within a few %% of MC under every\n"
+      "correlation structure (the paper's Table IV robustness claim,\n"
+      "generalized across model families).\n");
+  return 0;
+}

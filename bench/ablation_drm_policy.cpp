@@ -1,0 +1,103 @@
+// Ablation: reliability-management policy — static worst-case rung vs the
+// budget-trajectory DRM controller, across workload mixes. Both policies
+// manage the same (automatically chosen, binding) end-of-life failure
+// budget; the payoff metric is average delivered performance.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "chip/design.hpp"
+#include "common/table.hpp"
+#include "core/problem.hpp"
+#include "drm/manager.hpp"
+#include "drm/workload.hpp"
+
+int main() {
+  using namespace obd;
+
+  const chip::Design design = chip::make_benchmark(3);
+  const core::AnalyticReliabilityModel model;
+  core::ProblemOptions popts;
+  popts.grid_cells_per_side = 15;
+  const auto problem = core::ReliabilityProblem::build(
+      design, var::VariationBudget{}, model,
+      std::vector<double>(design.blocks.size(), 80.0), 1.2, popts);
+
+  const std::vector<drm::OperatingPoint> ladder{
+      {"eco", 1.00, 1.2e9},
+      {"base", 1.10, 1.7e9},
+      {"boost", 1.20, 2.1e9},
+      {"turbo", 1.28, 2.5e9},
+  };
+  drm::DrmOptions opts;
+  opts.lifetime_target_s = 10.0 * bench::kYear;
+  opts.control_interval_s = opts.lifetime_target_s / 120.0;
+
+  // A binding budget: geometric mean of the eco-always and turbo-always
+  // worst-case damage, so the rung choice actually matters (a budget no
+  // rung can violate reduces every policy to max-perf).
+  {
+    drm::ReliabilityManager eco(problem, model, ladder, opts);
+    drm::ReliabilityManager turbo(problem, model, ladder, opts);
+    for (int i = 0; i < 120; ++i) {
+      eco.step_fixed(0, 1.0);
+      turbo.step_fixed(ladder.size() - 1, 1.0);
+    }
+    opts.failure_budget = std::sqrt(eco.damage() * turbo.damage());
+  }
+
+  // Static sign-off rung: fastest that survives continuous worst case.
+  std::size_t static_rung = 0;
+  for (std::size_t r = ladder.size(); r-- > 0;) {
+    drm::ReliabilityManager probe(problem, model, ladder, opts);
+    for (int i = 0; i < 120; ++i) probe.step_fixed(r, 1.0);
+    if (probe.damage() <= opts.failure_budget) {
+      static_rung = r;
+      break;
+    }
+  }
+
+  std::printf("DRM policy ablation on %s: 10-year horizon, binding budget "
+              "%.2e,\nstatic sign-off rung = %s.\n\n",
+              design.name.c_str(), opts.failure_budget,
+              ladder[static_rung].name.c_str());
+
+  struct Mix {
+    const char* name;
+    drm::WorkloadOptions options;
+  };
+  const Mix mixes[] = {
+      {"light (base 0.3)", {.base = 0.3, .burst_probability = 0.05}},
+      {"mixed (base 0.5)", {}},
+      {"heavy (base 0.8)", {.base = 0.8, .idle_probability = 0.05}},
+      {"bursty (30% bursts)", {.base = 0.4, .burst_probability = 0.3}},
+  };
+
+  TextTable t({"workload", "DRM perf [GHz]", "static perf [GHz]", "gain",
+               "DRM damage/budget"});
+  for (const auto& mix : mixes) {
+    stats::Rng rng(2024);
+    const auto workload = drm::synthetic_workload(120, mix.options, rng);
+    drm::ReliabilityManager adaptive(problem, model, ladder, opts);
+    drm::ReliabilityManager fixed(problem, model, ladder, opts);
+    double perf_a = 0.0;
+    double perf_f = 0.0;
+    for (double w : workload) {
+      perf_a += adaptive.step(w).performance;
+      perf_f += fixed.step_fixed(static_rung, w).performance;
+    }
+    perf_a /= 120.0;
+    perf_f /= 120.0;
+    t.add_row({mix.name, fmt(perf_a / 1e9, 3), fmt(perf_f / 1e9, 3),
+               fmt(100.0 * (perf_a / perf_f - 1.0), 1) + "%",
+               fmt(adaptive.damage() / opts.failure_budget, 2)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape: the budget-based controller never exceeds the\n"
+      "budget (last column <= 1) and converts cool-workload headroom into\n"
+      "performance; the gain shrinks as the workload approaches the\n"
+      "worst-case the static rung was signed off for.\n");
+  return 0;
+}

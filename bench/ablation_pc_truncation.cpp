@@ -1,0 +1,73 @@
+// Ablation: PCA truncation (variance_capture) vs accuracy and runtime.
+//
+// The paper notes "the number of principal components (usually fewer than
+// hundreds) is much smaller than the number of devices" (Section V). The
+// exponential correlation kernel is non-smooth at zero lag, so its spectrum
+// decays slowly — but the rank-one global component plus strong local
+// correlation still let aggressive truncation keep the lifetime accurate.
+// This bench sweeps variance_capture and reports PC count, problem build
+// time, st_MC construction time, and the lifetime shift vs the untruncated
+// model.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "chip/design.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/analytic.hpp"
+#include "core/lifetime.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+
+int main() {
+  using namespace obd;
+
+  const chip::Design design = chip::make_benchmark(2);
+  const auto profile = thermal::power_thermal_fixed_point(
+      design, power::PowerParams{}, {.resolution = 32}, 2);
+  const core::AnalyticReliabilityModel model;
+
+  // Untruncated reference.
+  core::ProblemOptions full_opts;
+  full_opts.variance_capture = 1.0;
+  const auto full_problem = core::ReliabilityProblem::build(
+      design, var::VariationBudget{}, model, profile.block_temps_c, 1.2,
+      full_opts);
+  const core::AnalyticAnalyzer full_fast(full_problem);
+  const double t_full = full_fast.lifetime_at(core::kTenFaultsPerMillion);
+
+  std::printf("PC-truncation ablation on %s (25x25 grid, %zu PCs at full "
+              "rank)\n\n",
+              design.name.c_str(), full_problem.canonical().pc_count());
+
+  TextTable t({"capture", "PCs", "build [s]", "st_MC build [s]",
+               "t_10ppm shift (%)"});
+  for (double capture : {0.80, 0.90, 0.95, 0.99, 0.999, 1.0}) {
+    core::ProblemOptions opts;
+    opts.variance_capture = capture;
+    Stopwatch sw;
+    const auto problem = core::ReliabilityProblem::build(
+        design, var::VariationBudget{}, model, profile.block_temps_c, 1.2,
+        opts);
+    const double build_s = sw.seconds();
+
+    sw.reset();
+    const core::StMcAnalyzer st_mc(problem, {.samples = 4000});
+    const double stmc_s = sw.seconds();
+    (void)st_mc;
+
+    const core::AnalyticAnalyzer fast(problem);
+    const double shift = bench::pct_error(
+        fast.lifetime_at(core::kTenFaultsPerMillion), t_full);
+    t.add_row({fmt(capture, 3),
+               std::to_string(problem.canonical().pc_count()),
+               fmt(build_s, 2), fmt(stmc_s, 2), fmt(shift, 3)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape: even 90%% capture shifts the ppm lifetime by well\n"
+      "under 1%% — the failure integral is dominated by the global + local\n"
+      "components the leading PCs carry.\n");
+  return 0;
+}

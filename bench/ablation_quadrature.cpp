@@ -1,0 +1,80 @@
+// Ablation: integration scheme and subdomain count l0 for the eq. (28)
+// double integrals.
+//
+// The paper states "l0 = 10 is already a reasonable number for accurate
+// integral sum evaluation" (Section IV-D). This bench verifies that claim
+// on our substrate and compares the paper's equal-width midpoint rule with
+// the library's equal-probability-mass variant, against a high-resolution
+// reference.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "chip/design.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/analytic.hpp"
+#include "core/lifetime.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+
+int main() {
+  using namespace obd;
+
+  const chip::Design design = chip::make_benchmark(3);
+  const auto profile = thermal::power_thermal_fixed_point(
+      design, power::PowerParams{}, {.resolution = 32}, 2);
+  const core::AnalyticReliabilityModel model;
+  const auto problem = core::ReliabilityProblem::build(
+      design, var::VariationBudget{}, model, profile.block_temps_c, 1.2);
+
+  // Reference: equal-probability with a dense 256-cell rule.
+  core::AnalyticOptions ref_opts;
+  ref_opts.quadrature = core::Quadrature::kEqualProbability;
+  ref_opts.cells = 256;
+  const core::AnalyticAnalyzer reference(problem, ref_opts);
+  const double t_ref_1 = reference.lifetime_at(core::kOneFaultPerMillion);
+  const double t_ref_10 = reference.lifetime_at(core::kTenFaultsPerMillion);
+
+  std::printf("Quadrature ablation on %s (%zu devices); reference:\n"
+              "equal-probability rule with l0 = 256.\n\n",
+              design.name.c_str(), design.total_devices());
+
+  TextTable t({"scheme", "l0", "err 1/m (%)", "err 10/m (%)", "query [us]"});
+  for (const auto scheme :
+       {core::Quadrature::kPaperMidpoint,
+        core::Quadrature::kEqualProbability}) {
+    for (std::size_t l0 : {4, 6, 8, 10, 16, 32, 64}) {
+      core::AnalyticOptions opts;
+      opts.quadrature = scheme;
+      opts.cells = l0;
+      const core::AnalyticAnalyzer a(problem, opts);
+      const double e1 = bench::pct_error(
+          a.lifetime_at(core::kOneFaultPerMillion), t_ref_1);
+      const double e10 = bench::pct_error(
+          a.lifetime_at(core::kTenFaultsPerMillion), t_ref_10);
+      Stopwatch sw;
+      double sink = 0.0;
+      const int reps = 2000;
+      for (int i = 0; i < reps; ++i)
+        sink += a.failure_probability(2e8 + i);
+      const double micros = sw.seconds() / reps * 1e6;
+      if (sink < 0.0) std::printf("?");
+      t.add_row({scheme == core::Quadrature::kPaperMidpoint
+                     ? "paper midpoint"
+                     : "equal-probability",
+                 std::to_string(l0), fmt(e1, 3), fmt(e10, 3),
+                 fmt(micros, 1)});
+    }
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nExpected shape: the equal-width midpoint rule (the paper's scheme)\n"
+      "needs l0 >= ~16-32 over our conservative +-6 sigma domain before its\n"
+      "cell-mass error drops below 1%%, while the equal-probability rule is\n"
+      "sub-1%% from l0 = 4 — it places nodes by marginal quantiles, so the\n"
+      "Gaussian tails and the chi-square edge are handled by construction.\n"
+      "(The paper's 'l0 = 10 suffices' holds for a tighter domain; the\n"
+      "library defaults to the robust scheme.)\n");
+  return 0;
+}

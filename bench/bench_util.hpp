@@ -1,0 +1,26 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace obd::bench {
+
+/// Reads a positive integer from the environment (workload scaling knobs
+/// like OBDREL_MC_CHIPS), falling back to `fallback`.
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const long long v = std::atoll(raw);
+  return (v > 0) ? static_cast<std::size_t>(v) : fallback;
+}
+
+/// Relative error in percent, |a - b| / b * 100.
+inline double pct_error(double a, double b) {
+  return 100.0 * std::abs(a - b) / b;
+}
+
+inline constexpr double kYear = 365.25 * 24.0 * 3600.0;
+
+}  // namespace obd::bench

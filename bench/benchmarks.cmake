@@ -1,0 +1,31 @@
+# Benchmark targets, included from the top-level CMakeLists so that
+# ${CMAKE_BINARY_DIR}/bench contains only executables (the reproduction
+# workflow runs `for b in build/bench/*; do $b; done`).
+function(obdrel_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE obdrel)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+obdrel_add_bench(table3_accuracy_runtime)
+obdrel_add_bench(table4_correlation_sweep)
+obdrel_add_bench(table5_grid_resolution)
+obdrel_add_bench(fig1_thermal_profiles)
+obdrel_add_bench(fig3_sbd_hbd_trace)
+obdrel_add_bench(fig4_blod_gaussianity)
+obdrel_add_bench(fig6_7_uv_independence)
+obdrel_add_bench(fig8_quadform_cdf)
+obdrel_add_bench(fig10_failure_curves)
+
+# Ablation studies of the design choices called out in DESIGN.md.
+obdrel_add_bench(ablation_quadrature)
+obdrel_add_bench(ablation_correlation_model)
+obdrel_add_bench(ablation_pc_truncation)
+obdrel_add_bench(ablation_breakdown_tolerance)
+obdrel_add_bench(ablation_drm_policy)
+
+add_executable(micro_kernels ${CMAKE_SOURCE_DIR}/bench/micro_kernels.cpp)
+target_link_libraries(micro_kernels PRIVATE obdrel benchmark::benchmark)
+set_target_properties(micro_kernels PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

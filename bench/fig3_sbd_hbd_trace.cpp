@@ -1,0 +1,51 @@
+// Fig. 3 reproduction: gate-leakage trace of a stressed device showing the
+// typical OBD progression — direct-tunneling baseline, soft breakdown (SBD,
+// 10-20x leakage jump), continuous post-SBD growth, then hard breakdown
+// (HBD). Prints a log-log sampled trace and an ASCII sketch.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/degradation.hpp"
+
+int main() {
+  using namespace obd;
+
+  core::DegradationParams params;  // 3.1 V / 100 C stress-test defaults
+  stats::Rng rng(2010);
+  const core::LeakageTrace trace =
+      core::simulate_degradation(params, rng, 1.0, 3.0e5, 220);
+
+  std::printf("Fig. 3 reproduction: SBD -> HBD gate-leakage trace\n");
+  std::printf("(stressed device; Weibull alpha = %.0f s, beta = %.2f)\n\n",
+              params.alpha_stress, params.beta_stress);
+  std::printf("  t_SBD = %.3e s, t_HBD = %.3e s\n", trace.t_sbd,
+              trace.t_hbd);
+  std::printf("  leakage jump at SBD: %.1fx; HBD criterion: %.0e A\n\n",
+              params.sbd_jump, params.hbd_current);
+
+  // ASCII sketch: log(I) vs log(t), 60 x 20.
+  const double li_lo = std::log10(params.initial_leakage) - 0.3;
+  const double li_hi = std::log10(params.compliance_current) + 0.3;
+  for (int row = 19; row >= 0; --row) {
+    std::printf("  ");
+    for (int col = 0; col < 60; ++col) {
+      const std::size_t idx = col * (trace.time_s.size() - 1) / 59;
+      const double li = std::log10(trace.leakage_a[idx]);
+      const int r = std::clamp(
+          static_cast<int>((li - li_lo) / (li_hi - li_lo) * 20.0), 0, 19);
+      std::printf("%c", (r == row) ? '*' : ' ');
+    }
+    std::printf("\n");
+  }
+  std::printf("  t: %.1e s %40s %.1e s\n\n", trace.time_s.front(), "",
+              trace.time_s.back());
+
+  std::printf("  %-12s %-12s\n", "time [s]", "leakage [A]");
+  for (std::size_t i = 0; i < trace.time_s.size(); i += 20)
+    std::printf("  %-12.3e %-12.3e\n", trace.time_s[i], trace.leakage_a[i]);
+  std::printf(
+      "\nPaper reference: leakage continuously increases after SBD until\n"
+      "HBD triggers; SBD changes the leakage by 10-20x.\n");
+  return 0;
+}

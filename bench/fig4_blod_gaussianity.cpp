@@ -1,0 +1,74 @@
+// Fig. 4 reproduction: the BLOD property. For one sample chip, the
+// within-block oxide-thickness histogram of a block follows a Gaussian
+// curve with very high goodness of fit (paper: R^2 = 99.8% for a 5K-device
+// block, 99.5% for 20K).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/fit.hpp"
+#include "stats/histogram.hpp"
+#include "variation/model.hpp"
+
+namespace {
+
+using namespace obd;
+
+void blod_histogram(std::size_t devices, const var::CanonicalForm& canonical,
+                    stats::Rng& rng) {
+  // One sample chip: fixed principal components; a block spanning 2x2 grid
+  // cells of a 10x10 grid.
+  const la::Vector z = canonical.sample_z(rng);
+  const std::size_t grids[] = {44, 45, 54, 55};
+
+  // Per-device thickness samples within the block.
+  stats::RunningStats probe;
+  std::vector<double> xs;
+  xs.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    const std::size_t g = grids[i % 4];
+    const double x = canonical.thickness(g, z, rng.normal());
+    xs.push_back(x);
+    probe.add(x);
+  }
+  stats::Histogram1D h(probe.min() - 1e-4, probe.max() + 1e-4, 50);
+  for (double x : xs) h.add(x);
+
+  const stats::GaussianFit fit = stats::fit_gaussian(h);
+  std::printf("Block with %zuK devices: mean %.4f nm, sigma %.4f nm, "
+              "R-square %.2f%%\n",
+              devices / 1000, fit.mean, fit.stddev, 100.0 * fit.r_square);
+
+  // ASCII histogram.
+  double peak = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i)
+    peak = std::max(peak, h.count(i));
+  for (std::size_t i = 0; i < h.bins(); i += 2) {
+    const int bar = static_cast<int>(40.0 * h.count(i) / peak);
+    std::printf("  %.4f |", h.bin_center(i));
+    for (int k = 0; k < bar; ++k) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace obd;
+  std::printf("Fig. 4 reproduction: BLOD Gaussianity for one sample chip.\n\n");
+
+  const var::VariationBudget budget;  // Table II
+  const var::GridModel grid(10.0, 10.0, 10);
+  const var::CanonicalForm canonical =
+      var::make_canonical_form(grid, budget, 0.5);
+  stats::Rng rng(4);
+
+  blod_histogram(5000, canonical, rng);
+  blod_histogram(20000, canonical, rng);
+
+  std::printf(
+      "Paper reference: R-square 99.8%% (5K devices) and 99.5%% (20K).\n");
+  return 0;
+}

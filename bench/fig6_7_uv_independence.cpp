@@ -1,0 +1,89 @@
+// Fig. 6 and Fig. 7 reproduction: the independence approximation between a
+// block's BLOD sample mean u_j and sample variance v_j.
+//
+// Fig. 6: the joint PDF f(u, v) is visually indistinguishable from the
+// product of the marginals; the mutual information is tiny (paper: 0.003).
+// Fig. 7: the error between the joint PDF and the marginal product,
+// normalized to the peak of the joint PDF, peaks around 7% in a small
+// region and is negligible elsewhere.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "chip/design.hpp"
+#include "core/blod.hpp"
+#include "stats/histogram.hpp"
+
+int main() {
+  using namespace obd;
+
+  // A representative multi-grid block of a C6-like setup.
+  const var::VariationBudget budget;
+  const var::GridModel grid(16.0, 16.0, 25);
+  const var::CanonicalForm canonical =
+      var::make_canonical_form(grid, budget, 0.5);
+
+  // Block spanning a 5x5 patch of grid cells, 60K devices.
+  std::vector<std::pair<std::size_t, double>> weights;
+  for (std::size_t r = 10; r < 15; ++r)
+    for (std::size_t c = 10; c < 15; ++c)
+      weights.emplace_back(r * 25 + c, 1.0 / 25.0);
+  const core::BlodMoments blod(canonical, weights, 60000);
+
+  // Sample (u, v) across the chip ensemble.
+  const std::size_t n = 200000;
+  stats::Rng rng(67);
+  std::vector<double> us;
+  std::vector<double> vs;
+  us.reserve(n);
+  vs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const la::Vector z = canonical.sample_z(rng);
+    us.push_back(blod.u_value(z));
+    vs.push_back(blod.v_value(z));
+  }
+  const auto [ulo, uhi] = std::minmax_element(us.begin(), us.end());
+  const auto [vlo, vhi] = std::minmax_element(vs.begin(), vs.end());
+
+  const std::size_t bins = 24;
+  stats::Histogram2D joint(*ulo, *uhi + 1e-12, bins, *vlo, *vhi + 1e-12,
+                           bins);
+  for (std::size_t i = 0; i < n; ++i) joint.add(us[i], vs[i]);
+
+  // Fig. 6 headline number: mutual information.
+  const double mi = stats::mutual_information(joint);
+  std::printf("Fig. 6 reproduction: dependence between u_j and v_j\n\n");
+  std::printf("  samples: %zu, histogram: %zux%zu\n", n, bins, bins);
+  std::printf("  mutual information I(u; v) = %.4f nats\n", mi);
+  std::printf("  (paper reference: ~0.003)\n\n");
+
+  // Fig. 7: normalized error contour between joint and marginal product.
+  double peak = 0.0;
+  for (std::size_t i = 0; i < bins; ++i)
+    for (std::size_t j = 0; j < bins; ++j)
+      peak = std::max(peak, joint.probability(i, j));
+  double max_err = 0.0;
+  std::printf("Fig. 7 reproduction: |joint - marginal product| / peak\n");
+  std::printf("(contour, row = v bins bottom-up; digits = error decile,\n"
+              " '.' < 1%%)\n\n");
+  for (std::size_t j = bins; j-- > 0;) {
+    std::printf("  ");
+    for (std::size_t i = 0; i < bins; ++i) {
+      const double err = std::fabs(joint.probability(i, j) -
+                                   joint.marginal_x(i) * joint.marginal_y(j)) /
+                         peak;
+      max_err = std::max(max_err, err);
+      if (err < 0.01)
+        std::printf(".");
+      else
+        std::printf("%d", std::min(9, static_cast<int>(err * 100.0)));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n  max normalized error: %.1f%% (paper reference: ~7%%)\n",
+              100.0 * max_err);
+  std::printf(
+      "  errors concentrate where the joint PDF itself is small, limiting\n"
+      "  their propagation into the reliability integral (eq. 21).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 8 reproduction: CDF of the BLOD sample-variance quadratic form by
+// Monte Carlo, against the computationally efficient chi-square
+// approximation (eq. 29-30) — plus Imhof's exact inversion as a second
+// reference this implementation adds.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/blod.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/quadform.hpp"
+
+int main() {
+  using namespace obd;
+
+  const var::VariationBudget budget;
+  const var::GridModel grid(12.0, 12.0, 12);
+  const var::CanonicalForm canonical =
+      var::make_canonical_form(grid, budget, 0.5);
+
+  // Block spanning a 3x3 patch of grid cells.
+  std::vector<std::pair<std::size_t, double>> weights;
+  for (std::size_t r = 4; r < 7; ++r)
+    for (std::size_t c = 4; c < 7; ++c)
+      weights.emplace_back(r * 12 + c, 1.0 / 9.0);
+  const core::BlodMoments blod(canonical, weights, 40000);
+
+  const stats::QuadraticForm form = blod.v_quadratic_form(canonical);
+  const stats::ShiftedChiSquare approx = blod.v_marginal();
+  const stats::ShiftedChiSquare approx3 = blod.v_marginal_three_moment();
+
+  // Monte Carlo reference on the exact quadratic form.
+  stats::Rng rng(8);
+  std::vector<double> samples;
+  const std::size_t n = 300000;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) samples.push_back(form.sample(rng));
+  std::sort(samples.begin(), samples.end());
+
+  std::printf("Fig. 8 reproduction: CDF of the quadratic form v_j\n\n");
+  std::printf("  two-moment match (eq. 29-30): shift %.3e, scale %.3e, "
+              "dof %.2f\n",
+              approx.shift(), approx.scale(), approx.dof());
+  std::printf("  three-moment match (fn. 4):   shift %.3e, scale %.3e, "
+              "dof %.2f\n\n",
+              approx3.shift(), approx3.scale(), approx3.dof());
+  std::printf("  %-12s %10s %10s %10s %10s\n", "v [nm^2]", "MC", "chi2-2m",
+              "chi2-3m", "Imhof");
+
+  double max_gap_chi = 0.0;
+  double max_gap_chi3 = 0.0;
+  double max_gap_imhof = 0.0;
+  for (int i = 1; i <= 19; ++i) {
+    const double p = i / 20.0;
+    const double x = samples[static_cast<std::size_t>(p * (n - 1))];
+    const double c_mc = stats::empirical_cdf(samples, x);
+    const double c_chi = approx.cdf(x);
+    const double c_chi3 = approx3.cdf(x);
+    const double c_imhof = stats::imhof_cdf(form, x);
+    max_gap_chi = std::max(max_gap_chi, std::fabs(c_chi - c_mc));
+    max_gap_chi3 = std::max(max_gap_chi3, std::fabs(c_chi3 - c_mc));
+    max_gap_imhof = std::max(max_gap_imhof, std::fabs(c_imhof - c_mc));
+    std::printf("  %-12.4e %10.4f %10.4f %10.4f %10.4f\n", x, c_mc, c_chi,
+                c_chi3, c_imhof);
+  }
+  std::printf("\n  max |chi2 2-moment - MC| = %.4f\n", max_gap_chi);
+  std::printf("  max |chi2 3-moment - MC| = %.4f\n", max_gap_chi3);
+  std::printf("  max |Imhof - MC|         = %.4f\n", max_gap_imhof);
+  std::printf(
+      "\nPaper reference: 'the computationally efficient chi2\n"
+      "representation is in good agreement with the MC simulation'.\n");
+  return 0;
+}

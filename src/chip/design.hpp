@@ -1,0 +1,116 @@
+// Chip structural model: floorplan blocks and device populations.
+//
+// A Design is the paper's unit of analysis: a rectangular die partitioned
+// into N functional blocks ("a region on chip with uniform temperature
+// spread", Section I). Each block carries its rectangle, the number of
+// devices it holds, and a functional-unit kind that the power model maps to
+// switching activity and capacitance density.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace obd::chip {
+
+/// Axis-aligned rectangle in millimeters (die coordinates, origin at the
+/// lower-left die corner).
+struct Rect {
+  double x = 0.0;
+  double y = 0.0;
+  double width = 0.0;
+  double height = 0.0;
+
+  [[nodiscard]] double area() const { return width * height; }
+  [[nodiscard]] double center_x() const { return x + 0.5 * width; }
+  [[nodiscard]] double center_y() const { return y + 0.5 * height; }
+  [[nodiscard]] bool contains(double px, double py) const {
+    return px >= x && px < x + width && py >= y && py < y + height;
+  }
+  /// Overlap area with another rectangle (0 if disjoint).
+  [[nodiscard]] double overlap(const Rect& o) const;
+};
+
+/// Functional-unit class; drives the Wattch-like power model defaults.
+enum class UnitKind {
+  kCache,
+  kLogic,
+  kRegisterFile,
+  kQueue,
+  kPredictor,
+  kTlb,
+  kFloatingPoint,
+  kCore,         ///< whole tile of a many-core design
+  kInterconnect,
+};
+
+/// One temperature-uniform functional block.
+struct Block {
+  std::string name;
+  Rect rect;
+  std::size_t device_count = 0;
+  /// Mean device gate area normalized to the minimum device area (the `a`
+  /// of eq. 4). The block's total normalized OBD area is
+  /// device_count * avg_device_area (the A_j of eq. 13).
+  double avg_device_area = 1.0;
+  UnitKind kind = UnitKind::kLogic;
+  /// Average switching activity in [0, 1] used by the power model.
+  double activity = 0.5;
+
+  [[nodiscard]] double obd_area() const {
+    return static_cast<double>(device_count) * avg_device_area;
+  }
+};
+
+/// A full chip design.
+struct Design {
+  std::string name;
+  double width = 0.0;   ///< die width in mm
+  double height = 0.0;  ///< die height in mm
+  std::vector<Block> blocks;
+
+  [[nodiscard]] std::size_t total_devices() const;
+  [[nodiscard]] double total_obd_area() const;
+  [[nodiscard]] double die_area() const { return width * height; }
+
+  /// Validates geometry: positive die, blocks inside the die, nonzero device
+  /// counts. Throws obd::Error on violation.
+  void validate() const;
+};
+
+/// Options for the synthetic design generator (the paper's C1-C5 are
+/// "synthetic circuits that were automatically generated").
+struct SyntheticOptions {
+  std::size_t devices = 100000;
+  std::size_t block_count = 10;
+  double die_width = 10.0;   ///< mm
+  double die_height = 10.0;  ///< mm
+  std::uint64_t seed = 1;
+};
+
+/// Generates a synthetic design: the die is recursively bisected into
+/// `block_count` rectangles with randomized split ratios; devices are
+/// apportioned by area with multiplicative noise; unit kinds and activities
+/// are randomized so the thermal profile shows realistic hot spots.
+Design make_synthetic_design(const std::string& name,
+                             const SyntheticOptions& options);
+
+/// The six benchmark circuits of Section V (C1-C6). C1-C5 are synthetic
+/// (50K..0.5M devices); C6 is the EV6-like processor below.
+Design make_benchmark(int index);
+
+/// EV6-like (Alpha 21264) processor design: 15 functional modules,
+/// ~0.84M analyzed devices, 16mm x 16mm die — the paper's design C6 with
+/// the temperature profile of Fig. 1(a).
+Design make_ev6_design();
+
+/// Many-core design for Fig. 1(b): `cores_per_side`^2 tiles plus a
+/// surrounding interconnect/L2 ring, with a configurable set of active
+/// (hot) cores.
+Design make_manycore_design(std::size_t cores_per_side = 8,
+                            double active_fraction = 0.25,
+                            std::uint64_t seed = 7);
+
+}  // namespace obd::chip

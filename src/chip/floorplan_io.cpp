@@ -1,0 +1,148 @@
+#include "chip/floorplan_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace obd::chip {
+namespace {
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// Strips comments and returns whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  std::istringstream is(hash == std::string::npos ? line
+                                                  : line.substr(0, hash));
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+double parse_double(const std::string& s, const std::string& context) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    require(pos == s.size(), context + ": trailing characters in '" + s + "'");
+    return v;
+  } catch (const std::exception&) {
+    throw Error(context + ": cannot parse number '" + s + "'");
+  }
+}
+
+// Conventional activity level per unit kind, for designs loaded from bare
+// geometry files.
+double default_activity(UnitKind kind) {
+  switch (kind) {
+    case UnitKind::kCache:         return 0.2;
+    case UnitKind::kLogic:         return 0.7;
+    case UnitKind::kRegisterFile:  return 0.6;
+    case UnitKind::kQueue:         return 0.5;
+    case UnitKind::kPredictor:     return 0.4;
+    case UnitKind::kTlb:           return 0.35;
+    case UnitKind::kFloatingPoint: return 0.4;
+    case UnitKind::kCore:          return 0.5;
+    case UnitKind::kInterconnect:  return 0.2;
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+UnitKind kind_from_name(const std::string& name) {
+  const std::string n = lowercase(name);
+  if (contains(n, "l2") || contains(n, "l3") || contains(n, "cache") ||
+      contains(n, "sram"))
+    return UnitKind::kCache;
+  if (contains(n, "reg")) return UnitKind::kRegisterFile;
+  if (contains(n, "fp") || contains(n, "fpu") || contains(n, "float"))
+    return UnitKind::kFloatingPoint;
+  if (contains(n, "q") && (contains(n, "int") || contains(n, "ldst") ||
+                           contains(n, "ld_st") || contains(n, "issue")))
+    return UnitKind::kQueue;
+  if (contains(n, "bpred") || contains(n, "branch"))
+    return UnitKind::kPredictor;
+  if (contains(n, "tb") || contains(n, "tlb")) return UnitKind::kTlb;
+  if (contains(n, "core") || contains(n, "tile")) return UnitKind::kCore;
+  if (contains(n, "ring") || contains(n, "noc") || contains(n, "router"))
+    return UnitKind::kInterconnect;
+  return UnitKind::kLogic;
+}
+
+Design load_floorplan(std::istream& in, const FloorplanLoadOptions& options) {
+  require(options.device_density > 0.0,
+          "load_floorplan: device density must be positive");
+  Design d;
+  d.name = options.name;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    require(tokens.size() == 5,
+            "load_floorplan: line " + std::to_string(line_no) +
+                ": expected '<name> <w> <h> <left> <bottom>'");
+    const std::string ctx = "load_floorplan: line " + std::to_string(line_no);
+    Block b;
+    b.name = tokens[0];
+    // HotSpot .flp uses meters; the library uses millimeters.
+    const double w = parse_double(tokens[1], ctx) * 1000.0;
+    const double h = parse_double(tokens[2], ctx) * 1000.0;
+    const double left = parse_double(tokens[3], ctx) * 1000.0;
+    const double bottom = parse_double(tokens[4], ctx) * 1000.0;
+    b.rect = {left, bottom, w, h};
+    b.kind = kind_from_name(b.name);
+    b.activity = default_activity(b.kind);
+    b.device_count = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::llround(b.rect.area() *
+                                                 options.device_density)));
+    d.blocks.push_back(std::move(b));
+  }
+  require(!d.blocks.empty(), "load_floorplan: no blocks found");
+  // Die extent = bounding box of the blocks.
+  double wmax = 0.0;
+  double hmax = 0.0;
+  for (const auto& b : d.blocks) {
+    wmax = std::max(wmax, b.rect.x + b.rect.width);
+    hmax = std::max(hmax, b.rect.y + b.rect.height);
+  }
+  d.width = wmax;
+  d.height = hmax;
+  d.validate();
+  return d;
+}
+
+Design load_floorplan_file(const std::string& path,
+                           const FloorplanLoadOptions& options) {
+  std::ifstream in(path);
+  require(in.good(), "load_floorplan_file: cannot open '" + path + "'");
+  return load_floorplan(in, options);
+}
+
+void save_floorplan(std::ostream& out, const Design& design) {
+  design.validate();
+  out << "# obdrel floorplan: " << design.name << " ("
+      << design.width << " x " << design.height << " mm)\n";
+  out << "# <name> <width_m> <height_m> <left_m> <bottom_m>\n";
+  for (const auto& b : design.blocks) {
+    out << b.name << '\t' << b.rect.width / 1000.0 << '\t'
+        << b.rect.height / 1000.0 << '\t' << b.rect.x / 1000.0 << '\t'
+        << b.rect.y / 1000.0 << '\n';
+  }
+}
+
+}  // namespace obd::chip

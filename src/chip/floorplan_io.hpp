@@ -1,0 +1,46 @@
+// HotSpot-compatible floorplan and power-trace file I/O.
+//
+// The paper's flow takes floorplans and power numbers in HotSpot's [10]
+// formats; supporting them directly makes the library a drop-in analysis
+// backend for existing HotSpot users:
+//
+//  *.flp    one block per line: <name> <width_m> <height_m> <left_m>
+//           <bottom_m>; '#' starts a comment. Units are meters.
+//
+// (.ptrace power traces are handled by power/trace_io.hpp.)
+//
+// Device counts are not part of .flp; loads assign them from a devices/mm^2
+// density (overridable per call), and unit kinds/activities are inferred
+// from conventional block-name patterns (L2, icache, FPAdd, ...).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chip/design.hpp"
+
+namespace obd::chip {
+
+struct FloorplanLoadOptions {
+  /// Devices per mm^2 used to populate Block::device_count.
+  double device_density = 3000.0;
+  /// Design name recorded in the result.
+  std::string name = "flp";
+};
+
+/// Parses a HotSpot .flp stream. Throws obd::Error on malformed input.
+Design load_floorplan(std::istream& in, const FloorplanLoadOptions& options = {});
+
+/// Parses a HotSpot .flp file by path.
+Design load_floorplan_file(const std::string& path,
+                           const FloorplanLoadOptions& options = {});
+
+/// Writes a design's geometry as a HotSpot .flp (meters).
+void save_floorplan(std::ostream& out, const Design& design);
+
+/// Infers a unit kind from a conventional block name ("L2", "Icache",
+/// "FPMul", "IntReg", ...); defaults to kLogic.
+UnitKind kind_from_name(const std::string& name);
+
+}  // namespace obd::chip

@@ -1,0 +1,157 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace obd {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Config Config::parse(std::istream& in) {
+  Config cfg;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::string stripped = trim(line);
+    if (stripped.empty()) continue;
+
+    std::string key;
+    std::string value;
+    const std::size_t eq = stripped.find('=');
+    if (eq != std::string::npos) {
+      key = trim(stripped.substr(0, eq));
+      value = trim(stripped.substr(eq + 1));
+    } else {
+      const std::size_t ws = stripped.find_first_of(" \t");
+      require(ws != std::string::npos,
+              "Config: line " + std::to_string(line_no) +
+                  ": expected 'key value' or 'key = value'");
+      key = trim(stripped.substr(0, ws));
+      value = trim(stripped.substr(ws + 1));
+    }
+    require(!key.empty(), "Config: line " + std::to_string(line_no) +
+                              ": empty key");
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+Config Config::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "Config: cannot open '" + path + "'");
+  return parse(in);
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Config::get_string(const std::string& key) const {
+  const auto it = values_.find(key);
+  require(it != values_.end(), "Config: missing key '" + key + "'");
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return (it != values_.end()) ? it->second : fallback;
+}
+
+double Config::get_double(const std::string& key) const {
+  const std::string raw = get_string(key);
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(raw, &pos);
+    require(trim(raw.substr(pos)).empty(),
+            "Config: key '" + key + "': trailing characters");
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("Config: key '" + key + "': cannot parse '" + raw + "'");
+  }
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  return has(key) ? get_double(key) : fallback;
+}
+
+long long Config::get_int(const std::string& key) const {
+  const std::string raw = get_string(key);
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(raw, &pos);
+    require(trim(raw.substr(pos)).empty(),
+            "Config: key '" + key + "': trailing characters");
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("Config: key '" + key + "': cannot parse '" + raw + "'");
+  }
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  if (!has(key)) return fallback;
+  const std::string v = lowercase(get_string(key));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw Error("Config: key '" + key + "': not a boolean: '" + v + "'");
+}
+
+std::vector<double> Config::get_doubles(
+    const std::string& key, const std::vector<double>& fallback) const {
+  if (!has(key)) return fallback;
+  std::istringstream is(get_string(key));
+  std::vector<double> out;
+  std::string tok;
+  while (is >> tok) {
+    try {
+      out.push_back(std::stod(tok));
+    } catch (const std::exception&) {
+      throw Error("Config: key '" + key + "': cannot parse '" + tok + "'");
+    }
+  }
+  require(!out.empty(), "Config: key '" + key + "': empty list");
+  return out;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace obd

@@ -1,0 +1,56 @@
+// Minimal key/value configuration files for the command-line frontend.
+//
+// Format: one `key = value` per line (the '=' is optional), '#' starts a
+// comment, later assignments override earlier ones. Values keep internal
+// whitespace, so `design = ev6` and `targets = 1e-6 1e-5` both work.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace obd {
+
+/// Parsed configuration with typed, defaulted getters.
+class Config {
+ public:
+  /// Parses a stream. Throws obd::Error on malformed lines.
+  static Config parse(std::istream& in);
+
+  /// Parses a file by path.
+  static Config parse_file(const std::string& path);
+
+  /// In-memory construction (tests, programmatic use).
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Raw string (throws if missing and no fallback overload used).
+  [[nodiscard]] std::string get_string(const std::string& key) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+
+  /// Numeric getters; throw obd::Error when present but unparsable.
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+
+  /// Accepts true/false/1/0/yes/no/on/off (case-insensitive).
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Whitespace-separated list of doubles.
+  [[nodiscard]] std::vector<double> get_doubles(
+      const std::string& key, const std::vector<double>& fallback) const;
+
+  /// All keys, sorted — used to report unknown keys in the CLI.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace obd

@@ -1,0 +1,64 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace obd {
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quoted(const std::string& s) {
+  if (!needs_quoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  require(!cells.empty(), "CsvWriter: empty row");
+  if (columns_ == 0) columns_ = cells.size();
+  require(cells.size() == columns_,
+          "CsvWriter: row width differs from the first row");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    *out_ << quoted(cells[i]);
+    if (i + 1 < cells.size()) *out_ << ',';
+  }
+  *out_ << '\n';
+  ++rows_;
+  require(out_->good(), "CsvWriter: write failed");
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) { row(names); }
+
+void CsvWriter::numeric_row(const std::vector<double>& values,
+                            int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    cells.emplace_back(buf);
+  }
+  row(cells);
+}
+
+std::string csv_output_dir() {
+  const char* dir = std::getenv("OBDREL_CSV_DIR");
+  return (dir != nullptr) ? dir : "";
+}
+
+}  // namespace obd

@@ -1,0 +1,39 @@
+// Minimal CSV writing for the benchmark harness.
+//
+// Each bench binary can dump machine-readable results next to its printed
+// tables (enabled by setting OBDREL_CSV_DIR); this writer handles quoting
+// and numeric formatting so downstream plotting scripts get clean files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace obd {
+
+/// Row-oriented CSV writer (RFC-4180-style quoting).
+class CsvWriter {
+ public:
+  /// Writes to `out` (not owned; must outlive the writer).
+  explicit CsvWriter(std::ostream& out);
+
+  /// Writes one row of raw string cells (quoted as needed).
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: header then repeated numeric rows.
+  void header(const std::vector<std::string>& names);
+  void numeric_row(const std::vector<double>& values, int precision = 10);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream* out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Returns the directory benches should dump CSVs into (the OBDREL_CSV_DIR
+/// environment variable), or an empty string when dumping is disabled.
+std::string csv_output_dir();
+
+}  // namespace obd

@@ -1,0 +1,28 @@
+// Error handling primitives shared by all obdrel modules.
+//
+// The library reports contract violations and unrecoverable numerical
+// conditions by throwing obd::Error (derived from std::runtime_error), so
+// callers can distinguish library failures from standard-library ones.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace obd {
+
+/// Exception type thrown by all obdrel components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws obd::Error with `message` when `condition` is false.
+///
+/// Used to validate public-API preconditions (sizes, ranges, positivity).
+/// Unlike assert(), this is active in all build types: reliability analyses
+/// run long, and silently corrupt inputs are far costlier than the check.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace obd

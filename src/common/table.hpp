@@ -1,0 +1,42 @@
+// Plain-text table printer used by the bench binaries to emit the same
+// rows/columns the paper's tables report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace obd {
+
+/// Accumulates rows of strings and prints them as an aligned ASCII table.
+///
+/// Example:
+///   TextTable t({"ckt.", "#Device", "st_fast", "MC"});
+///   t.add_row({"C1", "50K", "0.8", "267"});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row. The row must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Writes the table, column-aligned, with a rule under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` significant decimal places ("%.*f").
+std::string fmt(double value, int digits = 2);
+
+/// Formats a device count the way the paper writes it: 50000 -> "50K",
+/// 840000 -> "0.84M".
+std::string fmt_count(std::size_t n);
+
+}  // namespace obd

@@ -1,0 +1,210 @@
+#include "core/blod.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::core {
+
+BlodMoments::BlodMoments(
+    const var::CanonicalForm& canonical,
+    std::vector<std::pair<std::size_t, double>> grid_weights,
+    std::size_t device_count)
+    : grid_weights_(std::move(grid_weights)),
+      device_count_(device_count),
+      canonical_(&canonical) {
+  require(device_count_ >= 2, "BlodMoments: need at least two devices");
+  require(!grid_weights_.empty(), "BlodMoments: empty grid weight list");
+  double wsum = 0.0;
+  for (const auto& [g, w] : grid_weights_) {
+    require(g < canonical.grid_count(), "BlodMoments: grid index range");
+    require(w >= 0.0, "BlodMoments: negative weight");
+    wsum += w;
+  }
+  require(std::fabs(wsum - 1.0) < 1e-6, "BlodMoments: weights must sum to 1");
+
+  const std::size_t pc = canonical.pc_count();
+  const double m = static_cast<double>(device_count_);
+  const double fm = m / (m - 1.0);  // sample-variance correction m/(m-1)
+
+  // u_{j,k} = sum_g w_g lambda_{g,k}; u_{j,0} = sum_g w_g lambda_{g,0}.
+  u_sens_.assign(pc, 0.0);
+  u_nominal_ = 0.0;
+  for (const auto& [g, w] : grid_weights_) {
+    u_nominal_ += w * canonical.nominal(g);
+    for (std::size_t k = 0; k < pc; ++k)
+      u_sens_[k] += w * canonical.sensitivity(g, k);
+  }
+  u_indep_sens_ = canonical.residual_sigma() / std::sqrt(m);
+  double uvar = u_indep_sens_ * u_indep_sens_;
+  for (double s : u_sens_) uvar += s * s;
+  u_sigma_ = std::sqrt(uvar);
+
+  // Centered per-grid coefficients: c_{g,k} = lambda_{g,k} - u_{j,k} and
+  // d_g = lambda_{g,0} - u_{j,0}. Then (eq. 24, generalised)
+  //   Q = fm * sum_g w_g c_g c_g^T,   l = 2 fm sum_g w_g d_g c_g,
+  //   q0 = fm * sum_g w_g d_g^2.
+  // We avoid materializing Q: the chi-square match needs only tr(Q) and
+  // tr(Q^2), both computable from grid-pair dot products.
+  const std::size_t gcount = grid_weights_.size();
+  std::vector<double> d(gcount);
+  std::vector<la::Vector> c(gcount, la::Vector(pc));
+  for (std::size_t a = 0; a < gcount; ++a) {
+    const auto& [g, w] = grid_weights_[a];
+    (void)w;
+    d[a] = canonical.nominal(g) - u_nominal_;
+    for (std::size_t k = 0; k < pc; ++k)
+      c[a][k] = canonical.sensitivity(g, k) - u_sens_[k];
+  }
+
+  // Pairwise dot products D(a, b) = c_a . c_b let every Q-trace be computed
+  // without materializing the pc x pc matrix:
+  //   tr(Q)   = fm   sum_a w_a D_aa
+  //   tr(Q^2) = fm^2 sum_ab w_a w_b D_ab^2
+  //   tr(Q^3) = fm^3 sum_abc w_a w_b w_c D_ab D_bc D_ca
+  //   (l . c_b) = 2 fm sum_a w_a d_a D_ab
+  std::vector<double> dots(gcount * gcount);
+  for (std::size_t a = 0; a < gcount; ++a)
+    for (std::size_t bgrid = a; bgrid < gcount; ++bgrid) {
+      const double cc = la::dot(c[a], c[bgrid]);
+      dots[a * gcount + bgrid] = cc;
+      dots[bgrid * gcount + a] = cc;
+    }
+
+  double q0 = 0.0;
+  double tr_q = 0.0;
+  double tr_q2 = 0.0;
+  double l_sq = 0.0;
+  for (std::size_t a = 0; a < gcount; ++a) {
+    const double wa = grid_weights_[a].second;
+    q0 += wa * d[a] * d[a];
+    tr_q += wa * dots[a * gcount + a];
+    for (std::size_t bgrid = 0; bgrid < gcount; ++bgrid) {
+      const double wb = grid_weights_[bgrid].second;
+      const double cc = dots[a * gcount + bgrid];
+      tr_q2 += wa * wb * cc * cc;
+      l_sq += 4.0 * wa * wb * d[a] * d[bgrid] * cc;
+    }
+  }
+  double tr_q3 = 0.0;
+  for (std::size_t a = 0; a < gcount; ++a) {
+    const double wa = grid_weights_[a].second;
+    for (std::size_t bgrid = 0; bgrid < gcount; ++bgrid) {
+      const double wab = wa * grid_weights_[bgrid].second *
+                         dots[a * gcount + bgrid];
+      if (wab == 0.0) continue;
+      const double* row_b = dots.data() + bgrid * gcount;
+      const double* row_a = dots.data() + a * gcount;
+      double inner = 0.0;
+      for (std::size_t cg = 0; cg < gcount; ++cg)
+        inner += grid_weights_[cg].second * row_b[cg] * row_a[cg];
+      tr_q3 += wab * inner;
+    }
+  }
+  // l^T Q l = fm sum_b w_b (l . c_b)^2.
+  double lql = 0.0;
+  for (std::size_t bgrid = 0; bgrid < gcount; ++bgrid) {
+    double lcb = 0.0;
+    for (std::size_t a = 0; a < gcount; ++a)
+      lcb += grid_weights_[a].second * d[a] * dots[a * gcount + bgrid];
+    lcb *= 2.0 * fm;
+    lql += grid_weights_[bgrid].second * lcb * lcb;
+  }
+  lql *= fm;
+  q0 *= fm;
+  tr_q *= fm;
+  tr_q2 *= fm * fm;
+  tr_q3 *= fm * fm * fm;
+  l_sq *= fm * fm;
+  v_mu3_ = 8.0 * tr_q3 + 6.0 * lql;
+
+  const double sr2 =
+      canonical.residual_sigma() * canonical.residual_sigma();
+  v_constant_ = sr2 + q0;
+  v_trace_ = tr_q;
+  // Residual-sampling noise of the sample variance, 2 sigma_r^4/(m-1), is
+  // negligible for chip-scale m but included for correctness.
+  v_variance_ = 2.0 * tr_q2 + l_sq + 2.0 * sr2 * sr2 / (m - 1.0);
+}
+
+stats::Normal BlodMoments::u_marginal() const {
+  return {u_nominal_, u_sigma_};
+}
+
+double BlodMoments::u_value(const la::Vector& z) const {
+  require(z.size() == u_sens_.size(), "BlodMoments::u_value: z dimension");
+  double u = u_nominal_;
+  for (std::size_t k = 0; k < z.size(); ++k) u += u_sens_[k] * z[k];
+  return u;
+}
+
+bool BlodMoments::v_degenerate() const {
+  return v_trace_ <= 1e-9 * v_constant_;
+}
+
+stats::ShiftedChiSquare BlodMoments::v_marginal_three_moment() const {
+  require(!v_degenerate(),
+          "BlodMoments::v_marginal_three_moment: v is deterministic for "
+          "this block");
+  require(v_mu3_ > 0.0,
+          "BlodMoments::v_marginal_three_moment: non-positive skewness");
+  // shift + a * chi2(b) with mu3 = 8 a^3 b, var = 2 a^2 b.
+  const double a_hat = v_mu3_ / (4.0 * v_variance_);
+  const double b_hat = 0.5 * v_variance_ / (a_hat * a_hat);
+  const double shift = v_mean() - a_hat * b_hat;
+  return {shift, a_hat, b_hat};
+}
+
+stats::ShiftedChiSquare BlodMoments::v_marginal() const {
+  require(!v_degenerate(),
+          "BlodMoments::v_marginal: v is deterministic for this block "
+          "(single-grid block); use v_mean() directly");
+  // Two-moment (Yuan-Bentler) match, eq. (29-30):
+  // v ~ v_constant + a_hat * chi2(b_hat).
+  const double a_hat = v_variance_ / (2.0 * v_trace_);
+  const double b_hat = 2.0 * v_trace_ * v_trace_ / v_variance_;
+  return {v_constant_, a_hat, b_hat};
+}
+
+double BlodMoments::v_value(const la::Vector& z) const {
+  const double m = static_cast<double>(device_count_);
+  const double fm = m / (m - 1.0);
+  const double u = u_value(z);
+  double spread = 0.0;
+  for (const auto& [g, w] : grid_weights_) {
+    const double t = canonical_->correlated_thickness(g, z);
+    spread += w * (t - u) * (t - u);
+  }
+  const double sr = canonical_->residual_sigma();
+  return sr * sr + fm * spread;
+}
+
+stats::QuadraticForm BlodMoments::v_quadratic_form(
+    const var::CanonicalForm& canonical) const {
+  const std::size_t pc = canonical.pc_count();
+  const double m = static_cast<double>(device_count_);
+  const double fm = m / (m - 1.0);
+
+  stats::QuadraticForm form;
+  const double sr = canonical.residual_sigma();
+  form.quad = la::Matrix(pc, pc, 0.0);
+  form.linear.assign(pc, 0.0);
+  double q0 = 0.0;
+  la::Vector c(pc);
+  for (const auto& [g, w] : grid_weights_) {
+    const double dg = canonical.nominal(g) - u_nominal_;
+    for (std::size_t k = 0; k < pc; ++k)
+      c[k] = canonical.sensitivity(g, k) - u_sens_[k];
+    q0 += fm * w * dg * dg;
+    for (std::size_t k = 0; k < pc; ++k) {
+      form.linear[k] += 2.0 * fm * w * dg * c[k];
+      const double fwck = fm * w * c[k];
+      for (std::size_t k2 = 0; k2 < pc; ++k2)
+        form.quad(k, k2) += fwck * c[k2];
+    }
+  }
+  form.constant = sr * sr + q0;
+  return form;
+}
+
+}  // namespace obd::core

@@ -1,0 +1,116 @@
+// Block-Level Oxide thickness Distribution (BLOD) characterization
+// (Section IV of the paper).
+//
+// For block j with m_j devices, the within-block thickness population is
+// Gaussian (the BLOD Property) and is summarized by its sample mean u_j and
+// sample variance v_j. At design time these are random variables over the
+// chip ensemble. In the PCA canonical form (eq. 2):
+//
+//   u_j = u_{j,0} + sum_k u_{j,k} z_k + (lambda_r / sqrt(m_j)) eps    (eq. 22)
+//   v_j ~ lambda_r^2 + q0 + l^T z + z^T Q z                           (eq. 24,
+//         generalised to a per-grid nominal; the paper's form is the
+//         uniform-nominal special case with q0 = 0, l = 0)
+//
+// so u_j is normal, and v_j is a (shifted) quadratic form in normals that
+// the paper approximates by a scaled chi-square (eq. 29-30).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "stats/distributions.hpp"
+#include "stats/quadform.hpp"
+#include "variation/model.hpp"
+
+namespace obd::core {
+
+/// Design-time random-vector description of one block's (u_j, v_j).
+class BlodMoments {
+ public:
+  /// `grid_weights`: (grid index, device share) entries for the block
+  /// (the layout of var::assign_devices); `device_count` = m_j.
+  BlodMoments(const var::CanonicalForm& canonical,
+              std::vector<std::pair<std::size_t, double>> grid_weights,
+              std::size_t device_count);
+
+  // --- u_j (BLOD sample mean, eq. 22) -------------------------------------
+
+  /// u_{j,0}: nominal value of the sample mean.
+  [[nodiscard]] double u_nominal() const { return u_nominal_; }
+
+  /// sigma of u_j: sqrt(sum_k u_{j,k}^2 + u_{j,n+1}^2).
+  [[nodiscard]] double u_sigma() const { return u_sigma_; }
+
+  /// Principal-component sensitivities u_{j,k} of the sample mean — the
+  /// gradient of u_j in z. Used by the importance-sampling tilt.
+  [[nodiscard]] const la::Vector& u_sensitivities() const { return u_sens_; }
+
+  /// Marginal distribution of u_j (normal).
+  [[nodiscard]] stats::Normal u_marginal() const;
+
+  /// Realizes u_j for a concrete principal-component sample z (the
+  /// independent-residual term is O(1/sqrt(m_j)) and included as its mean 0;
+  /// the paper neglects it, "safely ... for a typical industrial chip").
+  [[nodiscard]] double u_value(const la::Vector& z) const;
+
+  // --- v_j (BLOD sample variance, eq. 24) ----------------------------------
+
+  /// Constant part of v_j: lambda_r^2 (+ q0 for a non-uniform nominal).
+  [[nodiscard]] double v_constant() const { return v_constant_; }
+
+  /// E[v_j] = v_constant + tr(Q).
+  [[nodiscard]] double v_mean() const { return v_constant_ + v_trace_; }
+
+  /// Var[v_j] = 2 tr(Q^2) + |l|^2.
+  [[nodiscard]] double v_variance() const { return v_variance_; }
+
+  /// True when the block lies (almost) entirely within one correlation grid
+  /// cell: Q ~ 0 and v_j degenerates to the constant lambda_r^2.
+  [[nodiscard]] bool v_degenerate() const;
+
+  /// Scaled-chi-square marginal of v_j (eq. 29-30, Yuan-Bentler two-moment
+  /// match). Throws obd::Error when v_degenerate() — callers must handle the
+  /// deterministic-v case explicitly.
+  [[nodiscard]] stats::ShiftedChiSquare v_marginal() const;
+
+  /// Third central moment of v_j (8 tr(Q^3) + 6 l^T Q l), computed from
+  /// grid-pair dot products without materializing Q.
+  [[nodiscard]] double v_third_central_moment() const { return v_mu3_; }
+
+  /// Three-moment marginal of v_j (skewness-matched scaled chi-square —
+  /// the "more moments" refinement of the paper's footnote 4). Throws when
+  /// v_degenerate().
+  [[nodiscard]] stats::ShiftedChiSquare v_marginal_three_moment() const;
+
+  /// Realizes v_j for a concrete z: lambda_r^2 plus the across-grid spread
+  /// of the correlated thickness within the block (exact given z, up to the
+  /// O(1/sqrt(m_j)) sampling noise of the residual component).
+  [[nodiscard]] double v_value(const la::Vector& z) const;
+
+  /// Materializes the full quadratic form of v_j (constant + linear +
+  /// Q matrix over the principal components). O(pc^2 * grids) — intended for
+  /// validation (Imhof reference, Fig. 8), not the fast path.
+  [[nodiscard]] stats::QuadraticForm v_quadratic_form(
+      const var::CanonicalForm& canonical) const;
+
+  /// Number of devices m_j used for the sample-moment corrections.
+  [[nodiscard]] std::size_t device_count() const { return device_count_; }
+
+ private:
+  std::vector<std::pair<std::size_t, double>> grid_weights_;
+  std::size_t device_count_;
+  const var::CanonicalForm* canonical_;  // non-owning; outlives this object
+
+  double u_nominal_ = 0.0;
+  double u_sigma_ = 0.0;
+  la::Vector u_sens_;        // u_{j,k}
+  double u_indep_sens_ = 0.0;
+
+  double v_constant_ = 0.0;  // lambda_r^2 + q0
+  double v_trace_ = 0.0;     // tr(Q)
+  double v_variance_ = 0.0;  // 2 tr(Q^2) + |l|^2
+  double v_mu3_ = 0.0;       // 8 tr(Q^3) + 6 l^T Q l
+};
+
+}  // namespace obd::core

@@ -1,0 +1,107 @@
+#include "core/calibration.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace obd::core {
+namespace {
+
+constexpr double kKelvinOffset = 273.15;
+
+}  // namespace
+
+CalibrationResult fit_analytic_model(
+    const std::vector<ReliabilityTableRow>& rows, double temp_ref_c,
+    const AnalyticModelParams& base) {
+  require(rows.size() >= 3,
+          "fit_analytic_model: need at least 3 calibration rows");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    require(rows[i].alpha > 0.0 && rows[i].b > 0.0,
+            "fit_analytic_model: alpha and b must be positive");
+    for (std::size_t j = i + 1; j < rows.size(); ++j)
+      require(std::fabs(rows[i].temp_c - rows[j].temp_c) > 1e-9,
+              "fit_analytic_model: duplicate temperature rows");
+  }
+  const double tref = temp_ref_c + kKelvinOffset;
+
+  // ln alpha: linear least squares on basis {1, x1, x2}. The raw columns
+  // differ by ~6 orders of magnitude (x2 ~ 1e-6), so each column is
+  // normalized to unit norm before forming the (jittered) normal
+  // equations, and the solution is rescaled afterwards.
+  std::vector<std::array<double, 3>> basis;
+  basis.reserve(rows.size());
+  double scale[3] = {0.0, 0.0, 0.0};
+  for (const auto& row : rows) {
+    const double t = row.temp_c + kKelvinOffset;
+    basis.push_back({1.0, 1.0 / t - 1.0 / tref,
+                     1.0 / (t * t) - 1.0 / (tref * tref)});
+    for (int i = 0; i < 3; ++i) scale[i] += basis.back()[i] * basis.back()[i];
+  }
+  for (double& s : scale) {
+    s = std::sqrt(s);
+    require(s > 0.0, "fit_analytic_model: degenerate alpha basis");
+  }
+
+  la::Matrix ata(3, 3, 0.0);
+  la::Vector aty(3, 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const double y = std::log(rows[r].alpha);
+    for (int i = 0; i < 3; ++i) {
+      const double pi = basis[r][i] / scale[i];
+      aty[static_cast<std::size_t>(i)] += pi * y;
+      for (int j = 0; j < 3; ++j)
+        ata(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) +=
+            pi * basis[r][j] / scale[j];
+    }
+  }
+  const la::Matrix l = la::cholesky_lower(ata, 1e-10 * ata.trace());
+  la::Vector coef = la::cholesky_solve(l, aty);
+  for (int i = 0; i < 3; ++i)
+    coef[static_cast<std::size_t>(i)] /= scale[i];
+
+  // b: ordinary least squares on {1, -(T - Tref)}.
+  double s11 = 0.0, s1x = 0.0, sxx = 0.0, s1y = 0.0, sxy = 0.0;
+  for (const auto& row : rows) {
+    const double x = -(row.temp_c - temp_ref_c);
+    s11 += 1.0;
+    s1x += x;
+    sxx += x * x;
+    s1y += row.b;
+    sxy += x * row.b;
+  }
+  const double det = s11 * sxx - s1x * s1x;
+  require(std::fabs(det) > 1e-12, "fit_analytic_model: degenerate b fit");
+  const double b_ref = (sxx * s1y - s1x * sxy) / det;
+  const double b_slope = (s11 * sxy - s1x * s1y) / det;
+
+  CalibrationResult result;
+  result.params = base;
+  result.params.temp_ref_c = temp_ref_c;
+  result.params.alpha_ref = std::exp(coef[0]);
+  result.params.c1 = coef[1];
+  result.params.c2 = coef[2];
+  result.params.b_ref = b_ref;
+  result.params.b_temp_slope = b_slope;
+  require(result.params.alpha_ref > 0.0 && result.params.b_ref > 0.0,
+          "fit_analytic_model: fit produced non-physical parameters");
+
+  // Residual diagnostics.
+  const AnalyticReliabilityModel fitted(result.params);
+  double sa = 0.0;
+  double sb = 0.0;
+  for (const auto& row : rows) {
+    const double da = std::log(fitted.alpha(row.temp_c, base.vdd_ref)) -
+                      std::log(row.alpha);
+    const double db = fitted.b(row.temp_c, base.vdd_ref) - row.b;
+    sa += da * da;
+    sb += db * db;
+  }
+  result.log_alpha_rmse = std::sqrt(sa / static_cast<double>(rows.size()));
+  result.b_rmse = std::sqrt(sb / static_cast<double>(rows.size()));
+  return result;
+}
+
+}  // namespace obd::core

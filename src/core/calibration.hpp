@@ -1,0 +1,38 @@
+// Device-model calibration: fitting the closed-form alpha(T)/b(T) model to
+// characterization data.
+//
+// In the paper's flow, "such a model can also be characterized from real
+// OBD distributions measured from test capacitors or discrete devices"
+// (Section V). This module closes that loop: given per-temperature
+// (alpha, b) rows — as produced by stress-test extraction or a
+// TabulatedReliabilityModel — it least-squares fits the non-Arrhenius
+// closed form of AnalyticReliabilityModel:
+//
+//   ln alpha(T) = ln alpha_ref + c1 (1/T - 1/Tref) + c2 (1/T^2 - 1/Tref^2)
+//   b(T)        = b_ref - b_temp_slope (T - Tref)
+#pragma once
+
+#include <vector>
+
+#include "core/device_model.hpp"
+
+namespace obd::core {
+
+/// Fit result: the calibrated parameters plus residual diagnostics.
+struct CalibrationResult {
+  AnalyticModelParams params;
+  /// RMS residual of ln(alpha) across the rows [nats].
+  double log_alpha_rmse = 0.0;
+  /// RMS residual of b across the rows [1/nm].
+  double b_rmse = 0.0;
+};
+
+/// Fits the closed-form model to `rows` (>= 3 rows at distinct
+/// temperatures required). `temp_ref_c` anchors the reference point;
+/// voltage-related parameters are copied from `base` (the fit is
+/// temperature-only, as in the paper's refs [7]-[9]).
+CalibrationResult fit_analytic_model(
+    const std::vector<ReliabilityTableRow>& rows, double temp_ref_c = 100.0,
+    const AnalyticModelParams& base = {});
+
+}  // namespace obd::core

@@ -1,0 +1,34 @@
+// Closed-form kernels of the statistical OBD analysis (eq. 9-18).
+#pragma once
+
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace obd::core {
+
+/// The Gaussian integral of eq. (17):
+///   g(u, v) = exp(gamma b u + gamma^2 b^2 v / 2),  gamma = ln(t/alpha).
+/// This is E[(t/alpha)^(b X)] for X ~ N(u, v) — the per-unit-area expected
+/// Weibull exponent of a block whose BLOD has mean u and variance v.
+double g_closed_form(double t, double alpha, double b, double u, double v);
+
+/// Conditional reliability of one device (eq. 9):
+/// R_i(t | x) = exp(-a (t/alpha)^(b x)).
+double device_reliability(double t, double alpha, double b, double thickness,
+                          double area = 1.0);
+
+/// Conditional chip failure probability for known BLOD realizations
+/// (u_j, v_j) of every block (complement of eq. 18). Evaluated in the exact
+/// product form F = 1 - exp(-sum_j A_j g_j) — identical to the paper's
+/// first-order expansion (eq. 16) at the ppm failure levels of interest,
+/// but never negative for large t.
+double conditional_chip_failure(const std::vector<BlockParams>& blocks,
+                                double t, const std::vector<double>& u,
+                                const std::vector<double>& v);
+
+/// Single-block conditional failure: 1 - exp(-A g(u, v)).
+double block_conditional_failure(const BlockParams& block, double t, double u,
+                                 double v);
+
+}  // namespace obd::core

@@ -1,0 +1,65 @@
+// Device-level degradation trace: soft breakdown to hard breakdown.
+//
+// Reproduces the qualitative gate-leakage-vs-stress-time behaviour of
+// Fig. 3 (a stressed 45 nm device at 3.1 V / 100 C): a slowly drifting
+// direct-tunneling baseline (stress-induced leakage current), a
+// Weibull-distributed soft-breakdown event that multiplies the leakage by
+// 10-20x, a monotone post-SBD power-law growth of the breakdown path, and a
+// hard breakdown once the current reaches the HBD criterion (Section III;
+// refs [4][28]). The paper uses SBD initiation as the chip failure
+// criterion; this simulator is the measurement-level substrate behind that
+// choice.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace obd::core {
+
+struct DegradationParams {
+  /// Weibull characteristic life of SBD under the stress condition [s].
+  double alpha_stress = 5.0e3;
+  /// Weibull slope under stress (beta = b * x for the stressed thickness).
+  double beta_stress = 1.4;
+  /// Fresh-device gate leakage [A].
+  double initial_leakage = 2.0e-9;
+  /// Relative SILC drift of the pre-SBD baseline per decade of time.
+  double pre_sbd_drift_per_decade = 0.08;
+  /// Leakage multiplication at the SBD event (paper: "10-20 times").
+  double sbd_jump = 15.0;
+  /// Post-SBD growth-law exponent: I ~ (1 + (t - t_sbd)/tau)^p.
+  double post_sbd_exponent = 3.0;
+  /// Post-SBD growth time constant as a fraction of t_sbd.
+  double post_sbd_tau_fraction = 0.3;
+  /// Hard-breakdown current criterion [A].
+  double hbd_current = 1.0e-4;
+  /// Current after HBD (measurement compliance limit) [A].
+  double compliance_current = 1.0e-3;
+};
+
+/// A simulated gate-leakage trace.
+struct LeakageTrace {
+  std::vector<double> time_s;
+  std::vector<double> leakage_a;
+  double t_sbd = 0.0;  ///< soft-breakdown time [s]
+  double t_hbd = 0.0;  ///< hard-breakdown time [s] (0 if not reached)
+};
+
+/// Simulates one stressed device for `points` log-spaced time samples over
+/// [t_start, t_end]. The SBD instant is drawn from the stress Weibull.
+LeakageTrace simulate_degradation(const DegradationParams& params,
+                                  stats::Rng& rng, double t_start = 1.0,
+                                  double t_end = 1.0e5,
+                                  std::size_t points = 400);
+
+/// Deterministic leakage evaluation for a known SBD time (exposed for
+/// testing and for plotting families of traces).
+double leakage_at(const DegradationParams& params, double t, double t_sbd);
+
+/// Hard-breakdown time implied by `params` for a known SBD time: the
+/// instant the post-SBD growth law crosses hbd_current.
+double hbd_time(const DegradationParams& params, double t_sbd);
+
+}  // namespace obd::core

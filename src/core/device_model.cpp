@@ -1,0 +1,89 @@
+#include "core/device_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::core {
+namespace {
+
+constexpr double kKelvinOffset = 273.15;
+
+}  // namespace
+
+AnalyticReliabilityModel::AnalyticReliabilityModel(
+    const AnalyticModelParams& params)
+    : params_(params) {
+  require(params.alpha_ref > 0.0, "AnalyticReliabilityModel: alpha_ref > 0");
+  require(params.b_ref > 0.0, "AnalyticReliabilityModel: b_ref > 0");
+  require(params.b_floor > 0.0, "AnalyticReliabilityModel: b_floor > 0");
+}
+
+double AnalyticReliabilityModel::alpha(double temp_c, double vdd) const {
+  require(temp_c > -kKelvinOffset,
+          "AnalyticReliabilityModel::alpha: temperature below absolute zero");
+  const double t = temp_c + kKelvinOffset;
+  const double tref = params_.temp_ref_c + kKelvinOffset;
+  const double inv_diff = 1.0 / t - 1.0 / tref;
+  const double inv2_diff = 1.0 / (t * t) - 1.0 / (tref * tref);
+  const double log_alpha = std::log(params_.alpha_ref) +
+                           params_.c1 * inv_diff + params_.c2 * inv2_diff -
+                           params_.gamma_v * (vdd - params_.vdd_ref);
+  return std::exp(log_alpha);
+}
+
+double AnalyticReliabilityModel::b(double temp_c, double /*vdd*/) const {
+  const double raw =
+      params_.b_ref - params_.b_temp_slope * (temp_c - params_.temp_ref_c);
+  return std::max(params_.b_floor, raw);
+}
+
+TabulatedReliabilityModel::TabulatedReliabilityModel(
+    std::vector<ReliabilityTableRow> rows, double vdd_ref, double gamma_v)
+    : rows_(std::move(rows)), vdd_ref_(vdd_ref), gamma_v_(gamma_v) {
+  require(rows_.size() >= 2,
+          "TabulatedReliabilityModel: need at least two rows");
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    require(rows_[i].alpha > 0.0 && rows_[i].b > 0.0,
+            "TabulatedReliabilityModel: alpha and b must be positive");
+    if (i > 0)
+      require(rows_[i].temp_c > rows_[i - 1].temp_c,
+              "TabulatedReliabilityModel: rows must increase in temperature");
+  }
+}
+
+TabulatedReliabilityModel TabulatedReliabilityModel::from_model(
+    const DeviceReliabilityModel& model, const std::vector<double>& temps_c,
+    double vdd_ref, double gamma_v) {
+  std::vector<ReliabilityTableRow> rows;
+  rows.reserve(temps_c.size());
+  for (double t : temps_c)
+    rows.push_back({t, model.alpha(t, vdd_ref), model.b(t, vdd_ref)});
+  return TabulatedReliabilityModel(std::move(rows), vdd_ref, gamma_v);
+}
+
+double TabulatedReliabilityModel::alpha(double temp_c, double vdd) const {
+  // Locate the bracketing rows (clamped extrapolation at the edges).
+  std::size_t hi = 1;
+  while (hi + 1 < rows_.size() && rows_[hi].temp_c < temp_c) ++hi;
+  const auto& r0 = rows_[hi - 1];
+  const auto& r1 = rows_[hi];
+  const double f =
+      std::clamp((temp_c - r0.temp_c) / (r1.temp_c - r0.temp_c), 0.0, 1.0);
+  const double log_alpha =
+      std::log(r0.alpha) + f * (std::log(r1.alpha) - std::log(r0.alpha));
+  return std::exp(log_alpha - gamma_v_ * (vdd - vdd_ref_));
+}
+
+double TabulatedReliabilityModel::b(double temp_c, double /*vdd*/) const {
+  std::size_t hi = 1;
+  while (hi + 1 < rows_.size() && rows_[hi].temp_c < temp_c) ++hi;
+  const auto& r0 = rows_[hi - 1];
+  const auto& r1 = rows_[hi];
+  const double f =
+      std::clamp((temp_c - r0.temp_c) / (r1.temp_c - r0.temp_c), 0.0, 1.0);
+  return r0.b + f * (r1.b - r0.b);
+}
+
+}  // namespace obd::core

@@ -1,0 +1,55 @@
+#include "core/guardband.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::core {
+namespace {
+
+// Worst corner of the per-block parameters: the hottest block's alpha/b.
+const BlockParams& hottest_block(const ReliabilityProblem& problem) {
+  const auto& blocks = problem.blocks();
+  std::size_t worst = 0;
+  for (std::size_t j = 1; j < blocks.size(); ++j)
+    if (blocks[j].temp_c > blocks[worst].temp_c) worst = j;
+  return blocks[worst];
+}
+
+}  // namespace
+
+GuardBandAnalyzer::GuardBandAnalyzer(const ReliabilityProblem& problem)
+    : GuardBandAnalyzer(problem.design().total_obd_area(),
+                        hottest_block(problem).alpha,
+                        hottest_block(problem).b, problem.min_thickness()) {}
+
+GuardBandAnalyzer::GuardBandAnalyzer(double total_area, double alpha_worst,
+                                     double b_worst, double min_thickness)
+    : area_(total_area),
+      alpha_(alpha_worst),
+      b_(b_worst),
+      x_min_(min_thickness) {
+  require(area_ > 0.0, "GuardBandAnalyzer: area must be positive");
+  require(alpha_ > 0.0, "GuardBandAnalyzer: alpha must be positive");
+  require(b_ > 0.0, "GuardBandAnalyzer: b must be positive");
+  require(x_min_ > 0.0, "GuardBandAnalyzer: thickness must be positive");
+}
+
+double GuardBandAnalyzer::failure_probability(double t) const {
+  require(t >= 0.0, "GuardBandAnalyzer: t must be non-negative");
+  if (t == 0.0) return 0.0;
+  return -std::expm1(-area_ * std::pow(t / alpha_, b_ * x_min_));
+}
+
+double GuardBandAnalyzer::reliability(double t) const {
+  return 1.0 - failure_probability(t);
+}
+
+double GuardBandAnalyzer::lifetime_at(double target_failure) const {
+  require(target_failure > 0.0 && target_failure < 1.0,
+          "GuardBandAnalyzer: target must be in (0, 1)");
+  const double r_req = 1.0 - target_failure;
+  return alpha_ * std::pow(-std::log(r_req) / area_, 1.0 / (b_ * x_min_));
+}
+
+}  // namespace obd::core

@@ -1,0 +1,43 @@
+// Traditional guard-band baseline (eq. 33-34; refs [4][14][28]).
+//
+// The conventional approach assumes every device on every chip has the
+// worst-case minimum oxide thickness (nominal - 3 sigma_total) and operates
+// at the worst-case (hottest) temperature. The chip reliability is then the
+// deterministic Weibull
+//     R(t) = exp(-A (t/alpha_worst)^(b_worst * x_min))
+// and the lifetime at a reliability requirement has the closed form of
+// eq. (34). The paper shows this is ~50% pessimistic (Table III).
+#pragma once
+
+#include "core/problem.hpp"
+
+namespace obd::core {
+
+class GuardBandAnalyzer {
+ public:
+  explicit GuardBandAnalyzer(const ReliabilityProblem& problem);
+
+  /// Constructs directly from the corner parameters (A = total normalized
+  /// OBD area of the chip).
+  GuardBandAnalyzer(double total_area, double alpha_worst, double b_worst,
+                    double min_thickness);
+
+  [[nodiscard]] double failure_probability(double t) const;
+  [[nodiscard]] double reliability(double t) const;
+
+  /// Closed-form eq. (34): t_req = alpha * (-ln(R_req)/A)^(1/(b x_min)).
+  [[nodiscard]] double lifetime_at(double target_failure) const;
+
+  [[nodiscard]] double alpha_worst() const { return alpha_; }
+  [[nodiscard]] double b_worst() const { return b_; }
+  [[nodiscard]] double min_thickness() const { return x_min_; }
+  [[nodiscard]] double total_area() const { return area_; }
+
+ private:
+  double area_;
+  double alpha_;
+  double b_;
+  double x_min_;
+};
+
+}  // namespace obd::core

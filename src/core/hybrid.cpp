@@ -1,0 +1,155 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace obd::core {
+namespace {
+
+// Floor for log-space storage; exp(kLogFloor) underflows to a clean zero.
+constexpr double kLogFloor = -745.0;
+
+}  // namespace
+
+HybridEvaluator::HybridEvaluator(const ReliabilityProblem& problem,
+                                 const HybridOptions& options)
+    : problem_(&problem), options_(options) {
+  require(options.n_gamma >= 2 && options.n_b >= 2,
+          "HybridEvaluator: table needs at least 2x2 indices");
+  require(options.gamma_hi > options.gamma_lo,
+          "HybridEvaluator: invalid gamma range");
+  require(options.b_lo > 0.0 && options.b_hi > options.b_lo,
+          "HybridEvaluator: invalid b range");
+
+  // Reuse the st_fast (u, v) node machinery to fill the tables.
+  const AnalyticAnalyzer integrator(problem, options.integration);
+  const auto& blocks = problem.blocks();
+
+  tables_.reserve(blocks.size());
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    const auto& node_list = integrator.nodes()[j];
+    const double area = blocks[j].area;
+    auto entry = [&](double gamma, double b) -> double {
+      double fail = 0.0;
+      for (const auto& n : node_list) {
+        const double g =
+            std::exp(gamma * b * n.u + 0.5 * gamma * gamma * b * b * n.v);
+        fail += n.weight * (-std::expm1(-area * g));
+      }
+      if (!options_.log_space) return fail;
+      return (fail > 0.0) ? std::max(kLogFloor, std::log(fail)) : kLogFloor;
+    };
+    tables_.emplace_back(options.gamma_lo, options.gamma_hi, options.n_gamma,
+                         options.b_lo, options.b_hi, options.n_b, entry);
+  }
+}
+
+double HybridEvaluator::block_failure_lookup(std::size_t j, double gamma,
+                                             double b) const {
+  const double raw = tables_[j].at(gamma, b);
+  return options_.log_space ? std::exp(raw) : std::max(0.0, raw);
+}
+
+double HybridEvaluator::failure_probability(double t) const {
+  require(t > 0.0, "HybridEvaluator: t must be positive");
+  double f = 0.0;
+  const auto& blocks = problem_->blocks();
+  for (std::size_t j = 0; j < blocks.size(); ++j)
+    f += block_failure_lookup(j, std::log(t / blocks[j].alpha), blocks[j].b);
+  return std::clamp(f, 0.0, 1.0);
+}
+
+double HybridEvaluator::failure_probability_with(
+    double t, const std::vector<double>& alphas,
+    const std::vector<double>& bs) const {
+  require(t > 0.0, "HybridEvaluator: t must be positive");
+  const auto& blocks = problem_->blocks();
+  require(alphas.size() == blocks.size() && bs.size() == blocks.size(),
+          "HybridEvaluator: one (alpha, b) pair per block required");
+  double f = 0.0;
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    require(alphas[j] > 0.0 && bs[j] > 0.0,
+            "HybridEvaluator: alpha and b must be positive");
+    f += block_failure_lookup(j, std::log(t / alphas[j]), bs[j]);
+  }
+  return std::clamp(f, 0.0, 1.0);
+}
+
+double HybridEvaluator::lifetime_at(double target) const {
+  return lifetime_at_failure(
+      [this](double t) { return failure_probability(t); }, target);
+}
+
+HybridEvaluator::HybridEvaluator(const ReliabilityProblem& problem,
+                                 HybridOptions options,
+                                 std::vector<num::LookupTable2D> tables)
+    : problem_(&problem),
+      options_(std::move(options)),
+      tables_(std::move(tables)) {}
+
+void HybridEvaluator::save(std::ostream& out) const {
+  out << "obdrel-hybrid-lut 1\n";
+  out << tables_.size() << ' ' << options_.n_gamma << ' ' << options_.n_b
+      << ' ' << (options_.log_space ? 1 : 0) << '\n';
+  out.precision(17);
+  out << options_.gamma_lo << ' ' << options_.gamma_hi << ' '
+      << options_.b_lo << ' ' << options_.b_hi << '\n';
+  for (std::size_t j = 0; j < tables_.size(); ++j) {
+    out << problem_->blocks()[j].name << ' ' << problem_->blocks()[j].area
+        << '\n';
+    const auto& values = tables_[j].values();
+    for (std::size_t i = 0; i < values.size(); ++i)
+      out << values[i] << ((i + 1) % 8 == 0 ? '\n' : ' ');
+    out << '\n';
+  }
+  require(out.good(), "HybridEvaluator::save: write failed");
+}
+
+HybridEvaluator HybridEvaluator::load(std::istream& in,
+                                      const ReliabilityProblem& problem) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  require(in.good() && magic == "obdrel-hybrid-lut" && version == 1,
+          "HybridEvaluator::load: not an obdrel hybrid LUT stream");
+
+  std::size_t n_blocks = 0;
+  HybridOptions options;
+  int log_space = 0;
+  in >> n_blocks >> options.n_gamma >> options.n_b >> log_space;
+  in >> options.gamma_lo >> options.gamma_hi >> options.b_lo >>
+      options.b_hi;
+  require(in.good(), "HybridEvaluator::load: malformed header");
+  options.log_space = (log_space != 0);
+  require(n_blocks == problem.blocks().size(),
+          "HybridEvaluator::load: block count does not match the problem");
+
+  std::vector<num::LookupTable2D> tables;
+  tables.reserve(n_blocks);
+  for (std::size_t j = 0; j < n_blocks; ++j) {
+    std::string name;
+    double area = 0.0;
+    in >> name >> area;
+    require(in.good(), "HybridEvaluator::load: truncated block header");
+    require(name == problem.blocks()[j].name,
+            "HybridEvaluator::load: block name mismatch at index " +
+                std::to_string(j));
+    require(std::fabs(area - problem.blocks()[j].area) <=
+                1e-9 * std::max(1.0, area),
+            "HybridEvaluator::load: block area mismatch for '" + name + "'");
+    std::vector<double> values(options.n_gamma * options.n_b);
+    for (auto& v : values) in >> v;
+    require(in.good(), "HybridEvaluator::load: truncated table data");
+    tables.emplace_back(options.gamma_lo, options.gamma_hi, options.n_gamma,
+                        options.b_lo, options.b_hi, options.n_b,
+                        std::move(values));
+  }
+  return HybridEvaluator(problem, options, std::move(tables));
+}
+
+}  // namespace obd::core

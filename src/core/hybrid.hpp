@@ -1,0 +1,95 @@
+// Hybrid analytical/table look-up method (Section IV-E of the paper).
+//
+// The double integral of eq. (31) depends on t, alpha_j, and b_j only
+// through the pair (ln(t/alpha_j), b_j). For a fixed design, each block's
+// integral is precomputed once on an n_alpha x n_b grid over those indices
+// (100 x 100 in the paper); any later query — any time stamp, any
+// temperature/voltage profile, i.e., any (alpha_j, b_j) — is answered by
+// bilinear interpolation. This gives the further 2 orders of magnitude
+// speedup of Table III and enables embedding "into a dynamic system for
+// reliability monitoring that usually requires very fast response".
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/analytic.hpp"
+#include "numeric/interp.hpp"
+
+namespace obd::core {
+
+struct HybridOptions {
+  std::size_t n_gamma = 100;  ///< table indices along ln(t/alpha)
+  std::size_t n_b = 100;      ///< table indices along b
+  double gamma_lo = -60.0;    ///< ln(t/alpha) lower edge
+  double gamma_hi = -2.0;     ///< ln(t/alpha) upper edge
+  double b_lo = 0.30;         ///< b lower edge [1/nm]
+  double b_hi = 1.00;         ///< b upper edge [1/nm]
+  /// Interpolate the tabulated block-failure values in log space (more
+  /// accurate; the failure contribution spans many decades across the gamma
+  /// range). Set false for the paper-literal bilinear-on-values scheme.
+  bool log_space = true;
+  /// Quadrature used to fill the tables (same machinery as st_fast).
+  AnalyticOptions integration{};
+};
+
+/// Precomputed per-design lookup evaluator.
+class HybridEvaluator {
+ public:
+  /// Builds one lookup table per block. Construction cost is
+  /// O(N * n_gamma * n_b * l0^2); queries are O(N).
+  explicit HybridEvaluator(const ReliabilityProblem& problem,
+                           const HybridOptions& options = {});
+
+  /// Failure probability at t with the problem's own (alpha_j, b_j).
+  [[nodiscard]] double failure_probability(double t) const;
+
+  [[nodiscard]] double reliability(double t) const {
+    return 1.0 - failure_probability(t);
+  }
+
+  /// Failure probability at t under *different* per-block reliability
+  /// parameters (e.g., a new temperature/voltage profile) — the hybrid
+  /// method's reason to exist. Vectors align with problem().blocks().
+  [[nodiscard]] double failure_probability_with(
+      double t, const std::vector<double>& alphas,
+      const std::vector<double>& bs) const;
+
+  [[nodiscard]] double lifetime_at(double target) const;
+
+  [[nodiscard]] const ReliabilityProblem& problem() const { return *problem_; }
+  [[nodiscard]] const HybridOptions& options() const { return options_; }
+
+  /// Serializes the precomputed tables (text, versioned). Together with
+  /// load() this is the Section IV-E deployment story: compute the tables
+  /// once at sign-off, ship them to the "dynamic system for reliability
+  /// monitoring".
+  void save(std::ostream& out) const;
+
+  /// Restores an evaluator from a stream produced by save(). `problem`
+  /// must be the same design (block count and areas are checked).
+  static HybridEvaluator load(std::istream& in,
+                              const ReliabilityProblem& problem);
+
+  /// Single-block expected failure contribution at table indices
+  /// (gamma = ln(t/alpha_j), b_j) — the raw eq. (31) value. Exposed for
+  /// consumers that do their own per-block bookkeeping, e.g. the dynamic
+  /// reliability manager's effective-age recursion.
+  [[nodiscard]] double block_failure(std::size_t j, double gamma,
+                                     double b) const {
+    return block_failure_lookup(j, gamma, b);
+  }
+
+ private:
+  /// Internal: build from deserialized state.
+  HybridEvaluator(const ReliabilityProblem& problem, HybridOptions options,
+                  std::vector<num::LookupTable2D> tables);
+  [[nodiscard]] double block_failure_lookup(std::size_t j, double gamma,
+                                            double b) const;
+
+  const ReliabilityProblem* problem_;  // non-owning; must outlive this
+  HybridOptions options_;
+  std::vector<num::LookupTable2D> tables_;  // one per block
+};
+
+}  // namespace obd::core

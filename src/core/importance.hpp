@@ -1,0 +1,50 @@
+// Importance-sampled (exponentially tilted) ensemble failure estimation.
+//
+// The conditional chip failure F(t | z) is log-linear in the shared
+// thickness components: ln F ~ sum_j gamma_j b_j u_j(z) + const, so the
+// ensemble failure E_z[F] is essentially a lognormal expectation
+// E[e^{s X}], X ~ N(0, 1), along the failure-gradient direction d. The
+// classic zero-variance sampler for such expectations draws X from
+// N(s, 1) and reweights with the exact likelihood ratio
+//
+//     w(z) = phi(z) / phi(z - mu d) = exp(-mu d.z + mu^2 / 2),  mu = s,
+//
+// which removes (to first order) the entire variance contributed by the
+// dominant direction while staying unbiased. The tilt steepness s is
+// computed automatically from the canonical model; samples in orthogonal
+// directions keep their residual variance. Valid at any quantile — and
+// the variance reduction is what makes parts-per-billion sign-off targets
+// cheap to estimate with tight error bars.
+#pragma once
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+
+namespace obd::core {
+
+struct ImportanceOptions {
+  std::size_t samples = 20000;
+  std::uint64_t seed = 31;
+  /// Multiplier on the automatically computed optimal tilt steepness
+  /// (1 = optimal exponential tilt; 0 = plain Monte Carlo).
+  double tilt_scale = 1.0;
+};
+
+/// Result of one estimation run.
+struct ImportanceEstimate {
+  double failure = 0.0;     ///< unbiased estimate of F(t)
+  double std_error = 0.0;   ///< standard error of the estimate
+  double tilt = 0.0;        ///< chosen mean shift mu
+  /// Effective sample size ( (sum w)^2 / sum w^2 ): how many "plain"
+  /// samples the weighted set is worth.
+  double effective_samples = 0.0;
+};
+
+/// Estimates the ensemble failure probability at time t. Valid at any
+/// quantile; pays off when F(t) is far below 1/samples.
+ImportanceEstimate importance_failure(const ReliabilityProblem& problem,
+                                      double t,
+                                      const ImportanceOptions& options = {});
+
+}  // namespace obd::core

@@ -1,0 +1,61 @@
+#include "core/lifetime.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "numeric/roots.hpp"
+
+namespace obd::core {
+
+double lifetime_at_failure(const std::function<double(double)>& failure,
+                           double target, double seed_lo, double seed_hi) {
+  require(target > 0.0 && target < 1.0,
+          "lifetime_at_failure: target must be in (0, 1)");
+  require(seed_lo > 0.0 && seed_hi > seed_lo,
+          "lifetime_at_failure: invalid seed interval");
+  const auto in_log_time = [&](double s) { return failure(std::exp(s)) - target; };
+  const double s = num::brent_auto_bracket(in_log_time, std::log(seed_lo),
+                                           std::log(seed_hi), 1e-10);
+  return std::exp(s);
+}
+
+std::vector<CurvePoint> failure_curve(
+    const std::function<double(double)>& failure, double t_lo, double t_hi,
+    std::size_t points) {
+  require(t_lo > 0.0 && t_hi > t_lo, "failure_curve: invalid time range");
+  require(points >= 2, "failure_curve: need at least two points");
+  std::vector<CurvePoint> curve;
+  curve.reserve(points);
+  const double step =
+      std::log(t_hi / t_lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = t_lo * std::exp(step * static_cast<double>(i));
+    curve.push_back({t, failure(t)});
+  }
+  return curve;
+}
+
+std::vector<HazardPoint> hazard_curve(
+    const std::function<double(double)>& failure, double t_lo, double t_hi,
+    std::size_t points, double log_step) {
+  require(t_lo > 0.0 && t_hi > t_lo, "hazard_curve: invalid time range");
+  require(points >= 2, "hazard_curve: need at least two points");
+  require(log_step > 0.0, "hazard_curve: log step must be positive");
+  std::vector<HazardPoint> curve;
+  curve.reserve(points);
+  const double step =
+      std::log(t_hi / t_lo) / static_cast<double>(points - 1);
+  const double eh = std::exp(log_step);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = t_lo * std::exp(step * static_cast<double>(i));
+    const double f_hi = failure(t * eh);
+    const double f_lo = failure(t / eh);
+    const double f_mid = failure(t);
+    const double dfdt = (f_hi - f_lo) / (t * (eh - 1.0 / eh));
+    const double survivor = std::max(1e-300, 1.0 - f_mid);
+    curve.push_back({t, std::max(0.0, dfdt) / survivor});
+  }
+  return curve;
+}
+
+}  // namespace obd::core

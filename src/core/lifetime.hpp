@@ -1,0 +1,48 @@
+// Lifetime-at-quantile solving and failure-curve generation.
+//
+// The paper reports lifetimes at the n-fault-per-million criterion
+// (Section V): t_req with F_chip(t_req) = n * 1e-6. Every analysis method
+// exposes a failure_probability(t); this header inverts it.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace obd::core {
+
+/// F(t) targets for the paper's two reporting criteria.
+inline constexpr double kOneFaultPerMillion = 1.0e-6;
+inline constexpr double kTenFaultsPerMillion = 1.0e-5;
+
+/// Solves F(t_req) = target for a monotone-increasing failure probability
+/// F. Root finding runs in log-time (Brent with automatic bracket
+/// expansion) starting from the seed decade [seed_lo, seed_hi] seconds.
+double lifetime_at_failure(const std::function<double(double)>& failure,
+                           double target, double seed_lo = 1.0e7,
+                           double seed_hi = 1.0e9);
+
+/// One point of a failure curve.
+struct CurvePoint {
+  double time_s = 0.0;
+  double failure = 0.0;
+};
+
+/// Samples F on a log-spaced time grid [t_lo, t_hi] (Fig. 10 style).
+std::vector<CurvePoint> failure_curve(
+    const std::function<double(double)>& failure, double t_lo, double t_hi,
+    std::size_t points);
+
+/// One point of a hazard (instantaneous failure-rate) curve.
+struct HazardPoint {
+  double time_s = 0.0;
+  double hazard_per_s = 0.0;  ///< lambda(t) = F'(t) / (1 - F(t))
+};
+
+/// Samples the hazard rate on a log-spaced grid by central differencing F
+/// in log-time. OBD wear-out (beta > 1) shows as a monotonically
+/// increasing hazard — the right-hand wall of the bathtub curve.
+std::vector<HazardPoint> hazard_curve(
+    const std::function<double(double)>& failure, double t_lo, double t_hi,
+    std::size_t points, double log_step = 0.01);
+
+}  // namespace obd::core

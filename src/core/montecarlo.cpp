@@ -1,0 +1,205 @@
+#include "core/montecarlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "core/lifetime.hpp"
+#include "numeric/roots.hpp"
+#include "stats/special.hpp"
+
+namespace obd::core {
+
+MonteCarloAnalyzer::MonteCarloAnalyzer(const ReliabilityProblem& problem,
+                                       const MonteCarloOptions& options)
+    : problem_(&problem), options_(options) {
+  require(options.chip_samples >= 10,
+          "MonteCarloAnalyzer: need at least 10 sample chips");
+  require(options.thickness_bins >= 16,
+          "MonteCarloAnalyzer: need at least 16 thickness bins");
+
+  // Common thickness axis covering nominal spread plus range_sigmas of
+  // total variation (wafer patterns can shift the per-grid nominal).
+  const var::CanonicalForm& canonical = problem.canonical();
+  double nom_lo = canonical.nominal(0);
+  double nom_hi = canonical.nominal(0);
+  for (std::size_t g = 1; g < canonical.grid_count(); ++g) {
+    nom_lo = std::min(nom_lo, canonical.nominal(g));
+    nom_hi = std::max(nom_hi, canonical.nominal(g));
+  }
+  const double half =
+      options.thickness_range_sigmas * problem.budget().sigma_total();
+  x_lo_ = nom_lo - half;
+  x_step_ = (nom_hi + half - x_lo_) / static_cast<double>(options.thickness_bins);
+
+  // One independent stream per chip (seed xor chip index through the
+  // splitmix-based Rng constructor): results are reproducible and
+  // independent of the thread count.
+  chips_.resize(options.chip_samples);
+  auto sample_range = [this](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      stats::Rng rng(options_.seed + 0x9E3779B97F4A7C15ull * (s + 1));
+      chips_[s] = sample_chip(rng);
+    }
+  };
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(options.threads, options.chip_samples));
+  if (workers == 1) {
+    sample_range(0, options.chip_samples);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    const std::size_t stride =
+        (options.chip_samples + workers - 1) / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t begin = w * stride;
+      const std::size_t end =
+          std::min(options.chip_samples, begin + stride);
+      if (begin >= end) break;
+      pool.emplace_back(sample_range, begin, end);
+    }
+    for (auto& t : pool) t.join();
+  }
+}
+
+MonteCarloAnalyzer::ChipSample MonteCarloAnalyzer::sample_chip(
+    stats::Rng& rng) const {
+  const var::CanonicalForm& canonical = problem_->canonical();
+  const auto& blocks = problem_->blocks();
+  const auto& layout = problem_->layout();
+
+  const la::Vector z = canonical.sample_z(rng);
+  la::Vector t_grid = canonical.sensitivities().multiply(z);
+  for (std::size_t g = 0; g < t_grid.size(); ++g)
+    t_grid[g] += canonical.nominal(g);
+
+  const double sr = canonical.residual_sigma();
+  const std::size_t bins = options_.thickness_bins;
+  const double inv_step = 1.0 / x_step_;
+
+  ChipSample chip;
+  chip.block_bins.resize(blocks.size());
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    auto& counts = chip.block_bins[j];
+    counts.assign(bins, 0);
+    const std::size_t m = problem_->design().blocks[j].device_count;
+    const auto& weights = layout.weights[j];
+
+    // Apportion the block's devices to its grid cells; the rounding
+    // remainder lands on the final cell so totals are exact.
+    std::size_t placed = 0;
+    for (std::size_t e = 0; e < weights.size(); ++e) {
+      const auto& [g, w] = weights[e];
+      std::size_t count;
+      if (e + 1 == weights.size()) {
+        count = m - placed;
+      } else {
+        count = static_cast<std::size_t>(
+            std::llround(w * static_cast<double>(m)));
+        count = std::min(count, m - placed);
+      }
+      placed += count;
+      const double mu = t_grid[g];
+      for (std::size_t i = 0; i < count; ++i) {
+        const double x = mu + sr * rng.normal();
+        double f = (x - x_lo_) * inv_step;
+        f = std::clamp(f, 0.0, static_cast<double>(bins) - 1.0);
+        ++counts[static_cast<std::size_t>(f)];
+      }
+    }
+  }
+  return chip;
+}
+
+double MonteCarloAnalyzer::chip_exponent(const ChipSample& chip,
+                                         double t) const {
+  const auto& blocks = problem_->blocks();
+  double h = 0.0;
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    const double gamma = std::log(t / blocks[j].alpha);
+    // sum_bins count * exp(gamma b x_bin) evaluated incrementally:
+    // p_{k+1} = p_k * exp(gamma b dx) — one exp per block, not per bin.
+    const double base =
+        std::exp(gamma * blocks[j].b * (x_lo_ + 0.5 * x_step_));
+    const double ratio = std::exp(gamma * blocks[j].b * x_step_);
+    double p = base;
+    double s = 0.0;
+    for (const std::uint32_t c : chip.block_bins[j]) {
+      if (c != 0) s += static_cast<double>(c) * p;
+      p *= ratio;
+    }
+    const double per_device_area =
+        blocks[j].area /
+        static_cast<double>(problem_->design().blocks[j].device_count);
+    h += per_device_area * s;
+  }
+  return h;
+}
+
+double MonteCarloAnalyzer::failure_probability(double t) const {
+  require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
+  double sum = 0.0;
+  for (const auto& chip : chips_) sum += -std::expm1(-chip_exponent(chip, t));
+  return sum / static_cast<double>(chips_.size());
+}
+
+double MonteCarloAnalyzer::failure_std_error(double t) const {
+  require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& chip : chips_) {
+    const double f = -std::expm1(-chip_exponent(chip, t));
+    sum += f;
+    sum_sq += f * f;
+  }
+  const double n = static_cast<double>(chips_.size());
+  const double var = std::max(0.0, (sum_sq - sum * sum / n) / (n - 1.0));
+  return std::sqrt(var / n);
+}
+
+double MonteCarloAnalyzer::lifetime_at(double target) const {
+  return lifetime_at_failure(
+      [this](double t) { return failure_probability(t); }, target);
+}
+
+double MonteCarloAnalyzer::kth_failure_probability(double t,
+                                                   std::size_t k) const {
+  require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
+  require(k >= 1, "MonteCarloAnalyzer: k must be >= 1");
+  if (k == 1) return failure_probability(t);
+  double sum = 0.0;
+  for (const auto& chip : chips_) {
+    const double h = chip_exponent(chip, t);
+    // Conditional on the thicknesses, breakdowns are a Poisson process
+    // with mean h; P(N >= k) = P(k, h).
+    sum += (h > 0.0) ? stats::gamma_p(static_cast<double>(k), h) : 0.0;
+  }
+  return sum / static_cast<double>(chips_.size());
+}
+
+double MonteCarloAnalyzer::kth_lifetime_at(double target,
+                                           std::size_t k) const {
+  return lifetime_at_failure(
+      [this, k](double t) { return kth_failure_probability(t, k); }, target);
+}
+
+std::vector<double> MonteCarloAnalyzer::sample_failure_times(
+    std::size_t count, stats::Rng& rng) const {
+  std::vector<double> times;
+  times.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ChipSample chip = sample_chip(rng);
+    const double e = rng.exponential();
+    // Failure time: H(t) = e, inverted in log-time. H is monotone
+    // increasing in t, spanning many decades — Brent with automatic
+    // bracket expansion from a broad seed interval.
+    const double s = num::brent_auto_bracket(
+        [&](double log_t) { return chip_exponent(chip, std::exp(log_t)) - e; },
+        std::log(1e6), std::log(1e12), 1e-9);
+    times.push_back(std::exp(s));
+  }
+  return times;
+}
+
+}  // namespace obd::core

@@ -1,0 +1,96 @@
+// Full-chip Monte Carlo reference analysis.
+//
+// The validation baseline of Section V: per-device thickness sampling over
+// sample chips, with the chip-conditional reliability evaluated exactly
+// (eq. 11). For each sample chip we draw the principal components z, then
+// every device's thickness lambda_{g,0} + lambda_g . z + lambda_r eps, and
+// accumulate the per-block thickness population into a fine fixed-range
+// histogram — a lossless-in-practice compression that lets R_c(t | x) be
+// evaluated at any t without re-walking devices. The ensemble failure is
+// the sample average of conditional failures. Complexity scales with the
+// number of devices, which is precisely why Table III shows MC losing by
+// orders of magnitude.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "stats/rng.hpp"
+
+namespace obd::core {
+
+struct MonteCarloOptions {
+  std::size_t chip_samples = 1000;    ///< sample chips (paper: 1000)
+  std::size_t thickness_bins = 512;   ///< per-block histogram resolution
+  double thickness_range_sigmas = 7.0;///< histogram half-width in sigma_tot
+  std::uint64_t seed = 99;
+  /// Worker threads for chip sampling. Each chip draws from its own
+  /// seed-derived stream, so results are identical for any thread count.
+  std::size_t threads = 1;
+};
+
+class MonteCarloAnalyzer {
+ public:
+  /// Samples all chips up front (the expensive part; timed separately from
+  /// queries by the benchmark harness).
+  MonteCarloAnalyzer(const ReliabilityProblem& problem,
+                     const MonteCarloOptions& options = {});
+
+  /// Ensemble failure probability: mean over sample chips of the exact
+  /// conditional chip failure 1 - R_c(t | x).
+  [[nodiscard]] double failure_probability(double t) const;
+
+  /// Standard error of failure_probability(t): sample standard deviation
+  /// of the conditional failures over sqrt(chips). Lets benchmark tables
+  /// report MC error bars instead of bare point estimates.
+  [[nodiscard]] double failure_std_error(double t) const;
+
+  [[nodiscard]] double reliability(double t) const {
+    return 1.0 - failure_probability(t);
+  }
+
+  [[nodiscard]] double lifetime_at(double target) const;
+
+  /// Ensemble probability that at least k breakdowns have occurred
+  /// anywhere on the chip by time t: mean over sample chips of
+  /// P(k, H_chip(t | x)) — the successive-breakdown extension (refs
+  /// [28][30]; see core/multi_breakdown.hpp). k = 1 is
+  /// failure_probability().
+  [[nodiscard]] double kth_failure_probability(double t, std::size_t k) const;
+
+  /// Lifetime at the target quantile of the k-th breakdown: the earned
+  /// margin of designs that tolerate k-1 breakdowns.
+  [[nodiscard]] double kth_lifetime_at(double target, std::size_t k) const;
+
+  /// Simulates the failure time of `count` fresh sample chips (the Fig. 10
+  /// "chip lifetime distribution" curve): per chip, draw all device
+  /// thicknesses, then invert the conditional survivor function at an
+  /// Exp(1) variate. Returned times are unsorted.
+  [[nodiscard]] std::vector<double> sample_failure_times(std::size_t count,
+                                                         stats::Rng& rng) const;
+
+  [[nodiscard]] std::size_t chip_samples() const { return options_.chip_samples; }
+  [[nodiscard]] const ReliabilityProblem& problem() const { return *problem_; }
+
+ private:
+  /// Per-chip compressed thickness population: per block, bin counts over
+  /// the common thickness axis.
+  struct ChipSample {
+    std::vector<std::vector<std::uint32_t>> block_bins;
+  };
+
+  [[nodiscard]] ChipSample sample_chip(stats::Rng& rng) const;
+
+  /// Sum over blocks of A-weighted Weibull exponents for one chip:
+  /// H(t) = sum_j a_j sum_bins count * exp(gamma_j b_j x_bin).
+  [[nodiscard]] double chip_exponent(const ChipSample& chip, double t) const;
+
+  const ReliabilityProblem* problem_;  // non-owning; must outlive this
+  MonteCarloOptions options_;
+  double x_lo_ = 0.0;   ///< histogram lower edge [nm]
+  double x_step_ = 0.0; ///< bin width [nm]
+  std::vector<ChipSample> chips_;
+};
+
+}  // namespace obd::core

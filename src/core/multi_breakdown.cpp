@@ -1,0 +1,45 @@
+#include "core/multi_breakdown.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/special.hpp"
+
+namespace obd::core {
+
+double breakdown_intensity(double t, double alpha, double b, double thickness,
+                           double area) {
+  require(t >= 0.0, "breakdown_intensity: t must be non-negative");
+  require(alpha > 0.0 && b > 0.0 && thickness > 0.0 && area > 0.0,
+          "breakdown_intensity: parameters must be positive");
+  if (t == 0.0) return 0.0;
+  return area * std::pow(t / alpha, b * thickness);
+}
+
+double kth_breakdown_cdf(double t, double alpha, double b, double thickness,
+                         double area, std::size_t k) {
+  require(k >= 1, "kth_breakdown_cdf: k must be >= 1");
+  const double h = breakdown_intensity(t, alpha, b, thickness, area);
+  if (h == 0.0) return 0.0;
+  if (k == 1) return -std::expm1(-h);  // exact Weibull special case
+  return stats::gamma_p(static_cast<double>(k), h);
+}
+
+double kth_breakdown_quantile(double p, double alpha, double b,
+                              double thickness, double area, std::size_t k) {
+  require(p > 0.0 && p < 1.0, "kth_breakdown_quantile: p must be in (0, 1)");
+  require(k >= 1, "kth_breakdown_quantile: k must be >= 1");
+  require(alpha > 0.0 && b > 0.0 && thickness > 0.0 && area > 0.0,
+          "kth_breakdown_quantile: parameters must be positive");
+  const double h_req =
+      (k == 1) ? -std::log1p(-p)
+               : stats::gamma_p_inverse(static_cast<double>(k), p);
+  return alpha * std::pow(h_req / area, 1.0 / (b * thickness));
+}
+
+double expected_breakdowns(double t, double alpha, double b, double thickness,
+                           double area) {
+  return breakdown_intensity(t, alpha, b, thickness, area);
+}
+
+}  // namespace obd::core

@@ -1,0 +1,45 @@
+// Successive-breakdown statistics (Section III's pointer to refs [28][30]:
+// "circuit may even survive to function after several HBDs").
+//
+// Given the oxide thicknesses, device breakdowns across an area form a
+// Poisson process whose cumulative intensity is the Weibull exponent
+// H(t) = a (t/alpha)^(b x) (the first event reproduces eq. 4). The time to
+// the k-th breakdown is then gamma-distributed in H:
+//
+//     P(N(t) >= k) = P(k, H(t))     (regularized lower incomplete gamma)
+//
+// which is the Sune-Wu successive-breakdown law [28]. This module provides
+// the device/area-level closed forms; the chip-level ensemble version
+// (random thickness) lives on MonteCarloAnalyzer::kth_failure_probability,
+// which evaluates P(k, H_chip(t | x)) exactly per sample chip.
+//
+// Use case: designs that tolerate k-1 breakdowns (redundant cache lines,
+// non-critical gates) earn a quantifiable lifetime extension; see the
+// breakdown-tolerance ablation bench.
+#pragma once
+
+#include <cstddef>
+
+namespace obd::core {
+
+/// Cumulative breakdown intensity of an area `a` of devices with common
+/// thickness x: H(t) = a (t/alpha)^(b x).
+double breakdown_intensity(double t, double alpha, double b, double thickness,
+                           double area = 1.0);
+
+/// CDF of the k-th breakdown time for the area: P(N(t) >= k).
+/// k = 1 reduces exactly to the Weibull CDF of eq. (4).
+double kth_breakdown_cdf(double t, double alpha, double b, double thickness,
+                         double area, std::size_t k);
+
+/// Quantile of the k-th breakdown time: the t with kth_breakdown_cdf = p.
+/// Closed form via the inverse incomplete gamma (no root finding):
+/// H_req = P^{-1}(k, p), t = alpha (H_req/a)^(1/(b x)).
+double kth_breakdown_quantile(double p, double alpha, double b,
+                              double thickness, double area, std::size_t k);
+
+/// Expected number of breakdowns by time t (equals the intensity H).
+double expected_breakdowns(double t, double alpha, double b, double thickness,
+                           double area = 1.0);
+
+}  // namespace obd::core

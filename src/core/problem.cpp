@@ -1,0 +1,71 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace obd::core {
+
+ReliabilityProblem ReliabilityProblem::build(
+    const chip::Design& design, const var::VariationBudget& budget,
+    const DeviceReliabilityModel& model,
+    const std::vector<double>& block_temps_c, double vdd,
+    const ProblemOptions& options) {
+  design.validate();
+  budget.validate();
+  require(block_temps_c.size() == design.blocks.size(),
+          "ReliabilityProblem: one temperature per block required");
+  require(vdd > 0.0, "ReliabilityProblem: vdd must be positive");
+  require(options.grid_cells_per_side > 0,
+          "ReliabilityProblem: grid resolution must be positive");
+
+  ReliabilityProblem p;
+  p.design_ = design;
+  p.budget_ = budget;
+  p.options_ = options;
+  p.vdd_ = vdd;
+  p.grid_ = std::make_shared<const var::GridModel>(
+      design.width, design.height, options.grid_cells_per_side);
+  switch (options.structure) {
+    case CorrelationStructure::kGridExponential:
+      p.canonical_ = std::make_shared<const var::CanonicalForm>(
+          var::make_canonical_form(*p.grid_, budget, options.rho_dist,
+                                   options.variance_capture, options.pattern,
+                                   options.kernel));
+      break;
+    case CorrelationStructure::kQuadTree:
+      p.canonical_ = std::make_shared<const var::CanonicalForm>(
+          var::make_quadtree_canonical(*p.grid_, budget, options.quadtree,
+                                       options.pattern));
+      break;
+  }
+  p.layout_ = var::assign_devices(design, *p.grid_);
+
+  p.blocks_.reserve(design.blocks.size());
+  for (std::size_t j = 0; j < design.blocks.size(); ++j) {
+    const auto& blk = design.blocks[j];
+    BlockParams bp{blk.name,
+                   blk.obd_area(),
+                   model.alpha(block_temps_c[j], vdd),
+                   model.b(block_temps_c[j], vdd),
+                   block_temps_c[j],
+                   BlodMoments(*p.canonical_, p.layout_.weights[j],
+                               blk.device_count)};
+    require(bp.alpha > 0.0 && bp.b > 0.0,
+            "ReliabilityProblem: invalid device model output");
+    p.blocks_.push_back(std::move(bp));
+  }
+  return p;
+}
+
+double ReliabilityProblem::worst_temp_c() const {
+  double worst = blocks_.front().temp_c;
+  for (const auto& b : blocks_) worst = std::max(worst, b.temp_c);
+  return worst;
+}
+
+double ReliabilityProblem::min_thickness() const {
+  return budget_.nominal - 3.0 * budget_.sigma_total();
+}
+
+}  // namespace obd::core

@@ -1,0 +1,87 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/analytic.hpp"
+#include "core/guardband.hpp"
+#include "core/lifetime.hpp"
+
+namespace obd::core {
+
+SignOffReport make_signoff_report(const ReliabilityProblem& problem,
+                                  const DeviceReliabilityModel& model,
+                                  std::vector<double> targets) {
+  if (targets.empty()) targets = {kOneFaultPerMillion, kTenFaultsPerMillion};
+  for (double t : targets)
+    require(t > 0.0 && t < 1.0, "make_signoff_report: target out of (0, 1)");
+
+  SignOffReport report;
+  report.design_name = problem.design().name;
+  report.devices = problem.design().total_devices();
+  report.blocks = problem.blocks().size();
+  report.vdd = problem.vdd();
+  report.temp_min_c = problem.blocks().front().temp_c;
+  report.temp_max_c = report.temp_min_c;
+  for (const auto& b : problem.blocks()) {
+    report.temp_min_c = std::min(report.temp_min_c, b.temp_c);
+    report.temp_max_c = std::max(report.temp_max_c, b.temp_c);
+  }
+
+  const AnalyticAnalyzer fast(problem);
+  const GuardBandAnalyzer guard(problem);
+  for (double target : targets)
+    report.lifetimes.push_back(
+        {target, fast.lifetime_at(target), guard.lifetime_at(target)});
+
+  report.ranking = temperature_sensitivity(problem, model, targets.front());
+  std::sort(report.ranking.begin(), report.ranking.end(),
+            [](const BlockSensitivity& a, const BlockSensitivity& b) {
+              return a.failure_share > b.failure_share;
+            });
+  report.vdd_elasticity = vdd_sensitivity(problem, model, targets.front());
+
+  const LeakageAnalyzer leakage(problem);
+  report.leakage_mean_a = leakage.mean();
+  report.leakage_nominal_a = leakage.nominal_chip();
+  return report;
+}
+
+std::string SignOffReport::render() const {
+  constexpr double kYear = 365.25 * 24.0 * 3600.0;
+  std::ostringstream os;
+  os << "== OBD reliability sign-off: " << design_name << " ==\n";
+  os << devices << " devices, " << blocks << " blocks, Vdd " << fmt(vdd, 2)
+     << " V, T " << fmt(temp_min_c, 1) << ".." << fmt(temp_max_c, 1)
+     << " C\n\n";
+
+  TextTable lt({"target", "statistical [y]", "guard-band [y]",
+                "guard pessimism"});
+  for (const auto& row : lifetimes) {
+    std::ostringstream target;
+    target << row.target;
+    lt.add_row({target.str(), fmt(row.statistical_s / kYear, 2),
+                fmt(row.guard_s / kYear, 2),
+                fmt(100.0 * (1.0 - row.guard_s / row.statistical_s), 0) +
+                    "%"});
+  }
+  lt.print(os);
+
+  os << "\nBlock ranking (at the first target):\n";
+  TextTable bt({"block", "T [C]", "failure share", "dln(t)/dT per C"});
+  for (const auto& s : ranking)
+    bt.add_row({s.name, fmt(s.temp_c, 1),
+                fmt(100.0 * s.failure_share, 1) + "%",
+                fmt(100.0 * s.lifetime_per_degree, 2) + "%"});
+  bt.print(os);
+
+  os << "\nSupply elasticity: " << fmt(100.0 * vdd_elasticity, 1)
+     << "% lifetime per +10 mV\n";
+  os << "Gate leakage: mean " << fmt(1e3 * leakage_mean_a, 3)
+     << " mA (nominal die " << fmt(1e3 * leakage_nominal_a, 3) << " mA)\n";
+  return os.str();
+}
+
+}  // namespace obd::core

@@ -1,0 +1,48 @@
+// Sign-off report generation: one call that runs the standard analysis
+// battery (lifetimes by target, guard-band comparison, block ranking,
+// leakage, elasticities) and renders it as text — the artifact a
+// reliability engineer attaches to a design review.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/leakage.hpp"
+#include "core/problem.hpp"
+#include "core/sensitivity.hpp"
+
+namespace obd::core {
+
+struct SignOffReport {
+  std::string design_name;
+  std::size_t devices = 0;
+  std::size_t blocks = 0;
+  double vdd = 0.0;
+  double temp_min_c = 0.0;
+  double temp_max_c = 0.0;
+
+  struct LifetimeRow {
+    double target = 0.0;       ///< failure quantile
+    double statistical_s = 0.0;///< st_fast lifetime [s]
+    double guard_s = 0.0;      ///< guard-band lifetime [s]
+  };
+  std::vector<LifetimeRow> lifetimes;
+
+  /// Blocks ranked by failure share at the first target's lifetime.
+  std::vector<BlockSensitivity> ranking;
+  /// Relative lifetime change per +10 mV supply.
+  double vdd_elasticity = 0.0;
+
+  double leakage_mean_a = 0.0;
+  double leakage_nominal_a = 0.0;
+
+  /// Renders the report as aligned plain text.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Runs the battery. `targets` defaults to {1e-6, 1e-5} when empty.
+SignOffReport make_signoff_report(const ReliabilityProblem& problem,
+                                  const DeviceReliabilityModel& model,
+                                  std::vector<double> targets = {});
+
+}  // namespace obd::core

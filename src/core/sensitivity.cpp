@@ -1,0 +1,92 @@
+#include "core/sensitivity.hpp"
+
+#include "common/error.hpp"
+#include "core/duty_cycle.hpp"
+#include "core/lifetime.hpp"
+
+namespace obd::core {
+namespace {
+
+// Lifetime under replacement per-block Weibull parameters: a single
+// "phase" covering the whole lifetime reuses the duty-cycle machinery.
+double lifetime_with(const ReliabilityProblem& problem,
+                     const std::vector<double>& alphas,
+                     const std::vector<double>& bs, double target,
+                     const AnalyticOptions& options) {
+  WorkloadPhase phase;
+  phase.name = "point";
+  phase.fraction = 1.0;
+  phase.alphas = alphas;
+  phase.bs = bs;
+  return DutyCycleAnalyzer(problem, {phase}, options).lifetime_at(target);
+}
+
+}  // namespace
+
+std::vector<BlockSensitivity> temperature_sensitivity(
+    const ReliabilityProblem& problem, const DeviceReliabilityModel& model,
+    double target, double delta_c, const AnalyticOptions& options) {
+  require(delta_c > 0.0, "temperature_sensitivity: delta must be positive");
+  const auto& blocks = problem.blocks();
+  const double vdd = problem.vdd();
+
+  std::vector<double> alphas;
+  std::vector<double> bs;
+  for (const auto& b : blocks) {
+    alphas.push_back(b.alpha);
+    bs.push_back(b.b);
+  }
+  const AnalyticAnalyzer base(problem, options);
+  const double t0 = base.lifetime_at(target);
+  const double f0 = base.failure_probability(t0);
+
+  std::vector<BlockSensitivity> out;
+  out.reserve(blocks.size());
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    auto a_lo = alphas;
+    auto b_lo = bs;
+    a_lo[j] = model.alpha(blocks[j].temp_c - delta_c, vdd);
+    b_lo[j] = model.b(blocks[j].temp_c - delta_c, vdd);
+    auto a_hi = alphas;
+    auto b_hi = bs;
+    a_hi[j] = model.alpha(blocks[j].temp_c + delta_c, vdd);
+    b_hi[j] = model.b(blocks[j].temp_c + delta_c, vdd);
+
+    const double t_cool = lifetime_with(problem, a_lo, b_lo, target, options);
+    const double t_hot = lifetime_with(problem, a_hi, b_hi, target, options);
+
+    BlockSensitivity s;
+    s.name = blocks[j].name;
+    s.temp_c = blocks[j].temp_c;
+    s.lifetime_per_degree = (t_cool - t_hot) / (2.0 * delta_c * t0);
+    s.failure_share = base.block_failure(j, t0) / f0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+double vdd_sensitivity(const ReliabilityProblem& problem,
+                       const DeviceReliabilityModel& model, double target,
+                       double delta_v, const AnalyticOptions& options) {
+  require(delta_v > 0.0, "vdd_sensitivity: delta must be positive");
+  const auto& blocks = problem.blocks();
+  const AnalyticAnalyzer base(problem, options);
+  const double t0 = base.lifetime_at(target);
+
+  auto params_at = [&](double vdd) {
+    std::pair<std::vector<double>, std::vector<double>> p;
+    for (const auto& b : blocks) {
+      p.first.push_back(model.alpha(b.temp_c, vdd));
+      p.second.push_back(model.b(b.temp_c, vdd));
+    }
+    return p;
+  };
+  const auto [a_hi, b_hi] = params_at(problem.vdd() + delta_v);
+  const auto [a_lo, b_lo] = params_at(problem.vdd() - delta_v);
+  const double t_hi = lifetime_with(problem, a_hi, b_hi, target, options);
+  const double t_lo = lifetime_with(problem, a_lo, b_lo, target, options);
+  // Relative lifetime change per +10 mV.
+  return (t_hi - t_lo) / (2.0 * delta_v) * 0.01 / t0;
+}
+
+}  // namespace obd::core

@@ -1,0 +1,45 @@
+// Reliability sensitivity analysis: which block buys the most lifetime?
+//
+// The paper motivates temperature awareness by showing that a hot spot
+// dominates the chip's OBD risk. This module quantifies it for design
+// action: the elasticity of the ppm lifetime with respect to each block's
+// temperature (and the supply voltage), evaluated through the full
+// statistical model. A floorplanner or DTM policy can rank cooling /
+// throttling targets directly from these numbers.
+#pragma once
+
+#include <vector>
+
+#include "core/analytic.hpp"
+#include "core/problem.hpp"
+
+namespace obd::core {
+
+/// Per-block sensitivity record.
+struct BlockSensitivity {
+  std::string name;
+  double temp_c = 0.0;
+  /// d t_req / d T_j in relative-per-degree: the fractional lifetime gained
+  /// by cooling block j by one degree (positive = cooling helps).
+  double lifetime_per_degree = 0.0;
+  /// Block's share of the chip failure probability at t_req.
+  double failure_share = 0.0;
+};
+
+/// Computes per-block temperature sensitivities of the lifetime at
+/// `target` by central finite differences (rebuilding only the perturbed
+/// block's parameters; the BLOD moments are temperature-independent and
+/// reused). `model` must be the device model used to build `problem`.
+std::vector<BlockSensitivity> temperature_sensitivity(
+    const ReliabilityProblem& problem, const DeviceReliabilityModel& model,
+    double target, double delta_c = 1.0,
+    const AnalyticOptions& options = {});
+
+/// Elasticity of the lifetime w.r.t. supply voltage: relative lifetime
+/// change per +10 mV, via central differences through the device model.
+double vdd_sensitivity(const ReliabilityProblem& problem,
+                       const DeviceReliabilityModel& model, double target,
+                       double delta_v = 0.01,
+                       const AnalyticOptions& options = {});
+
+}  // namespace obd::core

@@ -1,0 +1,28 @@
+#include "core/uv_nodes.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace obd::core {
+
+double block_failure_from_nodes(const BlockParams& block,
+                                const std::vector<UvNode>& nodes, double t) {
+  double f = 0.0;
+  for (const auto& n : nodes)
+    f += n.weight * block_conditional_failure(block, t, n.u, n.v);
+  return f;
+}
+
+double failure_from_nodes(const std::vector<BlockParams>& blocks,
+                          const std::vector<std::vector<UvNode>>& nodes,
+                          double t) {
+  require(nodes.size() == blocks.size(),
+          "failure_from_nodes: one node list per block required");
+  double f = 0.0;
+  for (std::size_t j = 0; j < blocks.size(); ++j)
+    f += block_failure_from_nodes(blocks[j], nodes[j], t);
+  return std::clamp(f, 0.0, 1.0);
+}
+
+}  // namespace obd::core

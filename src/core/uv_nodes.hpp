@@ -1,0 +1,41 @@
+// Shared evaluation kernel for the statistical methods.
+//
+// Both st_fast (analytic marginals, eq. 28) and st_MC (numerical joint PDF)
+// reduce each block's ensemble integral to a weighted sum over (u, v)
+// evaluation nodes:
+//
+//   E[1 - exp(-A_j g(u_j, v_j))] ~ sum_n w_n (1 - exp(-A_j g(u_n, v_n)))
+//
+// st_fast derives the nodes/weights from quadrature over the marginal PDFs;
+// st_MC derives them from the bins of a sampled joint histogram. The node
+// lists depend only on the process variation model — not on t — so they are
+// built once per problem and reused across reliability queries.
+#pragma once
+
+#include <vector>
+
+#include "core/closed_form.hpp"
+#include "core/problem.hpp"
+
+namespace obd::core {
+
+/// One (u, v) evaluation node with its probability weight.
+struct UvNode {
+  double u = 0.0;
+  double v = 0.0;
+  double weight = 0.0;
+};
+
+/// Chip failure probability at time t from per-block node lists:
+/// F(t) = sum_j sum_n w_n (1 - exp(-A_j g(u_n, v_n))), clamped to [0, 1].
+/// (The per-block sum follows from the linearity step of eq. 19-21: no
+/// cross-block joint distribution is needed.)
+double failure_from_nodes(const std::vector<BlockParams>& blocks,
+                          const std::vector<std::vector<UvNode>>& nodes,
+                          double t);
+
+/// Failure contribution of a single block from its node list.
+double block_failure_from_nodes(const BlockParams& block,
+                                const std::vector<UvNode>& nodes, double t);
+
+}  // namespace obd::core

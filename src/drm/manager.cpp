@@ -1,0 +1,168 @@
+#include "drm/manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "numeric/roots.hpp"
+#include "power/power.hpp"
+#include "thermal/block_model.hpp"
+
+namespace obd::drm {
+
+ReliabilityManager::ReliabilityManager(
+    const core::ReliabilityProblem& problem,
+    const core::DeviceReliabilityModel& model,
+    std::vector<OperatingPoint> ladder, const DrmOptions& options)
+    : problem_(&problem),
+      model_(&model),
+      ladder_(std::move(ladder)),
+      options_(options),
+      lut_(problem),
+      block_damage_(problem.blocks().size(), 0.0) {
+  require(!ladder_.empty(), "ReliabilityManager: empty DVFS ladder");
+  for (std::size_t i = 0; i < ladder_.size(); ++i) {
+    require(ladder_[i].vdd > 0.0 && ladder_[i].frequency > 0.0,
+            "ReliabilityManager: invalid operating point");
+    if (i > 0)
+      require(ladder_[i].frequency >= ladder_[i - 1].frequency,
+              "ReliabilityManager: ladder must be sorted slow -> fast");
+  }
+  require(options_.lifetime_target_s > 0.0 &&
+              options_.failure_budget > 0.0 &&
+              options_.control_interval_s > 0.0,
+          "ReliabilityManager: invalid options");
+}
+
+double ReliabilityManager::budget_line(double t) const {
+  return options_.failure_budget *
+         std::min(1.0, t / options_.lifetime_target_s);
+}
+
+double ReliabilityManager::damage() const {
+  double total = 0.0;
+  for (double d : block_damage_) total += d;
+  return total;
+}
+
+ReliabilityManager::Conditions ReliabilityManager::conditions_for(
+    const OperatingPoint& op, double workload_activity) const {
+  require(workload_activity >= 0.0,
+          "ReliabilityManager: negative workload activity");
+  chip::Design scaled = problem_->design();
+  for (auto& b : scaled.blocks)
+    b.activity = std::min(1.0, b.activity * workload_activity);
+
+  power::PowerParams pp;
+  pp.vdd = op.vdd;
+  pp.frequency = op.frequency;
+  // One leakage-feedback pass at block granularity (fast and sufficient —
+  // the block model is already approximate).
+  power::PowerMap map = power::estimate_power(scaled, pp);
+  auto profile = thermal::solve_thermal_blocks(scaled, map, options_.thermal);
+  map = power::estimate_power(scaled, pp, profile.block_temps_c);
+  profile = thermal::solve_thermal_blocks(scaled, map, options_.thermal);
+
+  Conditions c;
+  c.max_temp_c = *std::max_element(profile.block_temps_c.begin(),
+                                   profile.block_temps_c.end());
+  c.alphas.reserve(profile.block_temps_c.size());
+  c.bs.reserve(profile.block_temps_c.size());
+  for (double t : profile.block_temps_c) {
+    c.alphas.push_back(model_->alpha(t, op.vdd));
+    c.bs.push_back(model_->b(t, op.vdd));
+  }
+  return c;
+}
+
+double ReliabilityManager::advanced_damage(std::size_t j, double d_j,
+                                           double alpha, double b,
+                                           double dt) const {
+  const auto& opt = lut_.options();
+  const double b_clamped = std::clamp(b, opt.b_lo, opt.b_hi);
+
+  // Effective age under the *new* conditions: the gamma at which the block
+  // would have accumulated its current damage.
+  double tau0 = 0.0;
+  if (d_j > 0.0) {
+    const double d_lo = lut_.block_failure(j, opt.gamma_lo, b_clamped);
+    const double d_hi = lut_.block_failure(j, opt.gamma_hi, b_clamped);
+    if (d_j <= d_lo) {
+      tau0 = 0.0;
+    } else if (d_j >= d_hi) {
+      tau0 = alpha * std::exp(opt.gamma_hi);
+    } else {
+      const double gamma0 = num::brent(
+          [&](double g) {
+            return lut_.block_failure(j, g, b_clamped) - d_j;
+          },
+          opt.gamma_lo, opt.gamma_hi, 1e-12);
+      tau0 = alpha * std::exp(gamma0);
+    }
+  }
+  const double gamma1 =
+      std::min(opt.gamma_hi, std::log((tau0 + dt) / alpha));
+  // Damage never decreases (the lookup is monotone in gamma; the max
+  // guards roundoff at the recursion boundaries).
+  return std::max(d_j, lut_.block_failure(j, gamma1, b_clamped));
+}
+
+DrmStep ReliabilityManager::step_fixed(std::size_t op_index,
+                                       double workload_activity) {
+  require(op_index < ladder_.size(), "ReliabilityManager: rung out of range");
+  const Conditions c = conditions_for(ladder_[op_index], workload_activity);
+  const double dt = options_.control_interval_s;
+  for (std::size_t j = 0; j < block_damage_.size(); ++j)
+    block_damage_[j] = advanced_damage(j, block_damage_[j], c.alphas[j],
+                                       c.bs[j], dt);
+  elapsed_s_ += dt;
+
+  DrmStep out;
+  out.op_index = op_index;
+  out.performance =
+      ladder_[op_index].frequency * std::min(1.0, workload_activity);
+  out.damage = damage();
+  out.budget_line = budget_line(elapsed_s_);
+  out.max_temp_c = c.max_temp_c;
+  return out;
+}
+
+DrmStep ReliabilityManager::step(double workload_activity) {
+  const double dt = options_.control_interval_s;
+  const double allowance = budget_line(elapsed_s_ + dt);
+
+  // Try rungs fastest-first; commit the first one whose projected total
+  // damage stays on the trajectory.
+  std::size_t chosen = 0;  // fallback: slowest rung
+  std::vector<double> best_damage;
+  for (std::size_t r = ladder_.size(); r-- > 0;) {
+    const Conditions c = conditions_for(ladder_[r], workload_activity);
+    std::vector<double> projected(block_damage_.size());
+    double total = 0.0;
+    for (std::size_t j = 0; j < block_damage_.size(); ++j) {
+      projected[j] = advanced_damage(j, block_damage_[j], c.alphas[j],
+                                     c.bs[j], dt);
+      total += projected[j];
+    }
+    if (total <= allowance || r == 0) {
+      chosen = r;
+      best_damage = std::move(projected);
+      break;
+    }
+  }
+
+  const Conditions c = conditions_for(ladder_[chosen], workload_activity);
+  block_damage_ = std::move(best_damage);
+  elapsed_s_ += dt;
+
+  DrmStep out;
+  out.op_index = chosen;
+  out.performance =
+      ladder_[chosen].frequency * std::min(1.0, workload_activity);
+  out.damage = damage();
+  out.budget_line = budget_line(elapsed_s_);
+  out.max_temp_c = c.max_temp_c;
+  return out;
+}
+
+}  // namespace obd::drm

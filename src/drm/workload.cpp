@@ -1,0 +1,61 @@
+#include "drm/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::drm {
+
+std::vector<double> synthetic_workload(std::size_t steps,
+                                       const WorkloadOptions& options,
+                                       stats::Rng& rng) {
+  require(steps > 0, "synthetic_workload: need at least one step");
+  require(options.period_steps > 0.0,
+          "synthetic_workload: period must be positive");
+  require(options.burst_probability >= 0.0 &&
+              options.idle_probability >= 0.0 &&
+              options.burst_probability + options.idle_probability <= 1.0,
+          "synthetic_workload: invalid burst/idle probabilities");
+  std::vector<double> out;
+  out.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double u = rng.uniform();
+    double level;
+    if (u < options.burst_probability) {
+      level = options.burst_level;
+    } else if (u < options.burst_probability + options.idle_probability) {
+      level = options.idle_level;
+    } else {
+      const double phase = 2.0 * M_PI * static_cast<double>(i) /
+                           options.period_steps;
+      level = options.base +
+              options.diurnal_amplitude * std::sin(phase) +
+              options.noise * rng.normal();
+    }
+    out.push_back(std::clamp(level, 0.0, 1.0));
+  }
+  return out;
+}
+
+std::vector<double> workload_from_power_trace(
+    const chip::Design& design, const std::vector<power::PowerMap>& trace,
+    const power::PowerParams& params) {
+  require(!trace.empty(), "workload_from_power_trace: empty trace");
+  // Full-activity reference power.
+  chip::Design full = design;
+  for (auto& b : full.blocks) b.activity = 1.0;
+  const double p_full = power::estimate_power(full, params).total();
+  require(p_full > 0.0, "workload_from_power_trace: zero reference power");
+
+  std::vector<double> out;
+  out.reserve(trace.size());
+  for (const auto& map : trace) {
+    require(map.block_watts.size() == design.blocks.size(),
+            "workload_from_power_trace: trace/design size mismatch");
+    out.push_back(std::clamp(map.total() / p_full, 0.0, 1.0));
+  }
+  return out;
+}
+
+}  // namespace obd::drm

@@ -1,0 +1,41 @@
+// Workload generation for reliability-management studies.
+//
+// The DRM controller consumes one activity scale per control interval.
+// This header provides reproducible synthetic workloads (diurnal swing,
+// random bursts, idle gaps) and a bridge from HotSpot .ptrace power traces
+// to activity scales, so measured traces drive the same loop.
+#pragma once
+
+#include <vector>
+
+#include "chip/design.hpp"
+#include "power/power.hpp"
+#include "stats/rng.hpp"
+
+namespace obd::drm {
+
+struct WorkloadOptions {
+  double base = 0.5;            ///< mean activity scale
+  double diurnal_amplitude = 0.25;  ///< sinusoidal swing around the base
+  double period_steps = 24.0;   ///< steps per diurnal period
+  double burst_probability = 0.08;  ///< chance a step is a full-load burst
+  double burst_level = 1.0;
+  double idle_probability = 0.10;   ///< chance a step is near-idle
+  double idle_level = 0.05;
+  double noise = 0.08;          ///< Gaussian jitter sigma
+};
+
+/// Generates `steps` activity scales in [0, 1].
+std::vector<double> synthetic_workload(std::size_t steps,
+                                       const WorkloadOptions& options,
+                                       stats::Rng& rng);
+
+/// Derives activity scales from a power trace: each sample's total power
+/// relative to the design's full-activity power at the same operating
+/// point (clamped to [0, 1]). A pragmatic bridge — leakage is folded into
+/// the ratio — adequate for driving the DRM loop from measured traces.
+std::vector<double> workload_from_power_trace(
+    const chip::Design& design, const std::vector<power::PowerMap>& trace,
+    const power::PowerParams& params = {});
+
+}  // namespace obd::drm

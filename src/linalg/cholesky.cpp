@@ -1,0 +1,44 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace obd::la {
+
+Matrix cholesky_lower(const Matrix& a, double jitter) {
+  require(a.rows() == a.cols(), "cholesky_lower: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + jitter;
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    require(diag > 0.0, "cholesky_lower: matrix is not positive definite");
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vector cholesky_solve(const Matrix& lower, const Vector& b) {
+  const std::size_t n = lower.rows();
+  require(lower.cols() == n && b.size() == n,
+          "cholesky_solve: dimension mismatch");
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= lower(i, k) * y[k];
+    y[i] = s / lower(i, i);
+  }
+  Vector x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= lower(k, i) * x[k];
+    x[i] = s / lower(i, i);
+  }
+  return x;
+}
+
+}  // namespace obd::la

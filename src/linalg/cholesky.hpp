@@ -1,0 +1,23 @@
+// Cholesky factorization of symmetric positive-(semi)definite matrices.
+//
+// Used by the Monte Carlo reference flow to draw correlated grid samples
+// directly from the covariance matrix (an alternative to the PCA route), and
+// to validate that constructed covariances are valid (PSD).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace obd::la {
+
+/// Computes the lower-triangular L with A = L L^T.
+///
+/// `jitter` is added to the diagonal before factorization to absorb the
+/// slight rank deficiency of exponentially decaying covariance matrices.
+/// Throws obd::Error if the (jittered) matrix is not positive definite.
+Matrix cholesky_lower(const Matrix& a, double jitter = 0.0);
+
+/// Solves A x = b given the Cholesky factor L of A (forward + back
+/// substitution).
+Vector cholesky_solve(const Matrix& lower, const Vector& b);
+
+}  // namespace obd::la

@@ -1,0 +1,188 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace obd::la {
+namespace {
+
+// Householder reduction of a real symmetric matrix to tridiagonal form
+// (EISPACK tred2). On return `a` holds the accumulated orthogonal transform
+// Q, `d` the diagonal, and `e` the subdiagonal (e[0] unused).
+void tridiagonalize(Matrix& a, Vector& d, Vector& e) {
+  const std::size_t n = a.rows();
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    const std::size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (std::size_t k = 0; k <= l; ++k) scale += std::fabs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (std::size_t k = 0; k <= j; ++k)
+            a(j, k) -= f * e[k] + g * a(i, k);
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  // Accumulate transformation matrices.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && d[i] != 0.0) {
+      const std::size_t l = i - 1;
+      for (std::size_t j = 0; j <= l; ++j) {
+        double g = 0.0;
+        for (std::size_t k = 0; k <= l; ++k) g += a(i, k) * a(k, j);
+        for (std::size_t k = 0; k <= l; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    d[i] = a(i, i);
+    a(i, i) = 1.0;
+    if (i > 0) {
+      for (std::size_t j = 0; j < i; ++j) {
+        a(j, i) = 0.0;
+        a(i, j) = 0.0;
+      }
+    }
+  }
+}
+
+double hypot2(double a, double b) { return std::hypot(a, b); }
+
+// Implicit-shift QL iteration on a symmetric tridiagonal matrix (EISPACK
+// tql2). `d` holds the diagonal, `e` the subdiagonal; eigenvectors are
+// accumulated into `z` (which should enter holding the tridiagonalizing Q).
+void ql_implicit(Vector& d, Vector& e, Matrix& z) {
+  const std::size_t n = d.size();
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    std::size_t m = l;
+    for (;;) {
+      // Find a small subdiagonal element to split the problem.
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-300 ||
+            std::fabs(e[m]) <= std::numeric_limits<double>::epsilon() * dd)
+          break;
+      }
+      if (m == l) break;
+      require(++iterations <= 50,
+              "eigen_symmetric: QL iteration failed to converge");
+
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = hypot2(g, 1.0);
+      g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? std::fabs(r) : -std::fabs(r)));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      for (std::size_t i = m; i-- > l;) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = hypot2(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          d[i + 1] -= p;
+          e[m] = 0.0;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+        for (std::size_t k = 0; k < n; ++k) {
+          f = z(k, i + 1);
+          z(k, i + 1) = s * z(k, i) + c * f;
+          z(k, i) = c * z(k, i) - s * f;
+        }
+      }
+      if (r == 0.0 && m > l + 1) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    }
+  }
+}
+
+}  // namespace
+
+EigenDecomposition eigen_symmetric(const Matrix& a) {
+  require(a.rows() == a.cols(), "eigen_symmetric: matrix must be square");
+  require(!a.empty(), "eigen_symmetric: matrix must be non-empty");
+  // Allow tiny floating-point asymmetry from covariance construction.
+  const double scale =
+      std::max(1.0, std::sqrt(a.frobenius_squared() /
+                              static_cast<double>(a.rows() * a.cols())));
+  require(a.max_asymmetry() <= 1e-9 * scale,
+          "eigen_symmetric: matrix is not symmetric");
+
+  const std::size_t n = a.rows();
+  Matrix z = a;
+  // Symmetrize exactly so the reduction sees a clean input.
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r + 1; c < n; ++c) {
+      const double v = 0.5 * (z(r, c) + z(c, r));
+      z(r, c) = v;
+      z(c, r) = v;
+    }
+
+  Vector d(n, 0.0);
+  Vector e(n, 0.0);
+  if (n == 1) {
+    d[0] = z(0, 0);
+    z(0, 0) = 1.0;
+  } else {
+    tridiagonalize(z, d, e);
+    ql_implicit(d, e, z);
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return d[i] > d[j]; });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = d[order[k]];
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, k) = z(r, order[k]);
+  }
+  return out;
+}
+
+}  // namespace obd::la

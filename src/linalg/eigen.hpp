@@ -1,0 +1,28 @@
+// Symmetric eigendecomposition.
+//
+// Principal component analysis of the grid covariance matrix (Section II,
+// eq. 2 of the paper) reduces to an eigendecomposition of a real symmetric
+// matrix. We implement the classic dense path: Householder reduction to
+// tridiagonal form followed by the implicit-shift QL iteration. O(n^3),
+// robust, and fast enough for the paper's grids (up to 25 x 25 = 625).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace obd::la {
+
+/// Result of a symmetric eigendecomposition A = V diag(values) V^T.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in descending order.
+  Vector values;
+  /// Column k of `vectors` is the unit eigenvector for values[k].
+  Matrix vectors;
+};
+
+/// Computes the full eigendecomposition of a symmetric matrix.
+///
+/// Throws obd::Error if `a` is not square, is materially asymmetric, or if
+/// the QL iteration fails to converge (pathological input).
+EigenDecomposition eigen_symmetric(const Matrix& a);
+
+}  // namespace obd::la

@@ -1,0 +1,78 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace obd::la {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  require(x.size() == cols_, "Matrix::multiply: size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += a[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  require(cols_ == other.rows(), "Matrix::matmul: dimension mismatch");
+  Matrix out(rows_, other.cols(), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      const double* b = other.row(k);
+      double* o = out.row(r);
+      for (std::size_t c = 0; c < other.cols(); ++c) o[c] += a * b[c];
+    }
+  }
+  return out;
+}
+
+double Matrix::trace() const {
+  require(rows_ == cols_, "Matrix::trace: matrix must be square");
+  double t = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+double Matrix::frobenius_squared() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+double Matrix::max_asymmetry() const {
+  require(rows_ == cols_, "Matrix::max_asymmetry: matrix must be square");
+  double worst = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c)
+      worst = std::max(worst, std::fabs((*this)(r, c) - (*this)(c, r)));
+  return worst;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  require(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace obd::la

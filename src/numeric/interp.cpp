@@ -1,0 +1,87 @@
+#include "numeric/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::num {
+
+double lerp_1d(const std::vector<double>& xs, const std::vector<double>& ys,
+               double x) {
+  require(xs.size() == ys.size(), "lerp_1d: size mismatch");
+  require(xs.size() >= 2, "lerp_1d: need at least two points");
+  auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  std::size_t hi;
+  if (it == xs.begin())
+    hi = 1;
+  else if (it == xs.end())
+    hi = xs.size() - 1;
+  else
+    hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+LookupTable2D::LookupTable2D(double xlo, double xhi, std::size_t nx,
+                             double ylo, double yhi, std::size_t ny,
+                             const std::function<double(double, double)>& f)
+    : xlo_(xlo),
+      xhi_(xhi),
+      ylo_(ylo),
+      yhi_(yhi),
+      nx_(nx),
+      ny_(ny),
+      dx_((xhi - xlo) / static_cast<double>(nx - 1)),
+      dy_((yhi - ylo) / static_cast<double>(ny - 1)),
+      values_(nx * ny) {
+  require(nx >= 2 && ny >= 2, "LookupTable2D: need at least a 2x2 grid");
+  require(xhi > xlo && yhi > ylo, "LookupTable2D: invalid range");
+  for (std::size_t ix = 0; ix < nx_; ++ix) {
+    const double x = xlo_ + static_cast<double>(ix) * dx_;
+    for (std::size_t iy = 0; iy < ny_; ++iy) {
+      const double y = ylo_ + static_cast<double>(iy) * dy_;
+      values_[ix * ny_ + iy] = f(x, y);
+    }
+  }
+}
+
+LookupTable2D::LookupTable2D(double xlo, double xhi, std::size_t nx,
+                             double ylo, double yhi, std::size_t ny,
+                             std::vector<double> values)
+    : xlo_(xlo),
+      xhi_(xhi),
+      ylo_(ylo),
+      yhi_(yhi),
+      nx_(nx),
+      ny_(ny),
+      dx_((xhi - xlo) / static_cast<double>(nx - 1)),
+      dy_((yhi - ylo) / static_cast<double>(ny - 1)),
+      values_(std::move(values)) {
+  require(nx >= 2 && ny >= 2, "LookupTable2D: need at least a 2x2 grid");
+  require(xhi > xlo && yhi > ylo, "LookupTable2D: invalid range");
+  require(values_.size() == nx * ny,
+          "LookupTable2D: value count does not match grid size");
+}
+
+double LookupTable2D::at(double x, double y) const {
+  const double cx = std::clamp(x, xlo_, xhi_);
+  const double cy = std::clamp(y, ylo_, yhi_);
+  double fx = (cx - xlo_) / dx_;
+  double fy = (cy - ylo_) / dy_;
+  auto ix = static_cast<std::size_t>(fx);
+  auto iy = static_cast<std::size_t>(fy);
+  ix = std::min(ix, nx_ - 2);
+  iy = std::min(iy, ny_ - 2);
+  const double tx = fx - static_cast<double>(ix);
+  const double ty = fy - static_cast<double>(iy);
+  const double v00 = values_[ix * ny_ + iy];
+  const double v01 = values_[ix * ny_ + iy + 1];
+  const double v10 = values_[(ix + 1) * ny_ + iy];
+  const double v11 = values_[(ix + 1) * ny_ + iy + 1];
+  return v00 * (1 - tx) * (1 - ty) + v10 * tx * (1 - ty) +
+         v01 * (1 - tx) * ty + v11 * tx * ty;
+}
+
+}  // namespace obd::num

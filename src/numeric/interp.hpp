@@ -1,0 +1,55 @@
+// Interpolation utilities and the regular-grid 2-D lookup table used by the
+// hybrid analytical/table look-up method (Section IV-E of the paper).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace obd::num {
+
+/// Piecewise-linear interpolation of (xs, ys) at x. xs must be strictly
+/// increasing; x outside the range is extrapolated from the edge segment.
+double lerp_1d(const std::vector<double>& xs, const std::vector<double>& ys,
+               double x);
+
+/// Dense lookup table on a regular (x, y) grid with bilinear interpolation.
+///
+/// The hybrid reliability method stores, per functional block, the value of
+/// the double integral of eq. (31) on an n_alpha x n_b grid over the indices
+/// (ln(t/alpha), b); queries are answered by bilinear interpolation
+/// (Section IV-E; n_alpha = n_b = 100 in the paper).
+class LookupTable2D {
+ public:
+  /// Tabulates f over [xlo, xhi] x [ylo, yhi] with nx x ny samples
+  /// (inclusive of the boundary).
+  LookupTable2D(double xlo, double xhi, std::size_t nx, double ylo,
+                double yhi, std::size_t ny,
+                const std::function<double(double, double)>& f);
+
+  /// Constructs from precomputed values (row-major [ix * ny + iy]) —
+  /// the deserialization path.
+  LookupTable2D(double xlo, double xhi, std::size_t nx, double ylo,
+                double yhi, std::size_t ny, std::vector<double> values);
+
+  /// Raw sample values, row-major [ix * ny + iy] — the serialization path.
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+  /// Bilinear interpolation; queries outside the grid are clamped to it.
+  [[nodiscard]] double at(double x, double y) const;
+
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] double xlo() const { return xlo_; }
+  [[nodiscard]] double xhi() const { return xhi_; }
+  [[nodiscard]] double ylo() const { return ylo_; }
+  [[nodiscard]] double yhi() const { return yhi_; }
+
+ private:
+  double xlo_, xhi_, ylo_, yhi_;
+  std::size_t nx_, ny_;
+  double dx_, dy_;
+  std::vector<double> values_;  // row-major [ix * ny + iy]
+};
+
+}  // namespace obd::num

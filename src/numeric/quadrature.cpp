@@ -1,0 +1,164 @@
+#include "numeric/quadrature.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::num {
+namespace {
+
+struct GaussRule {
+  const double* nodes;    // on [-1, 1], symmetric
+  const double* weights;
+  std::size_t count;
+};
+
+// Standard Gauss–Legendre nodes/weights for 2..8 points.
+constexpr double n2[] = {-0.5773502691896257, 0.5773502691896257};
+constexpr double w2[] = {1.0, 1.0};
+constexpr double n3[] = {-0.7745966692414834, 0.0, 0.7745966692414834};
+constexpr double w3[] = {0.5555555555555556, 0.8888888888888888,
+                         0.5555555555555556};
+constexpr double n4[] = {-0.8611363115940526, -0.3399810435848563,
+                         0.3399810435848563, 0.8611363115940526};
+constexpr double w4[] = {0.3478548451374538, 0.6521451548625461,
+                         0.6521451548625461, 0.3478548451374538};
+constexpr double n5[] = {-0.9061798459386640, -0.5384693101056831, 0.0,
+                         0.5384693101056831, 0.9061798459386640};
+constexpr double w5[] = {0.2369268850561891, 0.4786286704993665,
+                         0.5688888888888889, 0.4786286704993665,
+                         0.2369268850561891};
+constexpr double n6[] = {-0.9324695142031521, -0.6612093864662645,
+                         -0.2386191860831969, 0.2386191860831969,
+                         0.6612093864662645,  0.9324695142031521};
+constexpr double w6[] = {0.1713244923791704, 0.3607615730481386,
+                         0.4679139345726910, 0.4679139345726910,
+                         0.3607615730481386, 0.1713244923791704};
+constexpr double n7[] = {-0.9491079123427585, -0.7415311855993945,
+                         -0.4058451513773972, 0.0,
+                         0.4058451513773972,  0.7415311855993945,
+                         0.9491079123427585};
+constexpr double w7[] = {0.1294849661688697, 0.2797053914892766,
+                         0.3818300505051189, 0.4179591836734694,
+                         0.3818300505051189, 0.2797053914892766,
+                         0.1294849661688697};
+constexpr double n8[] = {-0.9602898564975363, -0.7966664774136267,
+                         -0.5255324099163290, -0.1834346424956498,
+                         0.1834346424956498,  0.5255324099163290,
+                         0.7966664774136267,  0.9602898564975363};
+constexpr double w8[] = {0.1012285362903763, 0.2223810344533745,
+                         0.3137066458778873, 0.3626837833783620,
+                         0.3626837833783620, 0.3137066458778873,
+                         0.2223810344533745, 0.1012285362903763};
+
+GaussRule rule_for(std::size_t points) {
+  switch (points) {
+    case 2: return {n2, w2, 2};
+    case 3: return {n3, w3, 3};
+    case 4: return {n4, w4, 4};
+    case 5: return {n5, w5, 5};
+    case 6: return {n6, w6, 6};
+    case 7: return {n7, w7, 7};
+    case 8: return {n8, w8, 8};
+    default:
+      throw Error("gauss_legendre: supported point counts are 2..8");
+  }
+}
+
+}  // namespace
+
+double midpoint_1d(const Fn1& f, double a, double b, std::size_t cells) {
+  require(cells > 0, "midpoint_1d: need at least one cell");
+  const double h = (b - a) / static_cast<double>(cells);
+  double s = 0.0;
+  for (std::size_t i = 0; i < cells; ++i)
+    s += f(a + (static_cast<double>(i) + 0.5) * h);
+  return s * h;
+}
+
+double midpoint_2d(const Fn2& f, double ax, double bx, double ay, double by,
+                   std::size_t cells) {
+  require(cells > 0, "midpoint_2d: need at least one cell");
+  const double hx = (bx - ax) / static_cast<double>(cells);
+  const double hy = (by - ay) / static_cast<double>(cells);
+  double s = 0.0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    const double x = ax + (static_cast<double>(i) + 0.5) * hx;
+    for (std::size_t j = 0; j < cells; ++j) {
+      const double y = ay + (static_cast<double>(j) + 0.5) * hy;
+      s += f(x, y);
+    }
+  }
+  return s * hx * hy;
+}
+
+double gauss_legendre_1d(const Fn1& f, double a, double b, std::size_t points,
+                         std::size_t panels) {
+  require(panels > 0, "gauss_legendre_1d: need at least one panel");
+  const GaussRule rule = rule_for(points);
+  const double h = (b - a) / static_cast<double>(panels);
+  double total = 0.0;
+  for (std::size_t p = 0; p < panels; ++p) {
+    const double lo = a + static_cast<double>(p) * h;
+    const double mid = lo + 0.5 * h;
+    double s = 0.0;
+    for (std::size_t k = 0; k < rule.count; ++k)
+      s += rule.weights[k] * f(mid + 0.5 * h * rule.nodes[k]);
+    total += 0.5 * h * s;
+  }
+  return total;
+}
+
+double gauss_legendre_2d(const Fn2& f, double ax, double bx, double ay,
+                         double by, std::size_t points, std::size_t panels) {
+  return gauss_legendre_1d(
+      [&](double x) {
+        return gauss_legendre_1d([&](double y) { return f(x, y); }, ay, by,
+                                 points, panels);
+      },
+      ax, bx, points, panels);
+}
+
+namespace {
+
+double simpson_recurse(const Fn1& f, double a, double b, double fa,
+                       double fm, double fb, double whole, double tol,
+                       int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  const double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+  if (depth <= 0 || std::fabs(left + right - whole) <= 15.0 * tol)
+    return left + right + (left + right - whole) / 15.0;
+  return simpson_recurse(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
+         simpson_recurse(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double adaptive_simpson(const Fn1& f, double a, double b, double tolerance) {
+  require(b >= a, "adaptive_simpson: invalid interval");
+  require(tolerance > 0.0, "adaptive_simpson: tolerance must be positive");
+  if (a == b) return 0.0;
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(0.5 * (a + b));
+  const double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+  return simpson_recurse(f, a, b, fa, fm, fb, whole, tolerance, 40);
+}
+
+double simpson_1d(const Fn1& f, double a, double b, std::size_t cells) {
+  require(cells >= 2, "simpson_1d: need at least two cells");
+  if (cells % 2 != 0) ++cells;
+  const double h = (b - a) / static_cast<double>(cells);
+  double s = f(a) + f(b);
+  for (std::size_t i = 1; i < cells; ++i)
+    s += f(a + static_cast<double>(i) * h) * ((i % 2 == 1) ? 4.0 : 2.0);
+  return s * h / 3.0;
+}
+
+}  // namespace obd::num

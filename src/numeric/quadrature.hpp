@@ -1,0 +1,44 @@
+// Numerical quadrature.
+//
+// The paper evaluates eq. (28) with an l0 x l0 subdomain midpoint rule
+// (Fig. 9, step 2-8; l0 = 10 suffices because the integrand's PDF factor
+// decays fast). We provide that rule plus Gauss–Legendre panels for
+// higher-accuracy checks.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace obd::num {
+
+using Fn1 = std::function<double(double)>;
+using Fn2 = std::function<double(double, double)>;
+
+/// Midpoint rule with `cells` equal subintervals on [a, b].
+double midpoint_1d(const Fn1& f, double a, double b, std::size_t cells);
+
+/// Midpoint rule on cells x cells subdomains of [ax, bx] x [ay, by] — the
+/// paper's integration scheme for the double integral of eq. (28).
+double midpoint_2d(const Fn2& f, double ax, double bx, double ay, double by,
+                   std::size_t cells);
+
+/// Composite Gauss–Legendre: `panels` panels of `points`-point rule
+/// (points in {2..8}) on [a, b].
+double gauss_legendre_1d(const Fn1& f, double a, double b, std::size_t points,
+                         std::size_t panels = 1);
+
+/// Tensor-product composite Gauss–Legendre on a rectangle.
+double gauss_legendre_2d(const Fn2& f, double ax, double bx, double ay,
+                         double by, std::size_t points,
+                         std::size_t panels = 1);
+
+/// Composite Simpson rule with `cells` (even count enforced) subintervals.
+double simpson_1d(const Fn1& f, double a, double b, std::size_t cells);
+
+/// Adaptive Simpson quadrature with Richardson-style error control: the
+/// interval is bisected until the local error estimate falls below the
+/// proportionally allocated tolerance (depth capped at 40).
+double adaptive_simpson(const Fn1& f, double a, double b,
+                        double tolerance = 1e-10);
+
+}  // namespace obd::num

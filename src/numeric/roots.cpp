@@ -1,0 +1,96 @@
+#include "numeric/roots.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::num {
+
+double brent(const std::function<double(double)>& f, double a, double b,
+             double tolerance, int max_iterations) {
+  require(a < b, "brent: invalid interval");
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  require(fa * fb < 0.0, "brent: f(a) and f(b) must have opposite signs");
+
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  double e = d;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol1 =
+        2.0 * std::numeric_limits<double>::epsilon() * std::fabs(b) +
+        0.5 * tolerance;
+    const double xm = 0.5 * (c - b);
+    if (std::fabs(xm) <= tol1 || fb == 0.0) return b;
+
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      const double s = fb / fa;
+      double p;
+      double q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      const double min1 = 3.0 * xm * q - std::fabs(tol1 * q);
+      const double min2 = std::fabs(e * q);
+      if (2.0 * p < std::min(min1, min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::fabs(d) > tol1) ? d : (xm > 0.0 ? tol1 : -tol1);
+    fb = f(b);
+    if (fb * fc > 0.0) {
+      c = a;
+      fc = fa;
+      e = d = b - a;
+    }
+  }
+  throw Error("brent: failed to converge");
+}
+
+double brent_auto_bracket(const std::function<double(double)>& f, double a,
+                          double b, double tolerance, double growth,
+                          int max_expansions) {
+  require(a < b, "brent_auto_bracket: invalid seed interval");
+  require(growth > 1.0, "brent_auto_bracket: growth must exceed 1");
+  double fa = f(a);
+  double fb = f(b);
+  for (int i = 0; i < max_expansions && fa * fb > 0.0; ++i) {
+    const double span = b - a;
+    if (std::fabs(fa) < std::fabs(fb)) {
+      a -= (growth - 1.0) * span;
+      fa = f(a);
+    } else {
+      b += (growth - 1.0) * span;
+      fb = f(b);
+    }
+  }
+  require(fa * fb <= 0.0, "brent_auto_bracket: no sign change found");
+  return brent(f, a, b, tolerance);
+}
+
+}  // namespace obd::num

@@ -1,0 +1,25 @@
+// Scalar root finding: Brent's method plus a geometric bracket expander.
+//
+// The lifetime solver inverts the monotone ensemble reliability R_c(t) to
+// find t_req with R_c(t_req) = R_req (the n-fault-per-million criterion of
+// Section V); this is done in log-time with Brent's method.
+#pragma once
+
+#include <functional>
+
+namespace obd::num {
+
+/// Finds a root of f in [a, b] with f(a), f(b) of opposite sign.
+/// Brent's method: bisection safety with inverse-quadratic acceleration.
+/// Throws obd::Error if the bracket is invalid or convergence fails.
+double brent(const std::function<double(double)>& f, double a, double b,
+             double tolerance = 1e-12, int max_iterations = 200);
+
+/// Expands [a, b] geometrically (factor `growth`) around the seed interval
+/// until f changes sign, then runs brent(). `a` must be < `b`. Throws if no
+/// sign change is found within `max_expansions`.
+double brent_auto_bracket(const std::function<double(double)>& f, double a,
+                          double b, double tolerance = 1e-12,
+                          double growth = 2.0, int max_expansions = 200);
+
+}  // namespace obd::num

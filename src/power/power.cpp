@@ -1,0 +1,56 @@
+#include "power/power.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::power {
+
+double capacitance_density(chip::UnitKind kind) {
+  using chip::UnitKind;
+  switch (kind) {
+    case UnitKind::kLogic:         return 0.70e-9;
+    case UnitKind::kRegisterFile:  return 0.60e-9;
+    case UnitKind::kFloatingPoint: return 0.60e-9;
+    case UnitKind::kQueue:         return 0.50e-9;
+    case UnitKind::kCore:          return 0.50e-9;
+    case UnitKind::kPredictor:     return 0.45e-9;
+    case UnitKind::kTlb:           return 0.45e-9;
+    case UnitKind::kInterconnect:  return 0.30e-9;
+    case UnitKind::kCache:         return 0.25e-9;
+  }
+  throw Error("capacitance_density: unknown unit kind");
+}
+
+double PowerMap::total() const {
+  double t = 0.0;
+  for (double w : block_watts) t += w;
+  return t;
+}
+
+PowerMap estimate_power(const chip::Design& design, const PowerParams& params,
+                        const std::vector<double>& block_temps_c) {
+  design.validate();
+  require(params.vdd > 0.0, "estimate_power: vdd must be positive");
+  require(params.frequency > 0.0,
+          "estimate_power: frequency must be positive");
+  require(block_temps_c.empty() ||
+              block_temps_c.size() == design.blocks.size(),
+          "estimate_power: temperature vector size mismatch");
+
+  PowerMap map;
+  map.block_watts.reserve(design.blocks.size());
+  for (std::size_t i = 0; i < design.blocks.size(); ++i) {
+    const auto& b = design.blocks[i];
+    const double area = b.rect.area();
+    const double dynamic = b.activity * capacitance_density(b.kind) * area *
+                           params.vdd * params.vdd * params.frequency;
+    const double temp = block_temps_c.empty() ? 25.0 : block_temps_c[i];
+    const double leakage = params.leakage_density_25c * area *
+                           std::exp(params.leakage_temp_coeff * (temp - 25.0));
+    map.block_watts.push_back(dynamic + leakage);
+  }
+  return map;
+}
+
+}  // namespace obd::power

@@ -1,0 +1,46 @@
+// Architectural power estimation (Wattch-like substrate).
+//
+// The paper obtains per-functional-block power with Wattch [35] and feeds it
+// to HotSpot for the temperature profile. We reproduce the same pipeline
+// with an activity/capacitance power model: dynamic power per block is
+// activity * C_eff(kind) * area * Vdd^2 * f, plus a temperature-dependent
+// leakage term, optionally iterated to a fixed point with the thermal
+// solver.
+#pragma once
+
+#include <vector>
+
+#include "chip/design.hpp"
+
+namespace obd::power {
+
+/// Electrical operating point and leakage model parameters.
+struct PowerParams {
+  double vdd = 1.2;            ///< supply voltage [V] (Table II nominal)
+  double frequency = 2.0e9;    ///< clock frequency [Hz]
+  /// Leakage power density at 25 C [W/mm^2].
+  double leakage_density_25c = 0.02;
+  /// Exponential leakage temperature coefficient [1/K]:
+  /// P_leak(T) = P_leak(25C) * exp(coeff * (T - 25)).
+  double leakage_temp_coeff = 0.012;
+};
+
+/// Effective switched capacitance density for a unit kind [F/mm^2].
+/// Calibrated so an EV6-class die at 1.2 V / 2 GHz dissipates ~60-80 W with
+/// the integer execution cluster as the dominant hot spot (Fig. 1a).
+double capacitance_density(chip::UnitKind kind);
+
+/// Per-block power assignment [W], aligned with Design::blocks.
+struct PowerMap {
+  std::vector<double> block_watts;
+
+  [[nodiscard]] double total() const;
+};
+
+/// Computes per-block power. If `block_temps_c` is non-empty it must have
+/// one entry per block and is used for the leakage term; otherwise leakage
+/// is evaluated at 25 C.
+PowerMap estimate_power(const chip::Design& design, const PowerParams& params,
+                        const std::vector<double>& block_temps_c = {});
+
+}  // namespace obd::power

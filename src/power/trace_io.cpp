@@ -1,0 +1,111 @@
+#include "power/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace obd::power {
+namespace {
+
+// Strips comments and returns whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  std::istringstream is(hash == std::string::npos ? line
+                                                  : line.substr(0, hash));
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+double parse_double(const std::string& s, const std::string& context) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    require(pos == s.size(), context + ": trailing characters in '" + s + "'");
+    return v;
+  } catch (const std::exception&) {
+    throw Error(context + ": cannot parse number '" + s + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<PowerMap> load_power_trace(std::istream& in,
+                                              const chip::Design& design) {
+  design.validate();
+  std::string line;
+  std::vector<std::string> header;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    header = tokenize(line);
+    if (!header.empty()) break;
+  }
+  require(!header.empty(), "load_power_trace: missing header line");
+  require(header.size() == design.blocks.size(),
+          "load_power_trace: header has " + std::to_string(header.size()) +
+              " names, design has " +
+              std::to_string(design.blocks.size()) + " blocks");
+
+  // Map trace columns to design block indices.
+  std::vector<std::size_t> order(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    bool found = false;
+    for (std::size_t j = 0; j < design.blocks.size(); ++j) {
+      if (design.blocks[j].name == header[c]) {
+        order[c] = j;
+        found = true;
+        break;
+      }
+    }
+    require(found, "load_power_trace: unknown block '" + header[c] + "'");
+  }
+
+  std::vector<PowerMap> maps;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    require(tokens.size() == header.size(),
+            "load_power_trace: line " + std::to_string(line_no) +
+                ": expected " + std::to_string(header.size()) + " values");
+    PowerMap map;
+    map.block_watts.assign(design.blocks.size(), 0.0);
+    for (std::size_t c = 0; c < tokens.size(); ++c) {
+      const double w = parse_double(
+          tokens[c], "load_power_trace: line " + std::to_string(line_no));
+      require(w >= 0.0, "load_power_trace: negative power at line " +
+                            std::to_string(line_no));
+      map.block_watts[order[c]] = w;
+    }
+    maps.push_back(std::move(map));
+  }
+  require(!maps.empty(), "load_power_trace: no samples found");
+  return maps;
+}
+
+std::vector<PowerMap> load_power_trace_file(const std::string& path,
+                                                   const chip::Design& design) {
+  std::ifstream in(path);
+  require(in.good(), "load_power_trace_file: cannot open '" + path + "'");
+  return load_power_trace(in, design);
+}
+
+
+void save_power_trace(std::ostream& out, const chip::Design& design,
+                      const std::vector<PowerMap>& maps) {
+  design.validate();
+  for (std::size_t j = 0; j < design.blocks.size(); ++j)
+    out << design.blocks[j].name << (j + 1 < design.blocks.size() ? ' ' : '\n');
+  for (const auto& map : maps) {
+    require(map.block_watts.size() == design.blocks.size(),
+            "save_power_trace: power map size mismatch");
+    for (std::size_t j = 0; j < map.block_watts.size(); ++j)
+      out << map.block_watts[j]
+          << (j + 1 < map.block_watts.size() ? ' ' : '\n');
+  }
+}
+
+}  // namespace obd::power

@@ -1,0 +1,31 @@
+// HotSpot-compatible power-trace (.ptrace) file I/O.
+//
+// Format: first line lists block names; each further line carries one power
+// sample [W] per block. Loaded traces are reordered to match the design's
+// block order, so they feed directly into the thermal solver or the
+// transient simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chip/design.hpp"
+#include "power/power.hpp"
+
+namespace obd::power {
+
+/// Parses a HotSpot .ptrace stream against `design` (names must match its
+/// blocks, any order). Returns one PowerMap per trace line.
+std::vector<PowerMap> load_power_trace(std::istream& in,
+                                       const chip::Design& design);
+
+/// Parses a .ptrace file by path.
+std::vector<PowerMap> load_power_trace_file(const std::string& path,
+                                            const chip::Design& design);
+
+/// Writes maps as a .ptrace (header of block names + one line per map).
+void save_power_trace(std::ostream& out, const chip::Design& design,
+                      const std::vector<PowerMap>& maps);
+
+}  // namespace obd::power

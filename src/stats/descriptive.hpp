@@ -1,0 +1,43 @@
+// Descriptive statistics: streaming moments (Welford) and batch helpers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace obd::stats {
+
+/// Numerically stable streaming accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample mean of `xs` (0 for empty input).
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance of `xs` (0 for fewer than 2 samples).
+double variance(const std::vector<double>& xs);
+
+/// p-quantile of `xs` by linear interpolation of order statistics.
+/// Copies and sorts; p in [0, 1].
+double quantile(std::vector<double> xs, double p);
+
+/// Empirical CDF of `sorted_xs` (ascending) evaluated at x.
+double empirical_cdf(const std::vector<double>& sorted_xs, double x);
+
+}  // namespace obd::stats

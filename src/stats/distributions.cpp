@@ -1,0 +1,158 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/special.hpp"
+
+namespace obd::stats {
+
+Normal::Normal(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+  require(stddev > 0.0, "Normal: stddev must be positive");
+}
+
+double Normal::pdf(double x) const {
+  return normal_pdf((x - mean_) / stddev_) / stddev_;
+}
+
+double Normal::cdf(double x) const {
+  return normal_cdf((x - mean_) / stddev_);
+}
+
+double Normal::quantile(double p) const {
+  return mean_ + stddev_ * normal_quantile(p);
+}
+
+double Normal::sample(Rng& rng) const { return rng.normal(mean_, stddev_); }
+
+Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
+  require(shape > 0.0, "Gamma: shape must be positive");
+  require(scale > 0.0, "Gamma: scale must be positive");
+}
+
+double Gamma::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return (shape_ < 1.0) ? 0.0 : (shape_ == 1.0 ? 1.0 / scale_ : 0.0);
+  const double z = x / scale_;
+  const double logp = (shape_ - 1.0) * std::log(z) - z - std::lgamma(shape_) -
+                      std::log(scale_);
+  return std::exp(logp);
+}
+
+double Gamma::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return gamma_p(shape_, x / scale_);
+}
+
+double Gamma::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "Gamma::quantile: p must be in [0, 1)");
+  return scale_ * gamma_p_inverse(shape_, p);
+}
+
+double Gamma::sample(Rng& rng) const {
+  // Marsaglia & Tsang (2000). For shape < 1, sample shape+1 and apply the
+  // boosting transform.
+  double k = shape_;
+  double boost = 1.0;
+  if (k < 1.0) {
+    boost = std::pow(rng.uniform_positive(), 1.0 / k);
+    k += 1.0;
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform_positive();
+    if (u < 1.0 - 0.0331 * x * x * x * x)
+      return boost * d * v * scale_;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return boost * d * v * scale_;
+  }
+}
+
+ChiSquare::ChiSquare(double dof) : gamma_(dof / 2.0, 2.0) {
+  require(dof > 0.0, "ChiSquare: dof must be positive");
+}
+
+Lognormal::Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require(sigma > 0.0, "Lognormal: sigma must be positive");
+}
+
+Lognormal Lognormal::from_moments(double mean, double variance) {
+  require(mean > 0.0, "Lognormal::from_moments: mean must be positive");
+  require(variance > 0.0,
+          "Lognormal::from_moments: variance must be positive");
+  const double s2 = std::log1p(variance / (mean * mean));
+  return {std::log(mean) - 0.5 * s2, std::sqrt(s2)};
+}
+
+double Lognormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double Lognormal::variance() const {
+  const double m = mean();
+  return m * m * std::expm1(sigma_ * sigma_);
+}
+
+double Lognormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return normal_pdf(z) / (x * sigma_);
+}
+
+double Lognormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double Lognormal::quantile(double p) const {
+  require(p > 0.0 && p < 1.0, "Lognormal::quantile: p must be in (0, 1)");
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double Lognormal::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+Weibull::Weibull(double alpha, double beta, double area)
+    : alpha_(alpha), beta_(beta), area_(area) {
+  require(alpha > 0.0, "Weibull: alpha must be positive");
+  require(beta > 0.0, "Weibull: beta must be positive");
+  require(area > 0.0, "Weibull: area must be positive");
+}
+
+double Weibull::pdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double z = t / alpha_;
+  const double zb = std::pow(z, beta_);
+  return area_ * beta_ / t * zb * std::exp(-area_ * zb);
+}
+
+double Weibull::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -std::expm1(-area_ * std::pow(t / alpha_, beta_));
+}
+
+double Weibull::reliability(double t) const {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-area_ * std::pow(t / alpha_, beta_));
+}
+
+double Weibull::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "Weibull::quantile: p must be in [0, 1)");
+  if (p == 0.0) return 0.0;
+  return alpha_ * std::pow(-std::log1p(-p) / area_, 1.0 / beta_);
+}
+
+double Weibull::sample(Rng& rng) const {
+  return alpha_ * std::pow(rng.exponential() / area_, 1.0 / beta_);
+}
+
+}  // namespace obd::stats

@@ -1,0 +1,125 @@
+// Probability distributions used across the reliability framework.
+//
+// Each distribution is a small value type exposing pdf / cdf / quantile /
+// sample. Weibull is the device-level OBD time model (eq. 3-4 of the paper);
+// Normal models oxide thickness and BLOD means; Gamma / chi-square model the
+// BLOD sample variance via the quadratic-form approximation (eq. 29).
+#pragma once
+
+#include "stats/rng.hpp"
+
+namespace obd::stats {
+
+/// Normal distribution N(mean, stddev^2).
+class Normal {
+ public:
+  Normal(double mean, double stddev);
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double stddev() const { return stddev_; }
+  [[nodiscard]] double variance() const { return stddev_ * stddev_; }
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+  double sample(Rng& rng) const;
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+/// Gamma distribution with shape k and scale theta.
+class Gamma {
+ public:
+  Gamma(double shape, double scale);
+
+  [[nodiscard]] double shape() const { return shape_; }
+  [[nodiscard]] double scale() const { return scale_; }
+  [[nodiscard]] double mean() const { return shape_ * scale_; }
+  [[nodiscard]] double variance() const { return shape_ * scale_ * scale_; }
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+  /// Marsaglia–Tsang squeeze method (handles shape < 1 by boosting).
+  double sample(Rng& rng) const;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Chi-square with (possibly fractional) degrees of freedom: the
+/// Yuan–Bentler match in eq. (29-30) generally yields non-integer dof.
+/// Implemented as Gamma(dof/2, 2).
+class ChiSquare {
+ public:
+  explicit ChiSquare(double dof);
+
+  [[nodiscard]] double dof() const { return gamma_.shape() * 2.0; }
+  [[nodiscard]] double mean() const { return gamma_.mean(); }
+  [[nodiscard]] double variance() const { return gamma_.variance(); }
+
+  [[nodiscard]] double pdf(double x) const { return gamma_.pdf(x); }
+  [[nodiscard]] double cdf(double x) const { return gamma_.cdf(x); }
+  [[nodiscard]] double quantile(double p) const { return gamma_.quantile(p); }
+  double sample(Rng& rng) const { return gamma_.sample(rng); }
+
+ private:
+  Gamma gamma_;
+};
+
+/// Lognormal distribution: ln X ~ N(mu, sigma^2). Offered as the
+/// alternative BLOD-variance model hinted at by the paper's footnote 4
+/// ("pick up an appropriate distribution"), and for leakage modeling —
+/// leakage is exponential in thickness, so Gaussian thickness makes block
+/// leakage lognormal.
+class Lognormal {
+ public:
+  Lognormal(double mu, double sigma);
+
+  /// Fits (mu, sigma) so the lognormal has the given mean and variance.
+  static Lognormal from_moments(double mean, double variance);
+
+  [[nodiscard]] double mu() const { return mu_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+  double sample(Rng& rng) const;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Weibull distribution in the paper's area-scaled parameterization
+/// (eq. 4): F(t) = 1 - exp(-a (t/alpha)^beta), where `a` is the device area
+/// normalized to the minimum device area, `alpha` the characteristic life,
+/// and `beta = b * x` the shape (slope) for oxide thickness x.
+class Weibull {
+ public:
+  Weibull(double alpha, double beta, double area = 1.0);
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double beta() const { return beta_; }
+  [[nodiscard]] double area() const { return area_; }
+
+  [[nodiscard]] double pdf(double t) const;
+  [[nodiscard]] double cdf(double t) const;
+  /// Survivor / reliability function R(t) = 1 - F(t) (eq. 5).
+  [[nodiscard]] double reliability(double t) const;
+  [[nodiscard]] double quantile(double p) const;
+  double sample(Rng& rng) const;
+
+ private:
+  double alpha_;
+  double beta_;
+  double area_;
+};
+
+}  // namespace obd::stats

@@ -1,0 +1,92 @@
+#include "stats/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "numeric/roots.hpp"
+#include "stats/special.hpp"
+
+namespace obd::stats {
+
+GaussianFit fit_gaussian(const Histogram1D& h) {
+  require(h.total() > 0.0, "fit_gaussian: empty histogram");
+
+  // Moments from binned data (midpoint assignment).
+  double mean = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i)
+    mean += h.probability(i) * h.bin_center(i);
+  double var = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    const double d = h.bin_center(i) - mean;
+    var += h.probability(i) * d * d;
+  }
+  require(var > 0.0, "fit_gaussian: degenerate (zero-variance) histogram");
+
+  GaussianFit fit;
+  fit.mean = mean;
+  fit.stddev = std::sqrt(var);
+
+  // R^2 between observed bin densities and the fitted normal density.
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double density_mean = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) density_mean += h.density(i);
+  density_mean /= static_cast<double>(h.bins());
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    const double observed = h.density(i);
+    const double predicted =
+        normal_pdf((h.bin_center(i) - mean) / fit.stddev) / fit.stddev;
+    ss_res += (observed - predicted) * (observed - predicted);
+    ss_tot += (observed - density_mean) * (observed - density_mean);
+  }
+  fit.r_square = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 0.0;
+  return fit;
+}
+
+WeibullFit fit_weibull(const std::vector<double>& failure_times) {
+  require(failure_times.size() >= 3, "fit_weibull: need at least 3 samples");
+  double mean_log = 0.0;
+  for (double t : failure_times) {
+    require(t > 0.0, "fit_weibull: failure times must be positive");
+    mean_log += std::log(t);
+  }
+  mean_log /= static_cast<double>(failure_times.size());
+  const auto [lo, hi] =
+      std::minmax_element(failure_times.begin(), failure_times.end());
+  require(*hi > *lo, "fit_weibull: degenerate (constant) samples");
+
+  // Profile-likelihood shape equation; work with times scaled by the
+  // geometric mean so t^beta stays in range for large beta.
+  auto shape_eq = [&](double beta) {
+    double s = 0.0;
+    double s_log = 0.0;
+    for (double t : failure_times) {
+      const double w = std::exp(beta * (std::log(t) - mean_log));
+      s += w;
+      s_log += w * std::log(t);
+    }
+    return s_log / s - 1.0 / beta - mean_log;
+  };
+  const double beta = num::brent_auto_bracket(shape_eq, 0.05, 5.0, 1e-12);
+
+  double s = 0.0;
+  for (double t : failure_times)
+    s += std::exp(beta * (std::log(t) - mean_log));
+  const double alpha =
+      std::exp(mean_log +
+               std::log(s / static_cast<double>(failure_times.size())) /
+                   beta);
+
+  WeibullFit fit;
+  fit.alpha = alpha;
+  fit.beta = beta;
+  for (double t : failure_times) {
+    const double z = t / alpha;
+    fit.log_likelihood += std::log(beta / alpha) +
+                          (beta - 1.0) * std::log(z) - std::pow(z, beta);
+  }
+  return fit;
+}
+
+}  // namespace obd::stats

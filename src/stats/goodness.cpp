@@ -1,0 +1,64 @@
+#include "stats/goodness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::stats {
+
+double ks_statistic(std::vector<double> samples,
+                    const std::function<double(double)>& cdf) {
+  require(!samples.empty(), "ks_statistic: empty sample set");
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    require(f >= -1e-12 && f <= 1.0 + 1e-12,
+            "ks_statistic: reference CDF out of [0, 1]");
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::fabs(f - lo), std::fabs(hi - f)));
+  }
+  return d;
+}
+
+double ks_p_value(double d, std::size_t n) {
+  require(d >= 0.0, "ks_p_value: statistic must be non-negative");
+  require(n > 0, "ks_p_value: sample size must be positive");
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  // Effective statistic with the Stephens small-sample correction.
+  const double t = d * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+  if (t < 1e-3) return 1.0;
+  // Q_KS(t) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 t^2).
+  double p = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * t * t);
+    p += ((k % 2 == 1) ? 2.0 : -2.0) * term;
+    if (term < 1e-16) break;
+  }
+  return std::min(1.0, std::max(0.0, p));
+}
+
+double anderson_darling_statistic(
+    std::vector<double> samples,
+    const std::function<double(double)>& cdf) {
+  require(samples.size() >= 2, "anderson_darling: need >= 2 samples");
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  const double dn = static_cast<double>(n);
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double f_lo = cdf(samples[i]);
+    double f_hi = cdf(samples[n - 1 - i]);
+    // Clamp away from {0, 1} so the logs stay finite.
+    f_lo = std::min(std::max(f_lo, 1e-300), 1.0 - 1e-16);
+    f_hi = std::min(std::max(f_hi, 1e-300), 1.0 - 1e-16);
+    s += (2.0 * static_cast<double>(i) + 1.0) *
+         (std::log(f_lo) + std::log1p(-f_hi));
+  }
+  return -dn - s / dn;
+}
+
+}  // namespace obd::stats

@@ -1,0 +1,29 @@
+// Goodness-of-fit statistics for validating distribution approximations.
+//
+// Used by the test suite and the figure benches to score how well the
+// chi-square approximations (eq. 29-30 and the three-moment refinement)
+// track sampled quadratic forms, and how Gaussian the BLODs really are —
+// quantitative versions of the paper's Fig. 4 / Fig. 8 eyeball checks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace obd::stats {
+
+/// One-sample Kolmogorov-Smirnov statistic: sup_x |F_n(x) - F(x)| for
+/// samples against a reference CDF. `samples` need not be sorted.
+double ks_statistic(std::vector<double> samples,
+                    const std::function<double(double)>& cdf);
+
+/// Asymptotic KS p-value for statistic d at sample size n (Kolmogorov
+/// distribution, Marsaglia-style series). Small p => reject equality.
+double ks_p_value(double d, std::size_t n);
+
+/// One-sample Anderson-Darling statistic A^2 — tail-weighted alternative
+/// to KS (more sensitive to exactly the tail errors that matter at ppm
+/// failure levels). `samples` need not be sorted.
+double anderson_darling_statistic(std::vector<double> samples,
+                                  const std::function<double(double)>& cdf);
+
+}  // namespace obd::stats

@@ -1,0 +1,99 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::stats {
+namespace {
+
+std::size_t bin_index(double x, double lo, double width, std::size_t bins) {
+  if (x <= lo) return 0;
+  const auto i = static_cast<std::size_t>((x - lo) / width);
+  return std::min(i, bins - 1);
+}
+
+}  // namespace
+
+Histogram1D::Histogram1D(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  require(hi > lo, "Histogram1D: hi must exceed lo");
+  require(bins > 0, "Histogram1D: need at least one bin");
+}
+
+void Histogram1D::add(double x, double weight) {
+  counts_[bin_index(x, lo_, width_, counts_.size())] += weight;
+  total_ += weight;
+}
+
+double Histogram1D::probability(std::size_t i) const {
+  return (total_ > 0.0) ? counts_[i] / total_ : 0.0;
+}
+
+double Histogram1D::density(std::size_t i) const {
+  return probability(i) / width_;
+}
+
+Histogram2D::Histogram2D(double xlo, double xhi, std::size_t xbins,
+                         double ylo, double yhi, std::size_t ybins)
+    : xlo_(xlo),
+      xhi_(xhi),
+      xwidth_((xhi - xlo) / static_cast<double>(xbins)),
+      ylo_(ylo),
+      yhi_(yhi),
+      ywidth_((yhi - ylo) / static_cast<double>(ybins)),
+      xbins_(xbins),
+      ybins_(ybins),
+      counts_(xbins * ybins, 0.0) {
+  require(xhi > xlo && yhi > ylo, "Histogram2D: invalid range");
+  require(xbins > 0 && ybins > 0, "Histogram2D: need at least one bin");
+}
+
+void Histogram2D::add(double x, double y, double weight) {
+  const std::size_t i = bin_index(x, xlo_, xwidth_, xbins_);
+  const std::size_t j = bin_index(y, ylo_, ywidth_, ybins_);
+  counts_[i * ybins_ + j] += weight;
+  total_ += weight;
+}
+
+double Histogram2D::probability(std::size_t i, std::size_t j) const {
+  return (total_ > 0.0) ? count(i, j) / total_ : 0.0;
+}
+
+double Histogram2D::density(std::size_t i, std::size_t j) const {
+  return probability(i, j) / (xwidth_ * ywidth_);
+}
+
+double Histogram2D::marginal_x(std::size_t i) const {
+  double s = 0.0;
+  for (std::size_t j = 0; j < ybins_; ++j) s += probability(i, j);
+  return s;
+}
+
+double Histogram2D::marginal_y(std::size_t j) const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < xbins_; ++i) s += probability(i, j);
+  return s;
+}
+
+double mutual_information(const Histogram2D& h) {
+  std::vector<double> px(h.xbins());
+  std::vector<double> py(h.ybins());
+  for (std::size_t i = 0; i < h.xbins(); ++i) px[i] = h.marginal_x(i);
+  for (std::size_t j = 0; j < h.ybins(); ++j) py[j] = h.marginal_y(j);
+  double mi = 0.0;
+  for (std::size_t i = 0; i < h.xbins(); ++i) {
+    for (std::size_t j = 0; j < h.ybins(); ++j) {
+      const double pij = h.probability(i, j);
+      if (pij <= 0.0 || px[i] <= 0.0 || py[j] <= 0.0) continue;
+      mi += pij * std::log(pij / (px[i] * py[j]));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+}  // namespace obd::stats

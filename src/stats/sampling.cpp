@@ -1,0 +1,46 @@
+#include "stats/sampling.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "stats/special.hpp"
+
+namespace obd::stats {
+namespace {
+
+// Fisher-Yates shuffle of an index permutation.
+void shuffle(std::vector<std::size_t>& perm, Rng& rng) {
+  for (std::size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+}
+
+}  // namespace
+
+std::vector<double> latin_hypercube_normal(std::size_t count,
+                                           std::size_t dimensions,
+                                           Rng& rng) {
+  require(count > 0, "latin_hypercube_normal: count must be positive");
+  require(dimensions > 0,
+          "latin_hypercube_normal: dimensions must be positive");
+  std::vector<double> out(count * dimensions);
+  std::vector<std::size_t> perm(count);
+  for (std::size_t k = 0; k < dimensions; ++k) {
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    shuffle(perm, rng);
+    for (std::size_t i = 0; i < count; ++i) {
+      // Uniform jitter within the assigned stratum, then probit transform.
+      const double u = (static_cast<double>(perm[i]) + rng.uniform()) /
+                       static_cast<double>(count);
+      const double clamped =
+          std::min(std::max(u, 1e-15), 1.0 - 1e-15);
+      out[i * dimensions + k] = normal_quantile(clamped);
+    }
+  }
+  return out;
+}
+
+std::vector<double> stratified_normal(std::size_t count, Rng& rng) {
+  return latin_hypercube_normal(count, 1, rng);
+}
+
+}  // namespace obd::stats

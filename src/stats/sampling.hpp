@@ -1,0 +1,28 @@
+// Variance-reduction sampling plans.
+//
+// The st_MC analyzer and the measurement simulators draw from standard
+// normals; stratifying those draws (Latin hypercube) or pairing them
+// antithetically cuts the variance of the resulting (u_j, v_j) clouds for
+// the same sample budget. Exposed as reusable primitives.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace obd::stats {
+
+/// Latin-hypercube sample of `count` points in `dimensions` dimensions,
+/// mapped through the standard-normal quantile: each returned row is an
+/// N(0, I) point, and each marginal is perfectly stratified into `count`
+/// equiprobable bins. Rows are stored contiguously:
+/// result[i * dimensions + k].
+std::vector<double> latin_hypercube_normal(std::size_t count,
+                                           std::size_t dimensions, Rng& rng);
+
+/// Stratified 1-D standard-normal sample: one draw per equiprobable bin,
+/// shuffled. Equivalent to latin_hypercube_normal with 1 dimension.
+std::vector<double> stratified_normal(std::size_t count, Rng& rng);
+
+}  // namespace obd::stats

@@ -1,0 +1,154 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace obd::stats {
+namespace {
+
+// Series expansion for P(a, x), effective for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-16)
+      return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  }
+  throw Error("gamma_p: series failed to converge");
+}
+
+// Continued fraction for Q(a, x), effective for x >= a + 1 (modified
+// Lentz's method).
+double gamma_q_cf(double a, double x) {
+  const double tiny = std::numeric_limits<double>::min() / 1e-30;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-16)
+      return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  }
+  throw Error("gamma_q: continued fraction failed to converge");
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  require(a > 0.0, "gamma_p: shape must be positive");
+  require(x >= 0.0, "gamma_p: x must be non-negative");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  require(a > 0.0, "gamma_q: shape must be positive");
+  require(x >= 0.0, "gamma_q: x must be non-negative");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_cf(a, x);
+}
+
+double gamma_p_inverse(double a, double p) {
+  require(a > 0.0, "gamma_p_inverse: shape must be positive");
+  require(p >= 0.0 && p < 1.0, "gamma_p_inverse: p must be in [0, 1)");
+  if (p == 0.0) return 0.0;
+
+  // Wilson–Hilferty starting guess, then safeguarded Newton.
+  const double g = std::lgamma(a);
+  double x;
+  if (a > 1.0) {
+    const double z = normal_quantile(p);
+    const double t = 1.0 - 1.0 / (9.0 * a) + z / (3.0 * std::sqrt(a));
+    x = a * t * t * t;
+    if (x <= 0.0) x = 1e-8;
+  } else {
+    const double t = 1.0 - a * (0.253 + a * 0.12);
+    x = (p < t) ? std::pow(p / t, 1.0 / a)
+                : 1.0 - std::log1p(-(p - t) / (1.0 - t));
+  }
+
+  double lo = 0.0;
+  double hi = std::numeric_limits<double>::infinity();
+  for (int it = 0; it < 100; ++it) {
+    const double f = gamma_p(a, x) - p;
+    if (f > 0.0)
+      hi = x;
+    else
+      lo = x;
+    const double logpdf = (a - 1.0) * std::log(x) - x - g;
+    const double pdf = std::exp(logpdf);
+    double step = (pdf > 0.0) ? f / pdf : 0.0;
+    double next = x - step;
+    if (!(next > lo && next < hi) || pdf == 0.0) {
+      next = std::isinf(hi) ? x * 2.0 : 0.5 * (lo + hi);
+    }
+    if (std::fabs(next - x) <= 1e-14 * x + 1e-300) return next;
+    x = next;
+  }
+  return x;
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_pdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+}
+
+double normal_quantile(double p) {
+  require(p > 0.0 && p < 1.0, "normal_quantile: p must be in (0, 1)");
+
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step drives the error to machine precision.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+}  // namespace obd::stats

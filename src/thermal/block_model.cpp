@@ -1,0 +1,100 @@
+#include "thermal/block_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace obd::thermal {
+namespace {
+
+// Overlap length of two 1-D intervals.
+double interval_overlap(double a0, double a1, double b0, double b1) {
+  return std::max(0.0, std::min(a1, b1) - std::max(a0, b0));
+}
+
+}  // namespace
+
+double shared_edge_length(const chip::Rect& a, const chip::Rect& b) {
+  constexpr double kAbut = 1e-9;
+  // Vertical shared edge: a's right against b's left (or vice versa).
+  if (std::fabs((a.x + a.width) - b.x) < kAbut ||
+      std::fabs((b.x + b.width) - a.x) < kAbut)
+    return interval_overlap(a.y, a.y + a.height, b.y, b.y + b.height);
+  // Horizontal shared edge.
+  if (std::fabs((a.y + a.height) - b.y) < kAbut ||
+      std::fabs((b.y + b.height) - a.y) < kAbut)
+    return interval_overlap(a.x, a.x + a.width, b.x, b.x + b.width);
+  return 0.0;
+}
+
+ThermalProfile solve_thermal_blocks(const chip::Design& design,
+                                    const power::PowerMap& power,
+                                    const ThermalParams& params) {
+  design.validate();
+  require(power.block_watts.size() == design.blocks.size(),
+          "solve_thermal_blocks: power map size mismatch");
+  require(params.package_resistance > 0.0,
+          "solve_thermal_blocks: package resistance must be positive");
+
+  const std::size_t n = design.blocks.size();
+  const double die_area = design.die_area();
+
+  // Conductance matrix: lateral between abutting blocks, vertical to
+  // ambient by area share.
+  la::Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const chip::Rect& ri = design.blocks[i].rect;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const chip::Rect& rj = design.blocks[j].rect;
+      const double edge = shared_edge_length(ri, rj);
+      if (edge <= 0.0) continue;
+      const double dist = std::hypot(ri.center_x() - rj.center_x(),
+                                     ri.center_y() - rj.center_y());
+      const double g =
+          params.conductivity * params.die_thickness * edge / dist;
+      a(i, j) -= g;
+      a(j, i) -= g;
+      a(i, i) += g;
+      a(j, j) += g;
+    }
+    a(i, i) += (1.0 / params.package_resistance) * ri.area() / die_area;
+  }
+
+  const la::Matrix l = cholesky_lower(a, 1e-12);
+  const la::Vector rise = cholesky_solve(l, power.block_watts);
+
+  ThermalProfile profile;
+  profile.resolution = params.resolution;
+  profile.die_width = design.width;
+  profile.die_height = design.height;
+  profile.block_temps_c.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    profile.block_temps_c[i] = params.ambient_c + rise[i];
+
+  // Render a cell field from block temperatures (dominant-overlap block).
+  const std::size_t res = params.resolution;
+  profile.cell_temps_c.assign(res * res, params.ambient_c);
+  const double cw = design.width / static_cast<double>(res);
+  const double ch = design.height / static_cast<double>(res);
+  for (std::size_t r = 0; r < res; ++r) {
+    for (std::size_t c = 0; c < res; ++c) {
+      const chip::Rect cell{static_cast<double>(c) * cw,
+                            static_cast<double>(r) * ch, cw, ch};
+      double best_overlap = 0.0;
+      double temp = params.ambient_c;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double ov = design.blocks[i].rect.overlap(cell);
+        if (ov > best_overlap) {
+          best_overlap = ov;
+          temp = profile.block_temps_c[i];
+        }
+      }
+      profile.cell_temps_c[r * res + c] = temp;
+    }
+  }
+  return profile;
+}
+
+}  // namespace obd::thermal

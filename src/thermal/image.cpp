@@ -1,0 +1,91 @@
+#include "thermal/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace obd::thermal {
+namespace {
+
+// Normalized field position [0, 1] of a pixel's cell value.
+double normalized(const ThermalProfile& p, std::size_t row, std::size_t col,
+                  double lo, double hi) {
+  const double t = p.cell_temps_c[row * p.resolution + col];
+  return (hi > lo) ? std::clamp((t - lo) / (hi - lo), 0.0, 1.0) : 0.0;
+}
+
+// Blue -> cyan -> yellow -> red ramp.
+void ramp(double x, unsigned char rgb[3]) {
+  const double r = std::clamp(2.0 * x - 0.8, 0.0, 1.0);
+  const double g = std::clamp(1.6 - std::fabs(2.4 * x - 1.2), 0.0, 1.0);
+  const double b = std::clamp(1.2 - 2.0 * x, 0.0, 1.0);
+  rgb[0] = static_cast<unsigned char>(255.0 * r);
+  rgb[1] = static_cast<unsigned char>(255.0 * g);
+  rgb[2] = static_cast<unsigned char>(255.0 * b);
+}
+
+void check(const ThermalProfile& profile, std::size_t upscale) {
+  require(profile.resolution >= 1 && !profile.cell_temps_c.empty(),
+          "thermal image: empty profile");
+  require(upscale >= 1, "thermal image: upscale must be >= 1");
+}
+
+}  // namespace
+
+void write_pgm(std::ostream& out, const ThermalProfile& profile,
+               std::size_t upscale) {
+  check(profile, upscale);
+  const std::size_t n = profile.resolution * upscale;
+  out << "P5\n" << n << ' ' << n << "\n255\n";
+  const double lo = profile.min_c();
+  const double hi = profile.max_c();
+  // Image rows run top-down; die rows run bottom-up.
+  for (std::size_t py = n; py-- > 0;) {
+    const std::size_t row = py / upscale;
+    for (std::size_t px = 0; px < n; ++px) {
+      const std::size_t col = px / upscale;
+      const auto v = static_cast<unsigned char>(
+          255.0 * normalized(profile, row, col, lo, hi));
+      out.put(static_cast<char>(v));
+    }
+  }
+  require(out.good(), "write_pgm: write failed");
+}
+
+void write_ppm(std::ostream& out, const ThermalProfile& profile,
+               std::size_t upscale) {
+  check(profile, upscale);
+  const std::size_t n = profile.resolution * upscale;
+  out << "P6\n" << n << ' ' << n << "\n255\n";
+  const double lo = profile.min_c();
+  const double hi = profile.max_c();
+  unsigned char rgb[3];
+  for (std::size_t py = n; py-- > 0;) {
+    const std::size_t row = py / upscale;
+    for (std::size_t px = 0; px < n; ++px) {
+      const std::size_t col = px / upscale;
+      ramp(normalized(profile, row, col, lo, hi), rgb);
+      out.write(reinterpret_cast<const char*>(rgb), 3);
+    }
+  }
+  require(out.good(), "write_ppm: write failed");
+}
+
+void write_pgm_file(const std::string& path, const ThermalProfile& profile,
+                    std::size_t upscale) {
+  std::ofstream out(path, std::ios::binary);
+  require(out.good(), "write_pgm_file: cannot open '" + path + "'");
+  write_pgm(out, profile, upscale);
+}
+
+void write_ppm_file(const std::string& path, const ThermalProfile& profile,
+                    std::size_t upscale) {
+  std::ofstream out(path, std::ios::binary);
+  require(out.good(), "write_ppm_file: cannot open '" + path + "'");
+  write_ppm(out, profile, upscale);
+}
+
+}  // namespace obd::thermal

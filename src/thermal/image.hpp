@@ -1,0 +1,30 @@
+// Thermal-map image export (binary PGM / PPM, no dependencies).
+//
+// Writes a ThermalProfile's cell field as a grayscale PGM or a
+// blue-to-red false-color PPM, so the Fig. 1 reproductions can be viewed
+// with any image tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "thermal/solver.hpp"
+
+namespace obd::thermal {
+
+/// Writes the field as binary PGM (P5), hottest = white. `upscale`
+/// replicates each cell into an upscale x upscale pixel block.
+void write_pgm(std::ostream& out, const ThermalProfile& profile,
+               std::size_t upscale = 8);
+
+/// Writes the field as binary PPM (P6) with a blue->cyan->yellow->red ramp.
+void write_ppm(std::ostream& out, const ThermalProfile& profile,
+               std::size_t upscale = 8);
+
+/// Convenience file writers (throw obd::Error on I/O failure).
+void write_pgm_file(const std::string& path, const ThermalProfile& profile,
+                    std::size_t upscale = 8);
+void write_ppm_file(const std::string& path, const ThermalProfile& profile,
+                    std::size_t upscale = 8);
+
+}  // namespace obd::thermal

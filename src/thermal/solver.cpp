@@ -1,0 +1,161 @@
+#include "thermal/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::thermal {
+
+double ThermalProfile::min_c() const {
+  return *std::min_element(cell_temps_c.begin(), cell_temps_c.end());
+}
+
+double ThermalProfile::max_c() const {
+  return *std::max_element(cell_temps_c.begin(), cell_temps_c.end());
+}
+
+double ThermalProfile::at(double x, double y) const {
+  const double fx = std::clamp(x / die_width, 0.0, 1.0 - 1e-12);
+  const double fy = std::clamp(y / die_height, 0.0, 1.0 - 1e-12);
+  const auto col =
+      static_cast<std::size_t>(fx * static_cast<double>(resolution));
+  const auto row =
+      static_cast<std::size_t>(fy * static_cast<double>(resolution));
+  return cell_temps_c[row * resolution + col];
+}
+
+ThermalProfile solve_thermal(const chip::Design& design,
+                             const power::PowerMap& power,
+                             const ThermalParams& params) {
+  design.validate();
+  require(power.block_watts.size() == design.blocks.size(),
+          "solve_thermal: power map size mismatch");
+  require(params.resolution >= 2, "solve_thermal: resolution must be >= 2");
+  require(params.sor_omega > 0.0 && params.sor_omega < 2.0,
+          "solve_thermal: SOR omega must be in (0, 2)");
+  require(params.package_resistance > 0.0,
+          "solve_thermal: package resistance must be positive");
+
+  const std::size_t n = params.resolution;
+  const double cw = design.width / static_cast<double>(n);
+  const double ch = design.height / static_cast<double>(n);
+
+  // Per-cell power: block power density integrated over the overlap with
+  // each cell.
+  std::vector<double> cell_power(n * n, 0.0);
+  for (std::size_t b = 0; b < design.blocks.size(); ++b) {
+    const chip::Rect& rect = design.blocks[b].rect;
+    const double density = power.block_watts[b] / rect.area();
+    // Restrict the scan to cells the block can overlap.
+    const auto c0 = static_cast<std::size_t>(
+        std::clamp(rect.x / cw, 0.0, static_cast<double>(n - 1)));
+    const auto c1 = static_cast<std::size_t>(std::clamp(
+        (rect.x + rect.width) / cw, 0.0, static_cast<double>(n - 1)));
+    const auto r0 = static_cast<std::size_t>(
+        std::clamp(rect.y / ch, 0.0, static_cast<double>(n - 1)));
+    const auto r1 = static_cast<std::size_t>(std::clamp(
+        (rect.y + rect.height) / ch, 0.0, static_cast<double>(n - 1)));
+    for (std::size_t r = r0; r <= r1; ++r) {
+      for (std::size_t c = c0; c <= c1; ++c) {
+        const chip::Rect cell{static_cast<double>(c) * cw,
+                              static_cast<double>(r) * ch, cw, ch};
+        cell_power[r * n + c] += density * rect.overlap(cell);
+      }
+    }
+  }
+
+  // Conductances. Lateral: k * t * (perpendicular length / pitch).
+  const double g_lat_x = params.conductivity * params.die_thickness *
+                         (ch / cw);  // between horizontal neighbors
+  const double g_lat_y = params.conductivity * params.die_thickness *
+                         (cw / ch);  // between vertical neighbors
+  // Vertical: the total package conductance 1/R distributed by cell area.
+  const double g_vert = (1.0 / params.package_resistance) /
+                        static_cast<double>(n * n);
+
+  // SOR on: sum_nb g*(T_nb - T_i) + g_vert*(T_amb - T_i) + P_i = 0.
+  // Temperatures are stored as rise over ambient; ambient added at the end.
+  std::vector<double> t(n * n, 0.0);
+  double residual = 0.0;
+  std::size_t iter = 0;
+  for (; iter < params.max_iterations; ++iter) {
+    residual = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        const std::size_t i = r * n + c;
+        double g_sum = g_vert;
+        double rhs = cell_power[i];
+        if (c > 0) {
+          g_sum += g_lat_x;
+          rhs += g_lat_x * t[i - 1];
+        }
+        if (c + 1 < n) {
+          g_sum += g_lat_x;
+          rhs += g_lat_x * t[i + 1];
+        }
+        if (r > 0) {
+          g_sum += g_lat_y;
+          rhs += g_lat_y * t[i - n];
+        }
+        if (r + 1 < n) {
+          g_sum += g_lat_y;
+          rhs += g_lat_y * t[i + n];
+        }
+        const double updated = rhs / g_sum;
+        const double next = t[i] + params.sor_omega * (updated - t[i]);
+        residual = std::max(residual, std::fabs(next - t[i]));
+        t[i] = next;
+      }
+    }
+    if (residual < params.tolerance) break;
+  }
+  require(residual < params.tolerance,
+          "solve_thermal: SOR failed to converge");
+
+  ThermalProfile profile;
+  profile.resolution = n;
+  profile.die_width = design.width;
+  profile.die_height = design.height;
+  profile.cell_temps_c.resize(n * n);
+  for (std::size_t i = 0; i < n * n; ++i)
+    profile.cell_temps_c[i] = params.ambient_c + t[i];
+
+  // Block aggregates: overlap-area-weighted average of cell temperatures.
+  profile.block_temps_c.resize(design.blocks.size());
+  for (std::size_t b = 0; b < design.blocks.size(); ++b) {
+    const chip::Rect& rect = design.blocks[b].rect;
+    double weighted = 0.0;
+    double area = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        const chip::Rect cell{static_cast<double>(c) * cw,
+                              static_cast<double>(r) * ch, cw, ch};
+        const double ov = rect.overlap(cell);
+        if (ov <= 0.0) continue;
+        weighted += ov * profile.cell_temps_c[r * n + c];
+        area += ov;
+      }
+    }
+    require(area > 0.0, "solve_thermal: block overlaps no cells");
+    profile.block_temps_c[b] = weighted / area;
+  }
+  return profile;
+}
+
+ThermalProfile power_thermal_fixed_point(const chip::Design& design,
+                                         const power::PowerParams& pparams,
+                                         const ThermalParams& tparams,
+                                         std::size_t iterations) {
+  require(iterations >= 1, "power_thermal_fixed_point: need >= 1 iteration");
+  std::vector<double> temps;  // empty -> leakage at 25 C on the first pass
+  ThermalProfile profile;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const power::PowerMap power = estimate_power(design, pparams, temps);
+    profile = solve_thermal(design, power, tparams);
+    temps = profile.block_temps_c;
+  }
+  return profile;
+}
+
+}  // namespace obd::thermal

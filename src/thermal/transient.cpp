@@ -1,0 +1,133 @@
+#include "thermal/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::thermal {
+
+TransientSimulator::TransientSimulator(const chip::Design& design,
+                                       const TransientParams& params)
+    : design_(design), params_(params), n_(params.thermal.resolution) {
+  design_.validate();
+  require(n_ >= 2, "TransientSimulator: resolution must be >= 2");
+  require(params.heat_capacity > 0.0,
+          "TransientSimulator: heat capacity must be positive");
+  require(params.step_safety > 0.0 && params.step_safety <= 1.0,
+          "TransientSimulator: step safety must be in (0, 1]");
+
+  const double cw = design_.width / static_cast<double>(n_);
+  const double ch = design_.height / static_cast<double>(n_);
+  g_lat_x_ = params.thermal.conductivity * params.thermal.die_thickness *
+             (ch / cw);
+  g_lat_y_ = params.thermal.conductivity * params.thermal.die_thickness *
+             (cw / ch);
+  g_vert_ = (1.0 / params.thermal.package_resistance) /
+            static_cast<double>(n_ * n_);
+  cell_capacity_ =
+      params.heat_capacity * cw * ch * params.thermal.die_thickness;
+
+  rise_.assign(n_ * n_, 0.0);
+  scratch_.assign(n_ * n_, 0.0);
+}
+
+void TransientSimulator::reset(double temp_c) {
+  std::fill(rise_.begin(), rise_.end(),
+            temp_c - params_.thermal.ambient_c);
+  time_s_ = 0.0;
+}
+
+double TransientSimulator::cell_time_constant() const {
+  return cell_capacity_ /
+         (2.0 * g_lat_x_ + 2.0 * g_lat_y_ + g_vert_);
+}
+
+double TransientSimulator::die_time_constant() const {
+  return cell_capacity_ * static_cast<double>(n_ * n_) *
+         params_.thermal.package_resistance;
+}
+
+std::vector<double> TransientSimulator::cell_power(
+    const power::PowerMap& power) const {
+  require(power.block_watts.size() == design_.blocks.size(),
+          "TransientSimulator: power map size mismatch");
+  const double cw = design_.width / static_cast<double>(n_);
+  const double ch = design_.height / static_cast<double>(n_);
+  std::vector<double> p(n_ * n_, 0.0);
+  for (std::size_t b = 0; b < design_.blocks.size(); ++b) {
+    const chip::Rect& rect = design_.blocks[b].rect;
+    const double density = power.block_watts[b] / rect.area();
+    for (std::size_t r = 0; r < n_; ++r) {
+      for (std::size_t c = 0; c < n_; ++c) {
+        const chip::Rect cell{static_cast<double>(c) * cw,
+                              static_cast<double>(r) * ch, cw, ch};
+        const double ov = rect.overlap(cell);
+        if (ov > 0.0) p[r * n_ + c] += density * ov;
+      }
+    }
+  }
+  return p;
+}
+
+void TransientSimulator::advance(const power::PowerMap& power,
+                                 double duration) {
+  require(duration >= 0.0, "TransientSimulator: negative duration");
+  if (duration == 0.0) return;
+  const std::vector<double> p = cell_power(power);
+
+  // Explicit-Euler stability: dt < C / G_total.
+  const double dt_max = params_.step_safety * cell_time_constant();
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(duration / dt_max));
+  const double dt = duration / static_cast<double>(steps);
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    for (std::size_t r = 0; r < n_; ++r) {
+      for (std::size_t c = 0; c < n_; ++c) {
+        const std::size_t i = r * n_ + c;
+        double flux = p[i] - g_vert_ * rise_[i];
+        if (c > 0) flux += g_lat_x_ * (rise_[i - 1] - rise_[i]);
+        if (c + 1 < n_) flux += g_lat_x_ * (rise_[i + 1] - rise_[i]);
+        if (r > 0) flux += g_lat_y_ * (rise_[i - n_] - rise_[i]);
+        if (r + 1 < n_) flux += g_lat_y_ * (rise_[i + n_] - rise_[i]);
+        scratch_[i] = rise_[i] + dt * flux / cell_capacity_;
+      }
+    }
+    rise_.swap(scratch_);
+  }
+  time_s_ += duration;
+}
+
+ThermalProfile TransientSimulator::profile() const {
+  ThermalProfile out;
+  out.resolution = n_;
+  out.die_width = design_.width;
+  out.die_height = design_.height;
+  out.cell_temps_c.resize(n_ * n_);
+  for (std::size_t i = 0; i < n_ * n_; ++i)
+    out.cell_temps_c[i] = params_.thermal.ambient_c + rise_[i];
+
+  const double cw = design_.width / static_cast<double>(n_);
+  const double ch = design_.height / static_cast<double>(n_);
+  out.block_temps_c.resize(design_.blocks.size());
+  for (std::size_t b = 0; b < design_.blocks.size(); ++b) {
+    const chip::Rect& rect = design_.blocks[b].rect;
+    double weighted = 0.0;
+    double area = 0.0;
+    for (std::size_t r = 0; r < n_; ++r) {
+      for (std::size_t c = 0; c < n_; ++c) {
+        const chip::Rect cell{static_cast<double>(c) * cw,
+                              static_cast<double>(r) * ch, cw, ch};
+        const double ov = rect.overlap(cell);
+        if (ov <= 0.0) continue;
+        weighted += ov * out.cell_temps_c[r * n_ + c];
+        area += ov;
+      }
+    }
+    out.block_temps_c[b] = weighted / area;
+  }
+  return out;
+}
+
+}  // namespace obd::thermal

@@ -1,0 +1,67 @@
+// Transient full-chip thermal simulation.
+//
+// Extends the steady-state solver with time integration of the same grid RC
+// network: each cell gets a heat capacity C = c_v * cell_volume and the
+// field evolves as C dT/dt = sum_nb g (T_nb - T) + g_vert (T_amb - T) + P.
+// Explicit Euler with automatic stability-limited substepping — simple,
+// robust, and exact enough for the millisecond-to-seconds workload phases
+// the reliability monitor cares about. The steady state of this integrator
+// is the solution of solve_thermal() by construction.
+#pragma once
+
+#include "thermal/solver.hpp"
+
+namespace obd::thermal {
+
+struct TransientParams {
+  ThermalParams thermal{};
+  /// Volumetric heat capacity [J/(mm^3 K)] (silicon ~1.75e-3).
+  double heat_capacity = 1.75e-3;
+  /// Safety factor (< 1) on the explicit-Euler stability step.
+  double step_safety = 0.5;
+};
+
+/// Time-stepping thermal state for a fixed design.
+class TransientSimulator {
+ public:
+  TransientSimulator(const chip::Design& design,
+                     const TransientParams& params = {});
+
+  /// Resets the whole field to a uniform temperature [C].
+  void reset(double temp_c);
+
+  /// Advances the field by `duration` seconds under the given power map
+  /// (auto-substepped for stability).
+  void advance(const power::PowerMap& power, double duration);
+
+  /// Current field + per-block aggregates.
+  [[nodiscard]] ThermalProfile profile() const;
+
+  /// Characteristic thermal time constant of one cell [s] (C / G_total) —
+  /// sets the explicit-integration step size.
+  [[nodiscard]] double cell_time_constant() const;
+
+  /// Die-level time constant [s]: total heat capacity times the package
+  /// resistance. This is the slow mode — settle times are a few of these,
+  /// not a few cell constants.
+  [[nodiscard]] double die_time_constant() const;
+
+  [[nodiscard]] double time_s() const { return time_s_; }
+
+ private:
+  chip::Design design_;
+  TransientParams params_;
+  std::size_t n_;
+  double g_lat_x_;
+  double g_lat_y_;
+  double g_vert_;
+  double cell_capacity_;
+  double time_s_ = 0.0;
+  std::vector<double> rise_;  // temperature rise over ambient per cell
+  std::vector<double> scratch_;
+
+  [[nodiscard]] std::vector<double> cell_power(
+      const power::PowerMap& power) const;
+};
+
+}  // namespace obd::thermal

@@ -1,0 +1,217 @@
+#include "variation/extraction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/eigen.hpp"
+
+namespace obd::var {
+
+VariationBudget ExtractionResult::to_budget() const {
+  VariationBudget b;
+  b.nominal = nominal;
+  const double vt = sigma_global * sigma_global +
+                    sigma_spatial * sigma_spatial +
+                    sigma_independent * sigma_independent;
+  require(vt > 0.0, "ExtractionResult: no variance extracted");
+  b.three_sigma_fraction = 3.0 * std::sqrt(vt) / nominal;
+  b.global_share = sigma_global * sigma_global / vt;
+  b.spatial_share = sigma_spatial * sigma_spatial / vt;
+  b.independent_share = 1.0 - b.global_share - b.spatial_share;
+  return b;
+}
+
+MeasurementSet simulate_measurements(const CanonicalForm& canonical,
+                                     const GridModel& grid,
+                                     std::size_t chips, std::size_t sites,
+                                     stats::Rng& rng) {
+  require(chips >= 2 && sites >= 2, "simulate_measurements: need data");
+  MeasurementSet set;
+  set.die_width = grid.die_width();
+  set.die_height = grid.die_height();
+  set.sites.reserve(sites);
+  for (std::size_t s = 0; s < sites; ++s)
+    set.sites.emplace_back(rng.uniform(0.0, grid.die_width()),
+                           rng.uniform(0.0, grid.die_height()));
+  set.thickness = la::Matrix(chips, sites);
+  for (std::size_t c = 0; c < chips; ++c) {
+    const la::Vector z = canonical.sample_z(rng);
+    for (std::size_t s = 0; s < sites; ++s) {
+      const std::size_t g =
+          grid.index_at(set.sites[s].first, set.sites[s].second);
+      set.thickness(c, s) = canonical.thickness(g, z, rng.normal());
+    }
+  }
+  return set;
+}
+
+namespace {
+
+// Linear least squares for C(d) ~ a + b exp(-d/L) at fixed L; returns SSE
+// and the coefficients.
+struct ExpFit {
+  double a = 0.0;
+  double b = 0.0;
+  double sse = 0.0;
+};
+
+ExpFit fit_at_length(const std::vector<std::pair<double, double>>& curve,
+                     double length) {
+  // Design matrix [1, e_i], normal equations (2x2).
+  double s11 = 0.0, s1e = 0.0, see = 0.0, s1y = 0.0, sey = 0.0;
+  for (const auto& [d, y] : curve) {
+    const double e = std::exp(-d / length);
+    s11 += 1.0;
+    s1e += e;
+    see += e * e;
+    s1y += y;
+    sey += e * y;
+  }
+  const double det = s11 * see - s1e * s1e;
+  ExpFit fit;
+  if (std::fabs(det) < 1e-14) {
+    fit.a = s1y / s11;
+    fit.b = 0.0;
+  } else {
+    fit.a = (see * s1y - s1e * sey) / det;
+    fit.b = (s11 * sey - s1e * s1y) / det;
+  }
+  for (const auto& [d, y] : curve) {
+    const double r = y - (fit.a + fit.b * std::exp(-d / length));
+    fit.sse += r * r;
+  }
+  return fit;
+}
+
+}  // namespace
+
+ExtractionResult extract_correlation(const MeasurementSet& data,
+                                     const ExtractionOptions& options) {
+  const std::size_t chips = data.thickness.rows();
+  const std::size_t sites = data.thickness.cols();
+  require(chips >= 10, "extract_correlation: need at least 10 chips");
+  require(sites >= 3, "extract_correlation: need at least 3 sites");
+  require(data.sites.size() == sites,
+          "extract_correlation: site coordinate count mismatch");
+  require(data.die_width > 0.0 && data.die_height > 0.0,
+          "extract_correlation: die size missing");
+  require(options.distance_bins >= 3,
+          "extract_correlation: need at least 3 distance bins");
+
+  ExtractionResult out;
+
+  // Per-site systematic means (absorbs the nominal and any wafer pattern).
+  std::vector<double> site_mean(sites, 0.0);
+  for (std::size_t s = 0; s < sites; ++s) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < chips; ++c) sum += data.thickness(c, s);
+    site_mean[s] = sum / static_cast<double>(chips);
+  }
+  out.nominal = 0.0;
+  for (double m : site_mean) out.nominal += m;
+  out.nominal /= static_cast<double>(sites);
+
+  // Centered data y(c, s) and total variance.
+  la::Matrix y(chips, sites);
+  double total_var = 0.0;
+  for (std::size_t c = 0; c < chips; ++c) {
+    for (std::size_t s = 0; s < sites; ++s) {
+      y(c, s) = data.thickness(c, s) - site_mean[s];
+      total_var += y(c, s) * y(c, s);
+    }
+  }
+  total_var /= static_cast<double>(chips * sites - 1);
+
+  // Empirical same-chip cross-site covariance binned by distance:
+  // E[y_cs y_cs'] = vg + vsp * rho(d(s, s')).
+  double max_d = 0.0;
+  for (std::size_t s1 = 0; s1 < sites; ++s1)
+    for (std::size_t s2 = s1 + 1; s2 < sites; ++s2)
+      max_d = std::max(max_d, std::hypot(data.sites[s1].first -
+                                             data.sites[s2].first,
+                                         data.sites[s1].second -
+                                             data.sites[s2].second));
+  require(max_d > 0.0, "extract_correlation: all sites are co-located");
+
+  const std::size_t nbins = options.distance_bins;
+  std::vector<double> bin_sum(nbins, 0.0);
+  std::vector<double> bin_count(nbins, 0.0);
+  for (std::size_t s1 = 0; s1 < sites; ++s1) {
+    for (std::size_t s2 = s1 + 1; s2 < sites; ++s2) {
+      const double d = std::hypot(
+          data.sites[s1].first - data.sites[s2].first,
+          data.sites[s1].second - data.sites[s2].second);
+      const auto bin = std::min(
+          nbins - 1, static_cast<std::size_t>(d / max_d *
+                                              static_cast<double>(nbins)));
+      double cov = 0.0;
+      for (std::size_t c = 0; c < chips; ++c) cov += y(c, s1) * y(c, s2);
+      cov /= static_cast<double>(chips - 1);
+      bin_sum[bin] += cov;
+      bin_count[bin] += 1.0;
+    }
+  }
+  std::vector<std::pair<double, double>> curve;
+  for (std::size_t b = 0; b < nbins; ++b) {
+    if (bin_count[b] == 0.0) continue;
+    const double center =
+        (static_cast<double>(b) + 0.5) / static_cast<double>(nbins) * max_d;
+    curve.emplace_back(center, bin_sum[b] / bin_count[b]);
+  }
+  require(curve.size() >= 3, "extract_correlation: too few populated bins");
+
+  // Fit C(d) = vg + vsp * exp(-d/L) by scanning L (log grid).
+  const double die = std::max(data.die_width, data.die_height);
+  double best_sse = 1e300;
+  double best_length = options.rho_lo * die;
+  ExpFit best_fit;
+  const int scan = 160;
+  for (int i = 0; i <= scan; ++i) {
+    const double frac =
+        options.rho_lo *
+        std::pow(options.rho_hi / options.rho_lo,
+                 static_cast<double>(i) / static_cast<double>(scan));
+    const double length = frac * die;
+    const ExpFit fit = fit_at_length(curve, length);
+    if (fit.sse < best_sse && fit.b >= 0.0) {
+      best_sse = fit.sse;
+      best_length = length;
+      best_fit = fit;
+    }
+  }
+
+  const double vg = std::max(0.0, best_fit.a);
+  const double vsp = std::max(0.0, best_fit.b);
+  const double veps = std::max(0.0, total_var - vg - vsp);
+  out.sigma_global = std::sqrt(vg);
+  out.sigma_spatial = std::sqrt(vsp);
+  out.sigma_independent = std::sqrt(veps);
+  out.rho_dist = best_length / die;
+  out.fit_rmse = std::sqrt(best_sse / static_cast<double>(curve.size()));
+  // Report the correlated-part correlation curve rho(d) = (C - vg)/vsp.
+  out.correlation_curve.reserve(curve.size());
+  for (const auto& [d, cov] : curve)
+    out.correlation_curve.emplace_back(
+        d, (vsp > 0.0) ? (cov - vg) / vsp : 0.0);
+  return out;
+}
+
+la::Matrix project_to_psd(const la::Matrix& symmetric, double floor) {
+  require(floor >= 0.0, "project_to_psd: floor must be non-negative");
+  const auto eig = la::eigen_symmetric(symmetric);
+  const std::size_t n = symmetric.rows();
+  la::Matrix out(n, n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = std::max(floor, eig.values[k]);
+    if (w == 0.0) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double vik = eig.vectors(i, k) * w;
+      for (std::size_t j = 0; j < n; ++j)
+        out(i, j) += vik * eig.vectors(j, k);
+    }
+  }
+  return out;
+}
+
+}  // namespace obd::var

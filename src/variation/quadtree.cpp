@@ -1,0 +1,119 @@
+#include "variation/quadtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace obd::var {
+namespace {
+
+// Normalized level-variance weights for levels 1..L.
+std::vector<double> resolve_weights(const QuadTreeOptions& options) {
+  require(options.levels >= 1, "QuadTreeOptions: need at least one level");
+  std::vector<double> w = options.level_weights;
+  if (w.empty()) {
+    w.resize(options.levels);
+    for (std::size_t l = 0; l < options.levels; ++l)
+      w[l] = std::pow(0.5, static_cast<double>(l));
+  }
+  require(w.size() == options.levels,
+          "QuadTreeOptions: level_weights size must equal levels");
+  double sum = 0.0;
+  for (double x : w) {
+    require(x >= 0.0, "QuadTreeOptions: negative level weight");
+    sum += x;
+  }
+  require(sum > 0.0, "QuadTreeOptions: all level weights are zero");
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+}  // namespace
+
+std::size_t quadtree_regions_at(std::size_t level) {
+  std::size_t n = 1;
+  for (std::size_t l = 0; l < level; ++l) n *= 4;
+  return n;
+}
+
+std::size_t quadtree_region_index(double x, double y, double die_width,
+                                  double die_height, std::size_t level) {
+  require(die_width > 0.0 && die_height > 0.0,
+          "quadtree_region_index: die size");
+  const auto side = static_cast<double>(std::size_t{1} << level);
+  const double fx = std::clamp(x / die_width, 0.0, 1.0 - 1e-12);
+  const double fy = std::clamp(y / die_height, 0.0, 1.0 - 1e-12);
+  const auto cx = static_cast<std::size_t>(fx * side);
+  const auto cy = static_cast<std::size_t>(fy * side);
+  return cy * (std::size_t{1} << level) + cx;
+}
+
+CanonicalForm make_quadtree_canonical(const GridModel& grid,
+                                      const VariationBudget& budget,
+                                      const QuadTreeOptions& options,
+                                      const WaferPattern& pattern) {
+  budget.validate();
+  const std::vector<double> weights = resolve_weights(options);
+
+  // Component layout: [level 0: 1 global] [level 1: 4] [level 2: 16] ...
+  std::size_t total_components = 1;
+  std::vector<std::size_t> level_offset(options.levels + 1);
+  level_offset[0] = 0;
+  for (std::size_t l = 1; l <= options.levels; ++l) {
+    level_offset[l] = total_components;
+    total_components += quadtree_regions_at(l);
+  }
+
+  const double vs = budget.sigma_spatial() * budget.sigma_spatial();
+  const std::size_t n = grid.cell_count();
+  la::Matrix sens(n, total_components, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const chip::Rect cell = grid.cell_rect(i);
+    const double cx = cell.center_x();
+    const double cy = cell.center_y();
+    // Level 0: the global (die-to-die) component, shared by every cell.
+    sens(i, 0) = budget.sigma_global();
+    for (std::size_t l = 1; l <= options.levels; ++l) {
+      const double sigma_l = std::sqrt(vs * weights[l - 1]);
+      const std::size_t r = quadtree_region_index(
+          cx, cy, grid.die_width(), grid.die_height(), l);
+      sens(i, level_offset[l] + r) = sigma_l;
+    }
+  }
+
+  la::Vector nominal(n, budget.nominal);
+  if (!pattern.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const chip::Rect r = grid.cell_rect(i);
+      const double xn = 2.0 * r.center_x() / grid.die_width() - 1.0;
+      const double yn = 2.0 * r.center_y() / grid.die_height() - 1.0;
+      nominal[i] += pattern.offset(xn, yn);
+    }
+  }
+
+  return CanonicalForm(std::move(nominal), std::move(sens),
+                       budget.sigma_independent());
+}
+
+double quadtree_correlation(double x1, double y1, double x2, double y2,
+                            double die_width, double die_height,
+                            const VariationBudget& budget,
+                            const QuadTreeOptions& options) {
+  budget.validate();
+  const std::vector<double> weights = resolve_weights(options);
+  const double vg = budget.sigma_global() * budget.sigma_global();
+  const double vs = budget.sigma_spatial() * budget.sigma_spatial();
+
+  double shared = vg;  // level 0 is always shared
+  for (std::size_t l = 1; l <= options.levels; ++l) {
+    if (quadtree_region_index(x1, y1, die_width, die_height, l) ==
+        quadtree_region_index(x2, y2, die_width, die_height, l))
+      shared += vs * weights[l - 1];
+    else
+      break;  // regions nest: once separated, all finer levels differ
+  }
+  return shared / (vg + vs);
+}
+
+}  // namespace obd::var

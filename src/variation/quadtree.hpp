@@ -1,0 +1,64 @@
+// Quad-tree spatial-correlation model (the alternative correlation
+// structure the paper cites in Section II, ref. [24], Agarwal et al.).
+//
+// The die is covered by L levels of regions: level 0 is the whole die,
+// level l partitions it into 4^l quadrants. Each region carries an
+// independent zero-mean Gaussian variable; a device's spatially correlated
+// variation is the sum of the variables of the regions containing it, so
+// two devices correlate through the levels whose regions they share —
+// correlation decreases with distance in a staircase fashion.
+//
+// A welcome property: the region variables are already mutually
+// independent, so the canonical form of eq. (2) is obtained *without* an
+// eigendecomposition — each region variable is a principal component whose
+// sensitivity is its level sigma for the cells it covers. Everything
+// downstream (BLOD characterization, all analyzers, Monte Carlo) consumes
+// the resulting CanonicalForm unchanged, which is exactly how an adoptable
+// library should compose.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "variation/model.hpp"
+
+namespace obd::var {
+
+struct QuadTreeOptions {
+  /// Number of levels below the die-level variable. Level l has 4^l
+  /// regions; the total component count is sum_{l=0..levels} 4^l.
+  std::size_t levels = 4;
+  /// Relative variance weight per level 1..levels (level 0 always carries
+  /// the global die-to-die variance). Empty -> geometric decay 2^-l,
+  /// normalized; otherwise must have `levels` entries.
+  std::vector<double> level_weights;
+};
+
+/// Number of regions at `level` (4^level).
+std::size_t quadtree_regions_at(std::size_t level);
+
+/// Index (within its level) of the region containing die point (x, y).
+std::size_t quadtree_region_index(double x, double y, double die_width,
+                                  double die_height, std::size_t level);
+
+/// Builds the canonical thickness model for a quad-tree correlation
+/// structure: the global component sits at level 0; the spatial variance
+/// budget is distributed over levels 1..L by the level weights; the
+/// independent residual is untouched. Sensitivities are expressed per grid
+/// cell of `grid` (cells are assigned to regions by their centers), so the
+/// result plugs into the same BlockGridLayout machinery as the grid model.
+CanonicalForm make_quadtree_canonical(const GridModel& grid,
+                                      const VariationBudget& budget,
+                                      const QuadTreeOptions& options = {},
+                                      const WaferPattern& pattern = {});
+
+/// Model correlation between two die points under the quad-tree structure:
+/// sum of level variances for levels whose regions contain both points,
+/// normalized by the total correlated variance. Exposed for tests and the
+/// correlation-model ablation bench.
+double quadtree_correlation(double x1, double y1, double x2, double y2,
+                            double die_width, double die_height,
+                            const VariationBudget& budget,
+                            const QuadTreeOptions& options = {});
+
+}  // namespace obd::var

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "chip/design.hpp"
+#include "common/error.hpp"
+
+namespace obd::chip {
+namespace {
+
+TEST(Rect, AreaCentersContains) {
+  const Rect r{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.center_x(), 2.5);
+  EXPECT_DOUBLE_EQ(r.center_y(), 4.0);
+  EXPECT_TRUE(r.contains(1.0, 2.0));
+  EXPECT_TRUE(r.contains(3.9, 5.9));
+  EXPECT_FALSE(r.contains(4.0, 2.0));  // half-open
+  EXPECT_FALSE(r.contains(0.0, 0.0));
+}
+
+TEST(Rect, OverlapCases) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.overlap({1.0, 1.0, 2.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(a.overlap({5.0, 5.0, 1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(a.overlap({0.0, 0.0, 2.0, 2.0}), 4.0);     // identical
+  EXPECT_DOUBLE_EQ(a.overlap({-1.0, -1.0, 10.0, 10.0}), 4.0); // contained
+  EXPECT_DOUBLE_EQ(a.overlap({2.0, 0.0, 2.0, 2.0}), 0.0);     // touching edge
+}
+
+TEST(Block, ObdAreaIsCountTimesAvgArea) {
+  Block b;
+  b.device_count = 1000;
+  b.avg_device_area = 1.5;
+  EXPECT_DOUBLE_EQ(b.obd_area(), 1500.0);
+}
+
+TEST(Design, TotalsAndValidation) {
+  Design d;
+  d.name = "t";
+  d.width = 10.0;
+  d.height = 10.0;
+  d.blocks.push_back({"a", {0, 0, 5, 10}, 100, 1.0, UnitKind::kLogic, 0.5});
+  d.blocks.push_back({"b", {5, 0, 5, 10}, 200, 2.0, UnitKind::kCache, 0.1});
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_EQ(d.total_devices(), 300u);
+  EXPECT_DOUBLE_EQ(d.total_obd_area(), 100.0 + 400.0);
+  EXPECT_DOUBLE_EQ(d.die_area(), 100.0);
+}
+
+TEST(Design, ValidationCatchesBadBlocks) {
+  Design d;
+  d.name = "bad";
+  d.width = 10.0;
+  d.height = 10.0;
+  d.blocks.push_back({"out", {8, 8, 5, 5}, 10, 1.0, UnitKind::kLogic, 0.5});
+  EXPECT_THROW(d.validate(), obd::Error);
+
+  d.blocks[0] = {"zero", {0, 0, 5, 5}, 0, 1.0, UnitKind::kLogic, 0.5};
+  EXPECT_THROW(d.validate(), obd::Error);
+
+  d.blocks[0] = {"act", {0, 0, 5, 5}, 10, 1.0, UnitKind::kLogic, 1.5};
+  EXPECT_THROW(d.validate(), obd::Error);
+
+  Design empty;
+  empty.width = 1.0;
+  empty.height = 1.0;
+  EXPECT_THROW(empty.validate(), obd::Error);
+}
+
+TEST(SyntheticDesign, HonorsDeviceAndBlockBudget) {
+  const Design d = make_synthetic_design(
+      "syn", {.devices = 12345, .block_count = 7, .die_width = 5.0,
+              .die_height = 4.0, .seed = 3});
+  EXPECT_EQ(d.blocks.size(), 7u);
+  EXPECT_EQ(d.total_devices(), 12345u);
+  EXPECT_NO_THROW(d.validate());
+  // Blocks tile the die: areas sum to die area.
+  double area = 0.0;
+  for (const auto& b : d.blocks) area += b.rect.area();
+  EXPECT_NEAR(area, 20.0, 1e-9);
+}
+
+TEST(SyntheticDesign, DeterministicForSeed) {
+  const SyntheticOptions opt{.devices = 5000, .block_count = 5,
+                             .die_width = 3.0, .die_height = 3.0, .seed = 9};
+  const Design a = make_synthetic_design("a", opt);
+  const Design b = make_synthetic_design("b", opt);
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    EXPECT_EQ(a.blocks[i].device_count, b.blocks[i].device_count);
+    EXPECT_DOUBLE_EQ(a.blocks[i].rect.x, b.blocks[i].rect.x);
+  }
+}
+
+TEST(SyntheticDesign, RejectsImpossibleBudget) {
+  EXPECT_THROW(
+      make_synthetic_design("x", {.devices = 3, .block_count = 10}),
+      obd::Error);
+}
+
+TEST(Benchmarks, MatchPaperDeviceCounts) {
+  // Section V: C1-C6 range from 50K to 0.84M devices.
+  const std::size_t expected[] = {50000, 80000, 100000, 200000, 500000,
+                                  840000};
+  for (int i = 1; i <= 6; ++i) {
+    const Design d = make_benchmark(i);
+    EXPECT_EQ(d.total_devices(), expected[i - 1]) << "C" << i;
+    EXPECT_NO_THROW(d.validate());
+  }
+  EXPECT_THROW(make_benchmark(0), obd::Error);
+  EXPECT_THROW(make_benchmark(7), obd::Error);
+}
+
+TEST(Ev6Design, FifteenModulesLikeThePaper) {
+  const Design d = make_ev6_design();
+  EXPECT_EQ(d.blocks.size(), 15u);       // "15 functional modules"
+  EXPECT_EQ(d.total_devices(), 840000u); // "approximately 0.84M transistors"
+  EXPECT_NO_THROW(d.validate());
+  // The integer execution unit must be the activity hot spot.
+  double int_exec_activity = 0.0;
+  double l2_activity = 1.0;
+  for (const auto& b : d.blocks) {
+    if (b.name == "IntExec") int_exec_activity = b.activity;
+    if (b.name == "L2") l2_activity = b.activity;
+  }
+  EXPECT_GT(int_exec_activity, 0.8);
+  EXPECT_LT(l2_activity, 0.2);
+}
+
+TEST(ManycoreDesign, TilesPlusRing) {
+  const Design d = make_manycore_design(4, 0.25, 7);
+  EXPECT_EQ(d.blocks.size(), 16u + 4u);
+  EXPECT_NO_THROW(d.validate());
+  // Roughly a quarter of the cores are active (hot).
+  std::size_t hot = 0;
+  for (const auto& b : d.blocks)
+    if (b.kind == UnitKind::kCore && b.activity > 0.5) ++hot;
+  EXPECT_EQ(hot, 4u);
+}
+
+TEST(ManycoreDesign, RejectsBadArguments) {
+  EXPECT_THROW(make_manycore_design(1), obd::Error);
+  EXPECT_THROW(make_manycore_design(4, 1.5), obd::Error);
+}
+
+}  // namespace
+}  // namespace obd::chip

@@ -1,0 +1,152 @@
+// Tests for model calibration, the MC standard-error estimate, and the
+// thermal image writers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "chip/design.hpp"
+#include "common/error.hpp"
+#include "core/calibration.hpp"
+#include "core/montecarlo.hpp"
+#include "power/power.hpp"
+#include "thermal/image.hpp"
+#include "thermal/solver.hpp"
+
+namespace obd {
+namespace {
+
+TEST(Calibration, RecoversExactModelFromItsOwnTable) {
+  const core::AnalyticReliabilityModel truth;
+  std::vector<core::ReliabilityTableRow> rows;
+  for (double t = 25.0; t <= 125.0; t += 10.0)
+    rows.push_back({t, truth.alpha(t, 1.2), truth.b(t, 1.2)});
+
+  const auto fit = core::fit_analytic_model(rows, 100.0);
+  // Noise-free data from the model family: near-exact recovery.
+  EXPECT_NEAR(fit.params.alpha_ref / truth.params().alpha_ref, 1.0, 1e-6);
+  EXPECT_NEAR(fit.params.c1, truth.params().c1, 1.0);
+  EXPECT_NEAR(fit.params.c2, truth.params().c2, 400.0);
+  EXPECT_NEAR(fit.params.b_ref, truth.params().b_ref, 1e-9);
+  EXPECT_NEAR(fit.params.b_temp_slope, truth.params().b_temp_slope, 1e-12);
+  EXPECT_LT(fit.log_alpha_rmse, 1e-6);
+  EXPECT_LT(fit.b_rmse, 1e-12);
+}
+
+TEST(Calibration, FitsNoisyDataWithSmallResiduals) {
+  const core::AnalyticReliabilityModel truth;
+  stats::Rng rng(9);
+  std::vector<core::ReliabilityTableRow> rows;
+  for (double t = 30.0; t <= 120.0; t += 7.5) {
+    rows.push_back({t, truth.alpha(t, 1.2) * std::exp(rng.normal(0.0, 0.05)),
+                    truth.b(t, 1.2) + rng.normal(0.0, 0.002)});
+  }
+  const auto fit = core::fit_analytic_model(rows, 100.0);
+  EXPECT_LT(fit.log_alpha_rmse, 0.1);
+  EXPECT_LT(fit.b_rmse, 0.005);
+  // Predictions interpolate sensibly.
+  const core::AnalyticReliabilityModel fitted(fit.params);
+  for (double t : {40.0, 75.0, 110.0})
+    EXPECT_NEAR(std::log(fitted.alpha(t, 1.2)),
+                std::log(truth.alpha(t, 1.2)), 0.15)
+        << "T=" << t;
+}
+
+TEST(Calibration, RejectsDegenerateInput) {
+  std::vector<core::ReliabilityTableRow> two{{25.0, 1e17, 0.7},
+                                             {50.0, 1e16, 0.68}};
+  EXPECT_THROW(core::fit_analytic_model(two), Error);
+  std::vector<core::ReliabilityTableRow> dup{{25.0, 1e17, 0.7},
+                                             {25.0, 1e16, 0.68},
+                                             {50.0, 1e15, 0.66}};
+  EXPECT_THROW(core::fit_analytic_model(dup), Error);
+  std::vector<core::ReliabilityTableRow> neg{{25.0, -1e17, 0.7},
+                                             {50.0, 1e16, 0.68},
+                                             {75.0, 1e15, 0.66}};
+  EXPECT_THROW(core::fit_analytic_model(neg), Error);
+}
+
+TEST(McStdError, ShrinksWithSampleCountAndBoundsError) {
+  const chip::Design design = chip::make_synthetic_design(
+      "M", {.devices = 15000, .block_count = 4, .die_width = 4.0,
+            .die_height = 4.0, .seed = 61});
+  const core::AnalyticReliabilityModel model;
+  const std::vector<double> temps{90.0, 70.0, 80.0, 60.0};
+  core::ProblemOptions opts;
+  opts.grid_cells_per_side = 8;
+  const auto problem = core::ReliabilityProblem::build(
+      design, var::VariationBudget{}, model, temps, 1.2, opts);
+
+  const core::MonteCarloAnalyzer small(problem, {.chip_samples = 100});
+  const core::MonteCarloAnalyzer big(problem,
+                                     {.chip_samples = 900, .seed = 2});
+  const double t = 3e8;
+  // SE scales like 1/sqrt(n): 3x fewer per 9x more samples.
+  EXPECT_NEAR(small.failure_std_error(t) / big.failure_std_error(t), 3.0,
+              1.5);
+  // The two estimates agree within a few joint standard errors.
+  const double gap =
+      std::fabs(small.failure_probability(t) - big.failure_probability(t));
+  const double joint =
+      std::hypot(small.failure_std_error(t), big.failure_std_error(t));
+  EXPECT_LT(gap, 5.0 * joint);
+}
+
+TEST(ThermalImage, WritesWellFormedPgmAndPpm) {
+  const chip::Design d = chip::make_benchmark(1);
+  const auto power = power::estimate_power(d, {});
+  thermal::ThermalParams tp;
+  tp.resolution = 16;
+  const auto profile = thermal::solve_thermal(d, power, tp);
+
+  std::ostringstream pgm;
+  thermal::write_pgm(pgm, profile, 2);
+  const std::string s = pgm.str();
+  EXPECT_EQ(s.rfind("P5\n32 32\n255\n", 0), 0u);
+  EXPECT_EQ(s.size(), std::string("P5\n32 32\n255\n").size() + 32u * 32u);
+
+  std::ostringstream ppm;
+  thermal::write_ppm(ppm, profile, 1);
+  const std::string q = ppm.str();
+  EXPECT_EQ(q.rfind("P6\n16 16\n255\n", 0), 0u);
+  EXPECT_EQ(q.size(), std::string("P6\n16 16\n255\n").size() + 3u * 16u * 16u);
+}
+
+TEST(ThermalImage, HotSpotIsBrightest) {
+  // Single hot block in a corner: the brightest PGM pixel must fall inside
+  // that block's region.
+  chip::Design d;
+  d.name = "corner";
+  d.width = 8.0;
+  d.height = 8.0;
+  d.blocks.push_back({"hot", {0, 0, 2, 2}, 10, 1.0, chip::UnitKind::kLogic, 0.9});
+  d.blocks.push_back({"cold", {2, 0, 6, 2}, 10, 1.0, chip::UnitKind::kCache, 0.02});
+  d.blocks.push_back({"rest", {0, 2, 8, 6}, 10, 1.0, chip::UnitKind::kCache, 0.02});
+  const auto power = power::estimate_power(d, {});
+  thermal::ThermalParams tp;
+  tp.resolution = 16;
+  const auto profile = thermal::solve_thermal(d, power, tp);
+  std::ostringstream pgm;
+  thermal::write_pgm(pgm, profile, 1);
+  const std::string s = pgm.str();
+  const std::size_t header = std::string("P5\n16 16\n255\n").size();
+  std::size_t best = header;
+  for (std::size_t i = header; i < s.size(); ++i)
+    if (static_cast<unsigned char>(s[i]) >
+        static_cast<unsigned char>(s[best]))
+      best = i;
+  const std::size_t pixel = best - header;
+  const std::size_t row = pixel / 16;  // image rows top-down
+  const std::size_t col = pixel % 16;
+  EXPECT_GE(row, 12u);  // bottom quarter of the image = low die y
+  EXPECT_LT(col, 4u);   // left quarter
+}
+
+TEST(ThermalImage, RejectsBadArguments) {
+  thermal::ThermalProfile empty;
+  std::ostringstream os;
+  EXPECT_THROW(thermal::write_pgm(os, empty), Error);
+}
+
+}  // namespace
+}  // namespace obd

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/closed_form.hpp"
+#include "numeric/quadrature.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+#include "stats/special.hpp"
+
+namespace obd::core {
+namespace {
+
+TEST(GClosedForm, EqualsNumericalGaussianIntegral) {
+  // eq. (17): the closed form must equal
+  // int phi((x-u)/sqrt(v)) (t/alpha)^(b x) dx.
+  const double t = 3e8;
+  const double alpha = 1e17;
+  const double b = 0.64;
+  const double u = 2.2;
+  const double v = 3.0e-4;
+  const double sd = std::sqrt(v);
+  const double gamma = std::log(t / alpha);
+  const double numeric = num::gauss_legendre_1d(
+      [&](double x) {
+        return stats::normal_pdf((x - u) / sd) / sd *
+               std::exp(gamma * b * x);
+      },
+      u - 10.0 * sd, u + 10.0 * sd, 8, 64);
+  EXPECT_NEAR(g_closed_form(t, alpha, b, u, v) / numeric, 1.0, 1e-10);
+}
+
+TEST(GClosedForm, MonteCarloAgreement) {
+  // g(u, v) = E[(t/alpha)^(b X)] for X ~ N(u, v).
+  const double t = 1e9;
+  const double alpha = 1e16;
+  const double b = 0.6;
+  const double u = 2.2;
+  const double v = 2.0e-4;
+  stats::Rng rng(5);
+  const double gamma = std::log(t / alpha);
+  stats::RunningStats s;
+  for (int i = 0; i < 400000; ++i) {
+    const double x = rng.normal(u, std::sqrt(v));
+    s.add(std::exp(gamma * b * x));
+  }
+  EXPECT_NEAR(s.mean() / g_closed_form(t, alpha, b, u, v), 1.0, 0.01);
+}
+
+TEST(GClosedForm, MonotoneProperties) {
+  const double alpha = 1e17;
+  // Thinner mean oxide -> larger g (worse) for t < alpha.
+  EXPECT_GT(g_closed_form(1e8, alpha, 0.64, 2.1, 2e-4),
+            g_closed_form(1e8, alpha, 0.64, 2.3, 2e-4));
+  // More within-block spread -> larger g (the Jensen term).
+  EXPECT_GT(g_closed_form(1e8, alpha, 0.64, 2.2, 4e-4),
+            g_closed_form(1e8, alpha, 0.64, 2.2, 1e-4));
+  // Later time -> larger g.
+  EXPECT_GT(g_closed_form(1e9, alpha, 0.64, 2.2, 2e-4),
+            g_closed_form(1e8, alpha, 0.64, 2.2, 2e-4));
+}
+
+TEST(GClosedForm, ZeroVarianceReducesToPointMass) {
+  const double t = 1e8;
+  const double alpha = 1e17;
+  const double b = 0.7;
+  const double u = 2.2;
+  const double gamma = std::log(t / alpha);
+  EXPECT_NEAR(g_closed_form(t, alpha, b, u, 0.0), std::exp(gamma * b * u),
+              1e-25);
+}
+
+TEST(GClosedForm, RejectsBadArguments) {
+  EXPECT_THROW(g_closed_form(0.0, 1.0, 1.0, 2.2, 1e-4), obd::Error);
+  EXPECT_THROW(g_closed_form(1.0, -1.0, 1.0, 2.2, 1e-4), obd::Error);
+  EXPECT_THROW(g_closed_form(1.0, 1.0, 1.0, 2.2, -1e-4), obd::Error);
+}
+
+TEST(DeviceReliability, MatchesWeibullDefinition) {
+  // eq. (9): R = exp(-a (t/alpha)^(b x)).
+  const double t = 2e8;
+  const double alpha = 5e16;
+  const double b = 0.65;
+  const double x = 2.18;
+  const double a = 2.0;
+  const double expected =
+      std::exp(-a * std::pow(t / alpha, b * x));
+  EXPECT_NEAR(device_reliability(t, alpha, b, x, a), expected, 1e-15);
+  EXPECT_DOUBLE_EQ(device_reliability(0.0, alpha, b, x), 1.0);
+}
+
+}  // namespace
+}  // namespace obd::core

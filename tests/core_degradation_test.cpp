@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/degradation.hpp"
+
+namespace obd::core {
+namespace {
+
+TEST(Degradation, PreSbdBaselineIsNearInitialLeakage) {
+  const DegradationParams p;
+  const double i1 = leakage_at(p, 1.0, 1e4);
+  EXPECT_NEAR(i1, p.initial_leakage, 0.2 * p.initial_leakage);
+  // Slow SILC drift: later but still pre-SBD leakage is mildly higher.
+  const double i2 = leakage_at(p, 1e3, 1e4);
+  EXPECT_GT(i2, i1);
+  EXPECT_LT(i2, 2.0 * i1);
+}
+
+TEST(Degradation, SbdJumpIsTenToTwentyTimes) {
+  // Section III: SBD "may change the gate leakage by 10-20 times".
+  const DegradationParams p;
+  const double t_sbd = 5e3;
+  const double before = leakage_at(p, t_sbd * 0.999, t_sbd);
+  const double after = leakage_at(p, t_sbd, t_sbd);
+  EXPECT_NEAR(after / before, p.sbd_jump, 0.01 * p.sbd_jump);
+  EXPECT_GE(after / before, 10.0);
+  EXPECT_LE(after / before, 20.0);
+}
+
+TEST(Degradation, PostSbdLeakageGrowsMonotonically) {
+  // Fig. 3: "the gate leakage continuously increases after SBD until HBD".
+  const DegradationParams p;
+  const double t_sbd = 3e3;
+  double prev = leakage_at(p, t_sbd, t_sbd);
+  for (double t = t_sbd * 1.05; t < hbd_time(p, t_sbd); t *= 1.05) {
+    const double i = leakage_at(p, t, t_sbd);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Degradation, HbdTimeConsistentWithThreshold) {
+  const DegradationParams p;
+  const double t_sbd = 4e3;
+  const double t_hbd = hbd_time(p, t_sbd);
+  EXPECT_GT(t_hbd, t_sbd);
+  // Just before HBD the growth law is below the criterion; at/after HBD the
+  // trace sits at compliance.
+  EXPECT_LT(leakage_at(p, t_hbd * 0.999, t_sbd), p.hbd_current);
+  EXPECT_DOUBLE_EQ(leakage_at(p, t_hbd * 1.001, t_sbd),
+                   p.compliance_current);
+}
+
+TEST(Degradation, SimulatedTraceHasSbdThenHbd) {
+  DegradationParams p;
+  stats::Rng rng(17);
+  const LeakageTrace trace = simulate_degradation(p, rng, 1.0, 1e6, 300);
+  ASSERT_EQ(trace.time_s.size(), 300u);
+  ASSERT_EQ(trace.leakage_a.size(), 300u);
+  EXPECT_GT(trace.t_sbd, 0.0);
+  EXPECT_GT(trace.t_hbd, trace.t_sbd);
+  // The trace is non-decreasing (irreversible degradation).
+  for (std::size_t i = 1; i < trace.leakage_a.size(); ++i)
+    EXPECT_GE(trace.leakage_a[i], trace.leakage_a[i - 1] - 1e-18);
+  // It spans several decades of current overall.
+  EXPECT_GT(trace.leakage_a.back() / trace.leakage_a.front(), 1e3);
+}
+
+TEST(Degradation, SbdTimesFollowTheStressWeibull) {
+  DegradationParams p;
+  stats::Rng rng(18);
+  std::vector<double> t_sbd;
+  for (int i = 0; i < 4000; ++i)
+    t_sbd.push_back(simulate_degradation(p, rng, 1.0, 1e6, 2).t_sbd);
+  std::sort(t_sbd.begin(), t_sbd.end());
+  // At t = alpha_stress, F should be 63.2%.
+  const auto it =
+      std::upper_bound(t_sbd.begin(), t_sbd.end(), p.alpha_stress);
+  const double frac =
+      static_cast<double>(it - t_sbd.begin()) / static_cast<double>(t_sbd.size());
+  EXPECT_NEAR(frac, 1.0 - std::exp(-1.0), 0.03);
+}
+
+TEST(Degradation, RejectsBadArguments) {
+  DegradationParams p;
+  stats::Rng rng(19);
+  EXPECT_THROW(simulate_degradation(p, rng, 0.0, 1e5), obd::Error);
+  EXPECT_THROW(simulate_degradation(p, rng, 10.0, 5.0), obd::Error);
+  EXPECT_THROW(simulate_degradation(p, rng, 1.0, 1e5, 1), obd::Error);
+  EXPECT_THROW(leakage_at(p, -1.0, 10.0), obd::Error);
+  EXPECT_THROW(leakage_at(p, 1.0, 0.0), obd::Error);
+}
+
+}  // namespace
+}  // namespace obd::core

@@ -1,0 +1,292 @@
+// Tests for the core extensions: successive-breakdown statistics,
+// duty-cycle-aware analysis, and the transient thermal simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chip/design.hpp"
+#include "common/error.hpp"
+#include "core/analytic.hpp"
+#include "core/duty_cycle.hpp"
+#include "core/lifetime.hpp"
+#include "core/montecarlo.hpp"
+#include "core/multi_breakdown.hpp"
+#include "power/power.hpp"
+#include "stats/special.hpp"
+#include "thermal/transient.hpp"
+
+namespace obd::core {
+namespace {
+
+TEST(MultiBreakdown, FirstBreakdownIsWeibull) {
+  const double alpha = 1e10;
+  const double b = 0.64;
+  const double x = 2.2;
+  for (double t : {1e7, 1e8, 1e9}) {
+    const double weibull =
+        1.0 - std::exp(-2.0 * std::pow(t / alpha, b * x));
+    EXPECT_NEAR(kth_breakdown_cdf(t, alpha, b, x, 2.0, 1), weibull, 1e-12);
+  }
+}
+
+TEST(MultiBreakdown, KthCdfOrdering) {
+  // More breakdowns take longer: F_k(t) decreases in k at fixed t.
+  const double t = 3e9;
+  double prev = 1.0;
+  for (std::size_t k = 1; k <= 5; ++k) {
+    const double f = kth_breakdown_cdf(t, 1e10, 0.64, 2.2, 5.0, k);
+    EXPECT_LT(f, prev) << "k=" << k;
+    EXPECT_GE(f, 0.0);
+    prev = f;
+  }
+}
+
+TEST(MultiBreakdown, QuantileRoundTrip) {
+  for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (double p : {1e-6, 1e-3, 0.5}) {
+      const double t = kth_breakdown_quantile(p, 1e10, 0.64, 2.2, 3.0, k);
+      EXPECT_NEAR(kth_breakdown_cdf(t, 1e10, 0.64, 2.2, 3.0, k) / p, 1.0,
+                  1e-8)
+          << "k=" << k << " p=" << p;
+    }
+  }
+}
+
+TEST(MultiBreakdown, ToleranceExtendsLifetime) {
+  // A design tolerating k-1 breakdowns lives longer at the same quantile,
+  // with diminishing returns in k.
+  const double p = 1e-6;
+  double prev = 0.0;
+  double prev_gain = 1e9;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const double t = kth_breakdown_quantile(p, 1e10, 0.64, 2.2, 1e5, k);
+    EXPECT_GT(t, prev);
+    if (k >= 2) {
+      const double gain = t / prev;
+      EXPECT_GT(gain, 1.0);
+      EXPECT_LT(gain, prev_gain);
+      prev_gain = gain;
+    }
+    prev = t;
+  }
+}
+
+TEST(MultiBreakdown, PoissonMatchesMonteCarlo) {
+  // P(N >= k) from the gamma form vs direct Poisson sampling at the
+  // conditional intensity.
+  const double h = 1.7;
+  stats::Rng rng(3);
+  const int n = 200000;
+  int ge2 = 0;
+  int ge3 = 0;
+  for (int i = 0; i < n; ++i) {
+    // Sample Poisson(h) by exponential inter-arrivals.
+    int count = 0;
+    double acc = rng.exponential();
+    while (acc < h) {
+      ++count;
+      acc += rng.exponential();
+    }
+    if (count >= 2) ++ge2;
+    if (count >= 3) ++ge3;
+  }
+  EXPECT_NEAR(static_cast<double>(ge2) / n, stats::gamma_p(2.0, h), 0.005);
+  EXPECT_NEAR(static_cast<double>(ge3) / n, stats::gamma_p(3.0, h), 0.005);
+}
+
+TEST(MultiBreakdown, RejectsBadArguments) {
+  EXPECT_THROW(kth_breakdown_cdf(1.0, 1.0, 1.0, 1.0, 1.0, 0), obd::Error);
+  EXPECT_THROW(kth_breakdown_quantile(0.0, 1.0, 1.0, 1.0, 1.0, 1),
+               obd::Error);
+  EXPECT_THROW(breakdown_intensity(1.0, -1.0, 1.0, 1.0), obd::Error);
+}
+
+class ExtFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(chip::make_synthetic_design(
+        "E1", {.devices = 25000, .block_count = 5, .die_width = 5.0,
+               .die_height = 5.0, .seed = 31}));
+    model_ = new AnalyticReliabilityModel();
+    temps_ = new std::vector<double>{92.0, 66.0, 75.0, 58.0, 84.0};
+    ProblemOptions opts;
+    opts.grid_cells_per_side = 10;
+    problem_ = new ReliabilityProblem(ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_, *temps_, 1.2, opts));
+  }
+  static void TearDownTestSuite() {
+    delete problem_;
+    delete temps_;
+    delete model_;
+    delete design_;
+    problem_ = nullptr;
+    temps_ = nullptr;
+    model_ = nullptr;
+    design_ = nullptr;
+  }
+  static chip::Design* design_;
+  static AnalyticReliabilityModel* model_;
+  static std::vector<double>* temps_;
+  static ReliabilityProblem* problem_;
+};
+
+chip::Design* ExtFixture::design_ = nullptr;
+AnalyticReliabilityModel* ExtFixture::model_ = nullptr;
+std::vector<double>* ExtFixture::temps_ = nullptr;
+ReliabilityProblem* ExtFixture::problem_ = nullptr;
+
+TEST_F(ExtFixture, ChipLevelKthBreakdownOrdering) {
+  const MonteCarloAnalyzer mc(*problem_, {.chip_samples = 150});
+  const double t1 = mc.kth_lifetime_at(0.01, 1);
+  const double t2 = mc.kth_lifetime_at(0.01, 2);
+  const double t3 = mc.kth_lifetime_at(0.01, 3);
+  EXPECT_GT(t2, t1);
+  EXPECT_GT(t3, t2);
+  // k = 1 path identical to plain failure probability.
+  EXPECT_NEAR(mc.kth_failure_probability(t1, 1), 0.01, 1e-6);
+}
+
+TEST_F(ExtFixture, DutyCycleDegenerateSingleWorstPhaseMatchesStFast) {
+  // One phase at the problem's own parameters with fraction 1 must agree
+  // with the plain analyzer.
+  WorkloadPhase phase;
+  phase.name = "all";
+  phase.fraction = 1.0;
+  for (const auto& b : problem_->blocks()) {
+    phase.alphas.push_back(b.alpha);
+    phase.bs.push_back(b.b);
+  }
+  const DutyCycleAnalyzer duty(*problem_, {phase});
+  const AnalyticAnalyzer fast(*problem_);
+  for (double t : {1e8, 1e9}) {
+    EXPECT_NEAR(duty.failure_probability(t) / fast.failure_probability(t),
+                1.0, 1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST_F(ExtFixture, DutyCycleInterpolatesBetweenPhases) {
+  // 50% hot / 50% cool lies strictly between all-hot and all-cool.
+  std::vector<double> hot(temps_->size());
+  std::vector<double> cool(temps_->size());
+  for (std::size_t j = 0; j < temps_->size(); ++j) {
+    hot[j] = (*temps_)[j] + 15.0;
+    cool[j] = (*temps_)[j] - 15.0;
+  }
+  const auto hot_phase = make_phase("hot", 1.0, *model_, hot, 1.2);
+  const auto cool_phase = make_phase("cool", 1.0, *model_, cool, 1.2);
+  auto half_hot = hot_phase;
+  half_hot.fraction = 0.5;
+  auto half_cool = cool_phase;
+  half_cool.fraction = 0.5;
+
+  const DutyCycleAnalyzer all_hot(*problem_, {hot_phase});
+  const DutyCycleAnalyzer all_cool(*problem_, {cool_phase});
+  const DutyCycleAnalyzer mixed(*problem_, {half_hot, half_cool});
+
+  const double t_hot = all_hot.lifetime_at(kTenFaultsPerMillion);
+  const double t_cool = all_cool.lifetime_at(kTenFaultsPerMillion);
+  const double t_mix = mixed.lifetime_at(kTenFaultsPerMillion);
+  EXPECT_GT(t_mix, t_hot);
+  EXPECT_LT(t_mix, t_cool);
+  // And the worst-phase assumption (all hot) is pessimistic vs the mix —
+  // the margin this extension recovers.
+  EXPECT_GT(t_mix / t_hot, 1.2);
+}
+
+TEST_F(ExtFixture, DutyCycleValidation) {
+  auto phase = make_phase("p", 0.7, *model_, *temps_, 1.2);
+  EXPECT_THROW(DutyCycleAnalyzer(*problem_, {phase}), obd::Error);  // != 1
+  EXPECT_THROW(DutyCycleAnalyzer(*problem_, {}), obd::Error);
+  auto bad = phase;
+  bad.fraction = 1.0;
+  bad.alphas.pop_back();
+  EXPECT_THROW(DutyCycleAnalyzer(*problem_, {bad}), obd::Error);
+}
+
+TEST(Transient, ConvergesToSteadyState) {
+  chip::Design d;
+  d.name = "t";
+  d.width = 6.0;
+  d.height = 6.0;
+  d.blocks.push_back(
+      {"hot", {0, 0, 3, 6}, 100, 1.0, chip::UnitKind::kLogic, 0.8});
+  d.blocks.push_back(
+      {"cool", {3, 0, 3, 6}, 100, 1.0, chip::UnitKind::kCache, 0.1});
+  const auto power = power::estimate_power(d, {});
+
+  thermal::TransientParams params;
+  params.thermal.resolution = 16;
+  thermal::TransientSimulator sim(d, params);
+  sim.reset(params.thermal.ambient_c);
+  // Settle times follow the slow (die/package) mode, not the cell mode.
+  sim.advance(power, 15.0 * sim.die_time_constant());
+
+  const auto steady = thermal::solve_thermal(d, power, params.thermal);
+  const auto transient = sim.profile();
+  for (std::size_t j = 0; j < d.blocks.size(); ++j)
+    EXPECT_NEAR(transient.block_temps_c[j], steady.block_temps_c[j], 0.5)
+        << "block " << j;
+}
+
+TEST(Transient, HeatingIsMonotoneFromAmbient) {
+  chip::Design d;
+  d.name = "t";
+  d.width = 4.0;
+  d.height = 4.0;
+  d.blocks.push_back(
+      {"b", {0, 0, 4, 4}, 100, 1.0, chip::UnitKind::kLogic, 0.9});
+  const auto power = power::estimate_power(d, {});
+  thermal::TransientParams params;
+  params.thermal.resolution = 8;
+  thermal::TransientSimulator sim(d, params);
+  sim.reset(params.thermal.ambient_c);
+  double prev = params.thermal.ambient_c;
+  for (int i = 0; i < 6; ++i) {
+    sim.advance(power, 0.5 * sim.die_time_constant());
+    const double now = sim.profile().block_temps_c[0];
+    EXPECT_GT(now, prev);
+    prev = now;
+  }
+  EXPECT_NEAR(sim.time_s(), 3.0 * sim.die_time_constant(), 1e-9);
+}
+
+TEST(Transient, CoolsBackWhenPowerRemoved) {
+  chip::Design d;
+  d.name = "t";
+  d.width = 4.0;
+  d.height = 4.0;
+  d.blocks.push_back(
+      {"b", {0, 0, 4, 4}, 100, 1.0, chip::UnitKind::kLogic, 0.9});
+  thermal::TransientParams params;
+  params.thermal.resolution = 8;
+  thermal::TransientSimulator sim(d, params);
+  sim.reset(120.0);
+  power::PowerMap off;
+  off.block_watts = {0.0};
+  sim.advance(off, 15.0 * sim.die_time_constant());
+  EXPECT_NEAR(sim.profile().block_temps_c[0], params.thermal.ambient_c, 0.5);
+}
+
+TEST(Transient, RejectsBadArguments) {
+  chip::Design d;
+  d.name = "t";
+  d.width = 4.0;
+  d.height = 4.0;
+  d.blocks.push_back(
+      {"b", {0, 0, 4, 4}, 100, 1.0, chip::UnitKind::kLogic, 0.9});
+  thermal::TransientParams bad;
+  bad.heat_capacity = -1.0;
+  EXPECT_THROW(thermal::TransientSimulator(d, bad), obd::Error);
+
+  thermal::TransientSimulator sim(d, {});
+  power::PowerMap wrong;
+  wrong.block_watts = {1.0, 2.0};
+  EXPECT_THROW(sim.advance(wrong, 1.0), obd::Error);
+  power::PowerMap ok;
+  ok.block_watts = {1.0};
+  EXPECT_THROW(sim.advance(ok, -1.0), obd::Error);
+}
+
+}  // namespace
+}  // namespace obd::core

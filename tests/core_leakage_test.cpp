@@ -1,0 +1,121 @@
+// Tests for the statistical leakage analyzer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "chip/design.hpp"
+#include "common/error.hpp"
+#include "core/leakage.hpp"
+#include "stats/descriptive.hpp"
+
+namespace obd::core {
+namespace {
+
+class LeakageFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(chip::make_synthetic_design(
+        "L1", {.devices = 20000, .block_count = 4, .die_width = 5.0,
+               .die_height = 5.0, .seed = 41}));
+    model_ = new AnalyticReliabilityModel();
+    temps_ = new std::vector<double>{85.0, 60.0, 72.0, 95.0};
+    ProblemOptions opts;
+    opts.grid_cells_per_side = 10;
+    problem_ = new ReliabilityProblem(ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_, *temps_, 1.2, opts));
+  }
+  static void TearDownTestSuite() {
+    delete problem_;
+    delete temps_;
+    delete model_;
+    delete design_;
+    problem_ = nullptr;
+    temps_ = nullptr;
+    model_ = nullptr;
+    design_ = nullptr;
+  }
+  static chip::Design* design_;
+  static AnalyticReliabilityModel* model_;
+  static std::vector<double>* temps_;
+  static ReliabilityProblem* problem_;
+};
+
+chip::Design* LeakageFixture::design_ = nullptr;
+AnalyticReliabilityModel* LeakageFixture::model_ = nullptr;
+std::vector<double>* LeakageFixture::temps_ = nullptr;
+ReliabilityProblem* LeakageFixture::problem_ = nullptr;
+
+TEST_F(LeakageFixture, MeanMatchesSampledAverage) {
+  const LeakageAnalyzer leak(*problem_);
+  const auto samples = leak.sample_chip_leakage(20000, 3);
+  EXPECT_NEAR(stats::mean(samples) / leak.mean(), 1.0, 0.02);
+}
+
+TEST_F(LeakageFixture, MeanExceedsNominalByJensen) {
+  // Variation always increases expected leakage (convexity of exp):
+  // E[I] > I(nominal die).
+  const LeakageAnalyzer leak(*problem_);
+  EXPECT_GT(leak.mean(), leak.nominal_chip());
+  // But not absurdly (4% 3-sigma thickness -> tens of percent of margin).
+  EXPECT_LT(leak.mean(), 3.0 * leak.nominal_chip());
+}
+
+TEST_F(LeakageFixture, BlockMeansSumToChipMean) {
+  const LeakageAnalyzer leak(*problem_);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < problem_->blocks().size(); ++j)
+    sum += leak.block_mean(j);
+  EXPECT_NEAR(sum, leak.mean(), 1e-12 * leak.mean());
+}
+
+TEST_F(LeakageFixture, HotterBlocksLeakMore) {
+  const LeakageAnalyzer leak(*problem_);
+  // Normalize by area: per-unit-area leakage must order by temperature.
+  std::vector<std::pair<double, double>> temp_leak;
+  for (std::size_t j = 0; j < problem_->blocks().size(); ++j)
+    temp_leak.emplace_back((*temps_)[j], leak.block_mean(j) /
+                                             problem_->blocks()[j].area);
+  std::sort(temp_leak.begin(), temp_leak.end());
+  for (std::size_t i = 1; i < temp_leak.size(); ++i)
+    EXPECT_GT(temp_leak[i].second, temp_leak[i - 1].second);
+}
+
+TEST_F(LeakageFixture, DistributionIsRightSkewedAcrossChips) {
+  // The shared die-to-die thickness shift makes total leakage lognormal-ish:
+  // mean > median.
+  const LeakageAnalyzer leak(*problem_);
+  auto samples = leak.sample_chip_leakage(20000, 5);
+  const double mean = stats::mean(samples);
+  const double median = stats::quantile(samples, 0.5);
+  EXPECT_GT(mean, median);
+  // Spread is material: the 95th percentile chip leaks notably more than
+  // the median chip (the "leakage lottery" of global variation).
+  EXPECT_GT(stats::quantile(samples, 0.95) / median, 1.2);
+}
+
+TEST_F(LeakageFixture, VddAndSlopeKnobs) {
+  LeakageParams hot_vdd;
+  const auto problem_hi = ReliabilityProblem::build(
+      *design_, var::VariationBudget{}, *model_, *temps_, 1.3,
+      [] {
+        ProblemOptions o;
+        o.grid_cells_per_side = 10;
+        return o;
+      }());
+  const LeakageAnalyzer lo(*problem_);
+  const LeakageAnalyzer hi(problem_hi);
+  EXPECT_NEAR(hi.mean() / lo.mean(), std::exp(3.0 * 0.1), 0.05);
+}
+
+TEST_F(LeakageFixture, RejectsBadParams) {
+  LeakageParams bad;
+  bad.i_ref = -1.0;
+  EXPECT_THROW(LeakageAnalyzer(*problem_, bad), obd::Error);
+  bad = {};
+  bad.thickness_slope = 0.0;
+  EXPECT_THROW(LeakageAnalyzer(*problem_, bad), obd::Error);
+}
+
+}  // namespace
+}  // namespace obd::core

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chip/design.hpp"
+#include "common/error.hpp"
+#include "core/analytic.hpp"
+#include "core/guardband.hpp"
+#include "core/hybrid.hpp"
+#include "core/lifetime.hpp"
+#include "core/montecarlo.hpp"
+
+namespace obd::core {
+namespace {
+
+// A small but non-trivial shared fixture: synthetic design, EV6-like
+// temperature spread, built once for the whole suite (problem construction
+// includes a PCA).
+class MethodsFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(chip::make_synthetic_design(
+        "T1", {.devices = 30000, .block_count = 6, .die_width = 6.0,
+               .die_height = 6.0, .seed = 77}));
+    model_ = new AnalyticReliabilityModel();
+    // Temperature spread similar to Fig. 1: hot spots ~30 C above idle.
+    temps_ = new std::vector<double>{95.0, 70.0, 58.0, 82.0, 64.0, 75.0};
+    ProblemOptions opts;
+    opts.grid_cells_per_side = 10;
+    problem_ = new ReliabilityProblem(ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_, *temps_, 1.2, opts));
+  }
+  static void TearDownTestSuite() {
+    delete problem_;
+    delete temps_;
+    delete model_;
+    delete design_;
+    problem_ = nullptr;
+    temps_ = nullptr;
+    model_ = nullptr;
+    design_ = nullptr;
+  }
+
+  static chip::Design* design_;
+  static AnalyticReliabilityModel* model_;
+  static std::vector<double>* temps_;
+  static ReliabilityProblem* problem_;
+};
+
+chip::Design* MethodsFixture::design_ = nullptr;
+AnalyticReliabilityModel* MethodsFixture::model_ = nullptr;
+std::vector<double>* MethodsFixture::temps_ = nullptr;
+ReliabilityProblem* MethodsFixture::problem_ = nullptr;
+
+TEST_F(MethodsFixture, ProblemAssemblyIsConsistent) {
+  EXPECT_EQ(problem_->blocks().size(), 6u);
+  for (std::size_t j = 0; j < 6; ++j) {
+    const auto& b = problem_->blocks()[j];
+    EXPECT_GT(b.alpha, 0.0);
+    EXPECT_GT(b.b, 0.0);
+    EXPECT_DOUBLE_EQ(b.temp_c, (*temps_)[j]);
+    EXPECT_DOUBLE_EQ(b.area, design_->blocks[j].obd_area());
+  }
+  EXPECT_DOUBLE_EQ(problem_->worst_temp_c(), 95.0);
+  EXPECT_NEAR(problem_->min_thickness(), 2.2 * (1.0 - 0.04), 1e-12);
+}
+
+TEST_F(MethodsFixture, FailureIsMonotoneAndBounded) {
+  const AnalyticAnalyzer fast(*problem_);
+  double prev = 0.0;
+  for (double t = 1e6; t < 1e11; t *= 3.0) {
+    const double f = fast.failure_probability(t);
+    EXPECT_GE(f, prev - 1e-15);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST_F(MethodsFixture, LifetimeRoundTrip) {
+  const AnalyticAnalyzer fast(*problem_);
+  for (double target : {kOneFaultPerMillion, kTenFaultsPerMillion, 1e-3}) {
+    const double t = fast.lifetime_at(target);
+    EXPECT_NEAR(fast.failure_probability(t) / target, 1.0, 1e-6);
+  }
+  // 10/million happens later than 1/million.
+  EXPECT_GT(fast.lifetime_at(kTenFaultsPerMillion),
+            fast.lifetime_at(kOneFaultPerMillion));
+}
+
+TEST_F(MethodsFixture, QuadratureSchemesAgree) {
+  AnalyticOptions paper;
+  paper.quadrature = Quadrature::kPaperMidpoint;
+  paper.cells = 10;  // the paper's l0
+  AnalyticOptions quantile;
+  quantile.quadrature = Quadrature::kEqualProbability;
+  quantile.cells = 32;
+  const AnalyticAnalyzer a(*problem_, paper);
+  const AnalyticAnalyzer b(*problem_, quantile);
+  const double t1a = a.lifetime_at(kOneFaultPerMillion);
+  const double t1b = b.lifetime_at(kOneFaultPerMillion);
+  EXPECT_NEAR(t1a / t1b, 1.0, 0.05);
+}
+
+TEST_F(MethodsFixture, StFastTracksMonteCarloAtPpmLevels) {
+  // The paper's headline claim (Table III): ~1-2% lifetime error vs MC.
+  const AnalyticAnalyzer fast(*problem_);
+  MonteCarloOptions mco;
+  mco.chip_samples = 400;
+  const MonteCarloAnalyzer mc(*problem_, mco);
+  for (double target : {kOneFaultPerMillion, kTenFaultsPerMillion}) {
+    const double t_fast = fast.lifetime_at(target);
+    const double t_mc = mc.lifetime_at(target);
+    EXPECT_NEAR(t_fast / t_mc, 1.0, 0.10) << "target " << target;
+  }
+}
+
+TEST_F(MethodsFixture, StMcTracksStFast) {
+  const AnalyticAnalyzer fast(*problem_);
+  StMcOptions opt;
+  opt.samples = 8000;
+  const StMcAnalyzer st_mc(*problem_, opt);
+  const double t_fast = fast.lifetime_at(kTenFaultsPerMillion);
+  const double t_stmc = st_mc.lifetime_at(kTenFaultsPerMillion);
+  EXPECT_NEAR(t_stmc / t_fast, 1.0, 0.08);
+}
+
+TEST_F(MethodsFixture, StMcSampleAverageMatchesHistogram) {
+  StMcOptions hist;
+  hist.samples = 6000;
+  hist.use_histogram = true;
+  StMcOptions raw = hist;
+  raw.use_histogram = false;
+  const StMcAnalyzer a(*problem_, hist);
+  const StMcAnalyzer b(*problem_, raw);
+  const double t = 2e8;
+  EXPECT_NEAR(a.failure_probability(t) / b.failure_probability(t), 1.0, 0.05);
+}
+
+TEST_F(MethodsFixture, HybridMatchesStFast) {
+  const AnalyticAnalyzer fast(*problem_);
+  const HybridEvaluator hybrid(*problem_);
+  for (double t : {5e7, 2e8, 1e9}) {
+    const double ff = fast.failure_probability(t);
+    const double fh = hybrid.failure_probability(t);
+    EXPECT_NEAR(fh / ff, 1.0, 0.03) << "t=" << t;
+  }
+  EXPECT_NEAR(hybrid.lifetime_at(kOneFaultPerMillion) /
+                  fast.lifetime_at(kOneFaultPerMillion),
+              1.0, 0.03);
+}
+
+TEST_F(MethodsFixture, HybridPaperBilinearStillClose) {
+  HybridOptions opt;
+  opt.log_space = false;  // the paper-literal interpolation
+  const HybridEvaluator hybrid(*problem_, opt);
+  const AnalyticAnalyzer fast(*problem_);
+  EXPECT_NEAR(hybrid.lifetime_at(kTenFaultsPerMillion) /
+                  fast.lifetime_at(kTenFaultsPerMillion),
+              1.0, 0.10);
+}
+
+TEST_F(MethodsFixture, HybridReparameterizationMatchesRebuiltProblem) {
+  // The hybrid method's purpose: answer for a *different* temperature
+  // profile without re-integration. Compare against st_fast on a problem
+  // rebuilt at the new temperatures.
+  const HybridEvaluator hybrid(*problem_);
+  std::vector<double> hot_temps;
+  for (double t : *temps_) hot_temps.push_back(t + 12.0);
+  ProblemOptions opts;
+  opts.grid_cells_per_side = 10;
+  const auto hot_problem = ReliabilityProblem::build(
+      *design_, var::VariationBudget{}, *model_, hot_temps, 1.2, opts);
+  const AnalyticAnalyzer hot_fast(hot_problem);
+
+  std::vector<double> alphas;
+  std::vector<double> bs;
+  for (double t : hot_temps) {
+    alphas.push_back(model_->alpha(t, 1.2));
+    bs.push_back(model_->b(t, 1.2));
+  }
+  const double t_query = 2e8;
+  EXPECT_NEAR(hybrid.failure_probability_with(t_query, alphas, bs) /
+                  hot_fast.failure_probability(t_query),
+              1.0, 0.03);
+}
+
+TEST_F(MethodsFixture, GuardBandIsPessimisticByTensOfPercent) {
+  // Table III: guard-band underestimates lifetime by ~40-60%.
+  const AnalyticAnalyzer fast(*problem_);
+  const GuardBandAnalyzer guard(*problem_);
+  for (double target : {kOneFaultPerMillion, kTenFaultsPerMillion}) {
+    const double t_fast = fast.lifetime_at(target);
+    const double t_guard = guard.lifetime_at(target);
+    EXPECT_LT(t_guard, t_fast);
+    const double underestimate = 1.0 - t_guard / t_fast;
+    EXPECT_GT(underestimate, 0.25) << "target " << target;
+    EXPECT_LT(underestimate, 0.85) << "target " << target;
+  }
+}
+
+TEST_F(MethodsFixture, GuardBandClosedFormRoundTrip) {
+  const GuardBandAnalyzer guard(*problem_);
+  const double t = guard.lifetime_at(1e-6);
+  EXPECT_NEAR(guard.failure_probability(t), 1e-6, 1e-9);
+}
+
+TEST_F(MethodsFixture, TemperatureUnawareIsPessimistic) {
+  // Using the worst temperature for every block (Fig. 10's
+  // temperature-unaware curve) must under-predict lifetime vs the
+  // temperature-aware analysis, but less than the guard band.
+  ProblemOptions opts;
+  opts.grid_cells_per_side = 10;
+  const std::vector<double> worst(temps_->size(), problem_->worst_temp_c());
+  const auto unaware_problem = ReliabilityProblem::build(
+      *design_, var::VariationBudget{}, *model_, worst, 1.2, opts);
+  const AnalyticAnalyzer aware(*problem_);
+  const AnalyticAnalyzer unaware(unaware_problem);
+  const GuardBandAnalyzer guard(*problem_);
+  const double t_aware = aware.lifetime_at(kTenFaultsPerMillion);
+  const double t_unaware = unaware.lifetime_at(kTenFaultsPerMillion);
+  const double t_guard = guard.lifetime_at(kTenFaultsPerMillion);
+  EXPECT_LT(t_unaware, t_aware);
+  EXPECT_LT(t_guard, t_unaware);
+}
+
+TEST_F(MethodsFixture, MonteCarloFailureTimesMatchFailureCurve) {
+  // The empirical CDF of sampled chip failure times must agree with the
+  // analyzer's own failure probability at bulk quantiles.
+  MonteCarloOptions mco;
+  mco.chip_samples = 200;
+  const MonteCarloAnalyzer mc(*problem_, mco);
+  stats::Rng rng(8);
+  auto times = mc.sample_failure_times(2000, rng);
+  std::sort(times.begin(), times.end());
+  const double median = times[times.size() / 2];
+  const double f_at_median = mc.failure_probability(median);
+  EXPECT_NEAR(f_at_median, 0.5, 0.06);
+}
+
+TEST_F(MethodsFixture, FailureCurveIsLogSpacedAndMonotone) {
+  const AnalyticAnalyzer fast(*problem_);
+  const auto curve = failure_curve(
+      [&](double t) { return fast.failure_probability(t); }, 1e7, 1e10, 30);
+  ASSERT_EQ(curve.size(), 30u);
+  EXPECT_NEAR(curve.front().time_s, 1e7, 1.0);
+  EXPECT_NEAR(curve.back().time_s, 1e10, 1e4);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].time_s, curve[i - 1].time_s);
+    EXPECT_GE(curve[i].failure, curve[i - 1].failure - 1e-15);
+  }
+}
+
+TEST(MethodsErrors, RejectBadArguments) {
+  EXPECT_THROW(GuardBandAnalyzer(0.0, 1.0, 1.0, 1.0), obd::Error);
+  EXPECT_THROW(GuardBandAnalyzer(1.0, 1.0, 1.0, 1.0).lifetime_at(0.0),
+               obd::Error);
+  EXPECT_THROW(
+      lifetime_at_failure([](double) { return 0.5; }, 1.5), obd::Error);
+}
+
+}  // namespace
+}  // namespace obd::core

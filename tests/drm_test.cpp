@@ -1,0 +1,186 @@
+// Tests for the dynamic reliability manager.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chip/design.hpp"
+#include "common/error.hpp"
+#include "core/duty_cycle.hpp"
+#include "drm/manager.hpp"
+
+namespace obd::drm {
+namespace {
+
+class DrmFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(chip::make_synthetic_design(
+        "D1", {.devices = 20000, .block_count = 5, .die_width = 5.0,
+               .die_height = 5.0, .seed = 71}));
+    model_ = new core::AnalyticReliabilityModel();
+    // The problem's temperatures are placeholders; the manager recomputes
+    // thermals per operating point.
+    core::ProblemOptions opts;
+    opts.grid_cells_per_side = 10;
+    problem_ = new core::ReliabilityProblem(core::ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_,
+        std::vector<double>(5, 80.0), 1.2, opts));
+    ladder_ = new std::vector<OperatingPoint>{
+        {"eco", 1.00, 1.2e9}, {"mid", 1.10, 1.7e9}, {"turbo", 1.25, 2.3e9}};
+  }
+  static void TearDownTestSuite() {
+    delete ladder_;
+    delete problem_;
+    delete model_;
+    delete design_;
+    ladder_ = nullptr;
+    problem_ = nullptr;
+    model_ = nullptr;
+    design_ = nullptr;
+  }
+  static chip::Design* design_;
+  static core::AnalyticReliabilityModel* model_;
+  static core::ReliabilityProblem* problem_;
+  static std::vector<OperatingPoint>* ladder_;
+};
+
+chip::Design* DrmFixture::design_ = nullptr;
+core::AnalyticReliabilityModel* DrmFixture::model_ = nullptr;
+core::ReliabilityProblem* DrmFixture::problem_ = nullptr;
+std::vector<OperatingPoint>* DrmFixture::ladder_ = nullptr;
+
+TEST_F(DrmFixture, DamageIsMonotoneAndStartsAtZero) {
+  ReliabilityManager mgr(*problem_, *model_, *ladder_);
+  EXPECT_DOUBLE_EQ(mgr.damage(), 0.0);
+  double prev = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    const DrmStep s = mgr.step_fixed(1, 0.7);
+    EXPECT_GE(s.damage, prev);
+    prev = s.damage;
+  }
+  EXPECT_GT(prev, 0.0);
+  EXPECT_NEAR(mgr.elapsed_s(), 6.0 * 30.0 * 86400.0, 1.0);
+}
+
+TEST_F(DrmFixture, EffectiveAgeRecursionMatchesDirectEvaluation) {
+  // Constant conditions: stepping n intervals must equal one evaluation at
+  // the total elapsed time (the recursion is exact for constant stress).
+  DrmOptions opts;
+  opts.control_interval_s = 60.0 * 86400.0;
+  ReliabilityManager stepped(*problem_, *model_, *ladder_, opts);
+  for (int i = 0; i < 10; ++i) stepped.step_fixed(2, 0.8);
+
+  DrmOptions big;
+  big.control_interval_s = 600.0 * 86400.0;
+  ReliabilityManager direct(*problem_, *model_, *ladder_, big);
+  direct.step_fixed(2, 0.8);
+
+  EXPECT_NEAR(stepped.damage() / direct.damage(), 1.0, 1e-3);
+}
+
+TEST_F(DrmFixture, FasterRungsAgeFaster) {
+  ReliabilityManager eco(*problem_, *model_, *ladder_);
+  ReliabilityManager turbo(*problem_, *model_, *ladder_);
+  for (int i = 0; i < 4; ++i) {
+    eco.step_fixed(0, 0.8);
+    turbo.step_fixed(2, 0.8);
+  }
+  EXPECT_GT(turbo.damage(), 3.0 * eco.damage());
+}
+
+TEST_F(DrmFixture, ControllerRespectsBudgetTrajectory) {
+  DrmOptions opts;
+  opts.lifetime_target_s = 5.0 * 365.25 * 86400.0;
+  opts.failure_budget = 1e-5;
+  opts.control_interval_s = opts.lifetime_target_s / 60.0;
+  ReliabilityManager mgr(*problem_, *model_, *ladder_, opts);
+  for (int i = 0; i < 60; ++i) {
+    const DrmStep s = mgr.step(0.9);
+    EXPECT_LE(s.damage, s.budget_line * 1.02) << "step " << i;
+  }
+  // The full lifetime is managed to (at most) the budget.
+  EXPECT_LE(mgr.damage(), opts.failure_budget * 1.02);
+}
+
+// A failure budget between eco-always and turbo-always damage, so the
+// trajectory constraint actually binds and the rung choice matters.
+double binding_budget(const core::ReliabilityProblem& problem,
+                      const core::DeviceReliabilityModel& model,
+                      const std::vector<OperatingPoint>& ladder,
+                      DrmOptions opts, int steps, double workload) {
+  ReliabilityManager eco(problem, model, ladder, opts);
+  ReliabilityManager turbo(problem, model, ladder, opts);
+  for (int i = 0; i < steps; ++i) {
+    eco.step_fixed(0, workload);
+    turbo.step_fixed(ladder.size() - 1, workload);
+  }
+  return std::sqrt(eco.damage() * turbo.damage());
+}
+
+TEST_F(DrmFixture, LightWorkloadEarnsFasterRungs) {
+  DrmOptions opts;
+  opts.lifetime_target_s = 5.0 * 365.25 * 86400.0;
+  opts.control_interval_s = opts.lifetime_target_s / 40.0;
+  opts.failure_budget =
+      binding_budget(*problem_, *model_, *ladder_, opts, 40, 0.8);
+  ReliabilityManager light(*problem_, *model_, *ladder_, opts);
+  ReliabilityManager heavy(*problem_, *model_, *ladder_, opts);
+  double light_rungs = 0.0;
+  double heavy_rungs = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    light_rungs += static_cast<double>(light.step(0.25).op_index);
+    heavy_rungs += static_cast<double>(heavy.step(1.0).op_index);
+  }
+  // Cool workloads leave headroom the controller converts into speed.
+  EXPECT_GT(light_rungs, heavy_rungs);
+}
+
+TEST_F(DrmFixture, BudgetPolicyOutperformsStaticWorstCase) {
+  // Static worst-case policy: the fastest rung that survives the full
+  // lifetime under *continuous worst-case* workload. The adaptive policy
+  // on a mixed workload must beat its average performance at equal (or
+  // lower) damage.
+  DrmOptions opts;
+  opts.lifetime_target_s = 5.0 * 365.25 * 86400.0;
+  opts.control_interval_s = opts.lifetime_target_s / 50.0;
+  opts.failure_budget =
+      binding_budget(*problem_, *model_, *ladder_, opts, 50, 1.0);
+
+  // Find the static rung: highest rung whose all-worst-case damage fits.
+  std::size_t static_rung = 0;
+  for (std::size_t r = ladder_->size(); r-- > 0;) {
+    ReliabilityManager probe(*problem_, *model_, *ladder_, opts);
+    for (int i = 0; i < 50; ++i) probe.step_fixed(r, 1.0);
+    if (probe.damage() <= opts.failure_budget) {
+      static_rung = r;
+      break;
+    }
+  }
+
+  // Mixed workload: 70% light phases, 30% heavy.
+  auto workload = [](int i) { return (i % 10 < 7) ? 0.3 : 1.0; };
+
+  ReliabilityManager adaptive(*problem_, *model_, *ladder_, opts);
+  ReliabilityManager fixed(*problem_, *model_, *ladder_, opts);
+  double perf_adaptive = 0.0;
+  double perf_fixed = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    perf_adaptive += adaptive.step(workload(i)).performance;
+    perf_fixed += fixed.step_fixed(static_rung, workload(i)).performance;
+  }
+  EXPECT_GT(perf_adaptive, perf_fixed);
+  EXPECT_LE(adaptive.damage(), opts.failure_budget * 1.02);
+}
+
+TEST_F(DrmFixture, RejectsBadConfiguration) {
+  EXPECT_THROW(ReliabilityManager(*problem_, *model_, {}), obd::Error);
+  std::vector<OperatingPoint> unsorted{{"fast", 1.2, 2e9},
+                                       {"slow", 1.0, 1e9}};
+  EXPECT_THROW(ReliabilityManager(*problem_, *model_, unsorted), obd::Error);
+  ReliabilityManager mgr(*problem_, *model_, *ladder_);
+  EXPECT_THROW(mgr.step_fixed(99, 0.5), obd::Error);
+  EXPECT_THROW(mgr.step(-0.5), obd::Error);
+}
+
+}  // namespace
+}  // namespace obd::drm

@@ -1,0 +1,146 @@
+// End-to-end pipeline test: power model -> thermal solver -> reliability
+// problem -> all analysis methods, on the paper's C1 benchmark. This is the
+// full flow a user of the library runs, and it checks the paper's
+// qualitative claims hold through the entire stack.
+#include <gtest/gtest.h>
+
+#include "chip/design.hpp"
+#include "common/stopwatch.hpp"
+#include "core/analytic.hpp"
+#include "core/guardband.hpp"
+#include "core/hybrid.hpp"
+#include "core/lifetime.hpp"
+#include "core/montecarlo.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+
+namespace obd {
+namespace {
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(chip::make_benchmark(1));  // C1: 50K devices
+    profile_ = new thermal::ThermalProfile(thermal::power_thermal_fixed_point(
+        *design_, power::PowerParams{}, {.resolution = 32}, 2));
+    model_ = new core::AnalyticReliabilityModel();
+    problem_ = new core::ReliabilityProblem(core::ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_, profile_->block_temps_c,
+        1.2, core::ProblemOptions{}));
+  }
+  static void TearDownTestSuite() {
+    delete problem_;
+    delete model_;
+    delete profile_;
+    delete design_;
+    problem_ = nullptr;
+    model_ = nullptr;
+    profile_ = nullptr;
+    design_ = nullptr;
+  }
+
+  static chip::Design* design_;
+  static thermal::ThermalProfile* profile_;
+  static core::AnalyticReliabilityModel* model_;
+  static core::ReliabilityProblem* problem_;
+};
+
+chip::Design* PipelineFixture::design_ = nullptr;
+thermal::ThermalProfile* PipelineFixture::profile_ = nullptr;
+core::AnalyticReliabilityModel* PipelineFixture::model_ = nullptr;
+core::ReliabilityProblem* PipelineFixture::problem_ = nullptr;
+
+TEST_F(PipelineFixture, ThermalProfileFeedsDistinctBlockParameters) {
+  // The whole point of the paper: different blocks see different
+  // temperatures and hence different (alpha, b).
+  double alpha_min = 1e300;
+  double alpha_max = 0.0;
+  for (const auto& b : problem_->blocks()) {
+    alpha_min = std::min(alpha_min, b.alpha);
+    alpha_max = std::max(alpha_max, b.alpha);
+  }
+  EXPECT_GT(alpha_max / alpha_min, 1.5);
+}
+
+TEST_F(PipelineFixture, PpmLifetimesLandInPhysicalDecade) {
+  // Calibration sanity: ppm lifetimes of a 50K-device chip at realistic
+  // temperatures should land between months and decades.
+  const core::AnalyticAnalyzer fast(*problem_);
+  const double t_1ppm = fast.lifetime_at(core::kOneFaultPerMillion);
+  EXPECT_GT(t_1ppm, 1e6);    // > ~12 days
+  EXPECT_LT(t_1ppm, 1e11);   // < ~3000 years
+}
+
+TEST_F(PipelineFixture, AllMethodsOrderedAsInTableIII) {
+  const core::AnalyticAnalyzer fast(*problem_);
+  const core::StMcAnalyzer st_mc(*problem_, {.samples = 5000});
+  const core::HybridEvaluator hybrid(*problem_);
+  const core::GuardBandAnalyzer guard(*problem_);
+  const core::MonteCarloAnalyzer mc(*problem_, {.chip_samples = 300});
+
+  const double t_mc = mc.lifetime_at(core::kTenFaultsPerMillion);
+  const double t_fast = fast.lifetime_at(core::kTenFaultsPerMillion);
+  const double t_stmc = st_mc.lifetime_at(core::kTenFaultsPerMillion);
+  const double t_hybrid = hybrid.lifetime_at(core::kTenFaultsPerMillion);
+  const double t_guard = guard.lifetime_at(core::kTenFaultsPerMillion);
+
+  // Proposed methods all near MC (Table III: ~1-2%; we allow sampling
+  // noise of the small MC here).
+  EXPECT_NEAR(t_fast / t_mc, 1.0, 0.10);
+  EXPECT_NEAR(t_stmc / t_mc, 1.0, 0.10);
+  EXPECT_NEAR(t_hybrid / t_mc, 1.0, 0.10);
+  // Guard band far below (pessimistic).
+  EXPECT_LT(t_guard, 0.75 * t_mc);
+}
+
+TEST_F(PipelineFixture, QueriesAreOrdersOfMagnitudeFasterThanMc) {
+  // Shape of the runtime column: per-query cost of the statistical methods
+  // must beat the Monte Carlo evaluation dramatically. (Construction/PCA is
+  // shared preprocessing, as in the paper's complexity discussion.)
+  const core::AnalyticAnalyzer fast(*problem_);
+  const core::MonteCarloAnalyzer mc(*problem_, {.chip_samples = 300});
+
+  Stopwatch sw;
+  double sink = 0.0;
+  const int reps = 50;
+  for (int i = 0; i < reps; ++i)
+    sink += fast.failure_probability(2e8 + i);
+  const double t_fast = sw.seconds();
+
+  sw.reset();
+  for (int i = 0; i < reps; ++i)
+    sink += mc.failure_probability(2e8 + i);
+  const double t_mc = sw.seconds();
+
+  EXPECT_GT(sink, 0.0);
+  EXPECT_GT(t_mc / t_fast, 10.0);
+}
+
+TEST_F(PipelineFixture, VddKnobShiftsLifetime) {
+  // Voltage acceleration end-to-end: raising Vdd shortens the ppm lifetime.
+  const auto lo = core::ReliabilityProblem::build(
+      *design_, var::VariationBudget{}, *model_, profile_->block_temps_c,
+      1.1, core::ProblemOptions{});
+  const auto hi = core::ReliabilityProblem::build(
+      *design_, var::VariationBudget{}, *model_, profile_->block_temps_c,
+      1.3, core::ProblemOptions{});
+  const core::AnalyticAnalyzer a_lo(lo);
+  const core::AnalyticAnalyzer a_hi(hi);
+  EXPECT_GT(a_lo.lifetime_at(1e-6), 2.0 * a_hi.lifetime_at(1e-6));
+}
+
+TEST_F(PipelineFixture, TabulatedModelReproducesAnalyticPipeline) {
+  std::vector<double> temps;
+  for (double t = 40.0; t <= 130.0; t += 2.5) temps.push_back(t);
+  const auto table =
+      core::TabulatedReliabilityModel::from_model(*model_, temps);
+  const auto table_problem = core::ReliabilityProblem::build(
+      *design_, var::VariationBudget{}, table, profile_->block_temps_c, 1.2,
+      core::ProblemOptions{});
+  const core::AnalyticAnalyzer a(*problem_);
+  const core::AnalyticAnalyzer b(table_problem);
+  EXPECT_NEAR(b.lifetime_at(1e-6) / a.lifetime_at(1e-6), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace obd

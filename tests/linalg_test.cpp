@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace obd::la {
+namespace {
+
+TEST(Matrix, IdentityAndIndexing) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_EQ(i3.rows(), 3u);
+  EXPECT_EQ(i3.cols(), 3u);
+  EXPECT_DOUBLE_EQ(i3(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(i3.trace(), 3.0);
+}
+
+TEST(Matrix, MatrixVectorMultiply) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Vector y = a.multiply({1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  EXPECT_THROW(a.multiply({1.0}), obd::Error);
+}
+
+TEST(Matrix, MatrixMatrixMultiplyAndTranspose) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Matrix ata = a.transposed().matmul(a);
+  EXPECT_EQ(ata.rows(), 3u);
+  EXPECT_EQ(ata.cols(), 3u);
+  EXPECT_DOUBLE_EQ(ata(0, 0), 17.0);
+  EXPECT_DOUBLE_EQ(ata(1, 2), 36.0);
+  EXPECT_LE(ata.max_asymmetry(), 0.0);
+}
+
+TEST(Matrix, FrobeniusEqualsTraceOfSquareForSymmetric) {
+  Matrix s(2, 2);
+  s(0, 0) = 2; s(0, 1) = 1; s(1, 0) = 1; s(1, 1) = 3;
+  const Matrix s2 = s.matmul(s);
+  EXPECT_NEAR(s.frobenius_squared(), s2.trace(), 1e-12);
+}
+
+TEST(Dot, BasicsAndErrors) {
+  EXPECT_DOUBLE_EQ(dot({1, 2}, {3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ(norm({3, 4}), 5.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), obd::Error);
+}
+
+TEST(EigenSymmetric, DiagonalMatrix) {
+  Matrix d(3, 3);
+  d(0, 0) = 1.0; d(1, 1) = 5.0; d(2, 2) = 3.0;
+  const auto eig = eigen_symmetric(d);
+  EXPECT_NEAR(eig.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 1.0, 1e-12);
+}
+
+TEST(EigenSymmetric, Known2x2) {
+  // [[2, 1], [1, 2]]: eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  const auto eig = eigen_symmetric(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(eig.vectors(0, 0)), std::sqrt(0.5), 1e-12);
+}
+
+TEST(EigenSymmetric, ReconstructsRandomSymmetricMatrix) {
+  stats::Rng rng(42);
+  const std::size_t n = 20;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  const auto eig = eigen_symmetric(a);
+  // A = V diag(w) V^T reconstruction.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        s += eig.vectors(i, k) * eig.values[k] * eig.vectors(j, k);
+      EXPECT_NEAR(s, a(i, j), 1e-9) << "entry " << i << "," << j;
+    }
+  }
+}
+
+TEST(EigenSymmetric, EigenvectorsAreOrthonormal) {
+  stats::Rng rng(7);
+  const std::size_t n = 15;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  const auto eig = eigen_symmetric(a);
+  for (std::size_t k1 = 0; k1 < n; ++k1) {
+    for (std::size_t k2 = k1; k2 < n; ++k2) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        s += eig.vectors(i, k1) * eig.vectors(i, k2);
+      EXPECT_NEAR(s, (k1 == k2) ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(EigenSymmetric, EigenvalueSumEqualsTrace) {
+  stats::Rng rng(3);
+  const std::size_t n = 30;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  const auto eig = eigen_symmetric(a);
+  double sum = 0.0;
+  for (double w : eig.values) sum += w;
+  EXPECT_NEAR(sum, a.trace(), 1e-9);
+}
+
+TEST(EigenSymmetric, RejectsAsymmetric) {
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = -1.0;
+  EXPECT_THROW(eigen_symmetric(a), obd::Error);
+}
+
+TEST(EigenSymmetric, HandlesSizeOne) {
+  Matrix a(1, 1);
+  a(0, 0) = 4.2;
+  const auto eig = eigen_symmetric(a);
+  EXPECT_DOUBLE_EQ(eig.values[0], 4.2);
+  EXPECT_DOUBLE_EQ(eig.vectors(0, 0), 1.0);
+}
+
+TEST(Cholesky, FactorsAndSolves) {
+  // SPD matrix A = L0 L0^T for a known L0.
+  Matrix a(3, 3);
+  a(0, 0) = 4;  a(0, 1) = 2;  a(0, 2) = 2;
+  a(1, 0) = 2;  a(1, 1) = 5;  a(1, 2) = 3;
+  a(2, 0) = 2;  a(2, 1) = 3;  a(2, 2) = 6;
+  const Matrix l = cholesky_lower(a);
+  // L L^T == A.
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) s += l(i, k) * l(j, k);
+      EXPECT_NEAR(s, a(i, j), 1e-12);
+    }
+  // Solve A x = b.
+  const Vector x = cholesky_solve(l, {8.0, 10.0, 11.0});
+  const Vector b = a.multiply(x);
+  EXPECT_NEAR(b[0], 8.0, 1e-10);
+  EXPECT_NEAR(b[1], 10.0, 1e-10);
+  EXPECT_NEAR(b[2], 11.0, 1e-10);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0; a(1, 0) = 2.0; a(1, 1) = 1.0;
+  EXPECT_THROW(cholesky_lower(a), obd::Error);
+  // Jitter can rescue near-PSD matrices.
+  EXPECT_NO_THROW(cholesky_lower(a, 1.5));
+}
+
+}  // namespace
+}  // namespace obd::la

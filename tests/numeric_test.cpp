@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "numeric/interp.hpp"
+#include "numeric/quadrature.hpp"
+#include "numeric/roots.hpp"
+
+namespace obd::num {
+namespace {
+
+TEST(Midpoint1D, ExactForLinear) {
+  // Midpoint rule integrates linear functions exactly.
+  const double v = midpoint_1d([](double x) { return 3.0 * x + 1.0; }, 0.0,
+                               2.0, 7);
+  EXPECT_NEAR(v, 8.0, 1e-12);
+}
+
+TEST(Midpoint1D, ConvergesForSmooth) {
+  const double exact = 1.0 - std::cos(1.0);
+  const double coarse = midpoint_1d([](double x) { return std::sin(x); },
+                                    0.0, 1.0, 10);
+  const double fine = midpoint_1d([](double x) { return std::sin(x); }, 0.0,
+                                  1.0, 1000);
+  EXPECT_NEAR(fine, exact, 1e-7);
+  EXPECT_LT(std::fabs(fine - exact), std::fabs(coarse - exact));
+}
+
+TEST(Midpoint2D, SeparableProduct) {
+  // Int of x*y over [0,1]^2 = 1/4.
+  const double v = midpoint_2d([](double x, double y) { return x * y; }, 0.0,
+                               1.0, 0.0, 1.0, 50);
+  EXPECT_NEAR(v, 0.25, 1e-6);
+}
+
+TEST(Midpoint2D, PaperL0TenIsAccurateForGaussianProduct) {
+  // The paper's claim: l0 = 10 suffices for a product of decaying PDFs.
+  auto f = [](double x, double y) {
+    return std::exp(-0.5 * (x * x + y * y)) / (2.0 * M_PI);
+  };
+  const double v = midpoint_2d(f, -5.0, 5.0, -5.0, 5.0, 10);
+  EXPECT_NEAR(v, 1.0, 0.01);
+}
+
+TEST(GaussLegendre, ExactForPolynomials) {
+  // n-point GL is exact for degree 2n-1.
+  const double v4 = gauss_legendre_1d(
+      [](double x) { return x * x * x * x * x * x * x; }, 0.0, 1.0, 4);
+  EXPECT_NEAR(v4, 1.0 / 8.0, 1e-14);
+  const double v2 = gauss_legendre_1d([](double x) { return x * x * x; },
+                                      -1.0, 2.0, 2);
+  EXPECT_NEAR(v2, (16.0 - 1.0) / 4.0, 1e-13);
+}
+
+TEST(GaussLegendre, PanelsImproveAccuracy) {
+  auto f = [](double x) { return std::exp(-x) * std::sin(5.0 * x); };
+  const double exact = 5.0 / 26.0 *
+                       (1.0 - std::exp(-2.0) * (std::cos(10.0) +
+                                                 0.2 * std::sin(10.0)));
+  const double panels = gauss_legendre_1d(f, 0.0, 2.0, 6, 8);
+  EXPECT_NEAR(panels, exact, 1e-10);
+}
+
+TEST(GaussLegendre, Tensor2D) {
+  const double v = gauss_legendre_2d(
+      [](double x, double y) { return x * x + y; }, 0.0, 1.0, 0.0, 2.0, 4);
+  EXPECT_NEAR(v, 2.0 / 3.0 + 2.0, 1e-12);
+}
+
+TEST(GaussLegendre, RejectsUnsupportedPointCount) {
+  EXPECT_THROW(
+      gauss_legendre_1d([](double) { return 1.0; }, 0.0, 1.0, 20),
+      obd::Error);
+}
+
+TEST(Simpson, ExactForCubics) {
+  const double v =
+      simpson_1d([](double x) { return x * x * x; }, 0.0, 2.0, 4);
+  EXPECT_NEAR(v, 4.0, 1e-12);
+}
+
+TEST(Brent, FindsSimpleRoot) {
+  const double r = brent([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Brent, FindsRootAtBracketEdge) {
+  EXPECT_DOUBLE_EQ(brent([](double x) { return x; }, 0.0, 1.0), 0.0);
+}
+
+TEST(Brent, RejectsBadBracket) {
+  EXPECT_THROW(brent([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               obd::Error);
+  EXPECT_THROW(brent([](double x) { return x; }, 2.0, 1.0), obd::Error);
+}
+
+TEST(BrentAutoBracket, ExpandsToFindRoot) {
+  // Root at 100, far outside the seed interval [0, 1].
+  const double r = brent_auto_bracket(
+      [](double x) { return x - 100.0; }, 0.0, 1.0);
+  EXPECT_NEAR(r, 100.0, 1e-8);
+}
+
+TEST(BrentAutoBracket, WorksInLogDomainLikeLifetimeSolver) {
+  // F(t) = 1 - exp(-(t/1e9)^1.4) = 1e-6, solved in s = ln t.
+  auto f = [](double s) {
+    const double t = std::exp(s);
+    return -std::expm1(-std::pow(t / 1e9, 1.4)) - 1e-6;
+  };
+  const double s = brent_auto_bracket(f, std::log(1e6), std::log(1e8));
+  const double expected = 1e9 * std::pow(1e-6, 1.0 / 1.4);
+  EXPECT_NEAR(std::exp(s) / expected, 1.0, 1e-6);
+}
+
+TEST(Lerp1D, InterpolatesAndExtrapolates) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(lerp_1d(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(lerp_1d(xs, ys, 1.5), 25.0);
+  EXPECT_DOUBLE_EQ(lerp_1d(xs, ys, -1.0), -10.0);  // edge extrapolation
+  EXPECT_DOUBLE_EQ(lerp_1d(xs, ys, 3.0), 70.0);
+}
+
+TEST(LookupTable2D, ExactForBilinearFunctions) {
+  // Bilinear interpolation reproduces bilinear functions exactly.
+  auto f = [](double x, double y) { return 2.0 * x + 3.0 * y + x * y; };
+  const LookupTable2D lut(0.0, 4.0, 5, 0.0, 2.0, 3, f);
+  for (double x : {0.3, 1.7, 3.9})
+    for (double y : {0.1, 0.9, 1.95})
+      EXPECT_NEAR(lut.at(x, y), f(x, y), 1e-12);
+}
+
+TEST(LookupTable2D, ClampsOutOfRangeQueries) {
+  const LookupTable2D lut(0.0, 1.0, 2, 0.0, 1.0, 2,
+                          [](double x, double y) { return x + y; });
+  EXPECT_DOUBLE_EQ(lut.at(-5.0, -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(lut.at(9.0, 9.0), 2.0);
+}
+
+TEST(LookupTable2D, ApproximatesSmoothFunctions) {
+  auto f = [](double x, double y) { return std::exp(-x) * std::cos(y); };
+  const LookupTable2D lut(0.0, 3.0, 100, 0.0, 3.0, 100, f);
+  double worst = 0.0;
+  for (double x = 0.05; x < 3.0; x += 0.17)
+    for (double y = 0.05; y < 3.0; y += 0.17)
+      worst = std::max(worst, std::fabs(lut.at(x, y) - f(x, y)));
+  EXPECT_LT(worst, 5e-4);
+}
+
+TEST(LookupTable2D, RejectsDegenerateGrids) {
+  auto f = [](double, double) { return 0.0; };
+  EXPECT_THROW(LookupTable2D(0.0, 1.0, 1, 0.0, 1.0, 2, f), obd::Error);
+  EXPECT_THROW(LookupTable2D(1.0, 0.0, 2, 0.0, 1.0, 2, f), obd::Error);
+}
+
+}  // namespace
+}  // namespace obd::num

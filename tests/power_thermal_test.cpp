@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "chip/design.hpp"
+#include "common/error.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+
+namespace obd {
+namespace {
+
+using chip::Design;
+using chip::UnitKind;
+
+Design two_block_design() {
+  Design d;
+  d.name = "two";
+  d.width = 10.0;
+  d.height = 10.0;
+  d.blocks.push_back(
+      {"hot", {0, 0, 5, 10}, 1000, 1.0, UnitKind::kLogic, 0.9});
+  d.blocks.push_back(
+      {"cold", {5, 0, 5, 10}, 1000, 1.0, UnitKind::kCache, 0.05});
+  return d;
+}
+
+TEST(Power, DynamicScalesWithActivityVddSquaredAndFrequency) {
+  const Design d = two_block_design();
+  power::PowerParams p;
+  p.leakage_density_25c = 0.0;  // isolate dynamic power
+  const power::PowerMap base = power::estimate_power(d, p);
+
+  power::PowerParams doubled = p;
+  doubled.frequency *= 2.0;
+  const power::PowerMap f2 = power::estimate_power(d, doubled);
+  EXPECT_NEAR(f2.block_watts[0], 2.0 * base.block_watts[0], 1e-9);
+
+  power::PowerParams boosted = p;
+  boosted.vdd = p.vdd * 1.1;
+  const power::PowerMap v2 = power::estimate_power(d, boosted);
+  EXPECT_NEAR(v2.block_watts[0] / base.block_watts[0], 1.21, 1e-9);
+
+  // Activity ratio shows up directly (same kind would be needed for an
+  // exact ratio; here hot logic must dominate cold cache).
+  EXPECT_GT(base.block_watts[0], 5.0 * base.block_watts[1]);
+}
+
+TEST(Power, LeakageGrowsExponentiallyWithTemperature) {
+  const Design d = two_block_design();
+  power::PowerParams p;
+  p.frequency = 0.0;  // isolate leakage... (frequency must be positive)
+  p.frequency = 1.0;  // negligible dynamic power instead
+  const power::PowerMap cold = power::estimate_power(d, p, {25.0, 25.0});
+  const power::PowerMap hot = power::estimate_power(d, p, {108.3, 25.0});
+  // exp(0.012 * 83.3) ~ 2.72.
+  EXPECT_NEAR(hot.block_watts[0] / cold.block_watts[0], std::exp(1.0), 0.01);
+  EXPECT_NEAR(hot.block_watts[1], cold.block_watts[1], 1e-12);
+}
+
+TEST(Power, Ev6TotalInPlausibleRange) {
+  const Design d = chip::make_ev6_design();
+  const power::PowerMap map = power::estimate_power(d, {});
+  EXPECT_GT(map.total(), 30.0);   // a real EV6-class part burns tens of watts
+  EXPECT_LT(map.total(), 150.0);
+}
+
+TEST(Power, RejectsBadTemperatureVector) {
+  const Design d = two_block_design();
+  EXPECT_THROW(power::estimate_power(d, {}, {25.0}), Error);
+}
+
+TEST(Thermal, UniformPowerGivesUniformTemperature) {
+  Design d;
+  d.name = "uniform";
+  d.width = 8.0;
+  d.height = 8.0;
+  d.blocks.push_back({"all", {0, 0, 8, 8}, 100, 1.0, UnitKind::kLogic, 0.5});
+  power::PowerMap map;
+  map.block_watts = {64.0};
+  thermal::ThermalParams tp;
+  tp.resolution = 16;
+  const auto profile = thermal::solve_thermal(d, map, tp);
+  // Uniform heating with uniform vertical path: T = ambient + P * R
+  // everywhere, no lateral gradients.
+  EXPECT_NEAR(profile.min_c(), tp.ambient_c + 64.0 * tp.package_resistance,
+              1e-3);
+  EXPECT_NEAR(profile.max_c() - profile.min_c(), 0.0, 1e-3);
+  // Block aggregate equals the field.
+  EXPECT_NEAR(profile.block_temps_c[0], profile.min_c(), 1e-6);
+}
+
+TEST(Thermal, HotBlockIsHotterAndHeatSpreadsLaterally) {
+  const Design d = two_block_design();
+  const power::PowerMap map = power::estimate_power(d, {});
+  thermal::ThermalParams tp;
+  tp.resolution = 32;
+  const auto profile = thermal::solve_thermal(d, map, tp);
+  EXPECT_GT(profile.block_temps_c[0], profile.block_temps_c[1] + 3.0);
+  // Lateral conduction: the cold block still sits above ambient.
+  EXPECT_GT(profile.block_temps_c[1], tp.ambient_c + 1.0);
+  // Temperature lookup agrees with block averages in block interiors.
+  EXPECT_NEAR(profile.at(2.5, 5.0), profile.block_temps_c[0], 10.0);
+}
+
+TEST(Thermal, EnergyBalanceHolds) {
+  // Total heat leaving through the package equals total power in.
+  const Design d = two_block_design();
+  const power::PowerMap map = power::estimate_power(d, {});
+  thermal::ThermalParams tp;
+  tp.resolution = 24;
+  tp.tolerance = 1e-9;
+  const auto profile = thermal::solve_thermal(d, map, tp);
+  const double g_vert = (1.0 / tp.package_resistance) /
+                        static_cast<double>(tp.resolution * tp.resolution);
+  double out = 0.0;
+  for (double t : profile.cell_temps_c) out += g_vert * (t - tp.ambient_c);
+  EXPECT_NEAR(out, map.total(), 0.01 * map.total());
+}
+
+TEST(Thermal, Ev6ProfileShowsPaperLikeSpread) {
+  // Fig. 1(a): hot spots ~tens of degrees above the inactive regions.
+  const Design d = chip::make_ev6_design();
+  const auto profile =
+      thermal::power_thermal_fixed_point(d, {}, {.resolution = 32}, 2);
+  const double spread = profile.max_c() - profile.min_c();
+  EXPECT_GT(spread, 10.0);
+  EXPECT_LT(spread, 80.0);
+  // IntExec (index 7 in construction order) must be among the hottest.
+  double int_exec = 0.0;
+  double l2 = 0.0;
+  for (std::size_t j = 0; j < d.blocks.size(); ++j) {
+    if (d.blocks[j].name == "IntExec") int_exec = profile.block_temps_c[j];
+    if (d.blocks[j].name == "L2") l2 = profile.block_temps_c[j];
+  }
+  EXPECT_GT(int_exec, l2 + 5.0);
+  const double hottest =
+      *std::max_element(profile.block_temps_c.begin(),
+                        profile.block_temps_c.end());
+  EXPECT_NEAR(int_exec, hottest, 15.0);
+}
+
+TEST(Thermal, RejectsBadInput) {
+  const Design d = two_block_design();
+  power::PowerMap map;
+  map.block_watts = {1.0};  // wrong size
+  EXPECT_THROW(thermal::solve_thermal(d, map), Error);
+
+  map.block_watts = {1.0, 1.0};
+  thermal::ThermalParams tp;
+  tp.sor_omega = 2.5;
+  EXPECT_THROW(thermal::solve_thermal(d, map, tp), Error);
+}
+
+TEST(Thermal, FixedPointConvergesQuickly) {
+  const Design d = two_block_design();
+  const auto p1 = thermal::power_thermal_fixed_point(d, {}, {.resolution = 16}, 1);
+  const auto p3 = thermal::power_thermal_fixed_point(d, {}, {.resolution = 16}, 3);
+  const auto p4 = thermal::power_thermal_fixed_point(d, {}, {.resolution = 16}, 4);
+  // Leakage feedback raises temperatures slightly after the first pass...
+  EXPECT_GE(p3.block_temps_c[0], p1.block_temps_c[0] - 1e-9);
+  // ...but the iteration is essentially converged by round 3.
+  EXPECT_NEAR(p4.block_temps_c[0], p3.block_temps_c[0], 0.5);
+}
+
+}  // namespace
+}  // namespace obd

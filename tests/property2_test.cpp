@@ -1,0 +1,192 @@
+// Second parameterized property suite: cross-component invariants
+// (hybrid-vs-analytic agreement over time sweeps, thermal scaling laws,
+// BLOD geometry sweeps, duty-cycle consistency).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chip/design.hpp"
+#include "core/analytic.hpp"
+#include "core/duty_cycle.hpp"
+#include "core/hybrid.hpp"
+#include "core/lifetime.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+#include "variation/model.hpp"
+
+namespace obd {
+namespace {
+
+// Shared small problem for the sweeps (built once).
+const core::ReliabilityProblem& shared_problem() {
+  static const core::ReliabilityProblem problem = [] {
+    const chip::Design design = chip::make_synthetic_design(
+        "P2", {.devices = 25000, .block_count = 5, .die_width = 5.0,
+               .die_height = 5.0, .seed = 111});
+    static const core::AnalyticReliabilityModel model;
+    core::ProblemOptions opts;
+    opts.grid_cells_per_side = 10;
+    return core::ReliabilityProblem::build(
+        design, var::VariationBudget{}, model,
+        {90.0, 66.0, 75.0, 58.0, 83.0}, 1.2, opts);
+  }();
+  return problem;
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid vs analytic across a decade sweep of query times.
+
+class HybridAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(HybridAgreement, MatchesAnalyticWithinInterpolationError) {
+  const double t = GetParam();
+  static const core::AnalyticAnalyzer fast(shared_problem());
+  static const core::HybridEvaluator hybrid(shared_problem());
+  const double ff = fast.failure_probability(t);
+  const double fh = hybrid.failure_probability(t);
+  if (ff > 1e-300) {
+    EXPECT_NEAR(fh / ff, 1.0, 0.05) << "t=" << t;
+  } else {
+    EXPECT_LT(fh, 1e-250);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TimeSweep, HybridAgreement,
+                         ::testing::Values(1e6, 1e7, 3e7, 1e8, 3e8, 1e9,
+                                           3e9, 1e10, 1e11));
+
+// ---------------------------------------------------------------------------
+// Thermal scaling: temperature rise scales linearly with power; the field
+// is invariant to uniform power scaling up to that factor.
+
+class ThermalScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThermalScaling, RiseIsLinearInPower) {
+  const double scale = GetParam();
+  const chip::Design d = chip::make_benchmark(1);
+  const auto base_power = power::estimate_power(d, {});
+  power::PowerMap scaled;
+  for (double w : base_power.block_watts)
+    scaled.block_watts.push_back(w * scale);
+  thermal::ThermalParams tp;
+  tp.resolution = 16;
+  const auto base = thermal::solve_thermal(d, base_power, tp);
+  const auto hot = thermal::solve_thermal(d, scaled, tp);
+  for (std::size_t j = 0; j < d.blocks.size(); ++j) {
+    const double rise_base = base.block_temps_c[j] - tp.ambient_c;
+    const double rise_hot = hot.block_temps_c[j] - tp.ambient_c;
+    EXPECT_NEAR(rise_hot / rise_base, scale, 0.01 * scale) << "block " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerSweep, ThermalScaling,
+                         ::testing::Values(0.25, 0.5, 2.0, 3.5));
+
+// ---------------------------------------------------------------------------
+// BLOD invariants across block geometry: u_sigma shrinks as blocks span
+// more decorrelated area; v stays within physical bounds.
+
+struct BlodCase {
+  double x, y, w, h;
+  std::size_t devices;
+};
+
+class BlodGeometry : public ::testing::TestWithParam<BlodCase> {};
+
+TEST_P(BlodGeometry, MomentsStayPhysical) {
+  const BlodCase c = GetParam();
+  const var::VariationBudget budget;
+  static const var::GridModel grid(10.0, 10.0, 10);
+  static const var::CanonicalForm canonical =
+      var::make_canonical_form(grid, budget, 0.5, 1.0);
+
+  chip::Design d;
+  d.name = "g";
+  d.width = 10.0;
+  d.height = 10.0;
+  d.blocks.push_back({"b", {c.x, c.y, c.w, c.h}, c.devices, 1.0,
+                      chip::UnitKind::kLogic, 0.5});
+  const auto layout = var::assign_devices(d, grid);
+  const core::BlodMoments blod(canonical, layout.weights[0], c.devices);
+
+  // u sigma bounded by the full correlated sigma (averaging cannot
+  // amplify) and at least the global component (shared by everything).
+  const double sigma_corr = std::sqrt(
+      budget.sigma_global() * budget.sigma_global() +
+      budget.sigma_spatial() * budget.sigma_spatial());
+  EXPECT_LE(blod.u_sigma(), sigma_corr * 1.0001);
+  EXPECT_GE(blod.u_sigma(), budget.sigma_global() * 0.999);
+
+  // v mean between the residual floor and total variance.
+  const double floor = budget.sigma_independent() * budget.sigma_independent();
+  const double total = budget.sigma_total() * budget.sigma_total();
+  EXPECT_GE(blod.v_mean(), floor * 0.999);
+  EXPECT_LE(blod.v_mean(), total);
+
+  // Nominal is preserved exactly (uniform-nominal model).
+  EXPECT_NEAR(blod.u_nominal(), budget.nominal, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeometrySweep, BlodGeometry,
+    ::testing::Values(BlodCase{0, 0, 1, 1, 2000},     // single cell
+                      BlodCase{0, 0, 5, 5, 20000},    // quarter die
+                      BlodCase{0, 0, 10, 10, 50000},  // full die
+                      BlodCase{4, 4, 2, 2, 5000},     // center patch
+                      BlodCase{0, 0, 10, 1, 8000},    // full-width stripe
+                      BlodCase{9, 9, 1, 1, 3000}));   // corner cell
+
+TEST(BlodGeometryOrdering, WiderBlocksAverageAwaySpatialVariance) {
+  const var::VariationBudget budget;
+  const var::GridModel grid(10.0, 10.0, 10);
+  const var::CanonicalForm canonical =
+      var::make_canonical_form(grid, budget, 0.25, 1.0);
+  auto sigma_for = [&](double w, double h) {
+    chip::Design d;
+    d.name = "g";
+    d.width = 10.0;
+    d.height = 10.0;
+    d.blocks.push_back(
+        {"b", {0, 0, w, h}, 10000, 1.0, chip::UnitKind::kLogic, 0.5});
+    const auto layout = var::assign_devices(d, grid);
+    return core::BlodMoments(canonical, layout.weights[0], 10000).u_sigma();
+  };
+  // With a short correlation length, block-mean dispersion decreases as
+  // the block grows (spatial averaging).
+  EXPECT_GT(sigma_for(1, 1), sigma_for(5, 5));
+  EXPECT_GT(sigma_for(5, 5), sigma_for(10, 10));
+}
+
+// ---------------------------------------------------------------------------
+// Duty-cycle consistency: splitting a single condition into n identical
+// phases changes nothing, for any n.
+
+class DutySplit : public ::testing::TestWithParam<int> {};
+
+TEST_P(DutySplit, IdenticalPhasesCollapse) {
+  const int n = GetParam();
+  const auto& problem = shared_problem();
+  core::WorkloadPhase whole;
+  whole.name = "w";
+  whole.fraction = 1.0;
+  for (const auto& b : problem.blocks()) {
+    whole.alphas.push_back(b.alpha);
+    whole.bs.push_back(b.b);
+  }
+  std::vector<core::WorkloadPhase> split;
+  for (int i = 0; i < n; ++i) {
+    auto p = whole;
+    p.fraction = 1.0 / n;
+    split.push_back(std::move(p));
+  }
+  const core::DutyCycleAnalyzer one(problem, {whole});
+  const core::DutyCycleAnalyzer many(problem, split);
+  const double t = 2e8;
+  EXPECT_NEAR(many.failure_probability(t) / one.failure_probability(t), 1.0,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SplitSweep, DutySplit, ::testing::Values(2, 3, 7));
+
+}  // namespace
+}  // namespace obd

@@ -1,0 +1,247 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// invariants checked across grids of parameters rather than single points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "chip/design.hpp"
+#include "core/analytic.hpp"
+#include "core/closed_form.hpp"
+#include "core/guardband.hpp"
+#include "core/lifetime.hpp"
+#include "numeric/quadrature.hpp"
+#include "stats/distributions.hpp"
+#include "stats/quadform.hpp"
+#include "stats/special.hpp"
+
+namespace obd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: every distribution's quantile inverts its CDF, and its PDF is
+// the derivative of its CDF, across a parameter sweep.
+
+using DistParams = std::tuple<double, double>;  // (shape-ish, scale-ish)
+
+class GammaProperties : public ::testing::TestWithParam<DistParams> {};
+
+TEST_P(GammaProperties, QuantileInvertsCdf) {
+  const auto [shape, scale] = GetParam();
+  const stats::Gamma g(shape, scale);
+  for (double p : {1e-6, 1e-3, 0.05, 0.37, 0.5, 0.81, 0.99, 1.0 - 1e-6}) {
+    const double x = g.quantile(p);
+    EXPECT_NEAR(g.cdf(x), p, 1e-8) << "p=" << p;
+  }
+}
+
+TEST_P(GammaProperties, PdfIsDerivativeOfCdf) {
+  const auto [shape, scale] = GetParam();
+  const stats::Gamma g(shape, scale);
+  for (double q : {0.2, 0.5, 0.8}) {
+    const double x = g.quantile(q);
+    const double h = 1e-6 * std::max(1.0, x);
+    const double numeric = (g.cdf(x + h) - g.cdf(x - h)) / (2.0 * h);
+    EXPECT_NEAR(g.pdf(x), numeric, 1e-4 * std::max(1.0, g.pdf(x)));
+  }
+}
+
+TEST_P(GammaProperties, MeanVarianceMatchMoments) {
+  const auto [shape, scale] = GetParam();
+  const stats::Gamma g(shape, scale);
+  // E[X] by quadrature of x f(x) over a generous quantile range.
+  const double hi = g.quantile(1.0 - 1e-12);
+  const double mean = num::gauss_legendre_1d(
+      [&](double x) { return x * g.pdf(x); }, 0.0, hi, 8, 200);
+  // Endpoint-singular densities (shape < 1) limit quadrature accuracy.
+  EXPECT_NEAR(mean, g.mean(), 1e-4 * g.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeScaleSweep, GammaProperties,
+    ::testing::Values(DistParams{0.3, 0.5}, DistParams{0.7, 2.0},
+                      DistParams{1.0, 1.0}, DistParams{1.7, 0.25},
+                      DistParams{4.0, 3.0}, DistParams{12.0, 0.1},
+                      DistParams{55.0, 2.0}));
+
+// ---------------------------------------------------------------------------
+// Property: the Weibull area-scaling (weakest-link) law holds for any
+// (alpha, beta, area).
+
+using WeibullParams = std::tuple<double, double, double>;
+
+class WeibullProperties : public ::testing::TestWithParam<WeibullParams> {};
+
+TEST_P(WeibullProperties, WeakestLinkAreaScaling) {
+  const auto [alpha, beta, area] = GetParam();
+  const stats::Weibull unit(alpha, beta, 1.0);
+  const stats::Weibull scaled(alpha, beta, area);
+  for (double q : {0.1, 0.5, 0.9}) {
+    const double t = unit.quantile(q);
+    EXPECT_NEAR(scaled.reliability(t),
+                std::pow(unit.reliability(t), area), 1e-12);
+  }
+}
+
+TEST_P(WeibullProperties, QuantileMonotoneInProbability) {
+  const auto [alpha, beta, area] = GetParam();
+  const stats::Weibull w(alpha, beta, area);
+  double prev = 0.0;
+  for (double p = 0.05; p < 1.0; p += 0.1) {
+    const double t = w.quantile(p);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaBetaAreaSweep, WeibullProperties,
+    ::testing::Values(WeibullParams{1e3, 0.8, 2.0},
+                      WeibullParams{1e6, 1.0, 1.0},
+                      WeibullParams{1e9, 1.4, 10.0},
+                      WeibullParams{1e12, 2.0, 0.5},
+                      WeibullParams{1e15, 1.4, 1e5}));
+
+// ---------------------------------------------------------------------------
+// Property: g_closed_form equals the Gaussian expectation over a sweep of
+// (gamma, b, v) regimes, and is convex-increasing in v (Jensen).
+
+using GParams = std::tuple<double, double, double>;  // (t/alpha, b, v)
+
+class GClosedFormProperties : public ::testing::TestWithParam<GParams> {};
+
+TEST_P(GClosedFormProperties, MatchesQuadrature) {
+  const auto [ratio, b, v] = GetParam();
+  const double alpha = 1e15;
+  const double t = ratio * alpha;
+  const double u = 2.2;
+  const double sd = std::sqrt(v);
+  const double gamma = std::log(ratio);
+  const double numeric = num::gauss_legendre_1d(
+      [&](double x) {
+        return stats::normal_pdf((x - u) / sd) / sd *
+               std::exp(gamma * b * x);
+      },
+      u - 12.0 * sd, u + 12.0 * sd, 8, 128);
+  EXPECT_NEAR(core::g_closed_form(t, alpha, b, u, v) / numeric, 1.0, 1e-8);
+}
+
+TEST_P(GClosedFormProperties, JensenTermIncreasesWithVariance) {
+  const auto [ratio, b, v] = GetParam();
+  const double alpha = 1e15;
+  const double t = ratio * alpha;
+  EXPECT_GE(core::g_closed_form(t, alpha, b, 2.2, v),
+            core::g_closed_form(t, alpha, b, 2.2, 0.0));
+  EXPECT_GT(core::g_closed_form(t, alpha, b, 2.2, 2.0 * v),
+            core::g_closed_form(t, alpha, b, 2.2, v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegimeSweep, GClosedFormProperties,
+    ::testing::Combine(::testing::Values(1e-12, 1e-8, 1e-4),
+                       ::testing::Values(0.4, 0.64, 0.9),
+                       ::testing::Values(1e-5, 2.5e-4, 1e-3)));
+
+// ---------------------------------------------------------------------------
+// Property: the chi-square match preserves the first two moments of any
+// PSD quadratic form built from a random spectrum.
+
+class ChiSquareMatchProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChiSquareMatchProperties, MomentsPreservedForRandomSpectra) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 3 + rng.below(12);
+  stats::QuadraticForm f;
+  f.constant = rng.uniform(0.0, 0.1);
+  f.quad = la::Matrix(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    f.quad(i, i) = rng.uniform(0.01, 2.0);
+  const stats::ShiftedChiSquare m = stats::chi_square_match(f);
+  EXPECT_NEAR(m.mean(), f.mean(), 1e-10 * f.mean());
+  EXPECT_NEAR(m.variance(), f.variance(), 1e-10 * f.variance());
+  // The approximation's support starts at the shift.
+  EXPECT_DOUBLE_EQ(m.cdf(f.constant), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededSpectra, ChiSquareMatchProperties,
+                         ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------------
+// Property: end-to-end analyzer invariants across design scale / grid /
+// correlation sweeps — failure monotone in t, bounded, lifetime round-trip,
+// guard band always pessimistic.
+
+struct AnalyzerCase {
+  std::size_t devices;
+  std::size_t blocks;
+  std::size_t grid;
+  double rho;
+};
+
+class AnalyzerProperties : public ::testing::TestWithParam<AnalyzerCase> {};
+
+TEST_P(AnalyzerProperties, CoreInvariantsHold) {
+  const AnalyzerCase c = GetParam();
+  const chip::Design design = chip::make_synthetic_design(
+      "P", {.devices = c.devices, .block_count = c.blocks,
+            .die_width = 6.0, .die_height = 6.0, .seed = 101});
+  const core::AnalyticReliabilityModel model;
+  std::vector<double> temps;
+  for (std::size_t j = 0; j < c.blocks; ++j)
+    temps.push_back(60.0 + 5.0 * static_cast<double>(j % 7));
+  core::ProblemOptions opts;
+  opts.grid_cells_per_side = c.grid;
+  opts.rho_dist = c.rho;
+  const auto problem = core::ReliabilityProblem::build(
+      design, var::VariationBudget{}, model, temps, 1.2, opts);
+  const core::AnalyticAnalyzer fast(problem);
+
+  double prev = 0.0;
+  for (double t = 1e6; t <= 1e11; t *= 10.0) {
+    const double f = fast.failure_probability(t);
+    EXPECT_GE(f, prev - 1e-15);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+
+  const double t_req = fast.lifetime_at(core::kTenFaultsPerMillion);
+  EXPECT_NEAR(fast.failure_probability(t_req) / core::kTenFaultsPerMillion,
+              1.0, 1e-6);
+
+  const core::GuardBandAnalyzer guard(problem);
+  EXPECT_LT(guard.lifetime_at(core::kTenFaultsPerMillion), t_req);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSweep, AnalyzerProperties,
+    ::testing::Values(AnalyzerCase{10000, 4, 8, 0.25},
+                      AnalyzerCase{20000, 6, 10, 0.5},
+                      AnalyzerCase{20000, 6, 10, 0.75},
+                      AnalyzerCase{40000, 9, 15, 0.5},
+                      AnalyzerCase{15000, 3, 20, 0.35},
+                      AnalyzerCase{30000, 12, 12, 0.6}));
+
+// ---------------------------------------------------------------------------
+// Property: gamma_p / gamma_q complement and monotonicity over a log sweep.
+
+class IncompleteGammaProperties
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(IncompleteGammaProperties, ComplementAndMonotone) {
+  const double a = GetParam();
+  double prev = -1.0;
+  for (double x = 1e-3; x < 100.0; x *= 2.3) {
+    const double p = stats::gamma_p(a, x);
+    EXPECT_NEAR(p + stats::gamma_q(a, x), 1.0, 1e-12);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeSweep, IncompleteGammaProperties,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 5.0, 10.0,
+                                           30.0, 100.0));
+
+}  // namespace
+}  // namespace obd

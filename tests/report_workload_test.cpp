@@ -1,0 +1,152 @@
+// Tests for the sign-off report generator and the DRM workload utilities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "chip/design.hpp"
+#include "common/error.hpp"
+#include "core/report.hpp"
+#include "drm/workload.hpp"
+#include "power/power.hpp"
+#include "stats/descriptive.hpp"
+
+namespace obd {
+namespace {
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(chip::make_synthetic_design(
+        "R1", {.devices = 20000, .block_count = 4, .die_width = 5.0,
+               .die_height = 5.0, .seed = 91}));
+    model_ = new core::AnalyticReliabilityModel();
+    core::ProblemOptions opts;
+    opts.grid_cells_per_side = 10;
+    problem_ = new core::ReliabilityProblem(core::ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_, {92.0, 64.0, 75.0, 58.0},
+        1.2, opts));
+  }
+  static void TearDownTestSuite() {
+    delete problem_;
+    delete model_;
+    delete design_;
+    problem_ = nullptr;
+    model_ = nullptr;
+    design_ = nullptr;
+  }
+  static chip::Design* design_;
+  static core::AnalyticReliabilityModel* model_;
+  static core::ReliabilityProblem* problem_;
+};
+
+chip::Design* ReportFixture::design_ = nullptr;
+core::AnalyticReliabilityModel* ReportFixture::model_ = nullptr;
+core::ReliabilityProblem* ReportFixture::problem_ = nullptr;
+
+TEST_F(ReportFixture, PopulatesAllSections) {
+  const auto report = core::make_signoff_report(*problem_, *model_);
+  EXPECT_EQ(report.design_name, "R1");
+  EXPECT_EQ(report.devices, 20000u);
+  EXPECT_EQ(report.blocks, 4u);
+  EXPECT_DOUBLE_EQ(report.temp_max_c, 92.0);
+  EXPECT_DOUBLE_EQ(report.temp_min_c, 58.0);
+  ASSERT_EQ(report.lifetimes.size(), 2u);
+  EXPECT_LT(report.lifetimes[0].statistical_s,
+            report.lifetimes[1].statistical_s);
+  for (const auto& row : report.lifetimes)
+    EXPECT_LT(row.guard_s, row.statistical_s);
+  ASSERT_EQ(report.ranking.size(), 4u);
+  // Ranking is sorted by failure share.
+  for (std::size_t i = 1; i < report.ranking.size(); ++i)
+    EXPECT_GE(report.ranking[i - 1].failure_share,
+              report.ranking[i].failure_share);
+  EXPECT_LT(report.vdd_elasticity, 0.0);
+  EXPECT_GT(report.leakage_mean_a, report.leakage_nominal_a);
+}
+
+TEST_F(ReportFixture, RenderContainsTheNumbersThatMatter) {
+  const auto report = core::make_signoff_report(*problem_, *model_, {1e-6});
+  const std::string text = report.render();
+  EXPECT_NE(text.find("R1"), std::string::npos);
+  EXPECT_NE(text.find("1e-06"), std::string::npos);
+  EXPECT_NE(text.find("guard pessimism"), std::string::npos);
+  EXPECT_NE(text.find("Supply elasticity"), std::string::npos);
+  EXPECT_NE(text.find("Gate leakage"), std::string::npos);
+  // The hottest (dominant) block leads the ranking section.
+  EXPECT_NE(text.find(report.ranking.front().name), std::string::npos);
+}
+
+TEST_F(ReportFixture, RejectsBadTargets) {
+  EXPECT_THROW(core::make_signoff_report(*problem_, *model_, {2.0}),
+               Error);
+}
+
+TEST(Workload, SyntheticStaysInRangeAndIsReproducible) {
+  stats::Rng a(3);
+  stats::Rng b(3);
+  const auto w1 = drm::synthetic_workload(500, {}, a);
+  const auto w2 = drm::synthetic_workload(500, {}, b);
+  ASSERT_EQ(w1.size(), 500u);
+  EXPECT_EQ(w1, w2);
+  for (double x : w1) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+  // Mean lands near the configured base.
+  EXPECT_NEAR(stats::mean(w1), 0.5, 0.12);
+}
+
+TEST(Workload, BurstAndIdleLevelsAppear) {
+  stats::Rng rng(4);
+  drm::WorkloadOptions opt;
+  opt.burst_probability = 0.3;
+  opt.idle_probability = 0.3;
+  const auto w = drm::synthetic_workload(2000, opt, rng);
+  const auto bursts = std::count_if(w.begin(), w.end(),
+                                    [&](double x) { return x >= 0.99; });
+  const auto idles = std::count_if(w.begin(), w.end(), [&](double x) {
+    return std::fabs(x - opt.idle_level) < 1e-12;
+  });
+  EXPECT_NEAR(static_cast<double>(bursts), 600.0, 120.0);
+  EXPECT_NEAR(static_cast<double>(idles), 600.0, 120.0);
+}
+
+TEST(Workload, RejectsBadOptions) {
+  stats::Rng rng(5);
+  EXPECT_THROW(drm::synthetic_workload(0, {}, rng), Error);
+  drm::WorkloadOptions bad;
+  bad.burst_probability = 0.8;
+  bad.idle_probability = 0.5;
+  EXPECT_THROW(drm::synthetic_workload(10, bad, rng), Error);
+}
+
+TEST(Workload, FromPowerTraceRanksByPower) {
+  const chip::Design d = chip::make_benchmark(1);
+  std::vector<power::PowerMap> trace;
+  for (double scale : {0.2, 1.0, 0.6}) {
+    chip::Design phased = d;
+    for (auto& b : phased.blocks)
+      b.activity = std::min(1.0, b.activity * scale);
+    trace.push_back(power::estimate_power(phased, {}));
+  }
+  const auto scales = drm::workload_from_power_trace(d, trace);
+  ASSERT_EQ(scales.size(), 3u);
+  EXPECT_LT(scales[0], scales[2]);
+  EXPECT_LT(scales[2], scales[1]);
+  for (double s : scales) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(Workload, FromPowerTraceValidatesInput) {
+  const chip::Design d = chip::make_benchmark(1);
+  EXPECT_THROW(drm::workload_from_power_trace(d, {}), Error);
+  power::PowerMap wrong;
+  wrong.block_watts = {1.0};
+  EXPECT_THROW(drm::workload_from_power_trace(d, {wrong}), Error);
+}
+
+}  // namespace
+}  // namespace obd

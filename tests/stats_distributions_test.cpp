@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "numeric/quadrature.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+
+namespace obd::stats {
+namespace {
+
+TEST(NormalDist, PdfIntegratesToCdf) {
+  const Normal n(2.2, 0.03);
+  // CDF difference vs numerical integral of the PDF.
+  const double integral = num::simpson_1d(
+      [&](double x) { return n.pdf(x); }, 2.15, 2.25, 400);
+  EXPECT_NEAR(integral, n.cdf(2.25) - n.cdf(2.15), 1e-10);
+}
+
+TEST(NormalDist, QuantileRoundTrip) {
+  const Normal n(-1.0, 2.5);
+  for (double p : {0.001, 0.1, 0.5, 0.9, 0.999})
+    EXPECT_NEAR(n.cdf(n.quantile(p)), p, 1e-12);
+}
+
+TEST(NormalDist, SampleMoments) {
+  const Normal n(5.0, 0.7);
+  Rng rng(1);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(n.sample(rng));
+  EXPECT_NEAR(s.mean(), 5.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 0.7, 0.01);
+}
+
+TEST(NormalDist, RejectsBadSigma) {
+  EXPECT_THROW(Normal(0.0, 0.0), obd::Error);
+  EXPECT_THROW(Normal(0.0, -1.0), obd::Error);
+}
+
+TEST(GammaDist, MeanVarianceFormulas) {
+  const Gamma g(3.5, 2.0);
+  EXPECT_DOUBLE_EQ(g.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(g.variance(), 14.0);
+}
+
+TEST(GammaDist, PdfIntegratesToOne) {
+  const Gamma g(2.5, 1.5);
+  const double integral = num::simpson_1d(
+      [&](double x) { return g.pdf(x); }, 1e-9, 60.0, 4000);
+  EXPECT_NEAR(integral, 1.0, 1e-6);
+}
+
+TEST(GammaDist, CdfQuantileRoundTrip) {
+  const Gamma g(0.7, 3.0);  // shape < 1 exercises the singular-density case
+  for (double p : {0.01, 0.2, 0.5, 0.8, 0.99})
+    EXPECT_NEAR(g.cdf(g.quantile(p)), p, 1e-9);
+}
+
+TEST(GammaDist, SampleMomentsAcrossShapes) {
+  Rng rng(2);
+  for (double shape : {0.5, 1.0, 2.0, 9.0}) {
+    const Gamma g(shape, 1.3);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i) s.add(g.sample(rng));
+    EXPECT_NEAR(s.mean(), g.mean(), 0.03 * g.mean()) << "shape " << shape;
+    EXPECT_NEAR(s.variance(), g.variance(), 0.05 * g.variance())
+        << "shape " << shape;
+  }
+}
+
+TEST(GammaDist, SamplesAreNonNegative) {
+  Rng rng(3);
+  const Gamma g(0.4, 2.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(g.sample(rng), 0.0);
+}
+
+TEST(ChiSquareDist, MatchesGammaEquivalence) {
+  const ChiSquare c(5.0);
+  const Gamma g(2.5, 2.0);
+  for (double x : {0.5, 2.0, 5.0, 12.0}) {
+    EXPECT_NEAR(c.pdf(x), g.pdf(x), 1e-14);
+    EXPECT_NEAR(c.cdf(x), g.cdf(x), 1e-14);
+  }
+  EXPECT_DOUBLE_EQ(c.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(c.variance(), 10.0);
+}
+
+TEST(ChiSquareDist, SupportsFractionalDof) {
+  const ChiSquare c(1.7);  // Yuan-Bentler matches produce fractional dof
+  EXPECT_NEAR(c.cdf(c.quantile(0.73)), 0.73, 1e-9);
+}
+
+TEST(WeibullDist, CdfMatchesPaperParameterization) {
+  // eq. (4): F(t) = 1 - exp(-a (t/alpha)^beta).
+  const double alpha = 1e9;
+  const double beta = 1.4;
+  const double area = 2.5;
+  const Weibull w(alpha, beta, area);
+  for (double t : {1e6, 1e8, 1e9, 5e9}) {
+    const double expected = 1.0 - std::exp(-area * std::pow(t / alpha, beta));
+    EXPECT_NEAR(w.cdf(t), expected, 1e-12);
+    EXPECT_NEAR(w.reliability(t), 1.0 - expected, 1e-12);
+  }
+}
+
+TEST(WeibullDist, CharacteristicLifeProperty) {
+  // At t = alpha (unit area), F = 1 - 1/e = 63.2%.
+  const Weibull w(100.0, 2.0);
+  EXPECT_NEAR(w.cdf(100.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(WeibullDist, AreaScalingWeakestLink) {
+  // A device of area a behaves as a series system of a unit devices:
+  // R_a(t) = R_1(t)^a.
+  const Weibull unit(1e5, 1.3, 1.0);
+  const Weibull big(1e5, 1.3, 7.0);
+  for (double t : {1e3, 1e4, 1e5})
+    EXPECT_NEAR(big.reliability(t), std::pow(unit.reliability(t), 7.0), 1e-12);
+}
+
+TEST(WeibullDist, QuantileSampleConsistency) {
+  const Weibull w(5e3, 1.4);
+  for (double p : {0.01, 0.5, 0.95})
+    EXPECT_NEAR(w.cdf(w.quantile(p)), p, 1e-12);
+  Rng rng(4);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(w.sample(rng));
+  // E[T] = alpha * Gamma(1 + 1/beta).
+  const double expected_mean = 5e3 * std::exp(std::lgamma(1.0 + 1.0 / 1.4));
+  EXPECT_NEAR(s.mean(), expected_mean, 0.02 * expected_mean);
+}
+
+TEST(WeibullDist, PdfIsDensityOfCdf) {
+  const Weibull w(50.0, 2.2, 1.5);
+  const double h = 1e-6;
+  for (double t : {10.0, 40.0, 90.0}) {
+    const double numeric = (w.cdf(t + h) - w.cdf(t - h)) / (2.0 * h);
+    EXPECT_NEAR(w.pdf(t), numeric, 1e-6);
+  }
+}
+
+TEST(WeibullDist, RejectsBadParameters) {
+  EXPECT_THROW(Weibull(0.0, 1.0), obd::Error);
+  EXPECT_THROW(Weibull(1.0, 0.0), obd::Error);
+  EXPECT_THROW(Weibull(1.0, 1.0, 0.0), obd::Error);
+}
+
+}  // namespace
+}  // namespace obd::stats

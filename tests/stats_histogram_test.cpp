@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/fit.hpp"
+#include "stats/histogram.hpp"
+#include "stats/rng.hpp"
+
+namespace obd::stats {
+namespace {
+
+TEST(Histogram1D, BinningAndTotals) {
+  Histogram1D h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.9);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.probability(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.density(1), 0.5);  // probability 0.5 / bin width 1.0
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram1D, OutOfRangeClampsToEdges) {
+  Histogram1D h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(Histogram1D, WeightedAdds) {
+  Histogram1D h(0.0, 1.0, 2);
+  h.add(0.25, 3.0);
+  h.add(0.75, 1.0);
+  EXPECT_DOUBLE_EQ(h.probability(0), 0.75);
+}
+
+TEST(Histogram1D, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram1D(1.0, 0.0, 4), obd::Error);
+  EXPECT_THROW(Histogram1D(0.0, 1.0, 0), obd::Error);
+}
+
+TEST(Histogram2D, JointAndMarginals) {
+  Histogram2D h(0.0, 2.0, 2, 0.0, 2.0, 2);
+  h.add(0.5, 0.5);
+  h.add(0.5, 1.5);
+  h.add(1.5, 1.5);
+  h.add(1.5, 1.5);
+  EXPECT_DOUBLE_EQ(h.probability(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(h.probability(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(h.marginal_x(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.marginal_y(1), 0.75);
+  double mass = 0.0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) mass += h.probability(i, j);
+  EXPECT_DOUBLE_EQ(mass, 1.0);
+}
+
+TEST(MutualInformation, ZeroForIndependent) {
+  Rng rng(10);
+  Histogram2D h(0.0, 1.0, 16, 0.0, 1.0, 16);
+  for (int i = 0; i < 200000; ++i) h.add(rng.uniform(), rng.uniform());
+  // Plug-in MI has a positive O(bins^2 / n) bias; with 256 cells and 2e5
+  // samples the bias is ~6e-4 nats.
+  EXPECT_LT(mutual_information(h), 0.01);
+}
+
+TEST(MutualInformation, LargeForDependent) {
+  Rng rng(11);
+  Histogram2D h(0.0, 1.0, 16, 0.0, 1.0, 16);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.uniform();
+    h.add(x, x);  // perfectly dependent
+  }
+  // I(X;X) for 16 uniform bins = log(16) = 2.77 nats.
+  EXPECT_NEAR(mutual_information(h), std::log(16.0), 0.05);
+}
+
+TEST(FitGaussian, RecoversParametersWithHighRSquare) {
+  Rng rng(12);
+  Histogram1D h(2.0, 2.4, 60);
+  for (int i = 0; i < 100000; ++i) h.add(rng.normal(2.2, 0.03));
+  const GaussianFit fit = fit_gaussian(h);
+  EXPECT_NEAR(fit.mean, 2.2, 0.002);
+  EXPECT_NEAR(fit.stddev, 0.03, 0.002);
+  EXPECT_GT(fit.r_square, 0.99);  // the paper's Fig. 4 reports ~99.5-99.8%
+}
+
+TEST(FitGaussian, LowRSquareForNonGaussian) {
+  Rng rng(13);
+  Histogram1D h(0.0, 1.0, 40);
+  // Strongly bimodal data.
+  for (int i = 0; i < 50000; ++i)
+    h.add((i % 2 == 0) ? rng.normal(0.2, 0.03) : rng.normal(0.8, 0.03));
+  const GaussianFit fit = fit_gaussian(h);
+  EXPECT_LT(fit.r_square, 0.6);
+}
+
+TEST(FitGaussian, RejectsEmptyHistogram) {
+  Histogram1D h(0.0, 1.0, 4);
+  EXPECT_THROW(fit_gaussian(h), obd::Error);
+}
+
+}  // namespace
+}  // namespace obd::stats

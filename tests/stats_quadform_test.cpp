@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/quadform.hpp"
+
+namespace obd::stats {
+namespace {
+
+la::Matrix diag(std::initializer_list<double> values) {
+  la::Matrix m(values.size(), values.size(), 0.0);
+  std::size_t i = 0;
+  for (double v : values) {
+    m(i, i) = v;
+    ++i;
+  }
+  return m;
+}
+
+TEST(ShiftedChiSquare, MomentsAndQuantiles) {
+  const ShiftedChiSquare s(1.5, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.5 + 2.0 * 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0 * 6.0);
+  for (double p : {0.05, 0.5, 0.95})
+    EXPECT_NEAR(s.cdf(s.quantile(p)), p, 1e-9);
+  EXPECT_DOUBLE_EQ(s.cdf(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf(0.0), 0.0);
+}
+
+TEST(QuadraticForm, ValueAndMoments) {
+  QuadraticForm f;
+  f.constant = 1.0;
+  f.linear = {1.0, -2.0};
+  f.quad = diag({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(f.value({1.0, 1.0}), 1.0 + (1.0 - 2.0) + (2.0 + 3.0));
+  EXPECT_DOUBLE_EQ(f.mean(), 1.0 + 5.0);
+  // Var = 2 (4 + 9) + (1 + 4) = 31.
+  EXPECT_DOUBLE_EQ(f.variance(), 31.0);
+  EXPECT_EQ(f.dimension(), 2u);
+}
+
+TEST(QuadraticForm, SampleMomentsMatchAnalytic) {
+  QuadraticForm f;
+  f.constant = 0.5;
+  f.linear = {0.3, 0.0, -0.7};
+  f.quad = la::Matrix(3, 3, 0.0);
+  f.quad(0, 0) = 1.0;
+  f.quad(1, 1) = 0.5;
+  f.quad(2, 2) = 2.0;
+  f.quad(0, 1) = f.quad(1, 0) = 0.25;
+  Rng rng(20);
+  RunningStats s;
+  for (int i = 0; i < 300000; ++i) s.add(f.sample(rng));
+  EXPECT_NEAR(s.mean(), f.mean(), 0.02);
+  EXPECT_NEAR(s.variance(), f.variance(), 0.25);
+}
+
+TEST(ChiSquareMatch, ExactForScaledChiSquare) {
+  // If Q = c * I_n, the form is exactly c * chi2_n: the match must recover
+  // scale c and dof n.
+  QuadraticForm f;
+  f.constant = 0.1;
+  f.quad = diag({0.5, 0.5, 0.5, 0.5});
+  const ShiftedChiSquare m = chi_square_match(f);
+  EXPECT_NEAR(m.scale(), 0.5, 1e-12);
+  EXPECT_NEAR(m.dof(), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.shift(), 0.1);
+}
+
+TEST(ChiSquareMatch, PreservesMeanAndVariance) {
+  QuadraticForm f;
+  f.quad = diag({1.0, 0.2, 0.05});
+  f.linear = {0.1, 0.1, 0.1};
+  const ShiftedChiSquare m = chi_square_match(f);
+  EXPECT_NEAR(m.mean(), f.mean(), 1e-12);
+  EXPECT_NEAR(m.variance(), f.variance(), 1e-12);
+}
+
+TEST(ChiSquareMatch, PaperFormulaEquivalenceWithoutLinearTerm) {
+  // eq. (30): a_hat = tr(Q^2)/tr(Q), b_hat = tr(Q)^2/tr(Q^2).
+  QuadraticForm f;
+  f.quad = diag({2.0, 1.0, 0.5});
+  const double tr = 3.5;
+  const double tr2 = 4.0 + 1.0 + 0.25;
+  const ShiftedChiSquare m = chi_square_match(f);
+  EXPECT_NEAR(m.scale(), tr2 / tr, 1e-12);
+  EXPECT_NEAR(m.dof(), tr * tr / tr2, 1e-12);
+}
+
+TEST(ChiSquareMatch, RejectsDegenerate) {
+  QuadraticForm f;
+  f.quad = diag({0.0, 0.0});
+  EXPECT_THROW(chi_square_match(f), obd::Error);
+  QuadraticForm empty;
+  EXPECT_THROW(chi_square_match(empty), obd::Error);
+}
+
+TEST(ImhofCdf, ExactForSingleChiSquare) {
+  // Q = I_1: the form is chi2_1; Imhof must match the exact CDF.
+  QuadraticForm f;
+  f.quad = diag({1.0});
+  const ChiSquare chi(1.0);
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0})
+    EXPECT_NEAR(imhof_cdf(f, x), chi.cdf(x), 1e-6) << "x=" << x;
+}
+
+TEST(ImhofCdf, ExactForEqualWeights) {
+  // Q = 0.5 * I_4: form = 0.5 chi2_4.
+  QuadraticForm f;
+  f.quad = diag({0.5, 0.5, 0.5, 0.5});
+  const ChiSquare chi(4.0);
+  for (double x : {0.5, 1.0, 2.0, 4.0, 8.0})
+    EXPECT_NEAR(imhof_cdf(f, x), chi.cdf(2.0 * x), 1e-6) << "x=" << x;
+}
+
+TEST(ImhofCdf, MatchesMonteCarloForMixedWeights) {
+  QuadraticForm f;
+  f.constant = 0.2;
+  f.quad = diag({1.5, 0.7, 0.3, 0.1});
+  Rng rng(30);
+  std::vector<double> samples;
+  samples.reserve(200000);
+  for (int i = 0; i < 200000; ++i) samples.push_back(f.sample(rng));
+  std::sort(samples.begin(), samples.end());
+  for (double x : {1.0, 2.0, 3.5, 6.0}) {
+    EXPECT_NEAR(imhof_cdf(f, x), empirical_cdf(samples, x), 0.005)
+        << "x=" << x;
+  }
+}
+
+TEST(ImhofCdf, HandlesLinearTermViaNoncentrality) {
+  // v = z^2 + z = (z + 0.5)^2 - 0.25: noncentral chi-square.
+  QuadraticForm f;
+  f.quad = diag({1.0});
+  f.linear = {1.0};
+  Rng rng(31);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i) samples.push_back(f.sample(rng));
+  std::sort(samples.begin(), samples.end());
+  for (double x : {0.0, 0.5, 1.0, 3.0})
+    EXPECT_NEAR(imhof_cdf(f, x), empirical_cdf(samples, x), 0.005);
+}
+
+TEST(ImhofCdf, MonotoneAndBounded) {
+  QuadraticForm f;
+  f.quad = diag({1.0, 0.25});
+  double prev = 0.0;
+  for (double x = 0.05; x < 12.0; x += 0.5) {
+    const double c = imhof_cdf(f, x);
+    EXPECT_GE(c, prev - 1e-9);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST(ImhofCdf, ChiSquareApproxCloseToImhof) {
+  // The paper's Fig. 8 claim: the chi-square approximation tracks the exact
+  // quadratic-form CDF closely for BLOD-like spectra (many comparable
+  // eigenvalues).
+  QuadraticForm f;
+  f.quad = diag({1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3});
+  const ShiftedChiSquare approx = chi_square_match(f);
+  for (double x : {2.0, 4.0, 5.2, 7.0, 10.0}) {
+    EXPECT_NEAR(approx.cdf(x), imhof_cdf(f, x), 0.02) << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace obd::stats

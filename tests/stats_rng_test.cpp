@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace obd::stats {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformPositiveNeverZero) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.uniform_positive(), 0.0);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.005);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Rng rng(21);
+  RunningStats s;
+  double m3 = 0.0;
+  double m4 = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    s.add(x);
+    m3 += x * x * x;
+    m4 += x * x * x * x;
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0, 0.02);
+  EXPECT_NEAR(m3 / n, 0.0, 0.03);   // skewness
+  EXPECT_NEAR(m4 / n, 3.0, 0.08);   // kurtosis
+}
+
+TEST(Rng, NormalWithMeanAndSigma) {
+  Rng rng(33);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(2.2, 0.03));
+  EXPECT_NEAR(s.mean(), 2.2, 0.001);
+  EXPECT_NEAR(s.stddev(), 0.03, 0.001);
+}
+
+TEST(Rng, ExponentialMeanIsOne) {
+  Rng rng(8);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.exponential());
+  EXPECT_NEAR(s.mean(), 1.0, 0.02);
+  EXPECT_NEAR(s.variance(), 1.0, 0.05);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(7), 7u);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  int counts[5] = {0, 0, 0, 0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 100);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream) {
+  Rng a(55);
+  Rng b = a.split();
+  RunningStats corr;
+  double sum_ab = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double xa = a.uniform() - 0.5;
+    const double xb = b.uniform() - 0.5;
+    sum_ab += xa * xb;
+  }
+  EXPECT_NEAR(sum_ab / n, 0.0, 0.002);
+}
+
+TEST(RunningStats, WelfordMatchesBatch) {
+  Rng rng(77);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(s.variance(), variance(xs), 1e-8);
+  EXPECT_EQ(s.count(), 1000u);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(Descriptive, EmpiricalCdf) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(empirical_cdf(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empirical_cdf(xs, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(empirical_cdf(xs, 9.0), 1.0);
+}
+
+}  // namespace
+}  // namespace obd::stats

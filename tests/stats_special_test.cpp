@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/special.hpp"
+
+namespace obd::stats {
+namespace {
+
+TEST(GammaP, KnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  EXPECT_NEAR(gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(gamma_p(1.0, 2.5), 1.0 - std::exp(-2.5), 1e-12);
+  // P(1/2, x) = erf(sqrt(x)).
+  EXPECT_NEAR(gamma_p(0.5, 1.0), std::erf(1.0), 1e-12);
+  EXPECT_NEAR(gamma_p(0.5, 4.0), std::erf(2.0), 1e-12);
+}
+
+TEST(GammaP, BoundaryAndComplement) {
+  EXPECT_DOUBLE_EQ(gamma_p(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(2.0, 0.0), 1.0);
+  for (double a : {0.3, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 30.0, 100.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaP, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 20.0; x += 0.37) {
+    const double p = gamma_p(3.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(GammaP, RejectsBadArguments) {
+  EXPECT_THROW(gamma_p(0.0, 1.0), obd::Error);
+  EXPECT_THROW(gamma_p(-1.0, 1.0), obd::Error);
+  EXPECT_THROW(gamma_p(1.0, -1.0), obd::Error);
+}
+
+TEST(GammaPInverse, RoundTrips) {
+  for (double a : {0.4, 1.0, 2.0, 7.5, 40.0}) {
+    for (double p : {1e-6, 0.01, 0.3, 0.5, 0.9, 0.999}) {
+      const double x = gamma_p_inverse(a, p);
+      EXPECT_NEAR(gamma_p(a, x), p, 1e-9) << "a=" << a << " p=" << p;
+    }
+  }
+}
+
+TEST(GammaPInverse, ZeroAtZero) {
+  EXPECT_DOUBLE_EQ(gamma_p_inverse(3.0, 0.0), 0.0);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895148220435, 1e-12);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-15);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-14);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-16);
+}
+
+TEST(NormalQuantile, RoundTripsCdf) {
+  for (double p : {1e-9, 1e-6, 0.001, 0.025, 0.5, 0.8, 0.999, 1 - 1e-7}) {
+    const double x = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-14);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-10);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-10);
+}
+
+TEST(NormalQuantile, RejectsEndpoints) {
+  EXPECT_THROW(normal_quantile(0.0), obd::Error);
+  EXPECT_THROW(normal_quantile(1.0), obd::Error);
+  EXPECT_THROW(normal_quantile(-0.1), obd::Error);
+}
+
+}  // namespace
+}  // namespace obd::stats

@@ -1,0 +1,180 @@
+// Tests for the block-mode compact thermal model and the reliability
+// sensitivity analysis.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "chip/design.hpp"
+#include "common/error.hpp"
+#include "core/sensitivity.hpp"
+#include "power/power.hpp"
+#include "thermal/block_model.hpp"
+#include "thermal/solver.hpp"
+
+namespace obd {
+namespace {
+
+TEST(SharedEdge, DetectsAbutment) {
+  const chip::Rect a{0, 0, 2, 2};
+  // Right neighbor sharing the full edge.
+  EXPECT_DOUBLE_EQ(thermal::shared_edge_length(a, {2, 0, 2, 2}), 2.0);
+  // Right neighbor sharing half the edge.
+  EXPECT_DOUBLE_EQ(thermal::shared_edge_length(a, {2, 1, 2, 2}), 1.0);
+  // Top neighbor.
+  EXPECT_DOUBLE_EQ(thermal::shared_edge_length(a, {0.5, 2, 1, 1}), 1.0);
+  // Diagonal/corner contact: zero-length edge.
+  EXPECT_DOUBLE_EQ(thermal::shared_edge_length(a, {2, 2, 1, 1}), 0.0);
+  // Disjoint.
+  EXPECT_DOUBLE_EQ(thermal::shared_edge_length(a, {5, 5, 1, 1}), 0.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(thermal::shared_edge_length({2, 0, 2, 2}, a), 2.0);
+}
+
+TEST(BlockThermal, UniformPowerMatchesLumpedModel) {
+  chip::Design d;
+  d.name = "u";
+  d.width = 8.0;
+  d.height = 8.0;
+  d.blocks.push_back({"a", {0, 0, 4, 8}, 10, 1.0, chip::UnitKind::kLogic, 0.5});
+  d.blocks.push_back({"b", {4, 0, 4, 8}, 10, 1.0, chip::UnitKind::kLogic, 0.5});
+  power::PowerMap map;
+  map.block_watts = {32.0, 32.0};  // symmetric
+  thermal::ThermalParams tp;
+  const auto profile = thermal::solve_thermal_blocks(d, map, tp);
+  // Symmetric problem: both blocks at ambient + P_total * R.
+  EXPECT_NEAR(profile.block_temps_c[0],
+              tp.ambient_c + 64.0 * tp.package_resistance, 1e-9);
+  EXPECT_NEAR(profile.block_temps_c[0], profile.block_temps_c[1], 1e-9);
+}
+
+TEST(BlockThermal, TracksGridSolverOnEv6) {
+  const chip::Design d = chip::make_ev6_design();
+  const auto power = power::estimate_power(d, {});
+  thermal::ThermalParams tp;
+  tp.resolution = 48;
+  const auto grid = thermal::solve_thermal(d, power, tp);
+  const auto block = thermal::solve_thermal_blocks(d, power, tp);
+  // Block mode is a coarse model: expect agreement within a few degrees
+  // and the same hottest/coolest ordering at the extremes.
+  for (std::size_t j = 0; j < d.blocks.size(); ++j)
+    EXPECT_NEAR(block.block_temps_c[j], grid.block_temps_c[j], 12.0)
+        << d.blocks[j].name;
+  const auto grid_hot = std::distance(
+      grid.block_temps_c.begin(),
+      std::max_element(grid.block_temps_c.begin(), grid.block_temps_c.end()));
+  EXPECT_GT(block.block_temps_c[grid_hot],
+            block.block_temps_c[0] /* L2, the cool block */);
+}
+
+TEST(BlockThermal, EnergyBalance) {
+  const chip::Design d = chip::make_ev6_design();
+  const auto power = power::estimate_power(d, {});
+  thermal::ThermalParams tp;
+  const auto profile = thermal::solve_thermal_blocks(d, power, tp);
+  double out = 0.0;
+  for (std::size_t j = 0; j < d.blocks.size(); ++j)
+    out += (profile.block_temps_c[j] - tp.ambient_c) / tp.package_resistance *
+           d.blocks[j].rect.area() / d.die_area();
+  EXPECT_NEAR(out, power.total(), 1e-6 * power.total());
+}
+
+TEST(BlockThermal, RejectsBadInput) {
+  const chip::Design d = chip::make_benchmark(1);
+  power::PowerMap map;
+  map.block_watts = {1.0};
+  EXPECT_THROW(thermal::solve_thermal_blocks(d, map), Error);
+}
+
+class SensitivityFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(chip::make_synthetic_design(
+        "S1", {.devices = 20000, .block_count = 4, .die_width = 5.0,
+               .die_height = 5.0, .seed = 51}));
+    model_ = new core::AnalyticReliabilityModel();
+    temps_ = new std::vector<double>{98.0, 60.0, 70.0, 62.0};
+    core::ProblemOptions opts;
+    opts.grid_cells_per_side = 10;
+    problem_ = new core::ReliabilityProblem(core::ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_, *temps_, 1.2, opts));
+  }
+  static void TearDownTestSuite() {
+    delete problem_;
+    delete temps_;
+    delete model_;
+    delete design_;
+    problem_ = nullptr;
+    temps_ = nullptr;
+    model_ = nullptr;
+    design_ = nullptr;
+  }
+  static chip::Design* design_;
+  static core::AnalyticReliabilityModel* model_;
+  static std::vector<double>* temps_;
+  static core::ReliabilityProblem* problem_;
+};
+
+chip::Design* SensitivityFixture::design_ = nullptr;
+core::AnalyticReliabilityModel* SensitivityFixture::model_ = nullptr;
+std::vector<double>* SensitivityFixture::temps_ = nullptr;
+core::ReliabilityProblem* SensitivityFixture::problem_ = nullptr;
+
+TEST_F(SensitivityFixture, HotDominantBlockHasLargestSensitivity) {
+  const auto sens = core::temperature_sensitivity(
+      *problem_, *model_, core::kTenFaultsPerMillion);
+  ASSERT_EQ(sens.size(), 4u);
+  // Every block: cooling helps (non-negative sensitivity).
+  for (const auto& s : sens) EXPECT_GE(s.lifetime_per_degree, -1e-9);
+  // The hottest block (98 C) dominates both failure share and sensitivity.
+  std::size_t hottest = 0;
+  for (std::size_t j = 1; j < sens.size(); ++j)
+    if (sens[j].temp_c > sens[hottest].temp_c) hottest = j;
+  for (std::size_t j = 0; j < sens.size(); ++j) {
+    if (j == hottest) continue;
+    EXPECT_GE(sens[hottest].lifetime_per_degree,
+              sens[j].lifetime_per_degree);
+    EXPECT_GE(sens[hottest].failure_share, sens[j].failure_share);
+  }
+  // Failure shares sum to ~1.
+  double share = 0.0;
+  for (const auto& s : sens) share += s.failure_share;
+  EXPECT_NEAR(share, 1.0, 1e-6);
+}
+
+TEST_F(SensitivityFixture, SensitivityMagnitudeMatchesModel) {
+  // For a failure-dominating block, d ln t / d T ~ d ln alpha / d T
+  // (lifetime scales with the dominant block's alpha).
+  const auto sens = core::temperature_sensitivity(
+      *problem_, *model_, core::kTenFaultsPerMillion);
+  std::size_t hottest = 0;
+  for (std::size_t j = 1; j < sens.size(); ++j)
+    if (sens[j].temp_c > sens[hottest].temp_c) hottest = j;
+  const double t = sens[hottest].temp_c;
+  const double dlnalpha =
+      (std::log(model_->alpha(t - 1.0, 1.2)) -
+       std::log(model_->alpha(t + 1.0, 1.2))) /
+      2.0;
+  // Same order of magnitude, attenuated by the non-dominant blocks.
+  EXPECT_GT(sens[hottest].lifetime_per_degree, 0.1 * dlnalpha);
+  EXPECT_LT(sens[hottest].lifetime_per_degree, 1.2 * dlnalpha);
+}
+
+TEST_F(SensitivityFixture, VddSensitivityIsNegative) {
+  const double s = core::vdd_sensitivity(*problem_, *model_,
+                                         core::kTenFaultsPerMillion);
+  // Raising Vdd shortens life; per +10 mV the exponential voltage model
+  // gives about exp(-12 * 0.01) - 1 ~ -11%.
+  EXPECT_LT(s, -0.05);
+  EXPECT_GT(s, -0.25);
+}
+
+TEST_F(SensitivityFixture, RejectsBadDeltas) {
+  EXPECT_THROW(core::temperature_sensitivity(*problem_, *model_, 1e-6, 0.0),
+               Error);
+  EXPECT_THROW(core::vdd_sensitivity(*problem_, *model_, 1e-6, -0.01),
+               Error);
+}
+
+}  // namespace
+}  // namespace obd

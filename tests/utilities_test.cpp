@@ -1,0 +1,149 @@
+// Tests for the analysis utilities added around the reproduction core:
+// adaptive Simpson, Weibull MLE fitting, hazard curves, and CSV writing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "core/lifetime.hpp"
+#include "numeric/quadrature.hpp"
+#include "stats/distributions.hpp"
+#include "stats/fit.hpp"
+#include "stats/rng.hpp"
+
+namespace obd {
+namespace {
+
+TEST(AdaptiveSimpson, MatchesClosedForms) {
+  EXPECT_NEAR(num::adaptive_simpson([](double x) { return std::sin(x); },
+                                    0.0, M_PI),
+              2.0, 1e-9);
+  EXPECT_NEAR(num::adaptive_simpson(
+                  [](double x) { return std::exp(-x * x); }, -8.0, 8.0),
+              std::sqrt(M_PI), 1e-8);
+  EXPECT_DOUBLE_EQ(
+      num::adaptive_simpson([](double) { return 1.0; }, 2.0, 2.0), 0.0);
+}
+
+TEST(AdaptiveSimpson, RefinesWhereTheFunctionIsSharp) {
+  // A sharp feature inside the interval: the adaptive rule matches a very
+  // fine fixed rule to tolerance while touching far fewer points. (The
+  // interval brackets the feature so the initial coarse samples see it —
+  // the documented blind spot of any adaptive quadrature.)
+  auto spike = [](double x) {
+    return std::exp(-1e4 * (x - 0.31) * (x - 0.31));
+  };
+  const double reference = num::simpson_1d(spike, 0.25, 0.40, 40000);
+  EXPECT_NEAR(num::adaptive_simpson(spike, 0.25, 0.40, 1e-12), reference,
+              1e-10);
+}
+
+TEST(AdaptiveSimpson, RejectsBadArguments) {
+  EXPECT_THROW(num::adaptive_simpson([](double) { return 0.0; }, 1.0, 0.0),
+               Error);
+  EXPECT_THROW(
+      num::adaptive_simpson([](double) { return 0.0; }, 0.0, 1.0, -1.0),
+      Error);
+}
+
+TEST(FitWeibull, RecoversKnownParameters) {
+  stats::Rng rng(13);
+  const stats::Weibull truth(3.0e8, 1.4);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(truth.sample(rng));
+  const stats::WeibullFit fit = stats::fit_weibull(samples);
+  EXPECT_NEAR(fit.beta, 1.4, 0.03);
+  EXPECT_NEAR(fit.alpha / 3.0e8, 1.0, 0.02);
+}
+
+TEST(FitWeibull, HandlesExtremeShapes) {
+  stats::Rng rng(14);
+  for (double beta : {0.7, 4.0, 9.0}) {
+    const stats::Weibull truth(10.0, beta);
+    std::vector<double> samples;
+    for (int i = 0; i < 20000; ++i) samples.push_back(truth.sample(rng));
+    const stats::WeibullFit fit = stats::fit_weibull(samples);
+    EXPECT_NEAR(fit.beta / beta, 1.0, 0.05) << "beta=" << beta;
+  }
+}
+
+TEST(FitWeibull, LikelihoodPrefersTheTrueModel) {
+  stats::Rng rng(15);
+  const stats::Weibull truth(100.0, 2.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(truth.sample(rng));
+  const stats::WeibullFit fit = stats::fit_weibull(samples);
+  // Log-likelihood at the MLE beats a perturbed model.
+  double ll_wrong = 0.0;
+  for (double t : samples) {
+    const double z = t / (fit.alpha * 1.5);
+    ll_wrong += std::log(fit.beta / (fit.alpha * 1.5)) +
+                (fit.beta - 1.0) * std::log(z) - std::pow(z, fit.beta);
+  }
+  EXPECT_GT(fit.log_likelihood, ll_wrong);
+}
+
+TEST(FitWeibull, RejectsDegenerateInput) {
+  EXPECT_THROW(stats::fit_weibull({1.0, 2.0}), Error);
+  EXPECT_THROW(stats::fit_weibull({1.0, 1.0, 1.0}), Error);
+  EXPECT_THROW(stats::fit_weibull({1.0, -2.0, 3.0}), Error);
+}
+
+TEST(HazardCurve, MatchesWeibullClosedForm) {
+  // lambda(t) = (beta/alpha) (t/alpha)^(beta-1) for a Weibull.
+  // Range kept below the characteristic life: once F -> 1, (1 - F)
+  // cancellation limits any finite-difference hazard estimate.
+  const stats::Weibull w(1e6, 1.4);
+  const auto curve = core::hazard_curve(
+      [&](double t) { return w.cdf(t); }, 1e4, 8e5, 20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (const auto& p : curve) {
+    const double exact =
+        1.4 / 1e6 * std::pow(p.time_s / 1e6, 0.4);
+    EXPECT_NEAR(p.hazard_per_s / exact, 1.0, 0.01)
+        << "t=" << p.time_s;
+  }
+}
+
+TEST(HazardCurve, WearOutHazardIncreases) {
+  // OBD is a wear-out mechanism (beta > 1): increasing hazard.
+  const stats::Weibull w(1e8, 1.5);
+  const auto curve = core::hazard_curve(
+      [&](double t) { return w.cdf(t); }, 1e6, 1e9, 15);
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GT(curve[i].hazard_per_s, curve[i - 1].hazard_per_s);
+}
+
+TEST(HazardCurve, RejectsBadRanges) {
+  auto f = [](double) { return 0.5; };
+  EXPECT_THROW(core::hazard_curve(f, -1.0, 1.0, 5), Error);
+  EXPECT_THROW(core::hazard_curve(f, 1.0, 2.0, 1), Error);
+}
+
+TEST(Csv, QuotesAndCounts) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"name", "value", "note"});
+  csv.row({"plain", "1", "with,comma"});
+  csv.row({"quote\"inside", "2", "multi\nline"});
+  EXPECT_EQ(csv.rows_written(), 3u);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name,value,note\n"), std::string::npos);
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Csv, NumericRowsAndWidthCheck) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"a", "b"});
+  csv.numeric_row({1.5, 2.25e-7});
+  EXPECT_NE(os.str().find("1.5,2.25e-07"), std::string::npos);
+  EXPECT_THROW(csv.row({"only-one"}), Error);
+  EXPECT_THROW(csv.row({}), Error);
+}
+
+}  // namespace
+}  // namespace obd

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+#include "variation/model.hpp"
+
+namespace obd::var {
+namespace {
+
+TEST(VariationBudget, Table2Defaults) {
+  const VariationBudget b;  // Table II of the paper
+  EXPECT_NO_THROW(b.validate());
+  EXPECT_NEAR(b.sigma_total(), 2.2 * 0.04 / 3.0, 1e-12);
+  // Variance shares: 50 / 25 / 25.
+  const double vt = b.sigma_total() * b.sigma_total();
+  EXPECT_NEAR(b.sigma_global() * b.sigma_global(), 0.5 * vt, 1e-12);
+  EXPECT_NEAR(b.sigma_spatial() * b.sigma_spatial(), 0.25 * vt, 1e-12);
+  EXPECT_NEAR(b.sigma_independent() * b.sigma_independent(), 0.25 * vt, 1e-12);
+}
+
+TEST(VariationBudget, RejectsBadShares) {
+  VariationBudget b;
+  b.global_share = 0.8;  // sums to 1.3
+  EXPECT_THROW(b.validate(), obd::Error);
+  b.global_share = -0.5;
+  EXPECT_THROW(b.validate(), obd::Error);
+}
+
+TEST(GridModel, IndexingRoundTrip) {
+  const GridModel g(10.0, 10.0, 5);
+  EXPECT_EQ(g.cell_count(), 25u);
+  EXPECT_EQ(g.index_at(0.1, 0.1), 0u);
+  EXPECT_EQ(g.index_at(9.9, 0.1), 4u);
+  EXPECT_EQ(g.index_at(0.1, 9.9), 20u);
+  EXPECT_EQ(g.index_at(9.9, 9.9), 24u);
+  // Out-of-range clamps.
+  EXPECT_EQ(g.index_at(-1.0, -1.0), 0u);
+  EXPECT_EQ(g.index_at(99.0, 99.0), 24u);
+  // Cell rect of the center cell.
+  const chip::Rect r = g.cell_rect(12);
+  EXPECT_DOUBLE_EQ(r.x, 4.0);
+  EXPECT_DOUBLE_EQ(r.y, 4.0);
+  EXPECT_TRUE(r.contains(5.0, 5.0));
+}
+
+TEST(GridModel, DistanceIsEuclideanBetweenCenters) {
+  const GridModel g(10.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(g.distance(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(g.distance(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.distance(0, 5), 2.0);
+  EXPECT_NEAR(g.distance(0, 6), 2.0 * std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(g.distance(3, 8), g.distance(8, 3));
+}
+
+TEST(Covariance, StructureMatchesModel) {
+  const VariationBudget budget;
+  const GridModel grid(10.0, 10.0, 4);
+  const la::Matrix c = build_covariance(grid, budget, 0.5);
+  const double vg = budget.sigma_global() * budget.sigma_global();
+  const double vs = budget.sigma_spatial() * budget.sigma_spatial();
+  // Diagonal: global + spatial variance.
+  for (std::size_t i = 0; i < grid.cell_count(); ++i)
+    EXPECT_NEAR(c(i, i), vg + vs, 1e-15);
+  // Off-diagonal: vg + vs * exp(-d/L), strictly above vg.
+  EXPECT_NEAR(c(0, 1), vg + vs * std::exp(-2.5 / 5.0), 1e-15);
+  EXPECT_GT(c(0, 15), vg);
+  // Correlation decays with distance.
+  EXPECT_GT(c(0, 1), c(0, 2));
+  EXPECT_GT(c(0, 2), c(0, 3));
+  // Symmetric.
+  EXPECT_LE(c.max_asymmetry(), 0.0);
+}
+
+TEST(CorrelationKernels, UnitAtZeroDecreasingAndBounded) {
+  using obd::var::CorrelationKernel;
+  for (auto k : {CorrelationKernel::kExponential, CorrelationKernel::kGaussian,
+                 CorrelationKernel::kMatern32,
+                 CorrelationKernel::kSpherical}) {
+    EXPECT_DOUBLE_EQ(kernel_correlation(k, 0.0, 2.0), 1.0);
+    double prev = 1.0;
+    for (double d = 0.1; d < 6.0; d += 0.3) {
+      const double rho = kernel_correlation(k, d, 2.0);
+      EXPECT_LE(rho, prev + 1e-12);
+      EXPECT_GE(rho, 0.0);
+      EXPECT_LE(rho, 1.0);
+      prev = rho;
+    }
+  }
+  // Characteristic shapes: Gaussian is flatter near zero, spherical has
+  // compact support.
+  EXPECT_GT(kernel_correlation(var::CorrelationKernel::kGaussian, 0.2, 2.0),
+            kernel_correlation(var::CorrelationKernel::kExponential, 0.2, 2.0));
+  EXPECT_DOUBLE_EQ(
+      kernel_correlation(var::CorrelationKernel::kSpherical, 2.5, 2.0), 0.0);
+  EXPECT_THROW(kernel_correlation(var::CorrelationKernel::kGaussian, -1.0, 2.0),
+               obd::Error);
+}
+
+TEST(CorrelationKernels, AllProduceValidCanonicalForms) {
+  // Every kernel family must yield a PSD covariance (eigendecomposition
+  // succeeds) preserving the marginal variance.
+  const VariationBudget budget;
+  const GridModel grid(8.0, 8.0, 6);
+  const double expected = budget.sigma_global() * budget.sigma_global() +
+                          budget.sigma_spatial() * budget.sigma_spatial();
+  for (auto k : {CorrelationKernel::kExponential, CorrelationKernel::kGaussian,
+                 CorrelationKernel::kMatern32,
+                 CorrelationKernel::kSpherical}) {
+    const CanonicalForm cf =
+        make_canonical_form(grid, budget, 0.5, 0.9999, {}, k);
+    for (std::size_t g = 0; g < grid.cell_count(); ++g) {
+      const double s = cf.correlated_sigma(g);
+      EXPECT_NEAR(s * s, expected, 0.001 * expected)
+          << "kernel " << static_cast<int>(k) << " grid " << g;
+    }
+  }
+}
+
+TEST(CorrelationKernels, SmootherKernelsTruncateHarder) {
+  // The Gaussian kernel's spectrum decays much faster than the
+  // exponential's: the same variance capture needs far fewer components.
+  const VariationBudget budget;
+  const GridModel grid(10.0, 10.0, 10);
+  const CanonicalForm exp_form = make_canonical_form(
+      grid, budget, 0.5, 0.999, {}, CorrelationKernel::kExponential);
+  const CanonicalForm gauss_form = make_canonical_form(
+      grid, budget, 0.5, 0.999, {}, CorrelationKernel::kGaussian);
+  EXPECT_LT(gauss_form.pc_count(), exp_form.pc_count() / 3);
+}
+
+TEST(Covariance, LargerRhoDistMeansStrongerCorrelation) {
+  const VariationBudget budget;
+  const GridModel grid(10.0, 10.0, 4);
+  const la::Matrix c25 = build_covariance(grid, budget, 0.25);
+  const la::Matrix c75 = build_covariance(grid, budget, 0.75);
+  EXPECT_GT(c75(0, 3), c25(0, 3));
+}
+
+TEST(CanonicalForm, PreservesMarginalVariance) {
+  const VariationBudget budget;
+  const GridModel grid(8.0, 8.0, 6);
+  const CanonicalForm cf = make_canonical_form(grid, budget, 0.5, 1.0);
+  // With no truncation, each grid's correlated variance equals
+  // sigma_g^2 + sigma_sp^2.
+  const double expected = budget.sigma_global() * budget.sigma_global() +
+                          budget.sigma_spatial() * budget.sigma_spatial();
+  for (std::size_t g = 0; g < grid.cell_count(); ++g) {
+    const double s = cf.correlated_sigma(g);
+    EXPECT_NEAR(s * s, expected, 1e-12) << "grid " << g;
+  }
+  EXPECT_DOUBLE_EQ(cf.residual_sigma(), budget.sigma_independent());
+  EXPECT_DOUBLE_EQ(cf.nominal(0), budget.nominal);
+}
+
+TEST(CanonicalForm, TruncationKeepsMostVarianceWithFewComponents) {
+  const VariationBudget budget;
+  const GridModel grid(10.0, 10.0, 10);
+  const CanonicalForm full = make_canonical_form(grid, budget, 0.5, 1.0);
+  // The exponential kernel is non-smooth at zero lag, so its spectrum
+  // decays slowly — but half of the variance sits in the rank-one global
+  // component, so a 95% capture still needs only a modest PC count.
+  const CanonicalForm cut = make_canonical_form(grid, budget, 0.5, 0.95);
+  EXPECT_LT(cut.pc_count(), full.pc_count());
+  EXPECT_LT(cut.pc_count(), 60u);
+  // Truncated marginal variance within the capture budget of the target.
+  const double expected = budget.sigma_global() * budget.sigma_global() +
+                          budget.sigma_spatial() * budget.sigma_spatial();
+  for (std::size_t g = 0; g < grid.cell_count(); ++g) {
+    const double s = cut.correlated_sigma(g);
+    EXPECT_NEAR(s * s, expected, 0.08 * expected);
+  }
+}
+
+TEST(CanonicalForm, SampledCovarianceMatchesModel) {
+  const VariationBudget budget;
+  const GridModel grid(10.0, 10.0, 3);
+  const CanonicalForm cf = make_canonical_form(grid, budget, 0.5, 1.0);
+  const la::Matrix cov = build_covariance(grid, budget, 0.5);
+  stats::Rng rng(42);
+  const int n = 100000;
+  // Empirical covariance between grid 0 and grid 8 (far corners).
+  stats::RunningStats s0;
+  stats::RunningStats s8;
+  double cross = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const la::Vector z = cf.sample_z(rng);
+    const double x0 = cf.correlated_thickness(0, z);
+    const double x8 = cf.correlated_thickness(8, z);
+    s0.add(x0);
+    s8.add(x8);
+    cross += (x0 - budget.nominal) * (x8 - budget.nominal);
+  }
+  EXPECT_NEAR(s0.mean(), budget.nominal, 1e-3);
+  EXPECT_NEAR(s0.variance(), cov(0, 0), 0.05 * cov(0, 0));
+  EXPECT_NEAR(cross / n, cov(0, 8), 0.05 * cov(0, 0));
+}
+
+TEST(CanonicalForm, ThicknessAddsResidual) {
+  const VariationBudget budget;
+  const GridModel grid(4.0, 4.0, 2);
+  const CanonicalForm cf = make_canonical_form(grid, budget, 0.5);
+  const la::Vector z(cf.pc_count(), 0.0);
+  EXPECT_DOUBLE_EQ(cf.thickness(0, z, 0.0), cf.correlated_thickness(0, z));
+  EXPECT_NEAR(cf.thickness(0, z, 1.0) - cf.thickness(0, z, 0.0),
+              budget.sigma_independent(), 1e-15);
+}
+
+TEST(WaferPattern, ShiftsNominalQuadratically) {
+  const VariationBudget budget;
+  const GridModel grid(10.0, 10.0, 5);
+  WaferPattern p;
+  p.bow_x = 0.02;
+  p.tilt_y = 0.01;
+  const CanonicalForm cf = make_canonical_form(grid, budget, 0.5, 0.999, p);
+  // Center cell (12): xn ~ 0, yn ~ 0 -> near-nominal.
+  EXPECT_NEAR(cf.nominal(12), budget.nominal, 1e-12);
+  // Left edge cell 10: xn = -0.8 -> bow adds 0.02 * 0.64.
+  EXPECT_NEAR(cf.nominal(10), budget.nominal + 0.02 * 0.64, 1e-12);
+  // Top row gains the tilt, bottom row loses it.
+  EXPECT_GT(cf.nominal(22), cf.nominal(2));
+}
+
+TEST(AssignDevices, WeightsAreOverlapFractions) {
+  chip::Design d;
+  d.name = "t";
+  d.width = 4.0;
+  d.height = 4.0;
+  // Block spanning exactly the left half of a 2x2 grid.
+  d.blocks.push_back(
+      {"half", {0, 0, 2, 4}, 100, 1.0, chip::UnitKind::kLogic, 0.5});
+  const GridModel grid(4.0, 4.0, 2);
+  const BlockGridLayout layout = assign_devices(d, grid);
+  ASSERT_EQ(layout.weights.size(), 1u);
+  ASSERT_EQ(layout.weights[0].size(), 2u);  // cells 0 and 2
+  double sum = 0.0;
+  for (const auto& [g, w] : layout.weights[0]) {
+    EXPECT_TRUE(g == 0 || g == 2);
+    EXPECT_NEAR(w, 0.5, 1e-12);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(AssignDevices, WeightsSumToOnePerBlock) {
+  const chip::Design d = chip::make_benchmark(2);
+  const GridModel grid(d.width, d.height, 25);
+  const BlockGridLayout layout = assign_devices(d, grid);
+  ASSERT_EQ(layout.weights.size(), d.blocks.size());
+  for (const auto& entries : layout.weights) {
+    double sum = 0.0;
+    for (const auto& [g, w] : entries) sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace obd::var

@@ -1,0 +1,230 @@
+// obdrel command-line frontend.
+//
+// Usage:
+//   obdrel analyze <config>     full statistical reliability analysis
+//   obdrel report  <config>     complete sign-off report (ranking, leakage)
+//   obdrel thermal <config>     power + thermal profile only
+//   obdrel lut build <config> <out-file>    precompute hybrid LUTs
+//   obdrel lut query <config> <lut-file> <t_seconds>
+//
+// Config keys (key = value, '#' comments):
+//   design        c1..c6 | ev6 | manycore | path to a HotSpot .flp
+//   device_density  devices per mm^2 for .flp designs   (default 3000)
+//   vdd           supply voltage [V]                    (default 1.2)
+//   rho_dist      normalized correlation distance        (default 0.5)
+//   grid          correlation grid cells per side        (default 25)
+//   ambient_c     ambient temperature [C]                (default 45)
+//   methods       any of: st_fast st_mc hybrid guard mc  (default all)
+//   mc_chips      Monte Carlo sample chips               (default 500)
+//   targets       failure-quantile list                  (default 1e-6 1e-5)
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "chip/design.hpp"
+#include "chip/floorplan_io.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "core/analytic.hpp"
+#include "core/guardband.hpp"
+#include "core/hybrid.hpp"
+#include "core/lifetime.hpp"
+#include "core/montecarlo.hpp"
+#include "core/report.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+
+namespace {
+
+using namespace obd;
+
+constexpr double kYear = 365.25 * 24.0 * 3600.0;
+
+chip::Design load_design(const Config& cfg) {
+  const std::string design = cfg.get_string("design", "c1");
+  if (design == "ev6" || design == "c6") return chip::make_ev6_design();
+  if (design == "manycore") return chip::make_manycore_design();
+  if (design.size() == 2 && design[0] == 'c' && design[1] >= '1' &&
+      design[1] <= '6')
+    return chip::make_benchmark(design[1] - '0');
+  chip::FloorplanLoadOptions opts;
+  opts.device_density = cfg.get_double("device_density", 3000.0);
+  opts.name = design;
+  return chip::load_floorplan_file(design, opts);
+}
+
+struct Pipeline {
+  chip::Design design;
+  thermal::ThermalProfile profile;
+  core::AnalyticReliabilityModel model;
+  double vdd;
+};
+
+Pipeline run_pipeline(const Config& cfg) {
+  Pipeline p{load_design(cfg), {}, core::AnalyticReliabilityModel{},
+             cfg.get_double("vdd", 1.2)};
+  power::PowerParams pp;
+  pp.vdd = p.vdd;
+  thermal::ThermalParams tp;
+  tp.ambient_c = cfg.get_double("ambient_c", 45.0);
+  tp.resolution = 48;
+  p.profile = thermal::power_thermal_fixed_point(p.design, pp, tp, 2);
+  return p;
+}
+
+core::ReliabilityProblem build_problem(const Config& cfg,
+                                       const Pipeline& p) {
+  core::ProblemOptions opts;
+  opts.rho_dist = cfg.get_double("rho_dist", 0.5);
+  opts.grid_cells_per_side =
+      static_cast<std::size_t>(cfg.get_int("grid", 25));
+  return core::ReliabilityProblem::build(p.design, var::VariationBudget{},
+                                         p.model, p.profile.block_temps_c,
+                                         p.vdd, opts);
+}
+
+int cmd_thermal(const Config& cfg) {
+  const Pipeline p = run_pipeline(cfg);
+  const auto power = power::estimate_power(p.design, {.vdd = p.vdd},
+                                           p.profile.block_temps_c);
+  std::printf("design %s: %zu blocks, %zu devices, %.1f W\n",
+              p.design.name.c_str(), p.design.blocks.size(),
+              p.design.total_devices(), power.total());
+  std::printf("%-12s %8s %8s\n", "block", "T [C]", "P [W]");
+  for (std::size_t j = 0; j < p.design.blocks.size(); ++j)
+    std::printf("%-12s %8.1f %8.2f\n", p.design.blocks[j].name.c_str(),
+                p.profile.block_temps_c[j], power.block_watts[j]);
+  std::printf("field: %.1f .. %.1f C\n", p.profile.min_c(),
+              p.profile.max_c());
+  return 0;
+}
+
+int cmd_analyze(const Config& cfg) {
+  const Pipeline p = run_pipeline(cfg);
+  const auto problem = build_problem(cfg, p);
+  std::set<std::string> methods;
+  {
+    std::istringstream is(
+        cfg.get_string("methods", "st_fast st_mc hybrid guard mc"));
+    std::string tok;
+    while (is >> tok) methods.insert(tok);
+  }
+  const auto targets = cfg.get_doubles("targets", {1e-6, 1e-5});
+  const auto mc_chips =
+      static_cast<std::size_t>(cfg.get_int("mc_chips", 500));
+
+  std::printf("design %s: %zu devices, %zu blocks, Vdd %.2f V, "
+              "T %.1f..%.1f C\n\n",
+              p.design.name.c_str(), p.design.total_devices(),
+              p.design.blocks.size(), p.vdd, p.profile.min_c(),
+              p.profile.max_c());
+  std::printf("%-10s %14s %16s %12s\n", "method", "target", "lifetime [y]",
+              "runtime [s]");
+
+  auto report = [&](const char* name, auto&& lifetime_fn, double seconds) {
+    for (double target : targets) {
+      std::printf("%-10s %14g %16.3f %12.3f\n", name, target,
+                  lifetime_fn(target) / kYear, seconds);
+    }
+  };
+
+  if (methods.count("st_fast") != 0) {
+    Stopwatch sw;
+    const core::AnalyticAnalyzer a(problem);
+    report("st_fast", [&](double t) { return a.lifetime_at(t); },
+           sw.seconds());
+  }
+  if (methods.count("st_mc") != 0) {
+    Stopwatch sw;
+    const core::StMcAnalyzer a(problem, {});
+    report("st_MC", [&](double t) { return a.lifetime_at(t); },
+           sw.seconds());
+  }
+  if (methods.count("hybrid") != 0) {
+    Stopwatch sw;
+    const core::HybridEvaluator a(problem);
+    report("hybrid", [&](double t) { return a.lifetime_at(t); },
+           sw.seconds());
+  }
+  if (methods.count("guard") != 0) {
+    Stopwatch sw;
+    const core::GuardBandAnalyzer a(problem);
+    report("guard", [&](double t) { return a.lifetime_at(t); },
+           sw.seconds());
+  }
+  if (methods.count("mc") != 0) {
+    Stopwatch sw;
+    const core::MonteCarloAnalyzer a(problem, {.chip_samples = mc_chips});
+    report("MC", [&](double t) { return a.lifetime_at(t); }, sw.seconds());
+  }
+  return 0;
+}
+
+int cmd_report(const Config& cfg) {
+  const Pipeline p = run_pipeline(cfg);
+  const auto problem = build_problem(cfg, p);
+  const auto report = core::make_signoff_report(
+      problem, p.model, cfg.get_doubles("targets", {1e-6, 1e-5}));
+  std::fputs(report.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_lut(const Config& cfg, const std::string& action,
+            const std::string& lut_path, const char* t_arg) {
+  const Pipeline p = run_pipeline(cfg);
+  const auto problem = build_problem(cfg, p);
+  if (action == "build") {
+    const core::HybridEvaluator hybrid(problem);
+    std::ofstream out(lut_path);
+    require(out.good(), "lut build: cannot open '" + lut_path + "'");
+    hybrid.save(out);
+    std::printf("wrote %zu block tables to %s\n", problem.blocks().size(),
+                lut_path.c_str());
+    return 0;
+  }
+  if (action == "query") {
+    require(t_arg != nullptr, "lut query: missing <t_seconds>");
+    std::ifstream in(lut_path);
+    require(in.good(), "lut query: cannot open '" + lut_path + "'");
+    const auto hybrid = core::HybridEvaluator::load(in, problem);
+    const double t = std::stod(t_arg);
+    std::printf("F(%.4g s) = %.6e   (R = %.9f)\n", t,
+                hybrid.failure_probability(t), hybrid.reliability(t));
+    return 0;
+  }
+  throw Error("lut: unknown action '" + action + "' (build|query)");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: obdrel analyze <config>\n"
+               "       obdrel report <config>\n"
+               "       obdrel thermal <config>\n"
+               "       obdrel lut build <config> <out-file>\n"
+               "       obdrel lut query <config> <lut-file> <t_seconds>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 3) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "analyze") return cmd_analyze(Config::parse_file(argv[2]));
+    if (cmd == "report") return cmd_report(Config::parse_file(argv[2]));
+    if (cmd == "thermal") return cmd_thermal(Config::parse_file(argv[2]));
+    if (cmd == "lut") {
+      if (argc < 5) return usage();
+      return cmd_lut(Config::parse_file(argv[3]), argv[2], argv[4],
+                     argc > 5 ? argv[5] : nullptr);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
