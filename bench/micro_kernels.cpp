@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "chip/design.hpp"
+#include "common/fault_injection.hpp"
 #include "core/analytic.hpp"
 #include "core/hybrid.hpp"
 #include "core/montecarlo.hpp"
@@ -114,6 +115,34 @@ void BM_MonteCarloChipSampling(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloChipSampling)->Arg(10)->Arg(20)
     ->Unit(benchmark::kMillisecond);
+
+// Cost of a disarmed fault-injection check: the sites live on hot paths
+// (SOR sweeps, quadrature, factorizations), so this must stay at a single
+// relaxed atomic load — compare against BM_GClosedForm-scale kernels to
+// confirm the <2% overhead budget.
+void BM_FaultCheckDisarmed(benchmark::State& state) {
+  fault::disarm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::should_fire(fault::site::kThermalSor));
+  }
+  state.SetLabel("disarmed should_fire()");
+}
+BENCHMARK(BM_FaultCheckDisarmed);
+
+// The same kernel guarded by a disarmed check: the pair quantifies the
+// injected overhead on a representative hot-path unit of work.
+void BM_GClosedFormWithFaultCheck(benchmark::State& state) {
+  fault::disarm();
+  double t = 1e8;
+  for (auto _ : state) {
+    if (fault::should_fire(fault::site::kQuadrature)) state.SkipWithError(
+        "disarmed site fired");
+    benchmark::DoNotOptimize(
+        core::g_closed_form(t, 1e17, 0.64, 2.2, 2.5e-4));
+    t += 1.0;
+  }
+}
+BENCHMARK(BM_GClosedFormWithFaultCheck);
 
 void BM_CanonicalSampleAndGridEval(benchmark::State& state) {
   const auto& problem = shared_problem();

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace obd::chip {
 namespace {
@@ -36,10 +37,16 @@ double parse_double(const std::string& s, const std::string& context) {
   try {
     std::size_t pos = 0;
     const double v = std::stod(s, &pos);
-    require(pos == s.size(), context + ": trailing characters in '" + s + "'");
+    require(pos == s.size(), ErrorCode::kInvalidInput,
+            context + ": trailing characters in '" + s + "'");
+    require(std::isfinite(v), ErrorCode::kInvalidInput,
+            context + ": non-finite number '" + s + "'");
     return v;
+  } catch (const Error&) {
+    throw;
   } catch (const std::exception&) {
-    throw Error(context + ": cannot parse number '" + s + "'");
+    throw Error(context + ": cannot parse number '" + s + "'",
+                ErrorCode::kInvalidInput);
   }
 }
 
@@ -85,6 +92,9 @@ UnitKind kind_from_name(const std::string& name) {
 Design load_floorplan(std::istream& in, const FloorplanLoadOptions& options) {
   require(options.device_density > 0.0,
           "load_floorplan: device density must be positive");
+  if (fault::should_fire(fault::site::kFloorplanParse))
+    throw Error("load_floorplan: injected parse fault",
+                ErrorCode::kInvalidInput);
   Design d;
   d.name = options.name;
   std::string line;
@@ -93,7 +103,7 @@ Design load_floorplan(std::istream& in, const FloorplanLoadOptions& options) {
     ++line_no;
     const auto tokens = tokenize(line);
     if (tokens.empty()) continue;
-    require(tokens.size() == 5,
+    require(tokens.size() == 5, ErrorCode::kInvalidInput,
             "load_floorplan: line " + std::to_string(line_no) +
                 ": expected '<name> <w> <h> <left> <bottom>'");
     const std::string ctx = "load_floorplan: line " + std::to_string(line_no);
@@ -104,6 +114,10 @@ Design load_floorplan(std::istream& in, const FloorplanLoadOptions& options) {
     const double h = parse_double(tokens[2], ctx) * 1000.0;
     const double left = parse_double(tokens[3], ctx) * 1000.0;
     const double bottom = parse_double(tokens[4], ctx) * 1000.0;
+    require(w > 0.0 && h > 0.0, ErrorCode::kInvalidInput,
+            ctx + ": block dimensions must be positive");
+    require(left >= 0.0 && bottom >= 0.0, ErrorCode::kInvalidInput,
+            ctx + ": block origin must be non-negative");
     b.rect = {left, bottom, w, h};
     b.kind = kind_from_name(b.name);
     b.activity = default_activity(b.kind);
@@ -112,7 +126,8 @@ Design load_floorplan(std::istream& in, const FloorplanLoadOptions& options) {
                                                  options.device_density)));
     d.blocks.push_back(std::move(b));
   }
-  require(!d.blocks.empty(), "load_floorplan: no blocks found");
+  require(!d.blocks.empty(), ErrorCode::kInvalidInput,
+          "load_floorplan: no blocks found");
   // Die extent = bounding box of the blocks.
   double wmax = 0.0;
   double hmax = 0.0;
@@ -129,7 +144,8 @@ Design load_floorplan(std::istream& in, const FloorplanLoadOptions& options) {
 Design load_floorplan_file(const std::string& path,
                            const FloorplanLoadOptions& options) {
   std::ifstream in(path);
-  require(in.good(), "load_floorplan_file: cannot open '" + path + "'");
+  require(in.good(), ErrorCode::kIo,
+          "load_floorplan_file: cannot open '" + path + "'");
   return load_floorplan(in, options);
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace obd {
 namespace {
@@ -27,6 +28,8 @@ std::string lowercase(std::string s) {
 }  // namespace
 
 Config Config::parse(std::istream& in) {
+  if (fault::should_fire(fault::site::kConfigParse))
+    throw Error("Config: injected parse fault", ErrorCode::kConfig);
   Config cfg;
   std::string line;
   std::size_t line_no = 0;
@@ -45,14 +48,14 @@ Config Config::parse(std::istream& in) {
       value = trim(stripped.substr(eq + 1));
     } else {
       const std::size_t ws = stripped.find_first_of(" \t");
-      require(ws != std::string::npos,
+      require(ws != std::string::npos, ErrorCode::kConfig,
               "Config: line " + std::to_string(line_no) +
                   ": expected 'key value' or 'key = value'");
       key = trim(stripped.substr(0, ws));
       value = trim(stripped.substr(ws + 1));
     }
-    require(!key.empty(), "Config: line " + std::to_string(line_no) +
-                              ": empty key");
+    require(!key.empty(), ErrorCode::kConfig,
+            "Config: line " + std::to_string(line_no) + ": empty key");
     cfg.values_[key] = value;
   }
   return cfg;
@@ -60,7 +63,7 @@ Config Config::parse(std::istream& in) {
 
 Config Config::parse_file(const std::string& path) {
   std::ifstream in(path);
-  require(in.good(), "Config: cannot open '" + path + "'");
+  require(in.good(), ErrorCode::kIo, "Config: cannot open '" + path + "'");
   return parse(in);
 }
 
@@ -74,7 +77,8 @@ bool Config::has(const std::string& key) const {
 
 std::string Config::get_string(const std::string& key) const {
   const auto it = values_.find(key);
-  require(it != values_.end(), "Config: missing key '" + key + "'");
+  require(it != values_.end(), ErrorCode::kConfig,
+          "Config: missing key '" + key + "'");
   return it->second;
 }
 
@@ -89,13 +93,14 @@ double Config::get_double(const std::string& key) const {
   try {
     std::size_t pos = 0;
     const double v = std::stod(raw, &pos);
-    require(trim(raw.substr(pos)).empty(),
+    require(trim(raw.substr(pos)).empty(), ErrorCode::kConfig,
             "Config: key '" + key + "': trailing characters");
     return v;
   } catch (const Error&) {
     throw;
   } catch (const std::exception&) {
-    throw Error("Config: key '" + key + "': cannot parse '" + raw + "'");
+    throw Error("Config: key '" + key + "': cannot parse '" + raw + "'",
+                ErrorCode::kConfig);
   }
 }
 
@@ -108,13 +113,14 @@ long long Config::get_int(const std::string& key) const {
   try {
     std::size_t pos = 0;
     const long long v = std::stoll(raw, &pos);
-    require(trim(raw.substr(pos)).empty(),
+    require(trim(raw.substr(pos)).empty(), ErrorCode::kConfig,
             "Config: key '" + key + "': trailing characters");
     return v;
   } catch (const Error&) {
     throw;
   } catch (const std::exception&) {
-    throw Error("Config: key '" + key + "': cannot parse '" + raw + "'");
+    throw Error("Config: key '" + key + "': cannot parse '" + raw + "'",
+                ErrorCode::kConfig);
   }
 }
 
@@ -122,12 +128,23 @@ long long Config::get_int(const std::string& key, long long fallback) const {
   return has(key) ? get_int(key) : fallback;
 }
 
+std::size_t Config::get_count(const std::string& key,
+                              std::size_t fallback) const {
+  if (!has(key)) return fallback;
+  const long long v = get_int(key);
+  require(v > 0, ErrorCode::kInvalidInput,
+          "Config: key '" + key + "': must be a positive count, got " +
+              std::to_string(v));
+  return static_cast<std::size_t>(v);
+}
+
 bool Config::get_bool(const std::string& key, bool fallback) const {
   if (!has(key)) return fallback;
   const std::string v = lowercase(get_string(key));
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
-  throw Error("Config: key '" + key + "': not a boolean: '" + v + "'");
+  throw Error("Config: key '" + key + "': not a boolean: '" + v + "'",
+              ErrorCode::kConfig);
 }
 
 std::vector<double> Config::get_doubles(
@@ -140,10 +157,12 @@ std::vector<double> Config::get_doubles(
     try {
       out.push_back(std::stod(tok));
     } catch (const std::exception&) {
-      throw Error("Config: key '" + key + "': cannot parse '" + tok + "'");
+      throw Error("Config: key '" + key + "': cannot parse '" + tok + "'",
+                  ErrorCode::kConfig);
     }
   }
-  require(!out.empty(), "Config: key '" + key + "': empty list");
+  require(!out.empty(), ErrorCode::kConfig,
+          "Config: key '" + key + "': empty list");
   return out;
 }
 

@@ -5,6 +5,7 @@
 // whitespace, so `design = ev6` and `targets = 1e-6 1e-5` both work.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -38,6 +39,12 @@ class Config {
   [[nodiscard]] long long get_int(const std::string& key) const;
   [[nodiscard]] long long get_int(const std::string& key,
                                   long long fallback) const;
+
+  /// Strictly positive integer used as a size/count. Rejects zero and
+  /// negative values with ErrorCode::kInvalidInput instead of letting them
+  /// wrap through static_cast<std::size_t> into absurd allocations.
+  [[nodiscard]] std::size_t get_count(const std::string& key,
+                                      std::size_t fallback) const;
 
   /// Accepts true/false/1/0/yes/no/on/off (case-insensitive).
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;

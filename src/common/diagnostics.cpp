@@ -1,0 +1,72 @@
+#include "common/diagnostics.hpp"
+
+#include <atomic>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace obd {
+namespace {
+
+std::atomic<bool> g_strict{false};
+
+}  // namespace
+
+void Diagnostics::warn(const std::string& site, const std::string& message) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back({site, message});
+  }
+  if (g_strict.load(std::memory_order_relaxed))
+    throw Error(site + ": " + message + " (strict mode)",
+                ErrorCode::kDegraded);
+}
+
+std::vector<Diagnostic> Diagnostics::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+bool Diagnostics::degraded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return !entries_.empty();
+}
+
+std::size_t Diagnostics::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t Diagnostics::count(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& e : entries_)
+    if (e.site == site) ++n;
+  return n;
+}
+
+void Diagnostics::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::string Diagnostics::render() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& e : entries_)
+    out << "warning [" << e.site << "]: " << e.message << '\n';
+  return out.str();
+}
+
+Diagnostics& diagnostics() {
+  static Diagnostics instance;
+  return instance;
+}
+
+void set_strict_mode(bool strict) {
+  g_strict.store(strict, std::memory_order_relaxed);
+}
+
+bool strict_mode() { return g_strict.load(std::memory_order_relaxed); }
+
+}  // namespace obd

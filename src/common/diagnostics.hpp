@@ -1,0 +1,66 @@
+// Pipeline-wide warning collector for graceful degradation.
+//
+// Recoverable conditions (a ridge-stabilized factorization, a damped
+// thermal retry, a clamped workload sample) should not kill a long
+// reliability run — but they must not pass silently either. Code that
+// degrades calls obd::diagnostics().warn(site, message); the collector
+// records the event and the frontend reports it after the command.
+//
+// Strict mode inverts the policy: set_strict_mode(true) turns every warn()
+// into a thrown obd::Error with ErrorCode::kDegraded, so sign-off flows can
+// insist on pristine numerics. The event is recorded before the throw, so
+// the collector always holds a full account of what degraded.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace obd {
+
+/// One recorded degradation event.
+struct Diagnostic {
+  std::string site;     ///< stable seam name, e.g. "thermal.fixed_point"
+  std::string message;  ///< human-readable description of the recovery
+};
+
+/// Append-only, thread-safe collector of degradation warnings.
+class Diagnostics {
+ public:
+  /// Records a degradation event. Throws Error(kDegraded) in strict mode
+  /// (after recording, so the event is never lost).
+  void warn(const std::string& site, const std::string& message);
+
+  /// Snapshot of all recorded events, in order.
+  [[nodiscard]] std::vector<Diagnostic> entries() const;
+
+  /// True when at least one degradation was recorded.
+  [[nodiscard]] bool degraded() const;
+
+  /// Total number of recorded events.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Number of events recorded against `site`.
+  [[nodiscard]] std::size_t count(const std::string& site) const;
+
+  /// Drops all recorded events (start of a fresh run).
+  void clear();
+
+  /// One "warning [site]: message" line per event.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Diagnostic> entries_;
+};
+
+/// Process-global collector threaded through the pipeline.
+Diagnostics& diagnostics();
+
+/// Strict-mode switch (default off). In strict mode every degradation
+/// becomes a typed error instead of a warning.
+void set_strict_mode(bool strict);
+[[nodiscard]] bool strict_mode();
+
+}  // namespace obd

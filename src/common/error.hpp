@@ -3,6 +3,9 @@
 // The library reports contract violations and unrecoverable numerical
 // conditions by throwing obd::Error (derived from std::runtime_error), so
 // callers can distinguish library failures from standard-library ones.
+// Every Error carries an ErrorCode so frontends (and retry logic) can react
+// to the *kind* of failure without string-matching the message; the CLI
+// maps the codes 1:1 onto process exit codes (see docs/ROBUSTNESS.md).
 #pragma once
 
 #include <stdexcept>
@@ -10,10 +13,41 @@
 
 namespace obd {
 
+/// Failure taxonomy. The numeric values are part of the CLI contract: the
+/// obdrel frontend exits with static_cast<int>(code).
+enum class ErrorCode {
+  kInternal = 1,        ///< unexpected condition inside the library
+  kConfig = 2,          ///< configuration / usage errors (bad key, bad CLI)
+  kIo = 3,              ///< file open/read/write failures
+  kInvalidInput = 4,    ///< malformed or out-of-range input data
+  kNonconvergence = 5,  ///< a numerical iteration failed to converge
+  kDegraded = 6,        ///< degraded result escalated under strict mode
+};
+
+/// Short stable name for an ErrorCode ("io", "nonconvergence", ...).
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kConfig: return "config";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kInvalidInput: return "invalid-input";
+    case ErrorCode::kNonconvergence: return "nonconvergence";
+    case ErrorCode::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
 /// Exception type thrown by all obdrel components.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::kInvalidInput)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 /// Throws obd::Error with `message` when `condition` is false.
@@ -23,6 +57,12 @@ class Error : public std::runtime_error {
 /// run long, and silently corrupt inputs are far costlier than the check.
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw Error(message);
+}
+
+/// Typed variant: attaches an explicit ErrorCode to the failure.
+inline void require(bool condition, ErrorCode code,
+                    const std::string& message) {
+  if (!condition) throw Error(message, code);
 }
 
 }  // namespace obd

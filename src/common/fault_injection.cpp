@@ -1,0 +1,137 @@
+#include "common/fault_injection.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace obd::fault {
+namespace {
+
+struct SiteState {
+  std::size_t remaining = 0;  // firings left; SIZE_MAX means unlimited
+  std::size_t fired = 0;
+};
+
+std::mutex g_mutex;
+std::map<std::string, SiteState>& registry() {
+  static std::map<std::string, SiteState> sites;
+  return sites;
+}
+
+constexpr std::size_t kUnlimited = std::numeric_limits<std::size_t>::max();
+
+bool any_armed_locked() {
+  for (const auto& [name, s] : registry())
+    if (s.remaining > 0) return true;
+  return false;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+bool fire_slow(const char* site_name) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = registry().find(site_name);
+  if (it == registry().end() || it->second.remaining == 0) return false;
+  if (it->second.remaining != kUnlimited) {
+    --it->second.remaining;
+    if (it->second.remaining == 0 && !any_armed_locked())
+      g_armed.store(false, std::memory_order_relaxed);
+  }
+  ++it->second.fired;
+  return true;
+}
+
+}  // namespace detail
+
+const std::vector<std::string>& known_sites() {
+  static const std::vector<std::string> sites = {
+      site::kConfigParse, site::kFloorplanParse,
+      site::kPtraceParse, site::kLutLoad,
+      site::kCholesky,    site::kEigen,
+      site::kThermalSor,  site::kThermalFixedPoint,
+      site::kQuadrature,  site::kDrmThermal,
+  };
+  return sites;
+}
+
+void arm(const std::string& spec) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    // Trim surrounding whitespace.
+    const std::size_t first = entry.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const std::size_t last = entry.find_last_not_of(" \t");
+    entry = entry.substr(first, last - first + 1);
+
+    std::string name = entry;
+    std::size_t count = 1;
+    const std::size_t colon = entry.find(':');
+    if (colon != std::string::npos) {
+      name = entry.substr(0, colon);
+      const std::string arg = entry.substr(colon + 1);
+      if (arg == "*") {
+        count = kUnlimited;
+      } else {
+        try {
+          std::size_t pos = 0;
+          const long long n = std::stoll(arg, &pos);
+          require(pos == arg.size() && n > 0, ErrorCode::kConfig,
+                  "fault::arm: bad count '" + arg + "' in '" + entry + "'");
+          count = static_cast<std::size_t>(n);
+        } catch (const Error&) {
+          throw;
+        } catch (const std::exception&) {
+          throw Error("fault::arm: bad count '" + arg + "' in '" + entry +
+                          "'",
+                      ErrorCode::kConfig);
+        }
+      }
+    }
+
+    bool known = false;
+    for (const auto& s : known_sites())
+      if (s == name) known = true;
+    if (!known) {
+      std::string catalogue;
+      for (const auto& s : known_sites())
+        catalogue += (catalogue.empty() ? "" : ", ") + s;
+      throw Error("fault::arm: unknown site '" + name + "' (known: " +
+                      catalogue + ")",
+                  ErrorCode::kConfig);
+    }
+
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    registry()[name] = SiteState{count, registry()[name].fired};
+    detail::g_armed.store(true, std::memory_order_relaxed);
+  }
+}
+
+void arm_from_env() {
+  const char* env = std::getenv("OBDREL_FAULTS");
+  if (env != nullptr && env[0] != '\0') arm(env);
+}
+
+void disarm() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  registry().clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::size_t fired(const std::string& site_name) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = registry().find(site_name);
+  return (it == registry().end()) ? 0 : it->second.fired;
+}
+
+}  // namespace obd::fault

@@ -1,0 +1,72 @@
+// Deterministic fault-injection registry.
+//
+// Every critical seam of the pipeline (parsers, factorizations, iterative
+// solvers, the DRM thermal solve) hosts a named injection site. When a site
+// is armed, the seam simulates its natural failure mode — a parse error, a
+// non-positive-definite pivot, a NaN temperature — so the recovery paths
+// can be exercised deterministically, without crafting pathological inputs.
+//
+// Arming:
+//   - programmatically:  fault::arm("thermal.sor,linalg.eigen:2");
+//   - from the environment (done by the CLI): OBDREL_FAULTS="drm.thermal:3"
+//
+// Spec grammar: comma-separated `site`, `site:N` (fire N times, then go
+// quiet) or `site:*` (fire on every hit). A bare `site` fires once.
+//
+// Cost discipline: should_fire() is a single relaxed atomic load of a
+// process-global flag when nothing is armed — safe to leave in hot paths
+// (bench/micro_kernels tracks the disarmed overhead).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace obd::fault {
+
+/// Catalogue of registered injection-site names. Keep docs/ROBUSTNESS.md in
+/// sync when adding a site.
+namespace site {
+inline constexpr const char* kConfigParse = "config.parse";
+inline constexpr const char* kFloorplanParse = "floorplan.parse";
+inline constexpr const char* kPtraceParse = "ptrace.parse";
+inline constexpr const char* kLutLoad = "lut.load";
+inline constexpr const char* kCholesky = "linalg.cholesky";
+inline constexpr const char* kEigen = "linalg.eigen";
+inline constexpr const char* kThermalSor = "thermal.sor";
+inline constexpr const char* kThermalFixedPoint = "thermal.fixed_point";
+inline constexpr const char* kQuadrature = "numeric.quadrature";
+inline constexpr const char* kDrmThermal = "drm.thermal";
+}  // namespace site
+
+/// All registered site names (the injection catalogue), sorted.
+const std::vector<std::string>& known_sites();
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+bool fire_slow(const char* site_name);
+}  // namespace detail
+
+/// True when the fault at `site_name` should trigger now; consumes one
+/// firing from the site's budget. Near-zero cost while nothing is armed.
+inline bool should_fire(const char* site_name) {
+  return detail::g_armed.load(std::memory_order_relaxed) &&
+         detail::fire_slow(site_name);
+}
+
+/// Arms sites from a spec string (see grammar above). Unknown site names
+/// raise Error(kConfig) listing the catalogue. Arming accumulates: a second
+/// arm() call for the same site replaces its budget.
+void arm(const std::string& spec);
+
+/// Arms from $OBDREL_FAULTS when it is set and non-empty.
+void arm_from_env();
+
+/// Disarms every site and resets fired counters.
+void disarm();
+
+/// Times the site actually fired since the last disarm() (test hook).
+std::size_t fired(const std::string& site_name);
+
+}  // namespace obd::fault

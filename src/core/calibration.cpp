@@ -57,7 +57,8 @@ CalibrationResult fit_analytic_model(
             pi * basis[r][j] / scale[j];
     }
   }
-  const la::Matrix l = la::cholesky_lower(ata, 1e-10 * ata.trace());
+  const la::Matrix l = la::cholesky_lower_robust(
+      ata, "fit_analytic_model", 1e-10 * ata.trace());
   la::Vector coef = la::cholesky_solve(l, aty);
   for (int i = 0; i < 3; ++i)
     coef[static_cast<std::size_t>(i)] /= scale[i];

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace obd::core {
 namespace {
@@ -107,15 +108,19 @@ void HybridEvaluator::save(std::ostream& out) const {
       out << values[i] << ((i + 1) % 8 == 0 ? '\n' : ' ');
     out << '\n';
   }
-  require(out.good(), "HybridEvaluator::save: write failed");
+  require(out.good(), ErrorCode::kIo, "HybridEvaluator::save: write failed");
 }
 
 HybridEvaluator HybridEvaluator::load(std::istream& in,
                                       const ReliabilityProblem& problem) {
+  if (fault::should_fire(fault::site::kLutLoad))
+    throw Error("HybridEvaluator::load: injected LUT corruption fault",
+                ErrorCode::kIo);
   std::string magic;
   int version = 0;
   in >> magic >> version;
   require(in.good() && magic == "obdrel-hybrid-lut" && version == 1,
+          ErrorCode::kInvalidInput,
           "HybridEvaluator::load: not an obdrel hybrid LUT stream");
 
   std::size_t n_blocks = 0;
@@ -124,10 +129,30 @@ HybridEvaluator HybridEvaluator::load(std::istream& in,
   in >> n_blocks >> options.n_gamma >> options.n_b >> log_space;
   in >> options.gamma_lo >> options.gamma_hi >> options.b_lo >>
       options.b_hi;
-  require(in.good(), "HybridEvaluator::load: malformed header");
+  require(in.good(), ErrorCode::kInvalidInput,
+          "HybridEvaluator::load: malformed header");
   options.log_space = (log_space != 0);
   require(n_blocks == problem.blocks().size(),
+          ErrorCode::kInvalidInput,
           "HybridEvaluator::load: block count does not match the problem");
+  // Bound the table dimensions before allocating: a corrupted header must
+  // produce a typed error, not a multi-gigabyte allocation or bad_alloc.
+  constexpr std::size_t kMaxTableIndices = 1u << 24;
+  require(options.n_gamma >= 2 && options.n_b >= 2 &&
+              options.n_gamma <= kMaxTableIndices &&
+              options.n_b <= kMaxTableIndices &&
+              options.n_gamma * options.n_b <= kMaxTableIndices,
+          ErrorCode::kInvalidInput,
+          "HybridEvaluator::load: implausible table dimensions " +
+              std::to_string(options.n_gamma) + "x" +
+              std::to_string(options.n_b));
+  require(std::isfinite(options.gamma_lo) &&
+              std::isfinite(options.gamma_hi) &&
+              options.gamma_hi > options.gamma_lo &&
+              std::isfinite(options.b_lo) && std::isfinite(options.b_hi) &&
+              options.b_lo > 0.0 && options.b_hi > options.b_lo,
+          ErrorCode::kInvalidInput,
+          "HybridEvaluator::load: implausible table ranges");
 
   std::vector<num::LookupTable2D> tables;
   tables.reserve(n_blocks);
@@ -135,16 +160,19 @@ HybridEvaluator HybridEvaluator::load(std::istream& in,
     std::string name;
     double area = 0.0;
     in >> name >> area;
-    require(in.good(), "HybridEvaluator::load: truncated block header");
-    require(name == problem.blocks()[j].name,
+    require(in.good(), ErrorCode::kInvalidInput,
+            "HybridEvaluator::load: truncated block header");
+    require(name == problem.blocks()[j].name, ErrorCode::kInvalidInput,
             "HybridEvaluator::load: block name mismatch at index " +
                 std::to_string(j));
     require(std::fabs(area - problem.blocks()[j].area) <=
                 1e-9 * std::max(1.0, area),
+            ErrorCode::kInvalidInput,
             "HybridEvaluator::load: block area mismatch for '" + name + "'");
     std::vector<double> values(options.n_gamma * options.n_b);
     for (auto& v : values) in >> v;
-    require(in.good(), "HybridEvaluator::load: truncated table data");
+    require(in.good(), ErrorCode::kInvalidInput,
+            "HybridEvaluator::load: truncated table data");
     tables.emplace_back(options.gamma_lo, options.gamma_hi, options.n_gamma,
                         options.b_lo, options.b_hi, options.n_b,
                         std::move(values));

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "common/diagnostics.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "numeric/roots.hpp"
 #include "power/power.hpp"
 #include "thermal/block_model.hpp"
@@ -49,6 +52,9 @@ ReliabilityManager::Conditions ReliabilityManager::conditions_for(
     const OperatingPoint& op, double workload_activity) const {
   require(workload_activity >= 0.0,
           "ReliabilityManager: negative workload activity");
+  if (fault::should_fire(fault::site::kDrmThermal))
+    throw Error("ReliabilityManager: injected thermal-solve fault",
+                ErrorCode::kNonconvergence);
   chip::Design scaled = problem_->design();
   for (auto& b : scaled.blocks)
     b.activity = std::min(1.0, b.activity * workload_activity);
@@ -66,11 +72,59 @@ ReliabilityManager::Conditions ReliabilityManager::conditions_for(
   Conditions c;
   c.max_temp_c = *std::max_element(profile.block_temps_c.begin(),
                                    profile.block_temps_c.end());
+  require(std::isfinite(c.max_temp_c), ErrorCode::kNonconvergence,
+          "ReliabilityManager: thermal solve produced non-finite "
+          "temperatures");
   c.alphas.reserve(profile.block_temps_c.size());
   c.bs.reserve(profile.block_temps_c.size());
   for (double t : profile.block_temps_c) {
     c.alphas.push_back(model_->alpha(t, op.vdd));
     c.bs.push_back(model_->b(t, op.vdd));
+  }
+  return c;
+}
+
+double ReliabilityManager::sanitize_activity(double workload_activity,
+                                             bool* degraded) const {
+  if (std::isnan(workload_activity)) {
+    diagnostics().warn("drm.step",
+                       "workload activity is NaN; assuming full activity "
+                       "(guard-band-safe)");
+    *degraded = true;
+    return 1.0;
+  }
+  if (workload_activity < 0.0) {
+    std::ostringstream msg;
+    msg << "negative workload activity " << workload_activity
+        << "; clamped to 0";
+    diagnostics().warn("drm.step", msg.str());
+    *degraded = true;
+    return 0.0;
+  }
+  if (workload_activity > options_.max_activity) {
+    std::ostringstream msg;
+    msg << "workload activity " << workload_activity
+        << " exceeds the plausible maximum " << options_.max_activity
+        << "; clamped";
+    diagnostics().warn("drm.step", msg.str());
+    *degraded = true;
+    return options_.max_activity;
+  }
+  return workload_activity;
+}
+
+ReliabilityManager::Conditions ReliabilityManager::guardband_conditions(
+    const OperatingPoint& op) const {
+  const double t_hot =
+      std::max(options_.fallback_temp_c, problem_->worst_temp_c());
+  Conditions c;
+  c.max_temp_c = t_hot;
+  const std::size_t n = problem_->blocks().size();
+  c.alphas.reserve(n);
+  c.bs.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    c.alphas.push_back(model_->alpha(t_hot, op.vdd));
+    c.bs.push_back(model_->b(t_hot, op.vdd));
   }
   return c;
 }
@@ -110,17 +164,30 @@ double ReliabilityManager::advanced_damage(std::size_t j, double d_j,
 DrmStep ReliabilityManager::step_fixed(std::size_t op_index,
                                        double workload_activity) {
   require(op_index < ladder_.size(), "ReliabilityManager: rung out of range");
-  const Conditions c = conditions_for(ladder_[op_index], workload_activity);
+  DrmStep out;
+  const double activity = sanitize_activity(workload_activity, &out.degraded);
+
+  Conditions c;
+  try {
+    c = conditions_for(ladder_[op_index], activity);
+  } catch (const Error& e) {
+    if (e.code() == ErrorCode::kDegraded) throw;
+    out.degraded = true;
+    diagnostics().warn(
+        "drm.step", std::string("thermal evaluation of fixed rung '") +
+                        ladder_[op_index].name + "' failed (" + e.what() +
+                        "); accruing damage at guard-band conditions");
+    c = guardband_conditions(ladder_[op_index]);
+  }
+
   const double dt = options_.control_interval_s;
   for (std::size_t j = 0; j < block_damage_.size(); ++j)
     block_damage_[j] = advanced_damage(j, block_damage_[j], c.alphas[j],
                                        c.bs[j], dt);
   elapsed_s_ += dt;
 
-  DrmStep out;
   out.op_index = op_index;
-  out.performance =
-      ladder_[op_index].frequency * std::min(1.0, workload_activity);
+  out.performance = ladder_[op_index].frequency * std::min(1.0, activity);
   out.damage = damage();
   out.budget_line = budget_line(elapsed_s_);
   out.max_temp_c = c.max_temp_c;
@@ -128,15 +195,34 @@ DrmStep ReliabilityManager::step_fixed(std::size_t op_index,
 }
 
 DrmStep ReliabilityManager::step(double workload_activity) {
+  DrmStep out;
+  const double activity = sanitize_activity(workload_activity, &out.degraded);
   const double dt = options_.control_interval_s;
   const double allowance = budget_line(elapsed_s_ + dt);
 
   // Try rungs fastest-first; commit the first one whose projected total
-  // damage stays on the trajectory.
+  // damage stays on the trajectory. A rung whose thermal evaluation fails
+  // is skipped (slower rungs are cooler, hence more likely to evaluate);
+  // if even the slowest rung cannot be evaluated, damage accrues at
+  // guard-band hot-corner conditions — pessimistic, but the control loop
+  // keeps running.
   std::size_t chosen = 0;  // fallback: slowest rung
-  std::vector<double> best_damage;
+  std::vector<double> committed(block_damage_.size());
+  Conditions conditions;
+  bool have_conditions = false;
   for (std::size_t r = ladder_.size(); r-- > 0;) {
-    const Conditions c = conditions_for(ladder_[r], workload_activity);
+    Conditions c;
+    try {
+      c = conditions_for(ladder_[r], activity);
+    } catch (const Error& e) {
+      if (e.code() == ErrorCode::kDegraded) throw;
+      out.degraded = true;
+      diagnostics().warn("drm.step",
+                         std::string("rung '") + ladder_[r].name +
+                             "' evaluation failed (" + e.what() +
+                             "); skipping");
+      continue;
+    }
     std::vector<double> projected(block_damage_.size());
     double total = 0.0;
     for (std::size_t j = 0; j < block_damage_.size(); ++j) {
@@ -146,22 +232,35 @@ DrmStep ReliabilityManager::step(double workload_activity) {
     }
     if (total <= allowance || r == 0) {
       chosen = r;
-      best_damage = std::move(projected);
+      committed = std::move(projected);
+      conditions = std::move(c);
+      have_conditions = true;
       break;
     }
   }
 
-  const Conditions c = conditions_for(ladder_[chosen], workload_activity);
-  block_damage_ = std::move(best_damage);
+  if (!have_conditions) {
+    // Every evaluable rung was over budget or failed; commit the slowest
+    // rung at guard-band conditions (the guard-band-safe choice).
+    chosen = 0;
+    conditions = guardband_conditions(ladder_[0]);
+    diagnostics().warn("drm.step",
+                       "no rung could be evaluated; falling back to the "
+                       "slowest rung at guard-band conditions");
+    for (std::size_t j = 0; j < block_damage_.size(); ++j)
+      committed[j] = advanced_damage(j, block_damage_[j],
+                                     conditions.alphas[j],
+                                     conditions.bs[j], dt);
+  }
+
+  block_damage_ = std::move(committed);
   elapsed_s_ += dt;
 
-  DrmStep out;
   out.op_index = chosen;
-  out.performance =
-      ladder_[chosen].frequency * std::min(1.0, workload_activity);
+  out.performance = ladder_[chosen].frequency * std::min(1.0, activity);
   out.damage = damage();
   out.budget_line = budget_line(elapsed_s_);
-  out.max_temp_c = c.max_temp_c;
+  out.max_temp_c = conditions.max_temp_c;
   return out;
 }
 

@@ -46,6 +46,14 @@ struct DrmOptions {
   /// Control interval: wall-clock time represented by one step() call.
   double control_interval_s = 30.0 * 86400.0;  ///< one month
   thermal::ThermalParams thermal{};
+  /// Workload activity above this is treated as sensor noise and clamped
+  /// (with a diagnostic) rather than rejected — the control loop must keep
+  /// running on bad telemetry.
+  double max_activity = 2.0;
+  /// Hot-corner temperature [C] assumed when the per-rung thermal solve
+  /// fails and the manager falls back to guard-band conditions. The max of
+  /// this and the problem's worst block temperature is used.
+  double fallback_temp_c = 110.0;
 };
 
 /// Outcome of one control step.
@@ -55,6 +63,9 @@ struct DrmStep {
   double damage = 0.0;            ///< total consumed failure probability
   double budget_line = 0.0;       ///< allowed damage at this point in life
   double max_temp_c = 0.0;        ///< hottest block under the chosen point
+  /// True when this step degraded: the workload sample was clamped or a
+  /// thermal solve failed and guard-band fallback conditions were used.
+  bool degraded = false;
 };
 
 /// Budget-based dynamic reliability manager.
@@ -73,6 +84,14 @@ class ReliabilityManager {
   /// [0, 1+]): evaluates every rung, picks the fastest one whose projected
   /// damage stays under the budget trajectory (falling back to the slowest
   /// rung when none does), and commits its damage.
+  ///
+  /// Robustness contract: step() does not propagate numerical failures out
+  /// of the control loop. NaN/negative/implausible activity samples are
+  /// clamped (diagnostic + DrmStep::degraded), and rungs whose thermal
+  /// evaluation fails are skipped — down to guard-band hot-corner
+  /// conditions on the slowest rung if necessary. In strict mode
+  /// (obd::set_strict_mode) every such repair throws Error(kDegraded)
+  /// instead.
   DrmStep step(double workload_activity);
 
   /// Like step() but with a fixed rung (static policies / baselines).
@@ -100,6 +119,18 @@ class ReliabilityManager {
   };
   [[nodiscard]] Conditions conditions_for(const OperatingPoint& op,
                                           double workload_activity) const;
+
+  /// Clamps NaN/negative/implausible workload samples into [0, max_activity]
+  /// (NaN maps to full activity — the guard-band-safe reading), recording a
+  /// diagnostic and setting *degraded when a repair was needed.
+  [[nodiscard]] double sanitize_activity(double workload_activity,
+                                         bool* degraded) const;
+
+  /// Guard-band fallback conditions for `op`: every block at the hot-corner
+  /// temperature. Used when the per-rung thermal solve fails — damage keeps
+  /// accruing at the pessimistic rate instead of the loop dying.
+  [[nodiscard]] Conditions guardband_conditions(const OperatingPoint& op)
+      const;
 
   /// Damage added to block j by spending `dt` under (alpha, b), given its
   /// already-consumed damage d_j (effective-age recursion on the LUT).

@@ -1,6 +1,11 @@
 #include "linalg/cholesky.hpp"
 
 #include <cmath>
+#include <sstream>
+
+#include "common/diagnostics.hpp"
+#include "common/fault_injection.hpp"
+#include "linalg/eigen.hpp"
 
 namespace obd::la {
 
@@ -11,7 +16,8 @@ Matrix cholesky_lower(const Matrix& a, double jitter) {
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j) + jitter;
     for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    require(diag > 0.0, "cholesky_lower: matrix is not positive definite");
+    require(diag > 0.0 && std::isfinite(diag), ErrorCode::kNonconvergence,
+            "cholesky_lower: matrix is not positive definite");
     l(j, j) = std::sqrt(diag);
     for (std::size_t i = j + 1; i < n; ++i) {
       double s = a(i, j);
@@ -39,6 +45,72 @@ Vector cholesky_solve(const Matrix& lower, const Vector& b) {
     x[i] = s / lower(i, i);
   }
   return x;
+}
+
+Matrix cholesky_lower_robust(const Matrix& a, const std::string& context,
+                             double jitter) {
+  require(a.rows() == a.cols(),
+          "cholesky_lower_robust: matrix must be square");
+  const std::size_t n = a.rows();
+  const bool injected = fault::should_fire(fault::site::kCholesky);
+  if (!injected) {
+    try {
+      return cholesky_lower(a, jitter);
+    } catch (const Error& e) {
+      if (e.code() != ErrorCode::kNonconvergence) throw;
+    }
+  }
+
+  // Ridge scale anchored to the mean diagonal magnitude so the retry is
+  // meaningful regardless of the matrix's units.
+  double base = 0.0;
+  for (std::size_t i = 0; i < n; ++i) base += std::fabs(a(i, i));
+  base = (n > 0) ? base / static_cast<double>(n) : 1.0;
+  if (base <= 0.0 || !std::isfinite(base)) base = 1.0;
+
+  for (const double scale : {1e-10, 1e-7, 1e-4, 1e-1}) {
+    const double ridge = base * scale;
+    try {
+      Matrix l = cholesky_lower(a, jitter + ridge);
+      std::ostringstream msg;
+      msg << context << ": matrix is numerically non-positive-definite; "
+          << "recovered with diagonal ridge " << ridge;
+      diagnostics().warn(fault::site::kCholesky, msg.str());
+      return l;
+    } catch (const Error& e) {
+      if (e.code() != ErrorCode::kNonconvergence) throw;
+    }
+  }
+
+  // Last resort: clamp negative eigenvalues to zero and refactor the
+  // reconstructed (now PSD) matrix with a tiny stabilizing ridge.
+  try {
+    const EigenDecomposition eig = eigen_symmetric(a);
+    Matrix psd(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < n; ++k)
+          s += eig.vectors(i, k) * std::max(0.0, eig.values[k]) *
+               eig.vectors(j, k);
+        psd(i, j) = s;
+        psd(j, i) = s;
+      }
+    }
+    Matrix l = cholesky_lower(psd, base * 1e-9);
+    diagnostics().warn(fault::site::kCholesky,
+                       context +
+                           ": ridge retries failed; fell back to the "
+                           "eigenvalue-clamped factorization");
+    return l;
+  } catch (const Error& e) {
+    if (e.code() == ErrorCode::kDegraded) throw;
+    throw Error(context +
+                    ": SPD factorization failed after ridge retries and "
+                    "eigen fallback: " +
+                    e.what(),
+                ErrorCode::kNonconvergence);
+  }
 }
 
 }  // namespace obd::la

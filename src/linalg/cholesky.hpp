@@ -20,4 +20,17 @@ Matrix cholesky_lower(const Matrix& a, double jitter = 0.0);
 /// substitution).
 Vector cholesky_solve(const Matrix& lower, const Vector& b);
 
+/// Fault-tolerant SPD factorization with bounded retry.
+///
+/// Tries cholesky_lower first; when the matrix is numerically
+/// non-positive-definite (near-singular correlation matrices, roundoff in
+/// assembled conductance systems), retries with an escalating diagonal
+/// ridge proportional to the mean diagonal, and finally falls back to an
+/// eigendecomposition with negative eigenvalues clamped to zero. Each
+/// recovery is reported to obd::diagnostics() under "linalg.cholesky";
+/// `context` names the caller in the diagnostic. Throws
+/// Error(kNonconvergence) only when every strategy fails.
+Matrix cholesky_lower_robust(const Matrix& a, const std::string& context,
+                             double jitter = 0.0);
+
 }  // namespace obd::la

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/fault_injection.hpp"
+
 namespace obd::la {
 namespace {
 
@@ -97,7 +99,7 @@ void ql_implicit(Vector& d, Vector& e, Matrix& z) {
           break;
       }
       if (m == l) break;
-      require(++iterations <= 50,
+      require(++iterations <= 50, ErrorCode::kNonconvergence,
               "eigen_symmetric: QL iteration failed to converge");
 
       double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
@@ -142,6 +144,9 @@ void ql_implicit(Vector& d, Vector& e, Matrix& z) {
 EigenDecomposition eigen_symmetric(const Matrix& a) {
   require(a.rows() == a.cols(), "eigen_symmetric: matrix must be square");
   require(!a.empty(), "eigen_symmetric: matrix must be non-empty");
+  if (fault::should_fire(fault::site::kEigen))
+    throw Error("eigen_symmetric: injected QL nonconvergence fault",
+                ErrorCode::kNonconvergence);
   // Allow tiny floating-point asymmetry from covariance construction.
   const double scale =
       std::max(1.0, std::sqrt(a.frobenius_squared() /

@@ -2,8 +2,10 @@
 
 #include <array>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace obd::num {
 namespace {
@@ -148,7 +150,13 @@ double adaptive_simpson(const Fn1& f, double a, double b, double tolerance) {
   const double fb = f(b);
   const double fm = f(0.5 * (a + b));
   const double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
-  return simpson_recurse(f, a, b, fa, fm, fb, whole, tolerance, 40);
+  double result = simpson_recurse(f, a, b, fa, fm, fb, whole, tolerance, 40);
+  if (fault::should_fire(fault::site::kQuadrature))
+    result = std::numeric_limits<double>::quiet_NaN();
+  require(std::isfinite(result), ErrorCode::kNonconvergence,
+          "adaptive_simpson: integral is non-finite (integrand produced "
+          "NaN/Inf or the recursion diverged)");
+  return result;
 }
 
 double simpson_1d(const Fn1& f, double a, double b, std::size_t cells) {

@@ -1,9 +1,11 @@
 #include "power/trace_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace obd::power {
 namespace {
@@ -23,10 +25,16 @@ double parse_double(const std::string& s, const std::string& context) {
   try {
     std::size_t pos = 0;
     const double v = std::stod(s, &pos);
-    require(pos == s.size(), context + ": trailing characters in '" + s + "'");
+    require(pos == s.size(), ErrorCode::kInvalidInput,
+            context + ": trailing characters in '" + s + "'");
+    require(std::isfinite(v), ErrorCode::kInvalidInput,
+            context + ": non-finite number '" + s + "'");
     return v;
+  } catch (const Error&) {
+    throw;
   } catch (const std::exception&) {
-    throw Error(context + ": cannot parse number '" + s + "'");
+    throw Error(context + ": cannot parse number '" + s + "'",
+                ErrorCode::kInvalidInput);
   }
 }
 
@@ -35,6 +43,9 @@ double parse_double(const std::string& s, const std::string& context) {
 std::vector<PowerMap> load_power_trace(std::istream& in,
                                               const chip::Design& design) {
   design.validate();
+  if (fault::should_fire(fault::site::kPtraceParse))
+    throw Error("load_power_trace: injected parse fault",
+                ErrorCode::kInvalidInput);
   std::string line;
   std::vector<std::string> header;
   std::size_t line_no = 0;
@@ -43,8 +54,9 @@ std::vector<PowerMap> load_power_trace(std::istream& in,
     header = tokenize(line);
     if (!header.empty()) break;
   }
-  require(!header.empty(), "load_power_trace: missing header line");
-  require(header.size() == design.blocks.size(),
+  require(!header.empty(), ErrorCode::kInvalidInput,
+          "load_power_trace: missing header line");
+  require(header.size() == design.blocks.size(), ErrorCode::kInvalidInput,
           "load_power_trace: header has " + std::to_string(header.size()) +
               " names, design has " +
               std::to_string(design.blocks.size()) + " blocks");
@@ -60,7 +72,8 @@ std::vector<PowerMap> load_power_trace(std::istream& in,
         break;
       }
     }
-    require(found, "load_power_trace: unknown block '" + header[c] + "'");
+    require(found, ErrorCode::kInvalidInput,
+            "load_power_trace: unknown block '" + header[c] + "'");
   }
 
   std::vector<PowerMap> maps;
@@ -68,7 +81,7 @@ std::vector<PowerMap> load_power_trace(std::istream& in,
     ++line_no;
     const auto tokens = tokenize(line);
     if (tokens.empty()) continue;
-    require(tokens.size() == header.size(),
+    require(tokens.size() == header.size(), ErrorCode::kInvalidInput,
             "load_power_trace: line " + std::to_string(line_no) +
                 ": expected " + std::to_string(header.size()) + " values");
     PowerMap map;
@@ -76,20 +89,23 @@ std::vector<PowerMap> load_power_trace(std::istream& in,
     for (std::size_t c = 0; c < tokens.size(); ++c) {
       const double w = parse_double(
           tokens[c], "load_power_trace: line " + std::to_string(line_no));
-      require(w >= 0.0, "load_power_trace: negative power at line " +
-                            std::to_string(line_no));
+      require(w >= 0.0, ErrorCode::kInvalidInput,
+              "load_power_trace: negative power at line " +
+                  std::to_string(line_no));
       map.block_watts[order[c]] = w;
     }
     maps.push_back(std::move(map));
   }
-  require(!maps.empty(), "load_power_trace: no samples found");
+  require(!maps.empty(), ErrorCode::kInvalidInput,
+          "load_power_trace: no samples found");
   return maps;
 }
 
 std::vector<PowerMap> load_power_trace_file(const std::string& path,
                                                    const chip::Design& design) {
   std::ifstream in(path);
-  require(in.good(), "load_power_trace_file: cannot open '" + path + "'");
+  require(in.good(), ErrorCode::kIo,
+          "load_power_trace_file: cannot open '" + path + "'");
   return load_power_trace(in, design);
 }
 

@@ -62,7 +62,8 @@ ThermalProfile solve_thermal_blocks(const chip::Design& design,
     a(i, i) += (1.0 / params.package_resistance) * ri.area() / die_area;
   }
 
-  const la::Matrix l = cholesky_lower(a, 1e-12);
+  const la::Matrix l =
+      cholesky_lower_robust(a, "solve_thermal_blocks", 1e-12);
   const la::Vector rise = cholesky_solve(l, power.block_watts);
 
   ThermalProfile profile;

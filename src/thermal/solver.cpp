@@ -2,10 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <sstream>
 
+#include "common/diagnostics.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace obd::thermal {
+namespace {
+
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace
 
 double ThermalProfile::min_c() const {
   return *std::min_element(cell_temps_c.begin(), cell_temps_c.end());
@@ -36,6 +49,8 @@ ThermalProfile solve_thermal(const chip::Design& design,
           "solve_thermal: SOR omega must be in (0, 2)");
   require(params.package_resistance > 0.0,
           "solve_thermal: package resistance must be positive");
+  require(all_finite(power.block_watts),
+          "solve_thermal: power map contains non-finite values");
 
   const std::size_t n = params.resolution;
   const double cw = design.width / static_cast<double>(n);
@@ -110,7 +125,10 @@ ThermalProfile solve_thermal(const chip::Design& design,
     }
     if (residual < params.tolerance) break;
   }
-  require(residual < params.tolerance,
+  if (fault::should_fire(fault::site::kThermalSor))
+    residual = std::numeric_limits<double>::infinity();
+  require(std::isfinite(residual) && residual < params.tolerance,
+          ErrorCode::kNonconvergence,
           "solve_thermal: SOR failed to converge");
 
   ThermalProfile profile;
@@ -148,11 +166,73 @@ ThermalProfile power_thermal_fixed_point(const chip::Design& design,
                                          const ThermalParams& tparams,
                                          std::size_t iterations) {
   require(iterations >= 1, "power_thermal_fixed_point: need >= 1 iteration");
+  constexpr int kMaxRetries = 3;
   std::vector<double> temps;  // empty -> leakage at 25 C on the first pass
   ThermalProfile profile;
+  bool have_profile = false;
+  double prev_delta = std::numeric_limits<double>::infinity();
+  ThermalParams tp = tparams;
   for (std::size_t i = 0; i < iterations; ++i) {
     const power::PowerMap power = estimate_power(design, pparams, temps);
-    profile = solve_thermal(design, power, tparams);
+    bool solved = false;
+    for (int attempt = 0; attempt <= kMaxRetries && !solved; ++attempt) {
+      try {
+        ThermalProfile next = solve_thermal(design, power, tp);
+        if (fault::should_fire(fault::site::kThermalFixedPoint))
+          next.block_temps_c.front() =
+              std::numeric_limits<double>::quiet_NaN();
+        require(all_finite(next.block_temps_c) &&
+                    all_finite(next.cell_temps_c),
+                ErrorCode::kNonconvergence,
+                "power_thermal_fixed_point: non-finite temperature");
+        profile = std::move(next);
+        solved = true;
+      } catch (const Error& e) {
+        if (e.code() != ErrorCode::kNonconvergence) throw;
+        if (attempt == kMaxRetries) break;
+        // Damp the iteration: pull omega toward plain Gauss-Seidel (always
+        // convergent for this SPD system) and give it more budget.
+        tp.sor_omega = 1.0 + 0.5 * (tp.sor_omega - 1.0);
+        tp.max_iterations *= 2;
+        std::ostringstream msg;
+        msg << "iteration " << i << " failed (" << e.what()
+            << "); retrying with SOR omega " << tp.sor_omega;
+        diagnostics().warn(fault::site::kThermalFixedPoint, msg.str());
+      }
+    }
+    if (!solved) {
+      if (!have_profile)
+        throw Error(
+            "power_thermal_fixed_point: thermal solve failed on the first "
+            "iteration and damped retries did not recover",
+            ErrorCode::kNonconvergence);
+      diagnostics().warn(fault::site::kThermalFixedPoint,
+                         "thermal solve failed after damped retries; "
+                         "returning the last converged profile");
+      profile.converged = false;
+      return profile;
+    }
+    have_profile = true;
+    // Detect a diverging power<->thermal loop (leakage runaway): if the
+    // fixed-point residual grows, damp the temperature feedback by
+    // averaging with the previous iterate.
+    if (!temps.empty()) {
+      double delta = 0.0;
+      for (std::size_t j = 0; j < temps.size(); ++j)
+        delta = std::max(delta,
+                         std::fabs(profile.block_temps_c[j] - temps[j]));
+      if (delta > prev_delta) {
+        for (std::size_t j = 0; j < temps.size(); ++j)
+          profile.block_temps_c[j] =
+              0.5 * (profile.block_temps_c[j] + temps[j]);
+        std::ostringstream msg;
+        msg << "fixed-point residual grew to " << delta
+            << " K; damping the temperature feedback";
+        diagnostics().warn(fault::site::kThermalFixedPoint, msg.str());
+        delta = prev_delta;  // damped iterate is no worse than before
+      }
+      prev_delta = delta;
+    }
     temps = profile.block_temps_c;
   }
   return profile;

@@ -43,6 +43,11 @@ struct ThermalProfile {
   std::vector<double> cell_temps_c;
   /// Area-averaged temperature per design block [C].
   std::vector<double> block_temps_c;
+  /// False when the producing solve degraded (e.g. the power<->thermal
+  /// fixed point gave up after damped retries and returned its last
+  /// converged iterate). Always true for profiles from solve_thermal,
+  /// which throws instead of degrading.
+  bool converged = true;
 
   [[nodiscard]] double min_c() const;
   [[nodiscard]] double max_c() const;
@@ -59,6 +64,13 @@ ThermalProfile solve_thermal(const chip::Design& design,
 /// Runs the power <-> thermal fixed point: power at current temperatures ->
 /// thermal solve -> updated leakage -> ... for `iterations` rounds
 /// (2-3 suffice; leakage feedback is mild). Returns the final profile.
+///
+/// Fault tolerance: non-finite temperatures or a growing fixed-point
+/// residual trigger bounded damped retries (relaxed SOR omega, averaged
+/// temperature feedback), each reported to obd::diagnostics(). If damping
+/// cannot rescue an iteration, the last converged profile is returned with
+/// `converged = false` (or, when no iteration ever converged, an
+/// Error(kNonconvergence) is thrown).
 ThermalProfile power_thermal_fixed_point(const chip::Design& design,
                                          const power::PowerParams& pparams,
                                          const ThermalParams& tparams = {},

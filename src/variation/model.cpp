@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "common/diagnostics.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "linalg/eigen.hpp"
 
 namespace obd::var {
@@ -156,8 +159,30 @@ CanonicalForm make_canonical_form(const GridModel& grid,
                                   CorrelationKernel kernel) {
   require(variance_capture > 0.0 && variance_capture <= 1.0,
           "make_canonical_form: variance_capture must be in (0, 1]");
-  const la::Matrix cov = build_covariance(grid, budget, rho_dist, kernel);
-  const auto eig = la::eigen_symmetric(cov);
+  la::Matrix cov = build_covariance(grid, budget, rho_dist, kernel);
+
+  // Near-singular correlation matrices can stall the QL iteration. Retry
+  // with an escalating diagonal ridge (which shifts the spectrum away from
+  // the degenerate cluster) before giving up; each retry only perturbs the
+  // per-cell variance by a relative ~1e-10..1e-4, far below the model's
+  // own accuracy.
+  const double mean_var = cov.trace() / static_cast<double>(cov.rows());
+  la::EigenDecomposition eig;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      eig = la::eigen_symmetric(cov);
+      break;
+    } catch (const Error& e) {
+      if (e.code() != ErrorCode::kNonconvergence || attempt >= 3) throw;
+      const double ridge = mean_var * std::pow(1e3, attempt) * 1e-10;
+      for (std::size_t i = 0; i < cov.rows(); ++i) cov(i, i) += ridge;
+      std::ostringstream msg;
+      msg << "make_canonical_form: eigensolve did not converge; retrying "
+             "with diagonal ridge "
+          << ridge;
+      diagnostics().warn(fault::site::kEigen, msg.str());
+    }
+  }
 
   // Select the leading principal components capturing the requested share
   // of total variance. Eigenvalues are sorted descending; tiny negative

@@ -1,0 +1,171 @@
+// DRM stress test: a long control-loop run on hostile telemetry. The
+// manager sees NaN activity spikes, implausible activity (> max_activity),
+// negative samples, and periodically injected thermal-solve faults — and
+// must never throw, never corrupt its damage accounting, and keep honoring
+// the budget trajectory whenever it runs above the slowest rung.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "chip/design.hpp"
+#include "common/diagnostics.hpp"
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "core/device_model.hpp"
+#include "core/problem.hpp"
+#include "drm/manager.hpp"
+
+namespace obd::drm {
+namespace {
+
+constexpr int kSteps = 400;
+
+class DrmStressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(chip::make_synthetic_design(
+        "stress", {.devices = 20000, .block_count = 5, .die_width = 5.0,
+                   .die_height = 5.0, .seed = 17}));
+    model_ = new core::AnalyticReliabilityModel();
+    core::ProblemOptions opts;
+    opts.grid_cells_per_side = 10;
+    problem_ = new core::ReliabilityProblem(core::ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_,
+        std::vector<double>(5, 80.0), 1.2, opts));
+    ladder_ = new std::vector<OperatingPoint>{
+        {"eco", 1.00, 1.2e9}, {"mid", 1.10, 1.7e9}, {"turbo", 1.25, 2.3e9}};
+  }
+  static void TearDownTestSuite() {
+    delete ladder_;
+    delete problem_;
+    delete model_;
+    delete design_;
+    ladder_ = nullptr;
+    problem_ = nullptr;
+    model_ = nullptr;
+    design_ = nullptr;
+  }
+  void SetUp() override {
+    fault::disarm();
+    diagnostics().clear();
+    set_strict_mode(false);
+  }
+  void TearDown() override {
+    fault::disarm();
+    diagnostics().clear();
+    set_strict_mode(false);
+  }
+
+  // Hostile workload schedule: mostly sane, with periodic NaN spikes,
+  // implausible overshoots, and negative sensor glitches.
+  static double workload(int i) {
+    if (i % 13 == 5) return std::numeric_limits<double>::quiet_NaN();
+    if (i % 7 == 3) return 2.7;  // beyond DrmOptions::max_activity
+    if (i % 29 == 11) return -1.0;
+    return (i % 10 < 7) ? 0.4 : 1.0;
+  }
+
+  static chip::Design* design_;
+  static core::AnalyticReliabilityModel* model_;
+  static core::ReliabilityProblem* problem_;
+  static std::vector<OperatingPoint>* ladder_;
+};
+
+chip::Design* DrmStressTest::design_ = nullptr;
+core::AnalyticReliabilityModel* DrmStressTest::model_ = nullptr;
+core::ReliabilityProblem* DrmStressTest::problem_ = nullptr;
+std::vector<OperatingPoint>* DrmStressTest::ladder_ = nullptr;
+
+TEST_F(DrmStressTest, SurvivesHostileTelemetryAndInjectedFaults) {
+  DrmOptions opts;
+  opts.lifetime_target_s = 10.0 * 365.25 * 86400.0;
+  // 400 weekly intervals ~ 7.7 years: most of the lifetime, still inside
+  // the target so the budget line keeps a positive slope throughout.
+  opts.control_interval_s = 7.0 * 86400.0;
+  opts.failure_budget = 1e-5;
+  ReliabilityManager mgr(*problem_, *model_, *ladder_, opts);
+
+  double prev_damage = 0.0;
+  int degraded_steps = 0;
+  for (int i = 0; i < kSteps; ++i) {
+    // Periodically knock out the thermal solve for the next few rung
+    // evaluations: the manager must skip the failing rungs (down to
+    // guard-band fallback) instead of propagating the error.
+    if (i % 50 == 10) fault::arm("drm.thermal:3");
+
+    DrmStep s;
+    ASSERT_NO_THROW(s = mgr.step(workload(i))) << "step " << i;
+
+    // Damage accounting stays sane under every repair path.
+    ASSERT_TRUE(std::isfinite(s.damage)) << "step " << i;
+    EXPECT_GE(s.damage, prev_damage) << "step " << i;
+    prev_damage = s.damage;
+
+    // Policy invariant: any rung above the slowest was chosen because its
+    // projected damage fit the trajectory; committing it must keep the
+    // manager on (or under) the budget line.
+    if (s.op_index > 0) {
+      EXPECT_LE(s.damage, s.budget_line * (1.0 + 1e-9)) << "step " << i;
+    }
+
+    EXPECT_LT(s.op_index, ladder_->size()) << "step " << i;
+    EXPECT_TRUE(std::isfinite(s.max_temp_c)) << "step " << i;
+    if (s.degraded) ++degraded_steps;
+  }
+
+  // The schedule contains ~30 NaN spikes, ~57 overshoots, ~13 negative
+  // glitches and 8 injected fault bursts — a large share of steps must
+  // have been flagged degraded, and every repair left a diagnostic.
+  EXPECT_GT(degraded_steps, 80);
+  EXPECT_LT(degraded_steps, kSteps);  // sane steps stay clean
+  EXPECT_GE(diagnostics().count("drm.step"), static_cast<std::size_t>(80));
+
+  // End-of-run: damage accrued but the chip is still within its budget
+  // envelope scaled to the elapsed fraction of life (guard-band fallbacks
+  // are pessimistic, so allow modest overshoot of the *line*, never of the
+  // end-of-life budget).
+  EXPECT_GT(mgr.damage(), 0.0);
+  EXPECT_LE(mgr.damage(), opts.failure_budget);
+  EXPECT_NEAR(mgr.elapsed_s(), kSteps * opts.control_interval_s, 1.0);
+}
+
+TEST_F(DrmStressTest, PermanentThermalFaultFallsBackToGuardBand) {
+  DrmOptions opts;
+  opts.control_interval_s = 7.0 * 86400.0;
+  ReliabilityManager mgr(*problem_, *model_, *ladder_, opts);
+  fault::arm("drm.thermal:*");  // every thermal evaluation fails
+  double prev = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    DrmStep s;
+    ASSERT_NO_THROW(s = mgr.step(0.8)) << "step " << i;
+    // No rung is evaluable: the manager must run the slowest rung at
+    // guard-band hot-corner conditions and keep accruing damage.
+    EXPECT_EQ(s.op_index, 0u);
+    EXPECT_TRUE(s.degraded);
+    EXPECT_GE(s.max_temp_c, opts.fallback_temp_c);
+    EXPECT_TRUE(std::isfinite(s.damage));
+    EXPECT_GT(s.damage, prev);
+    prev = s.damage;
+  }
+  fault::disarm();
+  // Fault cleared: the manager recovers real thermal evaluations.
+  const DrmStep s = mgr.step(0.8);
+  EXPECT_LT(s.max_temp_c, opts.fallback_temp_c);
+}
+
+TEST_F(DrmStressTest, StrictModeSurfacesTheFirstRepair) {
+  ReliabilityManager mgr(*problem_, *model_, *ladder_);
+  set_strict_mode(true);
+  try {
+    mgr.step(std::numeric_limits<double>::quiet_NaN());
+    ADD_FAILURE() << "strict mode must escalate the NaN repair";
+  } catch (const obd::Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDegraded);
+  }
+  set_strict_mode(false);
+}
+
+}  // namespace
+}  // namespace obd::drm

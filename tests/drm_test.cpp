@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "chip/design.hpp"
+#include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "core/duty_cycle.hpp"
 #include "drm/manager.hpp"
@@ -179,7 +180,21 @@ TEST_F(DrmFixture, RejectsBadConfiguration) {
   EXPECT_THROW(ReliabilityManager(*problem_, *model_, unsorted), obd::Error);
   ReliabilityManager mgr(*problem_, *model_, *ladder_);
   EXPECT_THROW(mgr.step_fixed(99, 0.5), obd::Error);
-  EXPECT_THROW(mgr.step(-0.5), obd::Error);
+  // Bad workload samples degrade (clamp + diagnostic) instead of killing
+  // the control loop; strict mode escalates them back into typed errors.
+  diagnostics().clear();
+  const DrmStep degraded = mgr.step(-0.5);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_GE(diagnostics().count("drm.step"), 1u);
+  set_strict_mode(true);
+  try {
+    mgr.step(-0.5);
+    ADD_FAILURE() << "strict mode should escalate the clamped sample";
+  } catch (const obd::Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDegraded);
+  }
+  set_strict_mode(false);
+  diagnostics().clear();
 }
 
 }  // namespace

@@ -1,0 +1,444 @@
+// Robustness tests: malformed inputs must raise typed obd::Error (never
+// crash or hang), and every registered fault-injection site must either
+// recover gracefully (with a diagnostic) or fail with the documented
+// error code.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "chip/design.hpp"
+#include "chip/floorplan_io.hpp"
+#include "common/config.hpp"
+#include "common/diagnostics.hpp"
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "core/device_model.hpp"
+#include "core/hybrid.hpp"
+#include "core/problem.hpp"
+#include "drm/manager.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen.hpp"
+#include "numeric/quadrature.hpp"
+#include "power/power.hpp"
+#include "power/trace_io.hpp"
+#include "thermal/solver.hpp"
+#include "variation/model.hpp"
+
+namespace obd {
+namespace {
+
+// Every test starts and ends with a pristine fault/diagnostic state.
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::disarm();
+    diagnostics().clear();
+    set_strict_mode(false);
+  }
+  void TearDown() override {
+    fault::disarm();
+    diagnostics().clear();
+    set_strict_mode(false);
+  }
+};
+
+template <typename Fn>
+ErrorCode thrown_code(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.code();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "expected obd::Error, got: " << e.what();
+    return ErrorCode::kInternal;
+  }
+  ADD_FAILURE() << "expected obd::Error, nothing was thrown";
+  return ErrorCode::kInternal;
+}
+
+chip::Design small_design() {
+  return chip::make_synthetic_design(
+      "robust", {.devices = 20000, .block_count = 4, .die_width = 4.0,
+                 .die_height = 4.0, .seed = 5});
+}
+
+// ---------------------------------------------------------------------------
+// Malformed config
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, ConfigRejectsGarbageLines) {
+  std::istringstream in("grid 12\nthis-line-has-no-value\n");
+  EXPECT_EQ(thrown_code([&] { Config::parse(in); }), ErrorCode::kConfig);
+}
+
+TEST_F(RobustnessTest, ConfigRejectsNonNumericValues) {
+  std::istringstream in("t_seconds 12abc\n");
+  Config cfg = Config::parse(in);
+  EXPECT_EQ(thrown_code([&] { (void)cfg.get_double("t_seconds"); }),
+            ErrorCode::kConfig);
+}
+
+TEST_F(RobustnessTest, ConfigMissingFileIsIoError) {
+  EXPECT_EQ(
+      thrown_code([&] { Config::parse_file("/nonexistent/obdrel.cfg"); }),
+      ErrorCode::kIo);
+}
+
+TEST_F(RobustnessTest, ConfigCountsMustBePositive) {
+  std::istringstream in("grid 0\nmc_chips -100\nok 7\n");
+  Config cfg = Config::parse(in);
+  EXPECT_EQ(thrown_code([&] { (void)cfg.get_count("grid", 20); }),
+            ErrorCode::kInvalidInput);
+  EXPECT_EQ(thrown_code([&] { (void)cfg.get_count("mc_chips", 20); }),
+            ErrorCode::kInvalidInput);
+  EXPECT_EQ(cfg.get_count("ok", 20), 7u);
+  EXPECT_EQ(cfg.get_count("absent", 20), 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed floorplan
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, FloorplanRejectsTruncatedLine) {
+  std::istringstream in("alu 0.001 0.002\n");
+  EXPECT_EQ(thrown_code([&] { chip::load_floorplan(in); }),
+            ErrorCode::kInvalidInput);
+}
+
+TEST_F(RobustnessTest, FloorplanRejectsNonFiniteDimensions) {
+  std::istringstream nan_in("alu nan 0.002 0.0 0.0\n");
+  EXPECT_EQ(thrown_code([&] { chip::load_floorplan(nan_in); }),
+            ErrorCode::kInvalidInput);
+  std::istringstream inf_in("alu 0.001 inf 0.0 0.0\n");
+  EXPECT_EQ(thrown_code([&] { chip::load_floorplan(inf_in); }),
+            ErrorCode::kInvalidInput);
+}
+
+TEST_F(RobustnessTest, FloorplanRejectsNegativeDimensions) {
+  std::istringstream in("alu -0.001 0.002 0.0 0.0\n");
+  EXPECT_EQ(thrown_code([&] { chip::load_floorplan(in); }),
+            ErrorCode::kInvalidInput);
+}
+
+TEST_F(RobustnessTest, FloorplanRejectsGarbageNumbers) {
+  std::istringstream in("alu abc 0.002 0.0 0.0\n");
+  EXPECT_EQ(thrown_code([&] { chip::load_floorplan(in); }),
+            ErrorCode::kInvalidInput);
+}
+
+TEST_F(RobustnessTest, FloorplanRejectsEmptyStream) {
+  std::istringstream in("# only comments\n\n");
+  EXPECT_EQ(thrown_code([&] { chip::load_floorplan(in); }),
+            ErrorCode::kInvalidInput);
+}
+
+TEST_F(RobustnessTest, FloorplanMissingFileIsIoError) {
+  EXPECT_EQ(
+      thrown_code([&] { chip::load_floorplan_file("/nonexistent/x.flp"); }),
+      ErrorCode::kIo);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed power trace
+// ---------------------------------------------------------------------------
+
+class PtraceTest : public RobustnessTest {
+ protected:
+  PtraceTest() : design_(small_design()) {
+    std::ostringstream h;
+    for (std::size_t j = 0; j < design_.blocks.size(); ++j)
+      h << design_.blocks[j].name
+        << (j + 1 < design_.blocks.size() ? ' ' : '\n');
+    header_ = h.str();
+  }
+  chip::Design design_;
+  std::string header_;  // valid header naming every design block
+};
+
+TEST_F(PtraceTest, RejectsUnknownBlockHeader) {
+  std::istringstream in("bogus_block_name\n1.0\n");
+  EXPECT_EQ(thrown_code([&] { power::load_power_trace(in, design_); }),
+            ErrorCode::kInvalidInput);
+}
+
+TEST_F(PtraceTest, RejectsShortSampleRow) {
+  std::istringstream in(header_ + "1.0 2.0\n");
+  EXPECT_EQ(thrown_code([&] { power::load_power_trace(in, design_); }),
+            ErrorCode::kInvalidInput);
+}
+
+TEST_F(PtraceTest, RejectsNonFinitePower) {
+  std::istringstream in(header_ + "1.0 nan 1.0 1.0\n");
+  EXPECT_EQ(thrown_code([&] { power::load_power_trace(in, design_); }),
+            ErrorCode::kInvalidInput);
+}
+
+TEST_F(PtraceTest, RejectsNegativePower) {
+  std::istringstream in(header_ + "1.0 -2.0 1.0 1.0\n");
+  EXPECT_EQ(thrown_code([&] { power::load_power_trace(in, design_); }),
+            ErrorCode::kInvalidInput);
+}
+
+TEST_F(PtraceTest, RejectsTraceWithoutSamples) {
+  std::istringstream in(header_);
+  EXPECT_EQ(thrown_code([&] { power::load_power_trace(in, design_); }),
+            ErrorCode::kInvalidInput);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed hybrid LUT
+// ---------------------------------------------------------------------------
+
+// Shared small problem: building one is the expensive part of these tests.
+class LutTest : public RobustnessTest {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(small_design());
+    model_ = new core::AnalyticReliabilityModel();
+    core::ProblemOptions opts;
+    opts.grid_cells_per_side = 8;
+    problem_ = new core::ReliabilityProblem(core::ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_,
+        std::vector<double>(design_->blocks.size(), 80.0), 1.2, opts));
+  }
+  static void TearDownTestSuite() {
+    delete problem_;
+    delete model_;
+    delete design_;
+    problem_ = nullptr;
+    model_ = nullptr;
+    design_ = nullptr;
+  }
+  static chip::Design* design_;
+  static core::AnalyticReliabilityModel* model_;
+  static core::ReliabilityProblem* problem_;
+};
+
+chip::Design* LutTest::design_ = nullptr;
+core::AnalyticReliabilityModel* LutTest::model_ = nullptr;
+core::ReliabilityProblem* LutTest::problem_ = nullptr;
+
+TEST_F(LutTest, RejectsGarbageHeader) {
+  std::istringstream in("not-a-lut-file at all\n");
+  EXPECT_EQ(
+      thrown_code([&] { core::HybridEvaluator::load(in, *problem_); }),
+      ErrorCode::kInvalidInput);
+}
+
+TEST_F(LutTest, RejectsTruncatedTable) {
+  core::HybridOptions hopts;
+  hopts.n_gamma = 8;
+  hopts.n_b = 4;
+  const core::HybridEvaluator ev(*problem_, hopts);
+  std::ostringstream out;
+  ev.save(out);
+  const std::string full = out.str();
+  std::istringstream in(full.substr(0, full.size() / 2));
+  EXPECT_EQ(
+      thrown_code([&] { core::HybridEvaluator::load(in, *problem_); }),
+      ErrorCode::kInvalidInput);
+}
+
+TEST_F(LutTest, RejectsAbsurdTableDimensionsQuickly) {
+  // A header advertising a gigantic table must be rejected before any
+  // allocation is attempted (no OOM, no hang).
+  core::HybridOptions hopts;
+  hopts.n_gamma = 8;
+  hopts.n_b = 4;
+  const core::HybridEvaluator ev(*problem_, hopts);
+  std::ostringstream out;
+  ev.save(out);
+  std::string text = out.str();
+  const std::string from = " 8 4 ";
+  const std::string to = " 999999999 999999999 ";
+  const std::size_t at = text.find(from);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, from.size(), to);
+  std::istringstream in(text);
+  EXPECT_EQ(
+      thrown_code([&] { core::HybridEvaluator::load(in, *problem_); }),
+      ErrorCode::kInvalidInput);
+}
+
+TEST_F(LutTest, RoundTripStillWorks) {
+  core::HybridOptions hopts;
+  hopts.n_gamma = 8;
+  hopts.n_b = 4;
+  const core::HybridEvaluator ev(*problem_, hopts);
+  std::ostringstream out;
+  ev.save(out);
+  std::istringstream in(out.str());
+  const core::HybridEvaluator back =
+      core::HybridEvaluator::load(in, *problem_);
+  const double t = 3.0e8;
+  EXPECT_NEAR(back.failure_probability(t), ev.failure_probability(t),
+              1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection registry semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, ArmRejectsUnknownSites) {
+  EXPECT_EQ(thrown_code([&] { fault::arm("no.such.site"); }),
+            ErrorCode::kConfig);
+  EXPECT_EQ(thrown_code([&] { fault::arm("thermal.sor:bogus"); }),
+            ErrorCode::kConfig);
+}
+
+TEST_F(RobustnessTest, FiringBudgetIsConsumed) {
+  fault::arm("numeric.quadrature:2");
+  EXPECT_TRUE(fault::should_fire(fault::site::kQuadrature));
+  EXPECT_TRUE(fault::should_fire(fault::site::kQuadrature));
+  EXPECT_FALSE(fault::should_fire(fault::site::kQuadrature));
+  EXPECT_EQ(fault::fired(fault::site::kQuadrature), 2u);
+}
+
+TEST_F(RobustnessTest, DisarmedSitesNeverFire) {
+  for (const auto& s : fault::known_sites())
+    EXPECT_FALSE(fault::should_fire(s.c_str())) << s;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection coverage: arm each registered site and assert the
+// documented outcome (typed failure for parsers, graceful recovery with a
+// diagnostic for the numerical seams).
+// ---------------------------------------------------------------------------
+
+class FaultCoverageTest : public LutTest {};  // reuse the shared problem
+
+TEST_F(FaultCoverageTest, EveryRegisteredSiteHasACoveredScenario) {
+  std::size_t covered = 0;
+  for (const std::string& name : fault::known_sites()) {
+    SCOPED_TRACE("site: " + name);
+    fault::disarm();
+    diagnostics().clear();
+    fault::arm(name);  // one shot
+
+    if (name == fault::site::kConfigParse) {
+      std::istringstream in("grid 12\n");
+      EXPECT_EQ(thrown_code([&] { Config::parse(in); }),
+                ErrorCode::kConfig);
+    } else if (name == fault::site::kFloorplanParse) {
+      std::istringstream in("alu 0.001 0.002 0.0 0.0\n");
+      EXPECT_EQ(thrown_code([&] { chip::load_floorplan(in); }),
+                ErrorCode::kInvalidInput);
+    } else if (name == fault::site::kPtraceParse) {
+      std::ostringstream h;
+      for (std::size_t j = 0; j < design_->blocks.size(); ++j)
+        h << design_->blocks[j].name
+          << (j + 1 < design_->blocks.size() ? ' ' : '\n');
+      std::istringstream in(h.str() + "1.0 1.0 1.0 1.0\n");
+      EXPECT_EQ(
+          thrown_code([&] { power::load_power_trace(in, *design_); }),
+          ErrorCode::kInvalidInput);
+    } else if (name == fault::site::kLutLoad) {
+      core::HybridOptions hopts;
+      hopts.n_gamma = 8;
+      hopts.n_b = 4;
+      const core::HybridEvaluator ev(*problem_, hopts);
+      std::ostringstream out;
+      ev.save(out);
+      std::istringstream in(out.str());
+      EXPECT_EQ(
+          thrown_code([&] { core::HybridEvaluator::load(in, *problem_); }),
+          ErrorCode::kIo);
+    } else if (name == fault::site::kCholesky) {
+      // The injected non-PD failure is absorbed by the ridge retry.
+      la::Matrix a = la::Matrix::identity(4);
+      const la::Matrix l = la::cholesky_lower_robust(a, "coverage");
+      for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(l(i, i), 1.0, 1e-3);
+      EXPECT_GE(diagnostics().count("linalg.cholesky"), 1u);
+    } else if (name == fault::site::kEigen) {
+      // Direct hit: the QL solver reports typed nonconvergence.
+      la::Matrix a = la::Matrix::identity(3);
+      EXPECT_EQ(thrown_code([&] { la::eigen_symmetric(a); }),
+                ErrorCode::kNonconvergence);
+      // The canonical-form builder retries with a ridge and recovers.
+      fault::arm(name);
+      diagnostics().clear();
+      const var::GridModel grid(4.0, 4.0, 4);
+      const var::CanonicalForm form =
+          var::make_canonical_form(grid, var::VariationBudget{}, 0.5);
+      EXPECT_GT(form.pc_count(), 0u);
+      EXPECT_GE(diagnostics().count("linalg.eigen"), 1u);
+    } else if (name == fault::site::kThermalSor) {
+      // Direct solve: typed nonconvergence...
+      power::PowerParams pp;
+      const power::PowerMap map = power::estimate_power(*design_, pp);
+      EXPECT_EQ(thrown_code([&] {
+                  thermal::solve_thermal(*design_, map);
+                }),
+                ErrorCode::kNonconvergence);
+      // ...while the fixed point retries with damping and converges.
+      fault::arm(name);
+      diagnostics().clear();
+      const thermal::ThermalProfile tp =
+          thermal::power_thermal_fixed_point(*design_, pp);
+      EXPECT_TRUE(tp.converged);
+      EXPECT_TRUE(std::isfinite(tp.max_c()));
+      EXPECT_GE(diagnostics().count("thermal.fixed_point"), 1u);
+    } else if (name == fault::site::kThermalFixedPoint) {
+      // Injected NaN temperature: detected, retried, converged.
+      power::PowerParams pp;
+      const thermal::ThermalProfile tp =
+          thermal::power_thermal_fixed_point(*design_, pp);
+      EXPECT_TRUE(tp.converged);
+      EXPECT_TRUE(std::isfinite(tp.max_c()));
+      EXPECT_GE(diagnostics().count("thermal.fixed_point"), 1u);
+    } else if (name == fault::site::kQuadrature) {
+      EXPECT_EQ(thrown_code([&] {
+                  num::adaptive_simpson([](double x) { return x; }, 0.0,
+                                        1.0);
+                }),
+                ErrorCode::kNonconvergence);
+    } else if (name == fault::site::kDrmThermal) {
+      // One rung's thermal solve fails: the manager skips it and keeps
+      // the control loop alive on a slower rung.
+      std::vector<drm::OperatingPoint> ladder{{"eco", 1.0, 1.2e9},
+                                              {"turbo", 1.25, 2.3e9}};
+      drm::ReliabilityManager mgr(*problem_, *model_, ladder);
+      const drm::DrmStep s = mgr.step(0.7);
+      EXPECT_TRUE(s.degraded);
+      EXPECT_TRUE(std::isfinite(s.damage));
+      EXPECT_GE(diagnostics().count("drm.step"), 1u);
+    } else {
+      ADD_FAILURE() << "registered site has no coverage scenario: " << name
+                    << " (add one here and to docs/ROBUSTNESS.md)";
+      continue;
+    }
+
+    EXPECT_GE(fault::fired(name), 1u) << "site never fired";
+    ++covered;
+  }
+  // The acceptance bar: at least 8 sites demonstrably covered.
+  EXPECT_GE(covered, 8u);
+  EXPECT_EQ(covered, fault::known_sites().size());
+}
+
+// ---------------------------------------------------------------------------
+// Strict mode turns degradation into typed errors
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, StrictModeEscalatesRecoveries) {
+  fault::arm("linalg.cholesky");
+  set_strict_mode(true);
+  la::Matrix a = la::Matrix::identity(3);
+  EXPECT_EQ(thrown_code([&] { la::cholesky_lower_robust(a, "strict"); }),
+            ErrorCode::kDegraded);
+  // The event is still recorded even though it threw.
+  EXPECT_GE(diagnostics().size(), 1u);
+}
+
+TEST_F(RobustnessTest, DiagnosticsRenderNamesTheSite) {
+  diagnostics().warn("thermal.fixed_point", "test message");
+  const std::string text = diagnostics().render();
+  EXPECT_NE(text.find("warning [thermal.fixed_point]: test message"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obd

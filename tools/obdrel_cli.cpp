@@ -7,6 +7,16 @@
 //   obdrel lut build <config> <out-file>    precompute hybrid LUTs
 //   obdrel lut query <config> <lut-file> <t_seconds>
 //
+// Global flags:
+//   --strict      escalate degraded results to errors (exit code 6)
+//
+// Fault injection (testing): set OBDREL_FAULTS or the `faults` config key
+// to a spec like "thermal.sor,drm.thermal:3" (see docs/ROBUSTNESS.md).
+//
+// Exit codes follow the obd::ErrorCode taxonomy:
+//   0 success   1 internal   2 config/usage   3 io   4 invalid input
+//   5 numerical nonconvergence   6 degraded under --strict
+//
 // Config keys (key = value, '#' comments):
 //   design        c1..c6 | ev6 | manycore | path to a HotSpot .flp
 //   device_density  devices per mm^2 for .flp designs   (default 3000)
@@ -17,16 +27,22 @@
 //   methods       any of: st_fast st_mc hybrid guard mc  (default all)
 //   mc_chips      Monte Carlo sample chips               (default 500)
 //   targets       failure-quantile list                  (default 1e-6 1e-5)
+//   strict        bool: same as --strict                 (default false)
+//   faults        fault-injection spec (testing only)
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "chip/design.hpp"
 #include "chip/floorplan_io.hpp"
 #include "common/config.hpp"
+#include "common/diagnostics.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/stopwatch.hpp"
 #include "core/analytic.hpp"
 #include "core/guardband.hpp"
@@ -42,6 +58,30 @@ namespace {
 using namespace obd;
 
 constexpr double kYear = 365.25 * 24.0 * 3600.0;
+
+// Validating replacement for the old bare std::stod(t_arg): a non-numeric
+// or non-positive <t_seconds> names the offending argument instead of
+// surfacing as "error: stod".
+double parse_time_seconds(const std::string& arg) {
+  double t = 0.0;
+  try {
+    std::size_t pos = 0;
+    t = std::stod(arg, &pos);
+    require(pos == arg.size(), ErrorCode::kConfig,
+            "lut query: trailing characters in <t_seconds> argument '" +
+                arg + "'");
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("lut query: <t_seconds> argument '" + arg +
+                    "' is not a number",
+                ErrorCode::kConfig);
+  }
+  require(std::isfinite(t) && t > 0.0, ErrorCode::kConfig,
+          "lut query: <t_seconds> must be a positive finite time, got '" +
+              arg + "'");
+  return t;
+}
 
 chip::Design load_design(const Config& cfg) {
   const std::string design = cfg.get_string("design", "c1");
@@ -79,8 +119,9 @@ core::ReliabilityProblem build_problem(const Config& cfg,
                                        const Pipeline& p) {
   core::ProblemOptions opts;
   opts.rho_dist = cfg.get_double("rho_dist", 0.5);
-  opts.grid_cells_per_side =
-      static_cast<std::size_t>(cfg.get_int("grid", 25));
+  // get_count rejects zero/negative values instead of letting them wrap
+  // through size_t into absurd grid sizes.
+  opts.grid_cells_per_side = cfg.get_count("grid", 25);
   return core::ReliabilityProblem::build(p.design, var::VariationBudget{},
                                          p.model, p.profile.block_temps_c,
                                          p.vdd, opts);
@@ -113,8 +154,7 @@ int cmd_analyze(const Config& cfg) {
     while (is >> tok) methods.insert(tok);
   }
   const auto targets = cfg.get_doubles("targets", {1e-6, 1e-5});
-  const auto mc_chips =
-      static_cast<std::size_t>(cfg.get_int("mc_chips", 500));
+  const std::size_t mc_chips = cfg.get_count("mc_chips", 500);
 
   std::printf("design %s: %zu devices, %zu blocks, Vdd %.2f V, "
               "T %.1f..%.1f C\n\n",
@@ -179,52 +219,104 @@ int cmd_lut(const Config& cfg, const std::string& action,
   if (action == "build") {
     const core::HybridEvaluator hybrid(problem);
     std::ofstream out(lut_path);
-    require(out.good(), "lut build: cannot open '" + lut_path + "'");
+    require(out.good(), ErrorCode::kIo,
+            "lut build: cannot open '" + lut_path + "'");
     hybrid.save(out);
     std::printf("wrote %zu block tables to %s\n", problem.blocks().size(),
                 lut_path.c_str());
     return 0;
   }
   if (action == "query") {
-    require(t_arg != nullptr, "lut query: missing <t_seconds>");
+    require(t_arg != nullptr, ErrorCode::kConfig,
+            "lut query: missing <t_seconds>");
     std::ifstream in(lut_path);
-    require(in.good(), "lut query: cannot open '" + lut_path + "'");
+    require(in.good(), ErrorCode::kIo,
+            "lut query: cannot open '" + lut_path + "'");
     const auto hybrid = core::HybridEvaluator::load(in, problem);
-    const double t = std::stod(t_arg);
+    const double t = parse_time_seconds(t_arg);
     std::printf("F(%.4g s) = %.6e   (R = %.9f)\n", t,
                 hybrid.failure_probability(t), hybrid.reliability(t));
     return 0;
   }
-  throw Error("lut: unknown action '" + action + "' (build|query)");
+  throw Error("lut: unknown action '" + action + "' (build|query)",
+              ErrorCode::kConfig);
 }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: obdrel analyze <config>\n"
-               "       obdrel report <config>\n"
-               "       obdrel thermal <config>\n"
-               "       obdrel lut build <config> <out-file>\n"
-               "       obdrel lut query <config> <lut-file> <t_seconds>\n");
+               "usage: obdrel [--strict] analyze <config>\n"
+               "       obdrel [--strict] report <config>\n"
+               "       obdrel [--strict] thermal <config>\n"
+               "       obdrel [--strict] lut build <config> <out-file>\n"
+               "       obdrel [--strict] lut query <config> <lut-file> "
+               "<t_seconds>\n"
+               "\n"
+               "--strict escalates degraded results to errors.\n"
+               "exit codes: 0 ok, 1 internal, 2 config/usage, 3 io,\n"
+               "            4 invalid input, 5 nonconvergence, 6 degraded "
+               "(strict)\n");
   return 2;
+}
+
+// Applies the robustness knobs shared by every command, after the config
+// parses but before any numerics run.
+void apply_runtime_options(const Config& cfg, bool strict_flag) {
+  set_strict_mode(strict_flag || cfg.get_bool("strict", false));
+  if (cfg.has("faults")) fault::arm(cfg.get_string("faults"));
+}
+
+// Reports collected degradation warnings; returns the adjusted exit code.
+int finish(int rc) {
+  if (diagnostics().degraded()) {
+    std::fputs(diagnostics().render().c_str(), stderr);
+    std::fprintf(stderr,
+                 "note: result is degraded (%zu warning%s); rerun with "
+                 "--strict to escalate\n",
+                 diagnostics().size(),
+                 diagnostics().size() == 1 ? "" : "s");
+  }
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  bool strict_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--strict") {
+      strict_flag = true;
+      continue;
+    }
+    args.push_back(a);
+  }
   try {
-    if (argc < 3) return usage();
-    const std::string cmd = argv[1];
-    if (cmd == "analyze") return cmd_analyze(Config::parse_file(argv[2]));
-    if (cmd == "report") return cmd_report(Config::parse_file(argv[2]));
-    if (cmd == "thermal") return cmd_thermal(Config::parse_file(argv[2]));
+    fault::arm_from_env();
+    if (args.size() < 2) return usage();
+    const std::string& cmd = args[0];
+    if (cmd == "analyze" || cmd == "report" || cmd == "thermal") {
+      const Config cfg = Config::parse_file(args[1]);
+      apply_runtime_options(cfg, strict_flag);
+      if (cmd == "analyze") return finish(cmd_analyze(cfg));
+      if (cmd == "report") return finish(cmd_report(cfg));
+      return finish(cmd_thermal(cfg));
+    }
     if (cmd == "lut") {
-      if (argc < 5) return usage();
-      return cmd_lut(Config::parse_file(argv[3]), argv[2], argv[4],
-                     argc > 5 ? argv[5] : nullptr);
+      if (args.size() < 4) return usage();
+      const Config cfg = Config::parse_file(args[2]);
+      apply_runtime_options(cfg, strict_flag);
+      return finish(cmd_lut(cfg, args[1], args[3],
+                            args.size() > 4 ? args[4].c_str() : nullptr));
     }
     return usage();
+  } catch (const Error& e) {
+    std::fputs(diagnostics().render().c_str(), stderr);
+    std::fprintf(stderr, "error [%s]: %s\n", to_string(e.code()), e.what());
+    return static_cast<int>(e.code());
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    std::fputs(diagnostics().render().c_str(), stderr);
+    std::fprintf(stderr, "error [internal]: %s\n", e.what());
+    return static_cast<int>(ErrorCode::kInternal);
   }
 }
