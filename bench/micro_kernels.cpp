@@ -4,7 +4,11 @@
 // reference flow.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "chip/design.hpp"
+#include "common/checkpoint.hpp"
 #include "common/fault_injection.hpp"
 #include "core/analytic.hpp"
 #include "core/hybrid.hpp"
@@ -143,6 +147,56 @@ void BM_GClosedFormWithFaultCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GClosedFormWithFaultCheck);
+
+// Durability-layer overhead: the DRM runtime pays one journal append per
+// control step and one atomic snapshot per checkpoint_every steps. Both
+// must stay far below a control interval (which is wall-clock *months*) —
+// these pin the actual cost so regressions are visible.
+const std::string& bench_dir() {
+  static const std::string dir = [] {
+    char tmpl[] = "/tmp/obdrel-bench-XXXXXX";
+    const char* d = ::mkdtemp(tmpl);
+    return std::string(d != nullptr ? d : "/tmp");
+  }();
+  return dir;
+}
+
+void BM_Crc32(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ckpt::crc32(payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(256)->Arg(4096);
+
+void BM_SnapshotWriteAtomic(benchmark::State& state) {
+  // ~1 KB payload: the scale of a DrmRuntime snapshot (a few dozen
+  // hexfloat doubles plus the header fields).
+  const std::string payload(1024, 'd');
+  const std::string path = bench_dir() + "/bench.snap";
+  for (auto _ : state) {
+    ckpt::write_snapshot_atomic(path, 1, payload);
+  }
+  state.SetLabel("1 KiB payload: temp + fsync + rename");
+}
+BENCHMARK(BM_SnapshotWriteAtomic)->Unit(benchmark::kMicrosecond);
+
+void BM_JournalAppend(benchmark::State& state) {
+  const bool sync = state.range(0) != 0;
+  // ~200 B record: one DRM step (sample, decision, per-block damage).
+  const std::string record(200, 'r');
+  ckpt::JournalWriter writer(bench_dir() + "/bench.log",
+                             /*truncate=*/true);
+  for (auto _ : state) {
+    writer.append(record);
+    if (sync) writer.sync();
+  }
+  state.SetLabel(sync ? "append + fsync (durable step)"
+                      : "append only (OS-buffered floor)");
+}
+BENCHMARK(BM_JournalAppend)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 void BM_CanonicalSampleAndGridEval(benchmark::State& state) {
   const auto& problem = shared_problem();

@@ -57,6 +57,9 @@ const std::vector<std::string>& known_sites() {
       site::kCholesky,    site::kEigen,
       site::kThermalSor,  site::kThermalFixedPoint,
       site::kQuadrature,  site::kDrmThermal,
+      site::kCheckpointWrite, site::kCheckpointCrc,
+      site::kJournalAppend,   site::kJournalReplay,
+      site::kDrmDeadline,
   };
   return sites;
 }

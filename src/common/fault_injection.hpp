@@ -38,6 +38,11 @@ inline constexpr const char* kThermalSor = "thermal.sor";
 inline constexpr const char* kThermalFixedPoint = "thermal.fixed_point";
 inline constexpr const char* kQuadrature = "numeric.quadrature";
 inline constexpr const char* kDrmThermal = "drm.thermal";
+inline constexpr const char* kCheckpointWrite = "checkpoint.write";
+inline constexpr const char* kCheckpointCrc = "checkpoint.crc";
+inline constexpr const char* kJournalAppend = "journal.append";
+inline constexpr const char* kJournalReplay = "journal.replay";
+inline constexpr const char* kDrmDeadline = "drm.deadline";
 }  // namespace site
 
 /// All registered site names (the injection catalogue), sorted.

@@ -7,6 +7,7 @@
 #include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
+#include "common/stopwatch.hpp"
 #include "numeric/roots.hpp"
 #include "power/power.hpp"
 #include "thermal/block_model.hpp"
@@ -46,6 +47,25 @@ double ReliabilityManager::damage() const {
   double total = 0.0;
   for (double d : block_damage_) total += d;
   return total;
+}
+
+void ReliabilityManager::restore_state(
+    const std::vector<double>& block_damage, double elapsed_s,
+    std::size_t last_op_index) {
+  require(block_damage.size() == block_damage_.size(),
+          "ReliabilityManager: restored damage vector has " +
+              std::to_string(block_damage.size()) + " entries, expected " +
+              std::to_string(block_damage_.size()));
+  for (double d : block_damage)
+    require(std::isfinite(d) && d >= 0.0 && d <= 1.0,
+            "ReliabilityManager: restored block damage out of [0, 1]");
+  require(std::isfinite(elapsed_s) && elapsed_s >= 0.0,
+          "ReliabilityManager: restored elapsed time is invalid");
+  require(last_op_index < ladder_.size(),
+          "ReliabilityManager: restored rung out of range");
+  block_damage_ = block_damage;
+  elapsed_s_ = elapsed_s;
+  last_op_index_ = last_op_index;
 }
 
 ReliabilityManager::Conditions ReliabilityManager::conditions_for(
@@ -191,11 +211,13 @@ DrmStep ReliabilityManager::step_fixed(std::size_t op_index,
   out.damage = damage();
   out.budget_line = budget_line(elapsed_s_);
   out.max_temp_c = c.max_temp_c;
+  last_op_index_ = op_index;
   return out;
 }
 
 DrmStep ReliabilityManager::step(double workload_activity) {
   DrmStep out;
+  const Stopwatch watchdog;
   const double activity = sanitize_activity(workload_activity, &out.degraded);
   const double dt = options_.control_interval_s;
   const double allowance = budget_line(elapsed_s_ + dt);
@@ -210,7 +232,26 @@ DrmStep ReliabilityManager::step(double workload_activity) {
   std::vector<double> committed(block_damage_.size());
   Conditions conditions;
   bool have_conditions = false;
+  bool deadline_hit = false;
   for (std::size_t r = ladder_.size(); r-- > 0;) {
+    // Watchdog: a rung evaluation is a thermal solve and can be slow. When
+    // the search has already overrun its deadline, stop evaluating and fall
+    // back to the cached previous decision at guard-band conditions (no
+    // further solves) — the control loop must never stall past its
+    // interval. The `drm.deadline` fault site forces this path.
+    if ((options_.step_deadline_ms > 0.0 &&
+         watchdog.milliseconds() > options_.step_deadline_ms) ||
+        fault::should_fire(fault::site::kDrmDeadline)) {
+      deadline_hit = true;
+      out.degraded = true;
+      std::ostringstream msg;
+      msg << "step overran its " << options_.step_deadline_ms
+          << " ms deadline with " << (r + 1)
+          << " rung(s) unevaluated; committing previous rung '"
+          << ladder_[last_op_index_].name << "' at guard-band conditions";
+      diagnostics().warn("drm.deadline", msg.str());
+      break;
+    }
     Conditions c;
     try {
       c = conditions_for(ladder_[r], activity);
@@ -240,13 +281,16 @@ DrmStep ReliabilityManager::step(double workload_activity) {
   }
 
   if (!have_conditions) {
-    // Every evaluable rung was over budget or failed; commit the slowest
-    // rung at guard-band conditions (the guard-band-safe choice).
-    chosen = 0;
-    conditions = guardband_conditions(ladder_[0]);
-    diagnostics().warn("drm.step",
-                       "no rung could be evaluated; falling back to the "
-                       "slowest rung at guard-band conditions");
+    // Deadline overrun: commit the cached previous decision. Otherwise
+    // every evaluable rung was over budget or failed; commit the slowest
+    // rung. Either way damage accrues at guard-band conditions (the
+    // guard-band-safe choice).
+    chosen = deadline_hit ? last_op_index_ : 0;
+    conditions = guardband_conditions(ladder_[chosen]);
+    if (!deadline_hit)
+      diagnostics().warn("drm.step",
+                         "no rung could be evaluated; falling back to the "
+                         "slowest rung at guard-band conditions");
     for (std::size_t j = 0; j < block_damage_.size(); ++j)
       committed[j] = advanced_damage(j, block_damage_[j],
                                      conditions.alphas[j],
@@ -261,6 +305,7 @@ DrmStep ReliabilityManager::step(double workload_activity) {
   out.damage = damage();
   out.budget_line = budget_line(elapsed_s_);
   out.max_temp_c = conditions.max_temp_c;
+  last_op_index_ = chosen;
   return out;
 }
 

@@ -54,6 +54,12 @@ struct DrmOptions {
   /// fails and the manager falls back to guard-band conditions. The max of
   /// this and the problem's worst block temperature is used.
   double fallback_temp_c = 110.0;
+  /// Watchdog deadline for one step() [ms]; 0 disables it. When the rung
+  /// search overruns the deadline, the remaining rungs are not evaluated:
+  /// the step commits the previous step's rung at guard-band conditions
+  /// (cheap — no thermal solve) with a `drm.deadline` diagnostic, so a slow
+  /// thermal solve can never stall the control loop past its interval.
+  double step_deadline_ms = 0.0;
 };
 
 /// Outcome of one control step.
@@ -100,6 +106,24 @@ class ReliabilityManager {
   /// Total consumed failure probability so far.
   [[nodiscard]] double damage() const;
 
+  /// Per-block consumed failure probability (aligned with
+  /// problem.blocks()) — the state a checkpoint must persist.
+  [[nodiscard]] const std::vector<double>& block_damage() const {
+    return block_damage_;
+  }
+
+  /// Rung committed by the most recent step (slowest rung before any step
+  /// has run) — the decision the watchdog falls back to.
+  [[nodiscard]] std::size_t last_op_index() const { return last_op_index_; }
+
+  /// Restores accumulated state from a checkpoint: per-block damage,
+  /// elapsed lifetime, and the last committed rung. Validates everything
+  /// (sizes, finiteness, non-negativity, rung range) and throws
+  /// Error(kInvalidInput) on any violation — a corrupt checkpoint must be
+  /// rejected here, not silently believed.
+  void restore_state(const std::vector<double>& block_damage,
+                     double elapsed_s, std::size_t last_op_index);
+
   /// Elapsed managed lifetime [s].
   [[nodiscard]] double elapsed_s() const { return elapsed_s_; }
 
@@ -145,6 +169,7 @@ class ReliabilityManager {
   core::HybridEvaluator lut_;
   std::vector<double> block_damage_;
   double elapsed_s_ = 0.0;
+  std::size_t last_op_index_ = 0;
 };
 
 }  // namespace obd::drm

@@ -1,0 +1,140 @@
+// Crash-safe DRM runtime: durable checkpoint/restore around the
+// ReliabilityManager control loop.
+//
+// The manager itself is library-only state: a process crash loses every
+// block's accumulated OBD damage, and a restarted controller that believes
+// the chip is fresh will overspend the end-of-life failure budget — for a
+// lifetime-budget controller that is a safety failure, not an
+// inconvenience. DrmRuntime wraps the manager with the durability layer a
+// production monitor needs:
+//
+//   - every step's telemetry sample and outcome (including the post-step
+//     per-block damage state) is appended to a CRC-framed journal,
+//   - every `checkpoint_every` steps the full state is snapshotted
+//     atomically into one of two alternating slot files, and the journal
+//     is rotated so it only ever spans the last two checkpoint epochs,
+//   - on startup with `resume`, the newest valid snapshot is loaded and
+//     the journal tail deterministically replayed on top of it; corrupt
+//     records trigger the recovery ladder (previous snapshot, then
+//     journal-only replay from cold state, then guard-band cold start with
+//     a kDegraded-eligible diagnostic) — durable state is never silently
+//     reset to zero without a recorded warning.
+//
+// Persistence failures at run time (full disk, torn checkpoint write) are
+// themselves degradations, not crashes: the control loop keeps running
+// with a `drm.checkpoint` / `drm.journal` diagnostic, and strict mode
+// escalates them like every other repair.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/checkpoint.hpp"
+#include "drm/manager.hpp"
+
+namespace obd::drm {
+
+/// Durability configuration of the runtime.
+struct RuntimeOptions {
+  /// Directory holding the snapshot slots and journal. Empty disables
+  /// durability (the runtime is then a thin pass-through). Created if
+  /// missing.
+  std::string checkpoint_dir;
+  /// Steps between atomic snapshots; the journal bounds the loss window
+  /// between them to (at most) the single step whose append was torn.
+  std::size_t checkpoint_every = 16;
+  /// fsync the journal after every append. Durable by default; benchmarks
+  /// may disable it to measure the OS-buffered floor.
+  bool sync_journal = true;
+  /// Recover state from checkpoint_dir before the first step.
+  bool resume = false;
+};
+
+/// How the runtime obtained its starting state.
+struct RecoveryInfo {
+  enum class Source {
+    kFresh,       ///< no resume requested
+    kCheckpoint,  ///< snapshot (+ journal tail) recovered cleanly
+    kJournal,     ///< no usable snapshot; journal replayed from cold state
+    kColdStart,   ///< nothing recoverable — guard-band cold start
+  };
+  Source source = Source::kFresh;
+  std::size_t resumed_step = 0;      ///< steps already accounted for
+  std::size_t replayed_records = 0;  ///< journal records applied on top
+  /// True when recovery lost state it should have had (fell back past the
+  /// newest snapshot, hit a journal gap, or found nothing at all). Always
+  /// accompanied by a `drm.recover` diagnostic.
+  bool degraded = false;
+  std::string detail;  ///< human-readable account of the recovery path
+};
+
+/// Durable wrapper around ReliabilityManager. Construction performs
+/// recovery (when requested); step() journals and periodically
+/// checkpoints.
+class DrmRuntime {
+ public:
+  DrmRuntime(const core::ReliabilityProblem& problem,
+             const core::DeviceReliabilityModel& model,
+             std::vector<OperatingPoint> ladder, const DrmOptions& options,
+             RuntimeOptions runtime_options);
+
+  /// One control step: delegates to the manager, journals the outcome,
+  /// and snapshots every checkpoint_every steps. Persistence failures
+  /// degrade (diagnostic) instead of propagating; the manager's own
+  /// robustness contract is unchanged.
+  DrmStep step(double workload_activity);
+
+  /// Forces an atomic snapshot of the current state (and rotates the
+  /// journal). Called automatically every checkpoint_every steps; callers
+  /// use it for a final snapshot at orderly shutdown. Throws Error(kIo)
+  /// only when durability is disabled-on-failure would lie — i.e. never:
+  /// failures warn `drm.checkpoint` and return false.
+  bool checkpoint_now();
+
+  /// Steps taken across all process lifetimes (resumed + this one).
+  [[nodiscard]] std::size_t step_count() const { return step_count_; }
+
+  [[nodiscard]] const RecoveryInfo& recovery() const { return recovery_; }
+  [[nodiscard]] const ReliabilityManager& manager() const { return mgr_; }
+  [[nodiscard]] bool durable() const { return !opts_.checkpoint_dir.empty(); }
+
+  /// Fingerprint of the configuration this runtime persists state for
+  /// (ladder, budget, interval, block count). Snapshots and journal
+  /// records from a different configuration are rejected on recovery.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  struct JournalRecord {
+    std::uint64_t fingerprint = 0;
+    std::size_t step = 0;
+    DrmStep outcome;
+    double activity = 0.0;
+    double elapsed_s = 0.0;
+    std::vector<double> block_damage;
+  };
+
+  [[nodiscard]] std::string slot_path(int slot) const;
+  [[nodiscard]] std::string journal_path() const;
+  [[nodiscard]] std::string journal_prev_path() const;
+
+  [[nodiscard]] std::string encode_snapshot() const;
+  [[nodiscard]] std::string encode_record(const JournalRecord& rec) const;
+  [[nodiscard]] static bool decode_record(const std::string& payload,
+                                          std::size_t n_blocks,
+                                          JournalRecord* out);
+
+  void recover();
+  void open_journal(bool truncate);
+
+  ReliabilityManager mgr_;
+  RuntimeOptions opts_;
+  std::uint64_t fingerprint_ = 0;
+  std::size_t step_count_ = 0;
+  int next_slot_ = 0;  ///< slot the next snapshot is written into
+  RecoveryInfo recovery_;
+  std::unique_ptr<ckpt::JournalWriter> journal_;
+};
+
+}  // namespace obd::drm

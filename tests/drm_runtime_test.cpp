@@ -1,0 +1,422 @@
+// Crash-safety tests for the durable DRM runtime: checkpoint/journal
+// corruption (truncation mid-record, single-byte bit flips, version-skew
+// headers, empty checkpoint dirs) must each map onto the documented
+// recovery ladder, and a kill-and-restart must reproduce the uninterrupted
+// run's damage trajectory bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iterator>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chip/design.hpp"
+#include "common/checkpoint.hpp"
+#include "common/diagnostics.hpp"
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "core/device_model.hpp"
+#include "core/problem.hpp"
+#include "drm/manager.hpp"
+#include "drm/runtime.hpp"
+
+namespace obd::drm {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DrmRuntimeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(chip::make_synthetic_design(
+        "runtime", {.devices = 20000, .block_count = 4, .die_width = 4.0,
+                    .die_height = 4.0, .seed = 11}));
+    model_ = new core::AnalyticReliabilityModel();
+    core::ProblemOptions opts;
+    opts.grid_cells_per_side = 8;
+    problem_ = new core::ReliabilityProblem(core::ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_,
+        std::vector<double>(design_->blocks.size(), 80.0), 1.2, opts));
+  }
+  static void TearDownTestSuite() {
+    delete problem_;
+    delete model_;
+    delete design_;
+    problem_ = nullptr;
+    model_ = nullptr;
+    design_ = nullptr;
+  }
+  void SetUp() override {
+    fault::disarm();
+    diagnostics().clear();
+    set_strict_mode(false);
+    char tmpl[] = "/tmp/obdrel-runtime-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    fault::disarm();
+    diagnostics().clear();
+    set_strict_mode(false);
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  static std::vector<OperatingPoint> ladder() {
+    return {{"eco", 1.00, 1.2e9}, {"turbo", 1.25, 2.3e9}};
+  }
+  static DrmOptions drm_options() {
+    DrmOptions o;
+    o.control_interval_s = 7.0 * 86400.0;
+    return o;
+  }
+  RuntimeOptions runtime_options(bool resume) const {
+    RuntimeOptions r;
+    r.checkpoint_dir = dir_;
+    r.checkpoint_every = 4;
+    r.resume = resume;
+    return r;
+  }
+  static double workload(std::size_t i) {
+    return 0.3 + 0.05 * static_cast<double>(i % 7);
+  }
+
+  std::string newest_snapshot_path() const {
+    // With checkpoint_every=4, slot 0 gets steps 4, 12, 20, ... and slot 1
+    // gets 8, 16, ...; pick the slot holding the higher step by mtime.
+    const std::string a = dir_ + "/ckpt-0.snap";
+    const std::string b = dir_ + "/ckpt-1.snap";
+    if (!fs::exists(b)) return a;
+    if (!fs::exists(a)) return b;
+    return fs::last_write_time(a) > fs::last_write_time(b) ? a : b;
+  }
+
+  static void flip_byte(const std::string& path, std::size_t offset_from_end) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good()) << path;
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::size_t>(f.tellg());
+    ASSERT_GT(size, offset_from_end);
+    const auto pos =
+        static_cast<std::streamoff>(size - 1 - offset_from_end);
+    f.seekg(pos);
+    const char c = static_cast<char>(f.get() ^ 0x01);
+    f.seekp(pos);
+    f.put(c);
+  }
+
+  static chip::Design* design_;
+  static core::AnalyticReliabilityModel* model_;
+  static core::ReliabilityProblem* problem_;
+  std::string dir_;
+};
+
+chip::Design* DrmRuntimeTest::design_ = nullptr;
+core::AnalyticReliabilityModel* DrmRuntimeTest::model_ = nullptr;
+core::ReliabilityProblem* DrmRuntimeTest::problem_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Checkpoint / journal primitives
+// ---------------------------------------------------------------------------
+
+TEST_F(DrmRuntimeTest, SnapshotRoundTrip) {
+  const std::string path = dir_ + "/s.snap";
+  ckpt::write_snapshot_atomic(path, 7, "hello durable world");
+  const ckpt::Snapshot s = ckpt::read_snapshot(path);
+  EXPECT_EQ(s.version, 7u);
+  EXPECT_EQ(s.payload, "hello durable world");
+}
+
+TEST_F(DrmRuntimeTest, TornSnapshotWritePreservesPreviousContents) {
+  const std::string path = dir_ + "/s.snap";
+  ckpt::write_snapshot_atomic(path, 1, "generation one");
+  fault::arm("checkpoint.write");
+  EXPECT_THROW(ckpt::write_snapshot_atomic(path, 1, "generation two"),
+               Error);
+  // The torn temp file is debris; the published snapshot is untouched.
+  EXPECT_EQ(ckpt::read_snapshot(path).payload, "generation one");
+}
+
+TEST_F(DrmRuntimeTest, SnapshotBitFlipFailsCrc) {
+  const std::string path = dir_ + "/s.snap";
+  ckpt::write_snapshot_atomic(path, 1, "payload under test");
+  flip_byte(path, 2);  // inside the payload
+  try {
+    (void)ckpt::read_snapshot(path);
+    FAIL() << "corrupt snapshot must not be believed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
+}
+
+TEST_F(DrmRuntimeTest, JournalToleratesTruncatedTail) {
+  const std::string path = dir_ + "/j.log";
+  {
+    ckpt::JournalWriter w(path, /*truncate=*/true);
+    for (int i = 0; i < 5; ++i)
+      w.append("record number " + std::to_string(i));
+  }
+  EXPECT_EQ(ckpt::read_journal(path).records.size(), 5u);
+
+  // Chop the file mid-way through the last record: replay keeps everything
+  // before the tear and flags the tail.
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size - 5);
+  const ckpt::JournalReadResult r = ckpt::read_journal(path);
+  EXPECT_EQ(r.records.size(), 4u);
+  EXPECT_FALSE(r.clean_tail);
+  EXPECT_NE(r.tail_error.find("truncated"), std::string::npos);
+}
+
+TEST_F(DrmRuntimeTest, JournalBitFlipStopsAtTheCorruptRecord) {
+  const std::string path = dir_ + "/j.log";
+  {
+    ckpt::JournalWriter w(path, /*truncate=*/true);
+    for (int i = 0; i < 5; ++i)
+      w.append("record number " + std::to_string(i));
+  }
+  // Flip a payload byte inside the 4th record (locate it by content —
+  // frame sizes vary with the CRC's hex width).
+  std::string blob;
+  {
+    std::ifstream f(path, std::ios::binary);
+    blob.assign(std::istreambuf_iterator<char>(f),
+                std::istreambuf_iterator<char>());
+  }
+  const auto pos = blob.find("record number 3");
+  ASSERT_NE(pos, std::string::npos);
+  flip_byte(path, blob.size() - 1 - pos);
+  const ckpt::JournalReadResult r = ckpt::read_journal(path);
+  EXPECT_EQ(r.records.size(), 3u);
+  EXPECT_FALSE(r.clean_tail);
+  EXPECT_NE(r.tail_error.find("CRC"), std::string::npos);
+}
+
+TEST_F(DrmRuntimeTest, MissingJournalIsEmptyAndClean) {
+  const ckpt::JournalReadResult r = ckpt::read_journal(dir_ + "/absent");
+  EXPECT_TRUE(r.records.empty());
+  EXPECT_TRUE(r.clean_tail);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-restart equivalence: K steps in process one, M more after
+// resume in process two, versus K+M in a single uninterrupted process —
+// the damage trajectory must be identical bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST_F(DrmRuntimeTest, KillAndRestartReproducesTheTrajectoryBitForBit) {
+  constexpr std::size_t kK = 10;
+  constexpr std::size_t kM = 6;
+
+  // Uninterrupted reference: a bare manager stepping K+M times.
+  ReliabilityManager reference(*problem_, *model_, ladder(), drm_options());
+  std::vector<double> ref_damage;
+  for (std::size_t i = 0; i < kK + kM; ++i)
+    ref_damage.push_back(reference.step(workload(i)).damage);
+
+  // Process one: K steps, then the process "dies" (the runtime is
+  // destroyed without an orderly final checkpoint — the journal holds the
+  // steps since the last snapshot).
+  {
+    DrmRuntime first(*problem_, *model_, ladder(), drm_options(),
+                     runtime_options(/*resume=*/false));
+    for (std::size_t i = 0; i < kK; ++i) first.step(workload(i));
+    EXPECT_EQ(first.step_count(), kK);
+  }
+
+  // Process two: resume and finish the schedule.
+  DrmRuntime second(*problem_, *model_, ladder(), drm_options(),
+                    runtime_options(/*resume=*/true));
+  EXPECT_EQ(second.recovery().source, RecoveryInfo::Source::kCheckpoint);
+  EXPECT_FALSE(second.recovery().degraded);
+  ASSERT_EQ(second.step_count(), kK);
+  // The recovered state matches the reference mid-run state exactly.
+  const std::vector<double> mid_damage = [&] {
+    ReliabilityManager mid(*problem_, *model_, ladder(), drm_options());
+    for (std::size_t i = 0; i < kK; ++i) mid.step(workload(i));
+    return mid.block_damage();
+  }();
+  EXPECT_EQ(second.manager().block_damage(), mid_damage);
+  for (std::size_t i = kK; i < kK + kM; ++i) {
+    const DrmStep s = second.step(workload(i));
+    EXPECT_EQ(s.damage, ref_damage[i]) << "step " << i << " diverged";
+  }
+  EXPECT_EQ(second.manager().elapsed_s(), reference.elapsed_s());
+}
+
+TEST_F(DrmRuntimeTest, TornCheckpointMidRunStillResumesExactly) {
+  constexpr std::size_t kK = 9;
+  ReliabilityManager reference(*problem_, *model_, ladder(), drm_options());
+  for (std::size_t i = 0; i < kK; ++i) reference.step(workload(i));
+
+  {
+    DrmRuntime first(*problem_, *model_, ladder(), drm_options(),
+                     runtime_options(/*resume=*/false));
+    // The first snapshot (step 4) tears mid-write, exactly like a SIGKILL
+    // inside write(): the runtime warns and survives on the journal; the
+    // step-8 snapshot then succeeds normally.
+    fault::arm("checkpoint.write:1");
+    bool saw_torn_checkpoint = false;
+    for (std::size_t i = 0; i < kK; ++i) {
+      first.step(workload(i));
+      saw_torn_checkpoint =
+          saw_torn_checkpoint || diagnostics().count("drm.checkpoint") > 0;
+    }
+    EXPECT_TRUE(saw_torn_checkpoint);
+  }
+
+  DrmRuntime second(*problem_, *model_, ladder(), drm_options(),
+                    runtime_options(/*resume=*/true));
+  EXPECT_EQ(second.step_count(), kK);
+  EXPECT_EQ(second.manager().block_damage(), reference.block_damage());
+  EXPECT_EQ(second.manager().elapsed_s(), reference.elapsed_s());
+}
+
+// ---------------------------------------------------------------------------
+// Recovery ladder: corrupt newest snapshot, version skew, foreign
+// fingerprint, empty dir
+// ---------------------------------------------------------------------------
+
+TEST_F(DrmRuntimeTest, CorruptNewestSnapshotFallsBackWithoutStateLoss) {
+  constexpr std::size_t kK = 10;  // snapshots at steps 4 and 8
+  ReliabilityManager reference(*problem_, *model_, ladder(), drm_options());
+  for (std::size_t i = 0; i < kK; ++i) reference.step(workload(i));
+  {
+    DrmRuntime first(*problem_, *model_, ladder(), drm_options(),
+                     runtime_options(/*resume=*/false));
+    for (std::size_t i = 0; i < kK; ++i) first.step(workload(i));
+  }
+  // Bit-rot the newest snapshot: recovery must ladder down to the
+  // previous snapshot and re-replay both journal epochs — same state.
+  flip_byte(newest_snapshot_path(), 2);
+  DrmRuntime second(*problem_, *model_, ladder(), drm_options(),
+                    runtime_options(/*resume=*/true));
+  EXPECT_EQ(second.step_count(), kK);
+  EXPECT_EQ(second.manager().block_damage(), reference.block_damage());
+  EXPECT_GE(diagnostics().count("drm.recover"), 1u);
+}
+
+TEST_F(DrmRuntimeTest, VersionSkewSnapshotIsRejectedNotMisparsed) {
+  constexpr std::size_t kK = 6;
+  {
+    DrmRuntime first(*problem_, *model_, ladder(), drm_options(),
+                     runtime_options(/*resume=*/false));
+    for (std::size_t i = 0; i < kK; ++i) first.step(workload(i));
+  }
+  // Replace the newest snapshot with a future-schema one: the CRC is
+  // valid, but the version gate must refuse to decode it.
+  ckpt::write_snapshot_atomic(newest_snapshot_path(), 99,
+                              "layout from the future");
+  DrmRuntime second(*problem_, *model_, ladder(), drm_options(),
+                    runtime_options(/*resume=*/true));
+  // State still fully recovered via the other slot + journal replay.
+  EXPECT_EQ(second.step_count(), kK);
+  EXPECT_GE(diagnostics().count("drm.recover"), 1u);
+}
+
+TEST_F(DrmRuntimeTest, ForeignConfigurationStateIsNotResumed) {
+  {
+    DrmRuntime first(*problem_, *model_, ladder(), drm_options(),
+                     runtime_options(/*resume=*/false));
+    for (std::size_t i = 0; i < 6; ++i) first.step(workload(i));
+  }
+  // Same directory, different ladder: the fingerprint gate must refuse
+  // the persisted damage rather than graft it onto the wrong trajectory.
+  std::vector<OperatingPoint> other{{"solo", 1.1, 1.5e9}};
+  DrmRuntime second(*problem_, *model_, other, drm_options(),
+                    runtime_options(/*resume=*/true));
+  EXPECT_EQ(second.recovery().source, RecoveryInfo::Source::kColdStart);
+  EXPECT_TRUE(second.recovery().degraded);
+  EXPECT_EQ(second.step_count(), 0u);
+  EXPECT_GE(diagnostics().count("drm.recover"), 1u);
+}
+
+TEST_F(DrmRuntimeTest, EmptyCheckpointDirColdStartsWithDiagnostic) {
+  DrmRuntime runtime(*problem_, *model_, ladder(), drm_options(),
+                     runtime_options(/*resume=*/true));
+  EXPECT_EQ(runtime.recovery().source, RecoveryInfo::Source::kColdStart);
+  EXPECT_TRUE(runtime.recovery().degraded);
+  EXPECT_EQ(runtime.manager().damage(), 0.0);
+  // Never *silently* fresh: the cold start leaves a recorded warning.
+  EXPECT_GE(diagnostics().count("drm.recover"), 1u);
+}
+
+TEST_F(DrmRuntimeTest, StrictModeEscalatesAnEmptyResume) {
+  set_strict_mode(true);
+  try {
+    DrmRuntime runtime(*problem_, *model_, ladder(), drm_options(),
+                       runtime_options(/*resume=*/true));
+    FAIL() << "strict mode must refuse a silent cold start";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDegraded);
+  }
+}
+
+TEST_F(DrmRuntimeTest, CrashBeforeFirstCheckpointRecoversFromJournalAlone) {
+  constexpr std::size_t kK = 3;  // below checkpoint_every: no snapshot yet
+  ReliabilityManager reference(*problem_, *model_, ladder(), drm_options());
+  for (std::size_t i = 0; i < kK; ++i) reference.step(workload(i));
+  {
+    DrmRuntime first(*problem_, *model_, ladder(), drm_options(),
+                     runtime_options(/*resume=*/false));
+    for (std::size_t i = 0; i < kK; ++i) first.step(workload(i));
+  }
+  DrmRuntime second(*problem_, *model_, ladder(), drm_options(),
+                    runtime_options(/*resume=*/true));
+  EXPECT_EQ(second.recovery().source, RecoveryInfo::Source::kJournal);
+  EXPECT_FALSE(second.recovery().degraded);
+  EXPECT_EQ(second.step_count(), kK);
+  EXPECT_EQ(second.manager().block_damage(), reference.block_damage());
+}
+
+// ---------------------------------------------------------------------------
+// Runtime degradations: journal append failure, watchdog deadline
+// ---------------------------------------------------------------------------
+
+TEST_F(DrmRuntimeTest, JournalAppendFailureDegradesButTheLoopSurvives) {
+  DrmRuntime runtime(*problem_, *model_, ladder(), drm_options(),
+                     runtime_options(/*resume=*/false));
+  fault::arm("journal.append:1");
+  DrmStep s{};
+  ASSERT_NO_THROW(s = runtime.step(workload(0)));
+  EXPECT_TRUE(std::isfinite(s.damage));
+  EXPECT_GE(diagnostics().count("drm.journal"), 1u);
+  // The next step journals again (the writer reopens transparently).
+  ASSERT_NO_THROW(runtime.step(workload(1)));
+}
+
+TEST_F(DrmRuntimeTest, WatchdogDeadlineCommitsThePreviousRung) {
+  DrmOptions opts = drm_options();
+  ReliabilityManager mgr(*problem_, *model_, ladder(), opts);
+  const DrmStep healthy = mgr.step(0.5);
+  // Force the watchdog on the next step: the rung search must stop
+  // immediately and commit the cached previous decision at guard-band
+  // conditions instead of stalling on more thermal solves.
+  fault::arm("drm.deadline:1");
+  const DrmStep overrun = mgr.step(0.5);
+  EXPECT_TRUE(overrun.degraded);
+  EXPECT_EQ(overrun.op_index, healthy.op_index);
+  EXPECT_GE(overrun.max_temp_c, opts.fallback_temp_c);
+  EXPECT_GE(diagnostics().count("drm.deadline"), 1u);
+  EXPECT_GT(overrun.damage, healthy.damage);
+  // Watchdog cleared: the search runs normally again.
+  const DrmStep after = mgr.step(0.5);
+  EXPECT_LT(after.max_temp_c, opts.fallback_temp_c);
+}
+
+TEST_F(DrmRuntimeTest, WallClockDeadlineAlsoTrips) {
+  DrmOptions opts = drm_options();
+  opts.step_deadline_ms = 1e-7;  // overruns before the first rung solve
+  ReliabilityManager mgr(*problem_, *model_, ladder(), opts);
+  const DrmStep s = mgr.step(0.5);
+  EXPECT_TRUE(s.degraded);
+  EXPECT_EQ(s.op_index, 0u);  // no previous decision: slowest rung
+  EXPECT_GE(diagnostics().count("drm.deadline"), 1u);
+}
+
+}  // namespace
+}  // namespace obd::drm

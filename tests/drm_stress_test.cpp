@@ -155,11 +155,66 @@ TEST_F(DrmStressTest, PermanentThermalFaultFallsBackToGuardBand) {
   EXPECT_LT(s.max_temp_c, opts.fallback_temp_c);
 }
 
+// step_fixed() (static policies / baselines) honors the same robustness
+// contract as step(): clamp hostile telemetry with a diagnostic, fall
+// back to guard-band conditions on thermal failure, never throw in
+// non-strict mode.
+TEST_F(DrmStressTest, StepFixedSurvivesHostileTelemetryLikeStep) {
+  DrmOptions opts;
+  opts.control_interval_s = 7.0 * 86400.0;
+  ReliabilityManager mgr(*problem_, *model_, *ladder_, opts);
+  double prev = 0.0;
+  int degraded_steps = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (i % 20 == 10) fault::arm("drm.thermal:2");
+    DrmStep s;
+    ASSERT_NO_THROW(s = mgr.step_fixed(i % ladder_->size(), workload(i)))
+        << "step " << i;
+    ASSERT_TRUE(std::isfinite(s.damage)) << "step " << i;
+    EXPECT_GE(s.damage, prev) << "step " << i;
+    EXPECT_TRUE(std::isfinite(s.max_temp_c)) << "step " << i;
+    prev = s.damage;
+    if (s.degraded) ++degraded_steps;
+  }
+  // NaN spikes, overshoots, negative glitches, and injected thermal
+  // faults all landed: a healthy share of steps must be flagged.
+  EXPECT_GT(degraded_steps, 10);
+  EXPECT_LT(degraded_steps, 60);
+}
+
+// Under a permanent thermal fault, step() collapses onto the slowest rung
+// at guard-band conditions — which is exactly what step_fixed(0) computes.
+// The two paths must agree bit for bit, or checkpoint replay and baseline
+// comparisons silently diverge.
+TEST_F(DrmStressTest, StepAndStepFixedAgreeOnTheGuardBandFallback) {
+  DrmOptions opts;
+  opts.control_interval_s = 7.0 * 86400.0;
+  ReliabilityManager dynamic(*problem_, *model_, *ladder_, opts);
+  ReliabilityManager fixed(*problem_, *model_, *ladder_, opts);
+  fault::arm("drm.thermal:*");
+  for (int i = 0; i < 8; ++i) {
+    const DrmStep a = dynamic.step(workload(i));
+    const DrmStep b = fixed.step_fixed(0, workload(i));
+    ASSERT_EQ(a.op_index, 0u) << "step " << i;
+    EXPECT_EQ(a.damage, b.damage) << "step " << i;
+    EXPECT_EQ(a.max_temp_c, b.max_temp_c) << "step " << i;
+    EXPECT_EQ(a.degraded, b.degraded) << "step " << i;
+  }
+  EXPECT_EQ(dynamic.block_damage(), fixed.block_damage());
+}
+
 TEST_F(DrmStressTest, StrictModeSurfacesTheFirstRepair) {
   ReliabilityManager mgr(*problem_, *model_, *ladder_);
   set_strict_mode(true);
   try {
     mgr.step(std::numeric_limits<double>::quiet_NaN());
+    ADD_FAILURE() << "strict mode must escalate the NaN repair";
+  } catch (const obd::Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDegraded);
+  }
+  // step_fixed() escalates identically — parity with step().
+  try {
+    mgr.step_fixed(0, std::numeric_limits<double>::quiet_NaN());
     ADD_FAILURE() << "strict mode must escalate the NaN repair";
   } catch (const obd::Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::kDegraded);

@@ -8,8 +8,14 @@
 #include <sstream>
 #include <string>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
 #include "chip/design.hpp"
 #include "chip/floorplan_io.hpp"
+#include "common/checkpoint.hpp"
 #include "common/config.hpp"
 #include "common/diagnostics.hpp"
 #include "common/error.hpp"
@@ -405,6 +411,59 @@ TEST_F(FaultCoverageTest, EveryRegisteredSiteHasACoveredScenario) {
       EXPECT_TRUE(s.degraded);
       EXPECT_TRUE(std::isfinite(s.damage));
       EXPECT_GE(diagnostics().count("drm.step"), 1u);
+    } else if (name == fault::site::kCheckpointWrite) {
+      // A torn snapshot write is a typed I/O failure, and the previously
+      // published snapshot survives it untouched.
+      const std::string path =
+          ::testing::TempDir() + "obdrel-cov-ckpt.snap";
+      fault::disarm();  // publish the survivor without the fault armed
+      ckpt::write_snapshot_atomic(path, 1, "survivor");
+      fault::arm(name);
+      EXPECT_EQ(thrown_code([&] {
+                  ckpt::write_snapshot_atomic(path, 1, "torn");
+                }),
+                ErrorCode::kIo);
+      EXPECT_EQ(ckpt::read_snapshot(path).payload, "survivor");
+      std::filesystem::remove(path);
+    } else if (name == fault::site::kCheckpointCrc) {
+      // A checksum mismatch on read is rejected as corrupt input, never
+      // believed.
+      const std::string path =
+          ::testing::TempDir() + "obdrel-cov-crc.snap";
+      ckpt::write_snapshot_atomic(path, 1, "payload");
+      EXPECT_EQ(thrown_code([&] { (void)ckpt::read_snapshot(path); }),
+                ErrorCode::kInvalidInput);
+      std::filesystem::remove(path);
+    } else if (name == fault::site::kJournalAppend) {
+      const std::string path = ::testing::TempDir() + "obdrel-cov-j.log";
+      ckpt::JournalWriter w(path, /*truncate=*/true);
+      EXPECT_EQ(thrown_code([&] { w.append("doomed record"); }),
+                ErrorCode::kIo);
+      std::filesystem::remove(path);
+    } else if (name == fault::site::kJournalReplay) {
+      // A corrupt record during replay ends the usable prefix with a
+      // reported tail error instead of throwing or looping.
+      const std::string path = ::testing::TempDir() + "obdrel-cov-jr.log";
+      {
+        ckpt::JournalWriter w(path, /*truncate=*/true);
+        w.append("first");
+        w.append("second");
+      }
+      const ckpt::JournalReadResult r = ckpt::read_journal(path);
+      EXPECT_LT(r.records.size(), 2u);
+      EXPECT_FALSE(r.clean_tail);
+      std::filesystem::remove(path);
+    } else if (name == fault::site::kDrmDeadline) {
+      // A watchdog overrun degrades to the cached rung decision at
+      // guard-band conditions instead of stalling the control loop.
+      std::vector<drm::OperatingPoint> ladder{{"eco", 1.0, 1.2e9},
+                                              {"turbo", 1.25, 2.3e9}};
+      drm::ReliabilityManager mgr(*problem_, *model_, ladder);
+      const drm::DrmStep s = mgr.step(0.7);
+      EXPECT_TRUE(s.degraded);
+      EXPECT_EQ(s.op_index, 0u);  // no previous decision: slowest rung
+      EXPECT_TRUE(std::isfinite(s.damage));
+      EXPECT_GE(diagnostics().count("drm.deadline"), 1u);
     } else {
       ADD_FAILURE() << "registered site has no coverage scenario: " << name
                     << " (add one here and to docs/ROBUSTNESS.md)";
@@ -414,7 +473,8 @@ TEST_F(FaultCoverageTest, EveryRegisteredSiteHasACoveredScenario) {
     EXPECT_GE(fault::fired(name), 1u) << "site never fired";
     ++covered;
   }
-  // The acceptance bar: at least 8 sites demonstrably covered.
+  // The acceptance bar: at least 8 sites demonstrably covered (the
+  // catalogue currently holds 15).
   EXPECT_GE(covered, 8u);
   EXPECT_EQ(covered, fault::known_sites().size());
 }
@@ -438,6 +498,42 @@ TEST_F(RobustnessTest, DiagnosticsRenderNamesTheSite) {
   const std::string text = diagnostics().render();
   EXPECT_NE(text.find("warning [thermal.fixed_point]: test message"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Docs/code sync: the fault-site catalogue in docs/ROBUSTNESS.md must list
+// exactly the registered sites — a new site without a documented row (or a
+// stale row for a removed site) fails here.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, FaultCatalogueInDocsMatchesTheRegistry) {
+  const std::string path =
+      std::string(OBDREL_SOURCE_DIR) + "/docs/ROBUSTNESS.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot open " << path;
+
+  // Collect the first backticked token of every table row inside the
+  // "Fault injection" section.
+  std::vector<std::string> documented;
+  std::string line;
+  bool in_section = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("## ", 0) == 0) {
+      in_section = line.find("Fault injection") != std::string::npos;
+      continue;
+    }
+    if (!in_section || line.rfind("| `", 0) != 0) continue;
+    const std::size_t open = 2;  // the backtick after "| "
+    const std::size_t close = line.find('`', open + 1);
+    ASSERT_NE(close, std::string::npos) << line;
+    documented.push_back(line.substr(open + 1, close - open - 1));
+  }
+  std::sort(documented.begin(), documented.end());
+  std::vector<std::string> registered = fault::known_sites();
+  std::sort(registered.begin(), registered.end());
+
+  EXPECT_EQ(documented, registered)
+      << "docs/ROBUSTNESS.md section 3 and fault::known_sites() disagree";
 }
 
 }  // namespace

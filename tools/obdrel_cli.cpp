@@ -6,9 +6,14 @@
 //   obdrel thermal <config>     power + thermal profile only
 //   obdrel lut build <config> <out-file>    precompute hybrid LUTs
 //   obdrel lut query <config> <lut-file> <t_seconds>
+//   obdrel drm run <config> <telemetry.csv|->  crash-safe DRM service loop
+//   obdrel help | --help | -h   print usage to stdout, exit 0
 //
 // Global flags:
 //   --strict      escalate degraded results to errors (exit code 6)
+//   --checkpoint-dir <dir>   durable DRM state directory (drm run)
+//   --resume                 recover DRM state from the checkpoint dir
+//   --checkpoint-every <n>   steps between snapshots (default 16)
 //
 // Fault injection (testing): set OBDREL_FAULTS or the `faults` config key
 // to a spec like "thermal.sor,drm.thermal:3" (see docs/ROBUSTNESS.md).
@@ -29,9 +34,22 @@
 //   targets       failure-quantile list                  (default 1e-6 1e-5)
 //   strict        bool: same as --strict                 (default false)
 //   faults        fault-injection spec (testing only)
+//
+// DRM-run config keys (obdrel drm run):
+//   ladder        DVFS rungs `name:vdd:freq,...` slow->fast
+//                 (default eco:1.0:1.2e9,mid:1.1:1.7e9,turbo:1.25:2.3e9)
+//   lifetime_years      end-of-life target [years]       (default 10)
+//   failure_budget      end-of-life failure budget       (default 1e-5)
+//   control_interval_s  wall-clock per step [s]          (default 30 days)
+//   max_activity        telemetry plausibility clamp     (default 2)
+//   step_deadline_ms    watchdog deadline per step, 0=off (default 0)
+//   checkpoint_every    steps between snapshots          (default 16)
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
@@ -50,6 +68,8 @@
 #include "core/lifetime.hpp"
 #include "core/montecarlo.hpp"
 #include "core/report.hpp"
+#include "drm/manager.hpp"
+#include "drm/runtime.hpp"
 #include "power/power.hpp"
 #include "thermal/solver.hpp"
 
@@ -242,21 +262,153 @@ int cmd_lut(const Config& cfg, const std::string& action,
               ErrorCode::kConfig);
 }
 
-int usage() {
-  std::fprintf(stderr,
+// DVFS ladder from the `ladder` config key: `name:vdd:freq,...`, sorted
+// slow -> fast (validated by the manager).
+std::vector<drm::OperatingPoint> parse_ladder(const Config& cfg) {
+  const std::string spec = cfg.get_string(
+      "ladder", "eco:1.0:1.2e9,mid:1.1:1.7e9,turbo:1.25:2.3e9");
+  std::vector<drm::OperatingPoint> ladder;
+  std::istringstream is(spec);
+  std::string entry;
+  while (std::getline(is, entry, ',')) {
+    if (entry.empty()) continue;
+    const std::size_t c1 = entry.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : entry.find(':', c1 + 1);
+    require(c2 != std::string::npos, ErrorCode::kConfig,
+            "ladder: entry '" + entry + "' is not name:vdd:freq");
+    drm::OperatingPoint op;
+    op.name = entry.substr(0, c1);
+    try {
+      op.vdd = std::stod(entry.substr(c1 + 1, c2 - c1 - 1));
+      op.frequency = std::stod(entry.substr(c2 + 1));
+    } catch (const std::exception&) {
+      throw Error("ladder: entry '" + entry + "' has non-numeric vdd/freq",
+                  ErrorCode::kConfig);
+    }
+    require(op.name.size() > 0 && std::isfinite(op.vdd) &&
+                std::isfinite(op.frequency),
+            ErrorCode::kConfig, "ladder: entry '" + entry + "' is invalid");
+    ladder.push_back(std::move(op));
+  }
+  require(!ladder.empty(), ErrorCode::kConfig, "ladder: no rungs given");
+  return ladder;
+}
+
+// One activity sample per line (first comma/whitespace-separated field);
+// blank lines and '#' comments are skipped. An unreadable sample becomes
+// NaN with a diagnostic — the control loop must keep running on corrupt
+// telemetry, and the manager reads NaN as the guard-band-safe full load.
+std::vector<double> read_telemetry(std::istream& in) {
+  std::vector<double> samples;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::string token =
+        line.substr(first, line.find_first_of(", \t\r", first) - first);
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) {
+      std::ostringstream msg;
+      msg << "telemetry line " << lineno << ": unreadable sample '" << token
+          << "'; treated as NaN (guard-band)";
+      diagnostics().warn("drm.telemetry", msg.str());
+      v = std::numeric_limits<double>::quiet_NaN();
+    }
+    samples.push_back(v);
+  }
+  return samples;
+}
+
+int cmd_drm_run(const Config& cfg, const std::string& telemetry_path,
+                drm::RuntimeOptions ropts) {
+  const Pipeline p = run_pipeline(cfg);
+  const auto problem = build_problem(cfg, p);
+
+  drm::DrmOptions dopts;
+  dopts.lifetime_target_s = cfg.get_double("lifetime_years", 10.0) * kYear;
+  dopts.failure_budget = cfg.get_double("failure_budget", 1e-5);
+  dopts.control_interval_s =
+      cfg.get_double("control_interval_s", 30.0 * 86400.0);
+  dopts.max_activity = cfg.get_double("max_activity", 2.0);
+  dopts.fallback_temp_c = cfg.get_double("fallback_temp_c", 110.0);
+  dopts.step_deadline_ms = cfg.get_double("step_deadline_ms", 0.0);
+  if (ropts.checkpoint_every == 0)
+    ropts.checkpoint_every = cfg.get_count("checkpoint_every", 16);
+
+  drm::DrmRuntime runtime(problem, p.model, parse_ladder(cfg), dopts,
+                          ropts);
+  if (runtime.recovery().source != drm::RecoveryInfo::Source::kFresh)
+    std::fprintf(stderr, "resume: %s\n",
+                 runtime.recovery().detail.c_str());
+
+  std::vector<double> samples;
+  if (telemetry_path == "-") {
+    samples = read_telemetry(std::cin);
+  } else {
+    std::ifstream in(telemetry_path);
+    require(in.good(), ErrorCode::kIo,
+            "drm run: cannot open telemetry file '" + telemetry_path + "'");
+    samples = read_telemetry(in);
+  }
+  require(!samples.empty(), ErrorCode::kInvalidInput,
+          "drm run: telemetry '" + telemetry_path + "' has no samples");
+
+  // A resumed run has already accounted for the first step_count() samples
+  // of the trace; only the remainder is (re)executed, so the emitted rows
+  // are exactly the rows an uninterrupted run would have produced for the
+  // same steps.
+  const std::size_t start = runtime.step_count();
+  if (start > samples.size())
+    std::fprintf(stderr,
+                 "note: resumed state is %zu step(s) ahead of the "
+                 "telemetry trace\n",
+                 start - samples.size());
+  std::printf(
+      "step,activity,op_index,op_name,performance_hz,damage,budget_line,"
+      "max_temp_c,degraded\n");
+  for (std::size_t i = start; i < samples.size(); ++i) {
+    const drm::DrmStep s = runtime.step(samples[i]);
+    std::printf("%zu,%.17g,%zu,%s,%.17g,%.17g,%.17g,%.17g,%d\n",
+                runtime.step_count(), samples[i], s.op_index,
+                runtime.manager().ladder()[s.op_index].name.c_str(),
+                s.performance, s.damage, s.budget_line, s.max_temp_c,
+                s.degraded ? 1 : 0);
+  }
+  // Final anchor: an orderly exit leaves a snapshot at the last step, so a
+  // later resume replays nothing.
+  runtime.checkpoint_now();
+  return 0;
+}
+
+int usage(std::FILE* out, int rc) {
+  std::fprintf(out,
                "usage: obdrel [--strict] analyze <config>\n"
                "       obdrel [--strict] report <config>\n"
                "       obdrel [--strict] thermal <config>\n"
                "       obdrel [--strict] lut build <config> <out-file>\n"
                "       obdrel [--strict] lut query <config> <lut-file> "
                "<t_seconds>\n"
+               "       obdrel [--strict] drm run <config> "
+               "<telemetry.csv|->\n"
+               "           [--checkpoint-dir <dir>] [--resume] "
+               "[--checkpoint-every <n>]\n"
+               "       obdrel help | --help | -h\n"
                "\n"
                "--strict escalates degraded results to errors.\n"
+               "drm run drives the crash-safe DRM service loop from a\n"
+               "telemetry trace ('-' reads stdin); --checkpoint-dir makes\n"
+               "its state durable and --resume recovers it after a crash.\n"
                "exit codes: 0 ok, 1 internal, 2 config/usage, 3 io,\n"
                "            4 invalid input, 5 nonconvergence, 6 degraded "
                "(strict)\n");
-  return 2;
+  return rc;
 }
+
+int usage() { return usage(stderr, 2); }
 
 // Applies the robustness knobs shared by every command, after the config
 // parses but before any numerics run.
@@ -283,16 +435,52 @@ int finish(int rc) {
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   bool strict_flag = false;
+  drm::RuntimeOptions ropts;
+  ropts.checkpoint_every = 0;  // 0 = take the config key / default
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--strict") {
       strict_flag = true;
       continue;
     }
+    if (a == "--help" || a == "-h") return usage(stdout, 0);
+    if (a == "--resume") {
+      ropts.resume = true;
+      continue;
+    }
+    if (a == "--checkpoint-dir" || a == "--checkpoint-every") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error [config]: %s needs a value\n",
+                     a.c_str());
+        return usage();
+      }
+      const std::string value = argv[++i];
+      if (a == "--checkpoint-dir") {
+        ropts.checkpoint_dir = value;
+      } else {
+        char* end = nullptr;
+        const long long n = std::strtoll(value.c_str(), &end, 10);
+        if (end != value.c_str() + value.size() || n <= 0) {
+          std::fprintf(stderr,
+                       "error [config]: --checkpoint-every needs a "
+                       "positive integer, got '%s'\n",
+                       value.c_str());
+          return usage();
+        }
+        ropts.checkpoint_every = static_cast<std::size_t>(n);
+      }
+      continue;
+    }
+    if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error [config]: unknown flag '%s'\n",
+                   a.c_str());
+      return usage();
+    }
     args.push_back(a);
   }
   try {
     fault::arm_from_env();
+    if (!args.empty() && args[0] == "help") return usage(stdout, 0);
     if (args.size() < 2) return usage();
     const std::string& cmd = args[0];
     if (cmd == "analyze" || cmd == "report" || cmd == "thermal") {
@@ -308,6 +496,12 @@ int main(int argc, char** argv) {
       apply_runtime_options(cfg, strict_flag);
       return finish(cmd_lut(cfg, args[1], args[3],
                             args.size() > 4 ? args[4].c_str() : nullptr));
+    }
+    if (cmd == "drm") {
+      if (args.size() < 4 || args[1] != "run") return usage();
+      const Config cfg = Config::parse_file(args[2]);
+      apply_runtime_options(cfg, strict_flag);
+      return finish(cmd_drm_run(cfg, args[3], ropts));
     }
     return usage();
   } catch (const Error& e) {
