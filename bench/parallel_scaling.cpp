@@ -1,0 +1,138 @@
+// Parallel scaling of the Monte Carlo hot path on the shared pool.
+//
+// Runs the same end-to-end MC workload (analyzer construction + an F(t)
+// sweep + a failure-time simulation) serially and at every thread count in
+// {1, 2, 4, ..., hardware_concurrency}, verifying the determinism contract
+// (bit-identical result checksums across thread counts) and reporting the
+// measured speedups. Results are written to BENCH_parallel.json in the
+// working directory (or $OBDREL_CSV_DIR when set) for CI consumption.
+//
+// Scaling knobs: OBDREL_MC_CHIPS (default 2000), OBDREL_BENCH_MAX_THREADS
+// (default hardware_concurrency).
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chip/design.hpp"
+#include "common/csv.hpp"
+#include "common/parallel.hpp"
+#include "common/stopwatch.hpp"
+#include "core/montecarlo.hpp"
+#include "power/power.hpp"
+#include "stats/rng.hpp"
+#include "thermal/solver.hpp"
+
+namespace {
+
+// Order-sensitive checksum over the exact bit patterns of a double stream:
+// two runs produce the same checksum iff every value is bit-identical and
+// in the same order.
+struct BitChecksum {
+  std::uint64_t value = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  void add(double d) {
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(d);
+    for (int i = 0; i < 8; ++i) {
+      value ^= (bits >> (8 * i)) & 0xffu;
+      value *= 0x100000001b3ull;  // FNV-1a prime
+    }
+  }
+};
+
+struct RunResult {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace obd;
+  const std::size_t mc_chips = bench::env_size("OBDREL_MC_CHIPS", 2000);
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t max_threads =
+      bench::env_size("OBDREL_BENCH_MAX_THREADS", hw);
+
+  const chip::Design design = chip::make_benchmark(3);
+  const auto profile = thermal::power_thermal_fixed_point(
+      design, power::PowerParams{}, {.resolution = 32}, 2);
+  const auto problem = core::ReliabilityProblem::build(
+      design, var::VariationBudget{}, core::AnalyticReliabilityModel{},
+      profile.block_temps_c, 1.2);
+
+  // The F(t) sweep: one decade around the interesting failure region.
+  std::vector<double> times;
+  for (double t = 1e8; t <= 1.001e9; t *= 1.2589254117941673)  // 10^(1/10)
+    times.push_back(t);
+
+  auto run_once = [&](std::size_t threads) {
+    par::set_threads(threads);
+    par::shutdown();  // ensure construction cost is measured, not reused
+    Stopwatch sw;
+    BitChecksum sum;
+    const core::MonteCarloAnalyzer mc(problem, {.chip_samples = mc_chips});
+    for (double t : times) {
+      sum.add(mc.failure_probability(t));
+      sum.add(mc.failure_std_error(t));
+      sum.add(mc.kth_failure_probability(t, 3));
+    }
+    stats::Rng rng(2026);
+    for (double t : mc.sample_failure_times(64, rng)) sum.add(t);
+    RunResult r;
+    r.threads = threads;
+    r.seconds = sw.seconds();
+    r.checksum = sum.value;
+    return r;
+  };
+
+  std::printf("Parallel scaling: MC end-to-end (construction + %zu-point "
+              "F(t) sweep + 64 simulated failures), %zu chips, "
+              "hardware_concurrency = %zu.\n\n",
+              times.size(), mc_chips, hw);
+  std::printf("%8s %12s %9s %18s\n", "threads", "runtime [s]", "speedup",
+              "checksum");
+
+  std::vector<RunResult> runs;
+  runs.push_back(run_once(1));
+  for (std::size_t n = 2; n <= max_threads; n *= 2) runs.push_back(run_once(n));
+  if (max_threads > 1 &&
+      (runs.back().threads != max_threads))
+    runs.push_back(run_once(max_threads));
+  par::set_threads(0);  // restore automatic width
+
+  bool identical = true;
+  for (const RunResult& r : runs) {
+    if (r.checksum != runs.front().checksum) identical = false;
+    std::printf("%8zu %12.3f %9.2f %18llx\n", r.threads, r.seconds,
+                runs.front().seconds / r.seconds,
+                static_cast<unsigned long long>(r.checksum));
+  }
+  std::printf("\nchecksums %s across thread counts\n",
+              identical ? "IDENTICAL" : "DIFFER (determinism violation!)");
+
+  std::string dir = csv_output_dir();
+  const std::string path =
+      (dir.empty() ? std::string{} : dir + "/") + "BENCH_parallel.json";
+  std::ofstream out(path);
+  out << "{\n  \"design\": \"" << design.name << "\",\n"
+      << "  \"mc_chips\": " << mc_chips << ",\n"
+      << "  \"hardware_concurrency\": " << hw << ",\n"
+      << "  \"checksums_identical\": " << (identical ? "true" : "false")
+      << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    out << "    {\"threads\": " << runs[i].threads << ", \"seconds\": "
+        << runs[i].seconds << ", \"speedup\": "
+        << runs.front().seconds / runs[i].seconds << ", \"checksum\": \""
+        << std::hex << runs[i].checksum << std::dec << "\"}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("(wrote %s)\n", path.c_str());
+  return identical ? 0 : 1;
+}

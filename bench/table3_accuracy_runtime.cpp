@@ -13,6 +13,7 @@
 #include "chip/design.hpp"
 #include "common/stopwatch.hpp"
 #include "common/csv.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/analytic.hpp"
 #include "core/guardband.hpp"
@@ -30,8 +31,9 @@ int main() {
 
   std::printf(
       "Table III: lifetime error (%%) w.r.t. MC and runtime/speedup.\n"
-      "rho_dist = 0.5, 25x25 correlation grid, MC chips = %zu.\n\n",
-      mc_chips);
+      "rho_dist = 0.5, 25x25 correlation grid, MC chips = %zu, pool "
+      "threads = %zu.\n\n",
+      mc_chips, par::thread_count());
 
   TextTable acc({"ckt.", "#Device", "st_fast 1/m", "st_MC 1/m", "hybrid 1/m",
                  "guard 1/m", "st_fast 10/m", "st_MC 10/m", "hybrid 10/m",

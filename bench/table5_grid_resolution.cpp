@@ -8,6 +8,7 @@
 
 #include "bench_util.hpp"
 #include "chip/design.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/analytic.hpp"
 #include "core/lifetime.hpp"
@@ -23,8 +24,9 @@ int main() {
 
   std::printf(
       "Table V: st_fast lifetime error (%%) for design C2 vs grid size,\n"
-      "compared to MC with the 25x25 reference grid (MC chips = %zu).\n\n",
-      mc_chips);
+      "compared to MC with the 25x25 reference grid (MC chips = %zu, pool "
+      "threads = %zu).\n\n",
+      mc_chips, par::thread_count());
 
   const chip::Design design = chip::make_benchmark(2);
   const auto profile = thermal::power_thermal_fixed_point(

@@ -22,9 +22,19 @@ void Diagnostics::warn(const std::string& site, const std::string& message) {
                 ErrorCode::kDegraded);
 }
 
+void Diagnostics::stat(const std::string& site, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.push_back({site, message});
+}
+
 std::vector<Diagnostic> Diagnostics::entries() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return entries_;
+}
+
+std::vector<Diagnostic> Diagnostics::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 bool Diagnostics::degraded() const {
@@ -48,6 +58,7 @@ std::size_t Diagnostics::count(const std::string& site) const {
 void Diagnostics::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  stats_.clear();
 }
 
 std::string Diagnostics::render() const {
@@ -55,6 +66,14 @@ std::string Diagnostics::render() const {
   std::ostringstream out;
   for (const auto& e : entries_)
     out << "warning [" << e.site << "]: " << e.message << '\n';
+  return out.str();
+}
+
+std::string Diagnostics::render_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& e : stats_)
+    out << "stat [" << e.site << "]: " << e.message << '\n';
   return out.str();
 }
 

@@ -32,8 +32,16 @@ class Diagnostics {
   /// (after recording, so the event is never lost).
   void warn(const std::string& site, const std::string& message);
 
+  /// Records an informational statistic (e.g. thread-pool counters).
+  /// Stats never mark the run degraded and never escalate under strict
+  /// mode; they are reported separately via stats()/render_stats().
+  void stat(const std::string& site, const std::string& message);
+
   /// Snapshot of all recorded events, in order.
   [[nodiscard]] std::vector<Diagnostic> entries() const;
+
+  /// Snapshot of all recorded stats, in order.
+  [[nodiscard]] std::vector<Diagnostic> stats() const;
 
   /// True when at least one degradation was recorded.
   [[nodiscard]] bool degraded() const;
@@ -44,15 +52,19 @@ class Diagnostics {
   /// Number of events recorded against `site`.
   [[nodiscard]] std::size_t count(const std::string& site) const;
 
-  /// Drops all recorded events (start of a fresh run).
+  /// Drops all recorded events and stats (start of a fresh run).
   void clear();
 
   /// One "warning [site]: message" line per event.
   [[nodiscard]] std::string render() const;
 
+  /// One "stat [site]: message" line per recorded stat.
+  [[nodiscard]] std::string render_stats() const;
+
  private:
   mutable std::mutex mutex_;
   std::vector<Diagnostic> entries_;
+  std::vector<Diagnostic> stats_;
 };
 
 /// Process-global collector threaded through the pipeline.

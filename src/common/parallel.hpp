@@ -1,0 +1,105 @@
+// Shared deterministic parallel execution layer.
+//
+// Every population-sized hot loop in the library (Monte Carlo chip
+// sampling, per-chip evaluation sweeps, hybrid table fills, bench drivers)
+// runs through this one lazily-started thread pool instead of spawning
+// ad-hoc std::thread stripes per call. The pool size is chosen once from,
+// in priority order: set_threads() (the --threads CLI flag / `threads`
+// config key), the OBDREL_THREADS environment variable, and
+// std::thread::hardware_concurrency().
+//
+// Determinism contract: work is split into *fixed* chunks whose boundaries
+// depend only on (begin, end, chunk) — never on the thread count — and
+// parallel_reduce combines the per-chunk partials in ascending chunk order
+// on the calling thread. Results are therefore bit-identical for any pool
+// size, including fully serial execution; docs/PERFORMANCE.md states the
+// contract callers rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace obd::par {
+
+/// Cumulative pool counters since start / reset_stats(). Surfaced through
+/// the Diagnostics collector by publish_stats() and the CLI.
+struct PoolStats {
+  std::uint64_t regions = 0;        ///< parallel_for/reduce invocations
+  std::uint64_t inline_regions = 0; ///< regions that ran serially inline
+  std::uint64_t chunks = 0;         ///< chunk bodies executed
+  double busy_seconds = 0.0;        ///< aggregate chunk execution time
+  double wait_seconds = 0.0;        ///< callers blocked on region completion
+};
+
+/// Effective worker count the next parallel region will use (>= 1).
+[[nodiscard]] std::size_t thread_count();
+
+/// Overrides the pool size; 0 restores the automatic choice
+/// (OBDREL_THREADS, else hardware_concurrency). If workers are already
+/// running at a different width they are joined and the pool restarts
+/// lazily at the new width. Safe to call between regions, not from inside
+/// a region body.
+void set_threads(std::size_t n);
+
+/// Joins all workers now (idempotent). The pool restarts lazily on the
+/// next parallel region; the configured width is kept.
+void shutdown();
+
+/// Runs body(chunk_begin, chunk_end) over [begin, end) split into chunks of
+/// `chunk` indices (the final chunk may be short). Bodies must write only
+/// disjoint state; chunks execute concurrently on the shared pool. With
+/// `max_threads` 1 (or a 1-thread pool, or a range smaller than one chunk)
+/// everything runs inline on the caller. `max_threads` 0 means the pool
+/// default; it never *grows* the pool.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t chunk,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t max_threads = 0);
+
+namespace detail {
+/// Executes chunk_body(i) for i in [0, n_chunks) on the pool;
+/// max_threads as in parallel_for.
+void run_chunks(std::size_t n_chunks,
+                const std::function<void(std::size_t)>& chunk_body,
+                std::size_t max_threads);
+}  // namespace detail
+
+/// Deterministic map/reduce over [begin, end): `map(chunk_begin,
+/// chunk_end) -> T` produces one partial per fixed chunk; the partials are
+/// folded as combine(acc, partial) in ascending chunk order starting from
+/// `identity`. The fold order is a function of (begin, end, chunk) only,
+/// so the result is bit-identical for any thread count.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t chunk,
+                  T identity, Map&& map, Combine&& combine,
+                  std::size_t max_threads = 0) {
+  if (begin >= end) return identity;
+  if (chunk == 0) chunk = 1;
+  const std::size_t n_chunks = (end - begin + chunk - 1) / chunk;
+  std::vector<T> partials(n_chunks, identity);
+  detail::run_chunks(
+      n_chunks,
+      [&](std::size_t i) {
+        const std::size_t b = begin + i * chunk;
+        const std::size_t e = std::min(end, b + chunk);
+        partials[i] = map(b, e);
+      },
+      max_threads);
+  T acc = identity;
+  for (const T& p : partials) acc = combine(acc, p);
+  return acc;
+}
+
+/// Snapshot of the cumulative pool counters.
+[[nodiscard]] PoolStats stats();
+
+/// Zeroes the cumulative pool counters (start of a fresh run).
+void reset_stats();
+
+/// Records a one-line pool summary into obd::diagnostics() as a
+/// non-degrading stat entry ("parallel.pool") — a no-op when no region has
+/// run since the last reset_stats().
+void publish_stats();
+
+}  // namespace obd::par

@@ -66,7 +66,10 @@ DutyCycleAnalyzer::DutyCycleAnalyzer(const ReliabilityProblem& problem,
 double DutyCycleAnalyzer::failure_probability(double t) const {
   require(t > 0.0, "DutyCycleAnalyzer: t must be positive");
   const auto& blocks = problem_->blocks();
-  double failure = 0.0;
+  // Survival-product weakest-link composition across blocks, matching
+  // failure_from_nodes (the first-order block-failure sum overestimates
+  // F(t) at high failure levels).
+  double log_survival = 0.0;
   for (std::size_t j = 0; j < blocks.size(); ++j) {
     const double area = blocks[j].area;
     const auto& ref = phases_[ref_phase_[j]];
@@ -78,9 +81,9 @@ double DutyCycleAnalyzer::failure_probability(double t) const {
                                node.v);
       f += node.weight * (-std::expm1(-exponent));
     }
-    failure += f;
+    log_survival += std::log1p(-std::clamp(f, 0.0, 1.0));
   }
-  return std::clamp(failure, 0.0, 1.0);
+  return std::clamp(-std::expm1(log_survival), 0.0, 1.0);
 }
 
 double DutyCycleAnalyzer::lifetime_at(double target) const {

@@ -8,12 +8,17 @@
 
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
+#include "common/parallel.hpp"
 
 namespace obd::core {
 namespace {
 
 // Floor for log-space storage; exp(kLogFloor) underflows to a clean zero.
 constexpr double kLogFloor = -745.0;
+
+// Table entries per pool task during construction. Each entry is an
+// independent quadrature sum, so any chunking yields identical tables.
+constexpr std::size_t kFillChunk = 256;
 
 }  // namespace
 
@@ -31,6 +36,13 @@ HybridEvaluator::HybridEvaluator(const ReliabilityProblem& problem,
   const AnalyticAnalyzer integrator(problem, options.integration);
   const auto& blocks = problem.blocks();
 
+  // Grid spacing must match LookupTable2D's own sampling (node ix maps to
+  // xlo + ix * (xhi - xlo) / (nx - 1)).
+  const double d_gamma = (options.gamma_hi - options.gamma_lo) /
+                         static_cast<double>(options.n_gamma - 1);
+  const double d_b =
+      (options.b_hi - options.b_lo) / static_cast<double>(options.n_b - 1);
+
   tables_.reserve(blocks.size());
   for (std::size_t j = 0; j < blocks.size(); ++j) {
     const auto& node_list = integrator.nodes()[j];
@@ -45,8 +57,23 @@ HybridEvaluator::HybridEvaluator(const ReliabilityProblem& problem,
       if (!options_.log_space) return fail;
       return (fail > 0.0) ? std::max(kLogFloor, std::log(fail)) : kLogFloor;
     };
+    // Entries are independent, so the fill parallelizes over the flattened
+    // (gamma, b) grid with bit-identical tables for any thread count.
+    std::vector<double> values(options.n_gamma * options.n_b);
+    par::parallel_for(
+        0, values.size(), kFillChunk,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t idx = begin; idx < end; ++idx) {
+            const std::size_t ig = idx / options_.n_b;
+            const std::size_t ib = idx % options_.n_b;
+            values[idx] =
+                entry(options_.gamma_lo + static_cast<double>(ig) * d_gamma,
+                      options_.b_lo + static_cast<double>(ib) * d_b);
+          }
+        });
     tables_.emplace_back(options.gamma_lo, options.gamma_hi, options.n_gamma,
-                         options.b_lo, options.b_hi, options.n_b, entry);
+                         options.b_lo, options.b_hi, options.n_b,
+                         std::move(values));
   }
 }
 
@@ -58,11 +85,21 @@ double HybridEvaluator::block_failure_lookup(std::size_t j, double gamma,
 
 double HybridEvaluator::failure_probability(double t) const {
   require(t > 0.0, "HybridEvaluator: t must be positive");
-  double f = 0.0;
+  // Weakest-link composition across blocks (eq. 7-8): the chip survives
+  // only if every block does, so block failures combine through the
+  // survival product, accumulated in log space for accuracy:
+  // F = 1 - prod_j (1 - F_j) = -expm1(sum_j log1p(-F_j)). Summing the
+  // F_j and clamping is only the first-order expansion and overestimates
+  // F(t) at high failure levels.
+  double log_survival = 0.0;
   const auto& blocks = problem_->blocks();
-  for (std::size_t j = 0; j < blocks.size(); ++j)
-    f += block_failure_lookup(j, std::log(t / blocks[j].alpha), blocks[j].b);
-  return std::clamp(f, 0.0, 1.0);
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    const double fj = std::min(
+        1.0,
+        block_failure_lookup(j, std::log(t / blocks[j].alpha), blocks[j].b));
+    log_survival += std::log1p(-fj);
+  }
+  return std::clamp(-std::expm1(log_survival), 0.0, 1.0);
 }
 
 double HybridEvaluator::failure_probability_with(
@@ -72,13 +109,15 @@ double HybridEvaluator::failure_probability_with(
   const auto& blocks = problem_->blocks();
   require(alphas.size() == blocks.size() && bs.size() == blocks.size(),
           "HybridEvaluator: one (alpha, b) pair per block required");
-  double f = 0.0;
+  double log_survival = 0.0;
   for (std::size_t j = 0; j < blocks.size(); ++j) {
     require(alphas[j] > 0.0 && bs[j] > 0.0,
             "HybridEvaluator: alpha and b must be positive");
-    f += block_failure_lookup(j, std::log(t / alphas[j]), bs[j]);
+    const double fj = std::min(
+        1.0, block_failure_lookup(j, std::log(t / alphas[j]), bs[j]));
+    log_survival += std::log1p(-fj);
   }
-  return std::clamp(f, 0.0, 1.0);
+  return std::clamp(-std::expm1(log_survival), 0.0, 1.0);
 }
 
 double HybridEvaluator::lifetime_at(double target) const {

@@ -2,14 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
+#include <sstream>
 
+#include "common/diagnostics.hpp"
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "core/lifetime.hpp"
 #include "numeric/roots.hpp"
 #include "stats/special.hpp"
 
 namespace obd::core {
+namespace {
+
+// Fixed chunk sizes for the shared pool. Chunk boundaries (not the thread
+// count) define the reduction order, so these are part of the numerical
+// contract: changing them reorders floating-point sums.
+constexpr std::size_t kSampleChunk = 8;    ///< chips per sampling task
+constexpr std::size_t kEvalChunk = 64;     ///< chips per evaluation task
+constexpr std::size_t kSimulateChunk = 4;  ///< chips per failure-time task
+
+}  // namespace
 
 MonteCarloAnalyzer::MonteCarloAnalyzer(const ReliabilityProblem& problem,
                                        const MonteCarloOptions& options)
@@ -32,34 +44,41 @@ MonteCarloAnalyzer::MonteCarloAnalyzer(const ReliabilityProblem& problem,
       options.thickness_range_sigmas * problem.budget().sigma_total();
   x_lo_ = nom_lo - half;
   x_step_ = (nom_hi + half - x_lo_) / static_cast<double>(options.thickness_bins);
+  x_hi_ = x_lo_ + x_step_ * static_cast<double>(options.thickness_bins);
 
-  // One independent stream per chip (seed xor chip index through the
-  // splitmix-based Rng constructor): results are reproducible and
+  // One independent stream per chip, derived by splitmix64-mixing
+  // (seed, chip index) — see Rng::stream. Results are reproducible and
   // independent of the thread count.
   chips_.resize(options.chip_samples);
-  auto sample_range = [this](std::size_t begin, std::size_t end) {
-    for (std::size_t s = begin; s < end; ++s) {
-      stats::Rng rng(options_.seed + 0x9E3779B97F4A7C15ull * (s + 1));
-      chips_[s] = sample_chip(rng);
-    }
-  };
-  const std::size_t workers =
-      std::max<std::size_t>(1, std::min(options.threads, options.chip_samples));
-  if (workers == 1) {
-    sample_range(0, options.chip_samples);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    const std::size_t stride =
-        (options.chip_samples + workers - 1) / workers;
-    for (std::size_t w = 0; w < workers; ++w) {
-      const std::size_t begin = w * stride;
-      const std::size_t end =
-          std::min(options.chip_samples, begin + stride);
-      if (begin >= end) break;
-      pool.emplace_back(sample_range, begin, end);
-    }
-    for (auto& t : pool) t.join();
+  par::parallel_for(
+      0, options.chip_samples, kSampleChunk,
+      [this](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          stats::Rng rng = stats::Rng::stream(options_.seed, s);
+          chips_[s] = sample_chip(rng);
+        }
+      },
+      options.threads);
+
+  // Out-of-range accounting is aggregated serially after the parallel
+  // sampling so the diagnostic (and any strict-mode throw) fires exactly
+  // once, on the calling thread.
+  std::uint64_t out_of_range = 0;
+  for (const ChipSample& chip : chips_) {
+    for (std::size_t j = 0; j < chip.underflow.size(); ++j)
+      out_of_range += chip.underflow[j] + chip.overflow[j];
+  }
+  const double total = static_cast<double>(options.chip_samples) *
+                       static_cast<double>(problem.design().total_devices());
+  out_of_range_fraction_ =
+      (total > 0.0) ? static_cast<double>(out_of_range) / total : 0.0;
+  if (out_of_range_fraction_ > 1e-6) {
+    std::ostringstream msg;
+    msg << "thickness histogram range [" << x_lo_ << ", " << x_hi_
+        << "] nm misses a fraction " << out_of_range_fraction_
+        << " of device samples (accounted at the range boundary); widen "
+           "thickness_range_sigmas";
+    diagnostics().warn("mc.binning", msg.str());
   }
 }
 
@@ -80,6 +99,8 @@ MonteCarloAnalyzer::ChipSample MonteCarloAnalyzer::sample_chip(
 
   ChipSample chip;
   chip.block_bins.resize(blocks.size());
+  chip.underflow.assign(blocks.size(), 0);
+  chip.overflow.assign(blocks.size(), 0);
   for (std::size_t j = 0; j < blocks.size(); ++j) {
     auto& counts = chip.block_bins[j];
     counts.assign(bins, 0);
@@ -103,9 +124,17 @@ MonteCarloAnalyzer::ChipSample MonteCarloAnalyzer::sample_chip(
       const double mu = t_grid[g];
       for (std::size_t i = 0; i < count; ++i) {
         const double x = mu + sr * rng.normal();
-        double f = (x - x_lo_) * inv_step;
-        f = std::clamp(f, 0.0, static_cast<double>(bins) - 1.0);
-        ++counts[static_cast<std::size_t>(f)];
+        const double f = (x - x_lo_) * inv_step;
+        // Out-of-range samples are counted separately and later evaluated
+        // at the true clamp boundary — folding them into the edge bins
+        // would bias their contribution toward the bin centers.
+        if (f < 0.0) {
+          ++chip.underflow[j];
+        } else if (f >= static_cast<double>(bins)) {
+          ++chip.overflow[j];
+        } else {
+          ++counts[static_cast<std::size_t>(f)];
+        }
       }
     }
   }
@@ -129,6 +158,14 @@ double MonteCarloAnalyzer::chip_exponent(const ChipSample& chip,
       if (c != 0) s += static_cast<double>(c) * p;
       p *= ratio;
     }
+    // Out-of-range populations contribute at the axis boundaries (their
+    // clamp values), not at the edge-bin centers.
+    if (chip.underflow[j] != 0)
+      s += static_cast<double>(chip.underflow[j]) *
+           std::exp(gamma * blocks[j].b * x_lo_);
+    if (chip.overflow[j] != 0)
+      s += static_cast<double>(chip.overflow[j]) *
+           std::exp(gamma * blocks[j].b * x_hi_);
     const double per_device_area =
         blocks[j].area /
         static_cast<double>(problem_->design().blocks[j].device_count);
@@ -139,22 +176,39 @@ double MonteCarloAnalyzer::chip_exponent(const ChipSample& chip,
 
 double MonteCarloAnalyzer::failure_probability(double t) const {
   require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
-  double sum = 0.0;
-  for (const auto& chip : chips_) sum += -std::expm1(-chip_exponent(chip, t));
+  const double sum = par::parallel_reduce(
+      0, chips_.size(), kEvalChunk, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double s = 0.0;
+        for (std::size_t i = begin; i < end; ++i)
+          s += -std::expm1(-chip_exponent(chips_[i], t));
+        return s;
+      },
+      [](double a, double b) { return a + b; }, options_.threads);
   return sum / static_cast<double>(chips_.size());
 }
 
 double MonteCarloAnalyzer::failure_std_error(double t) const {
   require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  for (const auto& chip : chips_) {
-    const double f = -std::expm1(-chip_exponent(chip, t));
-    sum += f;
-    sum_sq += f * f;
-  }
+  using Moments = std::pair<double, double>;  // (sum, sum of squares)
+  const Moments m = par::parallel_reduce(
+      0, chips_.size(), kEvalChunk, Moments{0.0, 0.0},
+      [&](std::size_t begin, std::size_t end) {
+        Moments acc{0.0, 0.0};
+        for (std::size_t i = begin; i < end; ++i) {
+          const double f = -std::expm1(-chip_exponent(chips_[i], t));
+          acc.first += f;
+          acc.second += f * f;
+        }
+        return acc;
+      },
+      [](const Moments& a, const Moments& b) {
+        return Moments{a.first + b.first, a.second + b.second};
+      },
+      options_.threads);
   const double n = static_cast<double>(chips_.size());
-  const double var = std::max(0.0, (sum_sq - sum * sum / n) / (n - 1.0));
+  const double var =
+      std::max(0.0, (m.second - m.first * m.first / n) / (n - 1.0));
   return std::sqrt(var / n);
 }
 
@@ -168,13 +222,19 @@ double MonteCarloAnalyzer::kth_failure_probability(double t,
   require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
   require(k >= 1, "MonteCarloAnalyzer: k must be >= 1");
   if (k == 1) return failure_probability(t);
-  double sum = 0.0;
-  for (const auto& chip : chips_) {
-    const double h = chip_exponent(chip, t);
-    // Conditional on the thicknesses, breakdowns are a Poisson process
-    // with mean h; P(N >= k) = P(k, h).
-    sum += (h > 0.0) ? stats::gamma_p(static_cast<double>(k), h) : 0.0;
-  }
+  const double sum = par::parallel_reduce(
+      0, chips_.size(), kEvalChunk, 0.0,
+      [&](std::size_t begin, std::size_t end) {
+        double s = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const double h = chip_exponent(chips_[i], t);
+          // Conditional on the thicknesses, breakdowns are a Poisson
+          // process with mean h; P(N >= k) = P(k, h).
+          s += (h > 0.0) ? stats::gamma_p(static_cast<double>(k), h) : 0.0;
+        }
+        return s;
+      },
+      [](double a, double b) { return a + b; }, options_.threads);
   return sum / static_cast<double>(chips_.size());
 }
 
@@ -186,19 +246,30 @@ double MonteCarloAnalyzer::kth_lifetime_at(double target,
 
 std::vector<double> MonteCarloAnalyzer::sample_failure_times(
     std::size_t count, stats::Rng& rng) const {
-  std::vector<double> times;
-  times.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const ChipSample chip = sample_chip(rng);
-    const double e = rng.exponential();
-    // Failure time: H(t) = e, inverted in log-time. H is monotone
-    // increasing in t, spanning many decades — Brent with automatic
-    // bracket expansion from a broad seed interval.
-    const double s = num::brent_auto_bracket(
-        [&](double log_t) { return chip_exponent(chip, std::exp(log_t)) - e; },
-        std::log(1e6), std::log(1e12), 1e-9);
-    times.push_back(std::exp(s));
-  }
+  // One draw from the caller's generator seeds the family of per-chip
+  // streams, so the simulation is reproducible and thread-count invariant
+  // while still depending on the caller's generator state.
+  const std::uint64_t base = rng();
+  std::vector<double> times(count);
+  par::parallel_for(
+      0, count, kSimulateChunk,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          stats::Rng chip_rng = stats::Rng::stream(base, i);
+          const ChipSample chip = sample_chip(chip_rng);
+          const double e = chip_rng.exponential();
+          // Failure time: H(t) = e, inverted in log-time. H is monotone
+          // increasing in t, spanning many decades — Brent with automatic
+          // bracket expansion from a broad seed interval.
+          const double s = num::brent_auto_bracket(
+              [&](double log_t) {
+                return chip_exponent(chip, std::exp(log_t)) - e;
+              },
+              std::log(1e6), std::log(1e12), 1e-9);
+          times[i] = std::exp(s);
+        }
+      },
+      options_.threads);
   return times;
 }
 

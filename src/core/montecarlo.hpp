@@ -10,6 +10,12 @@
 // the sample average of conditional failures. Complexity scales with the
 // number of devices, which is precisely why Table III shows MC losing by
 // orders of magnitude.
+//
+// All population-sized loops (chip sampling at construction, the F(t) /
+// std-error / k-th breakdown evaluation sweeps, failure-time simulation)
+// run on the shared deterministic pool (common/parallel.hpp): fixed chunk
+// boundaries and ordered reduction make every result bit-identical for any
+// thread count.
 #pragma once
 
 #include <cstdint>
@@ -25,9 +31,13 @@ struct MonteCarloOptions {
   std::size_t thickness_bins = 512;   ///< per-block histogram resolution
   double thickness_range_sigmas = 7.0;///< histogram half-width in sigma_tot
   std::uint64_t seed = 99;
-  /// Worker threads for chip sampling. Each chip draws from its own
-  /// seed-derived stream, so results are identical for any thread count.
-  std::size_t threads = 1;
+  /// Worker-thread cap for this analyzer's loops: 0 (default) uses the
+  /// shared pool at its configured width (--threads / OBDREL_THREADS /
+  /// hardware_concurrency), 1 forces serial inline execution, N caps the
+  /// pool at N threads for this analyzer. Each chip draws from its own
+  /// seed-derived stream and reductions run over fixed chunk boundaries,
+  /// so results are bit-identical for every setting.
+  std::size_t threads = 0;
 };
 
 class MonteCarloAnalyzer {
@@ -66,30 +76,48 @@ class MonteCarloAnalyzer {
   /// Simulates the failure time of `count` fresh sample chips (the Fig. 10
   /// "chip lifetime distribution" curve): per chip, draw all device
   /// thicknesses, then invert the conditional survivor function at an
-  /// Exp(1) variate. Returned times are unsorted.
+  /// Exp(1) variate. Returned times are unsorted. The passed generator is
+  /// advanced by one draw to derive the per-chip streams, so results are
+  /// reproducible and independent of the thread count.
   [[nodiscard]] std::vector<double> sample_failure_times(std::size_t count,
                                                          stats::Rng& rng) const;
 
   [[nodiscard]] std::size_t chip_samples() const { return options_.chip_samples; }
   [[nodiscard]] const ReliabilityProblem& problem() const { return *problem_; }
 
+  /// Fraction of drawn device thicknesses that fell outside the histogram
+  /// range and were accounted at the range boundary instead of inside a
+  /// bin. Construction emits an "mc.binning" diagnostic when this exceeds
+  /// 1e-6 (widen thickness_range_sigmas if so).
+  [[nodiscard]] double out_of_range_fraction() const {
+    return out_of_range_fraction_;
+  }
+
  private:
   /// Per-chip compressed thickness population: per block, bin counts over
-  /// the common thickness axis.
+  /// the common thickness axis plus explicit under/overflow counts for
+  /// samples beyond the axis, evaluated at the true range boundary rather
+  /// than folded into the edge bins (which would bias the edge-bin mass
+  /// toward the bin center).
   struct ChipSample {
     std::vector<std::vector<std::uint32_t>> block_bins;
+    std::vector<std::uint32_t> underflow;  ///< per block, x < x_lo
+    std::vector<std::uint32_t> overflow;   ///< per block, x >= x_hi
   };
 
   [[nodiscard]] ChipSample sample_chip(stats::Rng& rng) const;
 
   /// Sum over blocks of A-weighted Weibull exponents for one chip:
-  /// H(t) = sum_j a_j sum_bins count * exp(gamma_j b_j x_bin).
+  /// H(t) = sum_j a_j sum_bins count * exp(gamma_j b_j x_bin), with the
+  /// under/overflow populations contributing at the axis boundaries.
   [[nodiscard]] double chip_exponent(const ChipSample& chip, double t) const;
 
   const ReliabilityProblem* problem_;  // non-owning; must outlive this
   MonteCarloOptions options_;
   double x_lo_ = 0.0;   ///< histogram lower edge [nm]
   double x_step_ = 0.0; ///< bin width [nm]
+  double x_hi_ = 0.0;   ///< histogram upper edge [nm]
+  double out_of_range_fraction_ = 0.0;
   std::vector<ChipSample> chips_;
 };
 

@@ -1,6 +1,7 @@
 #include "core/uv_nodes.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -19,10 +20,17 @@ double failure_from_nodes(const std::vector<BlockParams>& blocks,
                           double t) {
   require(nodes.size() == blocks.size(),
           "failure_from_nodes: one node list per block required");
-  double f = 0.0;
-  for (std::size_t j = 0; j < blocks.size(); ++j)
-    f += block_failure_from_nodes(blocks[j], nodes[j], t);
-  return std::clamp(f, 0.0, 1.0);
+  // Weakest-link composition (eq. 7-8): block failures combine through
+  // the survival product 1 - prod_j (1 - F_j), accumulated in log space.
+  // Summing the F_j is only the first-order expansion and overestimates
+  // F(t) once individual block failures stop being small.
+  double log_survival = 0.0;
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    const double fj = std::clamp(
+        block_failure_from_nodes(blocks[j], nodes[j], t), 0.0, 1.0);
+    log_survival += std::log1p(-fj);
+  }
+  return std::clamp(-std::expm1(log_survival), 0.0, 1.0);
 }
 
 }  // namespace obd::core

@@ -26,10 +26,12 @@ struct UvNode {
   double weight = 0.0;
 };
 
-/// Chip failure probability at time t from per-block node lists:
-/// F(t) = sum_j sum_n w_n (1 - exp(-A_j g(u_n, v_n))), clamped to [0, 1].
-/// (The per-block sum follows from the linearity step of eq. 19-21: no
-/// cross-block joint distribution is needed.)
+/// Chip failure probability at time t from per-block node lists, composed
+/// across blocks in survival space (weakest link, eq. 7-8):
+/// F(t) = 1 - prod_j (1 - F_j) with F_j = sum_n w_n (1 - exp(-A_j g)).
+/// (Per-block marginals suffice by the independence step of eq. 19-21; the
+/// survival product keeps F(t) exact at high failure levels where the
+/// first-order sum-of-blocks approximation overestimates.)
 double failure_from_nodes(const std::vector<BlockParams>& blocks,
                           const std::vector<std::vector<UvNode>>& nodes,
                           double t);

@@ -83,4 +83,14 @@ Rng Rng::split() {
   return Rng(splitmix64(mix));
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream) {
+  // Whiten the base seed once, fold the stream index in, and mix again.
+  // splitmix64 is a bijection of its (incremented) state, so distinct
+  // stream indices always produce distinct derived seeds.
+  std::uint64_t state = seed;
+  const std::uint64_t whitened = splitmix64(state);
+  std::uint64_t derived = whitened ^ (stream + 0x9E3779B97F4A7C15ull);
+  return Rng(splitmix64(derived));
+}
+
 }  // namespace obd::stats

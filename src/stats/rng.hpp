@@ -51,6 +51,15 @@ class Rng {
   /// current state mixed through splitmix64). Useful for parallel fan-out.
   Rng split();
 
+  /// Deterministic independent stream `stream` of a seed: both words are
+  /// whitened through splitmix64 before combining, so nearby (seed, stream)
+  /// pairs yield decorrelated generators. This is how per-chip Monte Carlo
+  /// streams are derived — unlike seeding with `seed + c * stream`, whose
+  /// affinely-related seeds make consecutive chips share three of their
+  /// four xoshiro state words (the constructor fills state with
+  /// splitmix64(seed + k * GOLDEN) for k = 1..4).
+  static Rng stream(std::uint64_t seed, std::uint64_t stream);
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

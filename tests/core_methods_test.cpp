@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "chip/design.hpp"
+#include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "core/analytic.hpp"
 #include "core/guardband.hpp"
@@ -148,6 +149,67 @@ TEST_F(MethodsFixture, HybridMatchesStFast) {
   EXPECT_NEAR(hybrid.lifetime_at(kOneFaultPerMillion) /
                   fast.lifetime_at(kOneFaultPerMillion),
               1.0, 0.03);
+}
+
+TEST_F(MethodsFixture, HybridMatchesAnalyticAtHighFailureLevels) {
+  // Regression for the block-composition bug: summing per-block failures
+  // and clamping to [0, 1] (the first-order expansion) overestimates F(t)
+  // once blocks stop being individually reliable, saturating at 1 long
+  // before the true weakest-link curve does. Both analyzers now compose
+  // through the survival product, so they must agree deep into the
+  // high-failure regime, not just at ppm levels.
+  const AnalyticAnalyzer fast(*problem_);
+  const HybridEvaluator hybrid(*problem_);
+  for (double target : {0.5, 0.9, 0.99}) {
+    const double t = fast.lifetime_at(target);
+    const double ff = fast.failure_probability(t);
+    const double fh = hybrid.failure_probability(t);
+    ASSERT_NEAR(ff, target, 1e-6 * target);  // lifetime_at round trip
+    EXPECT_LT(fh, 1.0) << "hybrid saturated at target " << target;
+    EXPECT_NEAR(fh / ff, 1.0, 0.03) << "target " << target;
+  }
+  // The survival product can never exceed the first-order block-failure
+  // sum; at F ~ 0.9 the two must differ measurably (the sum would have
+  // been driven toward saturation).
+  const double t90 = fast.lifetime_at(0.9);
+  double block_sum = 0.0;
+  for (std::size_t j = 0; j < problem_->blocks().size(); ++j)
+    block_sum += fast.block_failure(j, t90);
+  EXPECT_GT(block_sum, fast.failure_probability(t90) + 1e-3);
+}
+
+TEST_F(MethodsFixture, MonteCarloAccountsOutOfRangeThickness) {
+  diagnostics().clear();
+  // A deliberately narrow histogram (+-1 sigma of total variation) forces
+  // a macroscopic fraction of device draws outside the axis. They must be
+  // counted (not folded into edge bins) and flagged once via "mc.binning".
+  MonteCarloOptions narrow;
+  narrow.chip_samples = 50;
+  narrow.thickness_range_sigmas = 1.0;
+  const MonteCarloAnalyzer mc_narrow(*problem_, narrow);
+  EXPECT_GT(mc_narrow.out_of_range_fraction(), 1e-6);
+  EXPECT_EQ(diagnostics().count("mc.binning"), 1u);
+  diagnostics().clear();
+
+  // The default range must not clip and must not warn.
+  MonteCarloOptions wide;
+  wide.chip_samples = 50;
+  const MonteCarloAnalyzer mc_wide(*problem_, wide);
+  EXPECT_EQ(mc_wide.out_of_range_fraction(), 0.0);
+  EXPECT_EQ(diagnostics().count("mc.binning"), 0u);
+
+  // Boundary accounting keeps the clipped analyzer a sane estimator: the
+  // out-of-range mass contributes at the clamp value instead of being
+  // dropped, so F(t) stays bounded and in the neighborhood of the
+  // unclipped estimate.
+  for (double t : {1e8, 1e9}) {
+    const double f_narrow = mc_narrow.failure_probability(t);
+    const double f_wide = mc_wide.failure_probability(t);
+    EXPECT_GE(f_narrow, 0.0);
+    EXPECT_LE(f_narrow, 1.0);
+    EXPECT_NEAR(f_narrow, f_wide, 0.25) << "t=" << t;
+  }
+  diagnostics().clear();
 }
 
 TEST_F(MethodsFixture, HybridPaperBilinearStillClose) {

@@ -11,6 +11,9 @@
 //
 // Global flags:
 //   --strict      escalate degraded results to errors (exit code 6)
+//   --threads <n> worker threads for the shared analysis pool
+//                 (0 = auto-detect; overrides OBDREL_THREADS and the
+//                 `threads` config key)
 //   --checkpoint-dir <dir>   durable DRM state directory (drm run)
 //   --resume                 recover DRM state from the checkpoint dir
 //   --checkpoint-every <n>   steps between snapshots (default 16)
@@ -33,6 +36,7 @@
 //   mc_chips      Monte Carlo sample chips               (default 500)
 //   targets       failure-quantile list                  (default 1e-6 1e-5)
 //   strict        bool: same as --strict                 (default false)
+//   threads       shared-pool worker threads             (default auto)
 //   faults        fault-injection spec (testing only)
 //
 // DRM-run config keys (obdrel drm run):
@@ -61,6 +65,7 @@
 #include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
+#include "common/parallel.hpp"
 #include "common/stopwatch.hpp"
 #include "core/analytic.hpp"
 #include "core/guardband.hpp"
@@ -399,6 +404,8 @@ int usage(std::FILE* out, int rc) {
                "       obdrel help | --help | -h\n"
                "\n"
                "--strict escalates degraded results to errors.\n"
+               "--threads <n> sizes the shared analysis pool (0 = auto);\n"
+               "it overrides OBDREL_THREADS and the `threads` config key.\n"
                "drm run drives the crash-safe DRM service loop from a\n"
                "telemetry trace ('-' reads stdin); --checkpoint-dir makes\n"
                "its state durable and --resume recovers it after a crash.\n"
@@ -411,14 +418,25 @@ int usage(std::FILE* out, int rc) {
 int usage() { return usage(stderr, 2); }
 
 // Applies the robustness knobs shared by every command, after the config
-// parses but before any numerics run.
-void apply_runtime_options(const Config& cfg, bool strict_flag) {
+// parses but before any numerics run. The --threads flag (threads_flag
+// >= 0) wins over the `threads` config key, which wins over the
+// OBDREL_THREADS environment variable.
+void apply_runtime_options(const Config& cfg, bool strict_flag,
+                           long long threads_flag) {
   set_strict_mode(strict_flag || cfg.get_bool("strict", false));
   if (cfg.has("faults")) fault::arm(cfg.get_string("faults"));
+  if (threads_flag >= 0) {
+    par::set_threads(static_cast<std::size_t>(threads_flag));
+  } else if (cfg.has("threads")) {
+    par::set_threads(cfg.get_count("threads", 1));
+  }
 }
 
 // Reports collected degradation warnings; returns the adjusted exit code.
 int finish(int rc) {
+  par::publish_stats();
+  const std::string stats = diagnostics().render_stats();
+  if (!stats.empty()) std::fputs(stats.c_str(), stderr);
   if (diagnostics().degraded()) {
     std::fputs(diagnostics().render().c_str(), stderr);
     std::fprintf(stderr,
@@ -435,6 +453,7 @@ int finish(int rc) {
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   bool strict_flag = false;
+  long long threads_flag = -1;  // -1 = not given on the command line
   drm::RuntimeOptions ropts;
   ropts.checkpoint_every = 0;  // 0 = take the config key / default
   for (int i = 1; i < argc; ++i) {
@@ -448,7 +467,8 @@ int main(int argc, char** argv) {
       ropts.resume = true;
       continue;
     }
-    if (a == "--checkpoint-dir" || a == "--checkpoint-every") {
+    if (a == "--checkpoint-dir" || a == "--checkpoint-every" ||
+        a == "--threads") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error [config]: %s needs a value\n",
                      a.c_str());
@@ -457,6 +477,17 @@ int main(int argc, char** argv) {
       const std::string value = argv[++i];
       if (a == "--checkpoint-dir") {
         ropts.checkpoint_dir = value;
+      } else if (a == "--threads") {
+        char* end = nullptr;
+        const long long n = std::strtoll(value.c_str(), &end, 10);
+        if (end != value.c_str() + value.size() || n < 0) {
+          std::fprintf(stderr,
+                       "error [config]: --threads needs a non-negative "
+                       "integer (0 = auto), got '%s'\n",
+                       value.c_str());
+          return usage();
+        }
+        threads_flag = n;
       } else {
         char* end = nullptr;
         const long long n = std::strtoll(value.c_str(), &end, 10);
@@ -485,7 +516,7 @@ int main(int argc, char** argv) {
     const std::string& cmd = args[0];
     if (cmd == "analyze" || cmd == "report" || cmd == "thermal") {
       const Config cfg = Config::parse_file(args[1]);
-      apply_runtime_options(cfg, strict_flag);
+      apply_runtime_options(cfg, strict_flag, threads_flag);
       if (cmd == "analyze") return finish(cmd_analyze(cfg));
       if (cmd == "report") return finish(cmd_report(cfg));
       return finish(cmd_thermal(cfg));
@@ -493,14 +524,14 @@ int main(int argc, char** argv) {
     if (cmd == "lut") {
       if (args.size() < 4) return usage();
       const Config cfg = Config::parse_file(args[2]);
-      apply_runtime_options(cfg, strict_flag);
+      apply_runtime_options(cfg, strict_flag, threads_flag);
       return finish(cmd_lut(cfg, args[1], args[3],
                             args.size() > 4 ? args[4].c_str() : nullptr));
     }
     if (cmd == "drm") {
       if (args.size() < 4 || args[1] != "run") return usage();
       const Config cfg = Config::parse_file(args[2]);
-      apply_runtime_options(cfg, strict_flag);
+      apply_runtime_options(cfg, strict_flag, threads_flag);
       return finish(cmd_drm_run(cfg, args[3], ropts));
     }
     return usage();
