@@ -18,6 +18,7 @@ obdrel_add_bench(fig6_7_uv_independence)
 obdrel_add_bench(fig8_quadform_cdf)
 obdrel_add_bench(fig10_failure_curves)
 obdrel_add_bench(parallel_scaling)
+obdrel_add_bench(hot_path_scaling)
 
 # Ablation studies of the design choices called out in DESIGN.md.
 obdrel_add_bench(ablation_quadrature)

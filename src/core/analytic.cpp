@@ -119,36 +119,22 @@ StMcAnalyzer::StMcAnalyzer(const ReliabilityProblem& problem,
 
     // Block-local covariance C = Lambda_j Lambda_j^T over the block's grid
     // cells, from the same (possibly truncated) canonical model the other
-    // methods use.
-    la::Matrix cov(gcount, gcount);
-    for (std::size_t a = 0; a < gcount; ++a) {
-      for (std::size_t b2 = a; b2 < gcount; ++b2) {
-        double s = 0.0;
-        for (std::size_t k = 0; k < pc; ++k)
-          s += canonical.sensitivity(weights[a].first, k) *
-               canonical.sensitivity(weights[b2].first, k);
-        cov(a, b2) = s;
-        cov(b2, a) = s;
-      }
-    }
-    const auto eig = la::eigen_symmetric(cov);
-    double total = 0.0;
-    for (double w : eig.values) total += std::max(0.0, w);
-    std::size_t keep = 0;
-    double captured = 0.0;
-    while (keep < gcount && eig.values[keep] > 0.0 &&
-           captured < 0.9999 * total) {
-      captured += eig.values[keep];
-      ++keep;
-    }
-    keep = std::max<std::size_t>(keep, 1);
+    // methods use. Gathering the block's sensitivity rows and forming the
+    // Gram matrix with the shared rank-k helper keeps the inner products in
+    // one cache-friendly kernel (identical summation order to the explicit
+    // triple loop, so the samples are unchanged bit for bit).
+    la::Matrix lambda(gcount, pc);
+    for (std::size_t a = 0; a < gcount; ++a)
+      for (std::size_t k = 0; k < pc; ++k)
+        lambda(a, k) = canonical.sensitivity(weights[a].first, k);
+    const la::Matrix cov = la::gram_aat(lambda);
+    // Truncated eigensolve: only the components capturing 99.99% of the
+    // block-local variance are converged (small blocks fall through to the
+    // dense decomposition inside, so results there match the full solve).
+    const auto eig = la::eigen_symmetric_truncated(cov, 0.9999);
+    const std::size_t keep = eig.values.size();  // solver returns >= 1
     // Local factor L(a, k) = V(a, k) sqrt(lambda_k).
-    la::Matrix local(gcount, keep);
-    for (std::size_t k = 0; k < keep; ++k) {
-      const double s = std::sqrt(std::max(0.0, eig.values[k]));
-      for (std::size_t a = 0; a < gcount; ++a)
-        local(a, k) = eig.vectors(a, k) * s;
-    }
+    const la::Matrix local = la::principal_factor(eig, keep);
 
     const double m = static_cast<double>(blocks[j].blod.device_count());
     const double sr = canonical.residual_sigma();

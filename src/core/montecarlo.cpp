@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "core/lifetime.hpp"
 #include "numeric/roots.hpp"
+#include "stats/sampling.hpp"
 #include "stats/special.hpp"
 
 namespace obd::core {
@@ -21,7 +23,73 @@ constexpr std::size_t kSampleChunk = 8;    ///< chips per sampling task
 constexpr std::size_t kEvalChunk = 64;     ///< chips per evaluation task
 constexpr std::size_t kSimulateChunk = 4;  ///< chips per failure-time task
 
+// Chips per cache tile inside one evaluation chunk of a batched sweep:
+// each sweep point's factor rows are applied to this many chip histograms
+// before moving to the next point, keeping the histograms L2-resident and
+// the factor-table traffic per chunk proportional to chunk/kEvalTile
+// instead of the chip count. Purely a blocking factor — the per-point
+// accumulation order over chips is unchanged, so results do not depend on
+// it.
+constexpr std::size_t kEvalTile = 16;
+
+// |z| beyond which normal_cdf is exactly 0 or 1 in double (erfc underflows
+// near |z| ~ 38.5); bins whose edges lie past this window carry exactly
+// zero probability and can be skipped without consuming randomness.
+constexpr double kTailZ = 39.0;
+
+// Core half-width of the binned sampler in residual sigmas: bins within
+// kCoreZ sigma of the cell mean are drawn individually; the tails outside
+// (still inside the representable kTailZ window) are grouped into a single
+// binomial each and subdivided only when their count is nonzero. 5 sigma
+// keeps the grouped-tail trigger probability per cell at ~n * 3e-7 while
+// bounding the per-cell work to ~10 sigma worth of bins.
+constexpr double kCoreZ = 5.0;
+
+// Dot product of a count vector against a factor table with four explicit
+// independent accumulators, combined as (a0 + a2) + (a1 + a3). The fixed
+// structure is part of the determinism contract: the scalar and batched
+// evaluation paths both call exactly this kernel, so their results are
+// bit-identical, while the four chains give the hardware instruction-level
+// parallelism without asking the compiler to reassociate.
+double dot_counts(const std::uint32_t* c, const double* e, std::size_t n) {
+  double a0 = 0.0;
+  double a1 = 0.0;
+  double a2 = 0.0;
+  double a3 = 0.0;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    a0 += static_cast<double>(c[k]) * e[k];
+    a1 += static_cast<double>(c[k + 1]) * e[k + 1];
+    a2 += static_cast<double>(c[k + 2]) * e[k + 2];
+    a3 += static_cast<double>(c[k + 3]) * e[k + 3];
+  }
+  for (; k < n; ++k) a0 += static_cast<double>(c[k]) * e[k];
+  return (a0 + a2) + (a1 + a3);
+}
+
+// Per-thread factor scratch for the scalar chip_exponent path, so Brent
+// iterations inside sample_failure_times do not allocate per evaluation.
+thread_local std::vector<double> scalar_factor_scratch;
+
 }  // namespace
+
+namespace detail {
+
+void fill_bin_factors(double gb, double x_lo, double step, std::size_t bins,
+                      std::vector<double>& out) {
+  out.resize(bins);
+  const double ratio = std::exp(gb * step);
+  double p = 0.0;
+  for (std::size_t k = 0; k < bins; ++k) {
+    if (k % kReanchorInterval == 0)
+      p = std::exp(gb *
+                   (x_lo + (static_cast<double>(k) + 0.5) * step));
+    out[k] = p;
+    p *= ratio;
+  }
+}
+
+}  // namespace detail
 
 MonteCarloAnalyzer::MonteCarloAnalyzer(const ReliabilityProblem& problem,
                                        const MonteCarloOptions& options)
@@ -82,6 +150,150 @@ MonteCarloAnalyzer::MonteCarloAnalyzer(const ReliabilityProblem& problem,
   }
 }
 
+void MonteCarloAnalyzer::sample_cell_binned(std::size_t count, double mu,
+                                            double sr,
+                                            std::vector<std::uint32_t>& counts,
+                                            std::uint32_t& underflow,
+                                            std::uint32_t& overflow,
+                                            stats::Rng& rng) const {
+  if (count == 0) return;
+  const std::size_t bins = options_.thickness_bins;
+  const double inv_step = 1.0 / x_step_;
+  if (sr <= 0.0) {
+    // Degenerate residual: every device sits exactly at mu.
+    const double f = (mu - x_lo_) * inv_step;
+    if (f < 0.0) {
+      underflow += static_cast<std::uint32_t>(count);
+    } else if (f >= static_cast<double>(bins)) {
+      overflow += static_cast<std::uint32_t>(count);
+    } else {
+      counts[static_cast<std::size_t>(f)] +=
+          static_cast<std::uint32_t>(count);
+    }
+    return;
+  }
+
+  // Window of bins whose Gaussian mass is representable in double; bins
+  // outside have exactly-zero probability (both edge cdfs are exactly 0,
+  // or exactly 1), so skipping them draws nothing and loses no mass. The
+  // window is widened by one bin on each side, which swamps any rounding
+  // in the index arithmetic.
+  const double nbins = static_cast<double>(bins);
+  const double c_lo =
+      std::min((mu - kTailZ * sr - x_lo_) * inv_step, nbins);
+  const double c_hi =
+      std::min((mu + kTailZ * sr - x_lo_) * inv_step, nbins);
+  const std::size_t ka =
+      (c_lo <= 1.0) ? 0 : static_cast<std::size_t>(c_lo - 1.0);
+  const std::size_t kb =
+      (c_hi <= 0.0) ? 0
+                    : std::min(bins, static_cast<std::size_t>(c_hi + 2.0));
+
+  // Conditional-binomial multinomial sampling in fixed category order:
+  // underflow, bins ascending, overflow as the remainder. Each category
+  // draws Binomial(remaining, p_cat / p_remaining); the chain is exactly
+  // the multinomial over all categories.
+  std::uint64_t remaining = count;
+  double prem = 1.0;
+  const double inv_sr = 1.0 / sr;
+  const auto edge_z = [&](std::size_t k) {
+    return (x_lo_ + static_cast<double>(k) * x_step_ - mu) * inv_sr;
+  };
+  const auto take = [&](double pcat) -> std::uint64_t {
+    if (remaining == 0 || pcat <= 0.0) return 0;
+    std::uint64_t n;
+    if (pcat >= prem) {
+      n = remaining;  // conditional probability 1: no randomness to spend
+    } else {
+      n = stats::binomial_sample(remaining, pcat / prem, rng);
+    }
+    remaining -= n;
+    prem -= pcat;
+    return n;
+  };
+
+  // Distributes a grouped tail's total among its bins by the same
+  // conditional-binomial chain, restricted to the group (multinomial
+  // grouping: drawing the group total first and splitting it conditionally
+  // is distribution-identical to drawing every bin in the flat chain).
+  // Only runs in the rare event a tail group receives a nonzero count, so
+  // its per-bin cdf evaluations do not affect the typical-case cost.
+  const auto split_group = [&](std::size_t k_begin, std::size_t k_end,
+                               std::uint64_t n_group, double cdf_begin,
+                               double cdf_end) {
+    std::uint64_t rem = n_group;
+    double prem_local = cdf_end - cdf_begin;
+    double local_prev = cdf_begin;
+    for (std::size_t k = k_begin; k < k_end && rem > 0; ++k) {
+      const double cdf_next = stats::normal_cdf(edge_z(k + 1));
+      const double pcat = cdf_next - local_prev;
+      local_prev = cdf_next;
+      if (pcat <= 0.0) continue;
+      std::uint64_t nk;
+      if (pcat >= prem_local) {
+        nk = rem;
+      } else {
+        nk = stats::binomial_sample(rem, pcat / prem_local, rng);
+      }
+      rem -= nk;
+      prem_local -= pcat;
+      counts[k] += static_cast<std::uint32_t>(nk);
+    }
+    // Roundoff residue (possible only when prem_local underflows before
+    // the mass is spent): accounted in the group's last bin.
+    if (rem > 0) counts[k_end - 1] += static_cast<std::uint32_t>(rem);
+  };
+
+  // Core window: bins within kCoreZ sigma of mu. The representable window
+  // [ka, kb) spans hundreds of near-empty bins when sr covers many bins;
+  // the prefix and suffix tails outside the core are drawn as one grouped
+  // binomial each (exact, see split_group) so the per-cell cost is O(core
+  // bins) rather than O(window bins). Index margins as for ka/kb.
+  std::size_t k_core_lo = ka;
+  std::size_t k_core_hi = kb;
+  {
+    const double w_lo =
+        std::min((mu - kCoreZ * sr - x_lo_) * inv_step, nbins);
+    const double w_hi =
+        std::min((mu + kCoreZ * sr - x_lo_) * inv_step, nbins);
+    if (w_lo > static_cast<double>(ka) + 1.0)
+      k_core_lo = std::min(kb, static_cast<std::size_t>(w_lo - 1.0));
+    if (w_hi >= 0.0) {
+      const std::size_t cap =
+          std::min(kb, static_cast<std::size_t>(w_hi + 2.0));
+      k_core_hi = std::max(k_core_lo, cap);
+    }
+  }
+
+  // Underflow mass below edge 0 — exactly 0 whenever any leading bin was
+  // skipped (the skipped bins' edges already sit in the exact-zero tail).
+  double cdf_prev =
+      (ka == 0) ? stats::normal_cdf(edge_z(0)) : 0.0;
+  underflow += static_cast<std::uint32_t>(take(cdf_prev));
+  // Prefix tail [ka, k_core_lo) as one group.
+  if (k_core_lo > ka && remaining > 0) {
+    const double cdf_core = stats::normal_cdf(edge_z(k_core_lo));
+    const std::uint64_t n_pre = take(cdf_core - cdf_prev);
+    if (n_pre > 0) split_group(ka, k_core_lo, n_pre, cdf_prev, cdf_core);
+    cdf_prev = cdf_core;
+  }
+  // Core bins, one conditional binomial each.
+  for (std::size_t k = k_core_lo; k < k_core_hi && remaining > 0; ++k) {
+    const double cdf_next = stats::normal_cdf(edge_z(k + 1));
+    counts[k] += static_cast<std::uint32_t>(take(cdf_next - cdf_prev));
+    cdf_prev = cdf_next;
+  }
+  // Suffix tail [k_core_hi, kb) as one group.
+  if (k_core_hi < kb && remaining > 0) {
+    const double cdf_end = stats::normal_cdf(edge_z(kb));
+    const std::uint64_t n_suf = take(cdf_end - cdf_prev);
+    if (n_suf > 0) split_group(k_core_hi, kb, n_suf, cdf_prev, cdf_end);
+  }
+  // Remainder: mass at or above x_hi (bins beyond the window hold exactly
+  // zero probability, so nothing is misattributed).
+  overflow += static_cast<std::uint32_t>(remaining);
+}
+
 MonteCarloAnalyzer::ChipSample MonteCarloAnalyzer::sample_chip(
     stats::Rng& rng) const {
   const var::CanonicalForm& canonical = problem_->canonical();
@@ -122,6 +334,11 @@ MonteCarloAnalyzer::ChipSample MonteCarloAnalyzer::sample_chip(
       }
       placed += count;
       const double mu = t_grid[g];
+      if (options_.sampling == DeviceSampling::kBinned) {
+        sample_cell_binned(count, mu, sr, counts, chip.underflow[j],
+                           chip.overflow[j], rng);
+        continue;
+      }
       for (std::size_t i = 0; i < count; ++i) {
         const double x = mu + sr * rng.normal();
         const double f = (x - x_lo_) * inv_step;
@@ -138,17 +355,121 @@ MonteCarloAnalyzer::ChipSample MonteCarloAnalyzer::sample_chip(
       }
     }
   }
+
+  // Nonzero bin range per block, with the lower edge aligned down to the
+  // dot_counts lane width. The evaluation kernels dot only this range:
+  // every skipped bin has count zero and would contribute exactly +0.0 to
+  // its accumulator lane, so the trimmed dot is bit-identical to the full
+  // one while skipping the (often long) empty tails.
+  chip.nz_lo.assign(blocks.size(), 0);
+  chip.nz_hi.assign(blocks.size(), 0);
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    const auto& counts = chip.block_bins[j];
+    std::size_t lo = 0;
+    while (lo < counts.size() && counts[lo] == 0) ++lo;
+    std::size_t hi = counts.size();
+    while (hi > lo && counts[hi - 1] == 0) --hi;
+    chip.nz_lo[j] = static_cast<std::uint32_t>(lo & ~std::size_t{3});
+    chip.nz_hi[j] = static_cast<std::uint32_t>(hi);
+  }
   return chip;
+}
+
+MonteCarloAnalyzer::EvalContext MonteCarloAnalyzer::build_eval_context(
+    std::span<const double> ts) const {
+  const auto& blocks = problem_->blocks();
+  EvalContext ctx;
+  ctx.nt = ts.size();
+  ctx.nblocks = blocks.size();
+  ctx.bins = options_.thickness_bins;
+  ctx.factors.resize(ctx.nt * ctx.nblocks * ctx.bins);
+  ctx.lo.resize(ctx.nt * ctx.nblocks);
+  ctx.hi.resize(ctx.nt * ctx.nblocks);
+  ctx.area.resize(ctx.nblocks);
+  for (std::size_t j = 0; j < ctx.nblocks; ++j)
+    ctx.area[j] =
+        blocks[j].area /
+        static_cast<double>(problem_->design().blocks[j].device_count);
+
+  std::vector<double> column;
+  for (std::size_t ti = 0; ti < ctx.nt; ++ti) {
+    for (std::size_t j = 0; j < ctx.nblocks; ++j) {
+      const double gb = std::log(ts[ti] / blocks[j].alpha) * blocks[j].b;
+      detail::fill_bin_factors(gb, x_lo_, x_step_, ctx.bins, column);
+      std::copy(column.begin(), column.end(),
+                ctx.factors.begin() +
+                    static_cast<std::ptrdiff_t>((ti * ctx.nblocks + j) *
+                                                ctx.bins));
+      ctx.lo[ti * ctx.nblocks + j] = std::exp(gb * x_lo_);
+      ctx.hi[ti * ctx.nblocks + j] = std::exp(gb * x_hi_);
+    }
+  }
+  return ctx;
+}
+
+double MonteCarloAnalyzer::chip_exponent_ctx(const ChipSample& chip,
+                                             const EvalContext& ctx,
+                                             std::size_t ti) const {
+  double h = 0.0;
+  for (std::size_t j = 0; j < ctx.nblocks; ++j) {
+    const double* factors =
+        ctx.factors.data() + (ti * ctx.nblocks + j) * ctx.bins;
+    const std::size_t lo = chip.nz_lo[j];
+    const std::size_t hi = chip.nz_hi[j];
+    double s = dot_counts(chip.block_bins[j].data() + lo, factors + lo,
+                          hi - lo);
+    // Out-of-range populations contribute at the axis boundaries (their
+    // clamp values), not at the edge-bin centers.
+    if (chip.underflow[j] != 0)
+      s += static_cast<double>(chip.underflow[j]) *
+           ctx.lo[ti * ctx.nblocks + j];
+    if (chip.overflow[j] != 0)
+      s += static_cast<double>(chip.overflow[j]) *
+           ctx.hi[ti * ctx.nblocks + j];
+    h += ctx.area[j] * s;
+  }
+  return h;
 }
 
 double MonteCarloAnalyzer::chip_exponent(const ChipSample& chip,
                                          double t) const {
+  // Scalar one-point evaluation through the same factor-table kernel as
+  // the batched path (dot_counts over fill_bin_factors output), so the two
+  // are bit-identical by construction. The table lives in a per-thread
+  // scratch: Brent iterations in sample_failure_times evaluate this in a
+  // tight loop and must not allocate.
+  const auto& blocks = problem_->blocks();
+  const std::size_t bins = options_.thickness_bins;
+  std::vector<double>& factors = scalar_factor_scratch;
+  double h = 0.0;
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    const double gb = std::log(t / blocks[j].alpha) * blocks[j].b;
+    detail::fill_bin_factors(gb, x_lo_, x_step_, bins, factors);
+    const std::size_t lo = chip.nz_lo[j];
+    const std::size_t hi = chip.nz_hi[j];
+    double s = dot_counts(chip.block_bins[j].data() + lo,
+                          factors.data() + lo, hi - lo);
+    if (chip.underflow[j] != 0)
+      s += static_cast<double>(chip.underflow[j]) * std::exp(gb * x_lo_);
+    if (chip.overflow[j] != 0)
+      s += static_cast<double>(chip.overflow[j]) * std::exp(gb * x_hi_);
+    const double per_device_area =
+        blocks[j].area /
+        static_cast<double>(problem_->design().blocks[j].device_count);
+    h += per_device_area * s;
+  }
+  return h;
+}
+
+double MonteCarloAnalyzer::chip_exponent_reference(const ChipSample& chip,
+                                                   double t) const {
   const auto& blocks = problem_->blocks();
   double h = 0.0;
   for (std::size_t j = 0; j < blocks.size(); ++j) {
     const double gamma = std::log(t / blocks[j].alpha);
-    // sum_bins count * exp(gamma b x_bin) evaluated incrementally:
-    // p_{k+1} = p_k * exp(gamma b dx) — one exp per block, not per bin.
+    // The pre-fast-path recurrence: p_{k+1} = p_k * exp(gamma b dx) with
+    // no re-anchoring — one exp per block, but the running product drifts
+    // by O(bins) ulps across the axis.
     const double base =
         std::exp(gamma * blocks[j].b * (x_lo_ + 0.5 * x_step_));
     const double ratio = std::exp(gamma * blocks[j].b * x_step_);
@@ -158,8 +479,6 @@ double MonteCarloAnalyzer::chip_exponent(const ChipSample& chip,
       if (c != 0) s += static_cast<double>(c) * p;
       p *= ratio;
     }
-    // Out-of-range populations contribute at the axis boundaries (their
-    // clamp values), not at the edge-bin centers.
     if (chip.underflow[j] != 0)
       s += static_cast<double>(chip.underflow[j]) *
            std::exp(gamma * blocks[j].b * x_lo_);
@@ -174,42 +493,100 @@ double MonteCarloAnalyzer::chip_exponent(const ChipSample& chip,
   return h;
 }
 
+std::vector<double> MonteCarloAnalyzer::failure_probabilities(
+    std::span<const double> ts) const {
+  for (const double t : ts)
+    require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
+  if (ts.empty()) return {};
+  const EvalContext ctx = build_eval_context(ts);
+  const std::size_t nt = ts.size();
+  std::vector<double> sums = par::parallel_reduce(
+      0, chips_.size(), kEvalChunk, std::vector<double>(nt, 0.0),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<double> s(nt, 0.0);
+        // Chips are tiled so one sweep point's factor rows are reused
+        // across a cache-resident group of chip histograms instead of
+        // streaming the whole factor table once per chip. Each s[ti] still
+        // accumulates chips in ascending order, so the sums are
+        // bit-identical to the untiled chip-outer loop.
+        for (std::size_t tile = begin; tile < end; tile += kEvalTile) {
+          const std::size_t tile_end = std::min(end, tile + kEvalTile);
+          for (std::size_t ti = 0; ti < nt; ++ti)
+            for (std::size_t i = tile; i < tile_end; ++i)
+              s[ti] += -std::expm1(-chip_exponent_ctx(chips_[i], ctx, ti));
+        }
+        return s;
+      },
+      [](std::vector<double> a, const std::vector<double>& b) {
+        for (std::size_t ti = 0; ti < a.size(); ++ti) a[ti] += b[ti];
+        return a;
+      },
+      options_.threads);
+  for (double& s : sums) s /= static_cast<double>(chips_.size());
+  return sums;
+}
+
 double MonteCarloAnalyzer::failure_probability(double t) const {
+  return failure_probabilities(std::span<const double>(&t, 1)).front();
+}
+
+std::vector<double> MonteCarloAnalyzer::failure_std_errors(
+    std::span<const double> ts) const {
+  for (const double t : ts)
+    require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
+  if (ts.empty()) return {};
+  const EvalContext ctx = build_eval_context(ts);
+  const std::size_t nt = ts.size();
+  // Partial layout: [0, nt) holds sums, [nt, 2 nt) sums of squares.
+  std::vector<double> m = par::parallel_reduce(
+      0, chips_.size(), kEvalChunk, std::vector<double>(2 * nt, 0.0),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<double> acc(2 * nt, 0.0);
+        // Tiled like failure_probabilities; see the note there.
+        for (std::size_t tile = begin; tile < end; tile += kEvalTile) {
+          const std::size_t tile_end = std::min(end, tile + kEvalTile);
+          for (std::size_t ti = 0; ti < nt; ++ti) {
+            for (std::size_t i = tile; i < tile_end; ++i) {
+              const double f =
+                  -std::expm1(-chip_exponent_ctx(chips_[i], ctx, ti));
+              acc[ti] += f;
+              acc[nt + ti] += f * f;
+            }
+          }
+        }
+        return acc;
+      },
+      [](std::vector<double> a, const std::vector<double>& b) {
+        for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+        return a;
+      },
+      options_.threads);
+  const double n = static_cast<double>(chips_.size());
+  std::vector<double> out(nt);
+  for (std::size_t ti = 0; ti < nt; ++ti) {
+    const double var = std::max(
+        0.0, (m[nt + ti] - m[ti] * m[ti] / n) / (n - 1.0));
+    out[ti] = std::sqrt(var / n);
+  }
+  return out;
+}
+
+double MonteCarloAnalyzer::failure_std_error(double t) const {
+  return failure_std_errors(std::span<const double>(&t, 1)).front();
+}
+
+double MonteCarloAnalyzer::failure_probability_reference(double t) const {
   require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
   const double sum = par::parallel_reduce(
       0, chips_.size(), kEvalChunk, 0.0,
       [&](std::size_t begin, std::size_t end) {
         double s = 0.0;
         for (std::size_t i = begin; i < end; ++i)
-          s += -std::expm1(-chip_exponent(chips_[i], t));
+          s += -std::expm1(-chip_exponent_reference(chips_[i], t));
         return s;
       },
       [](double a, double b) { return a + b; }, options_.threads);
   return sum / static_cast<double>(chips_.size());
-}
-
-double MonteCarloAnalyzer::failure_std_error(double t) const {
-  require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
-  using Moments = std::pair<double, double>;  // (sum, sum of squares)
-  const Moments m = par::parallel_reduce(
-      0, chips_.size(), kEvalChunk, Moments{0.0, 0.0},
-      [&](std::size_t begin, std::size_t end) {
-        Moments acc{0.0, 0.0};
-        for (std::size_t i = begin; i < end; ++i) {
-          const double f = -std::expm1(-chip_exponent(chips_[i], t));
-          acc.first += f;
-          acc.second += f * f;
-        }
-        return acc;
-      },
-      [](const Moments& a, const Moments& b) {
-        return Moments{a.first + b.first, a.second + b.second};
-      },
-      options_.threads);
-  const double n = static_cast<double>(chips_.size());
-  const double var =
-      std::max(0.0, (m.second - m.first * m.first / n) / (n - 1.0));
-  return std::sqrt(var / n);
 }
 
 double MonteCarloAnalyzer::lifetime_at(double target) const {
@@ -217,25 +594,48 @@ double MonteCarloAnalyzer::lifetime_at(double target) const {
       [this](double t) { return failure_probability(t); }, target);
 }
 
-double MonteCarloAnalyzer::kth_failure_probability(double t,
-                                                   std::size_t k) const {
-  require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
+std::vector<double> MonteCarloAnalyzer::kth_failure_probabilities(
+    std::span<const double> ts, std::size_t k) const {
+  for (const double t : ts)
+    require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
   require(k >= 1, "MonteCarloAnalyzer: k must be >= 1");
-  if (k == 1) return failure_probability(t);
-  const double sum = par::parallel_reduce(
-      0, chips_.size(), kEvalChunk, 0.0,
+  if (k == 1) return failure_probabilities(ts);
+  if (ts.empty()) return {};
+  const EvalContext ctx = build_eval_context(ts);
+  const std::size_t nt = ts.size();
+  std::vector<double> sums = par::parallel_reduce(
+      0, chips_.size(), kEvalChunk, std::vector<double>(nt, 0.0),
       [&](std::size_t begin, std::size_t end) {
-        double s = 0.0;
-        for (std::size_t i = begin; i < end; ++i) {
-          const double h = chip_exponent(chips_[i], t);
-          // Conditional on the thicknesses, breakdowns are a Poisson
-          // process with mean h; P(N >= k) = P(k, h).
-          s += (h > 0.0) ? stats::gamma_p(static_cast<double>(k), h) : 0.0;
+        std::vector<double> s(nt, 0.0);
+        // Tiled like failure_probabilities; see the note there.
+        for (std::size_t tile = begin; tile < end; tile += kEvalTile) {
+          const std::size_t tile_end = std::min(end, tile + kEvalTile);
+          for (std::size_t ti = 0; ti < nt; ++ti) {
+            for (std::size_t i = tile; i < tile_end; ++i) {
+              const double h = chip_exponent_ctx(chips_[i], ctx, ti);
+              // Conditional on the thicknesses, breakdowns are a Poisson
+              // process with mean h; P(N >= k) = P(k, h).
+              s[ti] += (h > 0.0)
+                           ? stats::gamma_p(static_cast<double>(k), h)
+                           : 0.0;
+            }
+          }
         }
         return s;
       },
-      [](double a, double b) { return a + b; }, options_.threads);
-  return sum / static_cast<double>(chips_.size());
+      [](std::vector<double> a, const std::vector<double>& b) {
+        for (std::size_t ti = 0; ti < a.size(); ++ti) a[ti] += b[ti];
+        return a;
+      },
+      options_.threads);
+  for (double& s : sums) s /= static_cast<double>(chips_.size());
+  return sums;
+}
+
+double MonteCarloAnalyzer::kth_failure_probability(double t,
+                                                   std::size_t k) const {
+  return kth_failure_probabilities(std::span<const double>(&t, 1), k)
+      .front();
 }
 
 double MonteCarloAnalyzer::kth_lifetime_at(double target,
@@ -271,6 +671,23 @@ std::vector<double> MonteCarloAnalyzer::sample_failure_times(
       },
       options_.threads);
   return times;
+}
+
+MonteCarloAnalyzer::PooledHistogram
+MonteCarloAnalyzer::pooled_thickness_histogram(std::size_t block) const {
+  require(block < problem_->blocks().size(),
+          "MonteCarloAnalyzer: block index out of range");
+  PooledHistogram h;
+  h.counts.assign(options_.thickness_bins, 0);
+  h.x_lo = x_lo_;
+  h.x_step = x_step_;
+  for (const ChipSample& chip : chips_) {
+    const auto& counts = chip.block_bins[block];
+    for (std::size_t k = 0; k < counts.size(); ++k) h.counts[k] += counts[k];
+    h.underflow += chip.underflow[block];
+    h.overflow += chip.overflow[block];
+  }
+  return h;
 }
 
 }  // namespace obd::core

@@ -11,6 +11,19 @@
 // number of devices, which is precisely why Table III shows MC losing by
 // orders of magnitude.
 //
+// Two algorithmic fast paths keep the reference usable at Table I scale:
+//
+// - DeviceSampling::kBinned replaces the O(devices) per-device normal draws
+//   with O(bins) conditional-binomial draws of the histogram counts
+//   themselves — the counts of a cell's devices across bins are exactly
+//   multinomial with the Gaussian bin probabilities, so the binned sampler
+//   draws from the same distribution (equivalence is pinned by chi-square
+//   tests). The per-device path stays the default and the reference.
+// - F(t) evaluation hoists the chip-invariant per-(t, block) exponential
+//   factor tables out of the per-chip loop (EvalContext), and the batched
+//   failure_probabilities() sweep reuses one context across all sweep
+//   points in a single cache-friendly pass over the chips.
+//
 // All population-sized loops (chip sampling at construction, the F(t) /
 // std-error / k-th breakdown evaluation sweeps, failure-time simulation)
 // run on the shared deterministic pool (common/parallel.hpp): fixed chunk
@@ -19,12 +32,26 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/problem.hpp"
 #include "stats/rng.hpp"
 
 namespace obd::core {
+
+/// How MonteCarloAnalyzer turns a sample chip's grid thicknesses into
+/// per-block histogram populations.
+enum class DeviceSampling {
+  /// One normal draw per device — the exact reference, O(devices) per chip.
+  kPerDevice,
+  /// Draw the bin counts directly: per grid cell, the device counts across
+  /// histogram bins follow the multinomial induced by the Gaussian bin
+  /// probabilities, sampled in O(bins) via conditional binomials. Same
+  /// distribution as kPerDevice (not the same draws), orders of magnitude
+  /// faster at Table I device counts.
+  kBinned,
+};
 
 struct MonteCarloOptions {
   std::size_t chip_samples = 1000;    ///< sample chips (paper: 1000)
@@ -38,7 +65,27 @@ struct MonteCarloOptions {
   /// seed-derived stream and reductions run over fixed chunk boundaries,
   /// so results are bit-identical for every setting.
   std::size_t threads = 0;
+  /// Device-population sampler (see DeviceSampling). The binned fast path
+  /// is opt-in; the default remains the exact per-device reference.
+  DeviceSampling sampling = DeviceSampling::kPerDevice;
 };
+
+namespace detail {
+
+/// Bins between exact re-anchors of the incremental exponential recurrence
+/// below. Part of the numerical contract: changing it changes low-order
+/// bits of every evaluated exponent.
+inline constexpr std::size_t kReanchorInterval = 64;
+
+/// Fills out[k] = exp(gb * (x_lo + (k + 0.5) * step)) for k in [0, bins).
+/// Evaluated incrementally (p *= exp(gb * step)) with the running product
+/// re-anchored by an exact exp every kReanchorInterval bins, bounding the
+/// accumulated rounding drift of the pure recurrence (which grows linearly
+/// in the bin count) to the drift across one interval.
+void fill_bin_factors(double gb, double x_lo, double step, std::size_t bins,
+                      std::vector<double>& out);
+
+}  // namespace detail
 
 class MonteCarloAnalyzer {
  public:
@@ -51,10 +98,24 @@ class MonteCarloAnalyzer {
   /// conditional chip failure 1 - R_c(t | x).
   [[nodiscard]] double failure_probability(double t) const;
 
+  /// Batched F(t) sweep: failure_probability at every point of `ts` in one
+  /// pass over the sample chips, with the chip-invariant per-(t, block)
+  /// exponential tables built once. Bit-identical to calling
+  /// failure_probability per point (both share the same evaluation kernel
+  /// and chunk boundaries); the batched form is several times faster for
+  /// multi-point sweeps because each chip's bin counts are streamed through
+  /// the cache once per chunk instead of once per point.
+  [[nodiscard]] std::vector<double> failure_probabilities(
+      std::span<const double> ts) const;
+
   /// Standard error of failure_probability(t): sample standard deviation
   /// of the conditional failures over sqrt(chips). Lets benchmark tables
   /// report MC error bars instead of bare point estimates.
   [[nodiscard]] double failure_std_error(double t) const;
+
+  /// Batched standard errors over a sweep (see failure_probabilities).
+  [[nodiscard]] std::vector<double> failure_std_errors(
+      std::span<const double> ts) const;
 
   [[nodiscard]] double reliability(double t) const {
     return 1.0 - failure_probability(t);
@@ -69,6 +130,10 @@ class MonteCarloAnalyzer {
   /// failure_probability().
   [[nodiscard]] double kth_failure_probability(double t, std::size_t k) const;
 
+  /// Batched k-th breakdown probabilities over a sweep.
+  [[nodiscard]] std::vector<double> kth_failure_probabilities(
+      std::span<const double> ts, std::size_t k) const;
+
   /// Lifetime at the target quantile of the k-th breakdown: the earned
   /// margin of designs that tolerate k-1 breakdowns.
   [[nodiscard]] double kth_lifetime_at(double target, std::size_t k) const;
@@ -82,6 +147,13 @@ class MonteCarloAnalyzer {
   [[nodiscard]] std::vector<double> sample_failure_times(std::size_t count,
                                                          stats::Rng& rng) const;
 
+  /// Pre-fast-path evaluation of failure_probability: per-chip incremental
+  /// exponentials recomputed inside the chip loop, no coefficient hoisting,
+  /// no re-anchoring. Retained as the honest "before" baseline for
+  /// bench/hot_path_scaling and as a drift witness for the re-anchored
+  /// recurrence; not used by any analysis path.
+  [[nodiscard]] double failure_probability_reference(double t) const;
+
   [[nodiscard]] std::size_t chip_samples() const { return options_.chip_samples; }
   [[nodiscard]] const ReliabilityProblem& problem() const { return *problem_; }
 
@@ -93,6 +165,20 @@ class MonteCarloAnalyzer {
     return out_of_range_fraction_;
   }
 
+  /// One block's thickness population pooled across all sample chips: bin
+  /// counts over the common axis plus under/overflow totals. Diagnostic
+  /// view used by the sampling-equivalence tests (chi-square between the
+  /// per-device and binned samplers runs on these pooled counts).
+  struct PooledHistogram {
+    std::vector<std::uint64_t> counts;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    double x_lo = 0.0;
+    double x_step = 0.0;
+  };
+  [[nodiscard]] PooledHistogram pooled_thickness_histogram(
+      std::size_t block) const;
+
  private:
   /// Per-chip compressed thickness population: per block, bin counts over
   /// the common thickness axis plus explicit under/overflow counts for
@@ -103,14 +189,56 @@ class MonteCarloAnalyzer {
     std::vector<std::vector<std::uint32_t>> block_bins;
     std::vector<std::uint32_t> underflow;  ///< per block, x < x_lo
     std::vector<std::uint32_t> overflow;   ///< per block, x >= x_hi
+    /// Per block, the [nz_lo, nz_hi) bin range holding every nonzero
+    /// count, nz_lo aligned down to the dot-kernel lane width. Evaluation
+    /// dots only this range; the skipped zero bins would contribute
+    /// exactly +0.0 per accumulator lane, so trimming is bit-neutral.
+    std::vector<std::uint32_t> nz_lo;
+    std::vector<std::uint32_t> nz_hi;
+  };
+
+  /// Chip-invariant evaluation tables for a batch of sweep points: per
+  /// (t, block), the per-bin exponential factors plus the boundary factors
+  /// for the under/overflow populations. Built once per sweep; chips then
+  /// reduce to count-vector dot products against these tables.
+  struct EvalContext {
+    std::size_t nt = 0;
+    std::size_t nblocks = 0;
+    std::size_t bins = 0;
+    std::vector<double> factors;  ///< [t][block][bin]
+    std::vector<double> lo;       ///< [t][block] factor at x_lo
+    std::vector<double> hi;       ///< [t][block] factor at x_hi
+    std::vector<double> area;     ///< [block] per-device OBD area
   };
 
   [[nodiscard]] ChipSample sample_chip(stats::Rng& rng) const;
 
+  /// Binned fast path for one grid cell: draws the multinomial bin counts
+  /// of `count` devices at N(mu, sr^2) directly via conditional binomials.
+  void sample_cell_binned(std::size_t count, double mu, double sr,
+                          std::vector<std::uint32_t>& counts,
+                          std::uint32_t& underflow, std::uint32_t& overflow,
+                          stats::Rng& rng) const;
+
+  [[nodiscard]] EvalContext build_eval_context(
+      std::span<const double> ts) const;
+
   /// Sum over blocks of A-weighted Weibull exponents for one chip:
   /// H(t) = sum_j a_j sum_bins count * exp(gamma_j b_j x_bin), with the
   /// under/overflow populations contributing at the axis boundaries.
+  /// Shares the factor-table + fixed-accumulator kernel with the batched
+  /// path, so the scalar and batched evaluations are bit-identical.
   [[nodiscard]] double chip_exponent(const ChipSample& chip, double t) const;
+
+  /// Batched-kernel evaluation of one chip at sweep point `ti` of `ctx`.
+  [[nodiscard]] double chip_exponent_ctx(const ChipSample& chip,
+                                         const EvalContext& ctx,
+                                         std::size_t ti) const;
+
+  /// Legacy evaluation (pre-hoisting incremental recurrence) backing
+  /// failure_probability_reference only.
+  [[nodiscard]] double chip_exponent_reference(const ChipSample& chip,
+                                               double t) const;
 
   const ReliabilityProblem* problem_;  // non-owning; must outlive this
   MonteCarloOptions options_;

@@ -58,6 +58,10 @@ struct ProblemOptions {
   /// Correlation function family for the grid structure (ref [38] offers
   /// several valid choices; the paper's Section V uses the exponential).
   var::CorrelationKernel kernel = var::CorrelationKernel::kExponential;
+  /// PCA eigensolver: dense reference decomposition (default) or the
+  /// truncated subspace iteration that converges only the kept leading
+  /// components (worthwhile for large grids with variance_capture < 1).
+  var::EigenSolver eigen_solver = var::EigenSolver::kDense;
 };
 
 /// Immutable assembled problem. Create via build().

@@ -66,6 +66,24 @@ double Matrix::max_asymmetry() const {
   return worst;
 }
 
+Matrix gram_aat(const Matrix& a) {
+  require(!a.empty(), "gram_aat: matrix must be non-empty");
+  const std::size_t n = a.rows();
+  const std::size_t k = a.cols();
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ri = a.row(i);
+    for (std::size_t j = i; j < n; ++j) {
+      const double* rj = a.row(j);
+      double s = 0.0;
+      for (std::size_t c = 0; c < k; ++c) s += ri[c] * rj[c];
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
 double dot(const Vector& a, const Vector& b) {
   require(a.size() == b.size(), "dot: size mismatch");
   double s = 0.0;

@@ -70,6 +70,12 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Symmetric rank-k product G = A A^T (rows x rows). Each entry is the
+/// ascending-index dot product of two rows of A, so replacing a hand-rolled
+/// triple loop with this helper is bit-identical. Only the upper triangle
+/// is computed; the lower is mirrored.
+Matrix gram_aat(const Matrix& a);
+
 /// Dot product of two equally sized vectors.
 double dot(const Vector& a, const Vector& b);
 

@@ -1,5 +1,6 @@
 #include "stats/sampling.hpp"
 
+#include <cmath>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -12,6 +13,78 @@ namespace {
 void shuffle(std::vector<std::size_t>& perm, Rng& rng) {
   for (std::size_t i = perm.size(); i > 1; --i)
     std::swap(perm[i - 1], perm[rng.below(i)]);
+}
+
+// Binomial(n, p) by CDF inversion over the probability recurrence
+// P(k+1) = P(k) * (n - k)/(k + 1) * p/(1-p). Expected O(n p) iterations;
+// used below the BTRS mean threshold where that is a small constant.
+std::uint64_t binomial_inversion(std::uint64_t n, double p, Rng& rng) {
+  const double q = 1.0 - p;
+  const double s = p / q;
+  // P(0) = q^n can underflow for huge n, but this branch only runs when
+  // n p < 10, where q^n >= exp(-n p / q) is comfortably normal.
+  double f = std::pow(q, static_cast<double>(n));
+  double u = rng.uniform();
+  std::uint64_t k = 0;
+  while (u > f) {
+    u -= f;
+    if (k >= n) return n;  // guard against roundoff in the tail
+    f *= s * static_cast<double>(n - k) / static_cast<double>(k + 1);
+    ++k;
+  }
+  return k;
+}
+
+// Stirling tail of log(k!): the correction term fc(k) in
+// log(k!) = (k + 1/2) log(k+1) - (k+1) + 1/2 log(2 pi) + fc(k)
+// (Hormann 1993, eq. 9). Tabulated for k < 10, series beyond.
+double stirling_tail(double k) {
+  static const double table[] = {0.08106146679532726, 0.04134069595540929,
+                                 0.02767792568499834, 0.02079067210376509,
+                                 0.01664469118982119, 0.01387612882307075,
+                                 0.01189670994589177, 0.01041126526197209,
+                                 0.009255462182712733, 0.008330563433362871};
+  if (k < 10.0) return table[static_cast<int>(k)];
+  const double kp1 = k + 1.0;
+  const double kp1sq = kp1 * kp1;
+  return (1.0 / 12.0 - (1.0 / 360.0 - (1.0 / 1260.0) / kp1sq) / kp1sq) / kp1;
+}
+
+// BTRS: binomial via transformed rejection with squeeze (Hormann 1993,
+// "The generation of binomial random variates", algorithm BTRS). Assumes
+// p <= 0.5 and n p >= 10; acceptance probability stays above ~0.85, so the
+// expected cost is O(1) uniforms and logs for any n.
+std::uint64_t binomial_btrs(std::uint64_t n, double p, Rng& rng) {
+  const double nd = static_cast<double>(n);
+  const double q = 1.0 - p;
+  const double spq = std::sqrt(nd * p * q);
+  const double b = 1.15 + 2.53 * spq;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = nd * p + 0.5;
+  const double vr = 0.92 - 4.2 / b;
+  const double alpha = (2.83 + 5.1 / b) * spq;
+  const double odds = p / q;
+  const double m = std::floor((nd + 1.0) * p);
+
+  for (;;) {
+    const double u = rng.uniform() - 0.5;
+    double v = rng.uniform();
+    const double us = 0.5 - std::fabs(u);
+    const double kd = std::floor((2.0 * a / us + b) * u + c);
+    // Squeeze: inside the box the hat is tight enough to accept outright.
+    if (us >= 0.07 && v <= vr) return static_cast<std::uint64_t>(kd);
+    if (kd < 0.0 || kd > nd) continue;
+    // Exact test: log of the scaled hat density against the pmf ratio
+    // f(k)/f(m), both via the Stirling decomposition of log C(n, k).
+    v = std::log(v * alpha / (a / (us * us) + b));
+    const double bound =
+        (m + 0.5) * std::log((m + 1.0) / (odds * (nd - m + 1.0))) +
+        (nd + 1.0) * std::log((nd - m + 1.0) / (nd - kd + 1.0)) +
+        (kd + 0.5) * std::log(odds * (nd - kd + 1.0) / (kd + 1.0)) +
+        stirling_tail(m) + stirling_tail(nd - m) - stirling_tail(kd) -
+        stirling_tail(nd - kd);
+    if (v <= bound) return static_cast<std::uint64_t>(kd);
+  }
 }
 
 }  // namespace
@@ -41,6 +114,17 @@ std::vector<double> latin_hypercube_normal(std::size_t count,
 
 std::vector<double> stratified_normal(std::size_t count, Rng& rng) {
   return latin_hypercube_normal(count, 1, rng);
+}
+
+std::uint64_t binomial_sample(std::uint64_t n, double p, Rng& rng) {
+  require(p >= 0.0 && p <= 1.0, "binomial_sample: p must be in [0, 1]");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  // Reduce to p <= 0.5 through the complement so both samplers see the
+  // numerically friendly side.
+  if (p > 0.5) return n - binomial_sample(n, 1.0 - p, rng);
+  if (static_cast<double>(n) * p < 10.0) return binomial_inversion(n, p, rng);
+  return std::min(n, binomial_btrs(n, p, rng));
 }
 
 }  // namespace obd::stats

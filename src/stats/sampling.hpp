@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "stats/rng.hpp"
@@ -24,5 +25,16 @@ std::vector<double> latin_hypercube_normal(std::size_t count,
 /// Stratified 1-D standard-normal sample: one draw per equiprobable bin,
 /// shuffled. Equivalent to latin_hypercube_normal with 1 dimension.
 std::vector<double> stratified_normal(std::size_t count, Rng& rng);
+
+/// Exact Binomial(n, p) variate in O(1) expected time regardless of n.
+///
+/// Small means (n * min(p, 1-p) < 10) use CDF inversion by summing the
+/// recurrence; larger means use the BTRS transformed-rejection sampler of
+/// Hormann (1993), whose acceptance rate stays above ~0.85 for all (n, p).
+/// p > 0.5 is handled through the complement so both branches only ever see
+/// p <= 0.5. The number of uniforms consumed is variate-dependent, so
+/// callers needing stream stability must rely on the (seed, stream)
+/// discipline, not on a fixed per-call draw count.
+std::uint64_t binomial_sample(std::uint64_t n, double p, Rng& rng);
 
 }  // namespace obd::stats

@@ -60,10 +60,18 @@ chip::Rect GridModel::cell_rect(std::size_t i) const {
 }
 
 double GridModel::distance(std::size_t i, std::size_t j) const {
-  const chip::Rect a = cell_rect(i);
-  const chip::Rect b = cell_rect(j);
-  const double dx = a.center_x() - b.center_x();
-  const double dy = a.center_y() - b.center_y();
+  require(i < cell_count() && j < cell_count(),
+          "GridModel::distance: index out of range");
+  // Integer displacement times the cell pitch: the column/row differences
+  // are exact in double, so the distance is translation-invariant — every
+  // cell pair with the same (dx, dy) gets the bit-identical value. The
+  // covariance builder's displacement table relies on this.
+  const double cw = width_ / static_cast<double>(side_);
+  const double ch = height_ / static_cast<double>(side_);
+  const double dx =
+      (static_cast<double>(i % side_) - static_cast<double>(j % side_)) * cw;
+  const double dy =
+      (static_cast<double>(i / side_) - static_cast<double>(j / side_)) * ch;
   return std::hypot(dx, dy);
 }
 
@@ -98,12 +106,32 @@ la::Matrix build_covariance(const GridModel& grid,
   const double vg = budget.sigma_global() * budget.sigma_global();
   const double vs = budget.sigma_spatial() * budget.sigma_spatial();
   const std::size_t n = grid.cell_count();
+  const std::size_t side = grid.cells_per_side();
+
+  // On the regular grid the correlation depends only on the absolute
+  // integer displacement (|dx|, |dy|), so the kernel is evaluated once per
+  // unique displacement — O(side^2) evaluations instead of n^2/2. Because
+  // GridModel::distance is computed from the integer displacement, the
+  // table entries are bit-identical to per-pair evaluation.
+  const double cw = grid.die_width() / static_cast<double>(side);
+  const double ch = grid.die_height() / static_cast<double>(side);
+  std::vector<double> table(side * side);
+  for (std::size_t dy = 0; dy < side; ++dy) {
+    for (std::size_t dx = 0; dx < side; ++dx) {
+      const double d = std::hypot(static_cast<double>(dx) * cw,
+                                  static_cast<double>(dy) * ch);
+      table[dy * side + dx] = vg + vs * kernel_correlation(kernel, d, length);
+    }
+  }
+
   la::Matrix c(n, n);
   for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t xi = i % side;
+    const std::size_t yi = i / side;
     for (std::size_t j = i; j < n; ++j) {
-      const double cov =
-          vg +
-          vs * kernel_correlation(kernel, grid.distance(i, j), length);
+      const std::size_t dx = (j % side > xi) ? j % side - xi : xi - j % side;
+      const std::size_t dy = (j / side > yi) ? j / side - yi : yi - j / side;
+      const double cov = table[dy * side + dx];
       c(i, j) = cov;
       c(j, i) = cov;
     }
@@ -156,7 +184,8 @@ CanonicalForm make_canonical_form(const GridModel& grid,
                                   const VariationBudget& budget,
                                   double rho_dist, double variance_capture,
                                   const WaferPattern& pattern,
-                                  CorrelationKernel kernel) {
+                                  CorrelationKernel kernel,
+                                  EigenSolver solver) {
   require(variance_capture > 0.0 && variance_capture <= 1.0,
           "make_canonical_form: variance_capture must be in (0, 1]");
   la::Matrix cov = build_covariance(grid, budget, rho_dist, kernel);
@@ -165,12 +194,15 @@ CanonicalForm make_canonical_form(const GridModel& grid,
   // with an escalating diagonal ridge (which shifts the spectrum away from
   // the degenerate cluster) before giving up; each retry only perturbs the
   // per-cell variance by a relative ~1e-10..1e-4, far below the model's
-  // own accuracy.
+  // own accuracy. (The truncated solver falls back to the dense path
+  // internally, so the retry ladder covers both.)
   const double mean_var = cov.trace() / static_cast<double>(cov.rows());
   la::EigenDecomposition eig;
   for (int attempt = 0;; ++attempt) {
     try {
-      eig = la::eigen_symmetric(cov);
+      eig = (solver == EigenSolver::kTruncated)
+                ? la::eigen_symmetric_truncated(cov, variance_capture)
+                : la::eigen_symmetric(cov);
       break;
     } catch (const Error& e) {
       if (e.code() != ErrorCode::kNonconvergence || attempt >= 3) throw;
@@ -185,26 +217,17 @@ CanonicalForm make_canonical_form(const GridModel& grid,
   }
 
   // Select the leading principal components capturing the requested share
-  // of total variance. Eigenvalues are sorted descending; tiny negative
-  // values from roundoff are clipped.
-  double total = 0.0;
-  for (double v : eig.values) total += std::max(0.0, v);
-  std::size_t keep = 0;
-  double captured = 0.0;
-  while (keep < eig.values.size() && captured < variance_capture * total &&
-         eig.values[keep] > 0.0) {
-    captured += eig.values[keep];
-    ++keep;
-  }
+  // of total variance (the truncated solver already returns exactly that
+  // set). Eigenvalues are sorted descending; tiny negative values from
+  // roundoff are clipped by the shared truncation rule.
+  const std::size_t keep =
+      (solver == EigenSolver::kTruncated)
+          ? eig.values.size()
+          : la::leading_component_count(eig.values, variance_capture);
   require(keep > 0, "make_canonical_form: covariance has no variance");
+  la::Matrix sens = la::principal_factor(eig, keep);
 
   const std::size_t n = grid.cell_count();
-  la::Matrix sens(n, keep);
-  for (std::size_t k = 0; k < keep; ++k) {
-    const double s = std::sqrt(std::max(0.0, eig.values[k]));
-    for (std::size_t i = 0; i < n; ++i) sens(i, k) = eig.vectors(i, k) * s;
-  }
-
   la::Vector nominal(n, budget.nominal);
   if (!pattern.empty()) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -224,16 +247,43 @@ BlockGridLayout assign_devices(const chip::Design& design,
   design.validate();
   BlockGridLayout layout;
   layout.weights.resize(design.blocks.size());
+  const std::size_t side = grid.cells_per_side();
+  const double cw = grid.die_width() / static_cast<double>(side);
+  const double ch = grid.die_height() / static_cast<double>(side);
+  // Conservative cell range for a coordinate interval [lo, hi): one cell of
+  // slack on each end absorbs floating-point rounding of the division; the
+  // exact overlap test below discards any zero-overlap cell, so the result
+  // is identical to scanning every cell.
+  const auto cell_range = [](double lo, double hi, double cell,
+                             std::size_t count) {
+    const double flo = std::floor(lo / cell) - 1.0;
+    const double fhi = std::floor(hi / cell) + 1.0;
+    const std::size_t first =
+        (flo <= 0.0) ? 0 : std::min(count - 1, static_cast<std::size_t>(flo));
+    const std::size_t last =
+        (fhi <= 0.0) ? 0 : std::min(count - 1, static_cast<std::size_t>(fhi));
+    return std::pair<std::size_t, std::size_t>{first, last};
+  };
   for (std::size_t b = 0; b < design.blocks.size(); ++b) {
     const chip::Rect& rect = design.blocks[b].rect;
     const double area = rect.area();
     auto& entries = layout.weights[b];
     double sum = 0.0;
-    for (std::size_t g = 0; g < grid.cell_count(); ++g) {
-      const double ov = rect.overlap(grid.cell_rect(g));
-      if (ov <= 0.0) continue;
-      entries.emplace_back(g, ov / area);
-      sum += ov / area;
+    // Only cells intersecting the block's bounding box can overlap it;
+    // iterating rows-outer keeps the entries in ascending grid order, as
+    // the full scan produced.
+    const auto [cx_lo, cx_hi] =
+        cell_range(rect.x, rect.x + rect.width, cw, side);
+    const auto [cy_lo, cy_hi] =
+        cell_range(rect.y, rect.y + rect.height, ch, side);
+    for (std::size_t cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (std::size_t cx = cx_lo; cx <= cx_hi; ++cx) {
+        const std::size_t g = cy * side + cx;
+        const double ov = rect.overlap(grid.cell_rect(g));
+        if (ov <= 0.0) continue;
+        entries.emplace_back(g, ov / area);
+        sum += ov / area;
+      }
     }
     require(!entries.empty(),
             "assign_devices: block does not overlap any grid cell");

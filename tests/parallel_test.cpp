@@ -216,6 +216,56 @@ TEST_F(ParallelInvarianceFixture, MonteCarloResultsAreBitIdentical) {
   }
 }
 
+TEST_F(ParallelInvarianceFixture, BatchedSweepsAreBitIdenticalAcrossWidths) {
+  PoolGuard guard;
+  std::vector<double> ts;
+  for (double t = 4e7; t < 3e9; t *= 2.1) ts.push_back(t);
+  std::vector<double> reference;
+  for (const std::size_t width : widths()) {
+    par::set_threads(width);
+    core::MonteCarloOptions opts;
+    opts.chip_samples = 60;
+    const core::MonteCarloAnalyzer mc(*problem_, opts);
+    std::vector<double> got;
+    for (double v : mc.failure_probabilities(ts)) got.push_back(v);
+    for (double v : mc.failure_std_errors(ts)) got.push_back(v);
+    for (double v : mc.kth_failure_probabilities(ts, 2)) got.push_back(v);
+    if (reference.empty()) {
+      reference = got;
+      for (double v : reference) EXPECT_TRUE(std::isfinite(v));
+    } else {
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], reference[i])
+            << "value " << i << " at width " << width;
+    }
+  }
+}
+
+TEST_F(ParallelInvarianceFixture, BinnedSamplerIsBitIdenticalAcrossWidths) {
+  PoolGuard guard;
+  std::vector<double> reference;
+  for (const std::size_t width : widths()) {
+    par::set_threads(width);
+    core::MonteCarloOptions opts;
+    opts.chip_samples = 40;
+    opts.sampling = core::DeviceSampling::kBinned;
+    const core::MonteCarloAnalyzer mc(*problem_, opts);
+    std::vector<double> got;
+    for (double t : {5e7, 2e8, 1e9}) {
+      got.push_back(mc.failure_probability(t));
+      got.push_back(mc.failure_std_error(t));
+    }
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], reference[i])
+            << "value " << i << " at width " << width;
+    }
+  }
+}
+
 TEST_F(ParallelInvarianceFixture, PerAnalyzerThreadCapIsInvariantToo) {
   PoolGuard guard;
   par::set_threads(4);

@@ -32,8 +32,11 @@
 //   rho_dist      normalized correlation distance        (default 0.5)
 //   grid          correlation grid cells per side        (default 25)
 //   ambient_c     ambient temperature [C]                (default 45)
+//   variance_capture  PCA truncation share in (0, 1]     (default 0.999)
+//   eigen_solver  dense | truncated (PCA eigensolver)    (default dense)
 //   methods       any of: st_fast st_mc hybrid guard mc  (default all)
 //   mc_chips      Monte Carlo sample chips               (default 500)
+//   device_sampling   per_device | binned (MC sampler)   (default per_device)
 //   targets       failure-quantile list                  (default 1e-6 1e-5)
 //   strict        bool: same as --strict                 (default false)
 //   threads       shared-pool worker threads             (default auto)
@@ -140,6 +143,23 @@ Pipeline run_pipeline(const Config& cfg) {
   return p;
 }
 
+var::EigenSolver parse_eigen_solver(const Config& cfg) {
+  const std::string v = cfg.get_string("eigen_solver", "dense");
+  if (v == "dense") return var::EigenSolver::kDense;
+  if (v == "truncated") return var::EigenSolver::kTruncated;
+  throw Error("eigen_solver must be 'dense' or 'truncated', got '" + v + "'",
+              ErrorCode::kConfig);
+}
+
+core::DeviceSampling parse_device_sampling(const Config& cfg) {
+  const std::string v = cfg.get_string("device_sampling", "per_device");
+  if (v == "per_device") return core::DeviceSampling::kPerDevice;
+  if (v == "binned") return core::DeviceSampling::kBinned;
+  throw Error(
+      "device_sampling must be 'per_device' or 'binned', got '" + v + "'",
+      ErrorCode::kConfig);
+}
+
 core::ReliabilityProblem build_problem(const Config& cfg,
                                        const Pipeline& p) {
   core::ProblemOptions opts;
@@ -147,6 +167,14 @@ core::ReliabilityProblem build_problem(const Config& cfg,
   // get_count rejects zero/negative values instead of letting them wrap
   // through size_t into absurd grid sizes.
   opts.grid_cells_per_side = cfg.get_count("grid", 25);
+  opts.variance_capture = cfg.get_double("variance_capture", 0.999);
+  require(opts.variance_capture > 0.0 && opts.variance_capture <= 1.0,
+          ErrorCode::kConfig, "variance_capture must be in (0, 1]");
+  opts.eigen_solver = parse_eigen_solver(cfg);
+  // Validate device_sampling here too so a bad value fails with the config
+  // exit code in every command, not only the ones that build an MC
+  // analyzer (which re-read it at the use site).
+  (void)parse_device_sampling(cfg);
   return core::ReliabilityProblem::build(p.design, var::VariationBudget{},
                                          p.model, p.profile.block_temps_c,
                                          p.vdd, opts);
@@ -222,7 +250,9 @@ int cmd_analyze(const Config& cfg) {
   }
   if (methods.count("mc") != 0) {
     Stopwatch sw;
-    const core::MonteCarloAnalyzer a(problem, {.chip_samples = mc_chips});
+    const core::MonteCarloAnalyzer a(
+        problem,
+        {.chip_samples = mc_chips, .sampling = parse_device_sampling(cfg)});
     report("MC", [&](double t) { return a.lifetime_at(t); }, sw.seconds());
   }
   return 0;
