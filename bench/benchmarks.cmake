@@ -19,6 +19,7 @@ obdrel_add_bench(fig8_quadform_cdf)
 obdrel_add_bench(fig10_failure_curves)
 obdrel_add_bench(parallel_scaling)
 obdrel_add_bench(hot_path_scaling)
+obdrel_add_bench(simd_kernels)
 
 # Ablation studies of the design choices called out in DESIGN.md.
 obdrel_add_bench(ablation_quadrature)

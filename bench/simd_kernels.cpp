@@ -1,0 +1,267 @@
+// Scalar-vs-AVX2 timings and exactness gates for the dispatched SIMD
+// kernel layer (src/simd). Each section times the scalar reference table
+// against the AVX2 table on the same inputs and checks the contract from
+// simd/kernels.hpp:
+//
+//   fill_bin_factors  bounded relative drift (<= 1e-12 vs scalar)
+//   dot_counts        bit-identical (FNV checksum equality)
+//   normal_cdf_batch  bounded relative error (<= 1e-12 where > 1e-300)
+//   matmul (GEMM)     bit-identical
+//   gram_aat (SYRK)   bit-identical
+//
+// Results go to BENCH_simd.json (in $OBDREL_CSV_DIR when set). The exit
+// code reflects the exactness gates only; speedups are reported for the
+// acceptance tables but depend on the host. When AVX2+FMA is unavailable
+// the vector laps are skipped and the gates pass vacuously (recorded as
+// "avx2_available": false).
+//
+// Scaling knob: OBDREL_SIMD_BENCH_SCALE multiplies every rep count
+// (default 1; CI smoke uses the default).
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/stopwatch.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+// Order-sensitive checksum over the exact bit patterns of a double stream
+// (same scheme as hot_path_scaling): equal checksums iff every value is
+// bit-identical and in the same order.
+struct BitChecksum {
+  std::uint64_t value = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  void add(double d) {
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(d);
+    for (int i = 0; i < 8; ++i) {
+      value ^= (bits >> (8 * i)) & 0xffu;
+      value *= 0x100000001b3ull;  // FNV-1a prime
+    }
+  }
+};
+
+struct Lap {
+  double seconds_scalar = 0.0;
+  double seconds_avx2 = 0.0;
+  double speedup = 0.0;
+  bool pass = true;
+};
+
+volatile double g_sink = 0.0;  // keeps the optimizer honest across reps
+
+}  // namespace
+
+int main() {
+  using namespace obd;
+  const std::size_t scale = bench::env_size("OBDREL_SIMD_BENCH_SCALE", 1);
+  const bool avx2 = simd::can_use_avx2();
+  const auto& s = simd::detail::kScalarKernels;
+  const auto& v = simd::detail::kAvx2Kernels;
+
+  std::printf("SIMD kernel layer: scalar vs AVX2 (avx2+fma %s), scale %zu\n\n",
+              avx2 ? "available" : "UNAVAILABLE - vector laps skipped",
+              scale);
+
+  stats::Rng rng(2026);
+
+  // ------------------------------------------------- fill_bin_factors ----
+  Lap fill;
+  {
+    const std::size_t bins = 512;
+    const std::size_t reps = 20000 * scale;
+    const double gb = -7.25, x_lo = 1.8, step = 0.8 / 512.0;
+    std::vector<double> a(bins), b(bins);
+    Stopwatch sw;
+    for (std::size_t r = 0; r < reps; ++r) {
+      s.fill_bin_factors(gb, x_lo, step, bins, a.data());
+      g_sink = a[0];
+    }
+    fill.seconds_scalar = sw.seconds();
+    if (avx2) {
+      sw.reset();
+      for (std::size_t r = 0; r < reps; ++r) {
+        v.fill_bin_factors(gb, x_lo, step, bins, b.data());
+        g_sink = b[0];
+      }
+      fill.seconds_avx2 = sw.seconds();
+      fill.speedup = fill.seconds_scalar / fill.seconds_avx2;
+      for (std::size_t i = 0; i < bins; ++i)
+        if (std::abs(b[i] - a[i]) / a[i] > 1e-12) fill.pass = false;
+    }
+    std::printf("[fill_bin_factors] %zu bins x %zu: scalar %.3f s, avx2 "
+                "%.3f s (%.1fx), drift gate %s\n",
+                bins, reps, fill.seconds_scalar, fill.seconds_avx2,
+                fill.speedup, fill.pass ? "PASS" : "FAIL");
+  }
+
+  // ------------------------------------------------------- dot_counts ----
+  Lap dot;
+  {
+    const std::size_t n = 4096;
+    const std::size_t reps = 50000 * scale;
+    std::vector<std::uint32_t> c(n);
+    std::vector<double> e(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      c[i] = static_cast<std::uint32_t>(rng.uniform() * 1e6);
+      e[i] = std::exp(-6.0 * rng.uniform());
+    }
+    BitChecksum cs_s, cs_v;
+    Stopwatch sw;
+    for (std::size_t r = 0; r < reps; ++r)
+      g_sink = s.dot_counts(c.data(), e.data(), n);
+    dot.seconds_scalar = sw.seconds();
+    cs_s.add(s.dot_counts(c.data(), e.data(), n));
+    if (avx2) {
+      sw.reset();
+      for (std::size_t r = 0; r < reps; ++r)
+        g_sink = v.dot_counts(c.data(), e.data(), n);
+      dot.seconds_avx2 = sw.seconds();
+      dot.speedup = dot.seconds_scalar / dot.seconds_avx2;
+      cs_v.add(v.dot_counts(c.data(), e.data(), n));
+      dot.pass = cs_s.value == cs_v.value;
+    }
+    std::printf("[dot_counts] n=%zu x %zu: scalar %.3f s, avx2 %.3f s "
+                "(%.1fx), bitwise %s\n",
+                n, reps, dot.seconds_scalar, dot.seconds_avx2, dot.speedup,
+                dot.pass ? "IDENTICAL" : "DIFFER");
+  }
+
+  // -------------------------------------------------- normal_cdf_batch ----
+  Lap cdf;
+  {
+    const std::size_t n = 4096;
+    const std::size_t reps = 2000 * scale;
+    std::vector<double> z(n), a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) z[i] = -20.0 + 40.0 * rng.uniform();
+    Stopwatch sw;
+    for (std::size_t r = 0; r < reps; ++r) {
+      s.normal_cdf_batch(z.data(), n, a.data());
+      g_sink = a[0];
+    }
+    cdf.seconds_scalar = sw.seconds();
+    if (avx2) {
+      sw.reset();
+      for (std::size_t r = 0; r < reps; ++r) {
+        v.normal_cdf_batch(z.data(), n, b.data());
+        g_sink = b[0];
+      }
+      cdf.seconds_avx2 = sw.seconds();
+      cdf.speedup = cdf.seconds_scalar / cdf.seconds_avx2;
+      for (std::size_t i = 0; i < n; ++i)
+        if (a[i] > 1e-300 && std::abs(b[i] - a[i]) / a[i] > 1e-12)
+          cdf.pass = false;
+    }
+    std::printf("[normal_cdf_batch] n=%zu x %zu: scalar %.3f s, avx2 %.3f "
+                "s (%.1fx), error gate %s\n",
+                n, reps, cdf.seconds_scalar, cdf.seconds_avx2, cdf.speedup,
+                cdf.pass ? "PASS" : "FAIL");
+  }
+
+  // ------------------------------------------------------ matmul (GEMM) ----
+  Lap gemm;
+  {
+    const std::size_t m = 96, k = 96, n = 96;
+    const std::size_t reps = 200 * scale;
+    std::vector<double> a(m * k), bm(k * n), os(m * n), ov(m * n);
+    for (double& x : a) x = rng.normal();
+    for (double& x : bm) x = rng.normal();
+    Stopwatch sw;
+    for (std::size_t r = 0; r < reps; ++r) {
+      std::fill(os.begin(), os.end(), 0.0);
+      s.matmul(a.data(), bm.data(), os.data(), m, k, n);
+      g_sink = os[0];
+    }
+    gemm.seconds_scalar = sw.seconds();
+    if (avx2) {
+      sw.reset();
+      for (std::size_t r = 0; r < reps; ++r) {
+        std::fill(ov.begin(), ov.end(), 0.0);
+        v.matmul(a.data(), bm.data(), ov.data(), m, k, n);
+        g_sink = ov[0];
+      }
+      gemm.seconds_avx2 = sw.seconds();
+      gemm.speedup = gemm.seconds_scalar / gemm.seconds_avx2;
+      BitChecksum cs_s, cs_v;
+      for (std::size_t i = 0; i < m * n; ++i) {
+        cs_s.add(os[i]);
+        cs_v.add(ov[i]);
+      }
+      gemm.pass = cs_s.value == cs_v.value;
+    }
+    std::printf("[matmul] %zux%zux%zu x %zu: scalar %.3f s, avx2 %.3f s "
+                "(%.1fx), bitwise %s\n",
+                m, k, n, reps, gemm.seconds_scalar, gemm.seconds_avx2,
+                gemm.speedup, gemm.pass ? "IDENTICAL" : "DIFFER");
+  }
+
+  // ---------------------------------------------------- gram_aat (SYRK) ----
+  Lap gram;
+  {
+    const std::size_t n = 144, k = 512;
+    const std::size_t reps = 100 * scale;
+    std::vector<double> a(n * k), gs(n * n), gv(n * n);
+    for (double& x : a) x = rng.normal();
+    Stopwatch sw;
+    for (std::size_t r = 0; r < reps; ++r) {
+      s.gram_aat(a.data(), gs.data(), n, k);
+      g_sink = gs[0];
+    }
+    gram.seconds_scalar = sw.seconds();
+    if (avx2) {
+      sw.reset();
+      for (std::size_t r = 0; r < reps; ++r) {
+        v.gram_aat(a.data(), gv.data(), n, k);
+        g_sink = gv[0];
+      }
+      gram.seconds_avx2 = sw.seconds();
+      gram.speedup = gram.seconds_scalar / gram.seconds_avx2;
+      BitChecksum cs_s, cs_v;
+      for (std::size_t i = 0; i < n * n; ++i) {
+        cs_s.add(gs[i]);
+        cs_v.add(gv[i]);
+      }
+      gram.pass = cs_s.value == cs_v.value;
+    }
+    std::printf("[gram_aat] %zux%zu x %zu: scalar %.3f s, avx2 %.3f s "
+                "(%.1fx), bitwise %s\n",
+                n, k, reps, gram.seconds_scalar, gram.seconds_avx2,
+                gram.speedup, gram.pass ? "IDENTICAL" : "DIFFER");
+  }
+
+  const bool pass =
+      fill.pass && dot.pass && cdf.pass && gemm.pass && gram.pass;
+  std::printf("\nexactness gates %s\n", pass ? "PASS" : "FAIL");
+
+  std::string dir = csv_output_dir();
+  const std::string path =
+      (dir.empty() ? std::string{} : dir + "/") + "BENCH_simd.json";
+  std::ofstream out(path);
+  auto emit = [&](const char* name, const Lap& lap, bool last = false) {
+    out << "  \"" << name << "\": {\n"
+        << "    \"seconds_scalar\": " << lap.seconds_scalar << ",\n"
+        << "    \"seconds_avx2\": " << lap.seconds_avx2 << ",\n"
+        << "    \"speedup\": " << lap.speedup << ",\n"
+        << "    \"pass\": " << (lap.pass ? "true" : "false") << "\n"
+        << "  }" << (last ? "\n" : ",\n");
+  };
+  out << "{\n"
+      << "  \"avx2_available\": " << (avx2 ? "true" : "false") << ",\n"
+      << "  \"pass\": " << (pass ? "true" : "false") << ",\n";
+  emit("fill_bin_factors", fill);
+  emit("dot_counts", dot);
+  emit("normal_cdf_batch", cdf);
+  emit("matmul", gemm);
+  emit("gram_aat", gram, true);
+  out << "}\n";
+  std::printf("(wrote %s)\n", path.c_str());
+  return pass ? 0 : 1;
+}

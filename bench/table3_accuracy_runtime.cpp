@@ -14,6 +14,7 @@
 #include "common/stopwatch.hpp"
 #include "common/csv.hpp"
 #include "common/parallel.hpp"
+#include "simd/dispatch.hpp"
 #include "common/table.hpp"
 #include "core/analytic.hpp"
 #include "core/guardband.hpp"
@@ -32,8 +33,9 @@ int main() {
   std::printf(
       "Table III: lifetime error (%%) w.r.t. MC and runtime/speedup.\n"
       "rho_dist = 0.5, 25x25 correlation grid, MC chips = %zu, pool "
-      "threads = %zu.\n\n",
-      mc_chips, par::thread_count());
+      "threads = %zu, simd %s.\n\n",
+      mc_chips, par::thread_count(),
+      simd::to_string(simd::active_level()));
 
   TextTable acc({"ckt.", "#Device", "st_fast 1/m", "st_MC 1/m", "hybrid 1/m",
                  "guard 1/m", "st_fast 10/m", "st_MC 10/m", "hybrid 10/m",

@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 #include "chip/design.hpp"
 #include "common/parallel.hpp"
+#include "simd/dispatch.hpp"
 #include "common/table.hpp"
 #include "core/analytic.hpp"
 #include "core/lifetime.hpp"
@@ -24,8 +25,9 @@ int main() {
   std::printf(
       "Table IV: st_fast lifetime error (%%) w.r.t. MC for different\n"
       "correlation distances (25x25 grid, MC chips = %zu, pool threads = "
-      "%zu).\n\n",
-      mc_chips, par::thread_count());
+      "%zu, simd %s).\n\n",
+      mc_chips, par::thread_count(),
+      simd::to_string(simd::active_level()));
 
   TextTable t({"ckt.", "r=0.25 1/m", "r=0.25 10/m", "r=0.5 1/m",
                "r=0.5 10/m", "r=0.75 1/m", "r=0.75 10/m"});

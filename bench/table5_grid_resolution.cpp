@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 #include "chip/design.hpp"
 #include "common/parallel.hpp"
+#include "simd/dispatch.hpp"
 #include "common/table.hpp"
 #include "core/analytic.hpp"
 #include "core/lifetime.hpp"
@@ -25,8 +26,9 @@ int main() {
   std::printf(
       "Table V: st_fast lifetime error (%%) for design C2 vs grid size,\n"
       "compared to MC with the 25x25 reference grid (MC chips = %zu, pool "
-      "threads = %zu).\n\n",
-      mc_chips, par::thread_count());
+      "threads = %zu, simd %s).\n\n",
+      mc_chips, par::thread_count(),
+      simd::to_string(simd::active_level()));
 
   const chip::Design design = chip::make_benchmark(2);
   const auto profile = thermal::power_thermal_fixed_point(

@@ -10,6 +10,7 @@
 #include "common/parallel.hpp"
 #include "core/lifetime.hpp"
 #include "numeric/roots.hpp"
+#include "simd/kernels.hpp"
 #include "stats/sampling.hpp"
 #include "stats/special.hpp"
 
@@ -45,26 +46,17 @@ constexpr double kTailZ = 39.0;
 // bounding the per-cell work to ~10 sigma worth of bins.
 constexpr double kCoreZ = 5.0;
 
-// Dot product of a count vector against a factor table with four explicit
-// independent accumulators, combined as (a0 + a2) + (a1 + a3). The fixed
-// structure is part of the determinism contract: the scalar and batched
-// evaluation paths both call exactly this kernel, so their results are
-// bit-identical, while the four chains give the hardware instruction-level
-// parallelism without asking the compiler to reassociate.
+// Dot product of a count vector against a factor table with four fixed
+// accumulator lanes, combined as (a0 + a2) + (a1 + a3). The structure is
+// part of the determinism contract: the scalar and batched evaluation
+// paths both call exactly this kernel, so their results are bit-identical
+// — and the SIMD layer guarantees the same lane mapping at every dispatch
+// level (see simd/kernels.hpp), so dispatch changes neither the sums nor
+// the validity of the lane-aligned nonzero-range trimming below.
+static_assert(simd::kDotLanes == 4,
+              "nz_lo alignment in sample_chip assumes 4 accumulator lanes");
 double dot_counts(const std::uint32_t* c, const double* e, std::size_t n) {
-  double a0 = 0.0;
-  double a1 = 0.0;
-  double a2 = 0.0;
-  double a3 = 0.0;
-  std::size_t k = 0;
-  for (; k + 4 <= n; k += 4) {
-    a0 += static_cast<double>(c[k]) * e[k];
-    a1 += static_cast<double>(c[k + 1]) * e[k + 1];
-    a2 += static_cast<double>(c[k + 2]) * e[k + 2];
-    a3 += static_cast<double>(c[k + 3]) * e[k + 3];
-  }
-  for (; k < n; ++k) a0 += static_cast<double>(c[k]) * e[k];
-  return (a0 + a2) + (a1 + a3);
+  return simd::kernels().dot_counts(c, e, n);
 }
 
 // Per-thread factor scratch for the scalar chip_exponent path, so Brent
@@ -77,16 +69,10 @@ namespace detail {
 
 void fill_bin_factors(double gb, double x_lo, double step, std::size_t bins,
                       std::vector<double>& out) {
+  static_assert(kReanchorInterval == simd::kReanchorInterval,
+                "re-anchor contract must match the SIMD kernel layer");
   out.resize(bins);
-  const double ratio = std::exp(gb * step);
-  double p = 0.0;
-  for (std::size_t k = 0; k < bins; ++k) {
-    if (k % kReanchorInterval == 0)
-      p = std::exp(gb *
-                   (x_lo + (static_cast<double>(k) + 0.5) * step));
-    out[k] = p;
-    p *= ratio;
-  }
+  simd::kernels().fill_bin_factors(gb, x_lo, step, bins, out.data());
 }
 
 }  // namespace detail
@@ -277,11 +263,27 @@ void MonteCarloAnalyzer::sample_cell_binned(std::size_t count, double mu,
     if (n_pre > 0) split_group(ka, k_core_lo, n_pre, cdf_prev, cdf_core);
     cdf_prev = cdf_core;
   }
-  // Core bins, one conditional binomial each.
-  for (std::size_t k = k_core_lo; k < k_core_hi && remaining > 0; ++k) {
-    const double cdf_next = stats::normal_cdf(edge_z(k + 1));
-    counts[k] += static_cast<std::uint32_t>(take(cdf_next - cdf_prev));
-    cdf_prev = cdf_next;
+  // Core bins, one conditional binomial each. The edge CDFs are computed
+  // in small batches through the SIMD layer: at scalar dispatch every
+  // batch element is bit-identical to the lazy per-edge normal_cdf call
+  // this replaces, and the RNG consumption order is unchanged, so scalar
+  // results match the pre-batch sampler exactly. The tile bounds the
+  // wasted lookahead when `remaining` is exhausted before the core ends
+  // (cells often hold only a handful of devices).
+  constexpr std::size_t kCdfTile = 8;
+  double z_tile[kCdfTile];
+  double cdf_tile[kCdfTile];
+  std::size_t k = k_core_lo;
+  while (k < k_core_hi && remaining > 0) {
+    const std::size_t tile = std::min(kCdfTile, k_core_hi - k);
+    for (std::size_t j = 0; j < tile; ++j) z_tile[j] = edge_z(k + 1 + j);
+    stats::normal_cdf_batch(z_tile, tile, cdf_tile);
+    for (std::size_t j = 0; j < tile && remaining > 0; ++j) {
+      const double cdf_next = cdf_tile[j];
+      counts[k + j] += static_cast<std::uint32_t>(take(cdf_next - cdf_prev));
+      cdf_prev = cdf_next;
+    }
+    k += tile;
   }
   // Suffix tail [k_core_hi, kb) as one group.
   if (k_core_hi < kb && remaining > 0) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "simd/kernels.hpp"
+
 namespace obd::la {
 
 Matrix Matrix::identity(std::size_t n) {
@@ -13,12 +15,7 @@ Matrix Matrix::identity(std::size_t n) {
 Vector Matrix::multiply(const Vector& x) const {
   require(x.size() == cols_, "Matrix::multiply: size mismatch");
   Vector y(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* a = row(r);
-    double acc = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) acc += a[c] * x[c];
-    y[r] = acc;
-  }
+  if (!empty()) simd::kernels().matvec(row(0), x.data(), y.data(), rows_, cols_);
   return y;
 }
 
@@ -32,15 +29,14 @@ Matrix Matrix::transposed() const {
 Matrix Matrix::matmul(const Matrix& other) const {
   require(cols_ == other.rows(), "Matrix::matmul: dimension mismatch");
   Matrix out(rows_, other.cols(), 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(r, k);
-      if (a == 0.0) continue;
-      const double* b = other.row(k);
-      double* o = out.row(r);
-      for (std::size_t c = 0; c < other.cols(); ++c) o[c] += a * b[c];
-    }
-  }
+  // k-tiled kernel (cache-friendly on the grid-covariance path); per
+  // output element it performs the identical ascending-k round-then-add
+  // sequence as the historical naive ikj loop, so results are
+  // bit-identical to it at every dispatch level (regression-pinned in
+  // tests/simd_test.cpp).
+  if (!empty() && !other.empty())
+    simd::kernels().matmul(row(0), other.row(0), out.row(0), rows_, cols_,
+                           other.cols());
   return out;
 }
 
@@ -69,18 +65,8 @@ double Matrix::max_asymmetry() const {
 Matrix gram_aat(const Matrix& a) {
   require(!a.empty(), "gram_aat: matrix must be non-empty");
   const std::size_t n = a.rows();
-  const std::size_t k = a.cols();
   Matrix g(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* ri = a.row(i);
-    for (std::size_t j = i; j < n; ++j) {
-      const double* rj = a.row(j);
-      double s = 0.0;
-      for (std::size_t c = 0; c < k; ++c) s += ri[c] * rj[c];
-      g(i, j) = s;
-      g(j, i) = s;
-    }
-  }
+  simd::kernels().gram_aat(a.row(0), g.row(0), n, a.cols());
   return g;
 }
 

@@ -44,13 +44,22 @@ class Matrix {
     return data_.data() + r * cols_;
   }
 
-  /// y = A * x. Requires x.size() == cols().
+  /// y = A * x. Requires x.size() == cols(). Runs on the dispatched SIMD
+  /// matvec kernel: at scalar dispatch each row is the historical
+  /// single-accumulator ascending-index dot (bit-identical to the old
+  /// loop); the AVX2 path uses four accumulator lanes and differs by
+  /// ordinary dot-product rounding (~1e-15 relative).
   [[nodiscard]] Vector multiply(const Vector& x) const;
 
   /// Returns A^T.
   [[nodiscard]] Matrix transposed() const;
 
-  /// Returns A * B. Requires cols() == B.rows().
+  /// Returns A * B. Requires cols() == B.rows(). Runs on the dispatched
+  /// k-tiled SIMD kernel; results are bit-identical to the historical
+  /// naive ikj loop at every dispatch level (per output element the
+  /// contributions still accumulate in ascending k, each product rounded
+  /// before its add, zero A entries skipped) — only the cache behavior
+  /// and instruction mix change.
   [[nodiscard]] Matrix matmul(const Matrix& other) const;
 
   /// Sum of diagonal entries. Requires a square matrix.

@@ -1,0 +1,94 @@
+// Kernel table for the runtime-dispatched SIMD layer.
+//
+// Each entry is one of the straight-line inner loops that dominate
+// end-to-end runtime now that the algorithmic fast paths are in place
+// (see docs/PERFORMANCE.md, "SIMD kernels"). Two implementations exist:
+// a scalar reference (`kernels_scalar.cpp`, compiled at the baseline ISA,
+// bit-identical to the loops it replaced) and an AVX2+FMA variant
+// (`kernels_avx2.cpp`, compiled per-file with -mavx2 -mfma). Dispatch
+// between them is a process-wide runtime decision — see dispatch.hpp.
+//
+// Exactness contracts (what callers may rely on, per kernel):
+//   fill_bin_factors  scalar: bit-identical to the historical loop.
+//                     avx2: same exact-exp re-anchor every
+//                     kReanchorInterval bins; between anchors the vector
+//                     recurrence steps by ratio^8 per lane-pair, so values
+//                     drift from the scalar recurrence by a bounded ~1e-13
+//                     relative amount (fewer roundings than scalar, not
+//                     more).
+//   dot_counts        bit-identical across levels: both use the same four
+//                     fixed accumulator lanes (lane l sums elements 4j+l,
+//                     product rounded before the add — no FMA), the same
+//                     scalar tail into lane 0, and the same final combine
+//                     (a0 + a2) + (a1 + a3).
+//   normal_cdf_batch  scalar: bit-identical to stats::normal_cdf per
+//                     element. avx2: polynomial erfc, relative error
+//                     <= ~1e-12 wherever |result| > 1e-300; exactly 0/1
+//                     outside |z| ~ 39.6 (the scalar path underflows over
+//                     the same region).
+//   matmul            bit-identical across levels AND to the historical
+//                     naive ikj loop: per output element the contributions
+//                     accumulate in ascending k with the same
+//                     round(product)-then-add sequence and the same
+//                     a == 0.0 skip; k-tiling and 4-wide column
+//                     vectorization only reorder independent elements.
+//   gram_aat          bit-identical across levels and to the historical
+//                     triangle loop (same ascending-index single-chain dot
+//                     per entry, mirrored).
+//   matvec            scalar: bit-identical to the historical loop (one
+//                     accumulator per row). avx2: four accumulator lanes
+//                     per row — differs from scalar by normal dot-product
+//                     rounding (~1e-15 relative); no caller pins matvec
+//                     bits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace obd::simd {
+
+/// Accumulator lane count of dot_counts. Callers that align ranges to the
+/// accumulator structure (e.g. the Monte Carlo nonzero-range trimming)
+/// must use this width so trimming stays bit-neutral.
+inline constexpr std::size_t kDotLanes = 4;
+
+/// Bins between exact-exp re-anchors in fill_bin_factors. Part of the
+/// numerical contract shared with core::detail::kReanchorInterval.
+inline constexpr std::size_t kReanchorInterval = 64;
+
+/// One dispatch level's implementations. All pointers are always valid.
+struct KernelTable {
+  /// out[k] = exp(gb * (x_lo + (k + 0.5) * step)) for k in [0, bins),
+  /// via an incremental recurrence re-anchored by an exact exp every
+  /// kReanchorInterval bins. `out` must hold `bins` doubles.
+  void (*fill_bin_factors)(double gb, double x_lo, double step,
+                           std::size_t bins, double* out);
+  /// Dot product of uint32 counts against double factors with the fixed
+  /// four-lane accumulator structure (see contract above).
+  double (*dot_counts)(const std::uint32_t* counts, const double* factors,
+                       std::size_t n);
+  /// out[i] = standard normal CDF of z[i]. In-place (out == z) is allowed.
+  void (*normal_cdf_batch)(const double* z, std::size_t n, double* out);
+  /// out(m x n) = a(m x k) * b(k x n), row-major, out pre-zeroed by the
+  /// caller. Skips a(r, kk) == 0.0 exactly like the historical loop.
+  void (*matmul)(const double* a, const double* b, double* out,
+                 std::size_t m, std::size_t k, std::size_t n);
+  /// y(rows) = a(rows x cols) * x(cols), row-major.
+  void (*matvec)(const double* a, const double* x, double* y,
+                 std::size_t rows, std::size_t cols);
+  /// g(n x n) = a(n x k) * a(n x k)^T, row-major, symmetric (upper
+  /// triangle computed, lower mirrored bitwise).
+  void (*gram_aat)(const double* a, double* g, std::size_t n,
+                   std::size_t k);
+};
+
+/// The table for the active dispatch level (lazily resolved from
+/// OBDREL_SIMD on first use — see dispatch.hpp).
+const KernelTable& kernels();
+
+namespace detail {
+extern const KernelTable kScalarKernels;
+extern const KernelTable kAvx2Kernels;  // defined only when built with AVX2
+}  // namespace detail
+
+}  // namespace obd::simd

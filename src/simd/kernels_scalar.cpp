@@ -1,0 +1,115 @@
+// Scalar reference kernels — the dispatch fallback, compiled at the
+// baseline ISA. These are the authoritative definitions of the numerical
+// contracts in kernels.hpp: each loop is bit-identical to the historical
+// inner loop it replaced (montecarlo.cpp's dot_counts/fill_bin_factors,
+// matrix.cpp's matmul/multiply/gram_aat, stats::normal_cdf), so forcing
+// OBDREL_SIMD=scalar reproduces pre-SIMD results exactly.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.hpp"
+
+namespace obd::simd {
+namespace {
+
+void fill_bin_factors_scalar(double gb, double x_lo, double step,
+                             std::size_t bins, double* out) {
+  const double ratio = std::exp(gb * step);
+  double p = 0.0;
+  for (std::size_t k = 0; k < bins; ++k) {
+    if (k % kReanchorInterval == 0)
+      p = std::exp(gb * (x_lo + (static_cast<double>(k) + 0.5) * step));
+    out[k] = p;
+    p *= ratio;
+  }
+}
+
+// Four explicit independent accumulators combined as (a0 + a2) +
+// (a1 + a3); the fixed structure is part of the determinism contract (the
+// AVX2 variant reproduces exactly this lane mapping).
+double dot_counts_scalar(const std::uint32_t* c, const double* e,
+                         std::size_t n) {
+  double a0 = 0.0;
+  double a1 = 0.0;
+  double a2 = 0.0;
+  double a3 = 0.0;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    a0 += static_cast<double>(c[k]) * e[k];
+    a1 += static_cast<double>(c[k + 1]) * e[k + 1];
+    a2 += static_cast<double>(c[k + 2]) * e[k + 2];
+    a3 += static_cast<double>(c[k + 3]) * e[k + 3];
+  }
+  for (; k < n; ++k) a0 += static_cast<double>(c[k]) * e[k];
+  return (a0 + a2) + (a1 + a3);
+}
+
+// Exactly stats::normal_cdf per element (same expression, same libm).
+void normal_cdf_batch_scalar(const double* z, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = 0.5 * std::erfc(-z[i] / std::sqrt(2.0));
+}
+
+// k-tiled ikj product. Per output element the accumulation still visits
+// k in ascending order with round(a*b)-then-add and the a == 0.0 skip, so
+// the result is bit-identical to the untiled historical loop; the tiling
+// only keeps the active B panel cache-resident instead of streaming all
+// of B once per output row.
+constexpr std::size_t kMatmulTileK = 256;
+
+void matmul_scalar(const double* a, const double* b, double* out,
+                   std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t k0 = 0; k0 < k; k0 += kMatmulTileK) {
+    const std::size_t k1 = std::min(k, k0 + kMatmulTileK);
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* arow = a + r * k;
+      double* orow = out + r * n;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const double av = arow[kk];
+        if (av == 0.0) continue;
+        const double* brow = b + kk * n;
+        for (std::size_t c = 0; c < n; ++c) orow[c] += av * brow[c];
+      }
+    }
+  }
+}
+
+void matvec_scalar(const double* a, const double* x, double* y,
+                   std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* arow = a + r * cols;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) acc += arow[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+// Ascending-index single-accumulator dot per upper-triangle entry,
+// mirrored — the layout tests pin these exact bits.
+void gram_aat_scalar(const double* a, double* g, std::size_t n,
+                     std::size_t k) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ri = a + i * k;
+    for (std::size_t j = i; j < n; ++j) {
+      const double* rj = a + j * k;
+      double s = 0.0;
+      for (std::size_t c = 0; c < k; ++c) s += ri[c] * rj[c];
+      g[i * n + j] = s;
+      g[j * n + i] = s;
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable kScalarKernels = {
+    fill_bin_factors_scalar, dot_counts_scalar, normal_cdf_batch_scalar,
+    matmul_scalar,           matvec_scalar,     gram_aat_scalar,
+};
+
+}  // namespace detail
+}  // namespace obd::simd

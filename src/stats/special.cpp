@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "simd/kernels.hpp"
 
 namespace obd::stats {
 namespace {
@@ -106,6 +107,10 @@ double gamma_p_inverse(double a, double p) {
 }
 
 double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+void normal_cdf_batch(const double* z, std::size_t n, double* out) {
+  simd::kernels().normal_cdf_batch(z, n, out);
+}
 
 double normal_pdf(double x) {
   return std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);

@@ -3,6 +3,8 @@
 // standard-normal CDF (quantiles for integration-domain selection).
 #pragma once
 
+#include <cstddef>
+
 namespace obd::stats {
 
 /// Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a).
@@ -21,6 +23,14 @@ double normal_cdf(double x);
 
 /// Standard normal PDF phi(x).
 double normal_pdf(double x);
+
+/// Batched standard normal CDF: out[i] = Phi(z[i]) for i in [0, n);
+/// in-place operation (out == z) is allowed. Dispatches to the active
+/// SIMD kernel: at scalar dispatch every element is bit-identical to
+/// normal_cdf(); the AVX2 path agrees to <= 1e-12 relative wherever
+/// |result| > 1e-300 and returns exactly 0/1 where the scalar path
+/// underflows (see docs/PERFORMANCE.md, "SIMD kernels").
+void normal_cdf_batch(const double* z, std::size_t n, double* out);
 
 /// Inverse standard normal CDF (probit). Domain: p in (0, 1).
 /// Acklam's rational approximation refined by one Halley step — accurate to

@@ -8,6 +8,7 @@
 #include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
+#include "common/parallel.hpp"
 
 namespace obd::thermal {
 namespace {
@@ -16,6 +17,83 @@ bool all_finite(const std::vector<double>& v) {
   for (double x : v)
     if (!std::isfinite(x)) return false;
   return true;
+}
+
+// One SOR cell relaxation; returns the absolute update. Shared by both
+// sweep orders so their per-cell arithmetic is identical (and identical to
+// the historical inline loop body).
+inline double update_cell(std::vector<double>& t,
+                          const std::vector<double>& cell_power,
+                          std::size_t n, std::size_t r, std::size_t c,
+                          double g_lat_x, double g_lat_y, double g_vert,
+                          double omega) {
+  const std::size_t i = r * n + c;
+  double g_sum = g_vert;
+  double rhs = cell_power[i];
+  if (c > 0) {
+    g_sum += g_lat_x;
+    rhs += g_lat_x * t[i - 1];
+  }
+  if (c + 1 < n) {
+    g_sum += g_lat_x;
+    rhs += g_lat_x * t[i + 1];
+  }
+  if (r > 0) {
+    g_sum += g_lat_y;
+    rhs += g_lat_y * t[i - n];
+  }
+  if (r + 1 < n) {
+    g_sum += g_lat_y;
+    rhs += g_lat_y * t[i + n];
+  }
+  const double updated = rhs / g_sum;
+  const double next = t[i] + omega * (updated - t[i]);
+  const double change = std::fabs(next - t[i]);
+  t[i] = next;
+  return change;
+}
+
+// Historical row-major sweep: visits cells in lexicographic order on the
+// calling thread. Bit-identical to the pre-refactor inline loop.
+double sweep_lex(std::vector<double>& t, const std::vector<double>& cell_power,
+                 std::size_t n, double g_lat_x, double g_lat_y, double g_vert,
+                 double omega) {
+  double residual = 0.0;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      residual = std::max(residual, update_cell(t, cell_power, n, r, c,
+                                                g_lat_x, g_lat_y, g_vert,
+                                                omega));
+  return residual;
+}
+
+// Red-black sweep: updates one checkerboard color at a time. Cells of one
+// color only read neighbors of the other color, so the row stripes of each
+// half-sweep are data-independent and run on the shared pool. The residual
+// is a max reduction, which is order-invariant, so the result is
+// bit-identical for any thread count (see parallel.hpp's determinism
+// contract).
+double sweep_redblack(std::vector<double>& t,
+                      const std::vector<double>& cell_power, std::size_t n,
+                      double g_lat_x, double g_lat_y, double g_vert,
+                      double omega) {
+  double residual = 0.0;
+  for (std::size_t color = 0; color < 2; ++color) {
+    const double worst = par::parallel_reduce(
+        std::size_t{0}, n, std::size_t{8}, 0.0,
+        [&](std::size_t rb, std::size_t re) {
+          double local = 0.0;
+          for (std::size_t r = rb; r < re; ++r)
+            for (std::size_t c = (r + color) & 1; c < n; c += 2)
+              local = std::max(local, update_cell(t, cell_power, n, r, c,
+                                                  g_lat_x, g_lat_y, g_vert,
+                                                  omega));
+          return local;
+        },
+        [](double a, double b) { return std::max(a, b); });
+    residual = std::max(residual, worst);
+  }
+  return residual;
 }
 
 }  // namespace
@@ -40,7 +118,7 @@ double ThermalProfile::at(double x, double y) const {
 
 ThermalProfile solve_thermal(const chip::Design& design,
                              const power::PowerMap& power,
-                             const ThermalParams& params) {
+                             const ThermalParams& params, SorState* state) {
   design.validate();
   require(power.block_watts.size() == design.blocks.size(),
           "solve_thermal: power map size mismatch");
@@ -92,38 +170,23 @@ ThermalProfile solve_thermal(const chip::Design& design,
   // SOR on: sum_nb g*(T_nb - T_i) + g_vert*(T_amb - T_i) + P_i = 0.
   // Temperatures are stored as rise over ambient; ambient added at the end.
   std::vector<double> t(n * n, 0.0);
+  if (state && state->rise.size() == n * n && all_finite(state->rise))
+    t = state->rise;  // warm start from a previous (partial) solve
   double residual = 0.0;
   std::size_t iter = 0;
   for (; iter < params.max_iterations; ++iter) {
-    residual = 0.0;
-    for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t c = 0; c < n; ++c) {
-        const std::size_t i = r * n + c;
-        double g_sum = g_vert;
-        double rhs = cell_power[i];
-        if (c > 0) {
-          g_sum += g_lat_x;
-          rhs += g_lat_x * t[i - 1];
-        }
-        if (c + 1 < n) {
-          g_sum += g_lat_x;
-          rhs += g_lat_x * t[i + 1];
-        }
-        if (r > 0) {
-          g_sum += g_lat_y;
-          rhs += g_lat_y * t[i - n];
-        }
-        if (r + 1 < n) {
-          g_sum += g_lat_y;
-          rhs += g_lat_y * t[i + n];
-        }
-        const double updated = rhs / g_sum;
-        const double next = t[i] + params.sor_omega * (updated - t[i]);
-        residual = std::max(residual, std::fabs(next - t[i]));
-        t[i] = next;
-      }
-    }
+    residual = (params.sweep == SweepOrder::kRedBlack)
+                   ? sweep_redblack(t, cell_power, n, g_lat_x, g_lat_y,
+                                    g_vert, params.sor_omega)
+                   : sweep_lex(t, cell_power, n, g_lat_x, g_lat_y, g_vert,
+                               params.sor_omega);
     if (residual < params.tolerance) break;
+  }
+  // Hand the iterate back before the convergence check so a failed solve
+  // still gives the caller its partial progress for a warm-started retry.
+  if (state) {
+    state->rise = t;
+    state->iterations = std::min(iter + 1, params.max_iterations);
   }
   if (fault::should_fire(fault::site::kThermalSor))
     residual = std::numeric_limits<double>::infinity();
@@ -172,12 +235,33 @@ ThermalProfile power_thermal_fixed_point(const chip::Design& design,
   bool have_profile = false;
   double prev_delta = std::numeric_limits<double>::infinity();
   ThermalParams tp = tparams;
+  SorState sor_state;
+  std::size_t warm_starts = 0;
+  std::size_t retained_sweeps = 0;
+  const auto publish_warm_starts = [&] {
+    if (warm_starts == 0) return;
+    std::ostringstream msg;
+    msg << warm_starts << " damped " << (warm_starts == 1 ? "retry" : "retries")
+        << " resumed from partial SOR iterates (" << retained_sweeps
+        << " sweeps retained)";
+    diagnostics().stat("thermal.warm_start", msg.str());
+  };
   for (std::size_t i = 0; i < iterations; ++i) {
     const power::PowerMap power = estimate_power(design, pparams, temps);
+    // Each outer iteration solves for a new power map, so retries within
+    // it may resume from the failed attempt's iterate, but a fresh
+    // iteration always starts cold (keeps the no-fault path identical to
+    // the stateless solver).
+    sor_state.rise.clear();
+    sor_state.iterations = 0;
     bool solved = false;
     for (int attempt = 0; attempt <= kMaxRetries && !solved; ++attempt) {
       try {
-        ThermalProfile next = solve_thermal(design, power, tp);
+        if (attempt > 0 && !sor_state.rise.empty()) {
+          ++warm_starts;
+          retained_sweeps += sor_state.iterations;
+        }
+        ThermalProfile next = solve_thermal(design, power, tp, &sor_state);
         if (fault::should_fire(fault::site::kThermalFixedPoint))
           next.block_temps_c.front() =
               std::numeric_limits<double>::quiet_NaN();
@@ -210,6 +294,7 @@ ThermalProfile power_thermal_fixed_point(const chip::Design& design,
                          "thermal solve failed after damped retries; "
                          "returning the last converged profile");
       profile.converged = false;
+      publish_warm_starts();
       return profile;
     }
     have_profile = true;
@@ -235,6 +320,7 @@ ThermalProfile power_thermal_fixed_point(const chip::Design& design,
     }
     temps = profile.block_temps_c;
   }
+  publish_warm_starts();
   return profile;
 }
 

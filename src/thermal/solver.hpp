@@ -18,6 +18,29 @@
 
 namespace obd::thermal {
 
+/// Cell-visit order of one SOR sweep.
+///
+/// kLexicographic is the historical row-major Gauss-Seidel order and the
+/// default; its results are pinned by the regression suite. kRedBlack
+/// updates the two checkerboard colors in turn; within a color no cell
+/// reads another cell of the same color, so the rows of each half-sweep
+/// run concurrently on the shared pool (par::parallel_reduce) and the
+/// result is thread-invariant (the residual is a max, which is
+/// order-independent). The two orders converge to the same fixed point of
+/// the SPD system within `tolerance` but follow different iterate paths,
+/// so converged fields agree to solver tolerance, not bit-for-bit.
+enum class SweepOrder { kLexicographic, kRedBlack };
+
+/// Resumable SOR iterate, used by power_thermal_fixed_point to warm-start
+/// damped retries from the partial field of the failed attempt instead of
+/// discarding those sweeps. solve_thermal fills it (even when it throws
+/// kNonconvergence) and reads a non-empty matching-size `rise` as the
+/// starting field.
+struct SorState {
+  std::vector<double> rise;    ///< last iterate, rise over ambient [K]
+  std::size_t iterations = 0;  ///< sweeps spent producing `rise`
+};
+
 /// Physical and numerical parameters of the thermal solve.
 struct ThermalParams {
   double ambient_c = 45.0;          ///< ambient/heatsink temperature [C]
@@ -32,6 +55,7 @@ struct ThermalParams {
   double sor_omega = 1.9;           ///< SOR relaxation factor in (0, 2)
   double tolerance = 1e-7;          ///< max residual [K] for convergence
   std::size_t max_iterations = 50000;
+  SweepOrder sweep = SweepOrder::kLexicographic;  ///< SOR cell-visit order
 };
 
 /// Temperature field over the die plus per-block aggregates.
@@ -57,9 +81,15 @@ struct ThermalProfile {
 
 /// Solves the steady-state temperature field for `power` over `design`.
 /// Throws obd::Error if the SOR iteration fails to reach `tolerance`.
+///
+/// If `state` is non-null, a non-empty `state->rise` of matching size
+/// seeds the iteration (warm start), and the final iterate plus sweep
+/// count are written back before any nonconvergence throw, so a failed
+/// solve still hands its partial progress to the caller.
 ThermalProfile solve_thermal(const chip::Design& design,
                              const power::PowerMap& power,
-                             const ThermalParams& params = {});
+                             const ThermalParams& params = {},
+                             SorState* state = nullptr);
 
 /// Runs the power <-> thermal fixed point: power at current temperatures ->
 /// thermal solve -> updated leakage -> ... for `iterations` rounds
@@ -67,8 +97,11 @@ ThermalProfile solve_thermal(const chip::Design& design,
 ///
 /// Fault tolerance: non-finite temperatures or a growing fixed-point
 /// residual trigger bounded damped retries (relaxed SOR omega, averaged
-/// temperature feedback), each reported to obd::diagnostics(). If damping
-/// cannot rescue an iteration, the last converged profile is returned with
+/// temperature feedback), each reported to obd::diagnostics(). Retries
+/// warm-start from the failed attempt's partial SOR iterate instead of
+/// from zero, so the sweeps already spent are retained; a
+/// "thermal.warm_start" stat summarizes how many. If damping cannot
+/// rescue an iteration, the last converged profile is returned with
 /// `converged = false` (or, when no iteration ever converged, an
 /// Error(kNonconvergence) is thrown).
 ThermalProfile power_thermal_fixed_point(const chip::Design& design,

@@ -40,6 +40,9 @@
 //   targets       failure-quantile list                  (default 1e-6 1e-5)
 //   strict        bool: same as --strict                 (default false)
 //   threads       shared-pool worker threads             (default auto)
+//   simd          auto | avx2 | scalar SIMD dispatch     (default auto)
+//                 (overrides the OBDREL_SIMD environment variable)
+//   thermal_sweep lexicographic | redblack SOR order     (default lexicographic)
 //   faults        fault-injection spec (testing only)
 //
 // DRM-run config keys (obdrel drm run):
@@ -79,6 +82,7 @@
 #include "drm/manager.hpp"
 #include "drm/runtime.hpp"
 #include "power/power.hpp"
+#include "simd/dispatch.hpp"
 #include "thermal/solver.hpp"
 
 namespace {
@@ -124,6 +128,15 @@ chip::Design load_design(const Config& cfg) {
   return chip::load_floorplan_file(design, opts);
 }
 
+thermal::SweepOrder parse_thermal_sweep(const Config& cfg) {
+  const std::string v = cfg.get_string("thermal_sweep", "lexicographic");
+  if (v == "lexicographic") return thermal::SweepOrder::kLexicographic;
+  if (v == "redblack") return thermal::SweepOrder::kRedBlack;
+  throw Error(
+      "thermal_sweep must be 'lexicographic' or 'redblack', got '" + v + "'",
+      ErrorCode::kConfig);
+}
+
 struct Pipeline {
   chip::Design design;
   thermal::ThermalProfile profile;
@@ -139,6 +152,7 @@ Pipeline run_pipeline(const Config& cfg) {
   thermal::ThermalParams tp;
   tp.ambient_c = cfg.get_double("ambient_c", 45.0);
   tp.resolution = 48;
+  tp.sweep = parse_thermal_sweep(cfg);
   p.profile = thermal::power_thermal_fixed_point(p.design, pp, tp, 2);
   return p;
 }
@@ -436,6 +450,10 @@ int usage(std::FILE* out, int rc) {
                "--strict escalates degraded results to errors.\n"
                "--threads <n> sizes the shared analysis pool (0 = auto);\n"
                "it overrides OBDREL_THREADS and the `threads` config key.\n"
+               "The `simd` config key (auto|avx2|scalar, default auto)\n"
+               "selects the SIMD kernel dispatch level; it overrides the\n"
+               "OBDREL_SIMD environment variable. The `thermal_sweep` key\n"
+               "(lexicographic|redblack) picks the SOR cell-visit order.\n"
                "drm run drives the crash-safe DRM service loop from a\n"
                "telemetry trace ('-' reads stdin); --checkpoint-dir makes\n"
                "its state durable and --resume recovers it after a crash.\n"
@@ -455,6 +473,10 @@ void apply_runtime_options(const Config& cfg, bool strict_flag,
                            long long threads_flag) {
   set_strict_mode(strict_flag || cfg.get_bool("strict", false));
   if (cfg.has("faults")) fault::arm(cfg.get_string("faults"));
+  if (cfg.has("simd")) simd::configure(cfg.get_string("simd"));
+  // Validate thermal_sweep here so a bad value fails with the config exit
+  // code in every command, not only the ones that run the thermal solve.
+  (void)parse_thermal_sweep(cfg);
   if (threads_flag >= 0) {
     par::set_threads(static_cast<std::size_t>(threads_flag));
   } else if (cfg.has("threads")) {
@@ -465,6 +487,7 @@ void apply_runtime_options(const Config& cfg, bool strict_flag,
 // Reports collected degradation warnings; returns the adjusted exit code.
 int finish(int rc) {
   par::publish_stats();
+  simd::publish_level();
   const std::string stats = diagnostics().render_stats();
   if (!stats.empty()) std::fputs(stats.c_str(), stderr);
   if (diagnostics().degraded()) {
@@ -541,6 +564,7 @@ int main(int argc, char** argv) {
   }
   try {
     fault::arm_from_env();
+    simd::init_from_env();
     if (!args.empty() && args[0] == "help") return usage(stdout, 0);
     if (args.size() < 2) return usage();
     const std::string& cmd = args[0];
