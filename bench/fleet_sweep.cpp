@@ -1,0 +1,153 @@
+// Fleet sweep throughput and crash-recovery overhead.
+//
+// Drives the fleet worker path (src/fleet) in-process over a
+// million-chip population: chunked streaming accumulation, per-chunk
+// journal records, done-snapshot publication, and the global merge.
+// Measures
+//
+//   1. clean throughput — chips/s for an uninterrupted single-shard run
+//      (journaling on, fsync off: the bench measures compute + framing,
+//      not the disk),
+//   2. crash-recovery overhead — a run that "dies" after completing half
+//      its chunks (phase 1) and is then resumed from the journal to
+//      completion (phase 2); overhead = (T1 + T2) / T_clean - 1. The
+//      acceptance gate is <= 15%, and the recovered report must be
+//      byte-identical to the clean one (enforced by the exit code).
+//
+// Results go to BENCH_fleet.json in the working directory (or
+// $OBDREL_CSV_DIR). Scaling knobs: OBDREL_FLEET_CHIPS (default 1000000),
+// OBDREL_FLEET_BINS (default 32).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chip/design.hpp"
+#include "common/csv.hpp"
+#include "common/stopwatch.hpp"
+#include "core/device_model.hpp"
+#include "core/problem.hpp"
+#include "fleet/shard.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+#include "variation/model.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Runs one worker over `dir` and returns the wall time.
+double run_shard(const obd::core::ReliabilityProblem& problem,
+                 const obd::fleet::FleetSpec& spec, const std::string& dir,
+                 std::uint64_t shard, std::uint64_t shards) {
+  obd::fleet::WorkerOptions w;
+  w.dir = dir;
+  w.shard = shard;
+  w.shards = shards;
+  w.sync_journal = false;  // measure compute + framing, not fsync latency
+  obd::Stopwatch sw;
+  obd::fleet::run_worker(problem, spec, w);
+  return sw.seconds();
+}
+
+std::string merged_report(const obd::fleet::FleetSpec& spec,
+                          const std::string& dir, std::uint64_t shards) {
+  std::map<std::uint64_t, obd::fleet::ChunkResult> chunks;
+  for (std::uint64_t k = 0; k < shards; ++k)
+    chunks.merge(obd::fleet::load_shard_chunks(dir, k, spec));
+  return obd::fleet::render_report(
+      obd::fleet::merge_chunks(spec, chunks));
+}
+
+}  // namespace
+
+int main() {
+  using namespace obd;
+  const std::uint64_t chips = bench::env_size("OBDREL_FLEET_CHIPS", 1000000);
+  const std::size_t bins = bench::env_size("OBDREL_FLEET_BINS", 32);
+
+  const chip::Design design = chip::make_synthetic_design(
+      "fleet-bench", {.devices = 20000, .block_count = 4, .die_width = 4.0,
+                      .die_height = 4.0, .seed = 7});
+  const auto profile = thermal::power_thermal_fixed_point(
+      design, power::PowerParams{}, {.resolution = 32}, 2);
+  core::ProblemOptions popts;
+  popts.grid_cells_per_side = 12;
+  const auto problem = core::ReliabilityProblem::build(
+      design, var::VariationBudget{}, core::AnalyticReliabilityModel{},
+      profile.block_temps_c, 1.2, popts);
+
+  fleet::FleetSpec spec;
+  spec.chips = chips;
+  spec.ts = {5.0 * bench::kYear, 10.0 * bench::kYear, 20.0 * bench::kYear};
+  spec.seed = 99;
+  spec.thickness_bins = bins;
+  spec.problem_key = "fleet-bench";
+
+  const std::string root = "fleet-bench.state";
+  fs::remove_all(root);
+  fs::create_directories(root + "/clean");
+  fs::create_directories(root + "/crash");
+
+  std::printf("Fleet sweep bench: %llu chips, %llu chunks of %llu, "
+              "%zu-point sweep, %zu thickness bins.\n\n",
+              static_cast<unsigned long long>(chips),
+              static_cast<unsigned long long>(fleet::chunk_count(spec)),
+              static_cast<unsigned long long>(fleet::kChunkChips),
+              spec.ts.size(), bins);
+
+  // 1. Clean single-shard run.
+  const double t_clean =
+      run_shard(problem, spec, root + "/clean", 0, 1);
+  const double chips_per_s = static_cast<double>(chips) / t_clean;
+  std::printf("clean run:      %8.2f s  (%.0f chips/s)\n", t_clean,
+              chips_per_s);
+
+  // 2. Crash at the halfway point: phase 1 computes the first half of the
+  // chunk space (a 2-shard partition's shard 0 writes the same shard-0
+  // journal a 1-shard run owns), then the "restarted" single-shard worker
+  // resumes from that journal and completes the rest.
+  const double t_phase1 =
+      run_shard(problem, spec, root + "/crash", 0, 2);
+  const double t_phase2 =
+      run_shard(problem, spec, root + "/crash", 0, 1);
+  const double t_recovered = t_phase1 + t_phase2;
+  const double overhead = t_recovered / t_clean - 1.0;
+  std::printf("crashed run:    %8.2f s  (%.2f s to the crash, %.2f s "
+              "resumed)\n",
+              t_recovered, t_phase1, t_phase2);
+  std::printf("recovery overhead: %.1f%% (budget 15%%)\n", 100.0 * overhead);
+
+  // 3. The recovered report must be the clean report, byte for byte.
+  const std::string clean_report = merged_report(spec, root + "/clean", 1);
+  const std::string crash_report = merged_report(spec, root + "/crash", 1);
+  const bool identical = clean_report == crash_report;
+  const bool overhead_ok = overhead <= 0.15;
+  std::printf("recovered report %s the clean report\n",
+              identical ? "MATCHES" : "DIFFERS FROM (determinism bug!)");
+
+  fs::remove_all(root);
+
+  const std::string dir = csv_output_dir();
+  const std::string path =
+      (dir.empty() ? std::string{} : dir + "/") + "BENCH_fleet.json";
+  std::ofstream out(path);
+  out << "{\n  \"chips\": " << chips << ",\n"
+      << "  \"chunks\": " << fleet::chunk_count(spec) << ",\n"
+      << "  \"sweep_points\": " << spec.ts.size() << ",\n"
+      << "  \"thickness_bins\": " << bins << ",\n"
+      << "  \"clean_seconds\": " << t_clean << ",\n"
+      << "  \"chips_per_second\": " << chips_per_s << ",\n"
+      << "  \"crash_phase1_seconds\": " << t_phase1 << ",\n"
+      << "  \"crash_resume_seconds\": " << t_phase2 << ",\n"
+      << "  \"recovery_overhead\": " << overhead << ",\n"
+      << "  \"recovery_overhead_ok\": " << (overhead_ok ? "true" : "false")
+      << ",\n  \"recovered_identical\": " << (identical ? "true" : "false")
+      << ",\n  \"pass\": "
+      << ((identical && overhead_ok) ? "true" : "false") << "\n}\n";
+  std::printf("(wrote %s)\n", path.c_str());
+  return (identical && overhead_ok) ? 0 : 1;
+}

@@ -60,6 +60,8 @@ const std::vector<std::string>& known_sites() {
       site::kCheckpointWrite, site::kCheckpointCrc,
       site::kJournalAppend,   site::kJournalReplay,
       site::kDrmDeadline,
+      site::kFleetHeartbeat,  site::kFleetSpawn,
+      site::kFleetShardCrc,
   };
   return sites;
 }

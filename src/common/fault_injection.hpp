@@ -43,6 +43,9 @@ inline constexpr const char* kCheckpointCrc = "checkpoint.crc";
 inline constexpr const char* kJournalAppend = "journal.append";
 inline constexpr const char* kJournalReplay = "journal.replay";
 inline constexpr const char* kDrmDeadline = "drm.deadline";
+inline constexpr const char* kFleetHeartbeat = "fleet.heartbeat";
+inline constexpr const char* kFleetSpawn = "fleet.spawn";
+inline constexpr const char* kFleetShardCrc = "fleet.shard_crc";
 }  // namespace site
 
 /// All registered site names (the injection catalogue), sorted.

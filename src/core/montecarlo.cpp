@@ -84,21 +84,7 @@ MonteCarloAnalyzer::MonteCarloAnalyzer(const ReliabilityProblem& problem,
           "MonteCarloAnalyzer: need at least 10 sample chips");
   require(options.thickness_bins >= 16,
           "MonteCarloAnalyzer: need at least 16 thickness bins");
-
-  // Common thickness axis covering nominal spread plus range_sigmas of
-  // total variation (wafer patterns can shift the per-grid nominal).
-  const var::CanonicalForm& canonical = problem.canonical();
-  double nom_lo = canonical.nominal(0);
-  double nom_hi = canonical.nominal(0);
-  for (std::size_t g = 1; g < canonical.grid_count(); ++g) {
-    nom_lo = std::min(nom_lo, canonical.nominal(g));
-    nom_hi = std::max(nom_hi, canonical.nominal(g));
-  }
-  const double half =
-      options.thickness_range_sigmas * problem.budget().sigma_total();
-  x_lo_ = nom_lo - half;
-  x_step_ = (nom_hi + half - x_lo_) / static_cast<double>(options.thickness_bins);
-  x_hi_ = x_lo_ + x_step_ * static_cast<double>(options.thickness_bins);
+  init_axis();
 
   // One independent stream per chip, derived by splitmix64-mixing
   // (seed, chip index) — see Rng::stream. Results are reproducible and
@@ -134,6 +120,67 @@ MonteCarloAnalyzer::MonteCarloAnalyzer(const ReliabilityProblem& problem,
            "thickness_range_sigmas";
     diagnostics().warn("mc.binning", msg.str());
   }
+}
+
+MonteCarloAnalyzer::MonteCarloAnalyzer(StreamingTag,
+                                       const ReliabilityProblem& problem,
+                                       const MonteCarloOptions& options)
+    : problem_(&problem), options_(options) {
+  require(options.thickness_bins >= 16,
+          "MonteCarloAnalyzer: need at least 16 thickness bins");
+  init_axis();
+}
+
+MonteCarloAnalyzer MonteCarloAnalyzer::streaming(
+    const ReliabilityProblem& problem, const MonteCarloOptions& options) {
+  return MonteCarloAnalyzer(StreamingTag{}, problem, options);
+}
+
+void MonteCarloAnalyzer::init_axis() {
+  // Common thickness axis covering nominal spread plus range_sigmas of
+  // total variation (wafer patterns can shift the per-grid nominal).
+  const var::CanonicalForm& canonical = problem_->canonical();
+  double nom_lo = canonical.nominal(0);
+  double nom_hi = canonical.nominal(0);
+  for (std::size_t g = 1; g < canonical.grid_count(); ++g) {
+    nom_lo = std::min(nom_lo, canonical.nominal(g));
+    nom_hi = std::max(nom_hi, canonical.nominal(g));
+  }
+  const double half =
+      options_.thickness_range_sigmas * problem_->budget().sigma_total();
+  x_lo_ = nom_lo - half;
+  x_step_ =
+      (nom_hi + half - x_lo_) / static_cast<double>(options_.thickness_bins);
+  x_hi_ = x_lo_ + x_step_ * static_cast<double>(options_.thickness_bins);
+}
+
+MonteCarloAnalyzer::RangePartial MonteCarloAnalyzer::accumulate_chip_range(
+    std::span<const double> ts, std::uint64_t chip_begin,
+    std::uint64_t chip_end) const {
+  for (const double t : ts)
+    require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
+  RangePartial out;
+  out.chips = (chip_end > chip_begin) ? chip_end - chip_begin : 0;
+  out.sum_f.assign(ts.size(), 0.0);
+  out.sum_f2.assign(ts.size(), 0.0);
+  if (ts.empty() || out.chips == 0) return out;
+  const EvalContext ctx = build_eval_context(ts);
+  const std::size_t nt = ts.size();
+  // Sequential chip-outer / ti-inner accumulation: each chip is sampled
+  // from its global-index stream, evaluated at every sweep point, and
+  // discarded. No tiling, no threading — the caller owns parallelism at
+  // range granularity, which is what keeps fleet results independent of
+  // shard and thread counts.
+  for (std::uint64_t i = chip_begin; i < chip_end; ++i) {
+    stats::Rng rng = stats::Rng::stream(options_.seed, i);
+    const ChipSample chip = sample_chip(rng);
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      const double f = -std::expm1(-chip_exponent_ctx(chip, ctx, ti));
+      out.sum_f[ti] += f;
+      out.sum_f2[ti] += f * f;
+    }
+  }
+  return out;
 }
 
 void MonteCarloAnalyzer::sample_cell_binned(std::size_t count, double mu,
@@ -497,6 +544,8 @@ double MonteCarloAnalyzer::chip_exponent_reference(const ChipSample& chip,
 
 std::vector<double> MonteCarloAnalyzer::failure_probabilities(
     std::span<const double> ts) const {
+  require(!chips_.empty(), ErrorCode::kInvalidInput,
+          "MonteCarloAnalyzer: stored-sample query on a streaming analyzer");
   for (const double t : ts)
     require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
   if (ts.empty()) return {};
@@ -534,6 +583,8 @@ double MonteCarloAnalyzer::failure_probability(double t) const {
 
 std::vector<double> MonteCarloAnalyzer::failure_std_errors(
     std::span<const double> ts) const {
+  require(!chips_.empty(), ErrorCode::kInvalidInput,
+          "MonteCarloAnalyzer: stored-sample query on a streaming analyzer");
   for (const double t : ts)
     require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
   if (ts.empty()) return {};
@@ -578,6 +629,8 @@ double MonteCarloAnalyzer::failure_std_error(double t) const {
 }
 
 double MonteCarloAnalyzer::failure_probability_reference(double t) const {
+  require(!chips_.empty(), ErrorCode::kInvalidInput,
+          "MonteCarloAnalyzer: stored-sample query on a streaming analyzer");
   require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
   const double sum = par::parallel_reduce(
       0, chips_.size(), kEvalChunk, 0.0,
@@ -598,6 +651,8 @@ double MonteCarloAnalyzer::lifetime_at(double target) const {
 
 std::vector<double> MonteCarloAnalyzer::kth_failure_probabilities(
     std::span<const double> ts, std::size_t k) const {
+  require(!chips_.empty(), ErrorCode::kInvalidInput,
+          "MonteCarloAnalyzer: stored-sample query on a streaming analyzer");
   for (const double t : ts)
     require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
   require(k >= 1, "MonteCarloAnalyzer: k must be >= 1");

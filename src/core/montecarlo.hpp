@@ -94,6 +94,34 @@ class MonteCarloAnalyzer {
   MonteCarloAnalyzer(const ReliabilityProblem& problem,
                      const MonteCarloOptions& options = {});
 
+  /// Streaming factory for fleet-scale sweeps (src/fleet): builds the
+  /// thickness axis but samples and stores no chips, so population size is
+  /// unbounded by memory. Only accumulate_chip_range() (plus the fresh-draw
+  /// sample_failure_times()) may be used on a streaming analyzer; the
+  /// stored-sample queries throw kInvalidInput. options.chip_samples is
+  /// ignored — the caller names chips by global index instead.
+  [[nodiscard]] static MonteCarloAnalyzer streaming(
+      const ReliabilityProblem& problem, const MonteCarloOptions& options = {});
+
+  /// Partial sums of conditional failures over a contiguous range of global
+  /// chip indices, for external (sharded / multi-process) reduction.
+  struct RangePartial {
+    std::uint64_t chips = 0;
+    std::vector<double> sum_f;   ///< per sweep point, sum of F_chip
+    std::vector<double> sum_f2;  ///< per sweep point, sum of F_chip^2
+  };
+
+  /// Evaluates chips [chip_begin, chip_end), each drawn from its own
+  /// deterministic stream Rng::stream(seed, global_index) and discarded
+  /// after evaluation. Strictly sequential in ascending chip order with
+  /// ti-inner accumulation, so the result depends only on (problem,
+  /// options, ts, range) — never on thread count, shard count, or how the
+  /// caller partitions the population into ranges. This is the numerical
+  /// contract the fleet layer's bit-identical recovery rests on.
+  [[nodiscard]] RangePartial accumulate_chip_range(std::span<const double> ts,
+                                                   std::uint64_t chip_begin,
+                                                   std::uint64_t chip_end) const;
+
   /// Ensemble failure probability: mean over sample chips of the exact
   /// conditional chip failure 1 - R_c(t | x).
   [[nodiscard]] double failure_probability(double t) const;
@@ -180,6 +208,15 @@ class MonteCarloAnalyzer {
       std::size_t block) const;
 
  private:
+  struct StreamingTag {};
+  /// Axis-only construction backing streaming(): no chip sampling, no
+  /// minimum-population requirement.
+  MonteCarloAnalyzer(StreamingTag, const ReliabilityProblem& problem,
+                     const MonteCarloOptions& options);
+
+  /// Common axis setup shared by both constructors.
+  void init_axis();
+
   /// Per-chip compressed thickness population: per block, bin counts over
   /// the common thickness axis plus explicit under/overflow counts for
   /// samples beyond the axis, evaluated at the true range boundary rather

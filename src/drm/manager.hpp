@@ -134,6 +134,8 @@ class ReliabilityManager {
     return ladder_;
   }
 
+  [[nodiscard]] const DrmOptions& options() const { return options_; }
+
  private:
   /// Per-block Weibull parameters for a rung at the given workload.
   struct Conditions {

@@ -1,6 +1,7 @@
 #include "drm/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -422,7 +423,12 @@ void DrmRuntime::recover() {
 }
 
 DrmStep DrmRuntime::step(double workload_activity) {
+  const auto t0 = std::chrono::steady_clock::now();
   const DrmStep out = mgr_.step(workload_activity);
+  step_ms_.push_back(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
   ++step_count_;
   if (!durable()) return out;
 
@@ -447,6 +453,20 @@ DrmStep DrmRuntime::step(double workload_activity) {
   }
   if (step_count_ % opts_.checkpoint_every == 0) checkpoint_now();
   return out;
+}
+
+void DrmRuntime::publish_step_stats() const {
+  if (step_ms_.empty()) return;
+  std::vector<double> sorted = step_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const double p50 = sorted[(n - 1) / 2];
+  const double p99 = sorted[(99 * (n - 1)) / 100];
+  std::ostringstream os;
+  os << n << " step(s): p50 " << p50 << " ms, p99 " << p99 << " ms";
+  if (mgr_.options().step_deadline_ms > 0.0)
+    os << " (deadline " << mgr_.options().step_deadline_ms << " ms)";
+  diagnostics().stat("drm.step_ms", os.str());
 }
 
 }  // namespace obd::drm

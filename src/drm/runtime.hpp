@@ -96,6 +96,13 @@ class DrmRuntime {
   /// Steps taken across all process lifetimes (resumed + this one).
   [[nodiscard]] std::size_t step_count() const { return step_count_; }
 
+  /// Publishes a `drm.step_ms` stat with the p50/p99 of this process's
+  /// per-step control latencies — the observability counterpart of the
+  /// `drm.deadline` watchdog warning, so deadlines can be tuned against
+  /// measured behavior instead of the failure case only. No-op before the
+  /// first step. Wall time feeds the stat line, never the control state.
+  void publish_step_stats() const;
+
   [[nodiscard]] const RecoveryInfo& recovery() const { return recovery_; }
   [[nodiscard]] const ReliabilityManager& manager() const { return mgr_; }
   [[nodiscard]] bool durable() const { return !opts_.checkpoint_dir.empty(); }
@@ -135,6 +142,7 @@ class DrmRuntime {
   int next_slot_ = 0;  ///< slot the next snapshot is written into
   RecoveryInfo recovery_;
   std::unique_ptr<ckpt::JournalWriter> journal_;
+  std::vector<double> step_ms_;  ///< this process's per-step latencies
 };
 
 }  // namespace obd::drm

@@ -1,0 +1,180 @@
+// Sharded fleet sweeps: the worker-side data model.
+//
+// A fleet sweep answers F(t) / std-error queries over an N-chip population
+// (ROADMAP item 1: millions of instances) by partitioning the chip-index
+// space into fixed 256-chip *chunks* — the determinism AND recovery quantum
+// — and assigning contiguous chunk ranges to K worker shards. Each worker
+// streams its chunks through MonteCarloAnalyzer::accumulate_chip_range
+// (per-chip Rng::stream(seed, global_index) draws, sequential in-chunk
+// accumulation) and appends one CRC-framed record per completed chunk to a
+// shard journal (common/checkpoint.hpp). Because every record is keyed by
+// global chunk index and doubles travel as %a hex-floats, a SIGKILLed
+// worker — or a rerun with a different shard count — resumes from the
+// journal bit-for-bit, and the merged report depends only on (spec, N):
+// never on K, the crash schedule, or thread counts.
+//
+// File layout under the fleet state directory, per shard k:
+//   shard-k.journal   one record per completed chunk (append-only, CRC)
+//   shard-k.done      atomic snapshot of the shard's full record set
+//   shard-k.hb        heartbeat (pid, counter, chunks done), rename-swapped
+//   shard-k.log       worker stdout/stderr (captured by the supervisor)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/montecarlo.hpp"
+#include "core/problem.hpp"
+
+namespace obd::fleet {
+
+/// Chips per chunk. Part of the numerical contract: chunk boundaries fix
+/// both the accumulation grouping and the checkpoint granularity, so
+/// changing this changes low-order bits of every fleet report.
+inline constexpr std::uint64_t kChunkChips = 256;
+
+/// Snapshot schema version for shard done-files.
+inline constexpr std::uint32_t kShardSchemaVersion = 1;
+
+/// Everything that determines the numerical result of a fleet sweep.
+/// Shard count is deliberately absent: it only shapes the partition.
+struct FleetSpec {
+  std::uint64_t chips = 0;         ///< fleet population size N
+  std::vector<double> ts;          ///< sweep times [s]
+  std::uint64_t seed = 99;         ///< per-chip stream base seed
+  std::size_t thickness_bins = 512;
+  core::DeviceSampling sampling = core::DeviceSampling::kBinned;
+  /// Canonical identity of the problem build (design, vdd, grid, ...);
+  /// folded into the fingerprint so stale state from a different model
+  /// configuration is rejected, not merged.
+  std::string problem_key;
+};
+
+/// FNV-1a fingerprint over the canonical spec encoding. Workers stamp it
+/// on every chunk record and done snapshot; readers reject mismatches.
+[[nodiscard]] std::uint64_t fleet_fingerprint(const FleetSpec& spec);
+
+/// ceil(chips / kChunkChips).
+[[nodiscard]] std::uint64_t chunk_count(const FleetSpec& spec);
+
+/// Global chip-index range of chunk `c`: [begin, end).
+[[nodiscard]] std::uint64_t chunk_chip_begin(const FleetSpec& spec,
+                                             std::uint64_t c);
+[[nodiscard]] std::uint64_t chunk_chip_end(const FleetSpec& spec,
+                                           std::uint64_t c);
+
+/// Contiguous chunk range [begin, end) owned by one shard.
+struct ChunkRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  [[nodiscard]] std::uint64_t size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin >= end; }
+};
+
+/// Balanced contiguous partition of [0, total_chunks) into `shards` ranges
+/// (the first total_chunks % shards ranges get one extra chunk). Shards
+/// past the chunk count get empty ranges — a supervisor marks those done
+/// without spawning a worker.
+[[nodiscard]] std::vector<ChunkRange> partition_chunks(
+    std::uint64_t total_chunks, std::uint64_t shards);
+
+/// One completed chunk's partial sums.
+struct ChunkResult {
+  std::uint64_t chunk = 0;  ///< global chunk index
+  std::uint64_t chips = 0;  ///< chips accumulated (== chunk range size)
+  std::vector<double> sum_f;
+  std::vector<double> sum_f2;
+};
+
+/// Encodes a chunk record as a single line of space-separated fields with
+/// %a hex-float doubles (exact round-trip; same convention as the DRM
+/// checkpoint schema). The CRC frame is the journal's job.
+[[nodiscard]] std::string encode_chunk_record(std::uint64_t fingerprint,
+                                              const ChunkResult& r);
+
+/// Decodes a chunk record; returns false (never throws) on malformed
+/// fields, fingerprint mismatch, or sweep-size mismatch, so readers treat
+/// foreign or corrupt records as absent work rather than fatal state. The
+/// `fleet.shard_crc` fault site injects a decode failure here.
+[[nodiscard]] bool decode_chunk_record(const std::string& payload,
+                                       std::uint64_t fingerprint,
+                                       std::size_t nt, ChunkResult* out);
+
+// Per-shard file paths under the fleet state directory.
+[[nodiscard]] std::string journal_path(const std::string& dir,
+                                       std::uint64_t shard);
+[[nodiscard]] std::string done_path(const std::string& dir,
+                                    std::uint64_t shard);
+[[nodiscard]] std::string heartbeat_path(const std::string& dir,
+                                         std::uint64_t shard);
+[[nodiscard]] std::string log_path(const std::string& dir,
+                                   std::uint64_t shard);
+
+/// Worker liveness beacon. `counter` increases monotonically while the
+/// worker is scheduled; `chunks_done` increases with real progress (the
+/// supervisor resets a shard's backoff when it advances).
+struct Heartbeat {
+  std::uint64_t pid = 0;
+  std::uint64_t counter = 0;
+  std::uint64_t chunks_done = 0;
+};
+
+/// Writes the heartbeat via temp-file + rename (atomic for readers, no
+/// fsync — losing a beat is harmless). Returns false instead of throwing
+/// when the write fails (injectable via `fleet.heartbeat`): a worker that
+/// cannot beat keeps computing; the supervisor will eventually SIGKILL and
+/// restart it, and the journal makes that restart cheap.
+bool write_heartbeat(const std::string& path, const Heartbeat& hb);
+
+/// Reads a heartbeat; nullopt when missing or (transiently) malformed.
+[[nodiscard]] std::optional<Heartbeat> read_heartbeat(const std::string& path);
+
+/// Loads every usable chunk record for shard `shard` from its done
+/// snapshot (preferred) or journal, keyed by global chunk index. Records
+/// with foreign fingerprints or malformed fields are skipped. Never
+/// throws; missing files mean no completed work.
+[[nodiscard]] std::map<std::uint64_t, ChunkResult> load_shard_chunks(
+    const std::string& dir, std::uint64_t shard, const FleetSpec& spec);
+
+struct WorkerOptions {
+  std::string dir;            ///< fleet state directory
+  std::uint64_t shard = 0;    ///< this worker's shard index
+  std::uint64_t shards = 1;   ///< total shard count (partition shape only)
+  std::uint64_t heartbeat_ms = 100;
+  bool sync_journal = true;   ///< fsync after each chunk record
+};
+
+/// Worker entry point: resumes completed chunks from the shard journal,
+/// computes the pending ones (parallel over chunks on the shared pool;
+/// in-chunk accumulation stays sequential), appends one journal record per
+/// completed chunk, and finally publishes the shard's complete record set
+/// as an atomic done snapshot. Runs a background heartbeat thread for the
+/// supervisor's liveness watchdog.
+void run_worker(const core::ReliabilityProblem& problem, const FleetSpec& spec,
+                const WorkerOptions& opts);
+
+/// Merged fleet sweep. `covered_chips` < `total_chips` when shards failed
+/// permanently — the report is then a partial (graceful degradation).
+struct FleetReport {
+  std::uint64_t total_chips = 0;
+  std::uint64_t covered_chips = 0;
+  std::uint64_t missing_chunks = 0;
+  std::vector<double> ts;
+  std::vector<double> failure;    ///< F(t) over covered chips
+  std::vector<double> std_error;  ///< std error over covered chips
+};
+
+/// Folds chunk results into a report, accumulating strictly in ascending
+/// global chunk order — the merged sums are bit-identical for every
+/// partition of the same chunk set.
+[[nodiscard]] FleetReport merge_chunks(
+    const FleetSpec& spec, const std::map<std::uint64_t, ChunkResult>& chunks);
+
+/// Renders the report in its canonical text form (%.17g doubles). The
+/// byte-identity contract of the chaos tests is over this string.
+[[nodiscard]] std::string render_report(const FleetReport& report);
+
+}  // namespace obd::fleet

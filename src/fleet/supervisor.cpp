@@ -1,0 +1,344 @@
+#include "fleet/supervisor.hpp"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <sstream>
+#include <thread>
+
+#include "common/diagnostics.hpp"
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "stats/rng.hpp"
+
+namespace obd::fleet {
+
+std::uint64_t SteadyClock::now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SteadyClock::sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::uint64_t BackoffPolicy::next_delay_ms() {
+  ++attempts_;
+  std::uint64_t d = base_ms_;
+  for (std::size_t i = 1; i < attempts_; ++i) {
+    if (d >= cap_ms_ || d > cap_ms_ / 2 + 1) {
+      d = cap_ms_;
+      break;
+    }
+    d *= 2;
+  }
+  return std::min(d, cap_ms_);
+}
+
+void BackoffPolicy::on_success() { attempts_ = 0; }
+
+pid_t spawn_worker(const std::vector<std::string>& argv,
+                   const std::string& log_file) {
+  require(!argv.empty(), ErrorCode::kInvalidInput,
+          "spawn_worker: empty argv");
+  if (fault::should_fire(fault::site::kFleetSpawn))
+    throw Error("spawn_worker: injected spawn failure (fleet.spawn)",
+                ErrorCode::kIo);
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  require(pid >= 0, ErrorCode::kIo, "spawn_worker: fork failed");
+  if (pid == 0) {
+    const int fd =
+        ::open(log_file.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      if (fd > STDERR_FILENO) ::close(fd);
+    }
+    ::execv(cargv[0], cargv.data());
+    _exit(127);  // exec failure surfaces through the reaping path
+  }
+  return pid;
+}
+
+namespace {
+
+// Per-shard supervision state. Scheduling state only — all numerical
+// state lives in the shard's durable files.
+struct ShardState {
+  enum class St { kPending, kRunning, kDone, kFailed, kStopped };
+  St st = St::kPending;
+  ChunkRange range;
+  pid_t pid = -1;
+  BackoffPolicy policy{0, 0, 0};
+  std::uint64_t eligible_ms = 0;    ///< earliest next spawn (backoff)
+  std::uint64_t last_beat_ms = 0;   ///< last observed heartbeat change
+  std::uint64_t last_counter = ~0ull;
+  std::uint64_t best_chunks_done = 0;
+  std::uint64_t sigcont_due_ms = 0;  ///< pending chaos SIGCONT, 0 = none
+  ShardOutcome out;
+};
+
+}  // namespace
+
+Supervisor::Supervisor(FleetSpec spec, SupervisorOptions opts)
+    : spec_(std::move(spec)), opts_(std::move(opts)) {
+  require(opts_.shards >= 1, ErrorCode::kInvalidInput,
+          "Supervisor: need at least one shard");
+  require(!opts_.worker_argv.empty(), ErrorCode::kInvalidInput,
+          "Supervisor: empty worker argv");
+  require(!spec_.ts.empty(), ErrorCode::kInvalidInput,
+          "Supervisor: empty sweep");
+}
+
+FleetOutcome Supervisor::run() {
+  SteadyClock steady;
+  Clock& clock = (opts_.clock != nullptr) ? *opts_.clock : steady;
+  const std::uint64_t total_chunks = chunk_count(spec_);
+  const std::vector<ChunkRange> ranges =
+      partition_chunks(total_chunks, opts_.shards);
+
+  FleetOutcome outcome;
+  std::vector<ShardState> sh(opts_.shards);
+
+  // True when every chunk of the shard's range is durably recorded.
+  const auto shard_complete = [&](std::uint64_t k) {
+    if (sh[k].range.empty()) return true;
+    const auto chunks = load_shard_chunks(opts_.dir, k, spec_);
+    for (std::uint64_t c = sh[k].range.begin; c < sh[k].range.end; ++c)
+      if (chunks.find(c) == chunks.end()) return false;
+    return true;
+  };
+
+  const std::uint64_t start_ms = clock.now_ms();
+  for (std::uint64_t k = 0; k < opts_.shards; ++k) {
+    sh[k].range = ranges[k];
+    sh[k].policy = BackoffPolicy(opts_.backoff_base_ms, opts_.backoff_cap_ms,
+                                 opts_.max_restarts);
+    sh[k].last_beat_ms = start_ms;
+    // Shards already satisfied by durable state (a supervisor rerun over
+    // the same directory, or an empty range at K > chunk count) never
+    // spawn a worker.
+    if (shard_complete(k)) {
+      sh[k].st = ShardState::St::kDone;
+      sh[k].out.resumed = !sh[k].range.empty();
+    }
+  }
+
+  stats::Rng chaos_rng(opts_.chaos.seed);
+  const bool chaos_on =
+      opts_.chaos.kill_rate > 0.0 || opts_.chaos.stop_rate > 0.0;
+
+  const auto handle_failure = [&](ShardState& s, std::uint64_t now) {
+    if (s.policy.exhausted()) {
+      s.st = ShardState::St::kFailed;
+      return;
+    }
+    const std::uint64_t delay = s.policy.next_delay_ms();
+    s.out.restart_delays_ms.push_back(delay);
+    ++s.out.restarts;
+    s.eligible_ms = now + delay;
+    s.st = ShardState::St::kPending;
+  };
+
+  const auto kill_and_reap = [](ShardState& s) {
+    if (s.pid <= 0) return;
+    ::kill(s.pid, SIGKILL);
+    ::kill(s.pid, SIGCONT);  // a stopped process must resume to die
+    ::waitpid(s.pid, nullptr, 0);
+    s.pid = -1;
+  };
+
+  bool interrupted = false;
+  while (true) {
+    if (opts_.stop_flag != nullptr && *opts_.stop_flag != 0) {
+      interrupted = true;
+      break;
+    }
+    const std::uint64_t now = clock.now_ms();
+
+    // Reap exited workers. Exit 0 only counts as success when the shard's
+    // durable state is actually complete — a worker that "succeeds"
+    // without publishing results is a failure with extra steps.
+    for (std::uint64_t k = 0; k < opts_.shards; ++k) {
+      ShardState& s = sh[k];
+      if (s.st != ShardState::St::kRunning) continue;
+      int status = 0;
+      const pid_t r = ::waitpid(s.pid, &status, WNOHANG);
+      if (r != s.pid) continue;
+      s.pid = -1;
+      s.sigcont_due_ms = 0;
+      const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      if (clean && shard_complete(k)) {
+        s.st = ShardState::St::kDone;
+        s.policy.on_success();
+      } else {
+        handle_failure(s, now);
+      }
+    }
+
+    // Liveness watchdog: a worker whose heartbeat has not advanced within
+    // the staleness window is wedged (or SIGSTOPped past its welcome) —
+    // kill it and let the normal restart path take over. Real progress
+    // (chunks done advancing) resets the backoff budget.
+    for (std::uint64_t k = 0; k < opts_.shards; ++k) {
+      ShardState& s = sh[k];
+      if (s.st != ShardState::St::kRunning) continue;
+      if (const auto hb = read_heartbeat(heartbeat_path(opts_.dir, k))) {
+        if (hb->counter != s.last_counter) {
+          s.last_counter = hb->counter;
+          s.last_beat_ms = now;
+        }
+        if (hb->chunks_done > s.best_chunks_done) {
+          s.best_chunks_done = hb->chunks_done;
+          s.policy.on_success();
+        }
+      }
+      if (s.sigcont_due_ms != 0 && now >= s.sigcont_due_ms) {
+        ::kill(s.pid, SIGCONT);
+        s.sigcont_due_ms = 0;
+      }
+      if (now - s.last_beat_ms > opts_.heartbeat_stale_ms) {
+        kill_and_reap(s);
+        ++s.out.heartbeat_timeouts;
+        handle_failure(s, now);
+      }
+    }
+
+    // Chaos harness: deterministic-seeded mayhem against random live
+    // workers. Runs inside the poll loop so every recovery path above is
+    // reachable from here.
+    if (chaos_on) {
+      std::vector<std::uint64_t> live;
+      for (std::uint64_t k = 0; k < opts_.shards; ++k)
+        if (sh[k].st == ShardState::St::kRunning && sh[k].pid > 0)
+          live.push_back(k);
+      if (!live.empty() && opts_.chaos.kill_rate > 0.0 &&
+          chaos_rng.uniform() < opts_.chaos.kill_rate) {
+        const std::uint64_t k = live[chaos_rng.below(live.size())];
+        ::kill(sh[k].pid, SIGKILL);  // reaped by the next poll tick
+      }
+      if (!live.empty() && opts_.chaos.stop_rate > 0.0 &&
+          chaos_rng.uniform() < opts_.chaos.stop_rate) {
+        const std::uint64_t k = live[chaos_rng.below(live.size())];
+        if (sh[k].st == ShardState::St::kRunning && sh[k].pid > 0 &&
+            sh[k].sigcont_due_ms == 0) {
+          ::kill(sh[k].pid, SIGSTOP);
+          sh[k].sigcont_due_ms = now + opts_.chaos.stop_ms;
+        }
+      }
+    }
+
+    // Spawn eligible shards up to the parallelism cap.
+    std::uint64_t running = 0;
+    for (const ShardState& s : sh)
+      if (s.st == ShardState::St::kRunning) ++running;
+    const std::uint64_t cap =
+        (opts_.max_parallel != 0) ? opts_.max_parallel : opts_.shards;
+    for (std::uint64_t k = 0; k < opts_.shards && running < cap; ++k) {
+      ShardState& s = sh[k];
+      if (s.st != ShardState::St::kPending || now < s.eligible_ms) continue;
+      std::vector<std::string> argv = opts_.worker_argv;
+      argv.push_back("--worker");
+      argv.push_back(std::to_string(k));
+      try {
+        s.pid = spawn_worker(argv, log_path(opts_.dir, k));
+        s.st = ShardState::St::kRunning;
+        s.last_beat_ms = now;
+        s.last_counter = ~0ull;
+        ++running;
+      } catch (const Error&) {
+        ++outcome.spawn_failures;
+        handle_failure(s, now);
+      }
+    }
+
+    bool active = false;
+    for (const ShardState& s : sh)
+      active = active || s.st == ShardState::St::kPending ||
+               s.st == ShardState::St::kRunning;
+    if (!active) break;
+    clock.sleep_ms(opts_.poll_ms);
+  }
+
+  if (interrupted) {
+    for (ShardState& s : sh) {
+      if (s.st == ShardState::St::kRunning) kill_and_reap(s);
+      if (s.st == ShardState::St::kRunning ||
+          s.st == ShardState::St::kPending)
+        s.st = ShardState::St::kStopped;
+    }
+  }
+
+  // Merge every durable chunk — completed shards via their done snapshot,
+  // failed or stopped ones via whatever their journal holds. Ascending
+  // chunk order inside merge_chunks makes the fold K-independent.
+  std::map<std::uint64_t, ChunkResult> all;
+  for (std::uint64_t k = 0; k < opts_.shards; ++k) {
+    auto chunks = load_shard_chunks(opts_.dir, k, spec_);
+    for (auto& [c, r] : chunks) all.emplace(c, std::move(r));
+  }
+  outcome.report = merge_chunks(spec_, all);
+  outcome.interrupted = interrupted;
+  outcome.shards.reserve(sh.size());
+  for (ShardState& s : sh) {
+    switch (s.st) {
+      case ShardState::St::kDone:
+        s.out.state = ShardOutcome::State::kDone;
+        break;
+      case ShardState::St::kFailed:
+        s.out.state = ShardOutcome::State::kFailed;
+        ++outcome.failed_shards;
+        break;
+      default:
+        s.out.state = ShardOutcome::State::kStopped;
+        break;
+    }
+    outcome.total_restarts += s.out.restarts;
+    outcome.heartbeat_timeouts += s.out.heartbeat_timeouts;
+    outcome.shards.push_back(std::move(s.out));
+  }
+  return outcome;
+}
+
+void publish_diagnostics(const FleetOutcome& outcome) {
+  std::size_t resumed = 0;
+  for (const ShardOutcome& s : outcome.shards)
+    if (s.resumed) ++resumed;
+  {
+    std::ostringstream os;
+    os << outcome.shards.size() << " shard(s), " << outcome.failed_shards
+       << " failed, " << resumed << " resumed from durable state; "
+       << outcome.report.covered_chips << "/" << outcome.report.total_chips
+       << " chips covered";
+    if (outcome.interrupted) os << " (interrupted)";
+    diagnostics().stat("fleet.shards", os.str());
+  }
+  {
+    std::ostringstream os;
+    os << outcome.total_restarts << " worker restart(s) ("
+       << outcome.spawn_failures << " spawn failure(s), "
+       << outcome.heartbeat_timeouts << " heartbeat timeout(s))";
+    diagnostics().stat("fleet.restarts", os.str());
+  }
+  for (std::size_t k = 0; k < outcome.shards.size(); ++k) {
+    const ShardOutcome& s = outcome.shards[k];
+    if (s.state != ShardOutcome::State::kFailed) continue;
+    diagnostics().warn(
+        "fleet.shard_failed",
+        "shard " + std::to_string(k) + " exhausted its restart budget after " +
+            std::to_string(s.restarts) +
+            " restart(s); the report covers only the chunks it journaled");
+  }
+}
+
+}  // namespace obd::fleet

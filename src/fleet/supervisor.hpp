@@ -1,0 +1,164 @@
+// Fleet supervisor: process-level fault tolerance for sharded sweeps.
+//
+// The supervisor fork/execs one worker process per shard (re-invoking the
+// CLI in its hidden --worker mode), watches per-shard heartbeat files for
+// liveness, and restarts crashed or wedged workers under a bounded
+// deterministic exponential-backoff policy. Durability lives entirely in
+// the shard journals (see fleet/shard.hpp): a restarted worker resumes
+// mid-shard bit-for-bit, so the supervision layer influences *when* work
+// happens, never *what* it computes — wall time shapes scheduling only,
+// and the merged report is byte-identical for any crash schedule.
+//
+// The clock is injectable (FakeClock) so the retry schedule itself is unit
+// testable without sleeping, and a built-in chaos mode SIGKILL/SIGSTOPs
+// random live workers to exercise every recovery path on demand.
+//
+// When a shard exhausts its retry budget the fleet degrades gracefully:
+// whatever chunks that shard journaled are merged, the report marks the
+// missing coverage, and a `fleet.shard_failed` diagnostic is emitted
+// (escalating to Error(kDegraded) under --strict).
+#pragma once
+
+#include <sys/types.h>
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/shard.hpp"
+
+namespace obd::fleet {
+
+/// Injectable time source. The supervisor never reads wall time directly,
+/// so tests pin the retry schedule with a FakeClock and zero real sleeping.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual std::uint64_t now_ms() = 0;
+  virtual void sleep_ms(std::uint64_t ms) = 0;
+};
+
+/// Monotonic wall clock (std::chrono::steady_clock).
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_ms() override;
+  void sleep_ms(std::uint64_t ms) override;
+};
+
+/// Test clock: sleeping advances virtual time instantly.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::uint64_t start_ms = 0) : now_(start_ms) {}
+  [[nodiscard]] std::uint64_t now_ms() override { return now_; }
+  void sleep_ms(std::uint64_t ms) override { now_ += ms; }
+  void advance_ms(std::uint64_t ms) { now_ += ms; }
+
+ private:
+  std::uint64_t now_;
+};
+
+/// Deterministic bounded exponential backoff: restart n (1-based) waits
+/// min(cap_ms, base_ms * 2^(n-1)); real progress (a worker advancing its
+/// chunks-done counter) resets the schedule; the budget bounds restarts
+/// *between* progress, so a shard that keeps moving is never abandoned.
+class BackoffPolicy {
+ public:
+  BackoffPolicy(std::uint64_t base_ms, std::uint64_t cap_ms,
+                std::size_t budget)
+      : base_ms_(base_ms), cap_ms_(cap_ms), budget_(budget) {}
+
+  /// Delay before the next restart; consumes one attempt.
+  [[nodiscard]] std::uint64_t next_delay_ms();
+
+  /// Progress observed: reset the attempt counter and delays.
+  void on_success();
+
+  /// True once the restart budget is spent (check before next_delay_ms).
+  [[nodiscard]] bool exhausted() const { return attempts_ >= budget_; }
+  [[nodiscard]] std::size_t attempts() const { return attempts_; }
+
+ private:
+  std::uint64_t base_ms_;
+  std::uint64_t cap_ms_;
+  std::size_t budget_;
+  std::size_t attempts_ = 0;
+};
+
+/// Spawns a worker process running `argv` with stdout/stderr appended to
+/// `log_file`. Throws Error(kIo) on fork/exec setup failure (injectable
+/// via `fleet.spawn`); an exec failure inside the child surfaces as exit
+/// status 127 through the normal reaping path.
+[[nodiscard]] pid_t spawn_worker(const std::vector<std::string>& argv,
+                                 const std::string& log_file);
+
+/// Chaos harness knobs: per poll tick, with the given probabilities, a
+/// random live worker is SIGKILLed or SIGSTOPped (resumed stop_ms later —
+/// unless the heartbeat watchdog declares it dead first, which is also a
+/// legitimate recovery path). Rates of zero disable chaos entirely.
+struct ChaosOptions {
+  double kill_rate = 0.0;
+  double stop_rate = 0.0;
+  std::uint64_t stop_ms = 300;
+  std::uint64_t seed = 1;
+};
+
+struct SupervisorOptions {
+  std::string dir;  ///< fleet state directory (must exist)
+  std::uint64_t shards = 1;  ///< shard count K (partition shape only)
+  /// Worker command line; the supervisor appends "--worker <k>".
+  std::vector<std::string> worker_argv;
+  std::uint64_t max_parallel = 0;  ///< concurrent workers; 0 = all shards
+  std::size_t max_restarts = 5;    ///< restart budget per shard (between progress)
+  std::uint64_t backoff_base_ms = 200;
+  std::uint64_t backoff_cap_ms = 5000;
+  std::uint64_t heartbeat_stale_ms = 5000;  ///< no beat for this long = wedged
+  std::uint64_t poll_ms = 25;
+  ChaosOptions chaos;
+  Clock* clock = nullptr;  ///< nullptr = SteadyClock
+  /// Graceful-shutdown flag (signal handler writes it): when set, running
+  /// workers are killed and the merge happens over whatever is durable.
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
+};
+
+struct ShardOutcome {
+  enum class State { kDone, kFailed, kStopped };
+  State state = State::kDone;
+  std::size_t restarts = 0;
+  std::uint64_t heartbeat_timeouts = 0;
+  bool resumed = false;  ///< satisfied by pre-existing durable state
+  /// The realized backoff schedule, for pinning in tests.
+  std::vector<std::uint64_t> restart_delays_ms;
+};
+
+struct FleetOutcome {
+  FleetReport report;
+  std::vector<ShardOutcome> shards;
+  std::size_t total_restarts = 0;
+  std::size_t failed_shards = 0;
+  std::size_t spawn_failures = 0;
+  std::uint64_t heartbeat_timeouts = 0;
+  bool interrupted = false;
+};
+
+class Supervisor {
+ public:
+  Supervisor(FleetSpec spec, SupervisorOptions opts);
+
+  /// Runs the fleet to completion (or budget exhaustion / stop signal) and
+  /// merges every durable chunk into the report. Emits no diagnostics —
+  /// call publish_diagnostics() after consuming the report so strict-mode
+  /// escalation cannot outrun the output.
+  [[nodiscard]] FleetOutcome run();
+
+ private:
+  FleetSpec spec_;
+  SupervisorOptions opts_;
+};
+
+/// Publishes fleet.shards / fleet.restarts stats and a fleet.shard_failed
+/// warning per permanently-failed shard (throwing kDegraded under strict
+/// mode — call after the report has been written out).
+void publish_diagnostics(const FleetOutcome& outcome);
+
+}  // namespace obd::fleet

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 
@@ -22,20 +23,32 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 double parse_double(const std::string& s, const std::string& context) {
+  double v = 0.0;
+  bool parsed = false;
+  bool overflow = false;
   try {
     std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
-    require(pos == s.size(), ErrorCode::kInvalidInput,
-            context + ": trailing characters in '" + s + "'");
-    require(std::isfinite(v), ErrorCode::kInvalidInput,
-            context + ": non-finite number '" + s + "'");
-    return v;
-  } catch (const Error&) {
-    throw;
+    v = std::stod(s, &pos);
+    parsed = (pos == s.size());
+  } catch (const std::out_of_range&) {
+    overflow = true;  // magnitude exceeds double range
   } catch (const std::exception&) {
-    throw Error(context + ": cannot parse number '" + s + "'",
-                ErrorCode::kInvalidInput);
+    parsed = false;
   }
+  // NaN/Inf/overflowing fields are telemetry corruption that would
+  // propagate silently through the thermal solve; they get a trace.parse
+  // diagnostic plus a typed configuration error naming the line, distinct
+  // from structurally malformed input (kInvalidInput below).
+  if (overflow || (parsed && !std::isfinite(v))) {
+    const std::string what =
+        context + ": non-finite or overflowing numeric field '" + s +
+        "' cannot enter the thermal solve";
+    diagnostics().warn("trace.parse", what);
+    throw Error(what, ErrorCode::kConfig);
+  }
+  require(parsed, ErrorCode::kInvalidInput,
+          context + ": cannot parse number '" + s + "'");
+  return v;
 }
 
 }  // namespace

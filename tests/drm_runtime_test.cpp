@@ -408,6 +408,32 @@ TEST_F(DrmRuntimeTest, WatchdogDeadlineCommitsThePreviousRung) {
   EXPECT_LT(after.max_temp_c, opts.fallback_temp_c);
 }
 
+TEST_F(DrmRuntimeTest, StepLatencyStatPublishesPercentiles) {
+  DrmRuntime rt(*problem_, *model_, ladder(), drm_options(),
+                runtime_options(false));
+  // No-op before the first step: nothing to report, nothing published.
+  rt.publish_step_stats();
+  EXPECT_EQ(diagnostics().render_stats().find("drm.step_ms"),
+            std::string::npos);
+  for (int i = 0; i < 5; ++i) (void)rt.step(workload(i));
+  rt.publish_step_stats();
+  const std::string stats = diagnostics().render_stats();
+  EXPECT_NE(stats.find("stat [drm.step_ms]"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("p50"), std::string::npos);
+  EXPECT_NE(stats.find("p99"), std::string::npos);
+}
+
+TEST_F(DrmRuntimeTest, StepLatencyStatNamesTheDeadlineWhenArmed) {
+  DrmOptions opts = drm_options();
+  opts.step_deadline_ms = 500.0;  // generous: must not actually trip
+  DrmRuntime rt(*problem_, *model_, ladder(), opts,
+                runtime_options(false));
+  (void)rt.step(0.5);
+  rt.publish_step_stats();
+  EXPECT_NE(diagnostics().render_stats().find("deadline 500"),
+            std::string::npos);
+}
+
 TEST_F(DrmRuntimeTest, WallClockDeadlineAlsoTrips) {
   DrmOptions opts = drm_options();
   opts.step_deadline_ms = 1e-7;  // overruns before the first rung solve

@@ -1,0 +1,260 @@
+// End-to-end process tests against the real CLI binary (path baked in as
+// OBDREL_CLI_PATH): fleet reports must be byte-identical across shard
+// counts, scheduling knobs, and chaos-injected crash schedules; retry-budget
+// exhaustion must degrade gracefully (and escalate under --strict); and a
+// SIGTERMed `drm run` must flush a snapshot and resume to the exact
+// trajectory of an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CmdResult {
+  int status = -1;  ///< exit code (or 128+signal)
+  std::string out;  ///< captured stdout
+};
+
+// Runs `cmd` under /bin/sh with stdout captured; stderr goes to `err_file`
+// (the byte-identity contract is over stdout only).
+CmdResult run_cmd(const std::string& cmd, const std::string& err_file) {
+  const std::string full = cmd + " 2>" + err_file;
+  CmdResult r;
+  FILE* p = ::popen(full.c_str(), "r");
+  if (p == nullptr) return r;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, p)) > 0) r.out.append(buf, n);
+  const int rc = ::pclose(p);
+  if (WIFEXITED(rc)) r.status = WEXITSTATUS(rc);
+  else if (WIFSIGNALED(rc)) r.status = 128 + WTERMSIG(rc);
+  return r;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string last_line(const std::string& text) {
+  std::istringstream in(text);
+  std::string line, last;
+  while (std::getline(in, line))
+    if (!line.empty()) last = line;
+  return last;
+}
+
+class FleetProcessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cli_ = OBDREL_CLI_PATH;
+    ASSERT_TRUE(fs::exists(cli_)) << cli_;
+    dir_ = ::testing::TempDir() + "obdrel-proc-" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    cfg_ = dir_ + "/fleet.cfg";
+    // Small problem so each worker's pipeline build stays cheap; 3 sweep
+    // points and a coarse thickness histogram keep the math fast without
+    // touching the determinism contract.
+    std::ofstream(cfg_) << "design c1\n"
+                           "grid 8\n"
+                           "mc_bins 32\n"
+                           "fleet_points 3\n"
+                           "threads 2\n";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Fleet run helper: fresh state dir per invocation unless `dir` given.
+  CmdResult fleet(const std::string& tag, const std::string& extra,
+                  std::string dir = "") {
+    if (dir.empty()) dir = dir_ + "/state-" + tag;
+    return run_cmd(cli_ + " fleet " + cfg_ + " --chips 1500 --fleet-dir " +
+                       dir + " " + extra,
+                   dir_ + "/err-" + tag + ".txt");
+  }
+
+  std::string err(const std::string& tag) {
+    return slurp(dir_ + "/err-" + tag + ".txt");
+  }
+
+  std::string cli_;
+  std::string dir_;
+  std::string cfg_;
+};
+
+// ---------------------------------------------------------------------------
+// Byte-identity across shard counts (1500 chips = 6 chunks; K=7 exercises
+// an empty trailing shard)
+// ---------------------------------------------------------------------------
+
+TEST_F(FleetProcessTest, ReportBytesAreInvariantToShardCount) {
+  const CmdResult k1 = fleet("k1", "--shards 1");
+  const CmdResult k4 = fleet("k4", "--shards 4");
+  const CmdResult k7 = fleet("k7", "--shards 7");
+  ASSERT_EQ(k1.status, 0) << err("k1");
+  ASSERT_EQ(k4.status, 0) << err("k4");
+  ASSERT_EQ(k7.status, 0) << err("k7");
+  EXPECT_FALSE(k1.out.empty());
+  EXPECT_EQ(k1.out, k4.out);
+  EXPECT_EQ(k1.out, k7.out);
+  EXPECT_NE(k1.out.find("covered 1500"), std::string::npos) << k1.out;
+  EXPECT_NE(k1.out.find("missing_chunks 0"), std::string::npos);
+}
+
+TEST_F(FleetProcessTest, ReportBytesAreInvariantToSchedulingKnobs) {
+  // Wall time shapes scheduling only, never results: wildly different
+  // heartbeat/backoff/poll settings and thread counts produce the same
+  // bytes.
+  const CmdResult a = fleet("a", "--shards 2");
+  const CmdResult b = fleet(
+      "b",
+      "--shards 2 --heartbeat-ms 15 --backoff-ms 10 --backoff-cap-ms 40 "
+      "--poll-ms 5 --stale-ms 800 --threads 1");
+  ASSERT_EQ(a.status, 0) << err("a");
+  ASSERT_EQ(b.status, 0) << err("b");
+  EXPECT_EQ(a.out, b.out);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: SIGKILL/SIGSTOP schedules change nothing but the wall time
+// ---------------------------------------------------------------------------
+
+TEST_F(FleetProcessTest, KillChaosRecoversBitForBit) {
+  const CmdResult clean = fleet("clean", "--shards 4");
+  ASSERT_EQ(clean.status, 0) << err("clean");
+  const CmdResult chaos = fleet(
+      "chaos",
+      "--shards 4 --chaos-kill 0.08 --chaos-seed 7 --max-restarts 100 "
+      "--backoff-ms 10 --backoff-cap-ms 40");
+  ASSERT_EQ(chaos.status, 0) << err("chaos");
+  EXPECT_EQ(clean.out, chaos.out);
+  EXPECT_NE(chaos.out.find("missing_chunks 0"), std::string::npos)
+      << chaos.out;
+}
+
+TEST_F(FleetProcessTest, StopChaosRecoversBitForBit) {
+  const CmdResult clean = fleet("clean", "--shards 3");
+  ASSERT_EQ(clean.status, 0) << err("clean");
+  // SIGSTOPped workers either resume via the scheduled SIGCONT or are
+  // declared wedged by the watchdog and restarted — both paths must land on
+  // the same bytes.
+  const CmdResult chaos = fleet(
+      "chaos",
+      "--shards 3 --chaos-stop 0.10 --chaos-stop-ms 80 --chaos-seed 3 "
+      "--stale-ms 600 --max-restarts 100 --backoff-ms 10");
+  ASSERT_EQ(chaos.status, 0) << err("chaos");
+  EXPECT_EQ(clean.out, chaos.out);
+}
+
+// ---------------------------------------------------------------------------
+// Durable-state resume across supervisor invocations
+// ---------------------------------------------------------------------------
+
+TEST_F(FleetProcessTest, SecondRunOverDurableStateMatchesAndIsResumed) {
+  const std::string state = dir_ + "/state-shared";
+  const CmdResult first = fleet("first", "--shards 4", state);
+  ASSERT_EQ(first.status, 0) << err("first");
+  // Same state dir, different shard count: chunk records are globally
+  // keyed, so the rerun satisfies every shard from durable state.
+  const CmdResult second = fleet("second", "--shards 2", state);
+  ASSERT_EQ(second.status, 0) << err("second");
+  EXPECT_EQ(first.out, second.out);
+}
+
+// ---------------------------------------------------------------------------
+// Retry-budget exhaustion: graceful degradation, strict escalation
+// ---------------------------------------------------------------------------
+
+TEST_F(FleetProcessTest, BudgetExhaustionDegradesToAPartialReport) {
+  // Every spawn fails (injected into the supervisor via the environment):
+  // the report still renders — with zero coverage — and the process exits 0
+  // with fleet.shard_failed warnings on stderr.
+  const CmdResult bad = run_cmd(
+      "OBDREL_FAULTS=fleet.spawn:1000 " + cli_ + " fleet " + cfg_ +
+          " --chips 1500 --shards 2 --max-restarts 1 --backoff-ms 5 "
+          "--fleet-dir " +
+          dir_ + "/state-bad",
+      dir_ + "/err-bad.txt");
+  ASSERT_EQ(bad.status, 0) << err("bad");
+  EXPECT_NE(bad.out.find("covered 0"), std::string::npos) << bad.out;
+  EXPECT_NE(bad.out.find("missing_chunks 6"), std::string::npos);
+  EXPECT_NE(err("bad").find("fleet.shard_failed"), std::string::npos)
+      << err("bad");
+}
+
+TEST_F(FleetProcessTest, StrictModeTurnsShardFailureIntoExitSix) {
+  const CmdResult bad = run_cmd(
+      "OBDREL_FAULTS=fleet.spawn:1000 " + cli_ + " --strict fleet " + cfg_ +
+          " --chips 1500 --shards 2 --max-restarts 1 --backoff-ms 5 "
+          "--fleet-dir " +
+          dir_ + "/state-strict",
+      dir_ + "/err-strict.txt");
+  EXPECT_EQ(bad.status, 6);  // ErrorCode::kDegraded
+  // The partial report is still written before the escalation fires.
+  EXPECT_NE(bad.out.find("# obdrel fleet report"), std::string::npos)
+      << bad.out;
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: SIGTERM during `drm run` flushes a final snapshot and the
+// resumed run completes the exact uninterrupted trajectory
+// ---------------------------------------------------------------------------
+
+TEST_F(FleetProcessTest, DrmRunSigtermIsResumable) {
+  const std::string tel = dir_ + "/tel.csv";
+  {
+    std::ofstream t(tel);
+    for (int i = 0; i < 400; ++i)
+      t << (0.3 + 0.05 * static_cast<double>(i % 7)) << "\n";
+  }
+  const std::string ckpt = dir_ + "/drm-state";
+  // Baseline: the full uninterrupted trajectory.
+  const CmdResult full = run_cmd(
+      cli_ + " drm run " + cfg_ + " " + tel + " --checkpoint-dir " + dir_ +
+          "/drm-full",
+      dir_ + "/err-full.txt");
+  ASSERT_EQ(full.status, 0) << err("full");
+  const std::string final_row = last_line(full.out);
+  ASSERT_NE(final_row.find(','), std::string::npos);
+
+  // Interrupted run: SIGTERM once at least a few rows have flushed (the
+  // handlers are installed before the first row prints). The loop must
+  // stop at a step boundary, flush a snapshot, and exit 0.
+  const std::string part = dir_ + "/part.csv";
+  const CmdResult interrupted = run_cmd(
+      cli_ + " drm run " + cfg_ + " " + tel + " --checkpoint-dir " + ckpt +
+          " > " + part + " & pid=$!; " +
+          "for i in $(seq 1 200); do " +
+          "if [ -s " + part + " ]; then break; fi; sleep 0.05; done; " +
+          "kill -TERM $pid 2>/dev/null; wait $pid",
+      dir_ + "/err-part.txt");
+  ASSERT_EQ(interrupted.status, 0) << err("part");
+  ASSERT_TRUE(fs::exists(ckpt));
+
+  // Resume: only the remaining steps run, and the union of the two outputs
+  // ends on exactly the uninterrupted run's final row.
+  const CmdResult resumed = run_cmd(
+      cli_ + " drm run " + cfg_ + " " + tel + " --checkpoint-dir " + ckpt +
+          " --resume",
+      dir_ + "/err-resume.txt");
+  ASSERT_EQ(resumed.status, 0) << err("resume");
+  // Last data row (header lines excluded) across both outputs.
+  std::istringstream joined(slurp(part) + resumed.out);
+  std::string line, last_row;
+  while (std::getline(joined, line))
+    if (!line.empty() && line.rfind("step,", 0) != 0) last_row = line;
+  EXPECT_EQ(last_row, final_row);
+}
+
+}  // namespace

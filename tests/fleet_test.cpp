@@ -1,0 +1,483 @@
+// Fleet layer unit tests: chunk partition math, record encoding, heartbeat
+// round-trip, the deterministic backoff policy (fake clock — zero wall-time
+// dependence), the supervisor's retry/budget/watchdog behavior against
+// stand-in workers, and in-process worker/merge bit-identity across shard
+// counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chip/design.hpp"
+#include "common/diagnostics.hpp"
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "core/device_model.hpp"
+#include "core/problem.hpp"
+#include "fleet/shard.hpp"
+#include "fleet/supervisor.hpp"
+#include "variation/model.hpp"
+
+namespace obd {
+namespace {
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::disarm();
+    diagnostics().clear();
+    set_strict_mode(false);
+    dir_ = ::testing::TempDir() + "obdrel-fleet-" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::disarm();
+    diagnostics().clear();
+    set_strict_mode(false);
+    std::filesystem::remove_all(dir_);
+  }
+
+  static fleet::FleetSpec small_spec(std::uint64_t chips) {
+    fleet::FleetSpec spec;
+    spec.chips = chips;
+    spec.ts = {1.0e8, 3.0e8, 6.0e8};
+    spec.seed = 42;
+    spec.thickness_bins = 32;
+    spec.problem_key = "fleet-test-problem";
+    return spec;
+  }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Partition math
+// ---------------------------------------------------------------------------
+
+TEST_F(FleetTest, ChunkCountIsCeilDivision) {
+  EXPECT_EQ(fleet::chunk_count(small_spec(1)), 1u);
+  EXPECT_EQ(fleet::chunk_count(small_spec(256)), 1u);
+  EXPECT_EQ(fleet::chunk_count(small_spec(257)), 2u);
+  EXPECT_EQ(fleet::chunk_count(small_spec(1000000)), 3907u);
+}
+
+TEST_F(FleetTest, ChunkRangesTileTheFleetExactly) {
+  const fleet::FleetSpec spec = small_spec(600);  // 3 chunks: 256+256+88
+  ASSERT_EQ(fleet::chunk_count(spec), 3u);
+  EXPECT_EQ(fleet::chunk_chip_begin(spec, 0), 0u);
+  EXPECT_EQ(fleet::chunk_chip_end(spec, 0), 256u);
+  EXPECT_EQ(fleet::chunk_chip_begin(spec, 2), 512u);
+  EXPECT_EQ(fleet::chunk_chip_end(spec, 2), 600u);  // last chunk is short
+}
+
+TEST_F(FleetTest, PartitionIsBalancedContiguousAndComplete) {
+  const auto ranges = fleet::partition_chunks(10, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+  // 10 = 4 + 3 + 3, contiguous with no gaps.
+  EXPECT_EQ(ranges[0].begin, 0u);
+  EXPECT_EQ(ranges[0].end, 4u);
+  EXPECT_EQ(ranges[1].begin, 4u);
+  EXPECT_EQ(ranges[1].end, 7u);
+  EXPECT_EQ(ranges[2].begin, 7u);
+  EXPECT_EQ(ranges[2].end, 10u);
+}
+
+TEST_F(FleetTest, PartitionGivesEmptyRangesToExcessShards) {
+  const auto ranges = fleet::partition_chunks(2, 5);
+  ASSERT_EQ(ranges.size(), 5u);
+  EXPECT_EQ(ranges[0].size(), 1u);
+  EXPECT_EQ(ranges[1].size(), 1u);
+  for (std::size_t k = 2; k < 5; ++k) EXPECT_TRUE(ranges[k].empty());
+}
+
+// ---------------------------------------------------------------------------
+// Chunk record encoding: exact round-trip, corruption rejected
+// ---------------------------------------------------------------------------
+
+fleet::ChunkResult sample_result() {
+  fleet::ChunkResult r;
+  r.chunk = 7;
+  r.chips = 256;
+  r.sum_f = {0.1234567890123456789, 1e-300, 255.999999999};
+  r.sum_f2 = {0.01, 1e-305, 250.0};
+  return r;
+}
+
+TEST_F(FleetTest, ChunkRecordRoundTripsBitForBit) {
+  const fleet::FleetSpec spec = small_spec(600);
+  const std::uint64_t fp = fleet::fleet_fingerprint(spec);
+  const fleet::ChunkResult r = sample_result();
+  fleet::ChunkResult back;
+  ASSERT_TRUE(fleet::decode_chunk_record(fleet::encode_chunk_record(fp, r),
+                                         fp, r.sum_f.size(), &back));
+  EXPECT_EQ(back.chunk, r.chunk);
+  EXPECT_EQ(back.chips, r.chips);
+  // %a hex-floats: equality must be exact, not approximate.
+  for (std::size_t i = 0; i < r.sum_f.size(); ++i) {
+    EXPECT_EQ(back.sum_f[i], r.sum_f[i]);
+    EXPECT_EQ(back.sum_f2[i], r.sum_f2[i]);
+  }
+}
+
+TEST_F(FleetTest, ChunkRecordRejectsForeignFingerprint) {
+  const std::uint64_t fp = fleet::fleet_fingerprint(small_spec(600));
+  const std::string line = fleet::encode_chunk_record(fp, sample_result());
+  fleet::ChunkResult out;
+  EXPECT_FALSE(fleet::decode_chunk_record(line, fp ^ 1, 3, &out));
+}
+
+TEST_F(FleetTest, ChunkRecordRejectsSweepSizeMismatch) {
+  const std::uint64_t fp = fleet::fleet_fingerprint(small_spec(600));
+  const std::string line = fleet::encode_chunk_record(fp, sample_result());
+  fleet::ChunkResult out;
+  EXPECT_FALSE(fleet::decode_chunk_record(line, fp, 2, &out));
+}
+
+TEST_F(FleetTest, ChunkRecordRejectsMangledFields) {
+  const std::uint64_t fp = fleet::fleet_fingerprint(small_spec(600));
+  std::string line = fleet::encode_chunk_record(fp, sample_result());
+  fleet::ChunkResult out;
+  EXPECT_FALSE(fleet::decode_chunk_record("", fp, 3, &out));
+  EXPECT_FALSE(fleet::decode_chunk_record("chunk x", fp, 3, &out));
+  EXPECT_FALSE(
+      fleet::decode_chunk_record(line.substr(0, line.size() / 2), fp, 3,
+                                 &out));
+  line.back() = 'z';
+  EXPECT_FALSE(fleet::decode_chunk_record(line + " trailing", fp, 3, &out));
+}
+
+TEST_F(FleetTest, FingerprintSeparatesEveryResultShapingKnob) {
+  const fleet::FleetSpec base = small_spec(600);
+  const std::uint64_t fp = fleet::fleet_fingerprint(base);
+  fleet::FleetSpec v = base;
+  v.chips = 601;
+  EXPECT_NE(fleet::fleet_fingerprint(v), fp);
+  v = base;
+  v.seed = 43;
+  EXPECT_NE(fleet::fleet_fingerprint(v), fp);
+  v = base;
+  v.ts.push_back(9.0e8);
+  EXPECT_NE(fleet::fleet_fingerprint(v), fp);
+  v = base;
+  v.thickness_bins = 64;
+  EXPECT_NE(fleet::fleet_fingerprint(v), fp);
+  v = base;
+  v.problem_key = "other-problem";
+  EXPECT_NE(fleet::fleet_fingerprint(v), fp);
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat round-trip
+// ---------------------------------------------------------------------------
+
+TEST_F(FleetTest, HeartbeatRoundTrips) {
+  const std::string path = fleet::heartbeat_path(dir_, 2);
+  ASSERT_TRUE(fleet::write_heartbeat(path, {1234, 56, 7}));
+  const auto hb = fleet::read_heartbeat(path);
+  ASSERT_TRUE(hb.has_value());
+  EXPECT_EQ(hb->pid, 1234u);
+  EXPECT_EQ(hb->counter, 56u);
+  EXPECT_EQ(hb->chunks_done, 7u);
+}
+
+TEST_F(FleetTest, MissingOrMangledHeartbeatReadsAsAbsent) {
+  EXPECT_FALSE(fleet::read_heartbeat(dir_ + "/no-such-file").has_value());
+  const std::string path = fleet::heartbeat_path(dir_, 0);
+  std::ofstream(path) << "not a heartbeat\n";
+  EXPECT_FALSE(fleet::read_heartbeat(path).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic backoff (satellite: fake clock, zero wall-time dependence)
+// ---------------------------------------------------------------------------
+
+TEST_F(FleetTest, BackoffDoublesFromBaseUpToCap) {
+  fleet::BackoffPolicy p(100, 2000, 10);
+  EXPECT_EQ(p.next_delay_ms(), 100u);
+  EXPECT_EQ(p.next_delay_ms(), 200u);
+  EXPECT_EQ(p.next_delay_ms(), 400u);
+  EXPECT_EQ(p.next_delay_ms(), 800u);
+  EXPECT_EQ(p.next_delay_ms(), 1600u);
+  EXPECT_EQ(p.next_delay_ms(), 2000u);  // capped
+  EXPECT_EQ(p.next_delay_ms(), 2000u);  // stays capped
+}
+
+TEST_F(FleetTest, BackoffCapNeedNotBeAPowerOfTwoMultiple) {
+  fleet::BackoffPolicy p(100, 250, 5);
+  EXPECT_EQ(p.next_delay_ms(), 100u);
+  EXPECT_EQ(p.next_delay_ms(), 200u);
+  EXPECT_EQ(p.next_delay_ms(), 250u);
+}
+
+TEST_F(FleetTest, BackoffResetsOnSuccessAndTracksBudget) {
+  fleet::BackoffPolicy p(50, 1000, 2);
+  EXPECT_FALSE(p.exhausted());
+  EXPECT_EQ(p.next_delay_ms(), 50u);
+  EXPECT_EQ(p.next_delay_ms(), 100u);
+  EXPECT_TRUE(p.exhausted());  // budget of 2 spent
+  p.on_success();              // progress observed: full reset
+  EXPECT_FALSE(p.exhausted());
+  EXPECT_EQ(p.attempts(), 0u);
+  EXPECT_EQ(p.next_delay_ms(), 50u);  // schedule restarts from base
+}
+
+TEST_F(FleetTest, BackoffSurvivesHugeAttemptCountsWithoutOverflow) {
+  fleet::BackoffPolicy p(1u << 20, 5000, 200);
+  for (int i = 0; i < 100; ++i) (void)p.next_delay_ms();
+  EXPECT_EQ(p.next_delay_ms(), 5000u);  // no wraparound below the cap
+}
+
+TEST_F(FleetTest, FakeClockAdvancesOnlyVirtually) {
+  fleet::FakeClock clock(1000);
+  EXPECT_EQ(clock.now_ms(), 1000u);
+  clock.sleep_ms(250);
+  EXPECT_EQ(clock.now_ms(), 1250u);
+  clock.advance_ms(50);
+  EXPECT_EQ(clock.now_ms(), 1300u);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor against stand-in workers (fake clock: the retry schedule is
+// pinned exactly, and the test never sleeps on the wall clock)
+// ---------------------------------------------------------------------------
+
+fleet::SupervisorOptions standin_options(const std::string& dir,
+                                         fleet::Clock* clock,
+                                         std::vector<std::string> argv) {
+  fleet::SupervisorOptions so;
+  so.dir = dir;
+  so.shards = 1;
+  so.worker_argv = std::move(argv);
+  so.max_restarts = 3;
+  so.backoff_base_ms = 200;
+  so.backoff_cap_ms = 500;
+  so.heartbeat_stale_ms = 1u << 30;  // watchdog off unless a test wants it
+  so.poll_ms = 5;
+  so.clock = clock;
+  return so;
+}
+
+TEST_F(FleetTest, SupervisorPinsTheRetryScheduleWithAFakeClock) {
+  // /bin/true exits 0 without producing durable state: every attempt is a
+  // failure, so the shard burns its whole budget on the exact deterministic
+  // schedule min(cap, base * 2^(n-1)) = 200, 400, 500.
+  fleet::FakeClock clock;
+  const fleet::FleetSpec spec = small_spec(600);
+  fleet::Supervisor sup(spec,
+                        standin_options(dir_, &clock, {"/bin/true"}));
+  const fleet::FleetOutcome out = sup.run();
+  ASSERT_EQ(out.shards.size(), 1u);
+  EXPECT_EQ(out.shards[0].state, fleet::ShardOutcome::State::kFailed);
+  EXPECT_EQ(out.shards[0].restarts, 3u);
+  EXPECT_EQ(out.total_restarts, 3u);
+  EXPECT_EQ(out.failed_shards, 1u);
+  const std::vector<std::uint64_t> want{200, 400, 500};
+  EXPECT_EQ(out.shards[0].restart_delays_ms, want);
+  // Graceful degradation: the merged report covers nothing but exists.
+  EXPECT_EQ(out.report.total_chips, 600u);
+  EXPECT_EQ(out.report.covered_chips, 0u);
+  EXPECT_EQ(out.report.missing_chunks, 3u);
+}
+
+TEST_F(FleetTest, SupervisorWatchdogRestartsAWedgedWorker) {
+  // A worker that never heartbeats ("/bin/sh -c 'sleep 30'" ignores the
+  // appended --worker args) is declared wedged once virtual time passes
+  // heartbeat_stale_ms, SIGKILLed, and restarted until the budget is spent.
+  // With a fake clock the 30 s sleeps cost no wall time: the watchdog fires
+  // after a handful of 5 ms virtual polls.
+  fleet::FakeClock clock;
+  fleet::SupervisorOptions so = standin_options(
+      dir_, &clock, {"/bin/sh", "-c", "sleep 30"});
+  so.max_restarts = 1;
+  so.heartbeat_stale_ms = 40;
+  fleet::Supervisor sup(small_spec(600), so);
+  const fleet::FleetOutcome out = sup.run();
+  ASSERT_EQ(out.shards.size(), 1u);
+  EXPECT_EQ(out.shards[0].state, fleet::ShardOutcome::State::kFailed);
+  EXPECT_GE(out.heartbeat_timeouts, 2u);  // initial attempt + 1 restart
+  EXPECT_EQ(out.shards[0].restarts, 1u);
+}
+
+TEST_F(FleetTest, SupervisorHonorsTheStopFlagImmediately) {
+  fleet::FakeClock clock;
+  static volatile std::sig_atomic_t stop = 1;  // raised before run()
+  fleet::SupervisorOptions so =
+      standin_options(dir_, &clock, {"/bin/true"});
+  so.stop_flag = &stop;
+  fleet::Supervisor sup(small_spec(600), so);
+  const fleet::FleetOutcome out = sup.run();
+  EXPECT_TRUE(out.interrupted);
+  ASSERT_EQ(out.shards.size(), 1u);
+  EXPECT_EQ(out.shards[0].state, fleet::ShardOutcome::State::kStopped);
+  EXPECT_EQ(out.total_restarts, 0u);
+}
+
+TEST_F(FleetTest, SpawnFailureConsumesTheRetryBudget) {
+  // Every spawn attempt fails (injected): the supervisor degrades the
+  // shard instead of crashing, and counts the failures.
+  fault::arm("fleet.spawn:100");
+  fleet::FakeClock clock;
+  fleet::Supervisor sup(small_spec(600),
+                        standin_options(dir_, &clock, {"/bin/true"}));
+  const fleet::FleetOutcome out = sup.run();
+  EXPECT_EQ(out.shards[0].state, fleet::ShardOutcome::State::kFailed);
+  EXPECT_GE(out.spawn_failures, 1u);
+  EXPECT_EQ(out.failed_shards, 1u);
+}
+
+TEST_F(FleetTest, PublishDiagnosticsWarnsPerFailedShardAndEscalatesStrict) {
+  fleet::FleetOutcome out;
+  out.shards.resize(2);
+  out.shards[1].state = fleet::ShardOutcome::State::kFailed;
+  out.failed_shards = 1;
+  out.report.total_chips = 600;
+  out.report.covered_chips = 512;
+  out.report.missing_chunks = 1;
+  fleet::publish_diagnostics(out);
+  EXPECT_GE(diagnostics().count("fleet.shard_failed"), 1u);
+  const std::string stats = diagnostics().render_stats();
+  EXPECT_NE(stats.find("stat [fleet.shards]"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("stat [fleet.restarts]"), std::string::npos);
+
+  diagnostics().clear();
+  set_strict_mode(true);
+  bool threw = false;
+  try {
+    fleet::publish_diagnostics(out);
+  } catch (const Error& e) {
+    threw = true;
+    EXPECT_EQ(e.code(), ErrorCode::kDegraded);
+  }
+  EXPECT_TRUE(threw);
+}
+
+// ---------------------------------------------------------------------------
+// In-process worker + merge: the report depends only on (spec, N), never
+// on the shard count or on which run produced the durable state
+// ---------------------------------------------------------------------------
+
+class FleetWorkerTest : public FleetTest {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(chip::make_synthetic_design(
+        "fleet", {.devices = 20000, .block_count = 4, .die_width = 4.0,
+                  .die_height = 4.0, .seed = 5}));
+    model_ = new core::AnalyticReliabilityModel();
+    core::ProblemOptions opts;
+    opts.grid_cells_per_side = 8;
+    problem_ = new core::ReliabilityProblem(core::ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_,
+        std::vector<double>(design_->blocks.size(), 80.0), 1.2, opts));
+  }
+  static void TearDownTestSuite() {
+    delete problem_;
+    delete model_;
+    delete design_;
+    problem_ = nullptr;
+    model_ = nullptr;
+    design_ = nullptr;
+  }
+
+  // Runs a K-shard fleet in-process and renders the merged report.
+  std::string run_fleet(const fleet::FleetSpec& spec, std::uint64_t shards,
+                        const std::string& dir) {
+    std::filesystem::create_directories(dir);
+    for (std::uint64_t k = 0; k < shards; ++k) {
+      fleet::WorkerOptions w;
+      w.dir = dir;
+      w.shard = k;
+      w.shards = shards;
+      w.heartbeat_ms = 50;
+      fleet::run_worker(*problem_, spec, w);
+    }
+    std::map<std::uint64_t, fleet::ChunkResult> chunks;
+    for (std::uint64_t k = 0; k < shards; ++k)
+      chunks.merge(fleet::load_shard_chunks(dir, k, spec));
+    return fleet::render_report(fleet::merge_chunks(spec, chunks));
+  }
+
+  static chip::Design* design_;
+  static core::AnalyticReliabilityModel* model_;
+  static core::ReliabilityProblem* problem_;
+};
+
+chip::Design* FleetWorkerTest::design_ = nullptr;
+core::AnalyticReliabilityModel* FleetWorkerTest::model_ = nullptr;
+core::ReliabilityProblem* FleetWorkerTest::problem_ = nullptr;
+
+TEST_F(FleetWorkerTest, ReportIsByteIdenticalAcrossShardCounts) {
+  const fleet::FleetSpec spec = small_spec(600);
+  const std::string r1 = run_fleet(spec, 1, dir_ + "/k1");
+  const std::string r3 = run_fleet(spec, 3, dir_ + "/k3");
+  const std::string r5 = run_fleet(spec, 5, dir_ + "/k5");
+  EXPECT_EQ(r1, r3);
+  EXPECT_EQ(r1, r5);
+  // Sanity: the report is not vacuous.
+  EXPECT_NE(r1.find("covered 600"), std::string::npos) << r1;
+  EXPECT_NE(r1.find("missing_chunks 0"), std::string::npos);
+}
+
+TEST_F(FleetWorkerTest, WorkerResumesFromJournalAfterLosingItsSnapshot) {
+  const fleet::FleetSpec spec = small_spec(600);
+  const std::string fresh = run_fleet(spec, 1, dir_ + "/a");
+  // Simulate a crash after the journal was written but before (or while)
+  // the done snapshot landed: the journal alone must reconstruct the shard.
+  std::filesystem::remove(fleet::done_path(dir_ + "/a", 0));
+  const auto chunks = fleet::load_shard_chunks(dir_ + "/a", 0, spec);
+  EXPECT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(fleet::render_report(fleet::merge_chunks(spec, chunks)), fresh);
+  // Re-running the worker over the journal republishes the snapshot and
+  // changes nothing.
+  const std::string again = run_fleet(spec, 1, dir_ + "/a");
+  EXPECT_EQ(again, fresh);
+  EXPECT_TRUE(std::filesystem::exists(fleet::done_path(dir_ + "/a", 0)));
+}
+
+TEST_F(FleetWorkerTest, ReshardingExistingStateStillMergesCompletely) {
+  // Chunk records are keyed globally, so durable state produced under K=3
+  // satisfies a K=2 merge: load under the new partition and nothing is
+  // missing.
+  const fleet::FleetSpec spec = small_spec(600);
+  const std::string r3 = run_fleet(spec, 3, dir_ + "/k3");
+  std::map<std::uint64_t, fleet::ChunkResult> chunks;
+  for (std::uint64_t k = 0; k < 3; ++k)
+    chunks.merge(fleet::load_shard_chunks(dir_ + "/k3", k, spec));
+  const fleet::FleetReport rep = fleet::merge_chunks(spec, chunks);
+  EXPECT_EQ(rep.covered_chips, 600u);
+  EXPECT_EQ(fleet::render_report(rep), r3);
+}
+
+TEST_F(FleetWorkerTest, ForeignFingerprintStateIsRecomputedNotMerged) {
+  const fleet::FleetSpec spec = small_spec(600);
+  (void)run_fleet(spec, 1, dir_ + "/x");
+  // The same directory read under a different seed must see no usable
+  // chunks — stale state is never silently folded into a new sweep.
+  fleet::FleetSpec other = spec;
+  other.seed = 1234;
+  EXPECT_TRUE(fleet::load_shard_chunks(dir_ + "/x", 0, other).empty());
+}
+
+TEST_F(FleetWorkerTest, MergeOfPartialCoverageMarksTheGap) {
+  const fleet::FleetSpec spec = small_spec(600);
+  (void)run_fleet(spec, 3, dir_ + "/p");
+  std::map<std::uint64_t, fleet::ChunkResult> chunks;
+  for (std::uint64_t k = 0; k < 3; ++k)
+    chunks.merge(fleet::load_shard_chunks(dir_ + "/p", k, spec));
+  chunks.erase(1);  // middle shard's work lost for good
+  const fleet::FleetReport rep = fleet::merge_chunks(spec, chunks);
+  EXPECT_EQ(rep.total_chips, 600u);
+  EXPECT_EQ(rep.covered_chips, 344u);  // 256 + 88
+  EXPECT_EQ(rep.missing_chunks, 1u);
+  for (double f : rep.failure) EXPECT_TRUE(std::isfinite(f));
+}
+
+}  // namespace
+}  // namespace obd

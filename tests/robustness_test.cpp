@@ -24,6 +24,8 @@
 #include "core/hybrid.hpp"
 #include "core/problem.hpp"
 #include "drm/manager.hpp"
+#include "fleet/shard.hpp"
+#include "fleet/supervisor.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/eigen.hpp"
 #include "numeric/quadrature.hpp"
@@ -176,9 +178,41 @@ TEST_F(PtraceTest, RejectsShortSampleRow) {
 }
 
 TEST_F(PtraceTest, RejectsNonFinitePower) {
+  // Non-finite telemetry is corruption that would silently poison the
+  // thermal solve: typed configuration error plus a trace.parse
+  // diagnostic, distinct from structurally malformed input.
   std::istringstream in(header_ + "1.0 nan 1.0 1.0\n");
   EXPECT_EQ(thrown_code([&] { power::load_power_trace(in, design_); }),
-            ErrorCode::kInvalidInput);
+            ErrorCode::kConfig);
+  EXPECT_GE(diagnostics().count("trace.parse"), 1u);
+}
+
+TEST_F(PtraceTest, RejectsInfinitePower) {
+  std::istringstream in(header_ + "1.0 inf 1.0 1.0\n");
+  EXPECT_EQ(thrown_code([&] { power::load_power_trace(in, design_); }),
+            ErrorCode::kConfig);
+  EXPECT_GE(diagnostics().count("trace.parse"), 1u);
+}
+
+TEST_F(PtraceTest, RejectsOverflowingPower) {
+  // 1e999 overflows double range: same corruption class as nan/inf.
+  std::istringstream in(header_ + "1.0 1e999 1.0 1.0\n");
+  EXPECT_EQ(thrown_code([&] { power::load_power_trace(in, design_); }),
+            ErrorCode::kConfig);
+  EXPECT_GE(diagnostics().count("trace.parse"), 1u);
+}
+
+TEST_F(PtraceTest, NonFiniteErrorNamesTheLine) {
+  // Header is line 1; the corrupt sample sits on line 3.
+  std::istringstream in(header_ + "1.0 1.0 1.0 1.0\n1.0 inf 1.0 1.0\n");
+  try {
+    (void)power::load_power_trace(in, design_);
+    ADD_FAILURE() << "expected obd::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST_F(PtraceTest, RejectsNegativePower) {
@@ -464,6 +498,38 @@ TEST_F(FaultCoverageTest, EveryRegisteredSiteHasACoveredScenario) {
       EXPECT_EQ(s.op_index, 0u);  // no previous decision: slowest rung
       EXPECT_TRUE(std::isfinite(s.damage));
       EXPECT_GE(diagnostics().count("drm.deadline"), 1u);
+    } else if (name == fault::site::kFleetHeartbeat) {
+      // A failed heartbeat write is a skipped beat, never a crash: the
+      // worker keeps computing (the journal carries durability) and the
+      // supervisor's watchdog owns liveness.
+      const std::string path = ::testing::TempDir() + "obdrel-cov-hb";
+      EXPECT_FALSE(fleet::write_heartbeat(path, {17, 1, 0}));
+      std::filesystem::remove(path);
+    } else if (name == fault::site::kFleetSpawn) {
+      // A fork/exec setup failure is a typed I/O error that the
+      // supervisor's retry/backoff path absorbs.
+      const std::string log =
+          ::testing::TempDir() + "obdrel-cov-spawn.log";
+      EXPECT_EQ(thrown_code([&] {
+                  (void)fleet::spawn_worker({"/bin/true"}, log);
+                }),
+                ErrorCode::kIo);
+      std::filesystem::remove(log);
+    } else if (name == fault::site::kFleetShardCrc) {
+      // A corrupt chunk record is rejected — treated as absent work to be
+      // recomputed, never believed.
+      fleet::FleetSpec spec;
+      spec.chips = 256;
+      spec.ts = {1.0e8, 2.0e8};
+      const std::uint64_t fp = fleet::fleet_fingerprint(spec);
+      fleet::ChunkResult r;
+      r.chunk = 0;
+      r.chips = 256;
+      r.sum_f = {0.5, 0.25};
+      r.sum_f2 = {0.5, 0.25};
+      const std::string line = fleet::encode_chunk_record(fp, r);
+      fleet::ChunkResult out;
+      EXPECT_FALSE(fleet::decode_chunk_record(line, fp, 2, &out));
     } else {
       ADD_FAILURE() << "registered site has no coverage scenario: " << name
                     << " (add one here and to docs/ROBUSTNESS.md)";
@@ -474,7 +540,7 @@ TEST_F(FaultCoverageTest, EveryRegisteredSiteHasACoveredScenario) {
     ++covered;
   }
   // The acceptance bar: at least 8 sites demonstrably covered (the
-  // catalogue currently holds 15).
+  // catalogue currently holds 18).
   EXPECT_GE(covered, 8u);
   EXPECT_EQ(covered, fault::known_sites().size());
 }

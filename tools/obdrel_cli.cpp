@@ -7,6 +7,8 @@
 //   obdrel lut build <config> <out-file>    precompute hybrid LUTs
 //   obdrel lut query <config> <lut-file> <t_seconds>
 //   obdrel drm run <config> <telemetry.csv|->  crash-safe DRM service loop
+//   obdrel fleet <config> --chips N --shards K  crash-tolerant sharded
+//                                               fleet F(t) sweep
 //   obdrel help | --help | -h   print usage to stdout, exit 0
 //
 // Global flags:
@@ -45,6 +47,24 @@
 //   thermal_sweep lexicographic | redblack SOR order     (default lexicographic)
 //   faults        fault-injection spec (testing only)
 //
+// Fleet config keys (obdrel fleet):
+//   seed              per-chip RNG stream base seed      (default 99)
+//   mc_bins           thickness histogram bins           (default 512)
+//   device_sampling   per_device | binned                (default binned)
+//   fleet_points      sweep points, log-spaced           (default 8)
+//   fleet_t_min_years sweep start [years]                (default 1)
+//   fleet_t_max_years sweep end [years]                  (default 20)
+//   fleet_times_years explicit sweep times [years] (overrides the above)
+//
+// Fleet flags: --chips N (required), --shards K (default 4),
+//   --fleet-dir <dir> (default fleet.state), --max-restarts <n>,
+//   --backoff-ms / --backoff-cap-ms, --stale-ms, --heartbeat-ms,
+//   --poll-ms, --fleet-parallel <n>, and the chaos-harness knobs
+//   --chaos-kill/--chaos-stop <rate>, --chaos-stop-ms, --chaos-seed.
+//   --worker <k> is the hidden worker-mode entry the supervisor uses.
+//   Workers never receive --strict: strictness is supervisor policy
+//   (degraded exit after the report), not a reason to kill workers.
+//
 // DRM-run config keys (obdrel drm run):
 //   ladder        DVFS rungs `name:vdd:freq,...` slow->fast
 //                 (default eco:1.0:1.2e9,mid:1.1:1.7e9,turbo:1.25:2.3e9)
@@ -54,7 +74,13 @@
 //   max_activity        telemetry plausibility clamp     (default 2)
 //   step_deadline_ms    watchdog deadline per step, 0=off (default 0)
 //   checkpoint_every    steps between snapshots          (default 16)
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -81,6 +107,8 @@
 #include "core/report.hpp"
 #include "drm/manager.hpp"
 #include "drm/runtime.hpp"
+#include "fleet/shard.hpp"
+#include "fleet/supervisor.hpp"
 #include "power/power.hpp"
 #include "simd/dispatch.hpp"
 #include "thermal/solver.hpp"
@@ -90,6 +118,18 @@ namespace {
 using namespace obd;
 
 constexpr double kYear = 365.25 * 24.0 * 3600.0;
+
+// Graceful-shutdown flag: SIGINT/SIGTERM request an orderly stop — the DRM
+// loop flushes a final snapshot and the fleet supervisor kills its workers
+// and merges whatever is durable. Either way the state directory resumes.
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void on_shutdown_signal(int) { g_signal = 1; }
+
+void install_shutdown_handlers() {
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+}
 
 // Validating replacement for the old bare std::stod(t_arg): a non-numeric
 // or non-positive <t_seconds> names the offending argument instead of
@@ -419,7 +459,11 @@ int cmd_drm_run(const Config& cfg, const std::string& telemetry_path,
   std::printf(
       "step,activity,op_index,op_name,performance_hz,damage,budget_line,"
       "max_temp_c,degraded\n");
-  for (std::size_t i = start; i < samples.size(); ++i) {
+  // SIGINT/SIGTERM stop the loop at a step boundary — never mid
+  // journal-append — and still reach the final checkpoint below, so Ctrl-C
+  // is resumable exactly like a crash, minus the replay.
+  install_shutdown_handlers();
+  for (std::size_t i = start; i < samples.size() && g_signal == 0; ++i) {
     const drm::DrmStep s = runtime.step(samples[i]);
     std::printf("%zu,%.17g,%zu,%s,%.17g,%.17g,%.17g,%.17g,%d\n",
                 runtime.step_count(), samples[i], s.op_index,
@@ -430,6 +474,178 @@ int cmd_drm_run(const Config& cfg, const std::string& telemetry_path,
   // Final anchor: an orderly exit leaves a snapshot at the last step, so a
   // later resume replays nothing.
   runtime.checkpoint_now();
+  runtime.publish_step_stats();
+  if (g_signal != 0)
+    std::fprintf(stderr,
+                 "signal: stopped after %zu step(s); final snapshot "
+                 "flushed — rerun with --resume to continue\n",
+                 runtime.step_count());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// obdrel fleet: crash-tolerant sharded fleet sweeps (src/fleet)
+// ---------------------------------------------------------------------------
+
+struct FleetFlags {
+  std::uint64_t chips = 0;       ///< required
+  std::uint64_t shards = 4;
+  long long worker = -1;         ///< >= 0: hidden worker mode for shard k
+  std::string dir = "fleet.state";
+  std::uint64_t max_restarts = 5;
+  std::uint64_t backoff_ms = 200;
+  std::uint64_t backoff_cap_ms = 5000;
+  std::uint64_t stale_ms = 5000;
+  std::uint64_t heartbeat_ms = 100;
+  std::uint64_t poll_ms = 25;
+  std::uint64_t max_parallel = 0;
+  double chaos_kill = 0.0;
+  double chaos_stop = 0.0;
+  std::uint64_t chaos_stop_ms = 300;
+  std::uint64_t chaos_seed = 1;
+};
+
+core::DeviceSampling parse_fleet_sampling(const Config& cfg) {
+  // Fleet sweeps default to the binned sampler: the per-device reference
+  // is impractical at million-chip populations (still selectable).
+  const std::string v = cfg.get_string("device_sampling", "binned");
+  if (v == "per_device") return core::DeviceSampling::kPerDevice;
+  if (v == "binned") return core::DeviceSampling::kBinned;
+  throw Error(
+      "device_sampling must be 'per_device' or 'binned', got '" + v + "'",
+      ErrorCode::kConfig);
+}
+
+// Canonical identity of everything in the config that shapes the problem
+// build or the sampler — folded into the fleet fingerprint so durable
+// state from a different model configuration is rejected, not merged.
+std::string fleet_problem_key(const Config& cfg) {
+  const auto d = [](double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  std::ostringstream os;
+  os << "design=" << cfg.get_string("design", "c1")
+     << ";device_density=" << d(cfg.get_double("device_density", 3000.0))
+     << ";vdd=" << d(cfg.get_double("vdd", 1.2))
+     << ";rho_dist=" << d(cfg.get_double("rho_dist", 0.5))
+     << ";grid=" << cfg.get_count("grid", 25)
+     << ";ambient_c=" << d(cfg.get_double("ambient_c", 45.0))
+     << ";variance_capture=" << d(cfg.get_double("variance_capture", 0.999))
+     << ";eigen_solver=" << cfg.get_string("eigen_solver", "dense")
+     << ";thermal_sweep=" << cfg.get_string("thermal_sweep", "lexicographic")
+     << ";device_sampling=" << cfg.get_string("device_sampling", "binned");
+  return os.str();
+}
+
+fleet::FleetSpec make_fleet_spec(const Config& cfg, std::uint64_t chips) {
+  fleet::FleetSpec spec;
+  spec.chips = chips;
+  spec.seed = static_cast<std::uint64_t>(cfg.get_count("seed", 99));
+  spec.thickness_bins = cfg.get_count("mc_bins", 512);
+  spec.sampling = parse_fleet_sampling(cfg);
+  spec.problem_key = fleet_problem_key(cfg);
+  if (cfg.has("fleet_times_years")) {
+    for (const double y : cfg.get_doubles("fleet_times_years", {})) {
+      require(y > 0.0, ErrorCode::kConfig,
+              "fleet_times_years must be positive");
+      spec.ts.push_back(y * kYear);
+    }
+  } else {
+    const std::size_t np = cfg.get_count("fleet_points", 8);
+    const double t0 = cfg.get_double("fleet_t_min_years", 1.0) * kYear;
+    const double t1 = cfg.get_double("fleet_t_max_years", 20.0) * kYear;
+    require(t0 > 0.0 && t1 >= t0, ErrorCode::kConfig,
+            "fleet sweep needs 0 < fleet_t_min_years <= fleet_t_max_years");
+    for (std::size_t i = 0; i < np; ++i) {
+      const double u =
+          (np == 1) ? 0.0
+                    : static_cast<double>(i) / static_cast<double>(np - 1);
+      spec.ts.push_back(t0 * std::pow(t1 / t0, u));
+    }
+  }
+  require(!spec.ts.empty(), ErrorCode::kConfig, "fleet: empty sweep");
+  return spec;
+}
+
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+int cmd_fleet(const Config& cfg, const std::string& cfg_path,
+              const FleetFlags& ff, long long threads_flag,
+              const char* argv0) {
+  require(ff.chips > 0, ErrorCode::kConfig,
+          "fleet: --chips must be a positive chip count");
+  require(ff.shards >= 1, ErrorCode::kConfig,
+          "fleet: --shards must be at least 1");
+  const Pipeline p = run_pipeline(cfg);
+  const auto problem = build_problem(cfg, p);
+  const fleet::FleetSpec spec = make_fleet_spec(cfg, ff.chips);
+
+  if (ff.worker >= 0) {
+    require(static_cast<std::uint64_t>(ff.worker) < ff.shards,
+            ErrorCode::kConfig, "fleet: --worker index out of range");
+    fleet::WorkerOptions w;
+    w.dir = ff.dir;
+    w.shard = static_cast<std::uint64_t>(ff.worker);
+    w.shards = ff.shards;
+    w.heartbeat_ms = ff.heartbeat_ms;
+    fleet::run_worker(problem, spec, w);
+    return 0;
+  }
+
+  if (::mkdir(ff.dir.c_str(), 0755) != 0 && errno != EEXIST)
+    throw Error("fleet: cannot create state directory '" + ff.dir + "'",
+                ErrorCode::kIo);
+
+  fleet::SupervisorOptions so;
+  so.dir = ff.dir;
+  so.shards = ff.shards;
+  so.max_parallel = ff.max_parallel;
+  so.max_restarts = ff.max_restarts;
+  so.backoff_base_ms = ff.backoff_ms;
+  so.backoff_cap_ms = ff.backoff_cap_ms;
+  so.heartbeat_stale_ms = ff.stale_ms;
+  so.poll_ms = ff.poll_ms;
+  so.chaos.kill_rate = ff.chaos_kill;
+  so.chaos.stop_rate = ff.chaos_stop;
+  so.chaos.stop_ms = ff.chaos_stop_ms;
+  so.chaos.seed = ff.chaos_seed;
+  so.stop_flag = &g_signal;
+  // Workers re-invoke this binary in --worker mode with the spec-shaping
+  // flags only: no --strict (supervisor policy), no chaos knobs.
+  so.worker_argv = {self_exe_path(argv0), "fleet", cfg_path,
+                    "--chips", std::to_string(ff.chips),
+                    "--shards", std::to_string(ff.shards),
+                    "--fleet-dir", ff.dir,
+                    "--heartbeat-ms", std::to_string(ff.heartbeat_ms)};
+  if (threads_flag >= 0) {
+    so.worker_argv.push_back("--threads");
+    so.worker_argv.push_back(std::to_string(threads_flag));
+  }
+
+  install_shutdown_handlers();
+  fleet::Supervisor supervisor(spec, so);
+  const fleet::FleetOutcome outcome = supervisor.run();
+
+  // Report first, diagnostics second: strict-mode escalation must never
+  // outrun the (partial) results the user paid for.
+  std::fputs(fleet::render_report(outcome.report).c_str(), stdout);
+  std::fflush(stdout);
+  if (outcome.interrupted)
+    std::fprintf(stderr,
+                 "signal: fleet stopped; durable shard state kept in '%s' "
+                 "— rerun the same command to continue\n",
+                 ff.dir.c_str());
+  fleet::publish_diagnostics(outcome);
   return 0;
 }
 
@@ -445,6 +661,14 @@ int usage(std::FILE* out, int rc) {
                "<telemetry.csv|->\n"
                "           [--checkpoint-dir <dir>] [--resume] "
                "[--checkpoint-every <n>]\n"
+               "       obdrel [--strict] fleet <config> --chips <N> "
+               "[--shards <K>]\n"
+               "           [--fleet-dir <dir>] [--max-restarts <n>] "
+               "[--backoff-ms <ms>]\n"
+               "           [--backoff-cap-ms <ms>] [--stale-ms <ms>] "
+               "[--heartbeat-ms <ms>]\n"
+               "           [--fleet-parallel <n>] [--chaos-kill <rate>] "
+               "[--chaos-stop <rate>]\n"
                "       obdrel help | --help | -h\n"
                "\n"
                "--strict escalates degraded results to errors.\n"
@@ -457,6 +681,10 @@ int usage(std::FILE* out, int rc) {
                "drm run drives the crash-safe DRM service loop from a\n"
                "telemetry trace ('-' reads stdin); --checkpoint-dir makes\n"
                "its state durable and --resume recovers it after a crash.\n"
+               "fleet partitions an N-chip F(t) sweep over K supervised\n"
+               "worker processes with per-shard checkpoints: any crash\n"
+               "schedule (and any K / thread count) yields a byte-identical\n"
+               "report, and rerunning the command resumes durable state.\n"
                "exit codes: 0 ok, 1 internal, 2 config/usage, 3 io,\n"
                "            4 invalid input, 5 nonconvergence, 6 degraded "
                "(strict)\n");
@@ -509,6 +737,7 @@ int main(int argc, char** argv) {
   long long threads_flag = -1;  // -1 = not given on the command line
   drm::RuntimeOptions ropts;
   ropts.checkpoint_every = 0;  // 0 = take the config key / default
+  FleetFlags ff;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--strict") {
@@ -521,7 +750,13 @@ int main(int argc, char** argv) {
       continue;
     }
     if (a == "--checkpoint-dir" || a == "--checkpoint-every" ||
-        a == "--threads") {
+        a == "--threads" || a == "--chips" || a == "--shards" ||
+        a == "--worker" || a == "--fleet-dir" || a == "--max-restarts" ||
+        a == "--backoff-ms" || a == "--backoff-cap-ms" ||
+        a == "--stale-ms" || a == "--heartbeat-ms" || a == "--poll-ms" ||
+        a == "--fleet-parallel" || a == "--chaos-kill" ||
+        a == "--chaos-stop" || a == "--chaos-stop-ms" ||
+        a == "--chaos-seed") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error [config]: %s needs a value\n",
                      a.c_str());
@@ -530,10 +765,30 @@ int main(int argc, char** argv) {
       const std::string value = argv[++i];
       if (a == "--checkpoint-dir") {
         ropts.checkpoint_dir = value;
-      } else if (a == "--threads") {
+        continue;
+      }
+      if (a == "--fleet-dir") {
+        ff.dir = value;
+        continue;
+      }
+      if (a == "--chaos-kill" || a == "--chaos-stop") {
         char* end = nullptr;
-        const long long n = std::strtoll(value.c_str(), &end, 10);
-        if (end != value.c_str() + value.size() || n < 0) {
+        const double r = std::strtod(value.c_str(), &end);
+        if (end != value.c_str() + value.size() || !(r >= 0.0) || r > 1.0) {
+          std::fprintf(stderr,
+                       "error [config]: %s needs a rate in [0, 1], got "
+                       "'%s'\n",
+                       a.c_str(), value.c_str());
+          return usage();
+        }
+        (a == "--chaos-kill" ? ff.chaos_kill : ff.chaos_stop) = r;
+        continue;
+      }
+      char* end = nullptr;
+      const long long n = std::strtoll(value.c_str(), &end, 10);
+      const bool integer_ok = end == value.c_str() + value.size();
+      if (a == "--threads") {
+        if (!integer_ok || n < 0) {
           std::fprintf(stderr,
                        "error [config]: --threads needs a non-negative "
                        "integer (0 = auto), got '%s'\n",
@@ -541,10 +796,8 @@ int main(int argc, char** argv) {
           return usage();
         }
         threads_flag = n;
-      } else {
-        char* end = nullptr;
-        const long long n = std::strtoll(value.c_str(), &end, 10);
-        if (end != value.c_str() + value.size() || n <= 0) {
+      } else if (a == "--checkpoint-every") {
+        if (!integer_ok || n <= 0) {
           std::fprintf(stderr,
                        "error [config]: --checkpoint-every needs a "
                        "positive integer, got '%s'\n",
@@ -552,6 +805,27 @@ int main(int argc, char** argv) {
           return usage();
         }
         ropts.checkpoint_every = static_cast<std::size_t>(n);
+      } else {
+        if (!integer_ok || n < 0) {
+          std::fprintf(stderr,
+                       "error [config]: %s needs a non-negative integer, "
+                       "got '%s'\n",
+                       a.c_str(), value.c_str());
+          return usage();
+        }
+        const std::uint64_t u = static_cast<std::uint64_t>(n);
+        if (a == "--chips") ff.chips = u;
+        else if (a == "--shards") ff.shards = u;
+        else if (a == "--worker") ff.worker = n;
+        else if (a == "--max-restarts") ff.max_restarts = u;
+        else if (a == "--backoff-ms") ff.backoff_ms = u;
+        else if (a == "--backoff-cap-ms") ff.backoff_cap_ms = u;
+        else if (a == "--stale-ms") ff.stale_ms = u;
+        else if (a == "--heartbeat-ms") ff.heartbeat_ms = u;
+        else if (a == "--poll-ms") ff.poll_ms = u;
+        else if (a == "--fleet-parallel") ff.max_parallel = u;
+        else if (a == "--chaos-stop-ms") ff.chaos_stop_ms = u;
+        else if (a == "--chaos-seed") ff.chaos_seed = u;
       }
       continue;
     }
@@ -587,6 +861,11 @@ int main(int argc, char** argv) {
       const Config cfg = Config::parse_file(args[2]);
       apply_runtime_options(cfg, strict_flag, threads_flag);
       return finish(cmd_drm_run(cfg, args[3], ropts));
+    }
+    if (cmd == "fleet") {
+      const Config cfg = Config::parse_file(args[1]);
+      apply_runtime_options(cfg, strict_flag, threads_flag);
+      return finish(cmd_fleet(cfg, args[1], ff, threads_flag, argv[0]));
     }
     return usage();
   } catch (const Error& e) {
