@@ -7,9 +7,11 @@
 #include <array>
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 
@@ -229,6 +231,27 @@ JournalReadResult read_journal(const std::string& path) {
     result.records.push_back(std::move(payload));
   }
   return result;
+}
+
+std::size_t sweep_stale_tmp(const std::string& dir, const std::string& prefix,
+                            const std::string& site) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;  // missing/unreadable directory: nothing to sweep
+  std::size_t swept = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 4 || name.compare(name.size() - 4, 4, ".tmp") != 0)
+      continue;
+    if (!prefix.empty() && name.rfind(prefix, 0) != 0) continue;
+    if (std::filesystem::remove(entry.path(), ec) && !ec) ++swept;
+  }
+  if (swept > 0)
+    diagnostics().stat(site + ".stale_tmp",
+                       "swept " + std::to_string(swept) +
+                           " stale temp file(s) from '" + dir + "'");
+  return swept;
 }
 
 }  // namespace obd::ckpt

@@ -102,4 +102,16 @@ struct JournalReadResult {
 /// (injectable via the `journal.replay` site).
 [[nodiscard]] JournalReadResult read_journal(const std::string& path);
 
+/// Removes every stale `*.tmp` file a killed process's in-flight atomic
+/// writes left in `dir` (restricted to file names starting with `prefix`
+/// when non-empty — concurrent writers owning other prefixes are then
+/// untouched). Temp files are write-side artifacts only: no reader ever
+/// opens one, so sweeping is always safe at startup before any writer is
+/// live, and letting them accumulate forever is pure leakage. Emits one
+/// `<site>.stale_tmp` diagnostic stat naming the swept count when anything
+/// was removed. A missing directory sweeps nothing. Returns the number of
+/// files removed.
+std::size_t sweep_stale_tmp(const std::string& dir, const std::string& prefix,
+                            const std::string& site);
+
 }  // namespace obd::ckpt

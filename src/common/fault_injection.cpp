@@ -62,6 +62,8 @@ const std::vector<std::string>& known_sites() {
       site::kDrmDeadline,
       site::kFleetHeartbeat,  site::kFleetSpawn,
       site::kFleetShardCrc,
+      site::kServeAccept,     site::kServeCacheRead,
+      site::kServeCacheEvict, site::kServeDeadline,
   };
   return sites;
 }

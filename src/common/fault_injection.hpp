@@ -46,6 +46,10 @@ inline constexpr const char* kDrmDeadline = "drm.deadline";
 inline constexpr const char* kFleetHeartbeat = "fleet.heartbeat";
 inline constexpr const char* kFleetSpawn = "fleet.spawn";
 inline constexpr const char* kFleetShardCrc = "fleet.shard_crc";
+inline constexpr const char* kServeAccept = "serve.accept";
+inline constexpr const char* kServeCacheRead = "serve.cache_read";
+inline constexpr const char* kServeCacheEvict = "serve.cache_evict";
+inline constexpr const char* kServeDeadline = "serve.deadline";
 }  // namespace site
 
 /// All registered site names (the injection catalogue), sorted.

@@ -102,6 +102,16 @@ double HybridEvaluator::failure_probability(double t) const {
   return std::clamp(-std::expm1(log_survival), 0.0, 1.0);
 }
 
+std::vector<double> HybridEvaluator::failure_probabilities(
+    std::span<const double> ts) const {
+  std::vector<double> out;
+  out.reserve(ts.size());
+  // Points are independent lookups; reusing the single-point kernel keeps
+  // the batch bit-identical to per-point calls for any sweep composition.
+  for (const double t : ts) out.push_back(failure_probability(t));
+  return out;
+}
+
 double HybridEvaluator::failure_probability_with(
     double t, const std::vector<double>& alphas,
     const std::vector<double>& bs) const {
@@ -118,6 +128,16 @@ double HybridEvaluator::failure_probability_with(
     log_survival += std::log1p(-fj);
   }
   return std::clamp(-std::expm1(log_survival), 0.0, 1.0);
+}
+
+std::vector<double> HybridEvaluator::failure_probabilities_with(
+    std::span<const double> ts, const std::vector<double>& alphas,
+    const std::vector<double>& bs) const {
+  std::vector<double> out;
+  out.reserve(ts.size());
+  for (const double t : ts)
+    out.push_back(failure_probability_with(t, alphas, bs));
+  return out;
 }
 
 double HybridEvaluator::lifetime_at(double target) const {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "core/analytic.hpp"
@@ -44,6 +45,14 @@ class HybridEvaluator {
   /// Failure probability at t with the problem's own (alpha_j, b_j).
   [[nodiscard]] double failure_probability(double t) const;
 
+  /// Batched F(t) sweep over `ts` — the table-lookup counterpart of the
+  /// MonteCarloAnalyzer batched-sweep API, and the entry point the serving
+  /// layer coalesces same-fingerprint queries onto. Each point shares the
+  /// single-point evaluation kernel, so the batch is bit-identical to
+  /// calling failure_probability per point.
+  [[nodiscard]] std::vector<double> failure_probabilities(
+      std::span<const double> ts) const;
+
   [[nodiscard]] double reliability(double t) const {
     return 1.0 - failure_probability(t);
   }
@@ -53,6 +62,12 @@ class HybridEvaluator {
   /// method's reason to exist. Vectors align with problem().blocks().
   [[nodiscard]] double failure_probability_with(
       double t, const std::vector<double>& alphas,
+      const std::vector<double>& bs) const;
+
+  /// Batched counterpart of failure_probability_with (bit-identical to the
+  /// per-point calls, one parameter validation for the whole sweep).
+  [[nodiscard]] std::vector<double> failure_probabilities_with(
+      std::span<const double> ts, const std::vector<double>& alphas,
       const std::vector<double>& bs) const;
 
   [[nodiscard]] double lifetime_at(double target) const;

@@ -96,6 +96,9 @@ DrmRuntime::DrmRuntime(const core::ReliabilityProblem& problem,
   require(!ec && fs::is_directory(opts_.checkpoint_dir), ErrorCode::kIo,
           "DrmRuntime: cannot create checkpoint directory '" +
               opts_.checkpoint_dir + "'");
+  // A crash mid-snapshot leaves `ckpt-N.snap.tmp` behind; no reader ever
+  // opens temp files, so sweep them before any writer goes live.
+  ckpt::sweep_stale_tmp(opts_.checkpoint_dir, "", "drm");
 
   if (opts_.resume) {
     recover();

@@ -272,6 +272,13 @@ void run_worker(const core::ReliabilityProblem& problem, const FleetSpec& spec,
   const ChunkRange range =
       partition_chunks(chunk_count(spec), opts.shards)[opts.shard];
 
+  // A SIGKILLed predecessor of this shard leaves `shard-<k>.hb.tmp`
+  // behind. Sweep only this shard's prefix: sibling workers own theirs
+  // and may be mid-write right now.
+  ckpt::sweep_stale_tmp(opts.dir,
+                        "shard-" + std::to_string(opts.shard) + ".",
+                        "fleet");
+
   // Resume: every usable record for a chunk in this shard's range is kept;
   // pending chunks are recomputed. Foreign/corrupt records are invisible
   // here and to every other reader, so there is nothing to repair.

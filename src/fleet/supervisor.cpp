@@ -10,6 +10,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/checkpoint.hpp"
 #include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
@@ -101,6 +102,10 @@ Supervisor::Supervisor(FleetSpec spec, SupervisorOptions opts)
 }
 
 FleetOutcome Supervisor::run() {
+  // Killed workers leave torn heartbeat temp files behind; sweep them all
+  // before any worker of this run is spawned (workers own their prefix
+  // from then on).
+  ckpt::sweep_stale_tmp(opts_.dir, "shard-", "fleet");
   SteadyClock steady;
   Clock& clock = (opts_.clock != nullptr) ? *opts_.clock : steady;
   const std::uint64_t total_chunks = chunk_count(spec_);

@@ -1,0 +1,320 @@
+#include "serve/engine.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "chip/design.hpp"
+#include "chip/floorplan_io.hpp"
+#include "common/diagnostics.hpp"
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "core/analytic.hpp"
+#include "core/device_model.hpp"
+#include "power/power.hpp"
+#include "thermal/solver.hpp"
+
+namespace obd::serve {
+namespace {
+
+/// Config keys a request may override via `set.<key>=`. Everything here
+/// shapes the evaluation context and is folded into problem_key(); keys
+/// outside the list (threads, faults, ...) are daemon policy and rejected.
+const std::set<std::string>& override_whitelist() {
+  static const std::set<std::string> keys = {
+      "design",         "device_density", "vdd",
+      "rho_dist",       "grid",           "ambient_c",
+      "variance_capture", "eigen_solver", "thermal_sweep",
+  };
+  return keys;
+}
+
+std::string fmt17(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+double parse_double_field(const std::string& key, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    require(pos == value.size() && std::isfinite(v), ErrorCode::kInvalidInput,
+            "serve: field " + key + "='" + value + "' is not a number");
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("serve: field " + key + "='" + value + "' is not a number",
+                ErrorCode::kInvalidInput);
+  }
+}
+
+chip::Design load_design(const Config& cfg) {
+  const std::string design = cfg.get_string("design", "c1");
+  if (design == "ev6" || design == "c6") return chip::make_ev6_design();
+  if (design == "manycore") return chip::make_manycore_design();
+  if (design.size() == 2 && design[0] == 'c' && design[1] >= '1' &&
+      design[1] <= '6')
+    return chip::make_benchmark(design[1] - '0');
+  chip::FloorplanLoadOptions opts;
+  opts.device_density = cfg.get_double("device_density", 3000.0);
+  opts.name = design;
+  return chip::load_floorplan_file(design, opts);
+}
+
+thermal::SweepOrder parse_thermal_sweep(const Config& cfg) {
+  const std::string v = cfg.get_string("thermal_sweep", "lexicographic");
+  if (v == "lexicographic") return thermal::SweepOrder::kLexicographic;
+  if (v == "redblack") return thermal::SweepOrder::kRedBlack;
+  throw Error(
+      "thermal_sweep must be 'lexicographic' or 'redblack', got '" + v + "'",
+      ErrorCode::kConfig);
+}
+
+var::EigenSolver parse_eigen_solver(const Config& cfg) {
+  const std::string v = cfg.get_string("eigen_solver", "dense");
+  if (v == "dense") return var::EigenSolver::kDense;
+  if (v == "truncated") return var::EigenSolver::kTruncated;
+  throw Error("eigen_solver must be 'dense' or 'truncated', got '" + v + "'",
+              ErrorCode::kConfig);
+}
+
+/// Materialized evaluation context for one fingerprint: the full
+/// power -> thermal -> problem pipeline on the overridden config (same
+/// semantics as the CLI's one-shot commands, so a served answer matches
+/// `obdrel lut query` on the equivalent config byte for byte).
+std::unique_ptr<core::ReliabilityProblem> build_problem(const Config& cfg) {
+  const chip::Design design = load_design(cfg);
+  const double vdd = cfg.get_double("vdd", 1.2);
+  power::PowerParams pp;
+  pp.vdd = vdd;
+  thermal::ThermalParams tp;
+  tp.ambient_c = cfg.get_double("ambient_c", 45.0);
+  tp.resolution = 48;
+  tp.sweep = parse_thermal_sweep(cfg);
+  const thermal::ThermalProfile profile =
+      thermal::power_thermal_fixed_point(design, pp, tp, 2);
+
+  core::ProblemOptions opts;
+  opts.rho_dist = cfg.get_double("rho_dist", 0.5);
+  opts.grid_cells_per_side = cfg.get_count("grid", 25);
+  opts.variance_capture = cfg.get_double("variance_capture", 0.999);
+  require(opts.variance_capture > 0.0 && opts.variance_capture <= 1.0,
+          ErrorCode::kConfig, "variance_capture must be in (0, 1]");
+  opts.eigen_solver = parse_eigen_solver(cfg);
+  return std::make_unique<core::ReliabilityProblem>(
+      core::ReliabilityProblem::build(design, var::VariationBudget{},
+                                      core::AnalyticReliabilityModel{},
+                                      profile.block_temps_c, vdd, opts));
+}
+
+std::string reply_ok(const std::string& id, double t, double f,
+                     bool degraded) {
+  return "id=" + id + " ok=1 t=" + fmt17(t) + " f=" + fmt17(f) +
+         " degraded=" + (degraded ? "1" : "0");
+}
+
+std::string reply_error(const std::string& id, const Error& e) {
+  return "id=" + id + " error=" + to_string(e.code()) + " msg=" + e.what();
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  Request req;
+  bool have_t = false;
+  std::istringstream is(line);
+  std::string field;
+  while (is >> field) {
+    const std::size_t eq = field.find('=');
+    require(eq != std::string::npos && eq > 0, ErrorCode::kInvalidInput,
+            "serve: field '" + field + "' is not key=value");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "op") {
+      require(value == "query" || value == "health", ErrorCode::kInvalidInput,
+              "serve: op must be 'query' or 'health', got '" + value + "'");
+      req.op = (value == "health") ? Request::Op::kHealth
+                                   : Request::Op::kQuery;
+    } else if (key == "id") {
+      req.id = value;
+    } else if (key == "t") {
+      req.t = parse_double_field(key, value);
+      have_t = true;
+    } else if (key == "deadline_ms") {
+      req.deadline_ms = parse_double_field(key, value);
+      require(req.deadline_ms >= 0.0, ErrorCode::kInvalidInput,
+              "serve: deadline_ms must be non-negative");
+    } else if (key.rfind("set.", 0) == 0) {
+      const std::string cfg_key = key.substr(4);
+      require(override_whitelist().count(cfg_key) != 0,
+              ErrorCode::kInvalidInput,
+              "serve: config key '" + cfg_key + "' cannot be overridden "
+              "per request");
+      require(!value.empty(), ErrorCode::kInvalidInput,
+              "serve: override " + key + " has an empty value");
+      req.overrides[cfg_key] = value;
+    } else {
+      throw Error("serve: unknown request field '" + key + "'",
+                  ErrorCode::kInvalidInput);
+    }
+  }
+  if (req.op == Request::Op::kQuery) {
+    require(have_t, ErrorCode::kInvalidInput,
+            "serve: query needs a t=<seconds> field");
+    require(req.t > 0.0 && std::isfinite(req.t), ErrorCode::kInvalidInput,
+            "serve: t must be a positive finite time");
+    require(!req.id.empty(), ErrorCode::kInvalidInput,
+            "serve: query needs an id=<token> field");
+  }
+  return req;
+}
+
+std::string problem_key(const Config& cfg) {
+  const auto d = [](double v) { return fmt17(v); };
+  std::ostringstream os;
+  os << "design=" << cfg.get_string("design", "c1")
+     << ";device_density=" << d(cfg.get_double("device_density", 3000.0))
+     << ";vdd=" << d(cfg.get_double("vdd", 1.2))
+     << ";rho_dist=" << d(cfg.get_double("rho_dist", 0.5))
+     << ";grid=" << cfg.get_count("grid", 25)
+     << ";ambient_c=" << d(cfg.get_double("ambient_c", 45.0))
+     << ";variance_capture=" << d(cfg.get_double("variance_capture", 0.999))
+     << ";eigen_solver=" << cfg.get_string("eigen_solver", "dense")
+     << ";thermal_sweep=" << cfg.get_string("thermal_sweep", "lexicographic")
+     << ";n_gamma=" << cfg.get_count("serve_n_gamma", 100)
+     << ";n_b=" << cfg.get_count("serve_n_b", 100);
+  return os.str();
+}
+
+bool deadline_expired(double elapsed_ms, double deadline_ms) {
+  if (deadline_ms <= 0.0) return false;  // deadlines disabled
+  if (fault::should_fire(fault::site::kServeDeadline)) {
+    diagnostics().warn("serve.deadline",
+                       "injected deadline expiry: degrading to the "
+                       "analytic fast path");
+    return true;
+  }
+  return elapsed_ms >= deadline_ms;
+}
+
+QueryEngine::QueryEngine(Config base, EngineOptions options)
+    : base_(std::move(base)),
+      options_(options),
+      cache_(options.cache) {}
+
+std::vector<std::string> QueryEngine::evaluate(
+    const std::vector<PendingQuery>& batch) {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::string> replies(batch.size());
+
+  // Coalesce: queries sharing a fingerprint share one evaluation context
+  // and one batched sweep. Group by the canonical key (exact), not the
+  // fingerprint (hashed) — a collision must not merge distinct problems.
+  struct Group {
+    Config cfg;
+    std::vector<std::size_t> indices;
+  };
+  std::map<std::string, Group> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& req = batch[i].request;
+    try {
+      require(req.op == Request::Op::kQuery, ErrorCode::kInvalidInput,
+              "serve: health queries bypass the evaluator");
+      Config cfg = base_;
+      for (const auto& [key, value] : req.overrides) cfg.set(key, value);
+      auto [it, inserted] = groups.try_emplace(problem_key(cfg));
+      if (inserted) it->second.cfg = std::move(cfg);
+      it->second.indices.push_back(i);
+    } catch (const Error& e) {
+      ++stats_.errors;
+      replies[i] = reply_error(req.id, e);
+    }
+  }
+
+  for (auto& [key, group] : groups) {
+    const std::uint64_t fp = fingerprint(key);
+    try {
+      CacheEntry* entry = cache_.find(fp);
+      std::vector<std::size_t> exact = group.indices;
+      if (entry == nullptr) {
+        // Cold fingerprint: the problem build (thermal + PCA) is needed by
+        // every path, exact or degraded.
+        auto problem = build_problem(group.cfg);
+
+        // Partition now, against the post-build clock: requests whose
+        // deadline has already expired get the analytic approximation
+        // instead of waiting for the table fill.
+        std::vector<std::size_t> expired;
+        exact.clear();
+        for (const std::size_t i : group.indices) {
+          const double elapsed_ms =
+              std::chrono::duration<double, std::milli>(now -
+                                                        batch[i].arrival)
+                  .count();
+          const double deadline = batch[i].request.deadline_ms >= 0.0
+                                      ? batch[i].request.deadline_ms
+                                      : options_.deadline_ms;
+          if (deadline_expired(elapsed_ms, deadline))
+            expired.push_back(i);
+          else
+            exact.push_back(i);
+        }
+        if (!expired.empty()) {
+          const core::AnalyticAnalyzer analytic(*problem);
+          for (const std::size_t i : expired) {
+            const double t = batch[i].request.t;
+            replies[i] = reply_ok(batch[i].request.id, t,
+                                  analytic.failure_probability(t), true);
+            ++stats_.answered;
+            ++stats_.degraded;
+          }
+        }
+        if (exact.empty()) continue;  // nothing left to build tables for
+
+        // Disk tier first; only a true miss pays the table fill.
+        core::HybridOptions hopts;
+        hopts.n_gamma = options_.n_gamma;
+        hopts.n_b = options_.n_b;
+        std::unique_ptr<core::HybridEvaluator> hybrid;
+        if (auto loaded = cache_.load_disk(fp, key, *problem)) {
+          hybrid =
+              std::make_unique<core::HybridEvaluator>(std::move(*loaded));
+        } else {
+          cache_.record_miss();
+          hybrid = std::make_unique<core::HybridEvaluator>(*problem, hopts);
+        }
+        CacheEntry fresh;
+        fresh.key = key;
+        fresh.fp = fp;
+        fresh.bytes = entry_bytes(problem->blocks().size(), hopts.n_gamma,
+                                  hopts.n_b);
+        fresh.problem = std::move(problem);
+        fresh.hybrid = std::move(hybrid);
+        entry = cache_.insert(std::move(fresh));
+      }
+
+      std::vector<double> ts;
+      ts.reserve(exact.size());
+      for (const std::size_t i : exact) ts.push_back(batch[i].request.t);
+      const std::vector<double> fs = entry->hybrid->failure_probabilities(ts);
+      for (std::size_t k = 0; k < exact.size(); ++k) {
+        replies[exact[k]] =
+            reply_ok(batch[exact[k]].request.id, ts[k], fs[k], false);
+        ++stats_.answered;
+      }
+    } catch (const Error& e) {
+      for (const std::size_t i : group.indices) {
+        if (!replies[i].empty()) continue;  // already answered (degraded)
+        ++stats_.errors;
+        replies[i] = reply_error(batch[i].request.id, e);
+      }
+    }
+  }
+  return replies;
+}
+
+}  // namespace obd::serve

@@ -1,0 +1,119 @@
+// Query engine of the reliability daemon: request grammar, fingerprinting,
+// and the coalescing evaluator over the durable table cache.
+//
+// A request is one newline-framed line of space-separated key=value
+// fields:
+//
+//   id=<token> t=<seconds> [set.<key>=<value> ...] [deadline_ms=<ms>]
+//   op=health [id=<token>]
+//
+// `set.<key>` overrides a whitelisted problem-shaping config key (design,
+// vdd, ambient_c, ...) on top of the daemon's base config — that tuple of
+// (thermal profile, process corner, config) is canonicalized into a key
+// string and fingerprinted; all queries sharing a fingerprint share one
+// cached evaluation context and are answered as a single batched
+// table-lookup sweep.
+//
+// Replies are one line per request, same grammar:
+//
+//   id=<token> ok=1 t=<t> f=<F(t)> degraded=<0|1>
+//   id=<token> error=<code> msg=<text>
+//   id=<token> overloaded=1          (emitted by the server when shedding)
+//
+// A reply never reveals which cache tier answered it: a memory hit, a disk
+// reload, and a cold compute are byte-identical by construction (the LUT
+// serialization round-trips doubles exactly), which is what makes the
+// crash-restart tests meaningful.
+//
+// Deadlines degrade instead of failing: a query whose deadline has already
+// expired when its cold table build would start is answered from the
+// analytic closed form (paper Section IV-C) with degraded=1 — an
+// approximation delivered on time instead of an exact answer too late.
+// Memory-tier hits always serve the exact table answer; they are cheaper
+// than the analytic path. The `serve.deadline` fault site forces expiry
+// deterministically.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "serve/cache.hpp"
+
+namespace obd::serve {
+
+/// One parsed request line.
+struct Request {
+  enum class Op { kQuery, kHealth };
+  Op op = Op::kQuery;
+  std::string id;      ///< echoed verbatim in the reply
+  double t = 0.0;      ///< query time [s] (op == kQuery)
+  double deadline_ms = -1.0;  ///< per-request deadline; < 0 = server default
+  std::map<std::string, std::string> overrides;  ///< whitelisted set.* keys
+};
+
+/// Parses one request line. Throws Error(kInvalidInput) on malformed
+/// fields, a non-positive t, or a non-whitelisted set.* key; the server
+/// turns the throw into an error reply for that line only.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Canonical identity of everything that shapes the evaluation context:
+/// the problem-shaping config keys (with request overrides applied) plus
+/// the serve-table dimensions. Equal strings <=> interchangeable cached
+/// tables.
+[[nodiscard]] std::string problem_key(const Config& cfg);
+
+/// True when a request that waited `elapsed_ms` against `deadline_ms` must
+/// degrade (deadline_ms <= 0 disables deadlines). Injectable via the
+/// `serve.deadline` site, which expires any armed deadline irrespective of
+/// the clock.
+[[nodiscard]] bool deadline_expired(double elapsed_ms, double deadline_ms);
+
+/// A request plus its arrival time (the deadline anchor).
+struct PendingQuery {
+  Request request;
+  std::chrono::steady_clock::time_point arrival;
+};
+
+struct EngineOptions {
+  CacheOptions cache;
+  std::size_t n_gamma = 100;   ///< serve-table indices along ln(t/alpha)
+  std::size_t n_b = 100;       ///< serve-table indices along b
+  double deadline_ms = 0.0;    ///< default per-request deadline; 0 = off
+};
+
+struct EngineStats {
+  std::uint64_t answered = 0;  ///< ok replies (exact or degraded)
+  std::uint64_t degraded = 0;  ///< deadline-degraded analytic answers
+  std::uint64_t errors = 0;    ///< per-request error replies
+};
+
+/// Evaluates batches of queries against the table cache. Owns the base
+/// config and the cache; single-threaded (the server's event loop is the
+/// only caller).
+class QueryEngine {
+ public:
+  QueryEngine(Config base, EngineOptions options);
+
+  /// Answers every query of `batch` (one reply line per query, aligned by
+  /// index, no trailing newline). Queries are grouped by fingerprint and
+  /// each group is served as one batched sweep; a per-request failure
+  /// becomes that request's error reply, never an exception.
+  [[nodiscard]] std::vector<std::string> evaluate(
+      const std::vector<PendingQuery>& batch);
+
+  [[nodiscard]] TableCache& cache() { return cache_; }
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+ private:
+  Config base_;
+  EngineOptions options_;
+  TableCache cache_;
+  EngineStats stats_;
+};
+
+}  // namespace obd::serve

@@ -1,0 +1,74 @@
+// The `obdrel serve` daemon: an overload-safe, drain-friendly front end
+// over the QueryEngine.
+//
+// Transport is deliberately primitive — newline-framed request lines over
+// a unix-domain stream socket (`--socket <path>`), or stdin -> stdout
+// (`--stdin`) for pipelines and tests. The daemon makes three promises:
+//
+//   1. Every request gets exactly one reply: an answer (exact or
+//      `degraded=1`), a per-request `error=...`, or `overloaded=1` when
+//      the bounded admission queue sheds it. Overload degrades service,
+//      never correctness and never liveness.
+//   2. `op=health` requests bypass the admission queue entirely — a
+//      supervisor's liveness probe must succeed precisely when the daemon
+//      is busiest.
+//   3. SIGTERM/SIGINT drain gracefully: stop accepting work, answer
+//      everything already admitted, flush the disk cache tier, exit 0.
+//
+// The event loop is single-threaded: poll() over the listening socket,
+// the connected clients (or stdin), ingest every complete line, then
+// evaluate one bounded batch. Admission control is therefore exact — the
+// queue bound is checked at enqueue, not asynchronously.
+#pragma once
+
+#include <cstdint>
+#include <csignal>
+#include <string>
+
+#include "serve/engine.hpp"
+
+namespace obd::serve {
+
+/// Accepts one pending connection on `listen_fd`. Returns the connected
+/// fd, or -1 when accept fails — including the injected `serve.accept`
+/// fault — after recording a diagnostic; the caller simply retries on the
+/// next poll wakeup, so a transient accept failure costs one client retry,
+/// never the daemon.
+int accept_client(int listen_fd);
+
+struct ServerOptions {
+  std::string socket_path;  ///< unix socket to listen on (socket mode)
+  bool use_stdin = false;   ///< serve stdin -> stdout instead of a socket
+  std::size_t queue_limit = 1024;  ///< admitted-but-unanswered bound
+  std::size_t batch_max = 64;      ///< queries evaluated per loop turn
+  /// Graceful-drain request flag (the CLI's SIGINT/SIGTERM handler sets
+  /// it); nullptr disables signal-driven drain (tests drive EOF instead).
+  volatile std::sig_atomic_t* stop_flag = nullptr;
+};
+
+struct ServerStats {
+  std::uint64_t received = 0;  ///< parsed query requests
+  std::uint64_t shed = 0;      ///< overloaded replies
+  std::uint64_t health = 0;    ///< health replies
+  std::uint64_t parse_errors = 0;
+};
+
+/// The daemon event loop. Owns the transport; borrows the engine.
+class Server {
+ public:
+  Server(QueryEngine& engine, ServerOptions options);
+
+  /// Runs until EOF (stdin mode), the stop flag, or a fatal transport
+  /// error at startup (bind/listen failures throw Error(kIo)). Returns 0
+  /// after a clean drain: pending queries answered, disk cache flushed.
+  int run();
+
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+
+ private:
+  QueryEngine& engine_;
+  ServerOptions options_;
+  ServerStats stats_;
+};
+
+}  // namespace obd::serve

@@ -31,6 +31,9 @@
 #include "numeric/quadrature.hpp"
 #include "power/power.hpp"
 #include "power/trace_io.hpp"
+#include "serve/cache.hpp"
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
 #include "thermal/solver.hpp"
 #include "variation/model.hpp"
 
@@ -530,6 +533,41 @@ TEST_F(FaultCoverageTest, EveryRegisteredSiteHasACoveredScenario) {
       const std::string line = fleet::encode_chunk_record(fp, r);
       fleet::ChunkResult out;
       EXPECT_FALSE(fleet::decode_chunk_record(line, fp, 2, &out));
+    } else if (name == fault::site::kServeAccept) {
+      // A failed accept costs the client one retry, never the daemon: the
+      // helper records a diagnostic and reports "no connection".
+      EXPECT_EQ(serve::accept_client(/*listen_fd=*/-1), -1);
+      EXPECT_GE(diagnostics().count("serve.accept"), 1u);
+    } else if (name == fault::site::kServeCacheRead) {
+      // Injected disk-tier corruption: the entry is quarantined with a
+      // diagnostic and reported as a miss — recomputed, never believed.
+      const std::string path =
+          ::testing::TempDir() + "obdrel-cov-serve.lut";
+      ckpt::write_snapshot_atomic(path, 1, "the-key\ntables");
+      bool quarantined = false;
+      EXPECT_FALSE(
+          serve::read_cache_file(path, "the-key", &quarantined).has_value());
+      EXPECT_TRUE(quarantined);
+      EXPECT_FALSE(std::filesystem::exists(path));
+      EXPECT_TRUE(std::filesystem::exists(path + ".quarantined"));
+      EXPECT_GE(diagnostics().count("serve.cache_corrupt"), 1u);
+      std::filesystem::remove(path + ".quarantined");
+    } else if (name == fault::site::kServeCacheEvict) {
+      // A failed write-back during eviction drops the (recomputable)
+      // entry with a diagnostic instead of crashing the daemon.
+      const std::string path =
+          ::testing::TempDir() + "obdrel-cov-serve-wb.lut";
+      EXPECT_FALSE(serve::write_cache_file(path, "the-key", "tables"));
+      EXPECT_FALSE(std::filesystem::exists(path));
+      EXPECT_GE(diagnostics().count("serve.cache_evict"), 1u);
+    } else if (name == fault::site::kServeDeadline) {
+      // An injected deadline expiry forces the degraded analytic path for
+      // any armed deadline — and only for armed deadlines.
+      EXPECT_TRUE(serve::deadline_expired(0.0, 50.0));
+      EXPECT_GE(diagnostics().count("serve.deadline"), 1u);
+      fault::arm(name);
+      EXPECT_FALSE(serve::deadline_expired(1.0e9, 0.0))
+          << "disabled deadlines must never expire";
     } else {
       ADD_FAILURE() << "registered site has no coverage scenario: " << name
                     << " (add one here and to docs/ROBUSTNESS.md)";

@@ -1,0 +1,538 @@
+// Unit tests for the serving layer: fingerprinting, the durable table
+// cache (LRU + byte budget + CRC disk tier + quarantine), the request
+// grammar, deadline policy, and the coalescing query engine — including
+// the contract the crash tests lean on: a memory hit, a disk reload, and
+// a cold compute produce byte-identical replies.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chip/design.hpp"
+#include "common/checkpoint.hpp"
+#include "common/config.hpp"
+#include "common/diagnostics.hpp"
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "core/device_model.hpp"
+#include "core/hybrid.hpp"
+#include "core/problem.hpp"
+#include "serve/cache.hpp"
+#include "serve/engine.hpp"
+#include "variation/model.hpp"
+
+namespace obd {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::disarm();
+    diagnostics().clear();
+    set_strict_mode(false);
+    dir_ = ::testing::TempDir() + "obdrel-serve-" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::disarm();
+    diagnostics().clear();
+    set_strict_mode(false);
+    fs::remove_all(dir_);
+  }
+  std::string dir_;
+};
+
+// Shared small problem for the table-cache round-trip tests (building one
+// is the expensive part).
+class ServeCacheTest : public ServeTest {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(chip::make_synthetic_design(
+        "serve", {.devices = 20000, .block_count = 4, .die_width = 4.0,
+                  .die_height = 4.0, .seed = 5}));
+    model_ = new core::AnalyticReliabilityModel();
+    core::ProblemOptions opts;
+    opts.grid_cells_per_side = 8;
+    problem_ = new core::ReliabilityProblem(core::ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_,
+        std::vector<double>(design_->blocks.size(), 80.0), 1.2, opts));
+  }
+  static void TearDownTestSuite() {
+    delete problem_;
+    delete model_;
+    delete design_;
+    problem_ = nullptr;
+    model_ = nullptr;
+    design_ = nullptr;
+  }
+  static core::HybridOptions small_tables() {
+    core::HybridOptions h;
+    h.n_gamma = 16;
+    h.n_b = 12;
+    return h;
+  }
+  static chip::Design* design_;
+  static core::AnalyticReliabilityModel* model_;
+  static core::ReliabilityProblem* problem_;
+};
+
+chip::Design* ServeCacheTest::design_ = nullptr;
+core::AnalyticReliabilityModel* ServeCacheTest::model_ = nullptr;
+core::ReliabilityProblem* ServeCacheTest::problem_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Fingerprinting and file naming
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, FingerprintIsDeterministicAndKeySensitive) {
+  EXPECT_EQ(serve::fingerprint("design=c1"), serve::fingerprint("design=c1"));
+  EXPECT_NE(serve::fingerprint("design=c1"), serve::fingerprint("design=c2"));
+  EXPECT_NE(serve::fingerprint(""), serve::fingerprint("x"));
+}
+
+TEST_F(ServeTest, CacheFilePathIsHexUnderTheDirectory) {
+  const std::string p = serve::cache_file_path("/tmp/cache", 0xabcdull);
+  EXPECT_EQ(p, "/tmp/cache/abcd.lut");
+}
+
+// ---------------------------------------------------------------------------
+// Disk-tier files: CRC framing, foreign keys, corruption quarantine
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, CacheFileRoundTripsItsPayload) {
+  const std::string path = dir_ + "/e.lut";
+  ASSERT_TRUE(serve::write_cache_file(path, "the-key", "line1\nline2\n"));
+  bool quarantined = true;
+  const auto text = serve::read_cache_file(path, "the-key", &quarantined);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_FALSE(quarantined);
+  EXPECT_EQ(*text, "line1\nline2\n");
+}
+
+TEST_F(ServeTest, MissingCacheFileIsAPlainMiss) {
+  bool quarantined = true;
+  EXPECT_FALSE(serve::read_cache_file(dir_ + "/absent.lut", "k",
+                                      &quarantined));
+  EXPECT_FALSE(quarantined);
+  EXPECT_EQ(diagnostics().count("serve.cache_corrupt"), 0u);
+}
+
+TEST_F(ServeTest, ForeignKeyIsQuarantinedNotBelieved) {
+  const std::string path = dir_ + "/e.lut";
+  ASSERT_TRUE(serve::write_cache_file(path, "their-key", "tables"));
+  bool quarantined = false;
+  EXPECT_FALSE(serve::read_cache_file(path, "my-key", &quarantined));
+  EXPECT_TRUE(quarantined);
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(path + ".quarantined"));
+  EXPECT_GE(diagnostics().count("serve.cache_corrupt"), 1u);
+}
+
+TEST_F(ServeTest, BitRotIsQuarantinedNotBelieved) {
+  const std::string path = dir_ + "/e.lut";
+  ASSERT_TRUE(serve::write_cache_file(path, "the-key", "tables"));
+  // Flip one payload byte under the CRC.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-2, std::ios::end);
+    f.put('X');
+  }
+  bool quarantined = false;
+  EXPECT_FALSE(serve::read_cache_file(path, "the-key", &quarantined));
+  EXPECT_TRUE(quarantined);
+  EXPECT_TRUE(fs::exists(path + ".quarantined"));
+}
+
+// ---------------------------------------------------------------------------
+// LRU cache mechanics
+// ---------------------------------------------------------------------------
+
+serve::CacheEntry stub_entry(const std::string& key, std::size_t bytes) {
+  serve::CacheEntry e;
+  e.key = key;
+  e.fp = serve::fingerprint(key);
+  e.bytes = bytes;
+  return e;
+}
+
+TEST_F(ServeTest, LruEvictsTheLeastRecentlyUsedFirst) {
+  serve::CacheOptions opts;
+  opts.byte_budget = 250;  // room for two 100-byte entries
+  serve::TableCache cache(opts);
+  cache.insert(stub_entry("a", 100));
+  cache.insert(stub_entry("b", 100));
+  // Touch "a" so "b" becomes the eviction victim.
+  ASSERT_NE(cache.find(serve::fingerprint("a")), nullptr);
+  cache.insert(stub_entry("c", 100));
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_NE(cache.find(serve::fingerprint("a")), nullptr);
+  EXPECT_EQ(cache.find(serve::fingerprint("b")), nullptr);
+  EXPECT_NE(cache.find(serve::fingerprint("c")), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.bytes(), opts.byte_budget);
+}
+
+TEST_F(ServeTest, MostRecentEntryStaysResidentEvenOverBudget) {
+  serve::CacheOptions opts;
+  opts.byte_budget = 10;
+  serve::TableCache cache(opts);
+  cache.insert(stub_entry("big", 1000));
+  EXPECT_EQ(cache.entries(), 1u);  // never evict the entry being served
+  cache.insert(stub_entry("bigger", 2000));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.find(serve::fingerprint("big")), nullptr);
+}
+
+TEST_F(ServeTest, ReinsertReplacesWithoutLeakingBytes) {
+  serve::CacheOptions opts;
+  opts.byte_budget = 1000;
+  serve::TableCache cache(opts);
+  cache.insert(stub_entry("a", 100));
+  cache.insert(stub_entry("a", 300));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 300u);
+}
+
+TEST_F(ServeTest, CacheConstructionSweepsStaleTmpFiles) {
+  std::ofstream(dir_ + "/dead.lut.tmp") << "torn";
+  std::ofstream(dir_ + "/live.lut") << "not a tmp";
+  serve::CacheOptions opts;
+  opts.dir = dir_;
+  serve::TableCache cache(opts);
+  EXPECT_FALSE(fs::exists(dir_ + "/dead.lut.tmp"));
+  EXPECT_TRUE(fs::exists(dir_ + "/live.lut"));
+  bool noted = false;
+  for (const auto& s : diagnostics().stats())
+    noted = noted || s.site == "serve.stale_tmp";
+  EXPECT_TRUE(noted);
+}
+
+// ---------------------------------------------------------------------------
+// Stale-tmp sweeping (the shared ckpt helper)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, StaleTmpSweepHonorsThePrefix) {
+  std::ofstream(dir_ + "/shard-0.hb.tmp") << "x";
+  std::ofstream(dir_ + "/shard-1.hb.tmp") << "x";
+  std::ofstream(dir_ + "/shard-10.hb.tmp") << "x";
+  std::ofstream(dir_ + "/keep.dat") << "x";
+  EXPECT_EQ(ckpt::sweep_stale_tmp(dir_, "shard-1.", "fleet"), 1u);
+  EXPECT_TRUE(fs::exists(dir_ + "/shard-0.hb.tmp"));
+  EXPECT_FALSE(fs::exists(dir_ + "/shard-1.hb.tmp"));
+  EXPECT_TRUE(fs::exists(dir_ + "/shard-10.hb.tmp"));
+  EXPECT_EQ(ckpt::sweep_stale_tmp(dir_, "", "fleet"), 2u);
+  EXPECT_TRUE(fs::exists(dir_ + "/keep.dat"));
+  EXPECT_EQ(ckpt::sweep_stale_tmp(dir_ + "/no-such-dir", "", "x"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid batched sweeps are bit-identical to per-point calls
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeCacheTest, BatchedSweepMatchesPerPointBitForBit) {
+  const core::HybridEvaluator ev(*problem_, small_tables());
+  const std::vector<double> ts = {1.0e7, 5.0e7, 3.15e8, 1.0e9};
+  const std::vector<double> batch = ev.failure_probabilities(ts);
+  ASSERT_EQ(batch.size(), ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    EXPECT_EQ(batch[i], ev.failure_probability(ts[i])) << i;
+
+  std::vector<double> alphas, bs;
+  for (const auto& blk : problem_->blocks()) {
+    alphas.push_back(blk.alpha * 1.1);
+    bs.push_back(blk.b);
+  }
+  const std::vector<double> with =
+      ev.failure_probabilities_with(ts, alphas, bs);
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    EXPECT_EQ(with[i], ev.failure_probability_with(ts[i], alphas, bs)) << i;
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier round-trips real tables bit-identically
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeCacheTest, DiskTierRoundTripIsBitIdentical) {
+  serve::CacheOptions opts;
+  opts.dir = dir_;
+  serve::TableCache cache(opts);
+
+  const std::string key = "serve-roundtrip";
+  const std::uint64_t fp = serve::fingerprint(key);
+  const core::HybridEvaluator built(*problem_, small_tables());
+  ASSERT_TRUE(serve::write_cache_file(serve::cache_file_path(dir_, fp), key,
+                                      serve::TableCache::serialize(built)));
+
+  const auto loaded = cache.load_disk(fp, key, *problem_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  for (const double t : {1.0e7, 3.15e8, 2.0e9})
+    EXPECT_EQ(loaded->failure_probability(t), built.failure_probability(t))
+        << t;
+}
+
+TEST_F(ServeCacheTest, EvictionWritesBackAndLoadDiskRecovers) {
+  serve::CacheOptions opts;
+  opts.dir = dir_;
+  opts.byte_budget = 1;  // evict on every second insert
+  serve::TableCache cache(opts);
+
+  const std::string key = "serve-evicted";
+  const std::uint64_t fp = serve::fingerprint(key);
+  serve::CacheEntry e;
+  e.key = key;
+  e.fp = fp;
+  e.bytes = 1000;
+  e.problem = std::make_unique<core::ReliabilityProblem>(*problem_);
+  e.hybrid =
+      std::make_unique<core::HybridEvaluator>(*e.problem, small_tables());
+  const double want = e.hybrid->failure_probability(3.15e8);
+  cache.insert(std::move(e));
+  cache.insert(stub_entry("displacer", 1000));  // pushes the entry out
+
+  EXPECT_EQ(cache.find(fp), nullptr);
+  EXPECT_TRUE(fs::exists(serve::cache_file_path(dir_, fp)));
+  const auto loaded = cache.load_disk(fp, key, *problem_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->failure_probability(3.15e8), want);
+}
+
+TEST_F(ServeCacheTest, UndecodableTablesAreQuarantined) {
+  serve::CacheOptions opts;
+  opts.dir = dir_;
+  serve::TableCache cache(opts);
+  const std::string key = "serve-bad-tables";
+  const std::uint64_t fp = serve::fingerprint(key);
+  const std::string path = serve::cache_file_path(dir_, fp);
+  // CRC-valid frame, right key, garbage tables: load must quarantine.
+  ASSERT_TRUE(serve::write_cache_file(path, key, "not a lut stream\n"));
+  EXPECT_FALSE(cache.load_disk(fp, key, *problem_).has_value());
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+  EXPECT_TRUE(fs::exists(path + ".quarantined"));
+  EXPECT_GE(diagnostics().count("serve.cache_corrupt"), 1u);
+}
+
+TEST_F(ServeCacheTest, FlushMakesEveryResidentEntryDurable) {
+  serve::CacheOptions opts;
+  opts.dir = dir_;
+  serve::TableCache cache(opts);
+  serve::CacheEntry e;
+  e.key = "serve-flush";
+  e.fp = serve::fingerprint(e.key);
+  e.bytes = 10;
+  e.problem = std::make_unique<core::ReliabilityProblem>(*problem_);
+  e.hybrid =
+      std::make_unique<core::HybridEvaluator>(*e.problem, small_tables());
+  cache.insert(std::move(e));
+  EXPECT_FALSE(fs::exists(serve::cache_file_path(dir_, serve::fingerprint(
+                                                           "serve-flush"))));
+  EXPECT_TRUE(cache.flush());
+  EXPECT_TRUE(fs::exists(serve::cache_file_path(dir_, serve::fingerprint(
+                                                          "serve-flush"))));
+  EXPECT_TRUE(cache.flush());  // idempotent: already on disk
+  EXPECT_EQ(cache.stats().write_failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Request grammar
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+ErrorCode thrown_code(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected obd::Error, nothing was thrown";
+  return ErrorCode::kInternal;
+}
+
+TEST_F(ServeTest, ParsesAFullQueryLine) {
+  const serve::Request r = serve::parse_request(
+      "id=q7 t=3.15e8 set.ambient_c=60 set.vdd=1.1 deadline_ms=25");
+  EXPECT_EQ(r.op, serve::Request::Op::kQuery);
+  EXPECT_EQ(r.id, "q7");
+  EXPECT_DOUBLE_EQ(r.t, 3.15e8);
+  EXPECT_DOUBLE_EQ(r.deadline_ms, 25.0);
+  ASSERT_EQ(r.overrides.size(), 2u);
+  EXPECT_EQ(r.overrides.at("ambient_c"), "60");
+  EXPECT_EQ(r.overrides.at("vdd"), "1.1");
+}
+
+TEST_F(ServeTest, ParsesAHealthProbe) {
+  const serve::Request r = serve::parse_request("op=health id=hb");
+  EXPECT_EQ(r.op, serve::Request::Op::kHealth);
+  EXPECT_EQ(r.id, "hb");
+  EXPECT_EQ(serve::parse_request("op=health").id, "");  // id optional
+}
+
+TEST_F(ServeTest, RejectsMalformedRequests) {
+  const auto code = [](const std::string& line) {
+    return thrown_code([&] { (void)serve::parse_request(line); });
+  };
+  EXPECT_EQ(code("id=a"), ErrorCode::kInvalidInput);        // no t
+  EXPECT_EQ(code("t=1e8"), ErrorCode::kInvalidInput);       // no id
+  EXPECT_EQ(code("id=a t=banana"), ErrorCode::kInvalidInput);
+  EXPECT_EQ(code("id=a t=-5"), ErrorCode::kInvalidInput);
+  EXPECT_EQ(code("id=a t=1e8 deadline_ms=-1"), ErrorCode::kInvalidInput);
+  EXPECT_EQ(code("id=a t=1e8 bogus"), ErrorCode::kInvalidInput);
+  EXPECT_EQ(code("id=a t=1e8 frob=1"), ErrorCode::kInvalidInput);
+  // Daemon policy keys are not per-request overridable.
+  EXPECT_EQ(code("id=a t=1e8 set.threads=1"), ErrorCode::kInvalidInput);
+  EXPECT_EQ(code("id=a t=1e8 set.faults=x"), ErrorCode::kInvalidInput);
+  EXPECT_EQ(code("id=a t=1e8 op=frob"), ErrorCode::kInvalidInput);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and the problem key
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, DeadlinePolicyIsExactAndDefaultOff) {
+  EXPECT_FALSE(serve::deadline_expired(1.0e12, 0.0));  // disabled
+  EXPECT_FALSE(serve::deadline_expired(49.9, 50.0));
+  EXPECT_TRUE(serve::deadline_expired(50.0, 50.0));
+}
+
+TEST_F(ServeTest, ProblemKeyReflectsOverrides) {
+  Config base;
+  base.set("design", "c1");
+  const std::string k1 = serve::problem_key(base);
+  EXPECT_EQ(k1, serve::problem_key(base));  // deterministic
+  Config hot = base;
+  hot.set("ambient_c", "60");
+  EXPECT_NE(k1, serve::problem_key(hot));
+  Config tables = base;
+  tables.set("serve_n_gamma", "32");
+  EXPECT_NE(k1, serve::problem_key(tables));  // table shape is identity too
+}
+
+// ---------------------------------------------------------------------------
+// Query engine: coalescing, tier byte-identity, deadline degradation
+// ---------------------------------------------------------------------------
+
+class ServeEngineTest : public ServeTest {
+ protected:
+  Config base_config() {
+    Config cfg;
+    cfg.set("design", "c1");
+    cfg.set("grid", "8");
+    cfg.set("serve_n_gamma", "16");
+    cfg.set("serve_n_b", "12");
+    return cfg;
+  }
+  serve::EngineOptions engine_options() {
+    serve::EngineOptions eo;
+    eo.cache.dir = dir_ + "/cache";
+    eo.n_gamma = 16;
+    eo.n_b = 12;
+    return eo;
+  }
+  static serve::PendingQuery query(const std::string& id, double t,
+                                   const std::string& extra = "") {
+    serve::PendingQuery q;
+    q.request = serve::parse_request("id=" + id + " t=" +
+                                    std::to_string(t) + extra);
+    q.arrival = std::chrono::steady_clock::now();
+    return q;
+  }
+};
+
+TEST_F(ServeEngineTest, CoalescesSameFingerprintQueriesIntoOneBuild) {
+  serve::QueryEngine engine(base_config(), engine_options());
+  const std::vector<serve::PendingQuery> batch = {
+      query("a", 3.15e8), query("b", 6.3e8), query("c", 3.15e8)};
+  const std::vector<std::string> replies = engine.evaluate(batch);
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(engine.cache().stats().misses, 1u);  // one build for all three
+  EXPECT_EQ(engine.stats().answered, 3u);
+  // Same t, same fingerprint: identical payloads behind different ids.
+  ASSERT_EQ(replies[0].substr(0, 5), "id=a ");
+  ASSERT_EQ(replies[2].substr(0, 5), "id=c ");
+  EXPECT_EQ(replies[0].substr(5), replies[2].substr(5));
+  EXPECT_NE(replies[0].find(" ok=1 "), std::string::npos);
+  EXPECT_NE(replies[0].find(" degraded=0"), std::string::npos);
+}
+
+TEST_F(ServeEngineTest, MemoryHitDiskHitAndColdComputeAreByteIdentical) {
+  const auto opts = engine_options();
+  std::string cold, warm, disk;
+  {
+    serve::QueryEngine engine(base_config(), opts);
+    cold = engine.evaluate({query("x", 3.15e8)})[0];
+    warm = engine.evaluate({query("x", 3.15e8)})[0];
+    EXPECT_EQ(engine.cache().stats().hits, 1u);
+    EXPECT_TRUE(engine.cache().flush());
+  }
+  {
+    serve::QueryEngine engine(base_config(), opts);  // fresh memory tier
+    disk = engine.evaluate({query("x", 3.15e8)})[0];
+    EXPECT_EQ(engine.cache().stats().disk_hits, 1u);
+    EXPECT_EQ(engine.cache().stats().misses, 0u);
+  }
+  EXPECT_EQ(cold, warm);
+  EXPECT_EQ(cold, disk);
+}
+
+TEST_F(ServeEngineTest, CorruptDiskEntryIsQuarantinedAndRecomputed) {
+  const auto opts = engine_options();
+  std::string cold;
+  {
+    serve::QueryEngine engine(base_config(), opts);
+    cold = engine.evaluate({query("x", 3.15e8)})[0];
+    EXPECT_TRUE(engine.cache().flush());
+  }
+  // Vandalize the cached entry on disk.
+  const std::string key = serve::problem_key(base_config());
+  const std::string path =
+      serve::cache_file_path(opts.cache.dir, serve::fingerprint(key));
+  ASSERT_TRUE(fs::exists(path));
+  std::ofstream(path, std::ios::trunc) << "garbage";
+  {
+    serve::QueryEngine engine(base_config(), opts);
+    const std::string recomputed = engine.evaluate({query("x", 3.15e8)})[0];
+    EXPECT_EQ(recomputed, cold);  // recomputed answer, identical bytes
+    EXPECT_EQ(engine.cache().stats().corrupt, 1u);
+    EXPECT_EQ(engine.cache().stats().misses, 1u);
+    EXPECT_TRUE(fs::exists(path + ".quarantined"));
+  }
+}
+
+TEST_F(ServeEngineTest, InjectedDeadlineExpiryDegradesToAnalytic) {
+  serve::QueryEngine engine(base_config(), engine_options());
+  fault::arm("serve.deadline");
+  const std::string reply =
+      engine.evaluate({query("slow", 3.15e8, " deadline_ms=1000")})[0];
+  EXPECT_NE(reply.find(" ok=1 "), std::string::npos) << reply;
+  EXPECT_NE(reply.find(" degraded=1"), std::string::npos) << reply;
+  EXPECT_EQ(engine.stats().degraded, 1u);
+  // The degraded path never pays the table fill or caches an entry.
+  EXPECT_EQ(engine.cache().entries(), 0u);
+  // The same query afterwards gets the exact answer.
+  const std::string exact = engine.evaluate({query("slow", 3.15e8)})[0];
+  EXPECT_NE(exact.find(" degraded=0"), std::string::npos);
+}
+
+TEST_F(ServeEngineTest, PerRequestErrorsNeverPoisonTheBatch) {
+  serve::QueryEngine engine(base_config(), engine_options());
+  std::vector<serve::PendingQuery> batch = {
+      query("good", 3.15e8), query("bad", 3.15e8, " set.design=/nope")};
+  const std::vector<std::string> replies = engine.evaluate(batch);
+  EXPECT_NE(replies[0].find(" ok=1 "), std::string::npos) << replies[0];
+  EXPECT_NE(replies[1].find(" error="), std::string::npos) << replies[1];
+  EXPECT_EQ(engine.stats().answered, 1u);
+  EXPECT_EQ(engine.stats().errors, 1u);
+}
+
+}  // namespace
+}  // namespace obd

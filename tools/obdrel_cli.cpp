@@ -9,7 +9,10 @@
 //   obdrel drm run <config> <telemetry.csv|->  crash-safe DRM service loop
 //   obdrel fleet <config> --chips N --shards K  crash-tolerant sharded
 //                                               fleet F(t) sweep
+//   obdrel serve <config> [--socket <path> | --stdin]  overload-safe
+//                                               reliability query daemon
 //   obdrel help | --help | -h   print usage to stdout, exit 0
+//   obdrel <cmd> help           same, for every subcommand
 //
 // Global flags:
 //   --strict      escalate degraded results to errors (exit code 6)
@@ -65,6 +68,16 @@
 //   Workers never receive --strict: strictness is supervisor policy
 //   (degraded exit after the report), not a reason to kill workers.
 //
+// Serve config keys (obdrel serve; flags of the same name win):
+//   serve_socket      unix socket path                   (default obdrel.sock)
+//   serve_stdin       bool: serve stdin -> stdout        (default false)
+//   serve_cache_dir   durable table-cache directory      (default off)
+//   serve_cache_mb    memory-tier cache budget [MiB]     (default 256)
+//   serve_queue       admission queue bound              (default 1024)
+//   serve_batch       queries coalesced per batch        (default 64)
+//   serve_deadline_ms default per-request deadline, 0=off (default 0)
+//   serve_n_gamma / serve_n_b   served-table dimensions  (default 100)
+//
 // DRM-run config keys (obdrel drm run):
 //   ladder        DVFS rungs `name:vdd:freq,...` slow->fast
 //                 (default eco:1.0:1.2e9,mid:1.1:1.7e9,turbo:1.25:2.3e9)
@@ -110,6 +123,8 @@
 #include "fleet/shard.hpp"
 #include "fleet/supervisor.hpp"
 #include "power/power.hpp"
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
 #include "simd/dispatch.hpp"
 #include "thermal/solver.hpp"
 
@@ -649,6 +664,60 @@ int cmd_fleet(const Config& cfg, const std::string& cfg_path,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// obdrel serve: overload-safe reliability query daemon (src/serve)
+// ---------------------------------------------------------------------------
+
+struct ServeFlags {
+  std::string socket;     ///< empty: take the serve_socket config key
+  bool use_stdin = false;
+  std::string cache_dir;  ///< empty: take the serve_cache_dir config key
+  long long cache_mb = -1;     ///< -1: take the config key
+  long long queue = -1;        ///< -1: take the config key
+  long long batch = -1;        ///< -1: take the config key
+  long long deadline_ms = -1;  ///< -1: take the config key
+};
+
+int cmd_serve(const Config& cfg, const ServeFlags& sf) {
+  serve::EngineOptions eo;
+  eo.cache.dir = !sf.cache_dir.empty()
+                     ? sf.cache_dir
+                     : cfg.get_string("serve_cache_dir", "");
+  const long long mb = sf.cache_mb >= 0
+                           ? sf.cache_mb
+                           : static_cast<long long>(
+                                 cfg.get_count("serve_cache_mb", 256));
+  require(mb > 0, ErrorCode::kConfig,
+          "serve: cache budget must be a positive MiB count");
+  eo.cache.byte_budget = static_cast<std::size_t>(mb) << 20;
+  eo.n_gamma = cfg.get_count("serve_n_gamma", 100);
+  eo.n_b = cfg.get_count("serve_n_b", 100);
+  eo.deadline_ms = sf.deadline_ms >= 0
+                       ? static_cast<double>(sf.deadline_ms)
+                       : cfg.get_double("serve_deadline_ms", 0.0);
+  require(eo.deadline_ms >= 0.0, ErrorCode::kConfig,
+          "serve: serve_deadline_ms must be non-negative (0 disables)");
+
+  serve::ServerOptions so;
+  so.use_stdin = sf.use_stdin || cfg.get_bool("serve_stdin", false);
+  so.socket_path =
+      !sf.socket.empty() ? sf.socket : cfg.get_string("serve_socket",
+                                                      "obdrel.sock");
+  so.queue_limit =
+      sf.queue >= 0 ? static_cast<std::size_t>(sf.queue)
+                    : cfg.get_count("serve_queue", 1024);
+  require(so.queue_limit >= 1, ErrorCode::kConfig,
+          "serve: admission queue bound must be at least 1");
+  so.batch_max = sf.batch >= 1 ? static_cast<std::size_t>(sf.batch)
+                               : cfg.get_count("serve_batch", 64);
+  so.stop_flag = &g_signal;
+
+  serve::QueryEngine engine(cfg, eo);
+  install_shutdown_handlers();
+  serve::Server server(engine, so);
+  return server.run();
+}
+
 int usage(std::FILE* out, int rc) {
   std::fprintf(out,
                "usage: obdrel [--strict] analyze <config>\n"
@@ -669,7 +738,12 @@ int usage(std::FILE* out, int rc) {
                "[--heartbeat-ms <ms>]\n"
                "           [--fleet-parallel <n>] [--chaos-kill <rate>] "
                "[--chaos-stop <rate>]\n"
-               "       obdrel help | --help | -h\n"
+               "       obdrel [--strict] serve <config> "
+               "[--socket <path> | --stdin]\n"
+               "           [--cache-dir <dir>] [--cache-mb <n>] "
+               "[--queue <n>] [--batch <n>]\n"
+               "           [--deadline-ms <ms>]\n"
+               "       obdrel help | --help | -h   (or: obdrel <cmd> help)\n"
                "\n"
                "--strict escalates degraded results to errors.\n"
                "--threads <n> sizes the shared analysis pool (0 = auto);\n"
@@ -685,6 +759,11 @@ int usage(std::FILE* out, int rc) {
                "worker processes with per-shard checkpoints: any crash\n"
                "schedule (and any K / thread count) yields a byte-identical\n"
                "report, and rerunning the command resumes durable state.\n"
+               "serve runs a long-lived F(t) query daemon over a unix\n"
+               "socket (or stdin with --stdin): newline-framed key=value\n"
+               "requests, an LRU table cache with an optional durable disk\n"
+               "tier (--cache-dir), bounded-queue load shedding, deadline\n"
+               "degradation, and SIGTERM/SIGINT graceful drain.\n"
                "exit codes: 0 ok, 1 internal, 2 config/usage, 3 io,\n"
                "            4 invalid input, 5 nonconvergence, 6 degraded "
                "(strict)\n");
@@ -738,6 +817,7 @@ int main(int argc, char** argv) {
   drm::RuntimeOptions ropts;
   ropts.checkpoint_every = 0;  // 0 = take the config key / default
   FleetFlags ff;
+  ServeFlags sf;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--strict") {
@@ -749,6 +829,10 @@ int main(int argc, char** argv) {
       ropts.resume = true;
       continue;
     }
+    if (a == "--stdin") {
+      sf.use_stdin = true;
+      continue;
+    }
     if (a == "--checkpoint-dir" || a == "--checkpoint-every" ||
         a == "--threads" || a == "--chips" || a == "--shards" ||
         a == "--worker" || a == "--fleet-dir" || a == "--max-restarts" ||
@@ -756,7 +840,9 @@ int main(int argc, char** argv) {
         a == "--stale-ms" || a == "--heartbeat-ms" || a == "--poll-ms" ||
         a == "--fleet-parallel" || a == "--chaos-kill" ||
         a == "--chaos-stop" || a == "--chaos-stop-ms" ||
-        a == "--chaos-seed") {
+        a == "--chaos-seed" || a == "--socket" || a == "--cache-dir" ||
+        a == "--cache-mb" || a == "--queue" || a == "--batch" ||
+        a == "--deadline-ms") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error [config]: %s needs a value\n",
                      a.c_str());
@@ -769,6 +855,14 @@ int main(int argc, char** argv) {
       }
       if (a == "--fleet-dir") {
         ff.dir = value;
+        continue;
+      }
+      if (a == "--socket") {
+        sf.socket = value;
+        continue;
+      }
+      if (a == "--cache-dir") {
+        sf.cache_dir = value;
         continue;
       }
       if (a == "--chaos-kill" || a == "--chaos-stop") {
@@ -826,6 +920,10 @@ int main(int argc, char** argv) {
         else if (a == "--fleet-parallel") ff.max_parallel = u;
         else if (a == "--chaos-stop-ms") ff.chaos_stop_ms = u;
         else if (a == "--chaos-seed") ff.chaos_seed = u;
+        else if (a == "--cache-mb") sf.cache_mb = n;
+        else if (a == "--queue") sf.queue = n;
+        else if (a == "--batch") sf.batch = n;
+        else if (a == "--deadline-ms") sf.deadline_ms = n;
       }
       continue;
     }
@@ -839,9 +937,27 @@ int main(int argc, char** argv) {
   try {
     fault::arm_from_env();
     simd::init_from_env();
-    if (!args.empty() && args[0] == "help") return usage(stdout, 0);
-    if (args.size() < 2) return usage();
+    if (args.empty()) return usage();
     const std::string& cmd = args[0];
+    if (cmd == "help") return usage(stdout, 0);
+    // Reject unknown subcommands by name before any argument-count check:
+    // `obdrel analzye cfg` must say what is wrong, not print bare usage.
+    static const char* kCommands[] = {"analyze", "report", "thermal",
+                                      "lut",     "drm",    "fleet",
+                                      "serve"};
+    bool known = false;
+    for (const char* c : kCommands) known = known || cmd == c;
+    if (!known) {
+      std::fprintf(stderr,
+                   "error [config]: unknown subcommand '%s' (valid: "
+                   "analyze, report, thermal, lut, drm, fleet, serve, "
+                   "help)\n",
+                   cmd.c_str());
+      return usage();
+    }
+    // `obdrel <cmd> help` mirrors `obdrel help`: usage to stdout, exit 0.
+    if (args.size() >= 2 && args[1] == "help") return usage(stdout, 0);
+    if (args.size() < 2) return usage();
     if (cmd == "analyze" || cmd == "report" || cmd == "thermal") {
       const Config cfg = Config::parse_file(args[1]);
       apply_runtime_options(cfg, strict_flag, threads_flag);
@@ -866,6 +982,11 @@ int main(int argc, char** argv) {
       const Config cfg = Config::parse_file(args[1]);
       apply_runtime_options(cfg, strict_flag, threads_flag);
       return finish(cmd_fleet(cfg, args[1], ff, threads_flag, argv[0]));
+    }
+    if (cmd == "serve") {
+      const Config cfg = Config::parse_file(args[1]);
+      apply_runtime_options(cfg, strict_flag, threads_flag);
+      return finish(cmd_serve(cfg, sf));
     }
     return usage();
   } catch (const Error& e) {
