@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -95,6 +96,8 @@ double Config::get_double(const std::string& key) const {
     const double v = std::stod(raw, &pos);
     require(trim(raw.substr(pos)).empty(), ErrorCode::kConfig,
             "Config: key '" + key + "': trailing characters");
+    require(std::isfinite(v), ErrorCode::kConfig,
+            "Config: key '" + key + "': must be finite, got '" + raw + "'");
     return v;
   } catch (const Error&) {
     throw;
@@ -155,7 +158,16 @@ std::vector<double> Config::get_doubles(
   std::string tok;
   while (is >> tok) {
     try {
-      out.push_back(std::stod(tok));
+      std::size_t pos = 0;
+      const double v = std::stod(tok, &pos);
+      require(pos == tok.size(), ErrorCode::kConfig,
+              "Config: key '" + key + "': trailing characters in '" + tok +
+                  "'");
+      require(std::isfinite(v), ErrorCode::kConfig,
+              "Config: key '" + key + "': must be finite, got '" + tok + "'");
+      out.push_back(v);
+    } catch (const Error&) {
+      throw;
     } catch (const std::exception&) {
       throw Error("Config: key '" + key + "': cannot parse '" + tok + "'",
                   ErrorCode::kConfig);

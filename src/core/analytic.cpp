@@ -77,7 +77,8 @@ AnalyticAnalyzer::AnalyticAnalyzer(const ReliabilityProblem& problem,
 }
 
 double AnalyticAnalyzer::failure_probability(double t) const {
-  return failure_from_nodes(problem_->blocks(), nodes_, t);
+  return failure_from_nodes(problem_->blocks(), nodes_, t,
+                            problem_->mechanisms());
 }
 
 double AnalyticAnalyzer::lifetime_at(double target) const {
@@ -207,7 +208,8 @@ StMcAnalyzer::StMcAnalyzer(const ReliabilityProblem& problem,
 }
 
 double StMcAnalyzer::failure_probability(double t) const {
-  return failure_from_nodes(problem_->blocks(), nodes_, t);
+  return failure_from_nodes(problem_->blocks(), nodes_, t,
+                            problem_->mechanisms());
 }
 
 double StMcAnalyzer::lifetime_at(double target) const {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "common/diagnostics.hpp"
 #include "common/error.hpp"
 
 namespace obd::core {
@@ -63,7 +65,22 @@ TabulatedReliabilityModel TabulatedReliabilityModel::from_model(
   return TabulatedReliabilityModel(std::move(rows), vdd_ref, gamma_v);
 }
 
+void TabulatedReliabilityModel::note_extrapolation(double temp_c) const {
+  if (temp_c >= rows_.front().temp_c && temp_c <= rows_.back().temp_c) return;
+  // One-shot per table (like mc.binning): only the first out-of-range
+  // query reports, so a temperature sweep past the table edge does not
+  // flood the collector.
+  if (extrapolation_warned_->exchange(true)) return;
+  std::ostringstream msg;
+  msg << "temperature " << temp_c << " C outside tabulated range ["
+      << rows_.front().temp_c << ", " << rows_.back().temp_c
+      << "] C; clamping to the nearest row (add table rows to cover the "
+         "operating range)";
+  diagnostics().warn("device.table_extrapolate", msg.str());
+}
+
 double TabulatedReliabilityModel::alpha(double temp_c, double vdd) const {
+  note_extrapolation(temp_c);
   // Locate the bracketing rows (clamped extrapolation at the edges).
   std::size_t hi = 1;
   while (hi + 1 < rows_.size() && rows_[hi].temp_c < temp_c) ++hi;
@@ -77,6 +94,7 @@ double TabulatedReliabilityModel::alpha(double temp_c, double vdd) const {
 }
 
 double TabulatedReliabilityModel::b(double temp_c, double /*vdd*/) const {
+  note_extrapolation(temp_c);
   std::size_t hi = 1;
   while (hi + 1 < rows_.size() && rows_[hi].temp_c < temp_c) ++hi;
   const auto& r0 = rows_[hi - 1];

@@ -18,6 +18,7 @@
 //    from measured test structures in practice), linearly interpolated.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -98,9 +99,16 @@ class TabulatedReliabilityModel final : public DeviceReliabilityModel {
   [[nodiscard]] double b(double temp_c, double vdd) const override;
 
  private:
+  void note_extrapolation(double temp_c) const;
+
   std::vector<ReliabilityTableRow> rows_;
   double vdd_ref_;
   double gamma_v_;
+  /// One-shot latch for the clamped-extrapolation diagnostic, shared
+  /// across copies (from_model returns by value) so the warn fires once
+  /// per table, not once per copy, and stays rate-limited under threads.
+  std::shared_ptr<std::atomic<bool>> extrapolation_warned_ =
+      std::make_shared<std::atomic<bool>>(false);
 };
 
 }  // namespace obd::core

@@ -80,6 +80,9 @@ void fill_bin_factors(double gb, double x_lo, double step, std::size_t bins,
 MonteCarloAnalyzer::MonteCarloAnalyzer(const ReliabilityProblem& problem,
                                        const MonteCarloOptions& options)
     : problem_(&problem), options_(options) {
+  require(!problem.mechanisms().has_redundancy(), ErrorCode::kInvalidInput,
+          "MonteCarloAnalyzer: redundancy spare groups are not supported on "
+          "the Monte Carlo path (use the analytic or hybrid evaluators)");
   require(options.chip_samples >= 10,
           "MonteCarloAnalyzer: need at least 10 sample chips");
   require(options.thickness_bins >= 16,
@@ -126,6 +129,9 @@ MonteCarloAnalyzer::MonteCarloAnalyzer(StreamingTag,
                                        const ReliabilityProblem& problem,
                                        const MonteCarloOptions& options)
     : problem_(&problem), options_(options) {
+  require(!problem.mechanisms().has_redundancy(), ErrorCode::kInvalidInput,
+          "MonteCarloAnalyzer: redundancy spare groups are not supported on "
+          "the Monte Carlo path (use the analytic or hybrid evaluators)");
   require(options.thickness_bins >= 16,
           "MonteCarloAnalyzer: need at least 16 thickness bins");
   init_axis();
@@ -171,13 +177,32 @@ MonteCarloAnalyzer::RangePartial MonteCarloAnalyzer::accumulate_chip_range(
   // discarded. No tiling, no threading — the caller owns parallelism at
   // range granularity, which is what keeps fleet results independent of
   // shard and thread counts.
+  // With aging mechanisms enabled (and no redundancy — the constructor
+  // rejects it here), the deterministic aging survival S(t) separates
+  // from the sampled oxide term: per chip F' = 1 - (1 - F_oxide) S(t).
+  const mech::MechanismStack& stack = problem_->mechanisms();
+  std::vector<double> extra_s;
+  if (stack.extra_count() > 0) {
+    extra_s.resize(nt);
+    for (std::size_t ti = 0; ti < nt; ++ti)
+      extra_s[ti] = stack.extra_survival(ts[ti]);
+  }
   for (std::uint64_t i = chip_begin; i < chip_end; ++i) {
     stats::Rng rng = stats::Rng::stream(options_.seed, i);
     const ChipSample chip = sample_chip(rng);
-    for (std::size_t ti = 0; ti < nt; ++ti) {
-      const double f = -std::expm1(-chip_exponent_ctx(chip, ctx, ti));
-      out.sum_f[ti] += f;
-      out.sum_f2[ti] += f * f;
+    if (extra_s.empty()) {
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        const double f = -std::expm1(-chip_exponent_ctx(chip, ctx, ti));
+        out.sum_f[ti] += f;
+        out.sum_f2[ti] += f * f;
+      }
+    } else {
+      for (std::size_t ti = 0; ti < nt; ++ti) {
+        const double f_ox = -std::expm1(-chip_exponent_ctx(chip, ctx, ti));
+        const double f = 1.0 - (1.0 - f_ox) * extra_s[ti];
+        out.sum_f[ti] += f;
+        out.sum_f2[ti] += f * f;
+      }
     }
   }
   return out;
@@ -574,6 +599,16 @@ std::vector<double> MonteCarloAnalyzer::failure_probabilities(
       },
       options_.threads);
   for (double& s : sums) s /= static_cast<double>(chips_.size());
+  // Aging mechanisms are deterministic at the blocks' default operating
+  // points, so they fold in after the oxide ensemble mean:
+  // E[1 - (1 - F_ox) S(t)] = 1 - (1 - E[F_ox]) S(t).
+  const mech::MechanismStack& stack = problem_->mechanisms();
+  if (stack.extra_count() > 0) {
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+      sums[ti] = std::clamp(
+          1.0 - (1.0 - sums[ti]) * stack.extra_survival(ts[ti]), 0.0, 1.0);
+    }
+  }
   return sums;
 }
 
@@ -621,6 +656,13 @@ std::vector<double> MonteCarloAnalyzer::failure_std_errors(
         0.0, (m[nt + ti] - m[ti] * m[ti] / n) / (n - 1.0));
     out[ti] = std::sqrt(var / n);
   }
+  // The per-chip transform f' = 1 - (1 - f) S(t) is affine in f, so the
+  // standard error scales by the deterministic aging survival S(t).
+  const mech::MechanismStack& stack = problem_->mechanisms();
+  if (stack.extra_count() > 0) {
+    for (std::size_t ti = 0; ti < nt; ++ti)
+      out[ti] *= stack.extra_survival(ts[ti]);
+  }
   return out;
 }
 
@@ -641,7 +683,13 @@ double MonteCarloAnalyzer::failure_probability_reference(double t) const {
         return s;
       },
       [](double a, double b) { return a + b; }, options_.threads);
-  return sum / static_cast<double>(chips_.size());
+  const double mean = sum / static_cast<double>(chips_.size());
+  const mech::MechanismStack& stack = problem_->mechanisms();
+  if (stack.extra_count() > 0) {
+    return std::clamp(1.0 - (1.0 - mean) * stack.extra_survival(t), 0.0,
+                      1.0);
+  }
+  return mean;
 }
 
 double MonteCarloAnalyzer::lifetime_at(double target) const {
@@ -657,6 +705,9 @@ std::vector<double> MonteCarloAnalyzer::kth_failure_probabilities(
     require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
   require(k >= 1, "MonteCarloAnalyzer: k must be >= 1");
   if (k == 1) return failure_probabilities(ts);
+  require(problem_->mechanisms().trivial(), ErrorCode::kInvalidInput,
+          "MonteCarloAnalyzer: k-th breakdown order statistics count oxide "
+          "breakdown events only; disable aging mechanisms for k > 1");
   if (ts.empty()) return {};
   const EvalContext ctx = build_eval_context(ts);
   const std::size_t nt = ts.size();
@@ -707,6 +758,7 @@ std::vector<double> MonteCarloAnalyzer::sample_failure_times(
   // streams, so the simulation is reproducible and thread-count invariant
   // while still depending on the caller's generator state.
   const std::uint64_t base = rng();
+  const mech::MechanismStack& stack = problem_->mechanisms();
   std::vector<double> times(count);
   par::parallel_for(
       0, count, kSimulateChunk,
@@ -723,7 +775,20 @@ std::vector<double> MonteCarloAnalyzer::sample_failure_times(
                 return chip_exponent(chip, std::exp(log_t)) - e;
               },
               std::log(1e6), std::log(1e12), 1e-9);
-          times[i] = std::exp(s);
+          double t_chip = std::exp(s);
+          // Competing risks: draw each aging mechanism's per-block TTF by
+          // inverse-CDF sampling and keep the earliest failure. The draws
+          // happen after every oxide use of the chip stream, so the
+          // default (no extras) consumes exactly the seed RNG sequence.
+          for (const auto& mech : stack.extras()) {
+            for (std::size_t j = 0; j < stack.block_count(); ++j) {
+              const double t_m = mech->block_time_at(
+                  j, chip_rng.uniform_positive(),
+                  stack.default_conditions(j));
+              if (t_m > 0.0) t_chip = std::min(t_chip, t_m);
+            }
+          }
+          times[i] = t_chip;
         }
       },
       options_.threads);

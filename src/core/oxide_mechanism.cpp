@@ -1,0 +1,46 @@
+#include "core/oxide_mechanism.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "numeric/roots.hpp"
+
+namespace obd::core {
+
+OxideMechanism::OxideMechanism(const ReliabilityProblem& problem,
+                               const AnalyticOptions& options,
+                               const DeviceReliabilityModel* model)
+    : problem_(&problem), model_(model), analyzer_(problem, options) {}
+
+double OxideMechanism::block_cdf(std::size_t j, double t,
+                                 const mech::OperatingConditions& c) const {
+  require(j < problem_->blocks().size(), "OxideMechanism::block_cdf: index");
+  if (model_ == nullptr) {
+    // Baked-in operating point: exactly the analytic per-block kernel.
+    return analyzer_.block_failure(j, t);
+  }
+  BlockParams block = problem_->blocks()[j];
+  block.alpha = model_->alpha(c.temp_c, c.vdd);
+  block.b = model_->b(c.temp_c, c.vdd);
+  block.temp_c = c.temp_c;
+  return block_failure_from_nodes(block, analyzer_.nodes()[j], t);
+}
+
+double OxideMechanism::block_time_at(std::size_t j, double f,
+                                     const mech::OperatingConditions& c) const {
+  require(j < problem_->blocks().size(),
+          "OxideMechanism::block_time_at: index");
+  if (!(f > 0.0)) return 0.0;
+  const double target = std::min(f, 1.0 - 1e-12);
+  // Invert the monotone per-block CDF in log time (the same bracket the
+  // MC sampler uses for its per-chip root-find).
+  const auto g = [&](double log_t) {
+    return block_cdf(j, std::exp(log_t), c) - target;
+  };
+  const double log_t = num::brent_auto_bracket(
+      g, std::log(1e6), std::log(1e12), 1e-12, 2.0, 60);
+  return std::exp(log_t);
+}
+
+}  // namespace obd::core

@@ -1,0 +1,53 @@
+// The paper's gate-oxide breakdown model wrapped behind the
+// mech::FailureMechanism interface.
+//
+// The direct evaluators (analytic/hybrid/MC) keep their existing hot
+// paths — this adapter exists for interface-level consumers (mechanism
+// stacks, the future surrogate tier) and is pinned by a test to be
+// bit-for-bit identical to AnalyticAnalyzer::block_failure: it evaluates
+// the same per-block quadrature node list through the same
+// block_failure_from_nodes kernel.
+//
+// Conditions semantics: the wrapped problem already bakes each block's
+// (alpha_j, b_j) at its operating temperature, so block_cdf ignores the
+// conditions argument unless a DeviceReliabilityModel is supplied, in
+// which case alpha/b are re-derived at the requested temperature and
+// supply (the DRM rung path).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/analytic.hpp"
+#include "core/problem.hpp"
+#include "core/uv_nodes.hpp"
+#include "mech/mechanism.hpp"
+
+namespace obd::core {
+
+class OxideMechanism final : public mech::FailureMechanism {
+ public:
+  /// Wraps `problem`'s blocks and an AnalyticAnalyzer's node lists.
+  /// When `model` is non-null, block_cdf re-derives (alpha, b) from it at
+  /// the conditions' temperature/supply instead of the baked-in values.
+  explicit OxideMechanism(const ReliabilityProblem& problem,
+                          const AnalyticOptions& options = {},
+                          const DeviceReliabilityModel* model = nullptr);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] double block_cdf(std::size_t j, double t,
+                                 const mech::OperatingConditions& c)
+      const override;
+  [[nodiscard]] double block_time_at(std::size_t j, double f,
+                                     const mech::OperatingConditions& c)
+      const override;
+
+ private:
+  std::string name_ = "oxide";
+  const ReliabilityProblem* problem_;
+  const DeviceReliabilityModel* model_;
+  AnalyticAnalyzer analyzer_;
+};
+
+}  // namespace obd::core

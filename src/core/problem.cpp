@@ -55,6 +55,21 @@ ReliabilityProblem ReliabilityProblem::build(
             "ReliabilityProblem: invalid device model output");
     p.blocks_.push_back(std::move(bp));
   }
+
+  // Resolve the mechanism/redundancy spec once against this design: per
+  // block, aging mechanisms see the block temperature, the chip supply,
+  // and the design's mean switching activity as default conditions.
+  std::vector<std::string> names;
+  std::vector<mech::OperatingConditions> conditions;
+  names.reserve(design.blocks.size());
+  conditions.reserve(design.blocks.size());
+  for (std::size_t j = 0; j < design.blocks.size(); ++j) {
+    names.push_back(design.blocks[j].name);
+    conditions.push_back(
+        {block_temps_c[j], vdd, design.blocks[j].activity});
+  }
+  p.mech_ = std::make_shared<const mech::MechanismStack>(
+      options.mechanisms, names, std::move(conditions));
   return p;
 }
 

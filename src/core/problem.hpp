@@ -17,6 +17,8 @@
 #include "chip/design.hpp"
 #include "core/blod.hpp"
 #include "core/device_model.hpp"
+#include "mech/spec.hpp"
+#include "mech/stack.hpp"
 #include "variation/model.hpp"
 #include "variation/quadtree.hpp"
 
@@ -62,6 +64,9 @@ struct ProblemOptions {
   /// truncated subspace iteration that converges only the kept leading
   /// components (worthwhile for large grids with variance_capture < 1).
   var::EigenSolver eigen_solver = var::EigenSolver::kDense;
+  /// Failure mechanisms and unit-level redundancy. The default (oxide
+  /// only, no spare groups) reproduces the seed behavior bit-for-bit.
+  mech::MechanismSpec mechanisms{};
 };
 
 /// Immutable assembled problem. Create via build().
@@ -91,6 +96,12 @@ class ReliabilityProblem {
   [[nodiscard]] double vdd() const { return vdd_; }
   [[nodiscard]] const ProblemOptions& options() const { return options_; }
 
+  /// Competing-risks composition engine (aging mechanisms + redundancy),
+  /// resolved once at build time. Trivial for the default spec.
+  [[nodiscard]] const mech::MechanismStack& mechanisms() const {
+    return *mech_;
+  }
+
   /// Worst (hottest) block temperature — the guard-band corner.
   [[nodiscard]] double worst_temp_c() const;
 
@@ -110,6 +121,8 @@ class ReliabilityProblem {
   std::shared_ptr<const var::CanonicalForm> canonical_;
   var::BlockGridLayout layout_;
   std::vector<BlockParams> blocks_;
+  std::shared_ptr<const mech::MechanismStack> mech_ =
+      std::make_shared<mech::MechanismStack>();
 };
 
 }  // namespace obd::core

@@ -29,6 +29,15 @@ SignOffReport make_signoff_report(const ReliabilityProblem& problem,
     report.temp_min_c = std::min(report.temp_min_c, b.temp_c);
     report.temp_max_c = std::max(report.temp_max_c, b.temp_c);
   }
+  {
+    const mech::MechanismSpec& spec = problem.mechanisms().spec();
+    std::string names = "oxide";
+    if (spec.nbti) names += ",nbti";
+    if (spec.em) names += ",em";
+    if (spec.hci) names += ",hci";
+    report.mechanisms = names;
+    report.redundancy_groups = spec.redundancy.size();
+  }
 
   const AnalyticAnalyzer fast(problem);
   const GuardBandAnalyzer guard(problem);
@@ -55,7 +64,15 @@ std::string SignOffReport::render() const {
   os << "== OBD reliability sign-off: " << design_name << " ==\n";
   os << devices << " devices, " << blocks << " blocks, Vdd " << fmt(vdd, 2)
      << " V, T " << fmt(temp_min_c, 1) << ".." << fmt(temp_max_c, 1)
-     << " C\n\n";
+     << " C\n";
+  if (mechanisms != "oxide" || redundancy_groups > 0) {
+    os << "Mechanisms: " << mechanisms;
+    if (redundancy_groups > 0)
+      os << " (" << redundancy_groups << " spare group"
+         << (redundancy_groups == 1 ? "" : "s") << ")";
+    os << "\n";
+  }
+  os << "\n";
 
   TextTable lt({"target", "statistical [y]", "guard-band [y]",
                 "guard pessimism"});

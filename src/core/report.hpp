@@ -20,6 +20,11 @@ struct SignOffReport {
   double vdd = 0.0;
   double temp_min_c = 0.0;
   double temp_max_c = 0.0;
+  /// Mechanism composition summary ("oxide" for the seed default; e.g.
+  /// "oxide,nbti,em,hci" with 4 mechanisms). Rendered only when it
+  /// differs from the default so default reports stay byte-identical.
+  std::string mechanisms = "oxide";
+  std::size_t redundancy_groups = 0;
 
   struct LifetimeRow {
     double target = 0.0;       ///< failure quantile

@@ -33,4 +33,19 @@ double failure_from_nodes(const std::vector<BlockParams>& blocks,
   return std::clamp(-std::expm1(log_survival), 0.0, 1.0);
 }
 
+double failure_from_nodes(const std::vector<BlockParams>& blocks,
+                          const std::vector<std::vector<UvNode>>& nodes,
+                          double t, const mech::MechanismStack& stack) {
+  if (stack.trivial()) return failure_from_nodes(blocks, nodes, t);
+  require(nodes.size() == blocks.size(),
+          "failure_from_nodes: one node list per block required");
+  thread_local std::vector<double> oxide_f;
+  oxide_f.resize(blocks.size());
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    oxide_f[j] = std::clamp(
+        block_failure_from_nodes(blocks[j], nodes[j], t), 0.0, 1.0);
+  }
+  return stack.compose(oxide_f.data(), t);
+}
+
 }  // namespace obd::core

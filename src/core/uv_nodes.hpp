@@ -36,6 +36,13 @@ double failure_from_nodes(const std::vector<BlockParams>& blocks,
                           const std::vector<std::vector<UvNode>>& nodes,
                           double t);
 
+/// Mechanism-aware variant: composes the per-block oxide failures with the
+/// stack's aging mechanisms and spare groups. With a trivial stack this is
+/// bit-identical to the three-argument overload (same loop, same op order).
+double failure_from_nodes(const std::vector<BlockParams>& blocks,
+                          const std::vector<std::vector<UvNode>>& nodes,
+                          double t, const mech::MechanismStack& stack);
+
 /// Failure contribution of a single block from its node list.
 double block_failure_from_nodes(const BlockParams& block,
                                 const std::vector<UvNode>& nodes, double t);

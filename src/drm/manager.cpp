@@ -23,7 +23,10 @@ ReliabilityManager::ReliabilityManager(
       ladder_(std::move(ladder)),
       options_(options),
       lut_(problem),
-      block_damage_(problem.blocks().size(), 0.0) {
+      block_damage_(problem.blocks().size(), 0.0),
+      extra_damage_(
+          problem.mechanisms().extra_count() * problem.blocks().size(),
+          0.0) {
   require(!ladder_.empty(), "ReliabilityManager: empty DVFS ladder");
   for (std::size_t i = 0; i < ladder_.size(); ++i) {
     require(ladder_[i].vdd > 0.0 && ladder_[i].frequency > 0.0,
@@ -46,24 +49,35 @@ double ReliabilityManager::budget_line(double t) const {
 double ReliabilityManager::damage() const {
   double total = 0.0;
   for (double d : block_damage_) total += d;
+  for (double d : extra_damage_) total += d;
   return total;
 }
 
+std::vector<double> ReliabilityManager::damage_state() const {
+  std::vector<double> state = block_damage_;
+  state.insert(state.end(), extra_damage_.begin(), extra_damage_.end());
+  return state;
+}
+
 void ReliabilityManager::restore_state(
-    const std::vector<double>& block_damage, double elapsed_s,
+    const std::vector<double>& damage_state, double elapsed_s,
     std::size_t last_op_index) {
-  require(block_damage.size() == block_damage_.size(),
+  require(damage_state.size() == state_size(),
           "ReliabilityManager: restored damage vector has " +
-              std::to_string(block_damage.size()) + " entries, expected " +
-              std::to_string(block_damage_.size()));
-  for (double d : block_damage)
+              std::to_string(damage_state.size()) + " entries, expected " +
+              std::to_string(state_size()));
+  for (double d : damage_state)
     require(std::isfinite(d) && d >= 0.0 && d <= 1.0,
             "ReliabilityManager: restored block damage out of [0, 1]");
   require(std::isfinite(elapsed_s) && elapsed_s >= 0.0,
           "ReliabilityManager: restored elapsed time is invalid");
   require(last_op_index < ladder_.size(),
           "ReliabilityManager: restored rung out of range");
-  block_damage_ = block_damage;
+  std::copy(damage_state.begin(),
+            damage_state.begin() + static_cast<long>(block_damage_.size()),
+            block_damage_.begin());
+  std::copy(damage_state.begin() + static_cast<long>(block_damage_.size()),
+            damage_state.end(), extra_damage_.begin());
   elapsed_s_ = elapsed_s;
   last_op_index_ = last_op_index;
 }
@@ -95,6 +109,10 @@ ReliabilityManager::Conditions ReliabilityManager::conditions_for(
   require(std::isfinite(c.max_temp_c), ErrorCode::kNonconvergence,
           "ReliabilityManager: thermal solve produced non-finite "
           "temperatures");
+  c.vdd = op.vdd;
+  c.temps_c = profile.block_temps_c;
+  c.activities.reserve(scaled.blocks.size());
+  for (const auto& b : scaled.blocks) c.activities.push_back(b.activity);
   c.alphas.reserve(profile.block_temps_c.size());
   c.bs.reserve(profile.block_temps_c.size());
   for (double t : profile.block_temps_c) {
@@ -139,9 +157,14 @@ ReliabilityManager::Conditions ReliabilityManager::guardband_conditions(
       std::max(options_.fallback_temp_c, problem_->worst_temp_c());
   Conditions c;
   c.max_temp_c = t_hot;
+  c.vdd = op.vdd;
   const std::size_t n = problem_->blocks().size();
   c.alphas.reserve(n);
   c.bs.reserve(n);
+  // Guard-band: hot corner, full activity — the pessimistic reading for
+  // every mechanism.
+  c.temps_c.assign(n, t_hot);
+  c.activities.assign(n, 1.0);
   for (std::size_t j = 0; j < n; ++j) {
     c.alphas.push_back(model_->alpha(t_hot, op.vdd));
     c.bs.push_back(model_->b(t_hot, op.vdd));
@@ -181,6 +204,37 @@ double ReliabilityManager::advanced_damage(std::size_t j, double d_j,
   return std::max(d_j, lut_.block_failure(j, gamma1, b_clamped));
 }
 
+double ReliabilityManager::advanced_extra_damage(
+    const mech::FailureMechanism& mechanism, std::size_t j, double d,
+    const mech::OperatingConditions& c, double dt) const {
+  // Effective age under the new conditions: the time at which the
+  // mechanism would have accumulated the consumed damage, then advance.
+  const double t0 = (d > 0.0) ? mechanism.block_time_at(j, d, c) : 0.0;
+  const double f = mechanism.block_cdf(j, t0 + dt, c);
+  return std::clamp(std::max(d, f), 0.0, 1.0);
+}
+
+double ReliabilityManager::project_extras(const Conditions& c, double dt,
+                                          std::vector<double>& out) const {
+  out.assign(extra_damage_.size(), 0.0);
+  if (extra_damage_.empty()) return 0.0;
+  const auto& extras = problem_->mechanisms().extras();
+  const std::size_t n = block_damage_.size();
+  double total = 0.0;
+  for (std::size_t m = 0; m < extras.size(); ++m) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const mech::OperatingConditions oc{c.temps_c[j], c.vdd,
+                                         c.activities[j]};
+      const double d = advanced_extra_damage(*extras[m], j,
+                                             extra_damage_[m * n + j], oc,
+                                             dt);
+      out[m * n + j] = d;
+      total += d;
+    }
+  }
+  return total;
+}
+
 DrmStep ReliabilityManager::step_fixed(std::size_t op_index,
                                        double workload_activity) {
   require(op_index < ladder_.size(), "ReliabilityManager: rung out of range");
@@ -204,6 +258,11 @@ DrmStep ReliabilityManager::step_fixed(std::size_t op_index,
   for (std::size_t j = 0; j < block_damage_.size(); ++j)
     block_damage_[j] = advanced_damage(j, block_damage_[j], c.alphas[j],
                                        c.bs[j], dt);
+  if (!extra_damage_.empty()) {
+    std::vector<double> advanced;
+    project_extras(c, dt, advanced);
+    extra_damage_ = std::move(advanced);
+  }
   elapsed_s_ += dt;
 
   out.op_index = op_index;
@@ -230,6 +289,7 @@ DrmStep ReliabilityManager::step(double workload_activity) {
   // keeps running.
   std::size_t chosen = 0;  // fallback: slowest rung
   std::vector<double> committed(block_damage_.size());
+  std::vector<double> committed_extra(extra_damage_.size(), 0.0);
   Conditions conditions;
   bool have_conditions = false;
   bool deadline_hit = false;
@@ -271,9 +331,13 @@ DrmStep ReliabilityManager::step(double workload_activity) {
                                      c.bs[j], dt);
       total += projected[j];
     }
+    std::vector<double> projected_extra;
+    if (!extra_damage_.empty())
+      total += project_extras(c, dt, projected_extra);
     if (total <= allowance || r == 0) {
       chosen = r;
       committed = std::move(projected);
+      committed_extra = std::move(projected_extra);
       conditions = std::move(c);
       have_conditions = true;
       break;
@@ -295,9 +359,12 @@ DrmStep ReliabilityManager::step(double workload_activity) {
       committed[j] = advanced_damage(j, block_damage_[j],
                                      conditions.alphas[j],
                                      conditions.bs[j], dt);
+    if (!extra_damage_.empty())
+      project_extras(conditions, dt, committed_extra);
   }
 
   block_damage_ = std::move(committed);
+  if (!extra_damage_.empty()) extra_damage_ = std::move(committed_extra);
   elapsed_s_ += dt;
 
   out.op_index = chosen;

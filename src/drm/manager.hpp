@@ -27,6 +27,7 @@
 #include "core/device_model.hpp"
 #include "core/hybrid.hpp"
 #include "core/problem.hpp"
+#include "mech/mechanism.hpp"
 #include "thermal/solver.hpp"
 
 namespace obd::drm {
@@ -106,22 +107,41 @@ class ReliabilityManager {
   /// Total consumed failure probability so far.
   [[nodiscard]] double damage() const;
 
-  /// Per-block consumed failure probability (aligned with
-  /// problem.blocks()) — the state a checkpoint must persist.
+  /// Per-block consumed oxide failure probability (aligned with
+  /// problem.blocks()).
   [[nodiscard]] const std::vector<double>& block_damage() const {
     return block_damage_;
+  }
+
+  /// Per-mechanism per-block aging damage, mechanism-major (aligned with
+  /// problem.mechanisms().extras() x problem.blocks()). Empty when no
+  /// aging mechanisms are enabled.
+  [[nodiscard]] const std::vector<double>& extra_damage() const {
+    return extra_damage_;
+  }
+
+  /// Full damage state a checkpoint must persist: the oxide per-block
+  /// vector followed by the mechanism-major aging damage. With the
+  /// default spec this is exactly block_damage(), so seed-era snapshots
+  /// and journals keep their byte layout.
+  [[nodiscard]] std::vector<double> damage_state() const;
+
+  /// Number of entries in damage_state().
+  [[nodiscard]] std::size_t state_size() const {
+    return block_damage_.size() + extra_damage_.size();
   }
 
   /// Rung committed by the most recent step (slowest rung before any step
   /// has run) — the decision the watchdog falls back to.
   [[nodiscard]] std::size_t last_op_index() const { return last_op_index_; }
 
-  /// Restores accumulated state from a checkpoint: per-block damage,
-  /// elapsed lifetime, and the last committed rung. Validates everything
-  /// (sizes, finiteness, non-negativity, rung range) and throws
-  /// Error(kInvalidInput) on any violation — a corrupt checkpoint must be
-  /// rejected here, not silently believed.
-  void restore_state(const std::vector<double>& block_damage,
+  /// Restores accumulated state from a checkpoint: the damage_state()
+  /// vector (state_size() entries), elapsed lifetime, and the last
+  /// committed rung. Validates everything (sizes, finiteness,
+  /// non-negativity, rung range) and throws Error(kInvalidInput) on any
+  /// violation — a corrupt checkpoint must be rejected here, not silently
+  /// believed.
+  void restore_state(const std::vector<double>& damage_state,
                      double elapsed_s, std::size_t last_op_index);
 
   /// Elapsed managed lifetime [s].
@@ -137,10 +157,15 @@ class ReliabilityManager {
   [[nodiscard]] const DrmOptions& options() const { return options_; }
 
  private:
-  /// Per-block Weibull parameters for a rung at the given workload.
+  /// Per-block operating state for a rung at the given workload: oxide
+  /// Weibull parameters plus the temperatures/activities the aging
+  /// mechanisms accelerate with.
   struct Conditions {
     std::vector<double> alphas;
     std::vector<double> bs;
+    std::vector<double> temps_c;
+    std::vector<double> activities;
+    double vdd = 0.0;
     double max_temp_c = 0.0;
   };
   [[nodiscard]] Conditions conditions_for(const OperatingPoint& op,
@@ -164,12 +189,27 @@ class ReliabilityManager {
                                        double alpha, double b,
                                        double dt) const;
 
+  /// Same effective-age recursion for one aging mechanism: invert the
+  /// mechanism CDF at the consumed damage under the new conditions, then
+  /// advance by dt. Damage never decreases.
+  [[nodiscard]] double advanced_extra_damage(
+      const mech::FailureMechanism& mechanism, std::size_t j, double d,
+      const mech::OperatingConditions& c, double dt) const;
+
+  /// Projects every aging mechanism's damage over `dt` under `c` into
+  /// `out` (mechanism-major, sized like extra_damage_) and returns the
+  /// projected sum. No-op returning 0 when no mechanisms are enabled.
+  double project_extras(const Conditions& c, double dt,
+                        std::vector<double>& out) const;
+
   const core::ReliabilityProblem* problem_;   // non-owning
   const core::DeviceReliabilityModel* model_; // non-owning
   std::vector<OperatingPoint> ladder_;
   DrmOptions options_;
   core::HybridEvaluator lut_;
   std::vector<double> block_damage_;
+  /// Mechanism-major aging damage: extra_damage_[m * n_blocks + j].
+  std::vector<double> extra_damage_;
   double elapsed_s_ = 0.0;
   std::size_t last_op_index_ = 0;
 };

@@ -62,7 +62,8 @@ bool parse_hex_u64(const std::string& token, std::uint64_t* out) {
 
 std::uint64_t compute_fingerprint(const std::vector<OperatingPoint>& ladder,
                                   const DrmOptions& options,
-                                  std::size_t n_blocks) {
+                                  std::size_t n_blocks,
+                                  const std::string& mechanisms) {
   std::ostringstream canon;
   canon << "blocks " << n_blocks << '\n';
   for (const auto& op : ladder)
@@ -73,6 +74,10 @@ std::uint64_t compute_fingerprint(const std::vector<OperatingPoint>& ladder,
         << "interval " << fmt_double(options.control_interval_s) << '\n'
         << "max_activity " << fmt_double(options.max_activity) << '\n'
         << "fallback_temp " << fmt_double(options.fallback_temp_c) << '\n';
+  // Appended only for non-default specs so seed-era checkpoints keep
+  // their fingerprints (a mechanism change must refuse foreign state —
+  // the damage-state layout differs).
+  if (mechanisms != "oxide") canon << "mechanisms " << mechanisms << '\n';
   return fnv1a(canon.str());
 }
 
@@ -87,8 +92,9 @@ DrmRuntime::DrmRuntime(const core::ReliabilityProblem& problem,
       opts_(std::move(runtime_options)) {
   require(opts_.checkpoint_dir.empty() || opts_.checkpoint_every > 0,
           "DrmRuntime: checkpoint_every must be positive");
-  fingerprint_ = compute_fingerprint(mgr_.ladder(), options,
-                                     problem.blocks().size());
+  fingerprint_ =
+      compute_fingerprint(mgr_.ladder(), options, problem.blocks().size(),
+                          problem.mechanisms().spec().canonical());
   if (!durable()) return;
 
   std::error_code ec;
@@ -132,9 +138,10 @@ std::string DrmRuntime::encode_snapshot() const {
       << "step " << step_count_ << '\n'
       << "elapsed " << fmt_double(mgr_.elapsed_s()) << '\n'
       << "rung " << mgr_.last_op_index() << '\n'
-      << "nd " << mgr_.block_damage().size() << '\n';
-  for (std::size_t j = 0; j < mgr_.block_damage().size(); ++j)
-    out << (j > 0 ? " " : "") << fmt_double(mgr_.block_damage()[j]);
+      << "nd " << mgr_.state_size() << '\n';
+  const std::vector<double> state = mgr_.damage_state();
+  for (std::size_t j = 0; j < state.size(); ++j)
+    out << (j > 0 ? " " : "") << fmt_double(state[j]);
   out << '\n';
   return out.str();
 }
@@ -154,7 +161,7 @@ std::string DrmRuntime::encode_record(const JournalRecord& rec) const {
 }
 
 bool DrmRuntime::decode_record(const std::string& payload,
-                               std::size_t n_blocks, JournalRecord* out) {
+                               std::size_t n_state, JournalRecord* out) {
   std::istringstream in(payload);
   std::string key, value;
   auto next = [&](const char* want) {
@@ -180,7 +187,7 @@ bool DrmRuntime::decode_record(const std::string& payload,
     return false;
   if (!next("nd")) return false;
   const std::size_t nd = std::strtoull(value.c_str(), nullptr, 10);
-  if (nd != n_blocks) return false;
+  if (nd != n_state) return false;
   out->block_damage.resize(nd);
   for (std::size_t j = 0; j < nd; ++j) {
     if (!(in >> value) || !parse_double(value, &out->block_damage[j]))
@@ -247,7 +254,7 @@ void DrmRuntime::recover() {
     std::size_t rung = 0;
     std::vector<double> damage;
   };
-  const std::size_t n_blocks = mgr_.block_damage().size();
+  const std::size_t n_state = mgr_.state_size();
   std::vector<Base> bases;
   bool snapshot_lost = false;  // a snapshot existed but was unusable
   for (int slot = 0; slot < 2; ++slot) {
@@ -273,7 +280,7 @@ void DrmRuntime::recover() {
              parse_double(value, &b.elapsed_s);
         ok = ok && (in >> key >> b.rung) && key == "rung";
         std::size_t nd = 0;
-        ok = ok && (in >> key >> nd) && key == "nd" && nd == n_blocks;
+        ok = ok && (in >> key >> nd) && key == "nd" && nd == n_state;
         if (ok) {
           b.damage.resize(nd);
           for (std::size_t j = 0; ok && j < nd; ++j)
@@ -307,7 +314,7 @@ void DrmRuntime::recover() {
   // before the first checkpoint was ever written).
   std::sort(bases.begin(), bases.end(),
             [](const Base& a, const Base& b) { return a.step > b.step; });
-  bases.push_back(Base{-1, 0, 0.0, 0, std::vector<double>(n_blocks, 0.0)});
+  bases.push_back(Base{-1, 0, 0.0, 0, std::vector<double>(n_state, 0.0)});
 
   // 2. Read both journal epochs. Torn tails are tolerated by design — the
   //    step whose append was interrupted is recomputed from telemetry.
@@ -321,7 +328,7 @@ void DrmRuntime::recover() {
                                             raw.tail_error + "); dropped");
     for (const std::string& payload : raw.records) {
       JournalRecord rec;
-      if (!decode_record(payload, n_blocks, &rec)) {
+      if (!decode_record(payload, n_state, &rec)) {
         // An intact frame with an undecodable payload breaks the chain at
         // this point — later records can no longer be trusted to extend
         // this trajectory.
@@ -441,7 +448,7 @@ DrmStep DrmRuntime::step(double workload_activity) {
   rec.outcome = out;
   rec.activity = workload_activity;
   rec.elapsed_s = mgr_.elapsed_s();
-  rec.block_damage = mgr_.block_damage();
+  rec.block_damage = mgr_.damage_state();
   try {
     if (journal_ == nullptr) open_journal(/*truncate=*/false);
     journal_->append(encode_record(rec));

@@ -119,6 +119,9 @@ class DrmRuntime {
     DrmStep outcome;
     double activity = 0.0;
     double elapsed_s = 0.0;
+    /// Full damage_state() vector (oxide per block, then mechanism-major
+    /// aging damage); named for the oxide-only era whose byte layout it
+    /// preserves.
     std::vector<double> block_damage;
   };
 
@@ -129,7 +132,7 @@ class DrmRuntime {
   [[nodiscard]] std::string encode_snapshot() const;
   [[nodiscard]] std::string encode_record(const JournalRecord& rec) const;
   [[nodiscard]] static bool decode_record(const std::string& payload,
-                                          std::size_t n_blocks,
+                                          std::size_t n_state,
                                           JournalRecord* out);
 
   void recover();

@@ -1,0 +1,102 @@
+#include "mech/mechanism.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/special.hpp"
+
+namespace obd::mech {
+
+double FailureMechanism::block_hazard(std::size_t j, double t,
+                                      const OperatingConditions& c) const {
+  if (!(t > 0.0)) return 0.0;
+  // Central finite difference on a relative step; the survival floor keeps
+  // the ratio defined deep in the upper tail.
+  const double h = std::max(1.0, 1e-6 * t);
+  const double f0 = block_cdf(j, std::max(0.0, t - h), c);
+  const double f1 = block_cdf(j, t + h, c);
+  const double density = std::max(0.0, (f1 - f0) / (2.0 * h));
+  const double survival = std::max(1e-300, 1.0 - block_cdf(j, t, c));
+  return density / survival;
+}
+
+LognormalMechanism::LognormalMechanism(std::string name,
+                                       const MechanismParams& params,
+                                       double tref_c, double vref)
+    : name_(std::move(name)),
+      params_(params),
+      tref_c_(tref_c),
+      vref_(vref),
+      log_t50_ref_s_(std::log(params.t50_years * kSecondsPerYear)) {
+  require(params_.t50_years > 0.0 && std::isfinite(params_.t50_years),
+          ErrorCode::kConfig,
+          "mechanism '" + name_ + "': t50_years must be positive and finite");
+  require(params_.sigma > 0.0 && std::isfinite(params_.sigma),
+          ErrorCode::kConfig,
+          "mechanism '" + name_ + "': sigma must be positive and finite");
+  require(std::isfinite(params_.ea_ev) && std::isfinite(params_.gamma_v) &&
+              std::isfinite(params_.activity_exp),
+          ErrorCode::kConfig,
+          "mechanism '" + name_ + "': acceleration parameters must be finite");
+  require(tref_c_ > -kKelvinOffset, ErrorCode::kConfig,
+          "mechanism '" + name_ + "': reference temperature below 0 K");
+}
+
+double LognormalMechanism::t50(const OperatingConditions& c) const {
+  const double t_k = c.temp_c + kKelvinOffset;
+  const double tref_k = tref_c_ + kKelvinOffset;
+  double log_t50 = log_t50_ref_s_;
+  // Arrhenius: positive Ea -> hotter is shorter-lived (1/T < 1/Tref).
+  log_t50 += (params_.ea_ev / kBoltzmannEv) * (1.0 / t_k - 1.0 / tref_k);
+  log_t50 -= params_.gamma_v * (c.vdd - vref_);
+  // Activity power law referenced to activity = 1; idle blocks age slower.
+  const double activity = std::clamp(c.activity, 1e-6, 10.0);
+  log_t50 -= params_.activity_exp * std::log(activity);
+  return std::exp(log_t50);
+}
+
+double LognormalMechanism::block_cdf(std::size_t /*j*/, double t,
+                                     const OperatingConditions& c) const {
+  if (!(t > 0.0)) return 0.0;
+  const double z = (std::log(t) - std::log(t50(c))) / params_.sigma;
+  return stats::normal_cdf(z);
+}
+
+double LognormalMechanism::block_time_at(std::size_t /*j*/, double f,
+                                         const OperatingConditions& c) const {
+  if (!(f > 0.0)) return 0.0;
+  const double fc = std::min(f, 1.0 - 1e-16);
+  return t50(c) * std::exp(params_.sigma * stats::normal_quantile(fc));
+}
+
+double LognormalMechanism::block_hazard(std::size_t /*j*/, double t,
+                                        const OperatingConditions& c) const {
+  if (!(t > 0.0)) return 0.0;
+  const double sigma = params_.sigma;
+  const double z = (std::log(t) - std::log(t50(c))) / sigma;
+  const double density =
+      std::exp(-0.5 * z * z) / (t * sigma * std::sqrt(2.0 * M_PI));
+  const double survival = std::max(1e-300, 1.0 - stats::normal_cdf(z));
+  return density / survival;
+}
+
+std::vector<std::unique_ptr<FailureMechanism>> make_aging_mechanisms(
+    const MechanismSpec& spec) {
+  std::vector<std::unique_ptr<FailureMechanism>> out;
+  if (spec.nbti) {
+    out.push_back(std::make_unique<LognormalMechanism>(
+        "nbti", spec.nbti_params, spec.tref_c, spec.vref));
+  }
+  if (spec.em) {
+    out.push_back(std::make_unique<LognormalMechanism>(
+        "em", spec.em_params, spec.tref_c, spec.vref));
+  }
+  if (spec.hci) {
+    out.push_back(std::make_unique<LognormalMechanism>(
+        "hci", spec.hci_params, spec.tref_c, spec.vref));
+  }
+  return out;
+}
+
+}  // namespace obd::mech

@@ -1,0 +1,176 @@
+#include "mech/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+
+namespace obd::mech {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string tok;
+  std::istringstream in(s);
+  while (std::getline(in, tok, sep)) out.push_back(trim(tok));
+  if (!s.empty() && s.back() == sep) out.emplace_back();
+  return out;
+}
+
+void append_params(std::string* out, const char* name,
+                   const MechanismParams& p) {
+  std::ostringstream os;
+  os << ';' << name << '=' << p.t50_years << ':' << p.sigma << ':' << p.ea_ev
+     << ':' << p.gamma_v << ':' << p.activity_exp;
+  *out += os.str();
+}
+
+MechanismParams parse_params(const Config& cfg, const std::string& prefix,
+                             MechanismParams defaults) {
+  MechanismParams p = defaults;
+  p.t50_years = cfg.get_double(prefix + "_t50_years", p.t50_years);
+  p.sigma = cfg.get_double(prefix + "_sigma", p.sigma);
+  p.ea_ev = cfg.get_double(prefix + "_ea_ev", p.ea_ev);
+  p.gamma_v = cfg.get_double(prefix + "_gamma_v", p.gamma_v);
+  p.activity_exp = cfg.get_double(prefix + "_activity_exp", p.activity_exp);
+  require(p.t50_years > 0.0, ErrorCode::kConfig,
+          "config key '" + prefix + "_t50_years': must be positive");
+  require(p.sigma > 0.0, ErrorCode::kConfig,
+          "config key '" + prefix + "_sigma': must be positive");
+  return p;
+}
+
+std::size_t parse_spare_count(const std::string& group,
+                              const std::string& raw) {
+  const std::string tok = trim(raw);
+  require(!tok.empty() &&
+              std::all_of(tok.begin(), tok.end(),
+                          [](char c) {
+                            return std::isdigit(static_cast<unsigned char>(c));
+                          }),
+          ErrorCode::kConfig,
+          "config key 'redundancy': group '" + group +
+              "': spare count '" + raw + "' is not a non-negative integer");
+  std::size_t value = 0;
+  for (char c : tok) {
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    require(value <= 4096, ErrorCode::kConfig,
+            "config key 'redundancy': group '" + group +
+                "': spare count is absurdly large");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string MechanismSpec::canonical() const {
+  std::string s = "oxide";
+  if (nbti) s += ",nbti";
+  if (em) s += ",em";
+  if (hci) s += ",hci";
+  if (seed_equivalent()) return s;
+  if (extra_count() > 0) {
+    std::ostringstream refs;
+    refs << ";tref=" << tref_c << ";vref=" << vref;
+    s += refs.str();
+    if (nbti) append_params(&s, "nbti", nbti_params);
+    if (em) append_params(&s, "em", em_params);
+    if (hci) append_params(&s, "hci", hci_params);
+  }
+  if (!redundancy.empty()) {
+    s += ";red=";
+    for (std::size_t i = 0; i < redundancy.size(); ++i) {
+      const SpareGroup& g = redundancy[i];
+      if (i > 0) s += ',';
+      s += g.name + ':';
+      for (std::size_t m = 0; m < g.members.size(); ++m) {
+        if (m > 0) s += '+';
+        s += g.members[m];
+      }
+      s += ':' + std::to_string(g.spares);
+    }
+  }
+  return s;
+}
+
+MechanismSpec parse_spec(const Config& cfg) {
+  MechanismSpec spec;
+
+  const std::string raw = cfg.get_string("mechanisms", "oxide");
+  spec.oxide = false;
+  for (const std::string& tok : split(raw, ',')) {
+    if (tok.empty()) {
+      throw Error("config key 'mechanisms': empty mechanism name in '" + raw +
+                      "'",
+                  ErrorCode::kConfig);
+    }
+    if (tok == "oxide") {
+      spec.oxide = true;
+    } else if (tok == "nbti") {
+      spec.nbti = true;
+    } else if (tok == "em") {
+      spec.em = true;
+    } else if (tok == "hci") {
+      spec.hci = true;
+    } else {
+      throw Error("config key 'mechanisms': unknown mechanism '" + tok +
+                      "' (expected oxide, nbti, em, hci)",
+                  ErrorCode::kConfig);
+    }
+  }
+  require(spec.oxide, ErrorCode::kConfig,
+          "config key 'mechanisms': the oxide base model must be listed "
+          "(it is the paper's reference mechanism and cannot be disabled)");
+
+  spec.tref_c = cfg.get_double("mech_tref_c", spec.tref_c);
+  spec.vref = cfg.get_double("mech_vref", spec.vref);
+  require(spec.tref_c > -273.15, ErrorCode::kConfig,
+          "config key 'mech_tref_c': below absolute zero");
+  require(spec.vref > 0.0, ErrorCode::kConfig,
+          "config key 'mech_vref': must be positive");
+
+  spec.nbti_params = parse_params(cfg, "nbti", spec.nbti_params);
+  spec.em_params = parse_params(cfg, "em", spec.em_params);
+  spec.hci_params = parse_params(cfg, "hci", spec.hci_params);
+
+  const std::string red = trim(cfg.get_string("redundancy", ""));
+  if (!red.empty()) {
+    for (const std::string& entry : split(red, ',')) {
+      const std::vector<std::string> parts = split(entry, ':');
+      require(parts.size() == 3, ErrorCode::kConfig,
+              "config key 'redundancy': entry '" + entry +
+                  "' is not of the form group:blk1+blk2:spares");
+      SpareGroup g;
+      g.name = parts[0];
+      require(!g.name.empty(), ErrorCode::kConfig,
+              "config key 'redundancy': empty group name in '" + entry + "'");
+      for (const std::string& m : split(parts[1], '+')) {
+        require(!m.empty(), ErrorCode::kConfig,
+                "config key 'redundancy': group '" + g.name +
+                    "': empty member name");
+        g.members.push_back(m);
+      }
+      require(!g.members.empty(), ErrorCode::kConfig,
+              "config key 'redundancy': group '" + g.name + "': no members");
+      g.spares = parse_spare_count(g.name, parts[2]);
+      require(g.spares < g.members.size(), ErrorCode::kConfig,
+              "config key 'redundancy': group '" + g.name +
+                  "': spares must be < member count");
+      spec.redundancy.push_back(std::move(g));
+    }
+  }
+  return spec;
+}
+
+}  // namespace obd::mech

@@ -1,0 +1,99 @@
+// Configuration surface of the multi-mechanism competing-risks framework.
+//
+// A MechanismSpec is plain data: which failure mechanisms participate
+// (gate-oxide breakdown is the paper's base model and is always required),
+// the per-mechanism lognormal time-to-failure parameters for the aging
+// mechanisms (NBTI, EM, HCI), and the optional unit-level redundancy
+// (spare groups in the style of oldspot: a group of interchangeable
+// blocks with `s` spares fails only once more than `s` members failed).
+//
+// The spec travels inside core::ProblemOptions, so every evaluator,
+// the DRM loop, the serve daemon, and the fleet sweeps see one source of
+// truth. `canonical()` renders a deterministic string used by cache keys
+// and crash-recovery fingerprints; the default spec canonicalizes to
+// "oxide" so seed-era fingerprints and problem keys are byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace obd {
+class Config;
+}
+
+namespace obd::mech {
+
+/// Lognormal TTF parameters of one aging mechanism. The median
+/// time-to-failure at the (tref_c, vref, activity = 1) reference point is
+/// t50_years; operating conditions scale it by Arrhenius temperature
+/// acceleration, exponential voltage acceleration, and an activity power
+/// law (EM uses the activity exponent as Black's current-density exponent).
+struct MechanismParams {
+  double t50_years = 30.0;    ///< median TTF at reference conditions [years]
+  double sigma = 0.4;         ///< lognormal shape (ln-space std dev)
+  double ea_ev = 0.5;         ///< Arrhenius activation energy [eV]
+  double gamma_v = 8.0;       ///< voltage acceleration [1/V]
+  double activity_exp = 1.0;  ///< t50 ~ activity^-n (Black's n for EM)
+};
+
+/// A spare group: `members` are interchangeable units, the group (and with
+/// it the chip) fails only when more than `spares` members have failed.
+/// spares = 0 degenerates to the plain weakest-link series composition.
+struct SpareGroup {
+  std::string name;
+  std::vector<std::string> members;  ///< block names from the design
+  std::size_t spares = 0;            ///< tolerated member failures
+};
+
+/// Complete mechanism/redundancy configuration. Default-constructed ==
+/// the seed behavior: oxide breakdown only, no redundancy.
+struct MechanismSpec {
+  bool oxide = true;  ///< always required; parse rejects specs without it
+  bool nbti = false;
+  bool em = false;
+  bool hci = false;
+
+  MechanismParams nbti_params{.t50_years = 28.0, .sigma = 0.35,
+                              .ea_ev = 0.18, .gamma_v = 10.0,
+                              .activity_exp = 0.5};
+  MechanismParams em_params{.t50_years = 45.0, .sigma = 0.45,
+                            .ea_ev = 0.9, .gamma_v = 2.0,
+                            .activity_exp = 2.0};
+  MechanismParams hci_params{.t50_years = 55.0, .sigma = 0.4,
+                             .ea_ev = -0.05, .gamma_v = 15.0,
+                             .activity_exp = 1.0};
+
+  double tref_c = 100.0;  ///< reference temperature for all aging t50s [C]
+  double vref = 1.2;      ///< reference supply for all aging t50s [V]
+
+  std::vector<SpareGroup> redundancy;
+
+  /// True when the spec is exactly the seed behavior (oxide only, no
+  /// redundancy) regardless of unused aging parameter values.
+  [[nodiscard]] bool seed_equivalent() const {
+    return oxide && !nbti && !em && !hci && redundancy.empty();
+  }
+
+  /// Number of enabled aging mechanisms (everything except oxide).
+  [[nodiscard]] std::size_t extra_count() const {
+    return static_cast<std::size_t>(nbti) + static_cast<std::size_t>(em) +
+           static_cast<std::size_t>(hci);
+  }
+
+  /// Deterministic canonical rendering. The seed-equivalent spec renders
+  /// as exactly "oxide"; anything else appends enabled mechanisms, their
+  /// parameters, and redundancy groups. Used by serve/fleet problem keys
+  /// and the DRM crash-recovery fingerprint.
+  [[nodiscard]] std::string canonical() const;
+};
+
+/// Parses the mechanism-related keys out of a Config:
+///   mechanisms  oxide,nbti,em,hci     (default "oxide"; must list oxide)
+///   redundancy  grp:blk1+blk2:1,...   (group:members-joined-by-+:spares)
+///   mech_tref_c / mech_vref           (shared reference conditions)
+///   {nbti,em,hci}_{t50_years,sigma,ea_ev,gamma_v,activity_exp}
+/// Throws obd::Error with ErrorCode::kConfig on malformed values.
+[[nodiscard]] MechanismSpec parse_spec(const Config& cfg);
+
+}  // namespace obd::mech

@@ -13,6 +13,7 @@
 #include "common/fault_injection.hpp"
 #include "core/analytic.hpp"
 #include "core/device_model.hpp"
+#include "mech/spec.hpp"
 #include "power/power.hpp"
 #include "thermal/solver.hpp"
 
@@ -27,6 +28,7 @@ const std::set<std::string>& override_whitelist() {
       "design",         "device_density", "vdd",
       "rho_dist",       "grid",           "ambient_c",
       "variance_capture", "eigen_solver", "thermal_sweep",
+      "mechanisms",     "redundancy",
   };
   return keys;
 }
@@ -105,6 +107,7 @@ std::unique_ptr<core::ReliabilityProblem> build_problem(const Config& cfg) {
   require(opts.variance_capture > 0.0 && opts.variance_capture <= 1.0,
           ErrorCode::kConfig, "variance_capture must be in (0, 1]");
   opts.eigen_solver = parse_eigen_solver(cfg);
+  opts.mechanisms = mech::parse_spec(cfg);
   return std::make_unique<core::ReliabilityProblem>(
       core::ReliabilityProblem::build(design, var::VariationBudget{},
                                       core::AnalyticReliabilityModel{},
@@ -187,6 +190,10 @@ std::string problem_key(const Config& cfg) {
      << ";thermal_sweep=" << cfg.get_string("thermal_sweep", "lexicographic")
      << ";n_gamma=" << cfg.get_count("serve_n_gamma", 100)
      << ";n_b=" << cfg.get_count("serve_n_b", 100);
+  // Appended only for non-default mechanism specs: seed-era keys (and the
+  // disk-tier fingerprints derived from them) stay byte-identical.
+  const std::string mechanisms = mech::parse_spec(cfg).canonical();
+  if (mechanisms != "oxide") os << ";mechanisms=" << mechanisms;
   return os.str();
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "core/device_model.hpp"
 
@@ -96,6 +97,38 @@ TEST(TabulatedModel, FromModelTracksAnalyticWithinInterpolationError) {
   // Voltage acceleration carried over.
   EXPECT_NEAR(table.alpha(60.0, 1.3) / table.alpha(60.0, 1.2),
               std::exp(-1.2), 1e-9);
+}
+
+TEST(TabulatedModel, WarnsOnceWhenClampingBeyondTheTable) {
+  // Out-of-range lookups clamp silently per call (alpha/b are hot-path),
+  // but the first one records a device.table_extrapolate diagnostic naming
+  // the offending temperature and the table range — once per model, not
+  // once per call (a 10^6-chip sweep must not emit 10^6 warnings).
+  auto& diag = obd::diagnostics();
+  const std::size_t before = diag.count("device.table_extrapolate");
+  const TabulatedReliabilityModel m(
+      {{25.0, 1e18, 0.70}, {75.0, 1e17, 0.66}, {125.0, 1e16, 0.62}});
+  // In-range calls never warn.
+  (void)m.alpha(50.0, 1.2);
+  (void)m.b(100.0, 1.2);
+  EXPECT_EQ(diag.count("device.table_extrapolate"), before);
+  // First clamp warns; repeats (either accessor, either side) stay silent.
+  (void)m.alpha(180.0, 1.2);
+  EXPECT_EQ(diag.count("device.table_extrapolate"), before + 1);
+  (void)m.alpha(180.0, 1.2);
+  (void)m.b(5.0, 1.2);
+  (void)m.b(300.0, 1.2);
+  EXPECT_EQ(diag.count("device.table_extrapolate"), before + 1);
+  // Copies share the one-shot flag (from_model returns by value), so a
+  // copied model does not re-arm the warning.
+  const TabulatedReliabilityModel copy = m;
+  (void)copy.alpha(500.0, 1.2);
+  EXPECT_EQ(diag.count("device.table_extrapolate"), before + 1);
+  // A fresh model is a fresh diagnostic.
+  const TabulatedReliabilityModel other(
+      {{25.0, 1e18, 0.70}, {75.0, 1e17, 0.66}});
+  (void)other.alpha(90.0, 1.2);
+  EXPECT_EQ(diag.count("device.table_extrapolate"), before + 2);
 }
 
 TEST(TabulatedModel, RejectsMalformedTables) {

@@ -161,6 +161,48 @@ TEST(ConfigFile, ErrorsOnBadValues) {
   EXPECT_THROW(Config::parse(bad), Error);
 }
 
+TEST(ConfigFile, RejectsTrailingCharactersInDoubleLists) {
+  // Regression: get_doubles used bare std::stod, which parses "1.5abc" as
+  // 1.5 and silently drops the garbage. Every token must consume fully.
+  Config cfg;
+  cfg.set("targets", "1e-6 1.5abc");
+  try {
+    (void)cfg.get_doubles("targets", {});
+    FAIL() << "expected a config error for '1.5abc'";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+    EXPECT_NE(std::string(e.what()).find("1.5abc"), std::string::npos);
+  }
+  // The scalar getter already rejected trailing garbage; keep it pinned.
+  cfg.set("vdd", "1.2volts");
+  EXPECT_THROW((void)cfg.get_double("vdd"), Error);
+}
+
+TEST(ConfigFile, RejectsNonFiniteDoubles) {
+  // std::stod happily parses "nan" and "inf"; a reliability target or
+  // supply voltage must be finite, and the error must name the key.
+  for (const char* raw : {"nan", "inf", "-inf", "NaN", "Infinity"}) {
+    Config cfg;
+    cfg.set("vdd", raw);
+    try {
+      (void)cfg.get_double("vdd");
+      FAIL() << "expected a config error for '" << raw << "'";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kConfig) << raw;
+      EXPECT_NE(std::string(e.what()).find("vdd"), std::string::npos) << raw;
+    }
+  }
+  Config cfg;
+  cfg.set("targets", "1e-6 inf 1e-4");
+  try {
+    (void)cfg.get_doubles("targets", {});
+    FAIL() << "expected a config error for a non-finite list entry";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+    EXPECT_NE(std::string(e.what()).find("targets"), std::string::npos);
+  }
+}
+
 TEST(HybridSerialization, SaveLoadRoundTrip) {
   const chip::Design design = chip::make_synthetic_design(
       "S", {.devices = 20000, .block_count = 5, .die_width = 5.0,

@@ -1,0 +1,574 @@
+// Tests for the multi-mechanism competing-risks framework: spec parsing,
+// the lognormal aging mechanisms, the oxide adapter, stack composition,
+// unit-level redundancy, and the evaluator/DRM wiring. The key invariants:
+//
+//   1. The default spec (oxide only, no redundancy) is bit-identical to
+//      the seed composition on every evaluator path.
+//   2. An N-mechanism result equals the hand-computed survival product.
+//   3. Adding mechanisms strictly shortens lifetime; adding spares
+//      monotonically extends it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "chip/design.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "core/analytic.hpp"
+#include "core/hybrid.hpp"
+#include "core/lifetime.hpp"
+#include "core/montecarlo.hpp"
+#include "core/oxide_mechanism.hpp"
+#include "core/report.hpp"
+#include "drm/manager.hpp"
+#include "mech/mechanism.hpp"
+#include "mech/spec.hpp"
+#include "mech/stack.hpp"
+#include "stats/rng.hpp"
+#include "stats/special.hpp"
+
+namespace obd {
+namespace {
+
+using core::AnalyticAnalyzer;
+using core::ReliabilityProblem;
+
+constexpr double kYear = 365.25 * 24.0 * 3600.0;
+
+mech::MechanismSpec all_mechanisms_spec() {
+  mech::MechanismSpec spec;
+  spec.nbti = true;
+  spec.em = true;
+  spec.hci = true;
+  return spec;
+}
+
+/// Shared fixture: one synthetic design with an EV6-like temperature
+/// spread, built twice — once with the seed default spec and once with
+/// all four mechanisms enabled.
+class MechFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new chip::Design(chip::make_synthetic_design(
+        "M1", {.devices = 30000, .block_count = 6, .die_width = 6.0,
+               .die_height = 6.0, .seed = 77}));
+    model_ = new core::AnalyticReliabilityModel();
+    temps_ = new std::vector<double>{95.0, 70.0, 58.0, 82.0, 64.0, 75.0};
+    core::ProblemOptions oxide_opts;
+    oxide_opts.grid_cells_per_side = 10;
+    oxide_ = new ReliabilityProblem(ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_, *temps_, 1.2, oxide_opts));
+    core::ProblemOptions all_opts = oxide_opts;
+    all_opts.mechanisms = all_mechanisms_spec();
+    all_ = new ReliabilityProblem(ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_, *temps_, 1.2, all_opts));
+  }
+  static void TearDownTestSuite() {
+    delete all_;
+    delete oxide_;
+    delete temps_;
+    delete model_;
+    delete design_;
+    all_ = nullptr;
+    oxide_ = nullptr;
+    temps_ = nullptr;
+    model_ = nullptr;
+    design_ = nullptr;
+  }
+
+  static chip::Design* design_;
+  static core::AnalyticReliabilityModel* model_;
+  static std::vector<double>* temps_;
+  static ReliabilityProblem* oxide_;  ///< seed default spec
+  static ReliabilityProblem* all_;    ///< oxide + nbti + em + hci
+};
+
+chip::Design* MechFixture::design_ = nullptr;
+core::AnalyticReliabilityModel* MechFixture::model_ = nullptr;
+std::vector<double>* MechFixture::temps_ = nullptr;
+ReliabilityProblem* MechFixture::oxide_ = nullptr;
+ReliabilityProblem* MechFixture::all_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Spec parsing and canonical rendering.
+
+TEST(MechSpec, DefaultIsSeedEquivalent) {
+  const mech::MechanismSpec spec;
+  EXPECT_TRUE(spec.seed_equivalent());
+  EXPECT_EQ(spec.extra_count(), 0u);
+  EXPECT_EQ(spec.canonical(), "oxide");
+  // An empty config parses to the seed spec.
+  Config cfg;
+  EXPECT_TRUE(mech::parse_spec(cfg).seed_equivalent());
+}
+
+TEST(MechSpec, ParsesMechanismListAndParams) {
+  Config cfg;
+  cfg.set("mechanisms", "oxide,nbti,em");
+  cfg.set("nbti_t50_years", "20");
+  cfg.set("nbti_sigma", "0.3");
+  cfg.set("mech_tref_c", "85");
+  const mech::MechanismSpec spec = mech::parse_spec(cfg);
+  EXPECT_TRUE(spec.oxide);
+  EXPECT_TRUE(spec.nbti);
+  EXPECT_TRUE(spec.em);
+  EXPECT_FALSE(spec.hci);
+  EXPECT_FALSE(spec.seed_equivalent());
+  EXPECT_EQ(spec.extra_count(), 2u);
+  EXPECT_DOUBLE_EQ(spec.nbti_params.t50_years, 20.0);
+  EXPECT_DOUBLE_EQ(spec.nbti_params.sigma, 0.3);
+  EXPECT_DOUBLE_EQ(spec.tref_c, 85.0);
+  // Canonical string is deterministic and distinguishes parameters.
+  const std::string c = spec.canonical();
+  EXPECT_NE(c, "oxide");
+  EXPECT_NE(c.find("nbti"), std::string::npos);
+  Config cfg2 = cfg;
+  cfg2.set("nbti_t50_years", "21");
+  EXPECT_NE(mech::parse_spec(cfg2).canonical(), c);
+}
+
+TEST(MechSpec, ParsesRedundancyGrammar) {
+  Config cfg;
+  cfg.set("redundancy", "cores:blk0+blk1+blk2:1, cache:blk3+blk4:0");
+  const mech::MechanismSpec spec = mech::parse_spec(cfg);
+  ASSERT_EQ(spec.redundancy.size(), 2u);
+  EXPECT_EQ(spec.redundancy[0].name, "cores");
+  EXPECT_EQ(spec.redundancy[0].members.size(), 3u);
+  EXPECT_EQ(spec.redundancy[0].spares, 1u);
+  EXPECT_EQ(spec.redundancy[1].spares, 0u);
+  EXPECT_FALSE(spec.seed_equivalent());
+}
+
+TEST(MechSpec, RejectsBadConfigs) {
+  const auto expect_config_error = [](const Config& cfg) {
+    try {
+      (void)mech::parse_spec(cfg);
+      FAIL() << "expected kConfig";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kConfig);
+    }
+  };
+  {
+    Config cfg;
+    cfg.set("mechanisms", "oxide,tddb");  // unknown mechanism
+    expect_config_error(cfg);
+  }
+  {
+    Config cfg;
+    cfg.set("mechanisms", "nbti");  // oxide base model missing
+    expect_config_error(cfg);
+  }
+  {
+    Config cfg;
+    cfg.set("mechanisms", "oxide,nbti");
+    cfg.set("nbti_sigma", "-0.1");  // non-positive shape
+    expect_config_error(cfg);
+  }
+  {
+    Config cfg;
+    cfg.set("redundancy", "cores:blk0+blk1");  // missing spare count
+    expect_config_error(cfg);
+  }
+  {
+    Config cfg;
+    cfg.set("redundancy", "cores:blk0+blk1:two");  // non-numeric spares
+    expect_config_error(cfg);
+  }
+}
+
+TEST(MechSpec, StackRejectsInvalidRedundancyAgainstDesign) {
+  const std::vector<std::string> names{"blk0", "blk1", "blk2"};
+  std::vector<mech::OperatingConditions> conds(3);
+  const auto build = [&](const mech::MechanismSpec& spec) {
+    return mech::MechanismStack(spec, names, conds);
+  };
+  mech::MechanismSpec unknown;
+  unknown.redundancy.push_back({"g", {"blk0", "nosuch"}, 0});
+  EXPECT_THROW((void)build(unknown), Error);
+  mech::MechanismSpec dup;
+  dup.redundancy.push_back({"g1", {"blk0", "blk1"}, 0});
+  dup.redundancy.push_back({"g2", {"blk1", "blk2"}, 0});
+  EXPECT_THROW((void)build(dup), Error);
+  mech::MechanismSpec too_many;
+  too_many.redundancy.push_back({"g", {"blk0", "blk1"}, 2});
+  EXPECT_THROW((void)build(too_many), Error);
+}
+
+// ---------------------------------------------------------------------------
+// The lognormal aging law.
+
+TEST(LognormalMechanism, MedianAndAccelerationDirections) {
+  mech::MechanismParams p;
+  p.t50_years = 30.0;
+  p.sigma = 0.4;
+  p.ea_ev = 0.5;
+  p.gamma_v = 8.0;
+  p.activity_exp = 1.0;
+  const mech::LognormalMechanism m("nbti", p, 100.0, 1.2);
+  const mech::OperatingConditions ref{100.0, 1.2, 1.0};
+  // At reference conditions the median is t50_years.
+  EXPECT_NEAR(m.t50(ref) / (30.0 * kYear), 1.0, 1e-12);
+  EXPECT_NEAR(m.block_cdf(0, 30.0 * kYear, ref), 0.5, 1e-12);
+  // Hotter, higher voltage, and busier all shorten the median (Ea > 0).
+  EXPECT_LT(m.t50({120.0, 1.2, 1.0}), m.t50(ref));
+  EXPECT_LT(m.t50({100.0, 1.3, 1.0}), m.t50(ref));
+  EXPECT_LT(m.t50(ref), m.t50({100.0, 1.2, 0.25}));
+  // Arrhenius factor hand-check: 20 C hotter at Ea = 0.5 eV.
+  const double af = std::exp((0.5 / mech::kBoltzmannEv) *
+                             (1.0 / 393.15 - 1.0 / 373.15));
+  EXPECT_NEAR(m.t50({120.0, 1.2, 1.0}) / m.t50(ref), af, 1e-9 * af);
+  // A negative Ea (HCI-style cold carrier damage) inverts the direction.
+  mech::MechanismParams hci = p;
+  hci.ea_ev = -0.05;
+  const mech::LognormalMechanism h("hci", hci, 100.0, 1.2);
+  EXPECT_GT(h.t50({120.0, 1.2, 1.0}), h.t50(ref));
+}
+
+TEST(LognormalMechanism, QuantileInvertsCdfAndHazardIsPositive) {
+  mech::MechanismParams p;
+  const mech::LognormalMechanism m("em", p, 100.0, 1.2);
+  const mech::OperatingConditions c{80.0, 1.25, 0.4};
+  for (double f : {1e-6, 1e-3, 0.1, 0.5, 0.9}) {
+    const double t = m.block_time_at(0, f, c);
+    ASSERT_GT(t, 0.0);
+    EXPECT_NEAR(m.block_cdf(0, t, c), f, 1e-9) << "f=" << f;
+  }
+  EXPECT_DOUBLE_EQ(m.block_time_at(0, 0.0, c), 0.0);
+  EXPECT_DOUBLE_EQ(m.block_cdf(0, 0.0, c), 0.0);
+  // Closed-form hazard agrees with the base-class finite difference.
+  const double t = m.block_time_at(0, 0.2, c);
+  const double closed = m.block_hazard(0, t, c);
+  const double fd = m.FailureMechanism::block_hazard(0, t, c);
+  EXPECT_GT(closed, 0.0);
+  EXPECT_NEAR(closed / fd, 1.0, 1e-4);
+}
+
+TEST(LognormalMechanism, RejectsBadParameters) {
+  mech::MechanismParams p;
+  p.sigma = 0.0;
+  EXPECT_THROW(mech::LognormalMechanism("x", p, 100.0, 1.2), Error);
+  mech::MechanismParams q;
+  q.t50_years = -1.0;
+  EXPECT_THROW(mech::LognormalMechanism("x", q, 100.0, 1.2), Error);
+}
+
+// ---------------------------------------------------------------------------
+// The oxide adapter and stack composition.
+
+TEST_F(MechFixture, OxideMechanismMatchesAnalyticBitForBit) {
+  const AnalyticAnalyzer analytic(*oxide_);
+  const core::OxideMechanism wrapped(*oxide_);
+  const mech::OperatingConditions ignored{};
+  for (double t : {0.5 * kYear, 3.0 * kYear, 12.0 * kYear, 40.0 * kYear}) {
+    for (std::size_t j = 0; j < oxide_->blocks().size(); ++j) {
+      // Same node list through the same kernel: exactly equal, not near.
+      EXPECT_EQ(wrapped.block_cdf(j, t, ignored),
+                analytic.block_failure(j, t))
+          << "j=" << j << " t=" << t;
+    }
+  }
+  // The inverse lands back on the CDF.
+  const double t_inv = wrapped.block_time_at(0, 1e-4, ignored);
+  EXPECT_NEAR(wrapped.block_cdf(0, t_inv, ignored), 1e-4, 1e-10);
+}
+
+TEST_F(MechFixture, TrivialStackReproducesSeedComposition) {
+  ASSERT_TRUE(oxide_->mechanisms().trivial());
+  const AnalyticAnalyzer analytic(*oxide_);
+  for (double t : {2.0 * kYear, 8.0 * kYear, 25.0 * kYear}) {
+    double log_survival = 0.0;
+    std::vector<double> oxide_f;
+    for (std::size_t j = 0; j < oxide_->blocks().size(); ++j) {
+      const double fj =
+          std::clamp(analytic.block_failure(j, t), 0.0, 1.0);
+      oxide_f.push_back(fj);
+      log_survival += std::log1p(-fj);
+    }
+    const double seed = std::clamp(-std::expm1(log_survival), 0.0, 1.0);
+    EXPECT_EQ(oxide_->mechanisms().compose(oxide_f.data(), t), seed);
+    EXPECT_EQ(analytic.failure_probability(t), seed);
+  }
+}
+
+TEST_F(MechFixture, CompetingRisksEqualsHandComputedSurvivalProduct) {
+  ASSERT_FALSE(all_->mechanisms().trivial());
+  ASSERT_EQ(all_->mechanisms().extra_count(), 3u);
+  const AnalyticAnalyzer analytic(*all_);
+  const AnalyticAnalyzer base(*oxide_);
+  const mech::MechanismSpec spec = all_mechanisms_spec();
+  // Independent reconstruction of the three aging laws.
+  std::vector<mech::LognormalMechanism> laws;
+  laws.emplace_back("nbti", spec.nbti_params, spec.tref_c, spec.vref);
+  laws.emplace_back("em", spec.em_params, spec.tref_c, spec.vref);
+  laws.emplace_back("hci", spec.hci_params, spec.tref_c, spec.vref);
+  for (double t : {2.0 * kYear, 8.0 * kYear, 25.0 * kYear}) {
+    double log_survival = 0.0;
+    for (std::size_t j = 0; j < all_->blocks().size(); ++j) {
+      log_survival +=
+          std::log1p(-std::clamp(base.block_failure(j, t), 0.0, 1.0));
+      const mech::OperatingConditions c{(*temps_)[j], 1.2,
+                                        design_->blocks[j].activity};
+      for (const auto& law : laws) {
+        log_survival += std::log1p(-std::clamp(law.block_cdf(j, t, c),
+                                               0.0, 1.0));
+      }
+    }
+    const double expected =
+        std::clamp(-std::expm1(log_survival), 0.0, 1.0);
+    EXPECT_NEAR(analytic.failure_probability(t), expected,
+                1e-13 + 1e-12 * expected)
+        << "t/year=" << t / kYear;
+  }
+}
+
+TEST_F(MechFixture, AllMechanismsStrictlyShortenLifetime) {
+  const AnalyticAnalyzer base(*oxide_);
+  const AnalyticAnalyzer aged(*all_);
+  for (double target : {1e-6, 1e-5, 1e-3}) {
+    const double t_base = base.lifetime_at(target);
+    const double t_aged = aged.lifetime_at(target);
+    EXPECT_LT(t_aged, t_base) << "target " << target;
+  }
+  // Pointwise: more competing risks can only raise F(t).
+  for (double t : {1.0 * kYear, 10.0 * kYear}) {
+    EXPECT_GE(aged.failure_probability(t), base.failure_probability(t));
+  }
+}
+
+TEST_F(MechFixture, HybridFoldMatchesSeparableTransform) {
+  // Absent redundancy the aging term separates from the oxide term:
+  // F_all = 1 - (1 - F_ox) * S_extra. The hybrid path must agree with its
+  // own oxide-only twin through that exact fold.
+  const core::HybridEvaluator hybrid_ox(*oxide_);
+  const core::HybridEvaluator hybrid_all(*all_);
+  const auto& stack = all_->mechanisms();
+  for (double t : {2.0 * kYear, 8.0 * kYear, 25.0 * kYear}) {
+    const double f_ox = hybrid_ox.failure_probability(t);
+    const double folded = 1.0 - (1.0 - f_ox) * stack.extra_survival(t);
+    EXPECT_NEAR(hybrid_all.failure_probability(t), folded, 1e-12);
+  }
+}
+
+TEST(MechEv6, AllMechanismsShortenEv6Lifetime) {
+  // The paper's EV6 floorplan with a Fig. 1-style hot/cold spread. At ppm
+  // targets the oxide weakest link over ~10^6 devices fails first (the
+  // aging CDFs underflow), so the acceptance is pinned where aging is
+  // representable: mid-range failure levels.
+  const chip::Design ev6 = chip::make_ev6_design();
+  std::vector<double> temps;
+  for (std::size_t j = 0; j < ev6.blocks.size(); ++j) {
+    temps.push_back(75.0 + 30.0 * static_cast<double>(j) /
+                               static_cast<double>(ev6.blocks.size() - 1));
+  }
+  const core::AnalyticReliabilityModel model;
+  core::ProblemOptions base_opts;
+  base_opts.grid_cells_per_side = 10;
+  const ReliabilityProblem base_problem(ReliabilityProblem::build(
+      ev6, var::VariationBudget{}, model, temps, 1.2, base_opts));
+  core::ProblemOptions aged_opts = base_opts;
+  aged_opts.mechanisms = all_mechanisms_spec();
+  const ReliabilityProblem aged_problem(ReliabilityProblem::build(
+      ev6, var::VariationBudget{}, model, temps, 1.2, aged_opts));
+  const AnalyticAnalyzer base(base_problem);
+  const AnalyticAnalyzer aged(aged_problem);
+  for (double target : {0.1, 0.5, 0.9}) {
+    EXPECT_LT(aged.lifetime_at(target), base.lifetime_at(target))
+        << "target " << target;
+  }
+  // Below the underflow threshold the two can only tie, never invert.
+  EXPECT_LE(aged.lifetime_at(1e-5), base.lifetime_at(1e-5));
+}
+
+// ---------------------------------------------------------------------------
+// Monte Carlo wiring.
+
+TEST_F(MechFixture, MonteCarloAppliesDeterministicAgingTransform) {
+  core::MonteCarloOptions mco;
+  mco.chip_samples = 200;
+  const core::MonteCarloAnalyzer mc_ox(*oxide_, mco);
+  const core::MonteCarloAnalyzer mc_all(*all_, mco);
+  const auto& stack = all_->mechanisms();
+  const std::vector<double> ts{2.0 * kYear, 8.0 * kYear, 25.0 * kYear};
+  const auto f_ox = mc_ox.failure_probabilities(ts);
+  const auto f_all = mc_all.failure_probabilities(ts);
+  const auto se_ox = mc_ox.failure_std_errors(ts);
+  const auto se_all = mc_all.failure_std_errors(ts);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const double s = stack.extra_survival(ts[i]);
+    EXPECT_NEAR(f_all[i], 1.0 - (1.0 - f_ox[i]) * s, 1e-12) << i;
+    // The deterministic factor scales the sampling noise by S as well.
+    EXPECT_NEAR(se_all[i], se_ox[i] * s, 1e-12) << i;
+  }
+}
+
+TEST_F(MechFixture, MonteCarloSampledLifetimesNeverLengthen) {
+  // sample_failure_times draws the oxide TTF from the same per-chip
+  // streams for both problems (extras draw after all oxide use), so the
+  // aged chip lifetime is the min over mechanisms: element-wise <=.
+  core::MonteCarloOptions mco;
+  mco.chip_samples = 50;
+  const core::MonteCarloAnalyzer mc_ox(*oxide_, mco);
+  const core::MonteCarloAnalyzer mc_all(*all_, mco);
+  stats::Rng rng_a(1234);
+  stats::Rng rng_b(1234);
+  const auto base = mc_ox.sample_failure_times(64, rng_a);
+  const auto aged = mc_all.sample_failure_times(64, rng_b);
+  ASSERT_EQ(base.size(), aged.size());
+  std::size_t strictly_less = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_LE(aged[i], base[i]) << i;
+    if (aged[i] < base[i]) ++strictly_less;
+  }
+  // With three extra mechanisms some chips must die of aging first.
+  EXPECT_GT(strictly_less, 0u);
+}
+
+TEST_F(MechFixture, MonteCarloRejectsUnsupportedCompositions) {
+  // Redundancy breaks the separability the MC transform rests on.
+  core::ProblemOptions opts;
+  opts.grid_cells_per_side = 10;
+  opts.mechanisms.redundancy.push_back({"pair", {"blk0", "blk1"}, 1});
+  const ReliabilityProblem redundant(ReliabilityProblem::build(
+      *design_, var::VariationBudget{}, *model_, *temps_, 1.2, opts));
+  try {
+    const core::MonteCarloAnalyzer mc(redundant, {});
+    FAIL() << "expected kInvalidInput";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
+  // kth-failure semantics are oxide-only; k = 1 stays available.
+  core::MonteCarloOptions mco;
+  mco.chip_samples = 50;
+  const core::MonteCarloAnalyzer mc_all(*all_, mco);
+  EXPECT_GT(mc_all.kth_failure_probability(8.0 * kYear, 1), 0.0);
+  EXPECT_THROW((void)mc_all.kth_failure_probability(8.0 * kYear, 2), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Redundancy composition.
+
+TEST_F(MechFixture, SpareGroupsExtendLifetimeMonotonically) {
+  // One group over three hot blocks; more spares => lower F at every t.
+  std::vector<ReliabilityProblem> storage;
+  storage.reserve(3);
+  for (std::size_t spares = 0; spares <= 2; ++spares) {
+    core::ProblemOptions opts;
+    opts.grid_cells_per_side = 10;
+    opts.mechanisms.redundancy.push_back(
+        {"cores", {"blk0", "blk3", "blk5"}, spares});
+    storage.push_back(ReliabilityProblem::build(
+        *design_, var::VariationBudget{}, *model_, *temps_, 1.2, opts));
+  }
+  const AnalyticAnalyzer base(*oxide_);
+  const AnalyticAnalyzer s0(storage[0]);
+  const AnalyticAnalyzer s1(storage[1]);
+  const AnalyticAnalyzer s2(storage[2]);
+  for (double t : {2.0 * kYear, 8.0 * kYear, 25.0 * kYear}) {
+    const double f_base = base.failure_probability(t);
+    const double f0 = s0.failure_probability(t);
+    const double f1 = s1.failure_probability(t);
+    const double f2 = s2.failure_probability(t);
+    // Zero spares degenerates to the series chip (within composition fp).
+    EXPECT_NEAR(f0, f_base, 1e-12 + 1e-9 * f_base);
+    EXPECT_LT(f1, f0) << "t/year=" << t / kYear;
+    EXPECT_LT(f2, f1) << "t/year=" << t / kYear;
+  }
+  // Lifetime at a ppm target is extended, not shortened.
+  EXPECT_GT(s1.lifetime_at(1e-5), base.lifetime_at(1e-5));
+}
+
+TEST_F(MechFixture, SpareGroupMatchesHandComputedPoissonBinomial) {
+  // Group = {blk1, blk4}, one spare: the group fails only when both
+  // members fail, so chip F folds p1 * p4 into the ungrouped survival.
+  core::ProblemOptions opts;
+  opts.grid_cells_per_side = 10;
+  opts.mechanisms.redundancy.push_back({"pair", {"blk1", "blk4"}, 1});
+  const ReliabilityProblem redundant(ReliabilityProblem::build(
+      *design_, var::VariationBudget{}, *model_, *temps_, 1.2, opts));
+  const AnalyticAnalyzer red(redundant);
+  const AnalyticAnalyzer base(*oxide_);
+  for (double t : {2.0 * kYear, 8.0 * kYear, 25.0 * kYear}) {
+    double log_survival = 0.0;
+    double p1 = 0.0;
+    double p4 = 0.0;
+    for (std::size_t j = 0; j < oxide_->blocks().size(); ++j) {
+      const double fj = std::clamp(base.block_failure(j, t), 0.0, 1.0);
+      if (j == 1) {
+        p1 = fj;
+      } else if (j == 4) {
+        p4 = fj;
+      } else {
+        log_survival += std::log1p(-fj);
+      }
+    }
+    log_survival += std::log1p(-p1 * p4);
+    const double expected =
+        std::clamp(-std::expm1(log_survival), 0.0, 1.0);
+    EXPECT_NEAR(red.failure_probability(t), expected,
+                1e-13 + 1e-11 * expected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DRM damage accounting.
+
+TEST_F(MechFixture, DrmTracksPerMechanismDamage) {
+  const std::vector<drm::OperatingPoint> ladder{
+      {"eco", 1.0, 1.2e9}, {"turbo", 1.25, 2.3e9}};
+  drm::DrmOptions opts;
+  opts.control_interval_s = 90.0 * 86400.0;
+  drm::ReliabilityManager mgr(*all_, *model_, ladder, opts);
+  const std::size_t n = all_->blocks().size();
+  ASSERT_EQ(mgr.extra_damage().size(), 3 * n);
+  ASSERT_EQ(mgr.state_size(), 4 * n);
+  for (int i = 0; i < 4; ++i) (void)mgr.step(0.6);
+  // Every mechanism accumulated monotone damage on at least one block.
+  const auto& extra = mgr.extra_damage();
+  for (std::size_t m = 0; m < 3; ++m) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_GE(extra[m * n + j], 0.0);
+      total += extra[m * n + j];
+    }
+    EXPECT_GT(total, 0.0) << "mechanism " << m;
+  }
+  const double damage_before = mgr.damage();
+  EXPECT_GT(damage_before, 0.0);
+  // Round-trip through the checkpoint vector.
+  const std::vector<double> state = mgr.damage_state();
+  ASSERT_EQ(state.size(), mgr.state_size());
+  drm::ReliabilityManager fresh(*all_, *model_, ladder, opts);
+  fresh.restore_state(state, 4.0 * opts.control_interval_s,
+                      mgr.last_op_index());
+  EXPECT_DOUBLE_EQ(fresh.damage(), damage_before);
+  EXPECT_EQ(fresh.extra_damage(), extra);
+  // Damage keeps growing after the restore.
+  (void)fresh.step(0.6);
+  EXPECT_GT(fresh.damage(), damage_before);
+}
+
+TEST_F(MechFixture, DrmOxideOnlyStateIsSeedShaped) {
+  const std::vector<drm::OperatingPoint> ladder{{"eco", 1.0, 1.2e9}};
+  drm::ReliabilityManager mgr(*oxide_, *model_, ladder, {});
+  EXPECT_TRUE(mgr.extra_damage().empty());
+  EXPECT_EQ(mgr.state_size(), oxide_->blocks().size());
+  (void)mgr.step(0.5);
+  EXPECT_EQ(mgr.damage_state(), mgr.block_damage());
+}
+
+// ---------------------------------------------------------------------------
+// Report surface.
+
+TEST_F(MechFixture, ReportNamesMechanismsOnlyWhenNonDefault) {
+  const auto base = core::make_signoff_report(*oxide_, *model_);
+  EXPECT_EQ(base.mechanisms, "oxide");
+  EXPECT_EQ(base.redundancy_groups, 0u);
+  EXPECT_EQ(base.render().find("Mechanisms:"), std::string::npos);
+  const auto aged = core::make_signoff_report(*all_, *model_);
+  EXPECT_NE(aged.mechanisms, "oxide");
+  EXPECT_NE(aged.render().find("Mechanisms:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obd

@@ -49,6 +49,16 @@
 //                 (overrides the OBDREL_SIMD environment variable)
 //   thermal_sweep lexicographic | redblack SOR order     (default lexicographic)
 //   faults        fault-injection spec (testing only)
+//   mechanisms    comma list: oxide[,nbti][,em][,hci]    (default oxide)
+//                 competing-risks failure mechanisms; oxide is the paper's
+//                 base model and must always be listed
+//   redundancy    spare groups "grp:blk1+blk2:spares,..." (default none)
+//   mech_tref_c / mech_vref    aging reference conditions (default 100 / 1.2)
+//   {nbti,em,hci}_t50_years    median TTF at reference    (default 28/45/55)
+//   {nbti,em,hci}_sigma        lognormal shape            (default .35/.45/.4)
+//   {nbti,em,hci}_ea_ev        Arrhenius activation [eV]  (default .18/.9/-.05)
+//   {nbti,em,hci}_gamma_v      voltage acceleration [1/V] (default 10/2/15)
+//   {nbti,em,hci}_activity_exp activity power-law exponent (default .5/2/1)
 //
 // Fleet config keys (obdrel fleet):
 //   seed              per-chip RNG stream base seed      (default 99)
@@ -122,6 +132,7 @@
 #include "drm/runtime.hpp"
 #include "fleet/shard.hpp"
 #include "fleet/supervisor.hpp"
+#include "mech/spec.hpp"
 #include "power/power.hpp"
 #include "serve/engine.hpp"
 #include "serve/server.hpp"
@@ -240,6 +251,7 @@ core::ReliabilityProblem build_problem(const Config& cfg,
   require(opts.variance_capture > 0.0 && opts.variance_capture <= 1.0,
           ErrorCode::kConfig, "variance_capture must be in (0, 1]");
   opts.eigen_solver = parse_eigen_solver(cfg);
+  opts.mechanisms = mech::parse_spec(cfg);
   // Validate device_sampling here too so a bad value fails with the config
   // exit code in every command, not only the ones that build an MC
   // analyzer (which re-read it at the use site).
@@ -551,6 +563,10 @@ std::string fleet_problem_key(const Config& cfg) {
      << ";eigen_solver=" << cfg.get_string("eigen_solver", "dense")
      << ";thermal_sweep=" << cfg.get_string("thermal_sweep", "lexicographic")
      << ";device_sampling=" << cfg.get_string("device_sampling", "binned");
+  // Appended only for non-default specs so existing fleet state
+  // directories keep matching their problem keys byte for byte.
+  const std::string mechanisms = mech::parse_spec(cfg).canonical();
+  if (mechanisms != "oxide") os << ";mechanisms=" << mechanisms;
   return os.str();
 }
 
