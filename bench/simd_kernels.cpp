@@ -1,7 +1,8 @@
-// Scalar-vs-AVX2 timings and exactness gates for the dispatched SIMD
-// kernel layer (src/simd). Each section times the scalar reference table
-// against the AVX2 table on the same inputs and checks the contract from
-// simd/kernels.hpp:
+// Scalar vs AVX2 vs AVX-512 timings and exactness gates for the
+// dispatched SIMD kernel layer (src/simd). Each section times the scalar
+// reference table against the vector tables on the same inputs and checks
+// the contract from simd/kernels.hpp (the same contract for both vector
+// tiers):
 //
 //   fill_bin_factors  bounded relative drift (<= 1e-12 vs scalar)
 //   dot_counts        bit-identical (FNV checksum equality)
@@ -11,9 +12,10 @@
 //
 // Results go to BENCH_simd.json (in $OBDREL_CSV_DIR when set). The exit
 // code reflects the exactness gates only; speedups are reported for the
-// acceptance tables but depend on the host. When AVX2+FMA is unavailable
-// the vector laps are skipped and the gates pass vacuously (recorded as
-// "avx2_available": false).
+// acceptance tables but depend on the host. When a vector tier is
+// unavailable its laps are skipped and the gates pass vacuously (recorded
+// as "avx2_available" / "avx512_available": false). Per-lap JSON keeps the
+// original scalar/AVX2 keys and adds seconds_avx512 / speedup_avx512.
 //
 // Scaling knob: OBDREL_SIMD_BENCH_SCALE multiplies every rep count
 // (default 1; CI smoke uses the default).
@@ -52,8 +54,10 @@ struct BitChecksum {
 struct Lap {
   double seconds_scalar = 0.0;
   double seconds_avx2 = 0.0;
-  double speedup = 0.0;
-  bool pass = true;
+  double seconds_avx512 = 0.0;
+  double speedup = 0.0;         // scalar / avx2
+  double speedup_avx512 = 0.0;  // scalar / avx512
+  bool pass = true;             // every available tier met its gate
 };
 
 volatile double g_sink = 0.0;  // keeps the optimizer honest across reps
@@ -64,12 +68,16 @@ int main() {
   using namespace obd;
   const std::size_t scale = bench::env_size("OBDREL_SIMD_BENCH_SCALE", 1);
   const bool avx2 = simd::can_use_avx2();
+  const bool avx512 = simd::can_use_avx512();
   const auto& s = simd::detail::kScalarKernels;
   const auto& v = simd::detail::kAvx2Kernels;
+  const auto& w = simd::detail::kAvx512Kernels;
 
-  std::printf("SIMD kernel layer: scalar vs AVX2 (avx2+fma %s), scale %zu\n\n",
-              avx2 ? "available" : "UNAVAILABLE - vector laps skipped",
-              scale);
+  std::printf(
+      "SIMD kernel layer: scalar vs AVX2 vs AVX-512 (avx2+fma %s, "
+      "avx512f+dq %s), scale %zu\n\n",
+      avx2 ? "available" : "UNAVAILABLE - laps skipped",
+      avx512 ? "available" : "UNAVAILABLE - laps skipped", scale);
 
   stats::Rng rng(2026);
 
@@ -79,7 +87,7 @@ int main() {
     const std::size_t bins = 512;
     const std::size_t reps = 20000 * scale;
     const double gb = -7.25, x_lo = 1.8, step = 0.8 / 512.0;
-    std::vector<double> a(bins), b(bins);
+    std::vector<double> a(bins), b(bins), c(bins);
     Stopwatch sw;
     for (std::size_t r = 0; r < reps; ++r) {
       s.fill_bin_factors(gb, x_lo, step, bins, a.data());
@@ -97,10 +105,22 @@ int main() {
       for (std::size_t i = 0; i < bins; ++i)
         if (std::abs(b[i] - a[i]) / a[i] > 1e-12) fill.pass = false;
     }
+    if (avx512) {
+      sw.reset();
+      for (std::size_t r = 0; r < reps; ++r) {
+        w.fill_bin_factors(gb, x_lo, step, bins, c.data());
+        g_sink = c[0];
+      }
+      fill.seconds_avx512 = sw.seconds();
+      fill.speedup_avx512 = fill.seconds_scalar / fill.seconds_avx512;
+      for (std::size_t i = 0; i < bins; ++i)
+        if (std::abs(c[i] - a[i]) / a[i] > 1e-12) fill.pass = false;
+    }
     std::printf("[fill_bin_factors] %zu bins x %zu: scalar %.3f s, avx2 "
-                "%.3f s (%.1fx), drift gate %s\n",
+                "%.3f s (%.1fx), avx512 %.3f s (%.1fx), drift gate %s\n",
                 bins, reps, fill.seconds_scalar, fill.seconds_avx2,
-                fill.speedup, fill.pass ? "PASS" : "FAIL");
+                fill.speedup, fill.seconds_avx512, fill.speedup_avx512,
+                fill.pass ? "PASS" : "FAIL");
   }
 
   // ------------------------------------------------------- dot_counts ----
@@ -114,7 +134,7 @@ int main() {
       c[i] = static_cast<std::uint32_t>(rng.uniform() * 1e6);
       e[i] = std::exp(-6.0 * rng.uniform());
     }
-    BitChecksum cs_s, cs_v;
+    BitChecksum cs_s, cs_v, cs_w;
     Stopwatch sw;
     for (std::size_t r = 0; r < reps; ++r)
       g_sink = s.dot_counts(c.data(), e.data(), n);
@@ -127,11 +147,21 @@ int main() {
       dot.seconds_avx2 = sw.seconds();
       dot.speedup = dot.seconds_scalar / dot.seconds_avx2;
       cs_v.add(v.dot_counts(c.data(), e.data(), n));
-      dot.pass = cs_s.value == cs_v.value;
+      if (cs_s.value != cs_v.value) dot.pass = false;
+    }
+    if (avx512) {
+      sw.reset();
+      for (std::size_t r = 0; r < reps; ++r)
+        g_sink = w.dot_counts(c.data(), e.data(), n);
+      dot.seconds_avx512 = sw.seconds();
+      dot.speedup_avx512 = dot.seconds_scalar / dot.seconds_avx512;
+      cs_w.add(w.dot_counts(c.data(), e.data(), n));
+      if (cs_s.value != cs_w.value) dot.pass = false;
     }
     std::printf("[dot_counts] n=%zu x %zu: scalar %.3f s, avx2 %.3f s "
-                "(%.1fx), bitwise %s\n",
+                "(%.1fx), avx512 %.3f s (%.1fx), bitwise %s\n",
                 n, reps, dot.seconds_scalar, dot.seconds_avx2, dot.speedup,
+                dot.seconds_avx512, dot.speedup_avx512,
                 dot.pass ? "IDENTICAL" : "DIFFER");
   }
 
@@ -140,7 +170,7 @@ int main() {
   {
     const std::size_t n = 4096;
     const std::size_t reps = 2000 * scale;
-    std::vector<double> z(n), a(n), b(n);
+    std::vector<double> z(n), a(n), b(n), c(n);
     for (std::size_t i = 0; i < n; ++i) z[i] = -20.0 + 40.0 * rng.uniform();
     Stopwatch sw;
     for (std::size_t r = 0; r < reps; ++r) {
@@ -160,9 +190,22 @@ int main() {
         if (a[i] > 1e-300 && std::abs(b[i] - a[i]) / a[i] > 1e-12)
           cdf.pass = false;
     }
+    if (avx512) {
+      sw.reset();
+      for (std::size_t r = 0; r < reps; ++r) {
+        w.normal_cdf_batch(z.data(), n, c.data());
+        g_sink = c[0];
+      }
+      cdf.seconds_avx512 = sw.seconds();
+      cdf.speedup_avx512 = cdf.seconds_scalar / cdf.seconds_avx512;
+      for (std::size_t i = 0; i < n; ++i)
+        if (a[i] > 1e-300 && std::abs(c[i] - a[i]) / a[i] > 1e-12)
+          cdf.pass = false;
+    }
     std::printf("[normal_cdf_batch] n=%zu x %zu: scalar %.3f s, avx2 %.3f "
-                "s (%.1fx), error gate %s\n",
+                "s (%.1fx), avx512 %.3f s (%.1fx), error gate %s\n",
                 n, reps, cdf.seconds_scalar, cdf.seconds_avx2, cdf.speedup,
+                cdf.seconds_avx512, cdf.speedup_avx512,
                 cdf.pass ? "PASS" : "FAIL");
   }
 
@@ -171,7 +214,7 @@ int main() {
   {
     const std::size_t m = 96, k = 96, n = 96;
     const std::size_t reps = 200 * scale;
-    std::vector<double> a(m * k), bm(k * n), os(m * n), ov(m * n);
+    std::vector<double> a(m * k), bm(k * n), os(m * n), ov(m * n), ow(m * n);
     for (double& x : a) x = rng.normal();
     for (double& x : bm) x = rng.normal();
     Stopwatch sw;
@@ -181,6 +224,8 @@ int main() {
       g_sink = os[0];
     }
     gemm.seconds_scalar = sw.seconds();
+    BitChecksum cs_s;
+    for (std::size_t i = 0; i < m * n; ++i) cs_s.add(os[i]);
     if (avx2) {
       sw.reset();
       for (std::size_t r = 0; r < reps; ++r) {
@@ -190,17 +235,28 @@ int main() {
       }
       gemm.seconds_avx2 = sw.seconds();
       gemm.speedup = gemm.seconds_scalar / gemm.seconds_avx2;
-      BitChecksum cs_s, cs_v;
-      for (std::size_t i = 0; i < m * n; ++i) {
-        cs_s.add(os[i]);
-        cs_v.add(ov[i]);
+      BitChecksum cs_v;
+      for (std::size_t i = 0; i < m * n; ++i) cs_v.add(ov[i]);
+      if (cs_s.value != cs_v.value) gemm.pass = false;
+    }
+    if (avx512) {
+      sw.reset();
+      for (std::size_t r = 0; r < reps; ++r) {
+        std::fill(ow.begin(), ow.end(), 0.0);
+        w.matmul(a.data(), bm.data(), ow.data(), m, k, n);
+        g_sink = ow[0];
       }
-      gemm.pass = cs_s.value == cs_v.value;
+      gemm.seconds_avx512 = sw.seconds();
+      gemm.speedup_avx512 = gemm.seconds_scalar / gemm.seconds_avx512;
+      BitChecksum cs_w;
+      for (std::size_t i = 0; i < m * n; ++i) cs_w.add(ow[i]);
+      if (cs_s.value != cs_w.value) gemm.pass = false;
     }
     std::printf("[matmul] %zux%zux%zu x %zu: scalar %.3f s, avx2 %.3f s "
-                "(%.1fx), bitwise %s\n",
+                "(%.1fx), avx512 %.3f s (%.1fx), bitwise %s\n",
                 m, k, n, reps, gemm.seconds_scalar, gemm.seconds_avx2,
-                gemm.speedup, gemm.pass ? "IDENTICAL" : "DIFFER");
+                gemm.speedup, gemm.seconds_avx512, gemm.speedup_avx512,
+                gemm.pass ? "IDENTICAL" : "DIFFER");
   }
 
   // ---------------------------------------------------- gram_aat (SYRK) ----
@@ -208,7 +264,7 @@ int main() {
   {
     const std::size_t n = 144, k = 512;
     const std::size_t reps = 100 * scale;
-    std::vector<double> a(n * k), gs(n * n), gv(n * n);
+    std::vector<double> a(n * k), gs(n * n), gv(n * n), gw(n * n);
     for (double& x : a) x = rng.normal();
     Stopwatch sw;
     for (std::size_t r = 0; r < reps; ++r) {
@@ -216,6 +272,8 @@ int main() {
       g_sink = gs[0];
     }
     gram.seconds_scalar = sw.seconds();
+    BitChecksum cs_s;
+    for (std::size_t i = 0; i < n * n; ++i) cs_s.add(gs[i]);
     if (avx2) {
       sw.reset();
       for (std::size_t r = 0; r < reps; ++r) {
@@ -224,17 +282,27 @@ int main() {
       }
       gram.seconds_avx2 = sw.seconds();
       gram.speedup = gram.seconds_scalar / gram.seconds_avx2;
-      BitChecksum cs_s, cs_v;
-      for (std::size_t i = 0; i < n * n; ++i) {
-        cs_s.add(gs[i]);
-        cs_v.add(gv[i]);
+      BitChecksum cs_v;
+      for (std::size_t i = 0; i < n * n; ++i) cs_v.add(gv[i]);
+      if (cs_s.value != cs_v.value) gram.pass = false;
+    }
+    if (avx512) {
+      sw.reset();
+      for (std::size_t r = 0; r < reps; ++r) {
+        w.gram_aat(a.data(), gw.data(), n, k);
+        g_sink = gw[0];
       }
-      gram.pass = cs_s.value == cs_v.value;
+      gram.seconds_avx512 = sw.seconds();
+      gram.speedup_avx512 = gram.seconds_scalar / gram.seconds_avx512;
+      BitChecksum cs_w;
+      for (std::size_t i = 0; i < n * n; ++i) cs_w.add(gw[i]);
+      if (cs_s.value != cs_w.value) gram.pass = false;
     }
     std::printf("[gram_aat] %zux%zu x %zu: scalar %.3f s, avx2 %.3f s "
-                "(%.1fx), bitwise %s\n",
+                "(%.1fx), avx512 %.3f s (%.1fx), bitwise %s\n",
                 n, k, reps, gram.seconds_scalar, gram.seconds_avx2,
-                gram.speedup, gram.pass ? "IDENTICAL" : "DIFFER");
+                gram.speedup, gram.seconds_avx512, gram.speedup_avx512,
+                gram.pass ? "IDENTICAL" : "DIFFER");
   }
 
   const bool pass =
@@ -249,12 +317,15 @@ int main() {
     out << "  \"" << name << "\": {\n"
         << "    \"seconds_scalar\": " << lap.seconds_scalar << ",\n"
         << "    \"seconds_avx2\": " << lap.seconds_avx2 << ",\n"
+        << "    \"seconds_avx512\": " << lap.seconds_avx512 << ",\n"
         << "    \"speedup\": " << lap.speedup << ",\n"
+        << "    \"speedup_avx512\": " << lap.speedup_avx512 << ",\n"
         << "    \"pass\": " << (lap.pass ? "true" : "false") << "\n"
         << "  }" << (last ? "\n" : ",\n");
   };
   out << "{\n"
       << "  \"avx2_available\": " << (avx2 ? "true" : "false") << ",\n"
+      << "  \"avx512_available\": " << (avx512 ? "true" : "false") << ",\n"
       << "  \"pass\": " << (pass ? "true" : "false") << ",\n";
   emit("fill_bin_factors", fill);
   emit("dot_counts", dot);

@@ -1,0 +1,122 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "common/diagnostics.hpp"
+
+namespace obd {
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<std::uint64_t> g_high_water{0};
+
+void record_high_water(std::size_t used) {
+  std::uint64_t seen = g_high_water.load(std::memory_order_relaxed);
+  while (used > seen && !g_high_water.compare_exchange_weak(
+                            seen, used, std::memory_order_relaxed)) {
+  }
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  std::ostringstream os;
+  if (bytes >= 1024 * 1024) {
+    os << (bytes / (1024 * 1024)) << " MiB";
+  } else if (bytes >= 1024) {
+    os << (bytes / 1024) << " KiB";
+  } else {
+    os << bytes << " B";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_bytes) {
+  add_chunk(std::max<std::size_t>(initial_bytes, 1024));
+}
+
+void Arena::add_chunk(std::size_t min_bytes) {
+  const std::size_t prev =
+      chunks_.empty() ? 0 : chunks_.back().capacity;
+  const std::size_t cap = std::max(min_bytes, prev * 2);
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(cap);
+  c.capacity = cap;
+  chunks_.push_back(std::move(c));
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
+  // Aligns the absolute address (chunk bases only guarantee the default
+  // operator-new alignment).
+  const auto aligned_offset = [alignment](const Chunk& ch) {
+    const auto base = reinterpret_cast<std::uintptr_t>(ch.data.get());
+    const std::uintptr_t cur = base + ch.used;
+    const std::uintptr_t up =
+        (cur + alignment - 1) & ~static_cast<std::uintptr_t>(alignment - 1);
+    return static_cast<std::size_t>(up - base);
+  };
+  Chunk* c = &chunks_[active_];
+  std::size_t offset = aligned_offset(*c);
+  if (offset + bytes > c->capacity) {
+    // Try the next existing chunk (release() keeps chunks for reuse);
+    // otherwise grow. A fresh chunk starts aligned for any power of two
+    // up to the allocation granularity of operator new.
+    if (active_ + 1 < chunks_.size() &&
+        bytes + alignment <= chunks_[active_ + 1].capacity) {
+      ++active_;
+    } else {
+      chunks_.resize(active_ + 1);  // drop smaller stale successors
+      add_chunk(bytes + alignment);
+      ++active_;
+    }
+    c = &chunks_[active_];
+    offset = aligned_offset(*c);
+  }
+  c->used = offset + bytes;
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  const std::size_t resident = used();
+  high_water_ = std::max(high_water_, resident);
+  record_high_water(resident);
+  return c->data.get() + offset;
+}
+
+void Arena::release(const Mark& m) {
+  for (std::size_t i = m.chunk + 1; i <= active_ && i < chunks_.size(); ++i)
+    chunks_[i].used = 0;
+  active_ = m.chunk;
+  chunks_[active_].used = m.used;
+}
+
+std::size_t Arena::used() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i <= active_; ++i) total += chunks_[i].used;
+  return total;
+}
+
+Arena& step_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+ArenaStats arena_stats() {
+  ArenaStats s;
+  s.allocations = g_allocations.load(std::memory_order_relaxed);
+  s.bytes = g_bytes.load(std::memory_order_relaxed);
+  s.high_water = g_high_water.load(std::memory_order_relaxed);
+  return s;
+}
+
+void publish_arena_stats() {
+  const ArenaStats s = arena_stats();
+  if (s.allocations == 0) return;
+  std::ostringstream os;
+  os << s.allocations << " bump allocation(s), " << human_bytes(s.bytes)
+     << " served, high water " << human_bytes(s.high_water);
+  diagnostics().stat("arena.bytes", os.str());
+}
+
+}  // namespace obd

@@ -1,0 +1,122 @@
+// Per-step bump arena for the hot control/evaluation loops.
+//
+// The DRM step loop, the duty-cycle evaluator, and the batched sweep
+// drivers used to allocate short-lived std::vector scratch on every step
+// (projected-damage vectors per rung, per-block oxide rows, ...). At
+// fleet-trace rates those allocations dominate the fixed per-step cost,
+// and they serialize on the allocator when the pool is busy. An Arena is
+// a chunked bump allocator: allocation is a pointer increment, and a
+// whole step's scratch is released at once by restoring a mark — no
+// per-object bookkeeping, no destructor walks (trivially destructible
+// payloads only).
+//
+// Usage pattern (one frame per step):
+//
+//   ArenaFrame frame;                       // thread-local step arena
+//   std::span<double> scratch = frame.arena().make_span<double>(n);
+//   ...                                      // scratch valid in the frame
+//                                            // frame destructor releases
+//
+// Frames nest (a step frame may contain a projection frame); release is
+// strictly LIFO via the saved mark. Each thread owns its arena
+// (`step_arena()` is thread_local), so frames never contend. Cumulative
+// counters aggregate across threads and are published as the
+// `arena.bytes` diagnostics stat by publish_arena_stats().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace obd {
+
+class Arena {
+ public:
+  /// `initial_bytes` sizes the first chunk; later chunks grow
+  /// geometrically, so a frame that outgrows the arena pays one
+  /// allocation and never again at that size.
+  explicit Arena(std::size_t initial_bytes = 64 * 1024);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `alignment` (a power of two).
+  /// Never fails except by propagating bad_alloc from a new chunk.
+  void* allocate(std::size_t bytes, std::size_t alignment);
+
+  /// Typed span of `n` default-initialized T. T must be trivially
+  /// destructible — the arena never runs destructors.
+  template <typename T>
+  std::span<T> make_span(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena holds trivially destructible payloads only");
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) p[i] = T{};
+    return {p, n};
+  }
+
+  /// Position in the arena; release(mark()) frees everything allocated
+  /// after the mark (LIFO only — ArenaFrame enforces the discipline).
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+  [[nodiscard]] Mark mark() const { return {active_, chunks_[active_].used}; }
+  void release(const Mark& m);
+
+  /// Bytes currently allocated across all chunks.
+  [[nodiscard]] std::size_t used() const;
+  /// Largest `used()` this arena ever reached.
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+  void add_chunk(std::size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;       ///< index of the chunk being bumped
+  std::size_t high_water_ = 0;
+};
+
+/// This thread's step arena (created on first use, lives for the thread).
+[[nodiscard]] Arena& step_arena();
+
+/// RAII frame over an arena: saves a mark on entry, releases it on exit.
+/// Default-constructed frames use the calling thread's step arena.
+class ArenaFrame {
+ public:
+  ArenaFrame() : ArenaFrame(step_arena()) {}
+  explicit ArenaFrame(Arena& arena) : arena_(&arena), mark_(arena.mark()) {}
+  ~ArenaFrame() { arena_->release(mark_); }
+  ArenaFrame(const ArenaFrame&) = delete;
+  ArenaFrame& operator=(const ArenaFrame&) = delete;
+
+  [[nodiscard]] Arena& arena() { return *arena_; }
+
+ private:
+  Arena* arena_;
+  Arena::Mark mark_;
+};
+
+/// Cumulative arena counters aggregated over every thread's step arena
+/// (and any explicit Arena), since process start.
+struct ArenaStats {
+  std::uint64_t allocations = 0;  ///< allocate() calls
+  std::uint64_t bytes = 0;        ///< bytes served (cumulative)
+  std::uint64_t high_water = 0;   ///< max per-arena resident high water
+};
+[[nodiscard]] ArenaStats arena_stats();
+
+/// Records a one-line arena summary into obd::diagnostics() as a
+/// non-degrading "arena.bytes" stat — a no-op when no arena allocation
+/// has happened yet.
+void publish_arena_stats();
+
+}  // namespace obd

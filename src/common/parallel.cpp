@@ -149,15 +149,27 @@ class Pool {
   ~Pool() { shutdown(); }
 
  private:
-  // Width resolution: explicit override > OBDREL_THREADS > hardware.
+  // Width resolution: explicit override > OBDREL_THREADS > hardware. The
+  // automatic choice is resolved once and cached: run() consults the
+  // width on every region (evaluators pass MonteCarloOptions::threads per
+  // call), and trace playback reaches a region per phase — re-reading the
+  // environment inside that path costs a getenv under the admin mutex per
+  // step for a value that cannot change meaningfully mid-process.
   std::size_t resolve_width() const {
     if (override_ != 0) return override_;
-    if (const char* env = std::getenv("OBDREL_THREADS")) {
-      const long long v = std::atoll(env);
-      if (v > 0) return static_cast<std::size_t>(v);
+    if (auto_width_ == 0) {
+      std::size_t width = 0;
+      if (const char* env = std::getenv("OBDREL_THREADS")) {
+        const long long v = std::atoll(env);
+        if (v > 0) width = static_cast<std::size_t>(v);
+      }
+      if (width == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        width = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+      }
+      auto_width_ = width;
     }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+    return auto_width_;
   }
 
   // admin_ held by caller.
@@ -251,6 +263,7 @@ class Pool {
 
   std::mutex admin_;  ///< serializes set_threads/shutdown/region dispatch
   std::size_t override_ = 0;
+  mutable std::size_t auto_width_ = 0;  ///< cached env/hardware resolution
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;  ///< guards region publication and stopping_

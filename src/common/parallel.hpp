@@ -6,7 +6,11 @@
 // ad-hoc std::thread stripes per call. The pool size is chosen once from,
 // in priority order: set_threads() (the --threads CLI flag / `threads`
 // config key), the OBDREL_THREADS environment variable, and
-// std::thread::hardware_concurrency().
+// std::thread::hardware_concurrency(). The environment/hardware probe is
+// resolved once and cached — per-region calls (every evaluator passes its
+// own max_threads) never re-read the environment, so a trace-playback
+// step costs no env lookups. Changing OBDREL_THREADS after the first
+// region has no effect; use set_threads().
 //
 // Determinism contract: work is split into *fixed* chunks whose boundaries
 // depend only on (begin, end, chunk) — never on the thread count — and

@@ -1,0 +1,85 @@
+#include "core/chip_state.hpp"
+
+#include "common/error.hpp"
+
+namespace obd::core {
+namespace {
+
+// Bit-pattern equality: the dirty predicate must be exact (a ULP-sized
+// write is still a write), and must not treat -0.0 == +0.0 as a no-op.
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+ChipState::ChipState(const ReliabilityProblem& problem)
+    : problem_(&problem), vdd_(problem.vdd()) {
+  const auto& blocks = problem.blocks();
+  const auto& design_blocks = problem.design().blocks;
+  alphas_.reserve(blocks.size());
+  bs_.reserve(blocks.size());
+  temps_c_.reserve(blocks.size());
+  activities_.reserve(blocks.size());
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    alphas_.push_back(blocks[j].alpha);
+    bs_.push_back(blocks[j].b);
+    temps_c_.push_back(blocks[j].temp_c);
+    activities_.push_back(design_blocks[j].activity);
+  }
+  dirty_.assign((blocks.size() + 63) / 64, 0);
+  mark_all_dirty();
+}
+
+void ChipState::set_alpha_b(std::size_t j, double alpha, double b) {
+  require(j < alphas_.size(), "ChipState: block index out of range");
+  require(alpha > 0.0 && b > 0.0,
+          "ChipState: alpha and b must be positive");
+  if (same_bits(alphas_[j], alpha) && same_bits(bs_[j], b)) return;
+  alphas_[j] = alpha;
+  bs_[j] = b;
+  mark_dirty(j);
+}
+
+void ChipState::set_temp_c(std::size_t j, double temp_c) {
+  require(j < temps_c_.size(), "ChipState: block index out of range");
+  if (same_bits(temps_c_[j], temp_c)) return;
+  temps_c_[j] = temp_c;
+  mark_dirty(j);
+}
+
+void ChipState::set_activity(std::size_t j, double activity) {
+  require(j < activities_.size(), "ChipState: block index out of range");
+  if (same_bits(activities_[j], activity)) return;
+  activities_[j] = activity;
+  mark_dirty(j);
+}
+
+void ChipState::set_vdd(double vdd) {
+  require(vdd > 0.0, "ChipState: vdd must be positive");
+  if (same_bits(vdd_, vdd)) return;
+  vdd_ = vdd;
+  mark_all_dirty();
+}
+
+std::size_t ChipState::dirty_count() const {
+  std::size_t n = 0;
+  for (const std::uint64_t word : dirty_)
+    n += static_cast<std::size_t>(std::popcount(word));
+  return n;
+}
+
+void ChipState::mark_all_dirty() {
+  const std::size_t n = alphas_.size();
+  for (std::size_t w = 0; w < dirty_.size(); ++w) dirty_[w] = ~std::uint64_t{0};
+  // Keep bits past block_count() clear so popcount/for_each stay exact.
+  if (n % 64 != 0 && !dirty_.empty())
+    dirty_.back() = (std::uint64_t{1} << (n % 64)) - 1;
+  ++generation_;
+}
+
+void ChipState::clear_dirty() {
+  for (auto& word : dirty_) word = 0;
+}
+
+}  // namespace obd::core

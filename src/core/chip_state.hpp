@@ -1,0 +1,112 @@
+// Mutable SoA view of the per-block operating state of one chip, with
+// per-block dirty tracking.
+//
+// A ChipState snapshots the reliability-relevant per-block parameters of a
+// ReliabilityProblem — (alpha_j, b_j) oxide indices, block temperature,
+// switching activity — plus the chip supply, into plain parallel arrays.
+// Consumers that re-evaluate the chip repeatedly under small state deltas
+// (DRM steps, trace replay, serve `set.*` overrides) mutate it through the
+// bit-comparing setters; a setter that actually changes a value marks that
+// block dirty and bumps the generation counter. The IncrementalEvaluator
+// then refreshes only the dirty rows of its cached per-block terms.
+//
+// Dirty bits follow a single-consumer contract: exactly one evaluator owns
+// the state's dirty set and calls clear_dirty() after consuming it. Two
+// evaluators sharing one ChipState would each clear the other's deltas —
+// give each its own state instead.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "mech/mechanism.hpp"
+
+namespace obd::core {
+
+class ChipState {
+ public:
+  /// Snapshots `problem`'s per-block parameters; every block starts dirty
+  /// (the first evaluation is always a full build). `problem` must outlive
+  /// this state.
+  explicit ChipState(const ReliabilityProblem& problem);
+
+  [[nodiscard]] const ReliabilityProblem& problem() const {
+    return *problem_;
+  }
+  [[nodiscard]] std::size_t block_count() const { return alphas_.size(); }
+
+  [[nodiscard]] std::span<const double> alphas() const { return alphas_; }
+  [[nodiscard]] std::span<const double> bs() const { return bs_; }
+  [[nodiscard]] std::span<const double> temps_c() const { return temps_c_; }
+  [[nodiscard]] std::span<const double> activities() const {
+    return activities_;
+  }
+  [[nodiscard]] double vdd() const { return vdd_; }
+
+  /// Operating conditions of block `j` as the mechanism stack consumes
+  /// them (block temperature, chip supply, block activity).
+  [[nodiscard]] mech::OperatingConditions conditions(std::size_t j) const {
+    return {temps_c_[j], vdd_, activities_[j]};
+  }
+
+  /// Monotone mutation counter: bumped once per state-changing setter call
+  /// (no-op writes excluded). An evaluator that observes a generation
+  /// *lower* than its cached one is looking at a rebuilt state and must
+  /// discard its cache.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// Setters compare bit patterns: writing back the value already stored
+  /// is a no-op (no dirty bit, no generation bump), so a trace replay that
+  /// rewrites a mostly-unchanged profile dirties only the true deltas.
+  /// alpha/b must stay positive — the evaluator's row cache relies on the
+  /// invariant instead of revalidating untouched rows per query.
+  void set_alpha_b(std::size_t j, double alpha, double b);
+  void set_temp_c(std::size_t j, double temp_c);
+  void set_activity(std::size_t j, double activity);
+  /// The supply is chip-global; changing it dirties every block (aging
+  /// mechanisms read vdd through each block's operating conditions).
+  void set_vdd(double vdd);
+
+  [[nodiscard]] bool dirty(std::size_t j) const {
+    return (dirty_[j >> 6] >> (j & 63)) & 1u;
+  }
+  [[nodiscard]] std::size_t dirty_count() const;
+  void mark_all_dirty();
+  /// Consumes the dirty set. Called by the owning evaluator only (see the
+  /// single-consumer contract above).
+  void clear_dirty();
+
+  /// Invokes fn(j) for every dirty block, ascending j.
+  template <typename Fn>
+  void for_each_dirty(Fn&& fn) const {
+    for (std::size_t w = 0; w < dirty_.size(); ++w) {
+      std::uint64_t word = dirty_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn((w << 6) + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  void mark_dirty(std::size_t j) {
+    dirty_[j >> 6] |= std::uint64_t{1} << (j & 63);
+    ++generation_;
+  }
+
+  const ReliabilityProblem* problem_;  // non-owning; must outlive this
+  std::vector<double> alphas_;
+  std::vector<double> bs_;
+  std::vector<double> temps_c_;
+  std::vector<double> activities_;
+  double vdd_ = 0.0;
+  std::vector<std::uint64_t> dirty_;  ///< one bit per block
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace obd::core

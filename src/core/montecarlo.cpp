@@ -1,7 +1,9 @@
 #include "core/montecarlo.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <utility>
 
@@ -575,6 +577,11 @@ std::vector<double> MonteCarloAnalyzer::failure_probabilities(
     require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
   if (ts.empty()) return {};
   const EvalContext ctx = build_eval_context(ts);
+  return sweep_over_context(ctx, ts);
+}
+
+std::vector<double> MonteCarloAnalyzer::sweep_over_context(
+    const EvalContext& ctx, std::span<const double> ts) const {
   const std::size_t nt = ts.size();
   std::vector<double> sums = par::parallel_reduce(
       0, chips_.size(), kEvalChunk, std::vector<double>(nt, 0.0),
@@ -610,6 +617,80 @@ std::vector<double> MonteCarloAnalyzer::failure_probabilities(
     }
   }
   return sums;
+}
+
+void MonteCarloAnalyzer::refresh_with_context(
+    std::span<const double> ts, const std::vector<double>& alphas,
+    const std::vector<double>& bs) const {
+  const auto& blocks = problem_->blocks();
+  const std::size_t n = blocks.size();
+  // The sweep points are the row axis of the context: a changed `ts` (bit
+  // compare) invalidates every row, so rebuild from scratch.
+  const bool full = !with_valid_ || with_ts_.size() != ts.size() ||
+                    std::memcmp(with_ts_.data(), ts.data(),
+                                ts.size() * sizeof(double)) != 0;
+  EvalContext& ctx = with_ctx_;
+  if (full) {
+    ctx.nt = ts.size();
+    ctx.nblocks = n;
+    ctx.bins = options_.thickness_bins;
+    ctx.factors.assign(ctx.nt * n * ctx.bins, 0.0);
+    ctx.lo.assign(ctx.nt * n, 0.0);
+    ctx.hi.assign(ctx.nt * n, 0.0);
+    ctx.area.resize(n);
+    for (std::size_t j = 0; j < n; ++j)
+      ctx.area[j] =
+          blocks[j].area /
+          static_cast<double>(problem_->design().blocks[j].device_count);
+    with_ts_.assign(ts.begin(), ts.end());
+    // Zero never bit-matches a valid (positive) alpha or b, so the row
+    // loop below refills every block.
+    with_alphas_.assign(n, 0.0);
+    with_bs_.assign(n, 0.0);
+  }
+  std::vector<double> column;
+  std::size_t refreshed = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (std::bit_cast<std::uint64_t>(with_alphas_[j]) ==
+            std::bit_cast<std::uint64_t>(alphas[j]) &&
+        std::bit_cast<std::uint64_t>(with_bs_[j]) ==
+            std::bit_cast<std::uint64_t>(bs[j]))
+      continue;
+    // Same per-row ops as build_eval_context, so a refreshed row is
+    // byte-identical to its cold-built counterpart.
+    for (std::size_t ti = 0; ti < ctx.nt; ++ti) {
+      const double gb = std::log(ts[ti] / alphas[j]) * bs[j];
+      detail::fill_bin_factors(gb, x_lo_, x_step_, ctx.bins, column);
+      std::copy(column.begin(), column.end(),
+                ctx.factors.begin() +
+                    static_cast<std::ptrdiff_t>((ti * n + j) * ctx.bins));
+      ctx.lo[ti * n + j] = std::exp(gb * x_lo_);
+      ctx.hi[ti * n + j] = std::exp(gb * x_hi_);
+    }
+    with_alphas_[j] = alphas[j];
+    with_bs_[j] = bs[j];
+    ++refreshed;
+  }
+  with_rows_refreshed_ = refreshed;
+  with_valid_ = true;
+}
+
+std::vector<double> MonteCarloAnalyzer::failure_probabilities_with(
+    std::span<const double> ts, const std::vector<double>& alphas,
+    const std::vector<double>& bs) const {
+  require(!chips_.empty(), ErrorCode::kInvalidInput,
+          "MonteCarloAnalyzer: stored-sample query on a streaming analyzer");
+  const auto& blocks = problem_->blocks();
+  require(alphas.size() == blocks.size() && bs.size() == blocks.size(),
+          "MonteCarloAnalyzer: one (alpha, b) pair per block required");
+  for (const double t : ts)
+    require(t > 0.0, "MonteCarloAnalyzer: t must be positive");
+  if (ts.empty()) return {};
+  for (std::size_t j = 0; j < blocks.size(); ++j)
+    require(alphas[j] > 0.0 && bs[j] > 0.0,
+            "MonteCarloAnalyzer: alpha and b must be positive");
+  refresh_with_context(ts, alphas, bs);
+  return sweep_over_context(with_ctx_, ts);
 }
 
 double MonteCarloAnalyzer::failure_probability(double t) const {

@@ -136,6 +136,29 @@ class MonteCarloAnalyzer {
   [[nodiscard]] std::vector<double> failure_probabilities(
       std::span<const double> ts) const;
 
+  /// Batched F(t) sweep under *different* per-block oxide (alpha, b) —
+  /// the Monte Carlo counterpart of
+  /// HybridEvaluator::failure_probabilities_with. Aging mechanisms stay
+  /// at default conditions. A cached evaluation context persists across
+  /// calls: factor-table rows are pure functions of (t, alpha_j, b_j), so
+  /// a repeat call with the same `ts` that changes k of N blocks (bit
+  /// compare) refills only those k block rows; the reduction always runs
+  /// over all blocks in fixed order, so the result is bit-identical to a
+  /// cold evaluation for any update history. The cache makes concurrent
+  /// calls to this method racy — one querying caller at a time (matching
+  /// the serve/DRM drivers, which are single-threaded at this boundary).
+  [[nodiscard]] std::vector<double> failure_probabilities_with(
+      std::span<const double> ts, const std::vector<double>& alphas,
+      const std::vector<double>& bs) const;
+
+  /// Block rows of the cached context refilled by the most recent
+  /// failure_probabilities_with call (N on a cold/changed-ts call, the
+  /// dirty count otherwise). Observability hook for the incremental
+  /// benchmarks and tests.
+  [[nodiscard]] std::size_t with_rows_refreshed() const {
+    return with_rows_refreshed_;
+  }
+
   /// Standard error of failure_probability(t): sample standard deviation
   /// of the conditional failures over sqrt(chips). Lets benchmark tables
   /// report MC error bars instead of bare point estimates.
@@ -260,6 +283,20 @@ class MonteCarloAnalyzer {
   [[nodiscard]] EvalContext build_eval_context(
       std::span<const double> ts) const;
 
+  /// Ensemble reduction over the stored chips against a prebuilt context,
+  /// including the deterministic aging fold. failure_probabilities and
+  /// failure_probabilities_with share this kernel, so their results are
+  /// bit-identical by construction whenever their contexts are.
+  [[nodiscard]] std::vector<double> sweep_over_context(
+      const EvalContext& ctx, std::span<const double> ts) const;
+
+  /// Differential refresh of the cached `with` context: a full rebuild
+  /// when the sweep points changed (bit compare) or no cache exists,
+  /// otherwise only the block rows whose (alpha, b) bits changed.
+  void refresh_with_context(std::span<const double> ts,
+                            const std::vector<double>& alphas,
+                            const std::vector<double>& bs) const;
+
   /// Sum over blocks of A-weighted Weibull exponents for one chip:
   /// H(t) = sum_j a_j sum_bins count * exp(gamma_j b_j x_bin), with the
   /// under/overflow populations contributing at the axis boundaries.
@@ -284,6 +321,15 @@ class MonteCarloAnalyzer {
   double x_hi_ = 0.0;   ///< histogram upper edge [nm]
   double out_of_range_fraction_ = 0.0;
   std::vector<ChipSample> chips_;
+
+  // Cached state of failure_probabilities_with (see the public contract):
+  // the context plus the (ts, alpha, b) values it was filled for.
+  mutable EvalContext with_ctx_;
+  mutable std::vector<double> with_ts_;
+  mutable std::vector<double> with_alphas_;
+  mutable std::vector<double> with_bs_;
+  mutable bool with_valid_ = false;
+  mutable std::size_t with_rows_refreshed_ = 0;
 };
 
 }  // namespace obd::core

@@ -10,6 +10,7 @@
 // instance, so comparisons are apples-to-apples.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -102,6 +103,25 @@ class ReliabilityProblem {
     return *mech_;
   }
 
+  /// Canonical mechanism-spec rendering, cached on the stack at build
+  /// time (serve keys and checkpoint frames used to re-render it).
+  [[nodiscard]] const std::string& mechanism_canonical() const {
+    return mech_->canonical_spec();
+  }
+
+  /// Canonical identity text of the assembled problem: design, per-block
+  /// reliability parameters, construction options, and the mechanism
+  /// spec, rendered once at build time with fmt17-style exact doubles.
+  [[nodiscard]] const std::string& fingerprint_text() const {
+    return fingerprint_text_;
+  }
+
+  /// FNV-1a 64-bit hash of fingerprint_text(), computed once at build
+  /// time. Two problems with equal fingerprints were built from
+  /// byte-identical inputs (up to hash collision — compare the text when
+  /// exactness matters).
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
   /// Worst (hottest) block temperature — the guard-band corner.
   [[nodiscard]] double worst_temp_c() const;
 
@@ -123,6 +143,8 @@ class ReliabilityProblem {
   std::vector<BlockParams> blocks_;
   std::shared_ptr<const mech::MechanismStack> mech_ =
       std::make_shared<mech::MechanismStack>();
+  std::string fingerprint_text_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace obd::core

@@ -1,9 +1,11 @@
 #include "drm/manager.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
+#include "common/arena.hpp"
 #include "common/diagnostics.hpp"
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
@@ -13,6 +15,13 @@
 #include "thermal/block_model.hpp"
 
 namespace obd::drm {
+namespace {
+
+/// Memo entries per rung. Real traces quantize activity into a handful of
+/// plateaus; anything past the cap recomputes instead of growing the map.
+constexpr std::size_t kConditionsMemoCap = 64;
+
+}  // namespace
 
 ReliabilityManager::ReliabilityManager(
     const core::ReliabilityProblem& problem,
@@ -26,7 +35,12 @@ ReliabilityManager::ReliabilityManager(
       block_damage_(problem.blocks().size(), 0.0),
       extra_damage_(
           problem.mechanisms().extra_count() * problem.blocks().size(),
-          0.0) {
+          0.0),
+      state_(problem),
+      conditions_memo_(ladder_.size()) {
+  // The construction snapshot is not a committed step; the first commit
+  // reports its true delta against the problem's own parameters.
+  state_.clear_dirty();
   require(!ladder_.empty(), "ReliabilityManager: empty DVFS ladder");
   for (std::size_t i = 0; i < ladder_.size(); ++i) {
     require(ladder_[i].vdd > 0.0 && ladder_[i].frequency > 0.0,
@@ -86,9 +100,6 @@ ReliabilityManager::Conditions ReliabilityManager::conditions_for(
     const OperatingPoint& op, double workload_activity) const {
   require(workload_activity >= 0.0,
           "ReliabilityManager: negative workload activity");
-  if (fault::should_fire(fault::site::kDrmThermal))
-    throw Error("ReliabilityManager: injected thermal-solve fault",
-                ErrorCode::kNonconvergence);
   chip::Design scaled = problem_->design();
   for (auto& b : scaled.blocks)
     b.activity = std::min(1.0, b.activity * workload_activity);
@@ -120,6 +131,41 @@ ReliabilityManager::Conditions ReliabilityManager::conditions_for(
     c.bs.push_back(model_->b(t, op.vdd));
   }
   return c;
+}
+
+ReliabilityManager::Conditions ReliabilityManager::cached_conditions_for(
+    std::size_t rung, double workload_activity) {
+  // The injected-fault check runs before the memo is consulted: a forced
+  // thermal failure must fire even when the answer is cached (the fault
+  // models the solver path being down, not a cache miss).
+  if (fault::should_fire(fault::site::kDrmThermal))
+    throw Error("ReliabilityManager: injected thermal-solve fault",
+                ErrorCode::kNonconvergence);
+  // Conditions are a pure function of (rung, activity bits): the design,
+  // power model, and thermal options are fixed for the manager's life.
+  const std::uint64_t key = std::bit_cast<std::uint64_t>(workload_activity);
+  auto& memo = conditions_memo_[rung];
+  if (const auto it = memo.find(key); it != memo.end()) {
+    ++conditions_hits_;
+    return it->second;
+  }
+  Conditions c = conditions_for(ladder_[rung], workload_activity);
+  ++conditions_misses_;
+  if (memo.size() < kConditionsMemoCap) memo.emplace(key, c);
+  return c;
+}
+
+std::size_t ReliabilityManager::commit_state(const Conditions& c) {
+  state_.set_vdd(c.vdd);
+  for (std::size_t j = 0; j < block_damage_.size(); ++j) {
+    state_.set_alpha_b(j, c.alphas[j], c.bs[j]);
+    state_.set_temp_c(j, c.temps_c[j]);
+    state_.set_activity(j, c.activities[j]);
+  }
+  const std::size_t dirty = state_.dirty_count();
+  dirty_blocks_total_ += dirty;
+  state_.clear_dirty();
+  return dirty;
 }
 
 double ReliabilityManager::sanitize_activity(double workload_activity,
@@ -215,9 +261,11 @@ double ReliabilityManager::advanced_extra_damage(
 }
 
 double ReliabilityManager::project_extras(const Conditions& c, double dt,
-                                          std::vector<double>& out) const {
-  out.assign(extra_damage_.size(), 0.0);
+                                          std::span<double> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
   if (extra_damage_.empty()) return 0.0;
+  require(out.size() == extra_damage_.size(),
+          "ReliabilityManager: projection span size mismatch");
   const auto& extras = problem_->mechanisms().extras();
   const std::size_t n = block_damage_.size();
   double total = 0.0;
@@ -243,7 +291,7 @@ DrmStep ReliabilityManager::step_fixed(std::size_t op_index,
 
   Conditions c;
   try {
-    c = conditions_for(ladder_[op_index], activity);
+    c = cached_conditions_for(op_index, activity);
   } catch (const Error& e) {
     if (e.code() == ErrorCode::kDegraded) throw;
     out.degraded = true;
@@ -259,12 +307,15 @@ DrmStep ReliabilityManager::step_fixed(std::size_t op_index,
     block_damage_[j] = advanced_damage(j, block_damage_[j], c.alphas[j],
                                        c.bs[j], dt);
   if (!extra_damage_.empty()) {
-    std::vector<double> advanced;
+    ArenaFrame frame;
+    const std::span<double> advanced =
+        frame.arena().make_span<double>(extra_damage_.size());
     project_extras(c, dt, advanced);
-    extra_damage_ = std::move(advanced);
+    std::copy(advanced.begin(), advanced.end(), extra_damage_.begin());
   }
   elapsed_s_ += dt;
 
+  out.dirty_blocks = commit_state(c);
   out.op_index = op_index;
   out.performance = ladder_[op_index].frequency * std::min(1.0, activity);
   out.damage = damage();
@@ -288,8 +339,14 @@ DrmStep ReliabilityManager::step(double workload_activity) {
   // guard-band hot-corner conditions — pessimistic, but the control loop
   // keeps running.
   std::size_t chosen = 0;  // fallback: slowest rung
-  std::vector<double> committed(block_damage_.size());
-  std::vector<double> committed_extra(extra_damage_.size(), 0.0);
+  // All per-step scratch (the committed vectors and one projection pair
+  // per evaluated rung) lives in this frame of the thread's bump arena;
+  // the frame destructor releases it all at once when the step returns.
+  ArenaFrame frame;
+  std::span<double> committed =
+      frame.arena().make_span<double>(block_damage_.size());
+  std::span<double> committed_extra =
+      frame.arena().make_span<double>(extra_damage_.size());
   Conditions conditions;
   bool have_conditions = false;
   bool deadline_hit = false;
@@ -314,7 +371,7 @@ DrmStep ReliabilityManager::step(double workload_activity) {
     }
     Conditions c;
     try {
-      c = conditions_for(ladder_[r], activity);
+      c = cached_conditions_for(r, activity);
     } catch (const Error& e) {
       if (e.code() == ErrorCode::kDegraded) throw;
       out.degraded = true;
@@ -324,20 +381,22 @@ DrmStep ReliabilityManager::step(double workload_activity) {
                              "); skipping");
       continue;
     }
-    std::vector<double> projected(block_damage_.size());
+    const std::span<double> projected =
+        frame.arena().make_span<double>(block_damage_.size());
     double total = 0.0;
     for (std::size_t j = 0; j < block_damage_.size(); ++j) {
       projected[j] = advanced_damage(j, block_damage_[j], c.alphas[j],
                                      c.bs[j], dt);
       total += projected[j];
     }
-    std::vector<double> projected_extra;
+    const std::span<double> projected_extra =
+        frame.arena().make_span<double>(extra_damage_.size());
     if (!extra_damage_.empty())
       total += project_extras(c, dt, projected_extra);
     if (total <= allowance || r == 0) {
       chosen = r;
-      committed = std::move(projected);
-      committed_extra = std::move(projected_extra);
+      committed = projected;  // spans rebind; the frame owns the storage
+      committed_extra = projected_extra;
       conditions = std::move(c);
       have_conditions = true;
       break;
@@ -363,10 +422,13 @@ DrmStep ReliabilityManager::step(double workload_activity) {
       project_extras(conditions, dt, committed_extra);
   }
 
-  block_damage_ = std::move(committed);
-  if (!extra_damage_.empty()) extra_damage_ = std::move(committed_extra);
+  std::copy(committed.begin(), committed.end(), block_damage_.begin());
+  if (!extra_damage_.empty())
+    std::copy(committed_extra.begin(), committed_extra.end(),
+              extra_damage_.begin());
   elapsed_s_ += dt;
 
+  out.dirty_blocks = commit_state(conditions);
   out.op_index = chosen;
   out.performance = ladder_[chosen].frequency * std::min(1.0, activity);
   out.damage = damage();

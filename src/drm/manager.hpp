@@ -21,9 +21,13 @@
 // analysis-time claim.
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/chip_state.hpp"
 #include "core/device_model.hpp"
 #include "core/hybrid.hpp"
 #include "core/problem.hpp"
@@ -73,6 +77,10 @@ struct DrmStep {
   /// True when this step degraded: the workload sample was clamped or a
   /// thermal solve failed and guard-band fallback conditions were used.
   bool degraded = false;
+  /// Blocks whose committed operating state (alpha, b, temperature,
+  /// activity — bit compare) changed relative to the previous step: the
+  /// dirty set an incremental consumer of this step would refresh.
+  std::size_t dirty_blocks = 0;
 };
 
 /// Budget-based dynamic reliability manager.
@@ -156,6 +164,21 @@ class ReliabilityManager {
 
   [[nodiscard]] const DrmOptions& options() const { return options_; }
 
+  /// Cumulative DrmStep::dirty_blocks across all steps — the numerator of
+  /// the `step.dirty_blocks` diagnostics stat.
+  [[nodiscard]] std::uint64_t dirty_blocks_total() const {
+    return dirty_blocks_total_;
+  }
+
+  /// Per-rung conditions-memo counters: a hit skips the two thermal
+  /// solves and power estimates of a rung evaluation entirely.
+  [[nodiscard]] std::uint64_t conditions_cache_hits() const {
+    return conditions_hits_;
+  }
+  [[nodiscard]] std::uint64_t conditions_cache_misses() const {
+    return conditions_misses_;
+  }
+
  private:
   /// Per-block operating state for a rung at the given workload: oxide
   /// Weibull parameters plus the temperatures/activities the aging
@@ -170,6 +193,14 @@ class ReliabilityManager {
   };
   [[nodiscard]] Conditions conditions_for(const OperatingPoint& op,
                                           double workload_activity) const;
+
+  /// conditions_for with a per-rung memo keyed on the activity bit
+  /// pattern: a trace that repeats an activity level (traces quantize;
+  /// idle/phase plateaus dominate real workloads) reuses the thermal
+  /// solve instead of re-running it. The `drm.thermal` fault site is
+  /// consulted before the memo so injected faults fire on hits too.
+  [[nodiscard]] Conditions cached_conditions_for(std::size_t rung,
+                                                 double workload_activity);
 
   /// Clamps NaN/negative/implausible workload samples into [0, max_activity]
   /// (NaN maps to full activity — the guard-band-safe reading), recording a
@@ -197,10 +228,16 @@ class ReliabilityManager {
       const mech::OperatingConditions& c, double dt) const;
 
   /// Projects every aging mechanism's damage over `dt` under `c` into
-  /// `out` (mechanism-major, sized like extra_damage_) and returns the
-  /// projected sum. No-op returning 0 when no mechanisms are enabled.
+  /// `out` (mechanism-major, sized like extra_damage_; typically an arena
+  /// span) and returns the projected sum. No-op returning 0 when no
+  /// mechanisms are enabled.
   double project_extras(const Conditions& c, double dt,
-                        std::vector<double>& out) const;
+                        std::span<double> out) const;
+
+  /// Feeds the committed conditions into the dirty-tracking ChipState
+  /// (bit-comparing setters) and returns how many blocks actually
+  /// changed since the previous commit.
+  std::size_t commit_state(const Conditions& c);
 
   const core::ReliabilityProblem* problem_;   // non-owning
   const core::DeviceReliabilityModel* model_; // non-owning
@@ -212,6 +249,17 @@ class ReliabilityManager {
   std::vector<double> extra_damage_;
   double elapsed_s_ = 0.0;
   std::size_t last_op_index_ = 0;
+  /// Committed per-block operating state, used as the bit-exact delta
+  /// detector behind DrmStep::dirty_blocks (this manager is the state's
+  /// single dirty-set consumer).
+  core::ChipState state_;
+  /// Per-rung Conditions memo, keyed on the sanitized activity bits.
+  /// Never cleared mid-step (returned Conditions may alias an entry);
+  /// capped per rung so adversarial activity streams cannot grow it.
+  std::vector<std::map<std::uint64_t, Conditions>> conditions_memo_;
+  std::uint64_t conditions_hits_ = 0;
+  std::uint64_t conditions_misses_ = 0;
+  std::uint64_t dirty_blocks_total_ = 0;
 };
 
 }  // namespace obd::drm

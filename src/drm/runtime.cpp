@@ -38,7 +38,7 @@ bool parse_double(const std::string& token, double* out) {
 }
 
 std::uint64_t fnv1a(const std::string& data) {
-  std::uint64_t h = 1469598103934665603ull;
+  std::uint64_t h = 14695981039346656037ull;
   for (unsigned char c : data) {
     h ^= c;
     h *= 1099511628211ull;
@@ -94,7 +94,7 @@ DrmRuntime::DrmRuntime(const core::ReliabilityProblem& problem,
           "DrmRuntime: checkpoint_every must be positive");
   fingerprint_ =
       compute_fingerprint(mgr_.ladder(), options, problem.blocks().size(),
-                          problem.mechanisms().spec().canonical());
+                          problem.mechanism_canonical());
   if (!durable()) return;
 
   std::error_code ec;
@@ -477,6 +477,20 @@ void DrmRuntime::publish_step_stats() const {
   if (mgr_.options().step_deadline_ms > 0.0)
     os << " (deadline " << mgr_.options().step_deadline_ms << " ms)";
   diagnostics().stat("drm.step_ms", os.str());
+
+  // Incremental-recomputation observability: how much per-block state
+  // each step actually moved, and how often the per-rung thermal memo
+  // answered instead of the solver.
+  const std::size_t n_blocks = mgr_.block_damage().size();
+  std::ostringstream dirty;
+  dirty << mgr_.dirty_blocks_total() << " dirty block update(s) over " << n
+        << " step(s) of " << n_blocks << " block(s); conditions memo "
+        << mgr_.conditions_cache_hits() << " hit(s), "
+        << mgr_.conditions_cache_misses() << " miss(es)";
+  diagnostics().stat("step.dirty_blocks", dirty.str());
+  // arena.bytes is published once by the CLI's finish() path, next to
+  // parallel.pool and simd.level — publishing here too would print the
+  // stat twice per `drm run`.
 }
 
 }  // namespace obd::drm

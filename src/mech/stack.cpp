@@ -77,27 +77,14 @@ double MechanismStack::compose_under(
   return compose_impl(oxide_f, t, &conditions);
 }
 
-double MechanismStack::compose_impl(
-    const double* oxide_f, double t,
-    const std::vector<OperatingConditions>* conditions) const {
+double MechanismStack::block_log_survival(
+    std::size_t j, double oxide_f_j, double t,
+    const OperatingConditions& c) const {
+  return std::log1p(-oxide_f_j) + extra_log_survival(j, t, c);
+}
+
+double MechanismStack::reduce_log_survival(const double* block_ls) const {
   const std::size_t n = defaults_.size();
-  if (trivial_) {
-    // Exact seed loop: same op order as the direct evaluators.
-    double log_survival = 0.0;
-    for (std::size_t j = 0; j < n; ++j) {
-      log_survival += std::log1p(-oxide_f[j]);
-    }
-    return std::clamp(-std::expm1(log_survival), 0.0, 1.0);
-  }
-
-  thread_local std::vector<double> block_ls;
-  block_ls.assign(n, 0.0);
-  for (std::size_t j = 0; j < n; ++j) {
-    const OperatingConditions& c =
-        conditions != nullptr ? (*conditions)[j] : defaults_[j];
-    block_ls[j] = std::log1p(-oxide_f[j]) + extra_log_survival(j, t, c);
-  }
-
   double log_survival = 0.0;
   if (groups_.empty()) {
     for (std::size_t j = 0; j < n; ++j) log_survival += block_ls[j];
@@ -128,6 +115,29 @@ double MechanismStack::compose_impl(
     log_survival += std::log(std::min(1.0, group_survival));
   }
   return std::clamp(-std::expm1(log_survival), 0.0, 1.0);
+}
+
+double MechanismStack::compose_impl(
+    const double* oxide_f, double t,
+    const std::vector<OperatingConditions>* conditions) const {
+  const std::size_t n = defaults_.size();
+  if (trivial_) {
+    // Exact seed loop: same op order as the direct evaluators.
+    double log_survival = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      log_survival += std::log1p(-oxide_f[j]);
+    }
+    return std::clamp(-std::expm1(log_survival), 0.0, 1.0);
+  }
+
+  thread_local std::vector<double> block_ls;
+  block_ls.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const OperatingConditions& c =
+        conditions != nullptr ? (*conditions)[j] : defaults_[j];
+    block_ls[j] = block_log_survival(j, oxide_f[j], t, c);
+  }
+  return reduce_log_survival(block_ls.data());
 }
 
 }  // namespace obd::mech

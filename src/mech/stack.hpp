@@ -49,6 +49,13 @@ class MechanismStack {
   [[nodiscard]] std::size_t extra_count() const { return extras_.size(); }
   [[nodiscard]] std::size_t block_count() const { return defaults_.size(); }
   [[nodiscard]] const MechanismSpec& spec() const { return spec_; }
+
+  /// spec().canonical(), rendered once at construction. The canonical
+  /// string keys serve-daemon problem grouping and DRM checkpoint
+  /// framing; both used to re-render it per request/frame.
+  [[nodiscard]] const std::string& canonical_spec() const {
+    return canonical_;
+  }
   [[nodiscard]] const std::vector<std::unique_ptr<FailureMechanism>>&
   extras() const {
     return extras_;
@@ -79,6 +86,21 @@ class MechanismStack {
   /// separates from the sampled oxide term.
   [[nodiscard]] double extra_survival(double t) const;
 
+  /// One block's log-survival term: log1p(-oxide_f_j) +
+  /// extra_log_survival(j, t, c). Non-trivial stacks only — the trivial
+  /// path keeps its exact seed loop inside compose(). The incremental
+  /// evaluator caches these per block and re-derives only dirty rows.
+  [[nodiscard]] double block_log_survival(std::size_t j, double oxide_f_j,
+                                          double t,
+                                          const OperatingConditions& c) const;
+
+  /// Folds block_count() per-block log-survival terms into the chip
+  /// failure probability: series sum over ungrouped blocks plus the
+  /// Poisson-binomial spare-group terms, in the same fixed order as
+  /// compose() regardless of which inputs changed — the bit-identity
+  /// anchor of the incremental path. Non-trivial stacks only.
+  [[nodiscard]] double reduce_log_survival(const double* block_ls) const;
+
  private:
   struct Group {
     std::string name;
@@ -91,6 +113,8 @@ class MechanismStack {
       const std::vector<OperatingConditions>* conditions) const;
 
   MechanismSpec spec_{};
+  // Depends on spec_ being initialized first (declaration order above).
+  std::string canonical_ = spec_.canonical();
   bool trivial_ = true;
   std::vector<OperatingConditions> defaults_;
   std::vector<std::unique_ptr<FailureMechanism>> extras_;

@@ -177,6 +177,10 @@ Request parse_request(const std::string& line) {
 }
 
 std::string problem_key(const Config& cfg) {
+  return problem_key(cfg, mech::parse_spec(cfg).canonical());
+}
+
+std::string problem_key(const Config& cfg, const std::string& mechanisms) {
   const auto d = [](double v) { return fmt17(v); };
   std::ostringstream os;
   os << "design=" << cfg.get_string("design", "c1")
@@ -192,7 +196,6 @@ std::string problem_key(const Config& cfg) {
      << ";n_b=" << cfg.get_count("serve_n_b", 100);
   // Appended only for non-default mechanism specs: seed-era keys (and the
   // disk-tier fingerprints derived from them) stay byte-identical.
-  const std::string mechanisms = mech::parse_spec(cfg).canonical();
   if (mechanisms != "oxide") os << ";mechanisms=" << mechanisms;
   return os.str();
 }
@@ -212,6 +215,19 @@ QueryEngine::QueryEngine(Config base, EngineOptions options)
     : base_(std::move(base)),
       options_(options),
       cache_(options.cache) {}
+
+std::string QueryEngine::canonical_mechanisms(const Config& cfg) {
+  auto key = std::make_pair(cfg.get_string("mechanisms", "oxide"),
+                            cfg.get_string("redundancy", ""));
+  const auto it = mech_memo_.find(key);
+  if (it != mech_memo_.end()) return it->second;
+  std::string rendered = mech::parse_spec(cfg).canonical();
+  // Bound the memo against adversarial clients cycling distinct specs;
+  // a miss past the cap just re-renders (the pre-memo behavior).
+  if (mech_memo_.size() < 256)
+    mech_memo_.emplace(std::move(key), rendered);
+  return rendered;
+}
 
 std::vector<std::string> QueryEngine::evaluate(
     const std::vector<PendingQuery>& batch) {
@@ -233,7 +249,8 @@ std::vector<std::string> QueryEngine::evaluate(
               "serve: health queries bypass the evaluator");
       Config cfg = base_;
       for (const auto& [key, value] : req.overrides) cfg.set(key, value);
-      auto [it, inserted] = groups.try_emplace(problem_key(cfg));
+      auto [it, inserted] =
+          groups.try_emplace(problem_key(cfg, canonical_mechanisms(cfg)));
       if (inserted) it->second.cfg = std::move(cfg);
       it->second.indices.push_back(i);
     } catch (const Error& e) {

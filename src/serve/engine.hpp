@@ -66,6 +66,12 @@ struct Request {
 /// tables.
 [[nodiscard]] std::string problem_key(const Config& cfg);
 
+/// Same, with the canonical mechanism rendering supplied by the caller
+/// (the engine memoizes it per raw spec instead of re-parsing the
+/// mechanism/redundancy grammar on every request).
+[[nodiscard]] std::string problem_key(const Config& cfg,
+                                      const std::string& mechanisms);
+
 /// True when a request that waited `elapsed_ms` against `deadline_ms` must
 /// degrade (deadline_ms <= 0 disables deadlines). Injectable via the
 /// `serve.deadline` site, which expires any armed deadline irrespective of
@@ -110,10 +116,17 @@ class QueryEngine {
   [[nodiscard]] const EngineOptions& options() const { return options_; }
 
  private:
+  /// Canonical mechanism rendering for `cfg`, memoized on the raw
+  /// ("mechanisms", "redundancy") strings. Exact within one engine: the
+  /// base config is fixed and request overrides touch whitelisted keys
+  /// only, so that pair identifies the parse completely.
+  [[nodiscard]] std::string canonical_mechanisms(const Config& cfg);
+
   Config base_;
   EngineOptions options_;
   TableCache cache_;
   EngineStats stats_;
+  std::map<std::pair<std::string, std::string>, std::string> mech_memo_;
 };
 
 }  // namespace obd::serve

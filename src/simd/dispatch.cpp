@@ -15,6 +15,7 @@ namespace {
 std::atomic<int> g_level{-1};
 
 Level resolve_auto() {
+  if (can_use_avx512()) return Level::kAvx512;
   return can_use_avx2() ? Level::kAvx2 : Level::kScalar;
 }
 
@@ -25,12 +26,28 @@ void store(Level level) {
 }  // namespace
 
 const char* to_string(Level level) {
-  return level == Level::kAvx2 ? "avx2" : "scalar";
+  switch (level) {
+    case Level::kAvx512:
+      return "avx512";
+    case Level::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
 }
 
 bool can_use_avx2() {
 #if defined(OBDREL_HAVE_AVX2) && (defined(__GNUC__) || defined(__clang__))
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool can_use_avx512() {
+#if defined(OBDREL_HAVE_AVX512) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq");
 #else
   return false;
 #endif
@@ -62,7 +79,18 @@ void configure(const std::string& spec) {
     store(Level::kAvx2);
     return;
   }
-  throw Error("simd must be 'auto', 'avx2' or 'scalar', got '" + spec + "'",
+  if (spec == "avx512") {
+    if (!can_use_avx512())
+      throw Error(
+          "simd level 'avx512' requested but unavailable (CPU lacks "
+          "AVX-512F/DQ or the build disabled OBDREL_ENABLE_AVX512); use "
+          "'auto', 'avx2' or 'scalar'",
+          ErrorCode::kConfig);
+    store(Level::kAvx512);
+    return;
+  }
+  throw Error("simd must be 'auto', 'avx512', 'avx2' or 'scalar', got '" +
+                  spec + "'",
               ErrorCode::kConfig);
 }
 
@@ -84,18 +112,25 @@ void set_level(Level level) {
   if (level == Level::kAvx2 && !can_use_avx2())
     throw Error("simd: AVX2 kernels unavailable on this host/build",
                 ErrorCode::kConfig);
+  if (level == Level::kAvx512 && !can_use_avx512())
+    throw Error("simd: AVX-512 kernels unavailable on this host/build",
+                ErrorCode::kConfig);
   store(level);
 }
 
 void publish_level() {
+  std::string caps = " (";
+  caps += can_use_avx512() ? "avx512f+dq available" : "avx512f+dq unavailable";
+  caps += can_use_avx2() ? ", avx2+fma available)" : ", avx2+fma unavailable)";
   diagnostics().stat(
       "simd.level",
-      std::string("dispatch ") + to_string(active_level()) +
-          (can_use_avx2() ? " (avx2+fma available)"
-                          : " (avx2+fma unavailable)"));
+      std::string("dispatch ") + to_string(active_level()) + caps);
 }
 
 const KernelTable& kernels() {
+#if defined(OBDREL_HAVE_AVX512)
+  if (active_level() == Level::kAvx512) return detail::kAvx512Kernels;
+#endif
 #if defined(OBDREL_HAVE_AVX2)
   if (active_level() == Level::kAvx2) return detail::kAvx2Kernels;
 #endif

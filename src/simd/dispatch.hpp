@@ -3,14 +3,16 @@
 // The dispatch level is a single process-wide decision, resolved in
 // priority order from: configure() (the `simd` config key), the
 // OBDREL_SIMD environment variable, and CPU auto-detection. "auto" picks
-// AVX2+FMA when both the binary was built with the AVX2 translation unit
-// (OBDREL_ENABLE_AVX2, default on) and the CPU reports the features;
-// anything else falls back to the scalar reference kernels, which are
-// bit-identical to the loops they replaced.
+// the widest tier that is both compiled in and reported by the CPU:
+// AVX-512F/DQ first (OBDREL_ENABLE_AVX512, default on), then AVX2+FMA
+// (OBDREL_ENABLE_AVX2, default on); anything else falls back to the
+// scalar reference kernels, which are bit-identical to the loops they
+// replaced.
 //
-// Requesting "avx2" explicitly on a host (or build) that cannot run it is
-// a configuration error (ErrorCode::kConfig), mirroring how the CLI
-// rejects bad `device_sampling` values; "scalar" always works.
+// Requesting "avx512" or "avx2" explicitly on a host (or build) that
+// cannot run it is a configuration error (ErrorCode::kConfig), mirroring
+// how the CLI rejects bad `device_sampling` values; "scalar" always
+// works.
 #pragma once
 
 #include <string>
@@ -20,14 +22,20 @@ namespace obd::simd {
 enum class Level {
   kScalar,  ///< portable reference kernels, baseline ISA
   kAvx2,    ///< AVX2 + FMA kernels (per-file -mavx2 -mfma)
+  kAvx512,  ///< AVX-512F/DQ kernels (per-file -mavx512f -mavx512dq)
 };
 
-/// "scalar" or "avx2".
+/// "scalar", "avx2" or "avx512".
 const char* to_string(Level level);
 
 /// True when the AVX2 kernels are compiled in AND the CPU supports
 /// AVX2 + FMA. False on non-x86 builds or with OBDREL_ENABLE_AVX2=OFF.
 bool can_use_avx2();
+
+/// True when the AVX-512 kernels are compiled in AND the CPU supports
+/// AVX-512F + AVX-512DQ. False on non-x86 builds or with
+/// OBDREL_ENABLE_AVX512=OFF.
+bool can_use_avx512();
 
 /// The active dispatch level. Lazily initialized from OBDREL_SIMD
 /// ("auto" when unset) on first use; a bad OBDREL_SIMD value throws
@@ -35,9 +43,9 @@ bool can_use_avx2();
 /// init_from_env() early to surface that at startup.
 Level active_level();
 
-/// Parses and applies a level spec: "auto" | "avx2" | "scalar".
-/// Throws Error(kConfig) for unknown specs and for "avx2" when
-/// can_use_avx2() is false.
+/// Parses and applies a level spec: "auto" | "avx512" | "avx2" |
+/// "scalar". Throws Error(kConfig) for unknown specs and for explicit
+/// vector levels the host/build cannot run.
 void configure(const std::string& spec);
 
 /// Applies $OBDREL_SIMD (no-op when unset/empty). Same validation as
@@ -45,8 +53,8 @@ void configure(const std::string& spec);
 /// bad value fails with the config exit code everywhere.
 void init_from_env();
 
-/// Forces a level directly (tests). Throws Error(kConfig) for kAvx2 when
-/// can_use_avx2() is false.
+/// Forces a level directly (tests). Throws Error(kConfig) for vector
+/// levels the host/build cannot run.
 void set_level(Level level);
 
 /// Records the active level as a non-degrading "simd.level" stat in

@@ -2,44 +2,53 @@
 //
 // Each entry is one of the straight-line inner loops that dominate
 // end-to-end runtime now that the algorithmic fast paths are in place
-// (see docs/PERFORMANCE.md, "SIMD kernels"). Two implementations exist:
+// (see docs/PERFORMANCE.md, "SIMD kernels"). Three implementations exist:
 // a scalar reference (`kernels_scalar.cpp`, compiled at the baseline ISA,
-// bit-identical to the loops it replaced) and an AVX2+FMA variant
-// (`kernels_avx2.cpp`, compiled per-file with -mavx2 -mfma). Dispatch
-// between them is a process-wide runtime decision — see dispatch.hpp.
+// bit-identical to the loops it replaced), an AVX2+FMA variant
+// (`kernels_avx2.cpp`, compiled per-file with -mavx2 -mfma), and an
+// AVX-512F/DQ variant (`kernels_avx512.cpp`, compiled per-file with
+// -mavx512f -mavx512dq). Dispatch between them is a process-wide runtime
+// decision — see dispatch.hpp.
 //
 // Exactness contracts (what callers may rely on, per kernel):
 //   fill_bin_factors  scalar: bit-identical to the historical loop.
-//                     avx2: same exact-exp re-anchor every
+//                     avx2/avx512: same exact-exp re-anchor every
 //                     kReanchorInterval bins; between anchors the vector
-//                     recurrence steps by ratio^8 per lane-pair, so values
+//                     recurrence steps by ratio^8 per chain, so values
 //                     drift from the scalar recurrence by a bounded ~1e-13
 //                     relative amount (fewer roundings than scalar, not
 //                     more).
-//   dot_counts        bit-identical across levels: both use the same four
-//                     fixed accumulator lanes (lane l sums elements 4j+l,
-//                     product rounded before the add — no FMA), the same
-//                     scalar tail into lane 0, and the same final combine
-//                     (a0 + a2) + (a1 + a3).
+//   dot_counts        bit-identical across ALL levels: every variant uses
+//                     the same four fixed accumulator lanes (lane l sums
+//                     elements 4j+l in ascending j, product rounded before
+//                     the add — no FMA), the same scalar tail into lane 0,
+//                     and the same final combine (a0 + a2) + (a1 + a3).
+//                     The AVX-512 variant folds the high 256-bit half of
+//                     each 512-bit product into the same four lanes
+//                     low-half-first, preserving ascending-j order per
+//                     lane.
 //   normal_cdf_batch  scalar: bit-identical to stats::normal_cdf per
-//                     element. avx2: polynomial erfc, relative error
-//                     <= ~1e-12 wherever |result| > 1e-300; exactly 0/1
-//                     outside |z| ~ 39.6 (the scalar path underflows over
-//                     the same region).
-//   matmul            bit-identical across levels AND to the historical
-//                     naive ikj loop: per output element the contributions
-//                     accumulate in ascending k with the same
-//                     round(product)-then-add sequence and the same
-//                     a == 0.0 skip; k-tiling and 4-wide column
-//                     vectorization only reorder independent elements.
-//   gram_aat          bit-identical across levels and to the historical
-//                     triangle loop (same ascending-index single-chain dot
-//                     per entry, mirrored).
+//                     element. avx2/avx512: polynomial erfc (identical
+//                     coefficient sets and operation sequence), relative
+//                     error <= ~1e-12 wherever |result| > 1e-300; exactly
+//                     0/1 outside |z| ~ 39.6 (the scalar path underflows
+//                     over the same region).
+//   matmul            bit-identical across ALL levels AND to the
+//                     historical naive ikj loop: per output element the
+//                     contributions accumulate in ascending k with the
+//                     same round(product)-then-add sequence and the same
+//                     a == 0.0 skip; k-tiling and column vectorization
+//                     (4-wide or 8-wide) only reorder independent
+//                     elements.
+//   gram_aat          bit-identical across ALL levels and to the
+//                     historical triangle loop (same ascending-index
+//                     single-chain dot per entry, mirrored).
 //   matvec            scalar: bit-identical to the historical loop (one
-//                     accumulator per row). avx2: four accumulator lanes
-//                     per row — differs from scalar by normal dot-product
-//                     rounding (~1e-15 relative); no caller pins matvec
-//                     bits.
+//                     accumulator per row). avx2/avx512: four accumulator
+//                     lanes per row (avx512 folds its high half into the
+//                     same four lanes) — differs from scalar by normal
+//                     dot-product rounding (~1e-15 relative); no caller
+//                     pins matvec bits.
 #pragma once
 
 #include <cstddef>
@@ -88,7 +97,11 @@ const KernelTable& kernels();
 
 namespace detail {
 extern const KernelTable kScalarKernels;
-extern const KernelTable kAvx2Kernels;  // defined only when built with AVX2
+// The vector tables alias kScalarKernels when their translation unit is
+// built without the matching ISA, so taking either symbol is always safe;
+// dispatch never selects a level the CPU cannot run.
+extern const KernelTable kAvx2Kernels;
+extern const KernelTable kAvx512Kernels;
 }  // namespace detail
 
 }  // namespace obd::simd

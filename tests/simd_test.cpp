@@ -41,14 +41,17 @@ struct DispatchGuard {
 // ------------------------------------------------------------------------
 // Dispatch configuration
 
-TEST(SimdDispatch, ConfigureAcceptsTheThreeLevels) {
+TEST(SimdDispatch, ConfigureAcceptsTheFourLevels) {
   DispatchGuard guard;
   simd::configure("scalar");
   EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  // "auto" picks the widest tier the host/build can run.
   simd::configure("auto");
-  EXPECT_EQ(simd::active_level(), simd::can_use_avx2()
-                                      ? simd::Level::kAvx2
-                                      : simd::Level::kScalar);
+  EXPECT_EQ(simd::active_level(),
+            simd::can_use_avx512()
+                ? simd::Level::kAvx512
+                : simd::can_use_avx2() ? simd::Level::kAvx2
+                                       : simd::Level::kScalar);
   if (simd::can_use_avx2()) {
     simd::configure("avx2");
     EXPECT_EQ(simd::active_level(), simd::Level::kAvx2);
@@ -57,6 +60,21 @@ TEST(SimdDispatch, ConfigureAcceptsTheThreeLevels) {
         {
           try {
             simd::configure("avx2");
+          } catch (const Error& e) {
+            EXPECT_EQ(e.code(), ErrorCode::kConfig);
+            throw;
+          }
+        },
+        Error);
+  }
+  if (simd::can_use_avx512()) {
+    simd::configure("avx512");
+    EXPECT_EQ(simd::active_level(), simd::Level::kAvx512);
+  } else {
+    EXPECT_THROW(
+        {
+          try {
+            simd::configure("avx512");
           } catch (const Error& e) {
             EXPECT_EQ(e.code(), ErrorCode::kConfig);
             throw;
@@ -104,19 +122,35 @@ TEST(SimdDispatch, EnvVariableParsesAndRejects) {
 }
 
 // ------------------------------------------------------------------------
-// Kernel table equality: scalar vs AVX2
+// Kernel table equality: scalar vs each vector tier. The same contract
+// suite runs against the AVX2 and the AVX-512 tables (parameterized);
+// unavailable tiers skip with the host capability in the message.
 
-class SimdKernelPair : public ::testing::Test {
+class SimdKernelPair : public ::testing::TestWithParam<simd::Level> {
  protected:
   void SetUp() override {
-    if (!simd::can_use_avx2())
-      GTEST_SKIP() << "AVX2+FMA unavailable on this host/build";
+    if (GetParam() == simd::Level::kAvx512) {
+      if (!simd::can_use_avx512())
+        GTEST_SKIP() << "AVX-512F/DQ unavailable on this host/build";
+      v_ = simd::detail::kAvx512Kernels;
+    } else {
+      if (!simd::can_use_avx2())
+        GTEST_SKIP() << "AVX2+FMA unavailable on this host/build";
+      v_ = simd::detail::kAvx2Kernels;
+    }
   }
   const simd::KernelTable& s_ = simd::detail::kScalarKernels;
-  const simd::KernelTable& v_ = simd::detail::kAvx2Kernels;
+  simd::KernelTable v_{};  ///< the vector table under test (copied pointers)
 };
 
-TEST_F(SimdKernelPair, DotCountsIsBitIdentical) {
+INSTANTIATE_TEST_SUITE_P(
+    VectorTiers, SimdKernelPair,
+    ::testing::Values(simd::Level::kAvx2, simd::Level::kAvx512),
+    [](const ::testing::TestParamInfo<simd::Level>& info) {
+      return std::string(simd::to_string(info.param));
+    });
+
+TEST_P(SimdKernelPair, DotCountsIsBitIdentical) {
   stats::Rng rng(101);
   for (const std::size_t n :
        {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
@@ -138,7 +172,7 @@ TEST_F(SimdKernelPair, DotCountsIsBitIdentical) {
   }
 }
 
-TEST_F(SimdKernelPair, DotCountsMatchesFourLaneReference) {
+TEST_P(SimdKernelPair, DotCountsMatchesFourLaneReference) {
   // Pin the documented lane structure itself, not just cross-level
   // agreement: lane l sums elements 4j + l, tail into lane 0, combined as
   // (a0 + a2) + (a1 + a3).
@@ -164,7 +198,7 @@ TEST_F(SimdKernelPair, DotCountsMatchesFourLaneReference) {
   EXPECT_EQ(v_.dot_counts(c.data(), e.data(), n), ref);
 }
 
-TEST_F(SimdKernelPair, FillBinFactorsStaysNearScalarAndExactExp) {
+TEST_P(SimdKernelPair, FillBinFactorsStaysNearScalarAndExactExp) {
   const double gb = -7.25;
   const double x_lo = 1.8;
   for (const std::size_t bins :
@@ -189,7 +223,7 @@ TEST_F(SimdKernelPair, FillBinFactorsStaysNearScalarAndExactExp) {
   }
 }
 
-TEST_F(SimdKernelPair, NormalCdfBatchMatchesScalarReference) {
+TEST_P(SimdKernelPair, NormalCdfBatchMatchesScalarReference) {
   std::vector<double> z;
   for (double x = -40.0; x <= 40.0; x += 0.0097) z.push_back(x);
   std::vector<double> a(z.size());
@@ -220,7 +254,7 @@ TEST_F(SimdKernelPair, NormalCdfBatchMatchesScalarReference) {
     ASSERT_EQ(inplace[i], b[i]) << "z = " << z[i];
 }
 
-TEST_F(SimdKernelPair, MatmulBitIdenticalAcrossLevelsAndToNaiveLoop) {
+TEST_P(SimdKernelPair, MatmulBitIdenticalAcrossLevelsAndToNaiveLoop) {
   stats::Rng rng(31);
   struct Shape {
     std::size_t m, k, n;
@@ -253,7 +287,7 @@ TEST_F(SimdKernelPair, MatmulBitIdenticalAcrossLevelsAndToNaiveLoop) {
   }
 }
 
-TEST_F(SimdKernelPair, GramAatBitIdentical) {
+TEST_P(SimdKernelPair, GramAatBitIdentical) {
   stats::Rng rng(57);
   for (const auto& [n, k] : {std::pair<std::size_t, std::size_t>{9, 13},
                             {1, 5},
@@ -270,7 +304,7 @@ TEST_F(SimdKernelPair, GramAatBitIdentical) {
   }
 }
 
-TEST_F(SimdKernelPair, MatvecWithinDotProductRounding) {
+TEST_P(SimdKernelPair, MatvecWithinDotProductRounding) {
   stats::Rng rng(93);
   const std::size_t rows = 37;
   const std::size_t cols = 101;
@@ -420,6 +454,15 @@ TEST(SimdEndToEnd, BinnedMonteCarloAgreesAcrossDispatchLevels) {
   // covers the astronomically rare draw flip without ever hiding a real
   // kernel bug.
   EXPECT_LE(std::abs(f_avx2 - f_scalar), std::max(6.0 * se, 1e-9));
+
+  if (simd::can_use_avx512()) {
+    simd::set_level(simd::Level::kAvx512);
+    const core::MonteCarloAnalyzer mc_avx512(
+        problem,
+        {.chip_samples = 40, .sampling = core::DeviceSampling::kBinned});
+    const double f_avx512 = mc_avx512.failure_probability(t);
+    EXPECT_LE(std::abs(f_avx512 - f_scalar), std::max(6.0 * se, 1e-9));
+  }
 }
 
 }  // namespace

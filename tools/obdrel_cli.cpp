@@ -116,6 +116,7 @@
 
 #include "chip/design.hpp"
 #include "chip/floorplan_io.hpp"
+#include "common/arena.hpp"
 #include "common/config.hpp"
 #include "common/diagnostics.hpp"
 #include "common/error.hpp"
@@ -810,6 +811,7 @@ void apply_runtime_options(const Config& cfg, bool strict_flag,
 // Reports collected degradation warnings; returns the adjusted exit code.
 int finish(int rc) {
   par::publish_stats();
+  publish_arena_stats();
   simd::publish_level();
   const std::string stats = diagnostics().render_stats();
   if (!stats.empty()) std::fputs(stats.c_str(), stderr);
