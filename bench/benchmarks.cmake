@@ -24,6 +24,7 @@ obdrel_add_bench(fleet_sweep)
 obdrel_add_bench(serve_latency)
 obdrel_add_bench(mech_overhead)
 obdrel_add_bench(incremental_step)
+obdrel_add_bench(surrogate_eval)
 
 # Ablation studies of the design choices called out in DESIGN.md.
 obdrel_add_bench(ablation_quadrature)

@@ -9,13 +9,23 @@
 //   normal_cdf_batch  bounded relative error (<= 1e-12 where > 1e-300)
 //   matmul (GEMM)     bit-identical
 //   gram_aat (SYRK)   bit-identical
+//   clenshaw_batch    bit-identical (FNV checksum equality)
+//
+// On top of the exactness gates, each lap gates the per-kernel tier that
+// "auto" dispatch composes (simd::kernel_level): the picked tier's
+// measured time must stay within kAutoSlack of the fastest available
+// tier. That is what keeps the kAutoCap table in dispatch.cpp honest — a
+// widest-tier regression (or a ratio flip on new hardware, e.g. the
+// dot_counts AVX-512 fold overtaking AVX2) fails the bench instead of
+// silently serving a slower kernel.
 //
 // Results go to BENCH_simd.json (in $OBDREL_CSV_DIR when set). The exit
-// code reflects the exactness gates only; speedups are reported for the
-// acceptance tables but depend on the host. When a vector tier is
-// unavailable its laps are skipped and the gates pass vacuously (recorded
-// as "avx2_available" / "avx512_available": false). Per-lap JSON keeps the
-// original scalar/AVX2 keys and adds seconds_avx512 / speedup_avx512.
+// code reflects the exactness and auto-tier gates only; raw speedups are
+// reported for the acceptance tables but depend on the host. When a
+// vector tier is unavailable its laps are skipped and the gates pass
+// vacuously (recorded as "avx2_available" / "avx512_available": false).
+// Per-lap JSON keeps the original scalar/AVX2 keys and adds
+// seconds_avx512 / speedup_avx512 / auto_tier / auto_margin / auto_pass.
 //
 // Scaling knob: OBDREL_SIMD_BENCH_SCALE multiplies every rep count
 // (default 1; CI smoke uses the default).
@@ -58,7 +68,44 @@ struct Lap {
   double speedup = 0.0;         // scalar / avx2
   double speedup_avx512 = 0.0;  // scalar / avx512
   bool pass = true;             // every available tier met its gate
+  obd::simd::Level auto_tier = obd::simd::Level::kScalar;  // what auto picks
+  double auto_margin = 0.0;  // picked tier seconds / fastest tier seconds
+  bool auto_pass = true;     // auto_margin <= kAutoSlack
 };
+
+// Timing slack for the auto-tier gate: the picked tier may trail the
+// fastest measured tier by this factor before the gate fails (run-to-run
+// jitter on a shared box is real; the dot_counts AVX-512/AVX2 gap this
+// gate exists to catch is ~1.6x).
+constexpr double kAutoSlack = 1.25;
+
+double tier_seconds(const Lap& lap, obd::simd::Level level) {
+  switch (level) {
+    case obd::simd::Level::kAvx512:
+      return lap.seconds_avx512;
+    case obd::simd::Level::kAvx2:
+      return lap.seconds_avx2;
+    default:
+      return lap.seconds_scalar;
+  }
+}
+
+// Gates that the tier "auto" composes for `id` is (within slack) the
+// fastest one this run measured. Requires simd::configure("auto") to have
+// run so kernel_level reflects the composed table.
+void gate_auto(const char* name, Lap& lap, obd::simd::KernelId id,
+               bool avx2, bool avx512) {
+  lap.auto_tier = obd::simd::kernel_level(id);
+  double best = lap.seconds_scalar;
+  if (avx2) best = std::min(best, lap.seconds_avx2);
+  if (avx512) best = std::min(best, lap.seconds_avx512);
+  const double picked = tier_seconds(lap, lap.auto_tier);
+  lap.auto_margin = best > 0.0 ? picked / best : 1.0;
+  lap.auto_pass = lap.auto_margin <= kAutoSlack;
+  std::printf("[%s] auto picks %s (%.2fx of fastest) %s\n", name,
+              obd::simd::to_string(lap.auto_tier), lap.auto_margin,
+              lap.auto_pass ? "PASS" : "FAIL");
+}
 
 volatile double g_sink = 0.0;  // keeps the optimizer honest across reps
 
@@ -305,9 +352,74 @@ int main() {
                 gram.pass ? "IDENTICAL" : "DIFFER");
   }
 
-  const bool pass =
-      fill.pass && dot.pass && cdf.pass && gemm.pass && gram.pass;
-  std::printf("\nexactness gates %s\n", pass ? "PASS" : "FAIL");
+  // --------------------------------------------------- clenshaw_batch ----
+  Lap clen;
+  {
+    const std::size_t n = 25, m = 64;
+    const std::size_t reps = 100000 * scale;
+    std::vector<double> coeffs(n * m), os(m), ov(m), ow(m);
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t p = 0; p < m; ++p)
+        coeffs[k * m + p] =
+            rng.normal() / (1.0 + static_cast<double>(k * k));
+    const double u = -0.37;
+    Stopwatch sw;
+    for (std::size_t r = 0; r < reps; ++r) {
+      s.clenshaw_batch(coeffs.data(), n, m, u, os.data());
+      g_sink = os[0];
+    }
+    clen.seconds_scalar = sw.seconds();
+    BitChecksum cs_s;
+    for (std::size_t p = 0; p < m; ++p) cs_s.add(os[p]);
+    if (avx2) {
+      sw.reset();
+      for (std::size_t r = 0; r < reps; ++r) {
+        v.clenshaw_batch(coeffs.data(), n, m, u, ov.data());
+        g_sink = ov[0];
+      }
+      clen.seconds_avx2 = sw.seconds();
+      clen.speedup = clen.seconds_scalar / clen.seconds_avx2;
+      BitChecksum cs_v;
+      for (std::size_t p = 0; p < m; ++p) cs_v.add(ov[p]);
+      if (cs_s.value != cs_v.value) clen.pass = false;
+    }
+    if (avx512) {
+      sw.reset();
+      for (std::size_t r = 0; r < reps; ++r) {
+        w.clenshaw_batch(coeffs.data(), n, m, u, ow.data());
+        g_sink = ow[0];
+      }
+      clen.seconds_avx512 = sw.seconds();
+      clen.speedup_avx512 = clen.seconds_scalar / clen.seconds_avx512;
+      BitChecksum cs_w;
+      for (std::size_t p = 0; p < m; ++p) cs_w.add(ow[p]);
+      if (cs_s.value != cs_w.value) clen.pass = false;
+    }
+    std::printf("[clenshaw_batch] n=%zu m=%zu x %zu: scalar %.3f s, avx2 "
+                "%.3f s (%.1fx), avx512 %.3f s (%.1fx), bitwise %s\n",
+                n, m, reps, clen.seconds_scalar, clen.seconds_avx2,
+                clen.speedup, clen.seconds_avx512, clen.speedup_avx512,
+                clen.pass ? "IDENTICAL" : "DIFFER");
+  }
+
+  // Per-kernel auto-tier gates against this run's own timings.
+  std::printf("\n");
+  simd::configure("auto");
+  gate_auto("fill_bin_factors", fill, simd::KernelId::kFillBinFactors, avx2,
+            avx512);
+  gate_auto("dot_counts", dot, simd::KernelId::kDotCounts, avx2, avx512);
+  gate_auto("normal_cdf_batch", cdf, simd::KernelId::kNormalCdfBatch, avx2,
+            avx512);
+  gate_auto("matmul", gemm, simd::KernelId::kMatmul, avx2, avx512);
+  gate_auto("gram_aat", gram, simd::KernelId::kGramAat, avx2, avx512);
+  gate_auto("clenshaw_batch", clen, simd::KernelId::kClenshawBatch, avx2,
+            avx512);
+
+  const bool pass = fill.pass && dot.pass && cdf.pass && gemm.pass &&
+                    gram.pass && clen.pass && fill.auto_pass &&
+                    dot.auto_pass && cdf.auto_pass && gemm.auto_pass &&
+                    gram.auto_pass && clen.auto_pass;
+  std::printf("\nexactness + auto-tier gates %s\n", pass ? "PASS" : "FAIL");
 
   std::string dir = csv_output_dir();
   const std::string path =
@@ -320,6 +432,11 @@ int main() {
         << "    \"seconds_avx512\": " << lap.seconds_avx512 << ",\n"
         << "    \"speedup\": " << lap.speedup << ",\n"
         << "    \"speedup_avx512\": " << lap.speedup_avx512 << ",\n"
+        << "    \"auto_tier\": \"" << simd::to_string(lap.auto_tier)
+        << "\",\n"
+        << "    \"auto_margin\": " << lap.auto_margin << ",\n"
+        << "    \"auto_pass\": " << (lap.auto_pass ? "true" : "false")
+        << ",\n"
         << "    \"pass\": " << (lap.pass ? "true" : "false") << "\n"
         << "  }" << (last ? "\n" : ",\n");
   };
@@ -331,7 +448,8 @@ int main() {
   emit("dot_counts", dot);
   emit("normal_cdf_batch", cdf);
   emit("matmul", gemm);
-  emit("gram_aat", gram, true);
+  emit("gram_aat", gram);
+  emit("clenshaw_batch", clen, true);
   out << "}\n";
   std::printf("(wrote %s)\n", path.c_str());
   return pass ? 0 : 1;

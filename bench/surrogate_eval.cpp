@@ -1,0 +1,243 @@
+// Surrogate fast path: certified Chebyshev F(t) evaluation vs the exact
+// per-query hybrid-table corner path (core::ConditionEvaluator over
+// serve-resolution tables). The workload is a serve-style corner sweep —
+// many (dT, vdd, activity) corners, many time stamps each — on an
+// all-mechanism competing-risks problem, the hardest channel-decomposition
+// case the default node counts are sized for.
+//
+// Gates (all reflected in the exit code, and in BENCH_surrogate.json):
+//   certified     the fit's certificate holds at the default 1e-4 bound
+//   recert_match  re-running certify() against a freshly rebuilt
+//                 fit-resolution reference reproduces the stored
+//                 certificate bit for bit (the determinism the serve
+//                 tier's disk cache relies on)
+//   speedup       surrogate (plan_corner + evaluate_at) at least
+//                 kMinSpeedup x faster than the exact corner path on the
+//                 same (corner, t) sweep
+//   refusal       out-of-domain probes on every axis are refused by
+//                 in_domain (the fall-through contract)
+//
+// The sweep's observed max relative gap vs the serve-resolution exact
+// path is reported as info only: it folds in the coarse tables' own
+// bilinear error, which the certificate (probed against the dense
+// fit-resolution reference) deliberately excludes.
+//
+// Why the problem is 128 blocks: the exact corner path walks every block
+// per evaluation, so its cost grows linearly with block count, while the
+// surrogate's channel tensors collapse the whole chip into one pencil
+// per channel — evaluate_at cost is independent of block count. A
+// fleet-scale floorplan is exactly where the fast path earns its keep
+// (on a toy 14-block problem the same sweep shows ~5x, not 50x).
+//
+// Scaling knob: OBDREL_SURROGATE_BENCH_CORNERS overrides the per-axis
+// corner count (default 4 -> 4*4*4 = 64 corners x 129 times).
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chip/design.hpp"
+#include "common/csv.hpp"
+#include "common/stopwatch.hpp"
+#include "core/condition_eval.hpp"
+#include "core/device_model.hpp"
+#include "core/hybrid.hpp"
+#include "core/problem.hpp"
+#include "surrogate/surrogate.hpp"
+#include "variation/model.hpp"
+
+namespace {
+
+constexpr double kMinSpeedup = 50.0;
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+volatile double g_sink = 0.0;
+
+}  // namespace
+
+int main() {
+  using namespace obd;
+  const std::size_t per_axis =
+      bench::env_size("OBDREL_SURROGATE_BENCH_CORNERS", 4);
+
+  // The surrogate test fixture's all-mechanism problem at bench scale:
+  // 128 blocks, oxide + NBTI + EM + HCI, activity-correlated temperatures.
+  const chip::Design design = chip::make_synthetic_design(
+      "SURB", {.devices = 20000, .block_count = 128, .die_width = 6.0,
+               .die_height = 6.0, .seed = 97});
+  std::vector<double> temps(design.blocks.size());
+  for (std::size_t j = 0; j < temps.size(); ++j)
+    temps[j] = 55.0 + 40.0 * design.blocks[j].activity;
+  core::ProblemOptions popts;
+  popts.grid_cells_per_side = 8;
+  popts.mechanisms.nbti = true;
+  popts.mechanisms.em = true;
+  popts.mechanisms.hci = true;
+  const auto problem = core::ReliabilityProblem::build(
+      design, var::VariationBudget{}, core::AnalyticReliabilityModel{},
+      temps, 1.2, popts);
+
+  const surrogate::SurrogateOptions opts;  // default = certified 1e-4 setup
+  std::printf(
+      "surrogate fast path: %zu blocks, %zu mechanism channel(s) + oxide, "
+      "default node counts (%zu/%zu/%zu/%zu/%zu)\n",
+      problem.blocks().size(), problem.mechanisms().extras().size(),
+      opts.n_t, opts.n_t_aging, opts.n_dt, opts.n_vdd, opts.n_act);
+
+  Stopwatch fit_sw;
+  const surrogate::SurrogateModel model =
+      surrogate::SurrogateModel::fit(problem, opts);
+  const double fit_seconds = fit_sw.seconds();
+  const surrogate::SurrogateCertificate& cert = model.certificate();
+  const bool certified = cert.certified && cert.max_rel_error <= opts.tol;
+  std::printf(
+      "fit %.2f s: certified=%d max_rel_error=%.3g mean=%.3g tol=%.3g "
+      "probes=%zu\n",
+      fit_seconds, cert.certified ? 1 : 0, cert.max_rel_error,
+      cert.mean_rel_error, cert.tol, cert.probes);
+
+  // Re-verification: rebuild the fit-resolution reference from scratch and
+  // re-run the deterministic probes. Bit-equality, not tolerance.
+  const core::HybridOptions ref_opts =
+      surrogate::fit_reference_options(problem, opts);
+  const core::HybridEvaluator ref_hybrid(problem, ref_opts);
+  core::ConditionEvaluator ref(ref_hybrid, opts.model);
+  const surrogate::SurrogateCertificate recert =
+      surrogate::certify(model, ref, opts.probe_points, opts.tol);
+  const bool recert_match = recert.certified == cert.certified &&
+                            recert.probes == cert.probes &&
+                            same_bits(recert.max_rel_error,
+                                      cert.max_rel_error) &&
+                            same_bits(recert.mean_rel_error,
+                                      cert.mean_rel_error);
+  std::printf("re-certification %s (max_rel_error %.17g vs %.17g)\n",
+              recert_match ? "MATCHES BIT FOR BIT" : "DIVERGED",
+              recert.max_rel_error, cert.max_rel_error);
+
+  // The serve-resolution exact comparator: the per-query path a daemon
+  // without the surrogate tier pays for every corner query.
+  core::HybridOptions serve_opts;
+  serve_opts.n_gamma = 100;
+  serve_opts.n_b = 100;
+  const core::HybridEvaluator serve_hybrid(problem, serve_opts);
+  core::ConditionEvaluator exact(serve_hybrid, opts.model);
+
+  // Deterministic corner grid strictly inside the certified box, and a
+  // log-spaced time sweep inside the t box.
+  const surrogate::SurrogateDomain& dom = model.domain();
+  const double vdd_mid = 0.5 * (dom.vdd_lo + dom.vdd_hi);
+  std::vector<double> dts, vdds, acts;
+  for (std::size_t i = 0; i < per_axis; ++i) {
+    const double u = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(per_axis);  // (0, 1)
+    dts.push_back(dom.dt_lo + u * (dom.dt_hi - dom.dt_lo));
+    vdds.push_back(dom.vdd_lo + u * (dom.vdd_hi - dom.vdd_lo));
+    acts.push_back(dom.act_lo + u * (dom.act_hi - dom.act_lo));
+  }
+  std::vector<double> ts;
+  const std::size_t n_ts = 129;
+  for (std::size_t k = 0; k < n_ts; ++k) {
+    const double u = (static_cast<double>(k) + 0.5) /
+                     static_cast<double>(n_ts);
+    ts.push_back(dom.t_lo * std::pow(dom.t_hi / dom.t_lo, u));
+  }
+  const std::size_t corners = dts.size() * vdds.size() * acts.size();
+  const std::size_t queries = corners * ts.size();
+
+  // Exact lap: per (corner, t) through the condition evaluator.
+  Stopwatch sw;
+  std::vector<double> exact_f(queries);
+  std::size_t q = 0;
+  for (const double dt : dts)
+    for (const double vdd : vdds)
+      for (const double act : acts) {
+        exact.set_corner(dt, vdd, act);
+        for (const double t : ts) {
+          exact_f[q++] = exact.evaluate(t);
+          g_sink = exact_f[q - 1];
+        }
+      }
+  const double seconds_exact = sw.seconds();
+
+  // Surrogate lap: one plan per corner, Clenshaw per time stamp.
+  sw.reset();
+  std::vector<double> sur_f(queries);
+  q = 0;
+  for (const double dt : dts)
+    for (const double vdd : vdds)
+      for (const double act : acts) {
+        const std::vector<double> plan = model.plan_corner(dt, vdd, act);
+        for (const double t : ts) {
+          sur_f[q++] = model.evaluate_at(plan, t);
+          g_sink = sur_f[q - 1];
+        }
+      }
+  const double seconds_surrogate = sw.seconds();
+  const double speedup =
+      seconds_surrogate > 0.0 ? seconds_exact / seconds_surrogate : 0.0;
+
+  double sweep_max_rel = 0.0;
+  for (std::size_t i = 0; i < queries; ++i)
+    sweep_max_rel =
+        std::max(sweep_max_rel, std::abs(sur_f[i] - exact_f[i]) /
+                                    std::max(std::abs(exact_f[i]), 1e-12));
+  std::printf(
+      "sweep %zu corner(s) x %zu time(s): exact %.3f s, surrogate %.3f s "
+      "(%.0fx), max rel gap vs serve tables %.3g (info)\n",
+      corners, ts.size(), seconds_exact, seconds_surrogate, speedup,
+      sweep_max_rel);
+
+  // Refusal: one probe past each face of the box must be out of domain.
+  const double t_mid = std::sqrt(dom.t_lo * dom.t_hi);
+  const bool refused =
+      !model.in_domain(dom.dt_hi * 2.0 + 1.0, vdd_mid, 1.0, t_mid) &&
+      !model.in_domain(dom.dt_lo * 2.0 - 1.0, vdd_mid, 1.0, t_mid) &&
+      !model.in_domain(0.0, dom.vdd_hi + 0.1, 1.0, t_mid) &&
+      !model.in_domain(0.0, vdd_mid, dom.act_hi + 0.5, t_mid) &&
+      !model.in_domain(0.0, vdd_mid, 1.0, dom.t_hi * 2.0) &&
+      !model.in_domain(0.0, vdd_mid, 1.0, dom.t_lo * 0.5);
+
+  const bool speedup_ok = speedup >= kMinSpeedup;
+  const bool pass = certified && recert_match && speedup_ok && refused;
+  std::printf(
+      "\ngates: certified %s, recert %s, speedup >= %.0fx %s, refusal %s "
+      "=> %s\n",
+      certified ? "PASS" : "FAIL", recert_match ? "PASS" : "FAIL",
+      kMinSpeedup, speedup_ok ? "PASS" : "FAIL", refused ? "PASS" : "FAIL",
+      pass ? "PASS" : "FAIL");
+
+  std::string dir = csv_output_dir();
+  const std::string path =
+      (dir.empty() ? std::string{} : dir + "/") + "BENCH_surrogate.json";
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"pass\": " << (pass ? "true" : "false") << ",\n"
+      << "  \"certified\": " << (certified ? "true" : "false") << ",\n"
+      << "  \"max_rel_error\": " << cert.max_rel_error << ",\n"
+      << "  \"mean_rel_error\": " << cert.mean_rel_error << ",\n"
+      << "  \"tol\": " << cert.tol << ",\n"
+      << "  \"probes\": " << cert.probes << ",\n"
+      << "  \"recert_match\": " << (recert_match ? "true" : "false") << ",\n"
+      << "  \"fit_seconds\": " << fit_seconds << ",\n"
+      << "  \"corners\": " << corners << ",\n"
+      << "  \"times\": " << ts.size() << ",\n"
+      << "  \"queries\": " << queries << ",\n"
+      << "  \"seconds_exact\": " << seconds_exact << ",\n"
+      << "  \"seconds_surrogate\": " << seconds_surrogate << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"min_speedup\": " << kMinSpeedup << ",\n"
+      << "  \"out_of_domain_refused\": " << (refused ? "true" : "false")
+      << ",\n"
+      << "  \"sweep_max_rel_vs_tables\": " << sweep_max_rel << "\n"
+      << "}\n";
+  std::printf("(wrote %s)\n", path.c_str());
+  return pass ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 
 #include "common/error.hpp"
@@ -83,12 +84,12 @@ double MechanismStack::block_log_survival(
   return std::log1p(-oxide_f_j) + extra_log_survival(j, t, c);
 }
 
-double MechanismStack::reduce_log_survival(const double* block_ls) const {
+double MechanismStack::chip_log_survival(const double* block_ls) const {
   const std::size_t n = defaults_.size();
   double log_survival = 0.0;
   if (groups_.empty()) {
     for (std::size_t j = 0; j < n; ++j) log_survival += block_ls[j];
-    return std::clamp(-std::expm1(log_survival), 0.0, 1.0);
+    return log_survival;
   }
 
   for (std::size_t j = 0; j < n; ++j) {
@@ -111,10 +112,17 @@ double MechanismStack::reduce_log_survival(const double* block_ls) const {
     }
     double group_survival = 0.0;
     for (double v : dp) group_survival += v;
-    if (!(group_survival > 0.0)) return 1.0;
+    if (!(group_survival > 0.0))
+      return -std::numeric_limits<double>::infinity();
     log_survival += std::log(std::min(1.0, group_survival));
   }
-  return std::clamp(-std::expm1(log_survival), 0.0, 1.0);
+  return log_survival;
+}
+
+double MechanismStack::reduce_log_survival(const double* block_ls) const {
+  // -expm1(-inf) == 1.0 exactly, so the dead-group escape returns the
+  // same bits the pre-chip_log_survival implementation produced.
+  return std::clamp(-std::expm1(chip_log_survival(block_ls)), 0.0, 1.0);
 }
 
 double MechanismStack::compose_impl(

@@ -101,6 +101,12 @@ class MechanismStack {
   /// anchor of the incremental path. Non-trivial stacks only.
   [[nodiscard]] double reduce_log_survival(const double* block_ls) const;
 
+  /// The same reduction stopped before the -expm1 conversion: the chip
+  /// log-survival itself (-inf when a spare group is certainly dead).
+  /// Unlike the probability, this does not saturate when F rounds to 1,
+  /// which is what the surrogate layer fits against.
+  [[nodiscard]] double chip_log_survival(const double* block_ls) const;
+
  private:
   struct Group {
     std::string name;

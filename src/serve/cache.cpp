@@ -48,6 +48,12 @@ std::string cache_file_path(const std::string& dir, std::uint64_t fp) {
   return dir + "/" + name.str() + ".lut";
 }
 
+std::string surrogate_file_path(const std::string& dir, std::uint64_t fp) {
+  std::ostringstream name;
+  name << std::hex << fp;
+  return dir + "/" + name.str() + ".cheb";
+}
+
 bool write_cache_file(const std::string& path, const std::string& key,
                       const std::string& table_text) {
   try {

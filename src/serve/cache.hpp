@@ -43,6 +43,12 @@ namespace obd::serve {
 [[nodiscard]] std::string cache_file_path(const std::string& dir,
                                           std::uint64_t fp);
 
+/// Persisted surrogate model for fingerprint `fp` under `dir`
+/// (`<dir>/<fp-hex>.cheb`); written and read through the same CRC frame
+/// as the table tier, so corruption quarantines and refits.
+[[nodiscard]] std::string surrogate_file_path(const std::string& dir,
+                                              std::uint64_t fp);
+
 /// Writes one disk-tier entry: a CRC-framed snapshot whose payload is the
 /// canonical key line followed by the serialized hybrid tables. Returns
 /// false (after a `serve.cache_evict` diagnostic) instead of throwing when

@@ -114,10 +114,15 @@ std::unique_ptr<core::ReliabilityProblem> build_problem(const Config& cfg) {
                                       profile.block_temps_c, vdd, opts));
 }
 
+/// `surrogate` < 0 omits the field entirely — the tier-off reply is
+/// byte-identical to an engine that never had a surrogate tier.
 std::string reply_ok(const std::string& id, double t, double f,
-                     bool degraded) {
-  return "id=" + id + " ok=1 t=" + fmt17(t) + " f=" + fmt17(f) +
-         " degraded=" + (degraded ? "1" : "0");
+                     bool degraded, int surrogate = -1) {
+  std::string r = "id=" + id + " ok=1 t=" + fmt17(t) + " f=" + fmt17(f) +
+                  " degraded=" + (degraded ? "1" : "0");
+  if (surrogate >= 0)
+    r += std::string(" surrogate=") + (surrogate > 0 ? "1" : "0");
+  return r;
 }
 
 std::string reply_error(const std::string& id, const Error& e) {
@@ -151,6 +156,33 @@ Request parse_request(const std::string& line) {
       req.deadline_ms = parse_double_field(key, value);
       require(req.deadline_ms >= 0.0, ErrorCode::kInvalidInput,
               "serve: deadline_ms must be non-negative");
+    } else if (key == "cond.dt") {
+      req.cond_dt = parse_double_field(key, value);
+      req.has_cond = true;
+    } else if (key == "cond.vdd") {
+      req.cond_vdd = parse_double_field(key, value);
+      require(req.cond_vdd > 0.0, ErrorCode::kInvalidInput,
+              "serve: cond.vdd must be positive");
+      req.has_cond = true;
+    } else if (key == "cond.act") {
+      req.cond_act = parse_double_field(key, value);
+      require(req.cond_act > 0.0, ErrorCode::kInvalidInput,
+              "serve: cond.act must be positive");
+      req.has_cond = true;
+    } else if (key.rfind("cond.dt.", 0) == 0) {
+      const std::string idx = key.substr(8);
+      std::size_t pos = 0;
+      std::size_t block = 0;
+      try {
+        block = std::stoul(idx, &pos);
+      } catch (const std::exception&) {
+        pos = std::string::npos;
+      }
+      require(!idx.empty() && pos == idx.size(), ErrorCode::kInvalidInput,
+              "serve: cond.dt.<block> needs a block index, got '" + idx +
+                  "'");
+      req.cond_block_dt.emplace_back(block, parse_double_field(key, value));
+      req.has_cond = true;
     } else if (key.rfind("set.", 0) == 0) {
       const std::string cfg_key = key.substr(4);
       require(override_whitelist().count(cfg_key) != 0,
@@ -263,7 +295,50 @@ std::vector<std::string> QueryEngine::evaluate(
     const std::uint64_t fp = fingerprint(key);
     try {
       CacheEntry* entry = cache_.find(fp);
-      std::vector<std::size_t> exact = group.indices;
+      // -1 omits the surrogate reply field entirely: with the tier off
+      // every reply is byte-identical to an engine that never had it.
+      const int flag_exact = options_.surrogate ? 0 : -1;
+      surrogate::SurrogateModel* sur =
+          options_.surrogate ? surrogate_for(fp, key) : nullptr;
+      const double cfg_vdd = group.cfg.get_double("vdd", 1.2);
+      const auto corner_vdd = [&](const Request& rq) {
+        return std::isnan(rq.cond_vdd) ? cfg_vdd : rq.cond_vdd;
+      };
+      const auto surrogate_covers = [&](const Request& rq) {
+        return sur != nullptr && sur->certificate().certified &&
+               rq.cond_block_dt.empty() &&
+               sur->in_domain(rq.cond_dt, corner_vdd(rq), rq.cond_act, rq.t);
+      };
+
+      // Surrogate tier: certified in-domain queries are answered from the
+      // Chebyshev model with no problem build — unless the memory tier
+      // already holds the tables, where exact is just as cheap and beats
+      // approximate. Everything the certificate does not cover falls
+      // through to the exact path below.
+      std::vector<std::size_t> exact;
+      exact.reserve(group.indices.size());
+      if (sur != nullptr) {
+        for (const std::size_t i : group.indices) {
+          const Request& rq = batch[i].request;
+          if (!surrogate_covers(rq)) {
+            ++stats_.surrogate_fallthrough;
+            exact.push_back(i);
+          } else if (entry != nullptr) {
+            exact.push_back(i);
+          } else {
+            replies[i] = reply_ok(
+                rq.id, rq.t,
+                sur->evaluate(rq.cond_dt, corner_vdd(rq), rq.cond_act, rq.t),
+                false, 1);
+            ++stats_.answered;
+            ++stats_.surrogate_hits;
+          }
+        }
+        if (exact.empty()) continue;  // no tables needed at all
+      } else {
+        exact = group.indices;
+      }
+
       if (entry == nullptr) {
         // Cold fingerprint: the problem build (thermal + PCA) is needed by
         // every path, exact or degraded.
@@ -272,9 +347,10 @@ std::vector<std::string> QueryEngine::evaluate(
         // Partition now, against the post-build clock: requests whose
         // deadline has already expired get the analytic approximation
         // instead of waiting for the table fill.
+        const std::vector<std::size_t> need = exact;
         std::vector<std::size_t> expired;
         exact.clear();
-        for (const std::size_t i : group.indices) {
+        for (const std::size_t i : need) {
           const double elapsed_ms =
               std::chrono::duration<double, std::milli>(now -
                                                         batch[i].arrival)
@@ -292,7 +368,8 @@ std::vector<std::string> QueryEngine::evaluate(
           for (const std::size_t i : expired) {
             const double t = batch[i].request.t;
             replies[i] = reply_ok(batch[i].request.id, t,
-                                  analytic.failure_probability(t), true);
+                                  analytic.failure_probability(t), true,
+                                  flag_exact);
             ++stats_.answered;
             ++stats_.degraded;
           }
@@ -319,16 +396,59 @@ std::vector<std::string> QueryEngine::evaluate(
         fresh.problem = std::move(problem);
         fresh.hybrid = std::move(hybrid);
         entry = cache_.insert(std::move(fresh));
+
+        // The build is the expensive part of a fit, and it just happened:
+        // fit + certify + persist the surrogate now (one attempt per
+        // fingerprint) so future cold batches skip the build entirely.
+        if (options_.surrogate) fit_surrogate(fp, key, *entry->problem);
       }
 
-      std::vector<double> ts;
-      ts.reserve(exact.size());
-      for (const std::size_t i : exact) ts.push_back(batch[i].request.t);
-      const std::vector<double> fs = entry->hybrid->failure_probabilities(ts);
-      for (std::size_t k = 0; k < exact.size(); ++k) {
-        replies[exact[k]] =
-            reply_ok(batch[exact[k]].request.id, ts[k], fs[k], false);
-        ++stats_.answered;
+      // Exact path. Plain queries keep the batched table sweep (bits
+      // unchanged); cond.* queries go through the session's incremental
+      // corner evaluator.
+      std::vector<std::size_t> plain;
+      std::vector<std::size_t> conds;
+      for (const std::size_t i : exact)
+        (batch[i].request.has_cond ? conds : plain).push_back(i);
+
+      if (!plain.empty()) {
+        std::vector<double> ts;
+        ts.reserve(plain.size());
+        for (const std::size_t i : plain) ts.push_back(batch[i].request.t);
+        const std::vector<double> fs =
+            entry->hybrid->failure_probabilities(ts);
+        for (std::size_t k = 0; k < plain.size(); ++k) {
+          replies[plain[k]] = reply_ok(batch[plain[k]].request.id, ts[k],
+                                       fs[k], false, flag_exact);
+          ++stats_.answered;
+        }
+      }
+
+      for (const std::size_t i : conds) {
+        const Request& rq = batch[i].request;
+        try {
+          core::ConditionEvaluator& ce =
+              session_evaluator(batch[i].session, fp, *entry);
+          ce.set_corner(rq.cond_dt, corner_vdd(rq), rq.cond_act);
+          for (const auto& [j, dtj] : rq.cond_block_dt) {
+            require(j < entry->problem->blocks().size(),
+                    ErrorCode::kInvalidInput,
+                    "serve: cond.dt." + std::to_string(j) +
+                        " is out of range for this design");
+            ce.set_block_dt(j, dtj);
+          }
+          const core::IncrementalStats before = ce.stats();
+          const double f = ce.evaluate(rq.t);
+          const core::IncrementalStats after = ce.stats();
+          stats_.incremental_hits +=
+              (after.evaluations - before.evaluations) -
+              (after.full_rebuilds - before.full_rebuilds);
+          replies[i] = reply_ok(rq.id, rq.t, f, false, flag_exact);
+          ++stats_.answered;
+        } catch (const Error& e) {
+          ++stats_.errors;
+          replies[i] = reply_error(rq.id, e);
+        }
       }
     } catch (const Error& e) {
       for (const std::size_t i : group.indices) {
@@ -339,6 +459,79 @@ std::vector<std::string> QueryEngine::evaluate(
     }
   }
   return replies;
+}
+
+void QueryEngine::end_session(int session) { sessions_.erase(session); }
+
+surrogate::SurrogateModel* QueryEngine::surrogate_for(
+    std::uint64_t fp, const std::string& key) {
+  SurrogateState& st = surrogates_[fp];
+  if (st.key.empty()) st.key = key;
+  if (st.key != key) return nullptr;  // fingerprint collision: refuse
+  if (st.model == nullptr && !st.load_attempted) {
+    st.load_attempted = true;
+    if (!cache_.options().dir.empty()) {
+      const std::string path = surrogate_file_path(cache_.options().dir, fp);
+      // read_cache_file quarantines a corrupt or foreign file itself; a
+      // CRC-valid payload from an older schema is a refit, not a crash.
+      if (const auto text = read_cache_file(path, key)) {
+        if (auto loaded = surrogate::SurrogateModel::load_text(*text)) {
+          st.model = std::make_unique<surrogate::SurrogateModel>(
+              std::move(*loaded));
+        } else {
+          diagnostics().warn("serve.surrogate",
+                             "surrogate file '" + path +
+                                 "' has an unknown schema; refitting");
+        }
+      }
+    }
+  }
+  return st.model.get();
+}
+
+void QueryEngine::fit_surrogate(std::uint64_t fp, const std::string& key,
+                                const core::ReliabilityProblem& problem) {
+  SurrogateState& st = surrogates_[fp];
+  if (st.key.empty()) st.key = key;
+  if (st.key != key || st.model != nullptr || st.fit_attempted) return;
+  st.fit_attempted = true;
+  try {
+    auto model = std::make_unique<surrogate::SurrogateModel>(
+        surrogate::SurrogateModel::fit(problem, options_.surrogate_opts));
+    if (!model->certificate().certified) {
+      // Kept in memory (so the refusal is remembered, not refit per
+      // batch) but never persisted — an uncertified model answers nothing.
+      diagnostics().warn(
+          "serve.surrogate",
+          "surrogate failed certification (max_rel_error=" +
+              std::to_string(model->certificate().max_rel_error) +
+              " > tol); every query stays on the exact path");
+    } else if (!cache_.options().dir.empty()) {
+      write_cache_file(surrogate_file_path(cache_.options().dir, fp), key,
+                       model->save_text());
+    }
+    st.model = std::move(model);
+  } catch (const Error& e) {
+    diagnostics().warn("serve.surrogate",
+                       std::string("surrogate fit failed: ") + e.what());
+  }
+}
+
+core::ConditionEvaluator& QueryEngine::session_evaluator(
+    int session, std::uint64_t fp, const CacheEntry& entry) {
+  auto& per_fp = sessions_[session];
+  // A session cycling many fingerprints is not a reuse pattern worth
+  // memory: reset and let the next corner rebuild (one full refresh each;
+  // correctness is unaffected).
+  if (per_fp.size() >= 8 && per_fp.find(fp) == per_fp.end()) per_fp.clear();
+  SessionEval& se = per_fp[fp];
+  if (se.eval == nullptr || se.hybrid != entry.hybrid.get()) {
+    // First touch, or the cache evicted and rebuilt this entry — the old
+    // evaluator would dangle on the freed tables.
+    se.hybrid = entry.hybrid.get();
+    se.eval = std::make_unique<core::ConditionEvaluator>(*entry.hybrid);
+  }
+  return *se.eval;
 }
 
 }  // namespace obd::serve

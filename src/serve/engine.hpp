@@ -4,7 +4,8 @@
 // A request is one newline-framed line of space-separated key=value
 // fields:
 //
-//   id=<token> t=<seconds> [set.<key>=<value> ...] [deadline_ms=<ms>]
+//   id=<token> t=<seconds> [set.<key>=<value> ...] [cond.<key>=<value> ...]
+//       [deadline_ms=<ms>]
 //   op=health [id=<token>]
 //
 // `set.<key>` overrides a whitelisted problem-shaping config key (design,
@@ -13,6 +14,17 @@
 // string and fingerprinted; all queries sharing a fingerprint share one
 // cached evaluation context and are answered as a single batched
 // table-lookup sweep.
+//
+// `cond.<key>` applies an operating-condition delta on top of the built
+// problem without changing its fingerprint: `cond.dt` (uniform block
+// temperature offset [C]), `cond.dt.<block>` (per-block offset),
+// `cond.vdd` (supply override), `cond.act` (activity scale). Condition
+// queries are answered exactly through a per-session
+// core::ConditionEvaluator whose incremental rows persist across the
+// session's requests — repeated overrides refresh only what changed
+// (`incremental_hits` in the engine stats counts the reuses) — or, when
+// the surrogate tier is enabled and certifies the corner, from the
+// Chebyshev surrogate without touching the tables at all.
 //
 // Replies are one line per request, same grammar:
 //
@@ -36,12 +48,17 @@
 
 #include <chrono>
 #include <cstddef>
+#include <limits>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
+#include "core/condition_eval.hpp"
 #include "serve/cache.hpp"
+#include "surrogate/surrogate.hpp"
 
 namespace obd::serve {
 
@@ -53,6 +70,15 @@ struct Request {
   double t = 0.0;      ///< query time [s] (op == kQuery)
   double deadline_ms = -1.0;  ///< per-request deadline; < 0 = server default
   std::map<std::string, std::string> overrides;  ///< whitelisted set.* keys
+
+  // Operating-condition delta (cond.* fields). NaN cond_vdd means "the
+  // group's configured vdd" — resolved against the overridden config at
+  // evaluation time, after set.vdd has been applied.
+  bool has_cond = false;
+  double cond_dt = 0.0;
+  double cond_vdd = std::numeric_limits<double>::quiet_NaN();
+  double cond_act = 1.0;
+  std::vector<std::pair<std::size_t, double>> cond_block_dt;
 };
 
 /// Parses one request line. Throws Error(kInvalidInput) on malformed
@@ -78,10 +104,13 @@ struct Request {
 /// the clock.
 [[nodiscard]] bool deadline_expired(double elapsed_ms, double deadline_ms);
 
-/// A request plus its arrival time (the deadline anchor).
+/// A request plus its arrival time (the deadline anchor) and the session
+/// it arrived on (the server uses the client fd; stdin is session 1).
+/// Sessions scope the incremental-evaluator reuse of cond.* queries.
 struct PendingQuery {
   Request request;
   std::chrono::steady_clock::time_point arrival;
+  int session = 1;
 };
 
 struct EngineOptions {
@@ -89,12 +118,26 @@ struct EngineOptions {
   std::size_t n_gamma = 100;   ///< serve-table indices along ln(t/alpha)
   std::size_t n_b = 100;       ///< serve-table indices along b
   double deadline_ms = 0.0;    ///< default per-request deadline; 0 = off
+  /// Surrogate tier. Off by default: every reply stays byte-identical to
+  /// an engine without the tier. On, ok replies carry ` surrogate=<0|1>`
+  /// and queries the certificate covers are answered from the Chebyshev
+  /// model (memory-tier table hits still win — exact beats approximate
+  /// when both are free).
+  bool surrogate = false;
+  surrogate::SurrogateOptions surrogate_opts;
 };
 
 struct EngineStats {
   std::uint64_t answered = 0;  ///< ok replies (exact or degraded)
   std::uint64_t degraded = 0;  ///< deadline-degraded analytic answers
   std::uint64_t errors = 0;    ///< per-request error replies
+  std::uint64_t surrogate_hits = 0;  ///< replies answered by the surrogate
+  /// Queries a present surrogate refused (out of domain, uncertified, or
+  /// per-block cond overrides) and the exact engine answered instead.
+  std::uint64_t surrogate_fallthrough = 0;
+  /// cond.* evaluations that reused incremental rows instead of a full
+  /// rebuild (the per-session ChipState paying off).
+  std::uint64_t incremental_hits = 0;
 };
 
 /// Evaluates batches of queries against the table cache. Owns the base
@@ -115,18 +158,59 @@ class QueryEngine {
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
 
+  /// Drops the per-session incremental evaluators of `session` (the
+  /// server calls this when a client fd closes).
+  void end_session(int session);
+
  private:
+  /// Per-fingerprint surrogate tier state. `model` is present once a fit
+  /// or a disk load succeeded (it may still be uncertified — then every
+  /// query falls through); the flags make each expensive step one-shot.
+  struct SurrogateState {
+    std::string key;  ///< canonical problem key (collision guard)
+    std::unique_ptr<surrogate::SurrogateModel> model;
+    bool load_attempted = false;  ///< disk probe done
+    bool fit_attempted = false;   ///< fit tried after a problem build
+  };
+
+  /// One session's exact-corner evaluator for one fingerprint. The hybrid
+  /// pointer the evaluator was built on is remembered so an evicted-and-
+  /// rebuilt cache entry invalidates it instead of dangling.
+  struct SessionEval {
+    const core::HybridEvaluator* hybrid = nullptr;
+    std::unique_ptr<core::ConditionEvaluator> eval;
+  };
+
   /// Canonical mechanism rendering for `cfg`, memoized on the raw
   /// ("mechanisms", "redundancy") strings. Exact within one engine: the
   /// base config is fixed and request overrides touch whitelisted keys
   /// only, so that pair identifies the parse completely.
   [[nodiscard]] std::string canonical_mechanisms(const Config& cfg);
 
+  /// The surrogate model for `fp` if one is available (loading the disk
+  /// tier on first touch); nullptr when the tier is off or nothing is
+  /// fitted yet. The returned model may be uncertified.
+  [[nodiscard]] surrogate::SurrogateModel* surrogate_for(
+      std::uint64_t fp, const std::string& key);
+
+  /// Fits + certifies + persists the surrogate for `fp` (one attempt per
+  /// fingerprint; a failed certification is kept so the refusal is
+  /// remembered rather than refit per batch).
+  void fit_surrogate(std::uint64_t fp, const std::string& key,
+                     const core::ReliabilityProblem& problem);
+
+  /// The session's ConditionEvaluator over `entry`'s tables, (re)built on
+  /// first use or after the entry was evicted and rebuilt.
+  [[nodiscard]] core::ConditionEvaluator& session_evaluator(
+      int session, std::uint64_t fp, const CacheEntry& entry);
+
   Config base_;
   EngineOptions options_;
   TableCache cache_;
   EngineStats stats_;
   std::map<std::pair<std::string, std::string>, std::string> mech_memo_;
+  std::map<std::uint64_t, SurrogateState> surrogates_;
+  std::map<int, std::map<std::uint64_t, SessionEval>> sessions_;
 };
 
 }  // namespace obd::serve

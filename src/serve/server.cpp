@@ -134,6 +134,14 @@ int Server::run() {
        << " misses=" << cs.misses << " evictions=" << cs.evictions
        << " corrupt=" << cs.corrupt
        << " write_failures=" << cs.write_failures;
+    // Appended only when the features are in play, so a daemon run that
+    // never uses them reports byte-identical health lines to one predating
+    // the surrogate tier.
+    if (engine_.options().surrogate)
+      os << " surrogate_hits=" << es.surrogate_hits
+         << " surrogate_fallthrough=" << es.surrogate_fallthrough;
+    if (es.incremental_hits > 0)
+      os << " incremental_hits=" << es.incremental_hits;
     return os.str();
   };
 
@@ -163,8 +171,11 @@ int Server::run() {
       write_line(reply_fd, "id=" + req.id + " overloaded=1");
       return;
     }
+    // The reply fd doubles as the session id scoping incremental-corner
+    // reuse (stdin mode is the single session 1).
     pending.push_back(Admitted{
-        PendingQuery{std::move(req), std::chrono::steady_clock::now()},
+        PendingQuery{std::move(req), std::chrono::steady_clock::now(),
+                     reply_fd},
         reply_fd});
   };
 
@@ -250,6 +261,7 @@ int Server::run() {
       for (const int fd : closed) {
         ::close(fd);
         clients.erase(fd);
+        engine_.end_session(fd);
       }
     }
 
@@ -274,6 +286,16 @@ int Server::run() {
                            " request(s) at the admission queue bound of " +
                            std::to_string(options_.queue_limit));
   const EngineStats& es = engine_.stats();
+  if (engine_.options().surrogate)
+    diagnostics().stat(
+        "serve.surrogate",
+        "surrogate answered " + std::to_string(es.surrogate_hits) +
+            " request(s), " + std::to_string(es.surrogate_fallthrough) +
+            " fell through to the exact engine");
+  if (es.incremental_hits > 0)
+    diagnostics().stat("serve.incremental",
+                       std::to_string(es.incremental_hits) +
+                           " cond evaluation(s) reused incremental rows");
   const CacheStats& cs = engine_.cache().stats();
   std::ostringstream summary;
   summary << "answered " << es.answered << " (degraded " << es.degraded

@@ -9,6 +9,17 @@
 // scalar reference kernels, which are bit-identical to the loops they
 // replaced.
 //
+// Under "auto" the *table* composition is per kernel, not per level: a
+// kernel whose widest variant measures slower than a narrower one (see
+// kAutoCap in dispatch.cpp — today dot_counts, whose AVX-512 fold is
+// load-bound and loses to AVX2) is capped at the faster tier, while every
+// other kernel still gets the widest variant. active_level() continues to
+// report the widest resolved tier (that is what "auto" selected);
+// kernel_level() reports the tier actually serving one kernel. An
+// explicit level — configure("avx512"), OBDREL_SIMD=<level>, or
+// set_level() — is forced: the whole uncomposed table of that level is
+// used, caps ignored, so forced runs exercise exactly one tier.
+//
 // Requesting "avx512" or "avx2" explicitly on a host (or build) that
 // cannot run it is a configuration error (ErrorCode::kConfig), mirroring
 // how the CLI rejects bad `device_sampling` values; "scalar" always
@@ -23,6 +34,18 @@ enum class Level {
   kScalar,  ///< portable reference kernels, baseline ISA
   kAvx2,    ///< AVX2 + FMA kernels (per-file -mavx2 -mfma)
   kAvx512,  ///< AVX-512F/DQ kernels (per-file -mavx512f -mavx512dq)
+};
+
+/// Kernel identities, in KernelTable member order. Used by kernel_level()
+/// and the bench gates that pin the per-kernel auto selection.
+enum class KernelId {
+  kFillBinFactors,
+  kDotCounts,
+  kNormalCdfBatch,
+  kMatmul,
+  kMatvec,
+  kGramAat,
+  kClenshawBatch,
 };
 
 /// "scalar", "avx2" or "avx512".
@@ -56,6 +79,11 @@ void init_from_env();
 /// Forces a level directly (tests). Throws Error(kConfig) for vector
 /// levels the host/build cannot run.
 void set_level(Level level);
+
+/// The tier whose implementation kernels() currently returns for `id`:
+/// the forced level when one is in effect, otherwise
+/// min(active_level(), per-kernel auto cap).
+[[nodiscard]] Level kernel_level(KernelId id);
 
 /// Records the active level as a non-degrading "simd.level" stat in
 /// obd::diagnostics(), next to the parallel.pool entry.

@@ -49,6 +49,16 @@
 //                     same four lanes) — differs from scalar by normal
 //                     dot-product rounding (~1e-15 relative); no caller
 //                     pins matvec bits.
+//   clenshaw_batch    bit-identical across ALL levels: every pencil runs
+//                     the identical per-step operation sequence
+//                     s = round((2u)*b1); q = round(s - b2);
+//                     b = round(c_k + q) for k = n-1 .. 1, then
+//                     out = c_0 + round(round(u*b1) - b2) — separate
+//                     mul/sub/add, never FMA. The vector variants map
+//                     SIMD lanes to independent pencils (4-wide / 8-wide)
+//                     and the scalar tail repeats the same sequence, so
+//                     lane width never changes any rounding. The
+//                     surrogate layer's certified envelopes rely on this.
 #pragma once
 
 #include <cstddef>
@@ -89,6 +99,13 @@ struct KernelTable {
   /// triangle computed, lower mirrored bitwise).
   void (*gram_aat)(const double* a, double* g, std::size_t n,
                    std::size_t k);
+  /// Clenshaw evaluation of m interleaved Chebyshev pencils at one point
+  /// u in [-1, 1]: out[p] = sum_{k < n} coeffs[k * m + p] * T_k(u) for
+  /// each pencil p in [0, m). n == 0 zero-fills `out`; in-place
+  /// (out == coeffs) is NOT allowed. Bit-identical across all levels
+  /// (see contract above).
+  void (*clenshaw_batch)(const double* coeffs, std::size_t n, std::size_t m,
+                         double u, double* out);
 };
 
 /// The table for the active dispatch level (lazily resolved from

@@ -313,6 +313,51 @@ void gram_aat_avx2(const double* a, double* g, std::size_t n,
     for (std::size_t j = i + 1; j < n; ++j) g[j * n + i] = g[i * n + j];
 }
 
+// Clenshaw over interleaved pencils, four per register. Each lane is one
+// independent pencil running exactly the scalar kernel's operation
+// sequence — mul, then sub, then add, each rounded separately (this TU is
+// built with -ffp-contract=off, and no FMA intrinsic is used here), so
+// the result is bit-identical to the scalar reference. The tail pencils
+// repeat the same sequence in scalar arithmetic.
+void clenshaw_batch_avx2(const double* coeffs, std::size_t n, std::size_t m,
+                         double u, double* out) {
+  if (n == 0) {
+    for (std::size_t p = 0; p < m; ++p) out[p] = 0.0;
+    return;
+  }
+  const double tu = 2.0 * u;
+  const __m256d vtu = _mm256_set1_pd(tu);
+  const __m256d vu = _mm256_set1_pd(u);
+  std::size_t p = 0;
+  for (; p + 4 <= m; p += 4) {
+    __m256d b1 = _mm256_setzero_pd();
+    __m256d b2 = _mm256_setzero_pd();
+    for (std::size_t k = n - 1; k >= 1; --k) {
+      const __m256d s = _mm256_mul_pd(vtu, b1);
+      const __m256d q = _mm256_sub_pd(s, b2);
+      const __m256d b = _mm256_add_pd(_mm256_loadu_pd(coeffs + k * m + p), q);
+      b2 = b1;
+      b1 = b;
+    }
+    const __m256d s = _mm256_mul_pd(vu, b1);
+    _mm256_storeu_pd(out + p, _mm256_add_pd(_mm256_loadu_pd(coeffs + p),
+                                            _mm256_sub_pd(s, b2)));
+  }
+  for (; p < m; ++p) {
+    double b1 = 0.0;
+    double b2 = 0.0;
+    for (std::size_t k = n - 1; k >= 1; --k) {
+      const double s = tu * b1;
+      const double q = s - b2;
+      const double b = coeffs[k * m + p] + q;
+      b2 = b1;
+      b1 = b;
+    }
+    const double s = u * b1;
+    out[p] = coeffs[p] + (s - b2);
+  }
+}
+
 }  // namespace
 
 namespace detail {
@@ -320,6 +365,7 @@ namespace detail {
 const KernelTable kAvx2Kernels = {
     fill_bin_factors_avx2, dot_counts_avx2, normal_cdf_batch_avx2,
     matmul_avx2,           matvec_avx2,     gram_aat_avx2,
+    clenshaw_batch_avx2,
 };
 
 }  // namespace detail

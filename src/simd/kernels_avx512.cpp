@@ -311,6 +311,49 @@ void gram_aat_avx512(const double* a, double* g, std::size_t n,
     for (std::size_t j = i + 1; j < n; ++j) g[j * n + i] = g[i * n + j];
 }
 
+// Clenshaw over interleaved pencils, eight per register. Lanes are
+// independent pencils executing the scalar kernel's exact operation
+// sequence (separate mul/sub/add, never FMA — bit-identity contract in
+// kernels.hpp); the tail repeats the sequence in scalar arithmetic.
+void clenshaw_batch_avx512(const double* coeffs, std::size_t n,
+                           std::size_t m, double u, double* out) {
+  if (n == 0) {
+    for (std::size_t p = 0; p < m; ++p) out[p] = 0.0;
+    return;
+  }
+  const double tu = 2.0 * u;
+  const __m512d vtu = _mm512_set1_pd(tu);
+  const __m512d vu = _mm512_set1_pd(u);
+  std::size_t p = 0;
+  for (; p + 8 <= m; p += 8) {
+    __m512d b1 = _mm512_setzero_pd();
+    __m512d b2 = _mm512_setzero_pd();
+    for (std::size_t k = n - 1; k >= 1; --k) {
+      const __m512d s = _mm512_mul_pd(vtu, b1);
+      const __m512d q = _mm512_sub_pd(s, b2);
+      const __m512d b = _mm512_add_pd(_mm512_loadu_pd(coeffs + k * m + p), q);
+      b2 = b1;
+      b1 = b;
+    }
+    const __m512d s = _mm512_mul_pd(vu, b1);
+    _mm512_storeu_pd(out + p, _mm512_add_pd(_mm512_loadu_pd(coeffs + p),
+                                            _mm512_sub_pd(s, b2)));
+  }
+  for (; p < m; ++p) {
+    double b1 = 0.0;
+    double b2 = 0.0;
+    for (std::size_t k = n - 1; k >= 1; --k) {
+      const double s = tu * b1;
+      const double q = s - b2;
+      const double b = coeffs[k * m + p] + q;
+      b2 = b1;
+      b1 = b;
+    }
+    const double s = u * b1;
+    out[p] = coeffs[p] + (s - b2);
+  }
+}
+
 }  // namespace
 
 namespace detail {
@@ -318,6 +361,7 @@ namespace detail {
 const KernelTable kAvx512Kernels = {
     fill_bin_factors_avx512, dot_counts_avx512, normal_cdf_batch_avx512,
     matmul_avx512,           matvec_avx512,     gram_aat_avx512,
+    clenshaw_batch_avx512,
 };
 
 }  // namespace detail

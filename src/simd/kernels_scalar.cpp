@@ -102,6 +102,34 @@ void gram_aat_scalar(const double* a, double* g, std::size_t n,
   }
 }
 
+// Clenshaw recurrence, one pencil at a time. The per-pencil operation
+// sequence (s = (2u)*b1; q = s - b2; b = c_k + q — each rounded
+// separately, no FMA: this TU is compiled at the baseline ISA, which has
+// no fused multiply-add) is the authoritative definition the vector
+// variants reproduce lane-for-lane, so all dispatch levels are
+// bit-identical by construction.
+void clenshaw_batch_scalar(const double* coeffs, std::size_t n,
+                           std::size_t m, double u, double* out) {
+  if (n == 0) {
+    for (std::size_t p = 0; p < m; ++p) out[p] = 0.0;
+    return;
+  }
+  const double tu = 2.0 * u;
+  for (std::size_t p = 0; p < m; ++p) {
+    double b1 = 0.0;
+    double b2 = 0.0;
+    for (std::size_t k = n - 1; k >= 1; --k) {
+      const double s = tu * b1;
+      const double q = s - b2;
+      const double b = coeffs[k * m + p] + q;
+      b2 = b1;
+      b1 = b;
+    }
+    const double s = u * b1;
+    out[p] = coeffs[p] + (s - b2);
+  }
+}
+
 }  // namespace
 
 namespace detail {
@@ -109,6 +137,7 @@ namespace detail {
 const KernelTable kScalarKernels = {
     fill_bin_factors_scalar, dot_counts_scalar, normal_cdf_batch_scalar,
     matmul_scalar,           matvec_scalar,     gram_aat_scalar,
+    clenshaw_batch_scalar,
 };
 
 }  // namespace detail

@@ -1,0 +1,157 @@
+#include "surrogate/chebyshev.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "simd/kernels.hpp"
+
+namespace obd::surrogate {
+
+double ChebAxis::node(std::size_t i) const {
+  if (n <= 1) return 0.5 * (lo + hi);
+  const double u =
+      std::cos(std::numbers::pi * static_cast<double>(i) /
+               static_cast<double>(n - 1));
+  return lo + 0.5 * (u + 1.0) * (hi - lo);
+}
+
+double ChebAxis::to_unit(double x) const {
+  return 2.0 * (x - lo) / (hi - lo) - 1.0;
+}
+
+double ChebAxis::midpoint(std::size_t i) const {
+  if (n <= 1) return 0.5 * (lo + hi);
+  const double u =
+      std::cos(std::numbers::pi * (static_cast<double>(i) + 0.5) /
+               static_cast<double>(n - 1));
+  return lo + 0.5 * (u + 1.0) * (hi - lo);
+}
+
+ChebTensor::ChebTensor(std::vector<ChebAxis> axes, std::vector<double> coeffs)
+    : axes_(std::move(axes)), coeffs_(std::move(coeffs)) {
+  std::size_t total = 1;
+  for (const ChebAxis& a : axes_) {
+    require(a.n >= 1 && a.hi > a.lo, ErrorCode::kInvalidInput,
+            "cheb: axis needs n >= 1 and hi > lo");
+    total *= a.n;
+  }
+  require(coeffs_.size() == total, ErrorCode::kInvalidInput,
+          "cheb: coefficient count does not match the axis grid");
+}
+
+ChebTensor ChebTensor::fit(std::vector<ChebAxis> axes,
+                           const std::function<double(const double*)>& fn) {
+  require(!axes.empty(), ErrorCode::kInvalidInput, "cheb: no axes");
+  std::size_t total = 1;
+  for (const ChebAxis& a : axes) {
+    require(a.n >= 1 && a.hi > a.lo, ErrorCode::kInvalidInput,
+            "cheb: axis needs n >= 1 and hi > lo");
+    total *= a.n;
+  }
+  const std::size_t d = axes.size();
+
+  // Sample the node tensor; linear index decomposes with axis 0 fastest,
+  // so fn sees the axis-0 sweep innermost.
+  std::vector<double> values(total);
+  std::vector<double> x(d);
+  for (std::size_t lin = 0; lin < total; ++lin) {
+    std::size_t rem = lin;
+    for (std::size_t a = 0; a < d; ++a) {
+      x[a] = axes[a].node(rem % axes[a].n);
+      rem /= axes[a].n;
+    }
+    values[lin] = fn(x.data());
+  }
+
+  // CGL cosine transform, one axis at a time, in place. For n nodes
+  // (N = n-1): c_k = (2 / (N g_k)) sum_j f(u_j) cos(pi j k / N) / g_j
+  // with g_0 = g_N = 2, else 1 — the coefficients of the interpolating
+  // polynomial through the CGL samples. O(n^2) per pencil is fine at the
+  // small per-axis degrees the surrogate uses.
+  for (std::size_t a = 0, stride = 1; a < d; stride *= axes[a].n, ++a) {
+    const std::size_t n = axes[a].n;
+    if (n == 1) continue;  // constant axis: c_0 = f, identity transform
+    const std::size_t nn = n - 1;
+    std::vector<double> m(n * n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double gk = (k == 0 || k == nn) ? 2.0 : 1.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double gj = (j == 0 || j == nn) ? 2.0 : 1.0;
+        m[k * n + j] = 2.0 / (static_cast<double>(nn) * gk * gj) *
+                       std::cos(std::numbers::pi * static_cast<double>(j) *
+                                static_cast<double>(k) /
+                                static_cast<double>(nn));
+      }
+    }
+    const std::size_t outer = total / (n * stride);
+    std::vector<double> f(n);
+    for (std::size_t o = 0; o < outer; ++o) {
+      for (std::size_t i = 0; i < stride; ++i) {
+        const std::size_t base = o * stride * n + i;
+        for (std::size_t j = 0; j < n; ++j)
+          f[j] = values[base + j * stride];
+        for (std::size_t k = 0; k < n; ++k) {
+          double c = 0.0;
+          for (std::size_t j = 0; j < n; ++j) c += m[k * n + j] * f[j];
+          values[base + k * stride] = c;
+        }
+      }
+    }
+  }
+  return ChebTensor(std::move(axes), std::move(values));
+}
+
+double ChebTensor::eval(const double* x) const {
+  const std::size_t d = axes_.size();
+  std::vector<double> a;
+  std::vector<double> b;
+  const double* cur = coeffs_.data();
+  std::size_t m = coeffs_.size();
+  for (std::size_t axis = d; axis-- > 1;) {
+    m /= axes_[axis].n;
+    b.resize(m);
+    simd::kernels().clenshaw_batch(cur, axes_[axis].n, m,
+                                   axes_[axis].to_unit(x[axis]), b.data());
+    std::swap(a, b);
+    cur = a.data();
+  }
+  double out = 0.0;
+  simd::kernels().clenshaw_batch(cur, axes_[0].n, 1, axes_[0].to_unit(x[0]),
+                                 &out);
+  return out;
+}
+
+std::vector<double> ChebTensor::contract_tail(const double* x_tail) const {
+  const std::size_t d = axes_.size();
+  std::vector<double> a;
+  std::vector<double> b;
+  const double* cur = coeffs_.data();
+  std::size_t m = coeffs_.size();
+  for (std::size_t axis = d; axis-- > 1;) {
+    m /= axes_[axis].n;
+    b.resize(m);
+    simd::kernels().clenshaw_batch(cur, axes_[axis].n, m,
+                                   axes_[axis].to_unit(x_tail[axis - 1]),
+                                   b.data());
+    std::swap(a, b);
+    cur = a.data();
+  }
+  if (d == 1) return coeffs_;  // nothing to contract
+  a.resize(axes_[0].n);
+  return a;
+}
+
+double ChebTensor::eval_pencil(const std::vector<double>& pencil,
+                               double x0) const {
+  return eval_pencil_at(pencil.data(), pencil.size(), x0);
+}
+
+double ChebTensor::eval_pencil_at(const double* pencil, std::size_t n,
+                                  double x0) const {
+  double out = 0.0;
+  simd::kernels().clenshaw_batch(pencil, n, 1, axes_[0].to_unit(x0), &out);
+  return out;
+}
+
+}  // namespace obd::surrogate

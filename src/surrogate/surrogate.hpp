@@ -1,0 +1,180 @@
+// Certified Chebyshev surrogate for F(t) under operating-condition
+// deltas (ROADMAP item 4; the SMART-paper surrogate layer).
+//
+// One SurrogateModel is fit per (problem fingerprint, domain box): a
+// set of 4-D Chebyshev tensor interpolants over
+//     (ln t, dT, vdd, ln activity scale)
+// where dT is a uniform block-temperature offset and the activity axis
+// scales every block's base activity (log-space, because t50 activity
+// acceleration is a power law — queries still pass plain act). Each fit target is y = ln(H_c) for
+// a *channel* hazard H_c = -(channel log-survival), taken from the engine
+// before its -expm1 conversion so it stays smooth across the many decades
+// F spans and keeps resolving after F rounds to 1.0 (where any F-derived
+// target plateaus and its kink destroys spectral convergence).
+//
+// Why one tensor per channel: for redundancy-free stacks the chip
+// log-survival is an exact sum of an oxide term and one term per aging
+// mechanism. Each term is smooth in its own log space, but ln of their
+// SUM has a moving log-sum-exp elbow wherever a fast-rising lognormal
+// aging hazard (slope ~ z/sigma in ln t) overtakes the gentle oxide
+// hazard (slope ~ b) — a feature of width ~ 1/|slope difference| that a
+// global polynomial cannot resolve at any practical degree. Fitting the
+// channels separately and summing the hazards at evaluation time
+// sidesteps the elbow entirely. The oxide channel's activity axis
+// collapses to one node (activity reaches oxide alpha/b only through the
+// problem build, not the corner path); redundancy stacks are not
+// channel-separable, so they fit one joint tensor and lean on
+// certification to refuse when the elbow bites.
+//
+// The fit reference is the engine's own exact corner path
+// (core::ConditionEvaluator) over a *fit-resolution* hybrid
+// table: the (gamma, b) box is narrowed to exactly what the domain needs
+// and refilled densely (fit_n_gamma x fit_n_b), so the piecewise-bilinear
+// kinks of the serve-resolution tables never cap the fit accuracy.
+// A relative error of e in the hazard H bounds the relative error in
+// F = 1 - exp(-H) by the same e, so certifying F directly is the
+// stricter check and the one performed.
+//
+// Certification is non-negotiable: after fitting, the model is probed on
+// a deterministic held-out grid (inter-node midpoints per axis, the
+// worst case for a Chebyshev fit) plus a low-discrepancy Weyl sequence of
+// interior points (no RNG — refits are reproducible), against the same
+// exact reference. The resulting SurrogateCertificate records the
+// max/mean relative error; consumers must refuse to answer (fall through
+// to the exact engine) whenever a query leaves the domain box or the
+// certificate exceeds its tolerance. certify() is re-runnable: given the
+// same problem and options it reproduces the stored certificate exactly,
+// which the surrogate bench uses to re-verify a fitted model in its exit
+// code.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/condition_eval.hpp"
+#include "core/device_model.hpp"
+#include "core/problem.hpp"
+#include "surrogate/chebyshev.hpp"
+
+namespace obd::surrogate {
+
+/// The certified query box. Queries outside it must fall through to the
+/// exact engine.
+struct SurrogateDomain {
+  double dt_lo = 0.0, dt_hi = 0.0;    ///< uniform temperature offset [C]
+  double vdd_lo = 0.0, vdd_hi = 0.0;  ///< supply [V]
+  double act_lo = 0.0, act_hi = 0.0;  ///< activity scale
+  double t_lo = 0.0, t_hi = 0.0;      ///< query time [s]
+
+  [[nodiscard]] bool contains(double dt, double vdd, double act,
+                              double t) const {
+    return dt >= dt_lo && dt <= dt_hi && vdd >= vdd_lo && vdd <= vdd_hi &&
+           act >= act_lo && act <= act_hi && t >= t_lo && t <= t_hi;
+  }
+};
+
+/// Post-fit error audit against the exact engine.
+struct SurrogateCertificate {
+  double max_rel_error = 0.0;   ///< max |S-F|/max(|F|, 1e-12) over probes
+  double mean_rel_error = 0.0;  ///< mean of the same
+  std::size_t probes = 0;       ///< held-out grid + low-discrepancy points
+  double tol = 0.0;             ///< configured surrogate_tol
+  bool certified = false;       ///< max_rel_error <= tol
+};
+
+struct SurrogateOptions {
+  double dt_c = 12.0;      ///< temperature-offset half-width [C]
+  double dvdd = 0.08;      ///< supply half-width [V] around the problem vdd
+  double act_lo = 0.5;     ///< activity-scale box
+  double act_hi = 1.5;
+  double t_lo_years = 0.5;  ///< query-time box [years]
+  double t_hi_years = 40.0;
+  std::size_t n_t = 15;        ///< CGL nodes along ln t (oxide channel)
+  std::size_t n_t_aging = 25;  ///< ln-t nodes for aging-mechanism channels
+  std::size_t n_dt = 13;       ///< nodes along dT
+  std::size_t n_vdd = 11;      ///< nodes along vdd
+  std::size_t n_act = 9;  ///< activity nodes (aging channels; oxide uses 1)
+  double tol = 1e-4;       ///< certification bound on max relative error
+  /// Fit-reference hybrid-table resolution over the narrowed (gamma, b)
+  /// box. Denser than the serve tables on a far smaller box, so the
+  /// reference is effectively kink-free at the certificate's scale.
+  std::size_t fit_n_gamma = 256;
+  std::size_t fit_n_b = 128;
+  std::size_t probe_points = 512;  ///< low-discrepancy interior probes
+  core::AnalyticModelParams model{};  ///< (T, vdd) -> (alpha, b) mapping
+};
+
+class SurrogateModel {
+ public:
+  SurrogateModel() = default;
+
+  /// Fits and certifies a surrogate for `problem`. The vdd axis is
+  /// centered on problem.vdd(). Fit cost is dominated by the
+  /// fit-resolution table build (fit_n_gamma * fit_n_b analytic
+  /// integrations per block — a few serve-resolution cold builds).
+  static SurrogateModel fit(const core::ReliabilityProblem& problem,
+                            const SurrogateOptions& options);
+
+  [[nodiscard]] bool in_domain(double dt, double vdd, double act,
+                               double t) const {
+    return domain_.contains(dt, vdd, act, t);
+  }
+
+  /// F(t) at (dT, vdd, activity scale). The caller must have checked
+  /// in_domain() and certificate().certified — evaluate never refuses on
+  /// its own (the refusal policy lives with the tier logic).
+  [[nodiscard]] double evaluate(double dt, double vdd, double act,
+                                double t) const;
+
+  /// Corner-sweep fast path: contract the (dT, vdd, act) axes of every
+  /// channel once, then evaluate many time stamps at O(sum of n_t) each.
+  /// The plan is the channel pencils back to back (channel c starts at
+  /// the sum of the preceding channels' axis-0 node counts).
+  [[nodiscard]] std::vector<double> plan_corner(double dt, double vdd,
+                                                double act) const;
+  [[nodiscard]] double evaluate_at(const std::vector<double>& pencil,
+                                   double t) const;
+
+  [[nodiscard]] const SurrogateCertificate& certificate() const {
+    return cert_;
+  }
+  [[nodiscard]] const SurrogateDomain& domain() const { return domain_; }
+  /// The fitted channel tensors: [oxide, one per aging mechanism] for
+  /// redundancy-free stacks, a single joint tensor otherwise.
+  [[nodiscard]] const std::vector<ChebTensor>& channels() const {
+    return channels_;
+  }
+  [[nodiscard]] double tol() const { return cert_.tol; }
+
+  /// Versioned text serialization (exact %.17g round trip). The identity
+  /// binding — which problem this model certifies — is the caller's: the
+  /// serve tier stores the canonical problem key inside its CRC frame.
+  [[nodiscard]] std::string save_text() const;
+  /// Parses save_text() output; nullopt on any structural mismatch (a
+  /// CRC-valid file from an older version is a refit, not a crash).
+  static std::optional<SurrogateModel> load_text(const std::string& text);
+
+ private:
+  std::vector<ChebTensor> channels_;
+  SurrogateDomain domain_;
+  SurrogateCertificate cert_;
+};
+
+/// Re-runs the deterministic certification probes of `model` against the
+/// exact corner evaluator `ref`. With the same reference the result is
+/// bit-identical to the certificate stored at fit time — the bench's
+/// re-verification gate.
+[[nodiscard]] SurrogateCertificate certify(const SurrogateModel& model,
+                                           core::ConditionEvaluator& ref,
+                                           std::size_t probe_points,
+                                           double tol);
+
+/// The narrowed fit-reference table options fit() uses for `problem` over
+/// the domain implied by `options` (exposed so the bench can rebuild the
+/// identical reference for re-verification).
+[[nodiscard]] core::HybridOptions fit_reference_options(
+    const core::ReliabilityProblem& problem, const SurrogateOptions& options);
+
+}  // namespace obd::surrogate

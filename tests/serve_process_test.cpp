@@ -169,9 +169,38 @@ class ServeProcessTest : public ::testing::Test {
   CmdResult serve_stdin(const std::string& tag, const std::string& qfile,
                         const std::string& cache_dir,
                         const std::string& extra = "") {
-    return run_cmd(cli_ + " serve " + cfg_ + " --stdin --cache-dir " +
+    return serve_stdin_cfg(cfg_, tag, qfile, cache_dir, extra);
+  }
+
+  CmdResult serve_stdin_cfg(const std::string& cfg, const std::string& tag,
+                            const std::string& qfile,
+                            const std::string& cache_dir,
+                            const std::string& extra = "") {
+    return run_cmd(cli_ + " serve " + cfg + " --stdin --cache-dir " +
                        cache_dir + " " + extra + " <" + qfile,
                    dir_ + "/err-" + tag + ".txt");
+  }
+
+  // Same problem as cfg_ with the surrogate tier on at a reduced fit
+  // resolution (the c1 default stack is oxide-only; these counts certify
+  // comfortably under the loosened tolerance).
+  std::string write_surrogate_cfg() {
+    const std::string path = dir_ + "/serve-sur.cfg";
+    std::ofstream(path) << "design c1\n"
+                           "grid 8\n"
+                           "serve_n_gamma 16\n"
+                           "serve_n_b 12\n"
+                           "threads 2\n"
+                           "surrogate on\n"
+                           "surrogate_tol 1e-3\n"
+                           "surrogate_n_t 11\n"
+                           "surrogate_n_dt 7\n"
+                           "surrogate_n_vdd 5\n"
+                           "surrogate_n_act 4\n"
+                           "surrogate_fit_n_gamma 160\n"
+                           "surrogate_fit_n_b 64\n"
+                           "surrogate_probes 128\n";
+    return path;
   }
 
   std::string err(const std::string& tag) {
@@ -348,6 +377,120 @@ TEST_F(ServeProcessTest, CorruptCacheFileIsQuarantinedAndRecomputed) {
   for (const auto& e : fs::directory_iterator(cache))
     if (e.path().extension() == ".quarantined") ++quarantined;
   EXPECT_EQ(quarantined, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Surrogate tier off (the default): the reply grammar is frozen
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeProcessTest, SurrogateOffRepliesNeverMentionTheTier) {
+  const std::string qfile = dir_ + "/q.txt";
+  std::ofstream(qfile) << "id=a t=1e8\n"
+                          "id=b t=3.15e8 cond.dt=3\n"
+                          "id=c t=3.15e8 cond.dt=3 cond.dt.0=8\n"
+                          "op=health id=hb\n";
+  const CmdResult r = serve_stdin("off", qfile, dir_ + "/cache");
+  ASSERT_EQ(r.status, 0) << err("off");
+  ASSERT_EQ(lines_of(r.out).size(), 4u) << r.out;
+  // With the tier off every reply — and the health line — is
+  // byte-identical to a daemon predating the surrogate layer.
+  EXPECT_EQ(r.out.find("surrogate"), std::string::npos) << r.out;
+  // The repeated same-corner cond queries reused incremental rows; the
+  // drain stat records it.
+  EXPECT_NE(err("off").find("serve.incremental"), std::string::npos)
+      << err("off");
+}
+
+// ---------------------------------------------------------------------------
+// Surrogate tier on: certified corners served from coefficients, anything
+// outside the certificate verifiably falls through to exact
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeProcessTest, SurrogateServesInDomainAndFallsThroughOutside) {
+  const std::string sur_cfg = write_surrogate_cfg();
+  const std::string cache = dir_ + "/cache";
+  const std::string qfile = dir_ + "/q.txt";
+  std::ofstream(qfile) << "id=in t=3.15e8 cond.dt=4\n"
+                          "id=out t=3.15e8 cond.dt=50\n";
+
+  // Cold run: exact answers (flagged surrogate=0), fit + persist .cheb.
+  const std::string warm_q = dir_ + "/warm.txt";
+  std::ofstream(warm_q) << "id=w t=3.15e8\n";
+  const CmdResult warm = serve_stdin_cfg(sur_cfg, "warm", warm_q, cache);
+  ASSERT_EQ(warm.status, 0) << err("warm");
+  EXPECT_EQ(count_lines_with(warm.out, "id=w ok=1 "), 1u) << warm.out;
+  EXPECT_EQ(count_lines_with(warm.out, " surrogate=0"), 1u) << warm.out;
+  std::size_t chebs = 0;
+  for (const auto& e : fs::directory_iterator(cache))
+    if (e.path().extension() == ".cheb") ++chebs;
+  ASSERT_EQ(chebs, 1u);
+
+  // Restarted daemon: the in-domain corner is answered from the loaded
+  // coefficients, the out-of-domain one falls through to the exact engine.
+  const CmdResult r = serve_stdin_cfg(sur_cfg, "sur", qfile, cache);
+  ASSERT_EQ(r.status, 0) << err("sur");
+  ASSERT_EQ(lines_of(r.out).size(), 2u) << r.out;
+  EXPECT_EQ(count_lines_with(r.out, "id=in ok=1 "), 1u) << r.out;
+  EXPECT_EQ(count_lines_with(r.out, " surrogate=1"), 1u) << r.out;
+  EXPECT_EQ(count_lines_with(r.out, "id=out ok=1 "), 1u) << r.out;
+  EXPECT_EQ(count_lines_with(r.out, " surrogate=0"), 1u) << r.out;
+  EXPECT_NE(err("sur").find("serve.surrogate"), std::string::npos)
+      << err("sur");
+
+  // The fallen-through reply is byte-identical to a tier-off daemon's
+  // answer for the same query, modulo the appended flag field.
+  const std::string ref_q = dir_ + "/ref.txt";
+  std::ofstream(ref_q) << "id=out t=3.15e8 cond.dt=50\n";
+  const CmdResult ref = serve_stdin("ref", ref_q, dir_ + "/cache-ref");
+  ASSERT_EQ(ref.status, 0) << err("ref");
+  std::string out_line;
+  for (const auto& l : lines_of(r.out))
+    if (l.rfind("id=out ", 0) == 0) out_line = l;
+  const std::size_t flag = out_line.find(" surrogate=");
+  ASSERT_NE(flag, std::string::npos) << out_line;
+  EXPECT_EQ(out_line.substr(0, flag) + "\n", ref.out);
+}
+
+// ---------------------------------------------------------------------------
+// Vandalized coefficient file: quarantine + refit, byte-identical replies
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeProcessTest, VandalizedSurrogateFileIsQuarantinedAndRefit) {
+  const std::string sur_cfg = write_surrogate_cfg();
+  const std::string cache = dir_ + "/cache";
+  const std::string qfile = dir_ + "/q.txt";
+  std::ofstream(qfile) << "id=q t=3.15e8 cond.dt=4\n";
+
+  // Fit once (cold plain query), then capture the surrogate-served reply.
+  const std::string warm_q = dir_ + "/warm.txt";
+  std::ofstream(warm_q) << "id=w t=3.15e8\n";
+  ASSERT_EQ(serve_stdin_cfg(sur_cfg, "warm", warm_q, cache).status, 0)
+      << err("warm");
+  const CmdResult before = serve_stdin_cfg(sur_cfg, "before", qfile, cache);
+  ASSERT_EQ(before.status, 0) << err("before");
+  ASSERT_EQ(count_lines_with(before.out, " surrogate=1"), 1u) << before.out;
+
+  // Vandalize the coefficient file.
+  std::string cheb;
+  for (const auto& e : fs::directory_iterator(cache))
+    if (e.path().extension() == ".cheb") cheb = e.path().string();
+  ASSERT_FALSE(cheb.empty());
+  std::ofstream(cheb, std::ios::trunc) << "garbage";
+
+  // Restart: the file is quarantined (never believed), the query answered
+  // exactly, and the post-build refit re-persists a certified model.
+  const CmdResult refit = serve_stdin_cfg(sur_cfg, "refit", qfile, cache);
+  ASSERT_EQ(refit.status, 0) << err("refit");
+  EXPECT_EQ(count_lines_with(refit.out, "id=q ok=1 "), 1u) << refit.out;
+  EXPECT_EQ(count_lines_with(refit.out, " surrogate=0"), 1u) << refit.out;
+  EXPECT_TRUE(fs::exists(cheb + ".quarantined"));
+  EXPECT_TRUE(fs::exists(cheb));
+
+  // The refit is deterministic: a further restart serves byte-identical
+  // surrogate replies to the pre-vandalism run.
+  const CmdResult after = serve_stdin_cfg(sur_cfg, "after", qfile, cache);
+  ASSERT_EQ(after.status, 0) << err("after");
+  EXPECT_EQ(after.out, before.out);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -532,6 +533,223 @@ TEST_F(ServeEngineTest, PerRequestErrorsNeverPoisonTheBatch) {
   EXPECT_NE(replies[1].find(" error="), std::string::npos) << replies[1];
   EXPECT_EQ(engine.stats().answered, 1u);
   EXPECT_EQ(engine.stats().errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-session incremental corner evaluation (cond.* requests)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeEngineTest, CondQueriesReuseIncrementalRowsWithinASession) {
+  serve::QueryEngine engine(base_config(), engine_options());
+  // First corner: the session evaluator is built and every row refreshed —
+  // no reuse to count.
+  const std::string first =
+      engine.evaluate({query("a", 3.15e8, " cond.dt=3")})[0];
+  EXPECT_NE(first.find(" ok=1 "), std::string::npos) << first;
+  EXPECT_EQ(engine.stats().incremental_hits, 0u);
+  // Same corner and t with one block nudged: only that row refreshes, so
+  // the evaluation counts as an incremental reuse.
+  const std::string reused =
+      engine.evaluate({query("b", 3.15e8, " cond.dt=3 cond.dt.0=8")})[0];
+  EXPECT_NE(reused.find(" ok=1 "), std::string::npos) << reused;
+  EXPECT_EQ(engine.stats().incremental_hits, 1u);
+  // The reused answer is bit-identical to a fresh engine computing the
+  // same corner from scratch (the incremental contract, end to end).
+  serve::EngineOptions fresh_opts = engine_options();
+  fresh_opts.cache.dir = dir_ + "/cache-fresh";
+  serve::QueryEngine fresh(base_config(), fresh_opts);
+  EXPECT_EQ(fresh.evaluate({query("b", 3.15e8, " cond.dt=3 cond.dt.0=8")})[0],
+            reused);
+  // A different session never shares evaluator state: same bytes, but a
+  // full rebuild rather than a reuse.
+  serve::PendingQuery other = query("b", 3.15e8, " cond.dt=3 cond.dt.0=8");
+  other.session = 7;
+  EXPECT_EQ(engine.evaluate({other})[0], reused);
+  EXPECT_EQ(engine.stats().incremental_hits, 1u);
+  // Ending the session drops its evaluator; the next corner rebuilds.
+  engine.end_session(1);
+  EXPECT_EQ(engine.evaluate({query("b", 3.15e8, " cond.dt=3 cond.dt.0=8")})[0],
+            reused);
+  EXPECT_EQ(engine.stats().incremental_hits, 1u);
+}
+
+TEST_F(ServeEngineTest, CondBlockIndexOutOfRangeIsARequestError) {
+  serve::QueryEngine engine(base_config(), engine_options());
+  const std::string reply =
+      engine.evaluate({query("a", 3.15e8, " cond.dt.9999=5")})[0];
+  EXPECT_NE(reply.find(" error=invalid-input"), std::string::npos) << reply;
+  EXPECT_EQ(engine.stats().errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Surrogate tier: flag byte-identity, certified hits, domain refusal,
+// quarantine + refit
+// ---------------------------------------------------------------------------
+
+class ServeSurrogateTest : public ServeEngineTest {
+ protected:
+  // Reduced fit resolution so a fit costs a fraction of a second; the
+  // c1 default stack is oxide-only, which these counts certify easily.
+  serve::EngineOptions surrogate_options() {
+    serve::EngineOptions eo = engine_options();
+    eo.surrogate = true;
+    eo.surrogate_opts.n_t = 11;
+    eo.surrogate_opts.n_dt = 7;
+    eo.surrogate_opts.n_vdd = 5;
+    eo.surrogate_opts.n_act = 4;
+    eo.surrogate_opts.fit_n_gamma = 160;
+    eo.surrogate_opts.fit_n_b = 64;
+    eo.surrogate_opts.probe_points = 128;
+    eo.surrogate_opts.tol = 1e-3;
+    return eo;
+  }
+  static double reply_f(const std::string& reply) {
+    const std::size_t pos = reply.find(" f=");
+    EXPECT_NE(pos, std::string::npos) << reply;
+    return std::stod(reply.substr(pos + 3));
+  }
+};
+
+TEST_F(ServeSurrogateTest, TierOffRepliesCarryNoSurrogateField) {
+  serve::QueryEngine off(base_config(), engine_options());
+  const std::string plain = off.evaluate({query("a", 3.15e8)})[0];
+  const std::string cond =
+      off.evaluate({query("b", 3.15e8, " cond.dt=4")})[0];
+  // The tier-off reply grammar is frozen: no surrogate field, ever.
+  EXPECT_EQ(plain.find("surrogate"), std::string::npos) << plain;
+  EXPECT_EQ(cond.find("surrogate"), std::string::npos) << cond;
+
+  // The tier on only appends the flag field; stripping it recovers the
+  // tier-off bytes exactly.
+  serve::EngineOptions eo = surrogate_options();
+  eo.cache.dir = dir_ + "/cache-on";
+  serve::QueryEngine on(base_config(), eo);
+  const std::string flagged = on.evaluate({query("a", 3.15e8)})[0];
+  const std::size_t pos = flagged.find(" surrogate=");
+  ASSERT_NE(pos, std::string::npos) << flagged;
+  EXPECT_EQ(flagged.substr(0, pos), plain);
+}
+
+TEST_F(ServeSurrogateTest, CertifiedInDomainQueriesSkipTheTablesEntirely) {
+  const serve::EngineOptions eo = surrogate_options();
+  const std::uint64_t fp =
+      serve::fingerprint(serve::problem_key(base_config()));
+  std::string exact_cond;
+  {
+    serve::QueryEngine engine(base_config(), eo);
+    // Cold batch: exact answer, then fit + certify + persist.
+    const std::string cold = engine.evaluate({query("a", 3.15e8)})[0];
+    EXPECT_NE(cold.find(" surrogate=0"), std::string::npos) << cold;
+    ASSERT_TRUE(
+        fs::exists(serve::surrogate_file_path(eo.cache.dir, fp)));
+    // Memory tier holds the tables: exact wins even for covered queries.
+    exact_cond = engine.evaluate(
+        {query("b", 3.15e8, " cond.dt=4 cond.act=1.2")})[0];
+    EXPECT_NE(exact_cond.find(" surrogate=0"), std::string::npos)
+        << exact_cond;
+    EXPECT_EQ(engine.stats().surrogate_hits, 0u);
+  }
+  // Fresh engine, same cache dir: the surrogate loads from disk and
+  // answers without building a problem or touching either table tier.
+  serve::QueryEngine engine(base_config(), eo);
+  const std::string sur =
+      engine.evaluate({query("b", 3.15e8, " cond.dt=4 cond.act=1.2")})[0];
+  EXPECT_NE(sur.find(" surrogate=1"), std::string::npos) << sur;
+  EXPECT_EQ(engine.stats().surrogate_hits, 1u);
+  EXPECT_EQ(engine.cache().stats().misses, 0u);
+  EXPECT_EQ(engine.cache().stats().disk_hits, 0u);
+  EXPECT_EQ(engine.cache().entries(), 0u);
+  // And the answer honors the certified envelope against the exact reply.
+  const double fe = reply_f(exact_cond);
+  EXPECT_LE(std::abs(reply_f(sur) - fe) / std::max(fe, 1e-12),
+            eo.surrogate_opts.tol);
+}
+
+TEST_F(ServeSurrogateTest, OutOfDomainQueriesFallThroughToExact) {
+  const serve::EngineOptions eo = surrogate_options();
+  {
+    serve::QueryEngine warm(base_config(), eo);  // fit + persist
+    (void)warm.evaluate({query("w", 3.15e8)});
+  }
+  serve::QueryEngine engine(base_config(), eo);
+  // dt outside the certified +-dt_c box.
+  const std::string far =
+      engine.evaluate({query("a", 3.15e8, " cond.dt=50")})[0];
+  EXPECT_NE(far.find(" ok=1 "), std::string::npos) << far;
+  EXPECT_NE(far.find(" surrogate=0"), std::string::npos) << far;
+  // Per-block overrides are never covered.
+  const std::string blk =
+      engine.evaluate({query("b", 3.15e8, " cond.dt.0=2")})[0];
+  EXPECT_NE(blk.find(" surrogate=0"), std::string::npos) << blk;
+  // t outside the query-time box.
+  const std::string early = engine.evaluate({query("c", 1.0e5)})[0];
+  EXPECT_NE(early.find(" surrogate=0"), std::string::npos) << early;
+  EXPECT_EQ(engine.stats().surrogate_hits, 0u);
+  EXPECT_EQ(engine.stats().surrogate_fallthrough, 3u);
+  // The exact engine really answered: a problem build happened after all.
+  EXPECT_EQ(engine.cache().entries(), 1u);
+}
+
+TEST_F(ServeSurrogateTest, DeadlineExpiryPrefersCertifiedSurrogate) {
+  const serve::EngineOptions eo = surrogate_options();
+  {
+    serve::QueryEngine warm(base_config(), eo);
+    (void)warm.evaluate({query("w", 3.15e8)});
+  }
+  serve::QueryEngine engine(base_config(), eo);
+  fault::arm("serve.deadline");
+  // Covered query: the surrogate answers before the deadline partition is
+  // ever reached — a certified approximation beats the cruder analytic
+  // closed form, and the reply is not degraded.
+  const std::string in =
+      engine.evaluate({query("a", 3.15e8, " deadline_ms=1000")})[0];
+  EXPECT_NE(in.find(" surrogate=1"), std::string::npos) << in;
+  EXPECT_NE(in.find(" degraded=0"), std::string::npos) << in;
+  // Uncovered query: the analytic degradation path still applies.
+  const std::string out = engine.evaluate(
+      {query("b", 3.15e8, " cond.dt=50 deadline_ms=1000")})[0];
+  fault::disarm();
+  EXPECT_NE(out.find(" degraded=1"), std::string::npos) << out;
+  EXPECT_NE(out.find(" surrogate=0"), std::string::npos) << out;
+  EXPECT_EQ(engine.stats().surrogate_hits, 1u);
+  EXPECT_EQ(engine.stats().degraded, 1u);
+}
+
+TEST_F(ServeSurrogateTest, VandalizedSurrogateFileIsQuarantinedAndRefit) {
+  const serve::EngineOptions eo = surrogate_options();
+  const std::uint64_t fp =
+      serve::fingerprint(serve::problem_key(base_config()));
+  const std::string path = serve::surrogate_file_path(eo.cache.dir, fp);
+  std::string sur_reply;
+  {
+    serve::QueryEngine warm(base_config(), eo);
+    (void)warm.evaluate({query("w", 3.15e8)});
+    ASSERT_TRUE(fs::exists(path));
+  }
+  {
+    serve::QueryEngine reader(base_config(), eo);
+    sur_reply = reader.evaluate({query("q", 3.15e8, " cond.dt=4")})[0];
+    ASSERT_NE(sur_reply.find(" surrogate=1"), std::string::npos)
+        << sur_reply;
+  }
+  std::ofstream(path, std::ios::trunc) << "garbage";
+  {
+    // The vandalized file is quarantined (never believed), the query is
+    // answered exactly, and the post-build refit re-persists a certified
+    // model.
+    serve::QueryEngine engine(base_config(), eo);
+    const std::string exact =
+        engine.evaluate({query("q", 3.15e8, " cond.dt=4")})[0];
+    EXPECT_NE(exact.find(" surrogate=0"), std::string::npos) << exact;
+    EXPECT_TRUE(fs::exists(path + ".quarantined"));
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_GE(diagnostics().count("serve.cache_corrupt"), 1u);
+  }
+  // The refit is deterministic: the reloaded model serves byte-identical
+  // surrogate replies.
+  serve::QueryEngine again(base_config(), eo);
+  EXPECT_EQ(again.evaluate({query("q", 3.15e8, " cond.dt=4")})[0],
+            sur_reply);
 }
 
 }  // namespace

@@ -330,6 +330,104 @@ TEST_P(SimdKernelPair, MatvecWithinDotProductRounding) {
   }
 }
 
+TEST_P(SimdKernelPair, ClenshawBatchBitIdenticalAndMatchesDirectSum) {
+  stats::Rng rng(77);
+  for (const std::size_t m :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+        std::size_t{5}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+        std::size_t{15}, std::size_t{16}, std::size_t{17}, std::size_t{19}}) {
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+          std::size_t{8}, std::size_t{13}, std::size_t{25}}) {
+      std::vector<double> coeffs(n * m);
+      for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t p = 0; p < m; ++p)
+          coeffs[k * m + p] =
+              rng.normal() / (1.0 + static_cast<double>(k * k));
+      for (const double u : {-1.0, -0.73, 0.0, 0.31, 1.0}) {
+        std::vector<double> outs(m, -1.0);
+        std::vector<double> outv(m, -1.0);
+        s_.clenshaw_batch(coeffs.data(), n, m, u, outs.data());
+        v_.clenshaw_batch(coeffs.data(), n, m, u, outv.data());
+        for (std::size_t p = 0; p < m; ++p) {
+          // Bit-identical across tiers: lanes map to independent pencils,
+          // so width never changes any rounding. The surrogate's
+          // certified envelopes rest on this.
+          ASSERT_EQ(outs[p], outv[p])
+              << "m=" << m << " n=" << n << " u=" << u << " pencil " << p;
+          // And the value is the Chebyshev sum it claims to be.
+          double tk2 = 1.0, tk1 = u;
+          double ref = coeffs[p];
+          double mag = std::abs(coeffs[p]);
+          if (n > 1) {
+            ref += coeffs[m + p] * u;
+            mag += std::abs(coeffs[m + p]);
+          }
+          for (std::size_t k = 2; k < n; ++k) {
+            const double tk = 2.0 * u * tk1 - tk2;
+            ref += coeffs[k * m + p] * tk;
+            mag += std::abs(coeffs[k * m + p]);
+            tk2 = tk1;
+            tk1 = tk;
+          }
+          EXPECT_NEAR(outs[p], ref, 1e-12 * std::max(mag, 1.0))
+              << "m=" << m << " n=" << n << " u=" << u << " pencil " << p;
+        }
+      }
+    }
+  }
+  // n == 0 zero-fills regardless of the garbage in out.
+  double out3[3] = {-1.0, -1.0, -1.0};
+  v_.clenshaw_batch(nullptr, 0, 3, 0.5, out3);
+  EXPECT_EQ(out3[0], 0.0);
+  EXPECT_EQ(out3[1], 0.0);
+  EXPECT_EQ(out3[2], 0.0);
+}
+
+// ------------------------------------------------------------------------
+// Per-kernel tier composition under "auto" vs forced levels
+
+TEST(SimdDispatch, AutoComposesPerKernelTiersButForcedLevelsAreWhole) {
+  DispatchGuard guard;
+  simd::configure("auto");
+  const simd::Level widest = simd::active_level();
+  if (widest == simd::Level::kAvx512) {
+    // dot_counts is capped at AVX2 under auto: its AVX-512 fold is
+    // load-bound and measures slower (see kAutoCap in dispatch.cpp and
+    // the bench gate that keeps this ranking honest).
+    EXPECT_EQ(simd::kernel_level(simd::KernelId::kDotCounts),
+              simd::Level::kAvx2);
+    EXPECT_EQ(simd::kernels().dot_counts,
+              simd::detail::kAvx2Kernels.dot_counts);
+    // Every other kernel still runs the widest tier.
+    EXPECT_EQ(simd::kernel_level(simd::KernelId::kClenshawBatch),
+              simd::Level::kAvx512);
+    EXPECT_EQ(simd::kernels().clenshaw_batch,
+              simd::detail::kAvx512Kernels.clenshaw_batch);
+    EXPECT_EQ(simd::kernels().matmul, simd::detail::kAvx512Kernels.matmul);
+    EXPECT_EQ(simd::kernels().fill_bin_factors,
+              simd::detail::kAvx512Kernels.fill_bin_factors);
+  } else {
+    // No tier exceeds its cap: composition is the identity.
+    EXPECT_EQ(simd::kernel_level(simd::KernelId::kDotCounts), widest);
+    EXPECT_EQ(simd::kernel_level(simd::KernelId::kClenshawBatch), widest);
+  }
+  // A forced level selects its whole uncomposed table, caps ignored —
+  // forced runs must exercise exactly one tier.
+  if (simd::can_use_avx512()) {
+    simd::set_level(simd::Level::kAvx512);
+    EXPECT_EQ(simd::kernel_level(simd::KernelId::kDotCounts),
+              simd::Level::kAvx512);
+    EXPECT_EQ(simd::kernels().dot_counts,
+              simd::detail::kAvx512Kernels.dot_counts);
+  }
+  simd::set_level(simd::Level::kScalar);
+  EXPECT_EQ(simd::kernel_level(simd::KernelId::kDotCounts),
+            simd::Level::kScalar);
+  EXPECT_EQ(simd::kernels().dot_counts,
+            simd::detail::kScalarKernels.dot_counts);
+}
+
 // ------------------------------------------------------------------------
 // Red-black SOR sweep
 

@@ -68,6 +68,9 @@
 //   fleet_t_min_years sweep start [years]                (default 1)
 //   fleet_t_max_years sweep end [years]                  (default 20)
 //   fleet_times_years explicit sweep times [years] (overrides the above)
+//   fleet_corners     "dt:vdd:act,..." operating corners appended to the
+//                     report as an F(t) sweep; `surrogate on` answers them
+//                     through the certified Chebyshev fast path
 //
 // Fleet flags: --chips N (required), --shards K (default 4),
 //   --fleet-dir <dir> (default fleet.state), --max-restarts <n>,
@@ -88,6 +91,18 @@
 //   serve_deadline_ms default per-request deadline, 0=off (default 0)
 //   serve_n_gamma / serve_n_b   served-table dimensions  (default 100)
 //
+// Surrogate fast path (obdrel serve and the fleet corner sweep):
+//   surrogate         bool: certified Chebyshev F(t) tier (default off)
+//   surrogate_tol     certified max-relative-error bound  (default 1e-4)
+//   surrogate_dt_c / surrogate_dvdd   domain half-widths  (12 C / 0.08 V)
+//   surrogate_act_lo / surrogate_act_hi  activity box     (0.5 / 1.5)
+//   surrogate_t_min_years / surrogate_t_max_years  t box  (0.5 / 40)
+//   surrogate_n_t / surrogate_n_t_aging / surrogate_n_dt /
+//     surrogate_n_vdd / surrogate_n_act   CGL node counts (15/25/13/11/9)
+//   surrogate_fit_n_gamma / surrogate_fit_n_b  fit-reference table
+//                                               resolution (256 / 128)
+//   surrogate_probes  low-discrepancy certification probes (default 512)
+//
 // DRM-run config keys (obdrel drm run):
 //   ladder        DVFS rungs `name:vdd:freq,...` slow->fast
 //                 (default eco:1.0:1.2e9,mid:1.1:1.7e9,turbo:1.25:2.3e9)
@@ -100,6 +115,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <csignal>
@@ -109,6 +125,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -133,10 +150,12 @@
 #include "drm/runtime.hpp"
 #include "fleet/shard.hpp"
 #include "fleet/supervisor.hpp"
+#include "core/condition_eval.hpp"
 #include "mech/spec.hpp"
 #include "power/power.hpp"
 #include "serve/engine.hpp"
 #include "serve/server.hpp"
+#include "surrogate/surrogate.hpp"
 #include "simd/dispatch.hpp"
 #include "thermal/solver.hpp"
 
@@ -260,6 +279,29 @@ core::ReliabilityProblem build_problem(const Config& cfg,
   return core::ReliabilityProblem::build(p.design, var::VariationBudget{},
                                          p.model, p.profile.block_temps_c,
                                          p.vdd, opts);
+}
+
+// Surrogate fast-path configuration (shared by `serve` and the fleet
+// corner sweep): every key defaults to the library's SurrogateOptions
+// default, so `surrogate on` alone gives the certified 1e-4 setup.
+surrogate::SurrogateOptions surrogate_options_from(const Config& cfg) {
+  surrogate::SurrogateOptions so;
+  so.tol = cfg.get_double("surrogate_tol", so.tol);
+  so.dt_c = cfg.get_double("surrogate_dt_c", so.dt_c);
+  so.dvdd = cfg.get_double("surrogate_dvdd", so.dvdd);
+  so.act_lo = cfg.get_double("surrogate_act_lo", so.act_lo);
+  so.act_hi = cfg.get_double("surrogate_act_hi", so.act_hi);
+  so.t_lo_years = cfg.get_double("surrogate_t_min_years", so.t_lo_years);
+  so.t_hi_years = cfg.get_double("surrogate_t_max_years", so.t_hi_years);
+  so.n_t = cfg.get_count("surrogate_n_t", so.n_t);
+  so.n_t_aging = cfg.get_count("surrogate_n_t_aging", so.n_t_aging);
+  so.n_dt = cfg.get_count("surrogate_n_dt", so.n_dt);
+  so.n_vdd = cfg.get_count("surrogate_n_vdd", so.n_vdd);
+  so.n_act = cfg.get_count("surrogate_n_act", so.n_act);
+  so.fit_n_gamma = cfg.get_count("surrogate_fit_n_gamma", so.fit_n_gamma);
+  so.fit_n_b = cfg.get_count("surrogate_fit_n_b", so.fit_n_b);
+  so.probe_points = cfg.get_count("surrogate_probes", so.probe_points);
+  return so;
 }
 
 int cmd_thermal(const Config& cfg) {
@@ -611,6 +653,89 @@ std::string self_exe_path(const char* argv0) {
   return argv0;
 }
 
+// Opt-in fleet corner sweep: F(t) at each operating corner of the
+// `fleet_corners` list ("dt:vdd:act,..."), over the fleet sweep times.
+// With `surrogate on` a certified Chebyshev model answers each corner
+// through the plan_corner/evaluate_at fast path; corners (or times) the
+// certificate does not cover fall through to the exact incremental
+// evaluator, flagged surrogate=0 line by line.
+void run_fleet_corner_sweep(const Config& cfg,
+                            const core::ReliabilityProblem& problem,
+                            const std::vector<double>& ts) {
+  struct Corner {
+    double dt, vdd, act;
+  };
+  std::vector<Corner> corners;
+  {
+    std::istringstream list(cfg.get_string("fleet_corners", ""));
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      if (item.empty()) continue;
+      Corner c{};
+      char sep1 = 0;
+      char sep2 = 0;
+      std::istringstream fields(item);
+      require(static_cast<bool>(fields >> c.dt >> sep1 >> c.vdd >> sep2 >>
+                                c.act) &&
+                  sep1 == ':' && sep2 == ':' && c.vdd > 0.0 && c.act > 0.0,
+              ErrorCode::kConfig,
+              "fleet_corners: corner '" + item +
+                  "' is not dt:vdd:act with positive vdd and act");
+      corners.push_back(c);
+    }
+  }
+  if (corners.empty()) return;
+
+  const bool use_surrogate = cfg.get_bool("surrogate", false);
+  std::optional<surrogate::SurrogateModel> model;
+  if (use_surrogate) {
+    Stopwatch sw;
+    model = surrogate::SurrogateModel::fit(problem,
+                                           surrogate_options_from(cfg));
+    const auto& cert = model->certificate();
+    std::printf(
+        "surrogate: certified=%d max_rel_error=%.3g tol=%.3g probes=%zu "
+        "fit=%.2fs\n",
+        cert.certified ? 1 : 0, cert.max_rel_error, cert.tol, cert.probes,
+        sw.seconds());
+  }
+
+  const core::HybridEvaluator hybrid(problem, {});
+  core::ConditionEvaluator exact(hybrid);
+  std::printf("corner sweep: %zu corner(s) x %zu time(s), surrogate %s\n",
+              corners.size(), ts.size(), use_surrogate ? "on" : "off");
+  for (const Corner& c : corners) {
+    // Corner-axis domain check (the per-time check below handles t): plan
+    // once per corner only when the corner itself is certified coverage.
+    const bool planned = [&] {
+      if (!model.has_value() || !model->certificate().certified)
+        return false;
+      const surrogate::SurrogateDomain& d = model->domain();
+      return model->in_domain(c.dt, c.vdd, c.act,
+                              std::clamp(ts.front(), d.t_lo, d.t_hi));
+    }();
+    std::vector<double> plan;
+    if (planned) plan = model->plan_corner(c.dt, c.vdd, c.act);
+    bool exact_corner_set = false;
+    for (const double t : ts) {
+      const bool fast = planned && model->in_domain(c.dt, c.vdd, c.act, t);
+      double f = 0.0;
+      if (fast) {
+        f = model->evaluate_at(plan, t);
+      } else {
+        if (!exact_corner_set) {
+          exact.set_corner(c.dt, c.vdd, c.act);
+          exact_corner_set = true;
+        }
+        f = exact.evaluate(t);
+      }
+      std::printf("corner dt=%g vdd=%g act=%g t_years=%.6g f=%.17g "
+                  "surrogate=%d\n",
+                  c.dt, c.vdd, c.act, t / kYear, f, fast ? 1 : 0);
+    }
+  }
+}
+
 int cmd_fleet(const Config& cfg, const std::string& cfg_path,
               const FleetFlags& ff, long long threads_flag,
               const char* argv0) {
@@ -671,6 +796,8 @@ int cmd_fleet(const Config& cfg, const std::string& cfg_path,
   // Report first, diagnostics second: strict-mode escalation must never
   // outrun the (partial) results the user paid for.
   std::fputs(fleet::render_report(outcome.report).c_str(), stdout);
+  if (cfg.has("fleet_corners"))
+    run_fleet_corner_sweep(cfg, problem, spec.ts);
   std::fflush(stdout);
   if (outcome.interrupted)
     std::fprintf(stderr,
@@ -714,6 +841,8 @@ int cmd_serve(const Config& cfg, const ServeFlags& sf) {
                        : cfg.get_double("serve_deadline_ms", 0.0);
   require(eo.deadline_ms >= 0.0, ErrorCode::kConfig,
           "serve: serve_deadline_ms must be non-negative (0 disables)");
+  eo.surrogate = cfg.get_bool("surrogate", false);
+  if (eo.surrogate) eo.surrogate_opts = surrogate_options_from(cfg);
 
   serve::ServerOptions so;
   so.use_stdin = sf.use_stdin || cfg.get_bool("serve_stdin", false);
